@@ -1,0 +1,146 @@
+//! Parametric fault catalogue.
+//!
+//! The paper's motivation (§1/§2) is that transfer-function features —
+//! ωn, ζ, peak height, bandwidth — "relate directly to the time domain
+//! response of the PLL and will indicate errors in the PLL circuitry".
+//! This module enumerates the macro-level circuit defects the detection
+//! campaign (ablation abl05) injects, with severities expressed as
+//! parameter multipliers so a sweep from marginal to gross is one loop.
+
+use std::fmt;
+
+/// A single parametric or catastrophic circuit fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Fault {
+    /// VCO small-signal gain multiplied by the factor (process drift,
+    /// bias error). Shifts ωn by √factor.
+    VcoGainScale(f64),
+    /// Loop-filter series resistance R1 multiplied by the factor
+    /// (resistor drift / crack). Moves τ1 and therefore ωn and ζ.
+    FilterR1Scale(f64),
+    /// Loop-filter zero resistance R2 multiplied by the factor. Mostly
+    /// moves ζ (the stabilising zero).
+    FilterR2Scale(f64),
+    /// Loop-filter capacitance multiplied by the factor (dielectric
+    /// defect).
+    FilterCapScale(f64),
+    /// Leakage resistance (ohms) from the control node to ground (soft
+    /// short / surface leakage). Turns the hold state into a droop.
+    FilterLeakage(f64),
+    /// Charge-pump sink/source current ratio (1.0 = balanced). Skews the
+    /// lock point and distorts large-signal symmetry.
+    PumpMismatch(f64),
+    /// PFD dead zone width in seconds (weak reset path). Small phase
+    /// errors produce no correction.
+    PfdDeadZone(f64),
+    /// Feedback divider stuck at the wrong modulus.
+    DividerModulus(u32),
+}
+
+impl Fault {
+    /// Short machine-readable identifier for reports.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Fault::VcoGainScale(_) => "vco-gain",
+            Fault::FilterR1Scale(_) => "filter-r1",
+            Fault::FilterR2Scale(_) => "filter-r2",
+            Fault::FilterCapScale(_) => "filter-c",
+            Fault::FilterLeakage(_) => "filter-leak",
+            Fault::PumpMismatch(_) => "pump-mismatch",
+            Fault::PfdDeadZone(_) => "pfd-deadzone",
+            Fault::DividerModulus(_) => "divider-n",
+        }
+    }
+
+    /// The severity knob as a bare number (multiplier, ohms, seconds or
+    /// modulus depending on the variant).
+    pub fn severity(&self) -> f64 {
+        match self {
+            Fault::VcoGainScale(x)
+            | Fault::FilterR1Scale(x)
+            | Fault::FilterR2Scale(x)
+            | Fault::FilterCapScale(x)
+            | Fault::FilterLeakage(x)
+            | Fault::PumpMismatch(x)
+            | Fault::PfdDeadZone(x) => *x,
+            Fault::DividerModulus(n) => *n as f64,
+        }
+    }
+
+    /// The standard campaign: every fault class at a marginal and a gross
+    /// severity, as used by the abl05 bench.
+    pub fn standard_campaign() -> Vec<Fault> {
+        vec![
+            Fault::VcoGainScale(0.8),
+            Fault::VcoGainScale(0.5),
+            Fault::FilterR1Scale(1.3),
+            Fault::FilterR1Scale(2.0),
+            Fault::FilterR2Scale(0.5),
+            Fault::FilterR2Scale(0.1),
+            Fault::FilterCapScale(1.5),
+            Fault::FilterCapScale(3.0),
+            Fault::FilterLeakage(10e6),
+            Fault::FilterLeakage(1e6),
+            Fault::PumpMismatch(1.3),
+            Fault::PumpMismatch(2.0),
+        ]
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::VcoGainScale(x) => write!(f, "VCO gain ×{x}"),
+            Fault::FilterR1Scale(x) => write!(f, "filter R1 ×{x}"),
+            Fault::FilterR2Scale(x) => write!(f, "filter R2 ×{x}"),
+            Fault::FilterCapScale(x) => write!(f, "filter C ×{x}"),
+            Fault::FilterLeakage(x) => write!(f, "control-node leakage {:.2} MΩ", x / 1e6),
+            Fault::PumpMismatch(x) => write!(f, "pump sink/source ratio {x}"),
+            Fault::PfdDeadZone(x) => write!(f, "PFD dead zone {:.1} ns", x * 1e9),
+            Fault::DividerModulus(n) => write!(f, "feedback divider stuck at ÷{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let faults = [
+            Fault::VcoGainScale(1.0),
+            Fault::FilterR1Scale(1.0),
+            Fault::FilterR2Scale(1.0),
+            Fault::FilterCapScale(1.0),
+            Fault::FilterLeakage(1.0),
+            Fault::PumpMismatch(1.0),
+            Fault::PfdDeadZone(1.0),
+            Fault::DividerModulus(4),
+        ];
+        let mut ids: Vec<&str> = faults.iter().map(Fault::id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), faults.len());
+    }
+
+    #[test]
+    fn severity_extracts_knob() {
+        assert_eq!(Fault::VcoGainScale(0.8).severity(), 0.8);
+        assert_eq!(Fault::DividerModulus(6).severity(), 6.0);
+    }
+
+    #[test]
+    fn campaign_is_nonempty_and_parametric() {
+        let c = Fault::standard_campaign();
+        assert!(c.len() >= 10);
+        assert!(c.iter().all(|f| f.severity() > 0.0));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(Fault::VcoGainScale(0.8).to_string(), "VCO gain ×0.8");
+        assert!(Fault::FilterLeakage(2e6).to_string().contains("2.00 MΩ"));
+        assert!(Fault::PfdDeadZone(5e-9).to_string().contains("5.0 ns"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Behavioural analogue component models for charge-pump PLLs.
+//!
+//! Every block of the paper's fig. 2 loop lives here:
+//!
+//! * [`pfd`] — the tri-state phase-frequency detector as an edge-driven
+//!   state machine (the gate-level twin lives in `pllbist-digital`).
+//! * [`pump`] — the drive stage: a 4046-style tri-state **voltage** output
+//!   (what the paper's experiment used) and a current-steering **charge
+//!   pump**, both with parametric fault knobs.
+//! * [`filter`] — loop filters as exactly-stepped linear systems: the
+//!   paper's passive lag `(1+sτ2)/(1+s(τ1+τ2))` (eq. 3), the classic
+//!   series-RC charge-pump filter, and an active PI.
+//! * [`vco`] — voltage-controlled oscillator with gain, range clipping and
+//!   polynomial tuning-curve non-linearity.
+//! * [`lti`] — exact zero-order-hold stepping with a discretisation cache.
+//! * [`fault`] — the parametric fault catalogue used by the detection
+//!   campaign.
+//!
+//! # Example
+//!
+//! Step the paper's lag filter against its analytic response:
+//!
+//! ```
+//! use pllbist_analog::filter::{LoopFilter, PassiveLag};
+//! use pllbist_analog::pump::PumpOutput;
+//!
+//! let mut f = PassiveLag::new(1.362e6, 253e3, 47e-9);
+//! let mut state = f.initial_state();
+//! // Drive with 5 V for 10 ms in 1 ms exact steps.
+//! for _ in 0..10 {
+//!     f.step(&mut state, PumpOutput::Voltage(5.0), 1e-3);
+//! }
+//! let v = f.output(&state, PumpOutput::Voltage(5.0));
+//! assert!(v > 0.5 && v < 5.0);
+//! ```
+
+pub mod fault;
+pub mod filter;
+pub mod lti;
+pub mod pfd;
+pub mod pump;
+pub mod vco;
+
+pub use filter::{ActivePi, LoopFilter, PassiveLag, SeriesRc};
+pub use pfd::{BehavioralPfd, PfdOutput};
+pub use pump::{ChargePump, PumpOutput, VoltageDriver};
+pub use vco::Vco;

@@ -1,0 +1,236 @@
+//! Behavioural tri-state phase-frequency detector.
+//!
+//! The classic sequential PFD reacts only to **rising edges** of its two
+//! inputs (paper §4): a reference edge arms UP, a feedback edge arms DOWN,
+//! and when both are armed the reset path clears them, leaving the state
+//! proportional to the signed edge skew. This edge-driven state machine is
+//! the fast-path twin of the gate-level PFD built from two D flip-flops and
+//! an AND gate in `pllbist-digital`; a test in the `sim` crate checks they
+//! agree.
+//!
+//! Non-idealities: an optional **dead zone** (phase errors whose pulse
+//! would be narrower than the dead-band produce no output — the behaviour
+//! the paper's fig. 5 "dead zone pulses" hint at) and stuck-output faults
+//! via [`crate::fault`].
+
+/// The tri-state detector output during one interval.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PfdOutput {
+    /// Pump up: the reference leads.
+    Up,
+    /// Pump down: the feedback leads.
+    Down,
+    /// Neither: inputs phase-aligned (high-impedance interval).
+    #[default]
+    Off,
+}
+
+/// Edge-driven PFD state machine.
+///
+/// Feed it the rising-edge timestamps of the reference and feedback
+/// signals (in any interleaved order, but non-decreasing per input) and
+/// read the output state between edges.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_analog::pfd::{BehavioralPfd, PfdOutput};
+///
+/// let mut pfd = BehavioralPfd::new();
+/// pfd.on_reference_edge(1.0e-3);
+/// assert_eq!(pfd.output(), PfdOutput::Up); // reference leads
+/// pfd.on_feedback_edge(1.2e-3);
+/// assert_eq!(pfd.output(), PfdOutput::Off); // both seen → reset
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BehavioralPfd {
+    /// +1 = UP armed, −1 = DOWN armed, 0 = idle.
+    state: i8,
+    /// Time the current non-Off state was entered.
+    armed_at: f64,
+    /// Pulses shorter than this produce no net output (dead zone), in
+    /// seconds.
+    dead_zone: f64,
+    /// Whether the last completed pulse survived the dead zone.
+    last_pulse: Option<CompletedPulse>,
+}
+
+/// A completed UP or DOWN pulse (between arming edge and resetting edge).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CompletedPulse {
+    /// The direction of the pulse.
+    pub direction: PfdOutput,
+    /// When the pulse started.
+    pub start: f64,
+    /// When the opposite edge ended it.
+    pub end: f64,
+    /// `false` if the dead zone swallowed it.
+    pub effective: bool,
+}
+
+impl BehavioralPfd {
+    /// Creates an ideal PFD (no dead zone).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a PFD whose output pulses shorter than `dead_zone` seconds
+    /// are swallowed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dead_zone` is negative or not finite.
+    pub fn with_dead_zone(dead_zone: f64) -> Self {
+        assert!(
+            dead_zone >= 0.0 && dead_zone.is_finite(),
+            "dead zone must be a finite non-negative time"
+        );
+        Self {
+            dead_zone,
+            ..Self::default()
+        }
+    }
+
+    /// The configured dead zone in seconds.
+    pub fn dead_zone(&self) -> f64 {
+        self.dead_zone
+    }
+
+    /// Current output state.
+    pub fn output(&self) -> PfdOutput {
+        match self.state {
+            1 => PfdOutput::Up,
+            -1 => PfdOutput::Down,
+            _ => PfdOutput::Off,
+        }
+    }
+
+    /// The most recently completed pulse, if any.
+    pub fn last_pulse(&self) -> Option<CompletedPulse> {
+        self.last_pulse
+    }
+
+    /// The time the current non-`Off` state was entered, or `None` when
+    /// idle — used by the simulator to apply the dead zone dynamically
+    /// (the pump only engages once the pulse outlives the dead band).
+    pub fn armed_since(&self) -> Option<f64> {
+        (self.state != 0).then_some(self.armed_at)
+    }
+
+    /// Registers a rising edge of the reference input at time `t`.
+    pub fn on_reference_edge(&mut self, t: f64) {
+        self.on_edge(t, 1);
+    }
+
+    /// Registers a rising edge of the feedback input at time `t`.
+    pub fn on_feedback_edge(&mut self, t: f64) {
+        self.on_edge(t, -1);
+    }
+
+    fn on_edge(&mut self, t: f64, dir: i8) {
+        match self.state {
+            0 => {
+                self.state = dir;
+                self.armed_at = t;
+            }
+            s if s == dir => {
+                // Same input edges twice in a row: the detector saturates;
+                // the state simply persists (cycle slip).
+            }
+            _ => {
+                // Opposite edge: reset. Record the completed pulse.
+                let width = t - self.armed_at;
+                self.last_pulse = Some(CompletedPulse {
+                    direction: self.output(),
+                    start: self.armed_at,
+                    end: t,
+                    effective: width >= self.dead_zone,
+                });
+                self.state = 0;
+            }
+        }
+    }
+
+    /// Resets to the idle state (test-mode loop break, Table 2 stage 3).
+    pub fn reset(&mut self) {
+        self.state = 0;
+        self.last_pulse = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_lead_produces_up() {
+        let mut p = BehavioralPfd::new();
+        p.on_reference_edge(0.0);
+        assert_eq!(p.output(), PfdOutput::Up);
+        p.on_feedback_edge(1e-6);
+        assert_eq!(p.output(), PfdOutput::Off);
+        let pulse = p.last_pulse().unwrap();
+        assert_eq!(pulse.direction, PfdOutput::Up);
+        assert!((pulse.end - pulse.start - 1e-6).abs() < 1e-18);
+        assert!(pulse.effective);
+    }
+
+    #[test]
+    fn feedback_lead_produces_down() {
+        let mut p = BehavioralPfd::new();
+        p.on_feedback_edge(0.0);
+        assert_eq!(p.output(), PfdOutput::Down);
+        p.on_reference_edge(2e-6);
+        assert_eq!(p.output(), PfdOutput::Off);
+        assert_eq!(p.last_pulse().unwrap().direction, PfdOutput::Down);
+    }
+
+    #[test]
+    fn saturation_on_repeated_edges() {
+        // Large frequency error: many reference edges per feedback edge.
+        let mut p = BehavioralPfd::new();
+        p.on_reference_edge(0.0);
+        p.on_reference_edge(1e-6);
+        p.on_reference_edge(2e-6);
+        assert_eq!(p.output(), PfdOutput::Up);
+        p.on_feedback_edge(3e-6);
+        assert_eq!(p.output(), PfdOutput::Off);
+    }
+
+    #[test]
+    fn alternating_lock_pattern() {
+        let mut p = BehavioralPfd::new();
+        for k in 0..10 {
+            let t = k as f64 * 1e-3;
+            p.on_reference_edge(t);
+            p.on_feedback_edge(t + 10e-6);
+            assert_eq!(p.output(), PfdOutput::Off, "cycle {k}");
+        }
+    }
+
+    #[test]
+    fn dead_zone_marks_short_pulses_ineffective() {
+        let mut p = BehavioralPfd::with_dead_zone(5e-9);
+        p.on_reference_edge(0.0);
+        p.on_feedback_edge(2e-9); // narrower than dead zone
+        assert!(!p.last_pulse().unwrap().effective);
+        p.on_reference_edge(1e-6);
+        p.on_feedback_edge(1e-6 + 20e-9);
+        assert!(p.last_pulse().unwrap().effective);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = BehavioralPfd::new();
+        p.on_reference_edge(0.0);
+        p.reset();
+        assert_eq!(p.output(), PfdOutput::Off);
+        assert!(p.last_pulse().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead zone")]
+    fn negative_dead_zone_rejected() {
+        let _ = BehavioralPfd::with_dead_zone(-1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Drive stages between the PFD and the loop filter.
+//!
+//! The paper's experimental PLL (a 74HCT4046) has a **tri-state voltage**
+//! phase-comparator output: it drives VDD while the reference leads, drives
+//! ground while the feedback leads and floats (high-impedance) otherwise
+//! — modelled by [`VoltageDriver`]. Integrated CP-PLLs instead steer a
+//! **current** into the filter — modelled by [`ChargePump`]. Both expose the
+//! non-ideality knobs the fault campaign uses (source/sink mismatch,
+//! leakage is a filter property, stuck outputs via [`crate::fault`]).
+
+use crate::pfd::PfdOutput;
+
+/// What the drive stage presents to the loop filter during one interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PumpOutput {
+    /// A stiff voltage source of the given value (4046-style drive).
+    Voltage(f64),
+    /// A current source of the given signed value in amperes.
+    Current(f64),
+    /// High-impedance: no drive, the filter holds its state.
+    HighZ,
+}
+
+impl PumpOutput {
+    /// `true` for the high-impedance state.
+    pub fn is_high_z(self) -> bool {
+        self == PumpOutput::HighZ
+    }
+}
+
+/// 4046-style tri-state voltage driver.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_analog::pump::{VoltageDriver, PumpOutput};
+/// use pllbist_analog::pfd::PfdOutput;
+///
+/// let drv = VoltageDriver::new(5.0);
+/// assert_eq!(drv.drive(PfdOutput::Up), PumpOutput::Voltage(5.0));
+/// assert_eq!(drv.drive(PfdOutput::Down), PumpOutput::Voltage(0.0));
+/// assert_eq!(drv.drive(PfdOutput::Off), PumpOutput::HighZ);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct VoltageDriver {
+    v_high: f64,
+    v_low: f64,
+}
+
+impl VoltageDriver {
+    /// Creates a driver swinging between ground and `vdd`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vdd` is not positive and finite.
+    pub fn new(vdd: f64) -> Self {
+        assert!(vdd > 0.0 && vdd.is_finite(), "supply must be positive");
+        Self {
+            v_high: vdd,
+            v_low: 0.0,
+        }
+    }
+
+    /// Creates a driver with explicit rail voltages (e.g. a weak low rail
+    /// fault).
+    pub fn with_rails(v_high: f64, v_low: f64) -> Self {
+        Self { v_high, v_low }
+    }
+
+    /// The high rail.
+    pub fn v_high(&self) -> f64 {
+        self.v_high
+    }
+
+    /// The low rail.
+    pub fn v_low(&self) -> f64 {
+        self.v_low
+    }
+
+    /// Maps a PFD state to the filter drive.
+    pub fn drive(&self, pfd: PfdOutput) -> PumpOutput {
+        match pfd {
+            PfdOutput::Up => PumpOutput::Voltage(self.v_high),
+            PfdOutput::Down => PumpOutput::Voltage(self.v_low),
+            PfdOutput::Off => PumpOutput::HighZ,
+        }
+    }
+
+    /// Effective phase-detector gain in V/rad for a tri-state comparator:
+    /// `Kd = (v_high − v_low) / 4π` (the 4046 PC2 relation).
+    pub fn gain_volts_per_radian(&self) -> f64 {
+        (self.v_high - self.v_low) / (4.0 * std::f64::consts::PI)
+    }
+}
+
+/// Current-steering charge pump with independent source and sink currents.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_analog::pump::{ChargePump, PumpOutput};
+/// use pllbist_analog::pfd::PfdOutput;
+///
+/// let cp = ChargePump::new(100e-6);
+/// assert_eq!(cp.drive(PfdOutput::Up), PumpOutput::Current(100e-6));
+/// // A 10 % sink-heavy mismatch fault:
+/// let bad = ChargePump::with_mismatch(100e-6, 1.10);
+/// assert!((bad.i_down() - 110e-6).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChargePump {
+    i_up: f64,
+    i_down: f64,
+}
+
+impl ChargePump {
+    /// Creates a balanced pump of `i_pump` amperes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i_pump` is not positive and finite.
+    pub fn new(i_pump: f64) -> Self {
+        assert!(i_pump > 0.0 && i_pump.is_finite(), "pump current must be positive");
+        Self {
+            i_up: i_pump,
+            i_down: i_pump,
+        }
+    }
+
+    /// Creates a pump whose sink current is `mismatch` times the source
+    /// current (the classic UP/DN mismatch fault; `1.0` is balanced).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either current would be non-positive.
+    pub fn with_mismatch(i_up: f64, mismatch: f64) -> Self {
+        let i_down = i_up * mismatch;
+        assert!(
+            i_up > 0.0 && i_down > 0.0,
+            "pump currents must remain positive"
+        );
+        Self { i_up, i_down }
+    }
+
+    /// Source (UP) current in amperes.
+    pub fn i_up(&self) -> f64 {
+        self.i_up
+    }
+
+    /// Sink (DOWN) current in amperes.
+    pub fn i_down(&self) -> f64 {
+        self.i_down
+    }
+
+    /// Maps a PFD state to the filter drive (positive current pumps the
+    /// filter up).
+    pub fn drive(&self, pfd: PfdOutput) -> PumpOutput {
+        match pfd {
+            PfdOutput::Up => PumpOutput::Current(self.i_up),
+            PfdOutput::Down => PumpOutput::Current(-self.i_down),
+            PfdOutput::Off => PumpOutput::Current(0.0),
+        }
+    }
+
+    /// Effective phase-detector gain in A/rad: `Kd = I_pump / 2π` (average
+    /// of source and sink for a slightly mismatched pump).
+    pub fn gain_amps_per_radian(&self) -> f64 {
+        0.5 * (self.i_up + self.i_down) / std::f64::consts::TAU
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfd::PfdOutput;
+
+    #[test]
+    fn voltage_driver_states() {
+        let d = VoltageDriver::new(5.0);
+        assert_eq!(d.drive(PfdOutput::Up), PumpOutput::Voltage(5.0));
+        assert_eq!(d.drive(PfdOutput::Down), PumpOutput::Voltage(0.0));
+        assert!(d.drive(PfdOutput::Off).is_high_z());
+        assert_eq!(d.v_high(), 5.0);
+        assert_eq!(d.v_low(), 0.0);
+    }
+
+    #[test]
+    fn voltage_driver_gain_matches_4046_relation() {
+        // 5 V supply: Kd = 5/(4π) ≈ 0.398 V/rad — the paper's "0.4 V/rad".
+        let d = VoltageDriver::new(5.0);
+        assert!((d.gain_volts_per_radian() - 0.3979).abs() < 1e-3);
+    }
+
+    #[test]
+    fn custom_rails() {
+        let d = VoltageDriver::with_rails(3.3, 0.2);
+        assert_eq!(d.drive(PfdOutput::Down), PumpOutput::Voltage(0.2));
+        assert!((d.gain_volts_per_radian() - 3.1 / (4.0 * std::f64::consts::PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_pump_balanced() {
+        let cp = ChargePump::new(50e-6);
+        assert_eq!(cp.drive(PfdOutput::Up), PumpOutput::Current(50e-6));
+        assert_eq!(cp.drive(PfdOutput::Down), PumpOutput::Current(-50e-6));
+        assert_eq!(cp.drive(PfdOutput::Off), PumpOutput::Current(0.0));
+        assert!((cp.gain_amps_per_radian() - 50e-6 / std::f64::consts::TAU).abs() < 1e-18);
+    }
+
+    #[test]
+    fn charge_pump_mismatch() {
+        let cp = ChargePump::with_mismatch(100e-6, 0.9);
+        assert_eq!(cp.i_up(), 100e-6);
+        assert!((cp.i_down() - 90e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "pump current must be positive")]
+    fn zero_current_rejected() {
+        let _ = ChargePump::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "supply must be positive")]
+    fn bad_supply_rejected() {
+        let _ = VoltageDriver::new(-1.0);
+    }
+}

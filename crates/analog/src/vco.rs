@@ -1,0 +1,193 @@
+//! Voltage-controlled oscillator model.
+//!
+//! The VCO contributes `K0/s` to the loop (eq. 1): its output *frequency*
+//! follows the control voltage instantly, its output *phase* is the
+//! integral. The model carries the non-idealities that matter for the
+//! paper's measurement: a finite tuning range (clipping is the dominant
+//! non-linearity of the 74HCT4046) and an optional polynomial
+//! tuning-curve curvature, which the paper blames for the residual
+//! theory-vs-measurement discrepancy in figs. 11/12.
+
+/// Voltage-controlled oscillator.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_analog::vco::Vco;
+///
+/// // Centre 5 kHz at 2.5 V, gain 2.4 krad/s/V (≈ 382 Hz/V).
+/// let vco = Vco::new(5_000.0, 2_400.0, 2.5);
+/// assert!((vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-9);
+/// assert!((vco.frequency_hz(3.5) - 5_382.0).abs() < 0.1);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Vco {
+    f_center_hz: f64,
+    k0_rad_per_sec_per_volt: f64,
+    v_center: f64,
+    f_min_hz: f64,
+    f_max_hz: f64,
+    /// Optional quadratic and cubic tuning-curve coefficients
+    /// (Hz per V² / Hz per V³ around `v_center`).
+    curvature: (f64, f64),
+}
+
+impl Vco {
+    /// Creates an ideal VCO: frequency `f_center_hz` at control voltage
+    /// `v_center`, slope `k0` in rad/s per volt, effectively unlimited
+    /// range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f_center_hz` or `k0` is not positive and finite.
+    pub fn new(f_center_hz: f64, k0_rad_per_sec_per_volt: f64, v_center: f64) -> Self {
+        assert!(
+            f_center_hz > 0.0 && f_center_hz.is_finite(),
+            "centre frequency must be positive"
+        );
+        assert!(
+            k0_rad_per_sec_per_volt > 0.0 && k0_rad_per_sec_per_volt.is_finite(),
+            "VCO gain must be positive"
+        );
+        Self {
+            f_center_hz,
+            k0_rad_per_sec_per_volt,
+            v_center,
+            f_min_hz: f64::MIN_POSITIVE,
+            f_max_hz: f64::INFINITY,
+            curvature: (0.0, 0.0),
+        }
+    }
+
+    /// Restricts the tuning range; frequencies clip to `[f_min, f_max]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or non-positive.
+    pub fn with_range(mut self, f_min_hz: f64, f_max_hz: f64) -> Self {
+        assert!(
+            0.0 < f_min_hz && f_min_hz < f_max_hz,
+            "range must satisfy 0 < f_min < f_max"
+        );
+        self.f_min_hz = f_min_hz;
+        self.f_max_hz = f_max_hz;
+        self
+    }
+
+    /// Adds tuning-curve curvature: `f += a2·Δv² + a3·Δv³` (Hz, Δv relative
+    /// to the centre voltage).
+    pub fn with_curvature(mut self, a2_hz_per_v2: f64, a3_hz_per_v3: f64) -> Self {
+        self.curvature = (a2_hz_per_v2, a3_hz_per_v3);
+        self
+    }
+
+    /// Scales the small-signal gain (the VCO-gain-drift fault).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_gain_scaled(mut self, factor: f64) -> Self {
+        assert!(factor > 0.0 && factor.is_finite(), "gain factor must be positive");
+        self.k0_rad_per_sec_per_volt *= factor;
+        self
+    }
+
+    /// Small-signal gain K0 in rad/s per volt.
+    pub fn k0(&self) -> f64 {
+        self.k0_rad_per_sec_per_volt
+    }
+
+    /// Small-signal gain in Hz per volt.
+    pub fn gain_hz_per_volt(&self) -> f64 {
+        self.k0_rad_per_sec_per_volt / std::f64::consts::TAU
+    }
+
+    /// Centre frequency in Hz.
+    pub fn f_center_hz(&self) -> f64 {
+        self.f_center_hz
+    }
+
+    /// The control voltage that produces the centre frequency.
+    pub fn v_center(&self) -> f64 {
+        self.v_center
+    }
+
+    /// Output frequency in Hz for a control voltage, including curvature
+    /// and range clipping.
+    pub fn frequency_hz(&self, v_ctrl: f64) -> f64 {
+        let dv = v_ctrl - self.v_center;
+        let (a2, a3) = self.curvature;
+        let f = self.f_center_hz
+            + self.gain_hz_per_volt() * dv
+            + a2 * dv * dv
+            + a3 * dv * dv * dv;
+        f.clamp(self.f_min_hz, self.f_max_hz)
+    }
+
+    /// Output angular frequency in rad/s for a control voltage.
+    pub fn omega(&self, v_ctrl: f64) -> f64 {
+        self.frequency_hz(v_ctrl) * std::f64::consts::TAU
+    }
+
+    /// The control voltage that would produce `f_hz` on the *linear* part
+    /// of the tuning curve (used to preset the lock point).
+    pub fn control_for_frequency(&self, f_hz: f64) -> f64 {
+        self.v_center + (f_hz - self.f_center_hz) / self.gain_hz_per_volt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_tuning() {
+        let vco = Vco::new(5_000.0, 2_400.0, 2.5);
+        assert!((vco.gain_hz_per_volt() - 381.97).abs() < 0.01);
+        assert!((vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-12);
+        let up = vco.frequency_hz(3.0) - 5_000.0;
+        let dn = 5_000.0 - vco.frequency_hz(2.0);
+        assert!((up - dn).abs() < 1e-9, "symmetric around centre");
+        assert!((vco.omega(2.5) - 5_000.0 * std::f64::consts::TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn range_clipping() {
+        let vco = Vco::new(5_000.0, 2_400.0, 2.5).with_range(4_000.0, 6_000.0);
+        assert_eq!(vco.frequency_hz(100.0), 6_000.0);
+        assert_eq!(vco.frequency_hz(-100.0), 4_000.0);
+        assert!((vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curvature_bends_the_tuning_curve() {
+        let lin = Vco::new(5_000.0, 2_400.0, 2.5);
+        let crv = lin.with_curvature(20.0, 0.0);
+        // At the centre they agree; off-centre the quadratic term appears.
+        assert_eq!(crv.frequency_hz(2.5), lin.frequency_hz(2.5));
+        let dv = 1.0;
+        assert!((crv.frequency_hz(2.5 + dv) - lin.frequency_hz(2.5 + dv) - 20.0).abs() < 1e-9);
+        // Asymmetry — the quadratic bends both sides the same way.
+        assert!((crv.frequency_hz(2.5 - dv) - lin.frequency_hz(2.5 - dv) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn control_for_frequency_inverts_linear_curve() {
+        let vco = Vco::new(5_000.0, 2_400.0, 2.5);
+        let v = vco.control_for_frequency(5_200.0);
+        assert!((vco.frequency_hz(v) - 5_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_fault_scales_slope() {
+        let vco = Vco::new(5_000.0, 2_400.0, 2.5).with_gain_scaled(0.8);
+        assert!((vco.k0() - 1_920.0).abs() < 1e-9);
+        assert!((vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-12, "centre unchanged");
+    }
+
+    #[test]
+    #[should_panic(expected = "range must satisfy")]
+    fn inverted_range_rejected() {
+        let _ = Vco::new(5_000.0, 2_400.0, 2.5).with_range(6_000.0, 4_000.0);
+    }
+}

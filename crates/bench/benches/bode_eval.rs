@@ -1,0 +1,56 @@
+//! Criterion benches for the frequency-domain substrate (figs. 1/10
+//! compute cost): transfer-function evaluation, Bode sweeps, feature
+//! extraction and the matrix exponential behind exact discretisation.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pllbist_numeric::bode::BodePlot;
+use pllbist_numeric::matrix::Matrix;
+use pllbist_numeric::statespace::StateSpace;
+use pllbist_numeric::tf::TransferFunction;
+use std::hint::black_box;
+
+fn paper_transfer() -> TransferFunction {
+    pllbist_sim::config::PllConfig::paper_table3()
+        .analysis()
+        .feedback_transfer()
+}
+
+fn bench_eval(c: &mut Criterion) {
+    let h = paper_transfer();
+    c.bench_function("tf_eval_jw", |b| {
+        b.iter(|| black_box(h.eval_jw(black_box(50.0))))
+    });
+    c.bench_function("bode_sweep_200", |b| {
+        b.iter(|| BodePlot::sweep_log(black_box(&h), 1.0, 1000.0, 200))
+    });
+    let plot = BodePlot::sweep_log(&h, 1.0, 1000.0, 200);
+    c.bench_function("bode_features", |b| {
+        b.iter(|| (black_box(&plot).peak(), black_box(&plot).bandwidth_3db()))
+    });
+}
+
+fn bench_poles(c: &mut Criterion) {
+    let h = paper_transfer();
+    c.bench_function("poles_durand_kerner", |b| {
+        b.iter(|| black_box(&h).poles())
+    });
+}
+
+fn bench_expm(c: &mut Criterion) {
+    let a = Matrix::from_rows(&[&[-13.2, 1.0, 0.0], &[0.0, -13.2, 4.1], &[2.0, 0.0, -1.0]]);
+    c.bench_function("expm_3x3", |b| b.iter(|| black_box(&a).expm()));
+    let ss = StateSpace::from_transfer_function(&TransferFunction::new(
+        [1.0, 0.0166],
+        [1.0, 0.756, 0.0],
+    ));
+    c.bench_function("zoh_discretize_2state", |b| {
+        b.iter_batched(
+            || ss.clone(),
+            |s| s.discretize(black_box(1e-4)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_eval, bench_poles, bench_expm);
+criterion_main!(benches);

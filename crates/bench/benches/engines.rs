@@ -1,0 +1,65 @@
+//! **Ablation abl02** as a Criterion bench: the behavioural fast path vs
+//! the gate-level co-simulation, per simulated second of the paper's PLL.
+//! The two engines agree on results (see `tests/engines_agree.rs`); this
+//! bench quantifies what the gate-level fidelity costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::cosim::MixedSignalPll;
+
+fn bench_behavioral(c: &mut Criterion) {
+    let cfg = PllConfig::paper_table3();
+    c.bench_function("behavioral_100ms_locked", |b| {
+        b.iter(|| {
+            let mut pll = CpPll::new_locked(&cfg);
+            pll.advance_to(0.1);
+            pll.vco_phase_cycles()
+        })
+    });
+    c.bench_function("behavioral_100ms_modulated", |b| {
+        b.iter(|| {
+            let mut pll = CpPll::new_locked(&cfg);
+            pll.set_stimulus(pllbist_sim::stimulus::FmStimulus::multi_tone(
+                1_000.0, 10.0, 8.0, 10,
+            ));
+            pll.advance_to(0.1);
+            pll.vco_phase_cycles()
+        })
+    });
+}
+
+fn bench_gate_level(c: &mut Criterion) {
+    let cfg = PllConfig::paper_table3();
+    let mut group = c.benchmark_group("gate_level");
+    group.sample_size(10);
+    group.bench_function("cosim_20ms_locked", |b| {
+        b.iter(|| {
+            let mut pll = MixedSignalPll::with_clock_reference(&cfg);
+            pll.advance_to(0.02);
+            pll.vco_phase_cycles()
+        })
+    });
+    group.finish();
+}
+
+fn bench_charge_pump_engine(c: &mut Criterion) {
+    // The 2-state-filterless CP loop runs at 10× the reference rate of the
+    // paper loop; per-wall-clock throughput scales with event rate.
+    let cfg = PllConfig::integer_n_charge_pump();
+    c.bench_function("behavioral_cp_10ms", |b| {
+        b.iter(|| {
+            let mut pll = CpPll::new_locked(&cfg);
+            pll.advance_to(0.01);
+            pll.vco_phase_cycles()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_behavioral,
+    bench_gate_level,
+    bench_charge_pump_engine
+);
+criterion_main!(benches);

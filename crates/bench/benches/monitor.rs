@@ -1,0 +1,61 @@
+//! Criterion benches for the measurement layer: one full BIST tone
+//! (the figs. 11/12 unit of work), the bench-style baseline point, and
+//! the counter primitives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pllbist::counter::{FrequencyCounter, PhaseCounter};
+use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
+use pllbist_sim::bench_measure::{measure_point, BenchSettings};
+use pllbist_sim::config::PllConfig;
+
+fn bench_single_tone(c: &mut Criterion) {
+    let cfg = PllConfig::paper_table3();
+    let mut group = c.benchmark_group("bist_tone");
+    group.sample_size(10);
+    for (name, kind) in [
+        ("sine", StimulusKind::PureSine),
+        ("fsk10", StimulusKind::MultiTone { steps: 10 }),
+    ] {
+        let settings = MonitorSettings {
+            stimulus: kind,
+            mod_frequencies_hz: vec![8.0],
+            settle_periods: 2.0,
+            loop_settle_secs: 0.2,
+            ..MonitorSettings::fast()
+        };
+        let monitor = TransferFunctionMonitor::new(settings);
+        group.bench_function(name, |b| {
+            b.iter(|| monitor.measure(&cfg).points[0].delta_f_hz)
+        });
+    }
+    group.finish();
+}
+
+fn bench_baseline_point(c: &mut Criterion) {
+    let cfg = PllConfig::paper_table3();
+    let settings = BenchSettings {
+        settle_periods: 2.0,
+        measure_periods: 2.0,
+        ..BenchSettings::default()
+    };
+    let mut group = c.benchmark_group("bench_baseline");
+    group.sample_size(10);
+    group.bench_function("point_8hz", |b| {
+        b.iter(|| measure_point(&cfg, 8.0, &settings).gain)
+    });
+    group.finish();
+}
+
+fn bench_counters(c: &mut Criterion) {
+    let counter = FrequencyCounter::new(1e6, 200);
+    c.bench_function("frequency_reading", |b| {
+        b.iter(|| counter.reading_from_window(std::hint::black_box(0.04)))
+    });
+    let pc = PhaseCounter::new(1e6);
+    c.bench_function("phase_reading", |b| {
+        b.iter(|| pc.reading(1.0, std::hint::black_box(1.016), 0.125))
+    });
+}
+
+criterion_group!(benches, bench_single_tone, bench_baseline_point, bench_counters);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benches for the stimulus path (abl01's compute side): edge
+//! solving for the three FM classes and DCO grid synthesis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pllbist::dco::DcoDesign;
+use pllbist_sim::stimulus::FmStimulus;
+use std::hint::black_box;
+
+fn bench_edges(c: &mut Criterion) {
+    let stimuli = [
+        ("sine", FmStimulus::pure_sine(1_000.0, 10.0, 8.0)),
+        ("two_tone", FmStimulus::two_tone(1_000.0, 10.0, 8.0)),
+        ("fsk10", FmStimulus::multi_tone(1_000.0, 10.0, 8.0, 10)),
+    ];
+    let mut group = c.benchmark_group("edge_solver");
+    for (name, stim) in stimuli {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // One thousand consecutive reference edges.
+                let mut t = 0.0;
+                for _ in 0..1_000 {
+                    t = stim.next_edge_after(black_box(t));
+                }
+                t
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_phase_eval(c: &mut Criterion) {
+    let sine = FmStimulus::pure_sine(1_000.0, 10.0, 8.0);
+    let fsk = FmStimulus::multi_tone(1_000.0, 10.0, 8.0, 10);
+    c.bench_function("phase_sine", |b| {
+        b.iter(|| sine.phase_cycles(black_box(1.2345)))
+    });
+    c.bench_function("phase_staircase", |b| {
+        b.iter(|| fsk.phase_cycles(black_box(1.2345)))
+    });
+}
+
+fn bench_dco(c: &mut Criterion) {
+    let dco = DcoDesign::new(1e6, 1e3);
+    c.bench_function("dco_quantized_multitone", |b| {
+        b.iter(|| dco.quantized_multi_tone(black_box(10.0), 8.0, 10))
+    });
+    c.bench_function("dco_tone_grid", |b| {
+        b.iter(|| dco.tone_grid(black_box(10.0)))
+    });
+}
+
+criterion_group!(benches, bench_edges, bench_phase_eval, bench_dco);
+criterion_main!(benches);

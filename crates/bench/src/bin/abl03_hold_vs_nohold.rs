@@ -1,0 +1,74 @@
+//! **Ablation abl03** — the value of the hold mechanism: the same sweep
+//! captured (a) with the paper's loop-break hold-and-count and (b) with a
+//! conventional short gated count on the free-running output.
+//!
+//! The trade the paper's technique wins: the held VCO can be counted for
+//! as long as resolution demands, while the unheld gate must stay short
+//! against the modulation period (or it averages the peak away) and its
+//! resolution collapses at fast tones. The price: the hold freezes the
+//! *capacitor* state, so the readout follows the hold-referred (no-zero)
+//! response rather than the full one — both theoretical curves are shown.
+
+use pllbist::monitor::{CaptureMode, MonitorSettings, TransferFunctionMonitor};
+use pllbist_sim::config::PllConfig;
+use std::f64::consts::TAU;
+
+fn main() {
+    let cfg = PllConfig::paper_table3();
+    let freqs = vec![1.0, 4.0, 8.0, 15.0, 30.0];
+    let base = MonitorSettings {
+        mod_frequencies_hz: freqs.clone(),
+        settle_periods: 3.0,
+        loop_settle_secs: 0.3,
+        ..MonitorSettings::fast()
+    };
+    println!("abl03 — hold-and-count vs short gated count\n");
+
+    let hold = TransferFunctionMonitor::new(MonitorSettings {
+        capture: CaptureMode::HoldAndCount,
+        ..base.clone()
+    })
+    .measure(&cfg);
+    let gated = TransferFunctionMonitor::new(MonitorSettings {
+        capture: CaptureMode::GatedCount { gate_fraction: 0.05 },
+        ..base
+    })
+    .measure(&cfg);
+
+    let a = cfg.analysis();
+    let h_full = a.feedback_transfer();
+    let h_hold = a.hold_referred_transfer();
+    let ref_hold = hold.points[0].delta_f_hz.abs();
+    let ref_gated = gated.points[0].delta_f_hz.abs();
+    let ref_full = h_full.magnitude(TAU * freqs[0]);
+    let ref_hr = h_hold.magnitude(TAU * freqs[0]);
+
+    println!(
+        " f_mod | held A_F | res (Hz) | gated A_F | res (Hz) | theory hold | theory full"
+    );
+    println!(
+        " ------+----------+----------+-----------+----------+-------------+------------"
+    );
+    for i in 0..freqs.len() {
+        let f = freqs[i];
+        // Clamp: a gated reading quantised to zero deviation is "below
+        // the counter floor", not minus infinity.
+        let db = |x: f64| (20.0 * x.log10()).max(-40.0);
+        println!(
+            " {:>5.1} | {:>8.2} | {:>8.3} | {:>9.2} | {:>8.3} | {:>11.2} | {:>10.2}",
+            f,
+            db(hold.points[i].delta_f_hz.abs() / ref_hold),
+            hold.points[i].frequency.resolution_hz,
+            db(gated.points[i].delta_f_hz.abs() / ref_gated),
+            gated.points[i].frequency.resolution_hz,
+            db(h_hold.magnitude(TAU * f) / ref_hr),
+            db(h_full.magnitude(TAU * f) / ref_full),
+        );
+    }
+    println!(
+        "\nshape checks: the held column tracks the hold-referred theory with flat\n\
+         sub-Hz resolution; the gated column follows the *full* theory but its\n\
+         resolution degrades ∝ f_mod — the estimation problem the paper says its\n\
+         peak-hold technique has 'the potential to overcome'."
+    );
+}

@@ -1,0 +1,76 @@
+//! **Ablation abl04** — the glitch-filter (judge) delay of the fig. 7
+//! sampling path. The paper notes the dead-zone glitches "can be widened
+//! to usable signals by placing additional delay elements"; dually, our
+//! gate-level detector filters the glitches with an inertial buffer.
+//! Too small a delay and glitches clock the sampling flip-flop (false
+//! strobes); too large and genuine lead pulses near the flip are
+//! swallowed (late strobes). This ablation sweeps the delay and counts
+//! strobes per modulation period.
+
+use pllbist::testbench::{run_fig8, TestbenchOptions};
+use pllbist_digital::time::SimTime;
+use pllbist_sim::config::PllConfig;
+
+fn main() {
+    let cfg = PllConfig::paper_table3();
+    println!("abl04 — sampling-path glitch-filter delay sweep (gate delay 2 ns)\n");
+    println!(" judge delay | MFREQ strobes | min strobes | offset (ms) | verdict");
+    println!(" ------------+---------------+-------------+-------------+--------");
+    // 4.2 ns sits barely above the ~4 ns glitches (marginal filtering);
+    // 120 µs exceeds the typical monitoring-pulse width (~63 µs), so real
+    // pulses get swallowed.
+    for judge_ps in [4_200u64, 10_000, 100_000, 1_000_000, 20_000_000, 120_000_000] {
+        let opts = TestbenchOptions {
+            judge_delay: SimTime::from_ps(judge_ps),
+            settle_secs: 0.6,
+            capture_secs: 0.375, // three periods at 8 Hz
+            sample_interval: 5e-3,
+            ..TestbenchOptions::default()
+        };
+        let capture = run_fig8(&cfg, &opts);
+        let n_max = capture.mfreq_times.len();
+        let n_min = capture.minfreq_times.len();
+        // Timing quality: offset of each MFREQ strobe from the nearest
+        // local maximum of the sampled control voltage.
+        let t_mod = 1.0 / opts.f_mod_hz;
+        let mut offsets = Vec::new();
+        for &tm in &capture.mfreq_times {
+            let window: Vec<&(f64, f64)> = capture
+                .control_samples
+                .iter()
+                .filter(|(t, _)| (t - tm).abs() < 0.5 * t_mod)
+                .collect();
+            if let Some((tp, _)) = window
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                offsets.push((tp - tm).abs());
+            }
+        }
+        let mean_off = if offsets.is_empty() {
+            f64::NAN
+        } else {
+            offsets.iter().sum::<f64>() / offsets.len() as f64
+        };
+        let verdict = if !(2..=4).contains(&n_max) || !(2..=4).contains(&n_min) {
+            "STROBE COUNT WRONG"
+        } else if mean_off > 0.1 * t_mod {
+            "LATE (pulses near the flip swallowed)"
+        } else {
+            "clean"
+        };
+        println!(
+            " {:>8.1} ns | {:>13} | {:>11} | {:>10.1} | {}",
+            judge_ps as f64 / 1_000.0,
+            n_max,
+            n_min,
+            mean_off * 1e3,
+            verdict
+        );
+    }
+    println!(
+        "\nshape check: a wide plateau of clean detection between the glitch width\n\
+         (~4 ns) and the minimum real pulse width near the flip — the design margin\n\
+         the paper's delay-element remark is about."
+    );
+}

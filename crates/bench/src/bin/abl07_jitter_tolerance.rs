@@ -1,0 +1,62 @@
+//! **Ablation abl07** (extension) — BIST accuracy vs reference edge
+//! jitter: how noisy may the device be before the transfer-function
+//! measurement stops being trustworthy? Sweeps the injected RMS edge
+//! jitter and reports the error of the in-band and resonance points
+//! against the noiseless run.
+
+use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::noise::NoiseConfig;
+
+fn main() {
+    let cfg = PllConfig::paper_table3();
+    let settings = MonitorSettings {
+        mod_frequencies_hz: vec![1.0, 6.3, 25.0],
+        settle_periods: 3.0,
+        loop_settle_secs: 0.3,
+        ..MonitorSettings::fast()
+    };
+    let monitor = TransferFunctionMonitor::new(settings);
+    println!("abl07 — BIST accuracy vs RMS edge jitter (1 ms reference period)\n");
+
+    let clean = monitor.measure(&cfg);
+    let clean_rel: Vec<f64> = clean
+        .points
+        .iter()
+        .map(|p| p.delta_f_hz.abs() / clean.points[0].delta_f_hz.abs())
+        .collect();
+
+    println!(" jitter RMS | peak A_F err (dB) | rolloff A_F err (dB) | phase@peak err (°)");
+    println!(" -----------+-------------------+----------------------+-------------------");
+    for rms in [0.0, 1e-6, 5e-6, 20e-6, 50e-6, 100e-6] {
+        let mut pll = CpPll::new_locked(&cfg);
+        if rms > 0.0 {
+            pll.set_noise(Some(NoiseConfig::symmetric(rms, 2_026)));
+        }
+        let noisy = monitor.measure_on(&mut pll);
+        let rel: Vec<f64> = noisy
+            .points
+            .iter()
+            .map(|p| p.delta_f_hz.abs() / noisy.points[0].delta_f_hz.abs())
+            .collect();
+        let err_db = |i: usize| 20.0 * (rel[i] / clean_rel[i]).log10();
+        let phase_err =
+            noisy.points[1].phase.phase_degrees - clean.points[1].phase.phase_degrees;
+        println!(
+            " {:>7.1} µs | {:>17.2} | {:>20.2} | {:>17.1}",
+            rms * 1e6,
+            err_db(1),
+            err_db(2),
+            phase_err
+        );
+    }
+    println!(
+        "\nshape check: negligible error at 1 µs RMS (0.1 % period jitter), a few dB\n\
+         through 5-50 µs as the peak-capture instant wanders, and collapse of the\n\
+         deeply-attenuated out-of-band points at 100 µs (10 %) where jitter-induced\n\
+         frequency noise dwarfs the residual modulation. The magnitude path (hold +\n\
+         reciprocal counter) outlives the phase path, whose MFREQ strobe rides on\n\
+         individual edges."
+    );
+}

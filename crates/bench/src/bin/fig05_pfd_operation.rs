@@ -1,0 +1,63 @@
+//! Regenerates **fig. 5**: the tri-state PFD's three regimes on the
+//! gate-level model — θi leads (wide UP pulses, DN glitches), θi lags
+//! (mirror image) and coincident edges (dead-zone glitch pairs only).
+
+use pllbist_digital::kernel::Circuit;
+use pllbist_digital::logic::Logic;
+use pllbist_digital::time::SimTime;
+use pllbist_sim::cosim::build_gate_pfd;
+
+fn run_case(skew_ns: i64, label: &str) {
+    let mut c = Circuit::new();
+    let r = c.input("ref", Logic::Low);
+    let f = c.input("fb", Logic::Low);
+    let (up, dn) = build_gate_pfd(&mut c, r, f, SimTime::from_nanos(2));
+    c.trace_net(up);
+    c.trace_net(dn);
+    let period = SimTime::from_micros(100);
+    let mut t = SimTime::from_micros(10);
+    for _ in 0..50 {
+        let (tr, tf) = if skew_ns >= 0 {
+            (t, t + SimTime::from_nanos(skew_ns as u64))
+        } else {
+            (t + SimTime::from_nanos((-skew_ns) as u64), t)
+        };
+        c.poke(r, Logic::High, tr);
+        c.poke(r, Logic::Low, tr + SimTime::from_micros(40));
+        c.poke(f, Logic::High, tf);
+        c.poke(f, Logic::Low, tf + SimTime::from_micros(40));
+        t += period;
+    }
+    c.run_until(t);
+    let stats = |net| {
+        let w = c.trace().high_pulse_widths(net);
+        let mean = if w.is_empty() {
+            0.0
+        } else {
+            w.iter().map(|x| x.as_secs_f64()).sum::<f64>() / w.len() as f64
+        };
+        (w.len(), mean * 1e9)
+    };
+    let (nu, wu) = stats(up);
+    let (nd, wd) = stats(dn);
+    println!(
+        " {label:<26} | {nu:>4} × {wu:>9.1} ns | {nd:>4} × {wd:>9.1} ns"
+    );
+}
+
+fn main() {
+    println!("fig. 5 — CP-PFD operation (gate-level, 2 ns gate delay)\n");
+    println!(" case                       | UP pulses (width)   | DN pulses (width)");
+    println!(" ---------------------------+---------------------+-------------------");
+    run_case(20_000, "θi leads by 20 µs");
+    run_case(2_000, "θi leads by 2 µs");
+    run_case(0, "coincident (dead zone)");
+    run_case(-2_000, "θi lags by 2 µs");
+    run_case(-20_000, "θi lags by 20 µs");
+    println!(
+        "\nshape checks: the leading input's pulse width equals the skew\n\
+         (+ reset path), the other side shows only ~4 ns dead-zone glitches;\n\
+         coincident edges leave glitches on both outputs — the pulses the\n\
+         fig. 7 sampling flip-flop is clocked from."
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates **fig. 10**: the theoretical magnitude and phase plots of
+//! the paper's eq. 4 with the (reconstructed) Table 3 parameters — plus
+//! the hold-referred response the BIST actually reads, so figs. 11/12 can
+//! be compared against the right curve.
+
+use pllbist_bench::{ascii_plot, bode_table, magnitude_series, phase_series};
+use pllbist_numeric::bode::BodePlot;
+use pllbist_sim::config::PllConfig;
+use std::f64::consts::TAU;
+
+fn main() {
+    let cfg = PllConfig::paper_table3();
+    let a = cfg.analysis();
+    let p = a.second_order().expect("second-order loop");
+    println!(
+        "fig. 10 — theoretical plots of eq. 4 (fn = {:.2} Hz, ζ = {:.3})\n",
+        p.natural_frequency_hz(),
+        p.damping
+    );
+
+    let full = a.bode(0.5, 100.0, 120);
+    let hold = BodePlot::sweep_log(
+        &a.hold_referred_transfer(),
+        0.5 * TAU,
+        100.0 * TAU,
+        120,
+    );
+
+    println!(
+        "{}",
+        ascii_plot(
+            &[
+                ("eq. 4 (full, divided output)", '*', magnitude_series(&full)),
+                ("hold-referred (BIST readout)", 'o', magnitude_series(&hold)),
+            ],
+            78,
+            16,
+            "|H| (dB) vs log10 f"
+        )
+    );
+    println!(
+        "{}",
+        ascii_plot(
+            &[
+                ("eq. 4 (full)", '*', phase_series(&full)),
+                ("hold-referred", 'o', phase_series(&hold)),
+            ],
+            78,
+            14,
+            "∠H (deg) vs log10 f"
+        )
+    );
+
+    let coarse = a.bode(0.5, 100.0, 15);
+    println!("{}", bode_table(&coarse, "eq. 4 response (table, full readout):"));
+
+    let peak = full.peak().expect("resonance");
+    println!(
+        "features: peak {:.2} dB at {:.2} Hz; phase at fn = {:.1}°; f3dB = {:.2} Hz",
+        peak.magnitude_db().value(),
+        peak.frequency().value(),
+        a.feedback_transfer().phase(p.omega_n).to_degrees(),
+        full.bandwidth_3db().unwrap_or(f64::NAN) / TAU
+    );
+    let hold_peak = hold.peak().expect("resonance");
+    println!(
+        "hold-referred: peak {:.2} dB at {:.2} Hz; phase at fn = −90° exactly",
+        hold_peak.magnitude_db().value(),
+        hold_peak.frequency().value(),
+    );
+}

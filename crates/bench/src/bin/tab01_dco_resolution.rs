@@ -1,0 +1,42 @@
+//! Regenerates **Table 1**: the DCO frequency-resolution relationship of
+//! eq. 2 — `F_res ≈ F_in_nom²/(F_ref + F_in_nom)` — including the row
+//! where the required deviation cannot be quantised at all ("it would not
+//! be possible to produce any quantisation of the frequency modulation
+//! without increasing F_ref").
+
+use pllbist::dco::resolution_table;
+
+fn main() {
+    println!("Table 1 — relationship between F_in_nom, F_ref and F_res\n");
+    println!(
+        " F_in_nom     | F_ref        | ΔF_max req.  | F_res (exact) | usable steps | feasible?"
+    );
+    println!(
+        " -------------+--------------+--------------+---------------+--------------+----------"
+    );
+    for row in resolution_table() {
+        println!(
+            " {:>12} | {:>12} | {:>12} | {:>13} | {:>12} | {}",
+            eng(row.f_in_nom_hz),
+            eng(row.f_ref_hz),
+            eng(row.f_max_dev_hz),
+            eng(row.f_res_hz),
+            row.usable_steps,
+            if row.usable_steps >= 2 { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\neq. 2's message: resolution worsens as F_in²/F_ref — the only\n\
+         levers are a lower input frequency or a faster master clock."
+    );
+}
+
+fn eng(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.3} MHz", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} kHz", v / 1e3)
+    } else {
+        format!("{v:.3} Hz")
+    }
+}

@@ -1,0 +1,158 @@
+//! Shared rendering helpers for the benchmark/regeneration harness.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md §4 for the index); the
+//! Criterion benches in `benches/` time the underlying computations.
+//! These helpers render Bode data as aligned text tables and quick ASCII
+//! plots so the regenerated figures are readable straight from a
+//! terminal or a CI log.
+
+use pllbist_numeric::bode::BodePlot;
+
+/// Renders a magnitude/phase table of a Bode plot.
+pub fn bode_table(plot: &BodePlot, title: &str) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    out.push_str(" f (Hz)     | mag (dB)  | phase (deg)\n");
+    out.push_str(" -----------+-----------+------------\n");
+    for p in plot.points() {
+        out.push_str(&format!(
+            " {:>10.3} | {:>9.2} | {:>10.1}\n",
+            p.frequency().value(),
+            p.magnitude_db().value(),
+            p.phase_degrees().value()
+        ));
+    }
+    out
+}
+
+/// Renders an ASCII line plot of `(x, y)` series (log-x assumed already
+/// applied by the caller if desired). Each series is drawn with its own
+/// glyph; the y-range is shared.
+pub fn ascii_plot(
+    series: &[(&str, char, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+    y_label: &str,
+) -> String {
+    assert!(width >= 16 && height >= 4, "plot too small");
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for (_, _, pts) in series {
+        for &(x, y) in pts {
+            if x.is_finite() && y.is_finite() {
+                xs.push(x);
+                ys.push(y);
+            }
+        }
+    }
+    if xs.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let (x_min, x_max) = bounds(&xs);
+    let (y_min, y_max) = bounds(&ys);
+    let mut grid = vec![vec![' '; width]; height];
+    for (_, glyph, pts) in series {
+        for &(x, y) in pts {
+            if !x.is_finite() || !y.is_finite() {
+                continue;
+            }
+            let col = scale(x, x_min, x_max, width - 1);
+            let row = height - 1 - scale(y, y_min, y_max, height - 1);
+            grid[row][col] = *glyph;
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{y_label}  [{y_min:.2} .. {y_max:.2}]\n"));
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("   x: [{x_min:.3} .. {x_max:.3}]   "));
+    for (name, glyph, _) in series {
+        out.push_str(&format!("{glyph}={name}  "));
+    }
+    out.push('\n');
+    out
+}
+
+fn bounds(v: &[f64]) -> (f64, f64) {
+    let lo = v.iter().copied().fold(f64::INFINITY, f64::min);
+    let hi = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if (hi - lo).abs() < 1e-12 {
+        (lo - 1.0, hi + 1.0)
+    } else {
+        (lo, hi)
+    }
+}
+
+fn scale(v: f64, lo: f64, hi: f64, max_idx: usize) -> usize {
+    (((v - lo) / (hi - lo)) * max_idx as f64)
+        .round()
+        .clamp(0.0, max_idx as f64) as usize
+}
+
+/// Bode plot → `(log10 f, magnitude dB)` series for [`ascii_plot`].
+pub fn magnitude_series(plot: &BodePlot) -> Vec<(f64, f64)> {
+    plot.points()
+        .iter()
+        .map(|p| (p.frequency().value().log10(), p.magnitude_db().value()))
+        .collect()
+}
+
+/// Bode plot → `(log10 f, phase deg)` series for [`ascii_plot`].
+pub fn phase_series(plot: &BodePlot) -> Vec<(f64, f64)> {
+    plot.points()
+        .iter()
+        .map(|p| (p.frequency().value().log10(), p.phase_degrees().value()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pllbist_numeric::tf::TransferFunction;
+
+    #[test]
+    fn table_renders_every_point() {
+        let h = TransferFunction::second_order_pll(50.0, 0.43);
+        let plot = BodePlot::sweep_log(&h, 1.0, 100.0, 5);
+        let t = bode_table(&plot, "test");
+        assert_eq!(t.lines().count(), 3 + 5);
+        assert!(t.contains("test"));
+    }
+
+    #[test]
+    fn ascii_plot_draws_all_series() {
+        let s1: Vec<(f64, f64)> = (0..20).map(|k| (k as f64, (k as f64).sin())).collect();
+        let s2: Vec<(f64, f64)> = (0..20).map(|k| (k as f64, (k as f64).cos())).collect();
+        let out = ascii_plot(
+            &[("sin", '*', s1), ("cos", 'o', s2)],
+            60,
+            12,
+            "amplitude",
+        );
+        assert!(out.contains('*') && out.contains('o'));
+        assert!(out.contains("sin") && out.contains("cos"));
+        assert_eq!(out.matches('\n').count(), 1 + 12 + 1 + 1);
+    }
+
+    #[test]
+    fn empty_series_handled() {
+        assert_eq!(ascii_plot(&[], 40, 8, "y"), "(no data)\n");
+    }
+
+    #[test]
+    fn series_extractors() {
+        let h = TransferFunction::gain(2.0);
+        let plot = BodePlot::sweep_log(&h, 1.0, 10.0, 3);
+        let m = magnitude_series(&plot);
+        assert_eq!(m.len(), 3);
+        assert!((m[0].1 - 6.0206).abs() < 1e-3);
+        assert_eq!(phase_series(&plot).len(), 3);
+    }
+}

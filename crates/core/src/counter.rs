@@ -1,0 +1,302 @@
+//! Response-capture counters (paper fig. 6).
+//!
+//! Two measurement counters sit behind the hold circuitry:
+//!
+//! * a **frequency counter** on the (divided) VCO output — implemented in
+//!   reciprocal mode, the standard practice for measuring a low frequency
+//!   quickly: count test-clock pulses over `K` cycles of the measured
+//!   signal, `f = K·f_clk / count`;
+//! * a **phase counter** — a time-interval counter clocked by the test
+//!   clock, started at the input-modulation peak and stopped by the
+//!   `MFREQ` peak-detect pulse; eq. 8 converts its count to degrees.
+//!
+//! Both models quantise honestly (±1 count), which is the real resolution
+//! floor of the method — the EXPERIMENTS.md error budget quotes these
+//! bounds.
+
+use pllbist_sim::behavioral::CpPll;
+
+/// A frequency reading with its raw counts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyReading {
+    /// Estimated frequency in Hz.
+    pub frequency_hz: f64,
+    /// Test-clock pulses counted in the gate window.
+    pub clock_count: u64,
+    /// Cycles of the measured signal forming the gate window.
+    pub gate_cycles: u64,
+    /// Worst-case quantisation error in Hz (±1 test-clock count).
+    pub resolution_hz: f64,
+}
+
+/// Reciprocal frequency counter.
+///
+/// # Example
+///
+/// ```
+/// use pllbist::counter::FrequencyCounter;
+///
+/// // 1 MHz test clock, gate over 100 cycles of the measured signal.
+/// let counter = FrequencyCounter::new(1.0e6, 100);
+/// // Measuring a 5 kHz signal: the gate is 20 ms → 20 000 clock pulses.
+/// let r = counter.reading_from_window(100.0 / 5_000.0);
+/// assert!((r.frequency_hz - 5_000.0).abs() < r.resolution_hz);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FrequencyCounter {
+    f_clock_hz: f64,
+    gate_cycles: u64,
+}
+
+impl FrequencyCounter {
+    /// Creates a counter with the given test clock and gate length.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the clock is positive/finite and `gate_cycles ≥ 1`.
+    pub fn new(f_clock_hz: f64, gate_cycles: u64) -> Self {
+        assert!(
+            f_clock_hz > 0.0 && f_clock_hz.is_finite(),
+            "test clock must be positive"
+        );
+        assert!(gate_cycles >= 1, "gate must span at least one cycle");
+        Self {
+            f_clock_hz,
+            gate_cycles,
+        }
+    }
+
+    /// The test-clock frequency in Hz.
+    pub fn f_clock_hz(&self) -> f64 {
+        self.f_clock_hz
+    }
+
+    /// The gate length in measured-signal cycles.
+    pub fn gate_cycles(&self) -> u64 {
+        self.gate_cycles
+    }
+
+    /// Converts a measured gate window (the duration of `gate_cycles`
+    /// cycles of the signal) into a quantised frequency reading.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is not positive and finite.
+    pub fn reading_from_window(&self, window_secs: f64) -> FrequencyReading {
+        assert!(
+            window_secs > 0.0 && window_secs.is_finite(),
+            "gate window must be positive"
+        );
+        // The counter sees an integer number of clock pulses.
+        let clock_count = (window_secs * self.f_clock_hz).floor().max(1.0) as u64;
+        let frequency_hz = self.gate_cycles as f64 * self.f_clock_hz / clock_count as f64;
+        // df/f = dcount/count for ±1 count.
+        let resolution_hz = frequency_hz / clock_count as f64;
+        FrequencyReading {
+            frequency_hz,
+            clock_count,
+            gate_cycles: self.gate_cycles,
+            resolution_hz,
+        }
+    }
+
+    /// Measures the **held** VCO frequency through the feedback-divider
+    /// tap: advances the simulation until `gate_cycles` divided-output
+    /// cycles have elapsed and reads the window with the test clock.
+    ///
+    /// `divided` selects the tap point of fig. 6: `true` counts the
+    /// feedback (divided) signal, `false` the full-rate VCO output.
+    ///
+    /// Like any real counter, the gate carries a timeout (100× the
+    /// expected window plus one second): a stalled device — e.g. a gross
+    /// leakage fault drooping the held VCO towards zero — produces a
+    /// reading from the cycles actually seen instead of hanging the test.
+    pub fn measure(&self, pll: &mut CpPll, divided: bool) -> FrequencyReading {
+        let n = pll.config().divider_n as f64;
+        let cycles_per_gate_cycle = if divided { n } else { 1.0 };
+        let start_phase = pll.vco_phase_cycles();
+        let start_t = pll.time();
+        let target = start_phase + self.gate_cycles as f64 * cycles_per_gate_cycle;
+        // Advance in chunks until the phase target is reached; the engine
+        // lands exactly on feedback edges, so interpolate the final
+        // crossing linearly within the last chunk (sub-ps accurate at the
+        // held, constant frequency).
+        let f_est = pll.vco_frequency_hz().max(1.0);
+        let expected_window = (target - start_phase) / f_est;
+        let deadline = start_t + 100.0 * expected_window + 1.0;
+        let mut t_hi = start_t;
+        while pll.vco_phase_cycles() < target && pll.time() < deadline {
+            t_hi += (target - pll.vco_phase_cycles()) / pll.vco_frequency_hz().max(1.0) + 1e-9;
+            pll.advance_to(t_hi.min(deadline));
+        }
+        if pll.vco_phase_cycles() < target {
+            // Gate timeout: report what was actually counted.
+            let window = pll.time() - start_t;
+            let seen_gate_cycles =
+                ((pll.vco_phase_cycles() - start_phase) / cycles_per_gate_cycle).floor();
+            let clock_count = (window * self.f_clock_hz).floor().max(1.0) as u64;
+            let frequency_hz =
+                seen_gate_cycles.max(0.0) * cycles_per_gate_cycle * self.f_clock_hz
+                    / clock_count as f64
+                    / cycles_per_gate_cycle;
+            return FrequencyReading {
+                frequency_hz,
+                clock_count,
+                gate_cycles: seen_gate_cycles as u64,
+                resolution_hz: frequency_hz.max(1.0) / clock_count as f64,
+            };
+        }
+        // Linear interpolation back to the exact crossing.
+        let overshoot_cycles = pll.vco_phase_cycles() - target;
+        let window = (pll.time() - start_t) - overshoot_cycles / pll.vco_frequency_hz().max(1.0);
+        self.reading_from_window(window)
+    }
+}
+
+/// Phase (time-interval) counter: counts test-clock pulses between a start
+/// and a stop event (paper fig. 6 "Phase Counter", eq. 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseCounter {
+    f_clock_hz: f64,
+}
+
+/// A phase reading with its raw count.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseReading {
+    /// Phase delay in degrees (positive count ⇒ output peak after input
+    /// peak ⇒ reported as a **lag**, i.e. negative phase).
+    pub phase_degrees: f64,
+    /// Raw pulse count N of eq. 8.
+    pub pulse_count: u64,
+    /// Quantisation granularity in degrees (one clock period).
+    pub resolution_degrees: f64,
+}
+
+impl PhaseCounter {
+    /// Creates a phase counter on the given test clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the clock is positive and finite.
+    pub fn new(f_clock_hz: f64) -> Self {
+        assert!(
+            f_clock_hz > 0.0 && f_clock_hz.is_finite(),
+            "test clock must be positive"
+        );
+        Self { f_clock_hz }
+    }
+
+    /// The test-clock frequency in Hz.
+    pub fn f_clock_hz(&self) -> f64 {
+        self.f_clock_hz
+    }
+
+    /// Converts a start/stop interval into eq. 8's phase delay:
+    /// `Δφ = 360 · T_clk · N / T_mod` degrees, reported negative (lag).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stop < start` or `t_mod` is not positive.
+    pub fn reading(&self, start: f64, stop: f64, t_mod: f64) -> PhaseReading {
+        assert!(stop >= start, "stop must not precede start");
+        assert!(t_mod > 0.0 && t_mod.is_finite(), "modulation period must be positive");
+        let pulse_count = ((stop - start) * self.f_clock_hz).floor() as u64;
+        let degrees_per_count = 360.0 / (t_mod * self.f_clock_hz);
+        PhaseReading {
+            phase_degrees: -(pulse_count as f64) * degrees_per_count,
+            pulse_count,
+            resolution_degrees: degrees_per_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pllbist_sim::config::PllConfig;
+
+    #[test]
+    fn reciprocal_reading_resolution() {
+        let c = FrequencyCounter::new(1e6, 100);
+        // 5 kHz: window 20 ms, 20 000 counts, resolution 0.25 Hz.
+        let r = c.reading_from_window(0.02);
+        assert_eq!(r.clock_count, 20_000);
+        assert!((r.frequency_hz - 5_000.0).abs() < 1e-9);
+        assert!((r.resolution_hz - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantisation_floor_is_visible() {
+        let c = FrequencyCounter::new(1e6, 10);
+        // Window of 10 cycles at 5000.3 Hz: 1999.88 ms·kHz → floor.
+        let true_f = 5_000.3;
+        let r = c.reading_from_window(10.0 / true_f);
+        assert!((r.frequency_hz - true_f).abs() <= r.resolution_hz * 1.5);
+        assert!(r.resolution_hz > 1.0, "short gate ⇒ coarse ({} Hz)", r.resolution_hz);
+    }
+
+    #[test]
+    fn longer_gate_refines_resolution() {
+        let short = FrequencyCounter::new(1e6, 10).reading_from_window(10.0 / 5e3);
+        let long = FrequencyCounter::new(1e6, 1000).reading_from_window(1000.0 / 5e3);
+        assert!(long.resolution_hz < short.resolution_hz / 50.0);
+    }
+
+    #[test]
+    fn measure_held_vco_frequency() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = pllbist_sim::behavioral::CpPll::new_locked(&cfg);
+        pll.advance_to(0.5);
+        pll.set_hold(true);
+        let f_true = pll.vco_frequency_hz();
+        let counter = FrequencyCounter::new(1e6, 200);
+        let r = counter.measure(&mut pll, false);
+        assert!(
+            (r.frequency_hz - f_true).abs() <= 2.0 * r.resolution_hz,
+            "{} vs {f_true} (±{})",
+            r.frequency_hz,
+            r.resolution_hz
+        );
+    }
+
+    #[test]
+    fn divided_tap_measures_reference_rate() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = pllbist_sim::behavioral::CpPll::new_locked(&cfg);
+        pll.advance_to(0.5);
+        pll.set_hold(true);
+        let counter = FrequencyCounter::new(1e6, 50);
+        let r = counter.measure(&mut pll, true);
+        assert!((r.frequency_hz - 1_000.0).abs() < 1.0, "{}", r.frequency_hz);
+    }
+
+    #[test]
+    fn phase_reading_eq8() {
+        let pc = PhaseCounter::new(1e6);
+        // Modulation 8 Hz (T = 125 ms); delay of 16 ms ⇒ 46.08°.
+        let r = pc.reading(1.0, 1.016, 0.125);
+        assert_eq!(r.pulse_count, 16_000);
+        assert!((r.phase_degrees + 46.08).abs() < 1e-9);
+        assert!((r.resolution_degrees - 360.0 / 125_000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn phase_reading_zero_interval() {
+        let pc = PhaseCounter::new(1e6);
+        let r = pc.reading(2.0, 2.0, 0.1);
+        assert_eq!(r.pulse_count, 0);
+        assert_eq!(r.phase_degrees, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop must not precede start")]
+    fn inverted_interval_rejected() {
+        let _ = PhaseCounter::new(1e6).reading(2.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate must span")]
+    fn zero_gate_rejected() {
+        let _ = FrequencyCounter::new(1e6, 0);
+    }
+}

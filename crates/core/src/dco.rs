@@ -1,0 +1,360 @@
+//! The DCO stimulus generator (paper §3, fig. 4).
+//!
+//! On chip, the sinusoidally frequency-modulated reference is approximated
+//! by a **digitally controlled oscillator**: a ring counter divides a
+//! master clock `F_ref` down to a set of tones near the nominal input
+//! frequency, and a mux steps through them under control of a switching
+//! sequence. The achievable tone spacing is limited (eq. 2):
+//!
+//! ```text
+//! F_res ≈ F_in_nom² / (F_ref + F_in_nom)
+//! ```
+//!
+//! — eq. 2's message being that the only levers are a lower nominal input
+//! frequency or a faster master clock (Table 1, reproduced by
+//! [`resolution_table`]).
+
+use pllbist_sim::stimulus::FmStimulus;
+use std::f64::consts::TAU;
+
+/// A divider-based DCO design: one master clock, a programmable integer
+/// divider (the ring counter + output decode of fig. 4).
+///
+/// # Example
+///
+/// The paper's set-up: 1 MHz master, 1 kHz nominal output — 10 usable FM
+/// steps inside a ±10 Hz deviation:
+///
+/// ```
+/// use pllbist::dco::DcoDesign;
+///
+/// let dco = DcoDesign::new(1_000_000.0, 1_000.0);
+/// assert!((dco.resolution_hz() - 1.0).abs() < 0.01);
+/// let tones = dco.tone_grid(10.0);
+/// assert!(tones.len() >= 20, "{} tones within ±10 Hz", tones.len());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DcoDesign {
+    f_master_hz: f64,
+    f_nominal_hz: f64,
+}
+
+/// One synthesisable DCO tone.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DcoTone {
+    /// Divider modulus producing the tone.
+    pub modulus: u64,
+    /// Exact output frequency `f_master / modulus` in Hz.
+    pub frequency_hz: f64,
+    /// Deviation from the nominal output frequency in Hz.
+    pub deviation_hz: f64,
+}
+
+impl DcoDesign {
+    /// Creates a design from the master clock and the desired nominal
+    /// output frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < f_nominal < f_master` and both are finite.
+    pub fn new(f_master_hz: f64, f_nominal_hz: f64) -> Self {
+        assert!(
+            f_master_hz.is_finite() && f_nominal_hz.is_finite(),
+            "frequencies must be finite"
+        );
+        assert!(
+            0.0 < f_nominal_hz && f_nominal_hz < f_master_hz,
+            "must satisfy 0 < f_nominal < f_master"
+        );
+        Self {
+            f_master_hz,
+            f_nominal_hz,
+        }
+    }
+
+    /// Master clock frequency in Hz.
+    pub fn f_master_hz(&self) -> f64 {
+        self.f_master_hz
+    }
+
+    /// Requested nominal output frequency in Hz.
+    pub fn f_nominal_hz(&self) -> f64 {
+        self.f_nominal_hz
+    }
+
+    /// The nominal divider modulus `round(F_ref / F_in_nom)`.
+    pub fn nominal_modulus(&self) -> u64 {
+        (self.f_master_hz / self.f_nominal_hz).round().max(1.0) as u64
+    }
+
+    /// The exact nominal tone the divider grid actually produces.
+    pub fn nominal_tone(&self) -> DcoTone {
+        self.tone(self.nominal_modulus())
+    }
+
+    /// The tone for a specific modulus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus` is zero.
+    pub fn tone(&self, modulus: u64) -> DcoTone {
+        assert!(modulus >= 1, "modulus must be at least 1");
+        let f = self.f_master_hz / modulus as f64;
+        DcoTone {
+            modulus,
+            frequency_hz: f,
+            deviation_hz: f - self.nominal_tone_frequency(),
+        }
+    }
+
+    fn nominal_tone_frequency(&self) -> f64 {
+        self.f_master_hz / self.nominal_modulus() as f64
+    }
+
+    /// The frequency resolution near nominal (eq. 2): the spacing between
+    /// adjacent divider tones, `F_ref/(k−1) − F_ref/k ≈ F_in²/F_ref`.
+    pub fn resolution_hz(&self) -> f64 {
+        let k = self.nominal_modulus();
+        if k <= 1 {
+            return f64::INFINITY;
+        }
+        self.f_master_hz / (k - 1) as f64 - self.f_master_hz / k as f64
+    }
+
+    /// The closed-form approximation of eq. 2,
+    /// `F_res ≈ F_in_nom²/(F_ref + F_in_nom)`; agrees with
+    /// [`DcoDesign::resolution_hz`] to first order.
+    pub fn resolution_eq2_hz(&self) -> f64 {
+        self.f_nominal_hz * self.f_nominal_hz / (self.f_master_hz + self.f_nominal_hz)
+    }
+
+    /// Number of distinct tones available within `±deviation_hz` of the
+    /// nominal tone (excluding the nominal tone itself).
+    pub fn tones_within(&self, deviation_hz: f64) -> usize {
+        self.tone_grid(deviation_hz).len()
+    }
+
+    /// `true` when the grid offers at least `steps` distinct deviation
+    /// levels inside `±deviation_hz` — the feasibility criterion of
+    /// Table 1 (the 10 MHz-input row fails it).
+    pub fn supports_steps(&self, deviation_hz: f64, steps: usize) -> bool {
+        self.tone_grid(deviation_hz).len() >= steps
+    }
+
+    /// All divider tones with |deviation| ≤ `deviation_hz`, sorted by
+    /// frequency (ascending).
+    pub fn tone_grid(&self, deviation_hz: f64) -> Vec<DcoTone> {
+        assert!(deviation_hz > 0.0, "deviation must be positive");
+        let f0 = self.nominal_tone_frequency();
+        let k_lo = (self.f_master_hz / (f0 + deviation_hz)).ceil() as u64;
+        let k_hi = (self.f_master_hz / (f0 - deviation_hz).max(1e-12)).floor() as u64;
+        (k_lo.max(1)..=k_hi).rev().map(|k| self.tone(k)).collect()
+    }
+
+    /// Builds the multi-tone FSK stimulus of fig. 4: `steps` dwell slots
+    /// per modulation period, each parked on the divider tone **nearest**
+    /// to the ideal sine sample — i.e. the sine approximation *after* DCO
+    /// quantisation. Returns the stimulus and the tone schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2` or the requested deviation cannot be
+    /// represented at all (resolution coarser than the deviation, the
+    /// infeasible Table 1 case).
+    pub fn quantized_multi_tone(
+        &self,
+        deviation_hz: f64,
+        f_mod_hz: f64,
+        steps: usize,
+    ) -> (FmStimulus, Vec<DcoTone>) {
+        assert!(steps >= 2, "need at least two FSK steps");
+        assert!(
+            self.supports_steps(deviation_hz, 2),
+            "DCO resolution {:.3} Hz cannot quantise a ±{deviation_hz} Hz deviation \
+             (the infeasible case of Table 1)",
+            self.resolution_hz()
+        );
+        let schedule: Vec<DcoTone> = (0..steps)
+            .map(|k| {
+                let ideal = deviation_hz * (TAU * (k as f64 + 0.5) / steps as f64).sin();
+                self.nearest_tone(ideal)
+            })
+            .collect();
+        let levels: Vec<f64> = schedule.iter().map(|t| t.deviation_hz).collect();
+        (
+            FmStimulus::staircase(self.nominal_tone_frequency(), levels, f_mod_hz),
+            schedule,
+        )
+    }
+
+    /// The divider tone whose deviation is nearest to `deviation_hz`.
+    pub fn nearest_tone(&self, deviation_hz: f64) -> DcoTone {
+        let target = self.nominal_tone_frequency() + deviation_hz;
+        let k = (self.f_master_hz / target).round().max(1.0) as u64;
+        // The rounding in divider space is not exactly the rounding in
+        // frequency space; check the neighbours.
+        [k.saturating_sub(1).max(1), k, k + 1]
+            .into_iter()
+            .map(|m| self.tone(m))
+            .min_by(|a, b| {
+                (a.frequency_hz - target)
+                    .abs()
+                    .total_cmp(&(b.frequency_hz - target).abs())
+            })
+            .expect("candidate list is non-empty")
+    }
+}
+
+/// One row of the paper's Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResolutionRow {
+    /// Nominal input frequency in Hz.
+    pub f_in_nom_hz: f64,
+    /// Master reference in Hz.
+    pub f_ref_hz: f64,
+    /// Requested maximum deviation in Hz.
+    pub f_max_dev_hz: f64,
+    /// Resulting resolution in Hz (eq. 2).
+    pub f_res_hz: f64,
+    /// Usable FM steps inside ±f_max (0 ⇒ infeasible).
+    pub usable_steps: usize,
+}
+
+/// Regenerates the paper's Table 1: the relationship between `F_in_nom`,
+/// `F_ref` and `F_res`, including the infeasible high-input-frequency row
+/// ("it would not be possible to produce any quantisation of the frequency
+/// modulation without increasing F_ref").
+pub fn resolution_table() -> Vec<ResolutionRow> {
+    let cases = [
+        // (f_in_nom, f_ref, f_max_dev): the paper's operating point, a
+        // mid-range point, and the infeasible 10 MHz row.
+        (1e3, 1e6, 10.0),
+        (10e3, 1e6, 100.0),
+        (100e3, 10e6, 1e3),
+        (10e6, 100e6, 100e3),
+        (10e6, 1e6 * 99.0, 99.0), // the paper's "Fres = 99" style row: dev below resolution
+    ];
+    cases
+        .iter()
+        .map(|&(f_in, f_ref, f_dev)| {
+            let dco = DcoDesign::new(f_ref, f_in);
+            ResolutionRow {
+                f_in_nom_hz: f_in,
+                f_ref_hz: f_ref,
+                f_max_dev_hz: f_dev,
+                f_res_hz: dco.resolution_hz(),
+                usable_steps: dco.tones_within(f_dev),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_dco() -> DcoDesign {
+        DcoDesign::new(1e6, 1e3)
+    }
+
+    #[test]
+    fn nominal_modulus_and_tone() {
+        let d = paper_dco();
+        assert_eq!(d.nominal_modulus(), 1000);
+        let t = d.nominal_tone();
+        assert_eq!(t.modulus, 1000);
+        assert!((t.frequency_hz - 1000.0).abs() < 1e-12);
+        assert_eq!(t.deviation_hz, 0.0);
+    }
+
+    #[test]
+    fn resolution_matches_eq2() {
+        let d = paper_dco();
+        // Exact: 1e6/999 − 1e6/1000 ≈ 1.001 Hz; eq. 2: 1e6/(1e6+1e3) ≈ 0.999.
+        assert!((d.resolution_hz() - 1.001).abs() < 0.001);
+        assert!((d.resolution_eq2_hz() - 0.999).abs() < 0.001);
+        assert!((d.resolution_hz() - d.resolution_eq2_hz()).abs() / d.resolution_hz() < 0.01);
+    }
+
+    #[test]
+    fn tone_grid_spans_the_deviation() {
+        let d = paper_dco();
+        let grid = d.tone_grid(10.0);
+        // ±10 Hz at ~1 Hz spacing: about 20 tones.
+        assert!((18..=22).contains(&grid.len()), "{} tones", grid.len());
+        assert!(grid.windows(2).all(|w| w[0].frequency_hz < w[1].frequency_hz));
+        for t in &grid {
+            assert!(t.deviation_hz.abs() <= 10.0 + 1e-9);
+            assert!((t.frequency_hz - 1e6 / t.modulus as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn infeasible_case_detected() {
+        // Table 1's bad row: 10 MHz from a 100 MHz master → 1 MHz-ish
+        // resolution, deviation 100 kHz cannot be quantised.
+        let d = DcoDesign::new(100e6, 10e6);
+        assert!(d.resolution_hz() > 0.9e6);
+        assert!(!d.supports_steps(100e3, 2));
+    }
+
+    #[test]
+    fn nearest_tone_is_optimal() {
+        let d = paper_dco();
+        for dev in [-9.7, -3.2, 0.4, 2.9, 9.9] {
+            let t = d.nearest_tone(dev);
+            // No neighbouring modulus does better.
+            for m in [t.modulus - 1, t.modulus + 1] {
+                let other = d.tone(m);
+                assert!(
+                    (t.deviation_hz - dev).abs() <= (other.deviation_hz - dev).abs() + 1e-12,
+                    "dev {dev}: {t:?} vs {other:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_multi_tone_tracks_the_sine() {
+        let d = paper_dco();
+        let (stim, schedule) = d.quantized_multi_tone(10.0, 4.0, 10);
+        assert_eq!(schedule.len(), 10);
+        // Quantisation error bounded by half the resolution.
+        for (k, tone) in schedule.iter().enumerate() {
+            let ideal = 10.0 * (TAU * (k as f64 + 0.5) / 10.0).sin();
+            assert!(
+                (tone.deviation_hz - ideal).abs() <= d.resolution_hz() / 2.0 + 1e-9,
+                "step {k}: {} vs {ideal}",
+                tone.deviation_hz
+            );
+        }
+        assert!((stim.peak_deviation_hz() - 10.0).abs() < d.resolution_hz());
+        assert_eq!(stim.f_mod_hz(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "infeasible case of Table 1")]
+    fn quantized_multi_tone_rejects_infeasible() {
+        let d = DcoDesign::new(100e6, 10e6);
+        let _ = d.quantized_multi_tone(100e3, 100.0, 10);
+    }
+
+    #[test]
+    fn resolution_table_reproduces_paper_shape() {
+        let rows = resolution_table();
+        assert!(rows.len() >= 4);
+        // The paper's operating point is feasible with ≥10 steps…
+        assert!(rows[0].usable_steps >= 10);
+        // …and the high-input-frequency row is infeasible.
+        let infeasible = rows.iter().filter(|r| r.usable_steps < 2).count();
+        assert!(infeasible >= 1, "at least one infeasible row");
+        // Resolution worsens quadratically with input frequency (eq. 2).
+        assert!(rows[1].f_res_hz > 50.0 * rows[0].f_res_hz);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < f_nominal < f_master")]
+    fn inverted_frequencies_rejected() {
+        let _ = DcoDesign::new(1e3, 1e6);
+    }
+}

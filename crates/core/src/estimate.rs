@@ -1,0 +1,380 @@
+//! Parameter extraction and the go/no-go comparator.
+//!
+//! The paper's motivation (§2): the peak frequency `ωp ≈ ωn`, the peak
+//! height above the 0 dB asymptote (→ ζ) and the −3 dB bandwidth can all
+//! be read from the measured closed-loop plot and "relate directly to the
+//! time domain response of the PLL". This module inverts the canonical
+//! high-gain second-order model
+//!
+//! ```text
+//! H(s) = (2ζωn·s + ωn²) / (s² + 2ζωn·s + ωn²)
+//! ```
+//!
+//! to turn the measured plot features into (ωn, ζ, ω3dB), and compares
+//! them against on-chip limits for a full BIST pass/fail verdict.
+
+use pllbist_numeric::bode::BodePlot;
+use pllbist_numeric::rootfind::brent;
+use pllbist_numeric::tf::TransferFunction;
+use std::fmt;
+
+/// Which closed-loop response family the measured plot follows.
+///
+/// The full divided-output response carries the stabilising zero
+/// ([`ResponseModel::WithZero`]); the hold-and-count BIST reads the
+/// capacitor state, whose response is the classical no-zero second order
+/// ([`ResponseModel::NoZero`], closed-form invertible) — see
+/// `LoopAnalysis::hold_referred_transfer` in `pllbist-sim`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ResponseModel {
+    /// `H(s) = (2ζωn·s + ωn²)/(s² + 2ζωn·s + ωn²)`.
+    WithZero,
+    /// `H(s) = ωn²/(s² + 2ζωn·s + ωn²)` — the hold-readout family.
+    #[default]
+    NoZero,
+}
+
+/// Peak magnitude (linear) of the canonical second-order PLL response for
+/// a given damping — found by golden-section search on the model.
+pub fn model_peak_magnitude(zeta: f64) -> f64 {
+    assert!(zeta > 0.0, "damping must be positive");
+    let h = TransferFunction::second_order_pll(1.0, zeta);
+    golden_max(|w| h.magnitude(w), 0.05, 20.0)
+}
+
+/// Frequency (in units of ωn) where the canonical model peaks.
+pub fn model_peak_frequency_ratio(zeta: f64) -> f64 {
+    assert!(zeta > 0.0, "damping must be positive");
+    let h = TransferFunction::second_order_pll(1.0, zeta);
+    golden_argmax(|w| h.magnitude(w), 0.05, 20.0)
+}
+
+fn golden_section(f: &dyn Fn(f64) -> f64, mut a: f64, mut b: f64) -> (f64, f64) {
+    let phi = (5f64.sqrt() - 1.0) / 2.0;
+    let mut c = b - phi * (b - a);
+    let mut d = a + phi * (b - a);
+    let (mut fc, mut fd) = (f(c), f(d));
+    for _ in 0..200 {
+        if (b - a).abs() < 1e-12 * b.abs().max(1.0) {
+            break;
+        }
+        if fc > fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - phi * (b - a);
+            fc = f(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + phi * (b - a);
+            fd = f(d);
+        }
+    }
+    let x = 0.5 * (a + b);
+    (x, f(x))
+}
+
+fn golden_max(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    golden_section(&f, a, b).1
+}
+
+fn golden_argmax(f: impl Fn(f64) -> f64, a: f64, b: f64) -> f64 {
+    golden_section(&f, a, b).0
+}
+
+/// Inverts the peak height of the canonical with-zero model into a
+/// damping estimate. Valid for peaks between ~0.05 dB (ζ ≈ 2) and ~14 dB
+/// (ζ ≈ 0.1); returns `None` outside the invertible range.
+pub fn damping_from_peak_db(peak_db: f64) -> Option<f64> {
+    let target = 10f64.powf(peak_db / 20.0);
+    // model_peak_magnitude is monotone decreasing in ζ on [0.08, 3].
+    let lo = 0.08;
+    let hi = 3.0;
+    let f = |z: f64| model_peak_magnitude(z) - target;
+    if f(lo) < 0.0 || f(hi) > 0.0 {
+        return None;
+    }
+    brent(f, lo, hi, 1e-9, 200).ok()
+}
+
+/// Closed-form inversion for the **no-zero** model:
+/// `Mp = 1/(2ζ√(1−ζ²))` for ζ < 1/√2; returns `None` for peaks ≤ 0 dB
+/// (overdamped — no resonance to invert).
+pub fn damping_from_peak_db_no_zero(peak_db: f64) -> Option<f64> {
+    let mp = 10f64.powf(peak_db / 20.0);
+    if mp <= 1.0 {
+        return None;
+    }
+    // 4ζ²(1−ζ²) = 1/Mp² → ζ² = (1 − √(1 − 1/Mp²)) / 2 (resonant branch).
+    let discr = 1.0 - 1.0 / (mp * mp);
+    let zeta_sq = (1.0 - discr.sqrt()) / 2.0;
+    Some(zeta_sq.sqrt())
+}
+
+/// Peak-frequency ratio `ωp/ωn = √(1 − 2ζ²)` of the no-zero model
+/// (1.0 when ζ ≥ 1/√2, where no interior peak exists).
+pub fn peak_frequency_ratio_no_zero(zeta: f64) -> f64 {
+    let x = 1.0 - 2.0 * zeta * zeta;
+    if x <= 0.0 {
+        1.0
+    } else {
+        x.sqrt()
+    }
+}
+
+/// Parameters extracted from a measured (referenced) Bode plot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ParameterEstimate {
+    /// Natural frequency in Hz, corrected for the peak-vs-ωn offset of the
+    /// canonical model; `None` when no interior peak exists.
+    pub natural_frequency_hz: Option<f64>,
+    /// Damping ζ from the peak height; `None` when the peak is outside the
+    /// invertible range.
+    pub damping: Option<f64>,
+    /// −3 dB bandwidth in Hz (relative to the first-point reference).
+    pub f_3db_hz: Option<f64>,
+    /// Measured peak height in dB above the first (in-band) point.
+    pub peak_db: Option<f64>,
+}
+
+impl ParameterEstimate {
+    /// Extracts the estimate from a measured plot using the no-zero
+    /// (hold-readout) model — the right family for the paper's
+    /// hold-and-count monitor. The plot is referenced to its first point
+    /// internally (eq. 7's normalisation).
+    pub fn from_plot(plot: &BodePlot) -> Self {
+        Self::from_plot_with_model(plot, ResponseModel::NoZero)
+    }
+
+    /// Extracts the estimate with an explicit response family.
+    pub fn from_plot_with_model(plot: &BodePlot, model: ResponseModel) -> Self {
+        let Some(referenced) = plot.referenced_to_first() else {
+            return Self {
+                natural_frequency_hz: None,
+                damping: None,
+                f_3db_hz: None,
+                peak_db: None,
+            };
+        };
+        let peak = referenced.peak();
+        let peak_db = peak.map(|p| p.magnitude_db().value());
+        let damping = peak_db.and_then(|db| match model {
+            ResponseModel::WithZero => damping_from_peak_db(db),
+            ResponseModel::NoZero => damping_from_peak_db_no_zero(db),
+        });
+        let natural_frequency_hz = match (peak, damping) {
+            (Some(p), Some(z)) => {
+                let ratio = match model {
+                    ResponseModel::WithZero => model_peak_frequency_ratio(z),
+                    ResponseModel::NoZero => peak_frequency_ratio_no_zero(z),
+                };
+                Some(p.omega / ratio / std::f64::consts::TAU)
+            }
+            (Some(p), None) => Some(p.omega / std::f64::consts::TAU),
+            _ => None,
+        };
+        let f_3db_hz = referenced
+            .bandwidth_3db()
+            .map(|w| w / std::f64::consts::TAU);
+        Self {
+            natural_frequency_hz,
+            damping,
+            f_3db_hz,
+            peak_db,
+        }
+    }
+}
+
+/// Acceptance limits for the BIST verdict.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LimitComparator {
+    /// Allowed natural-frequency band in Hz.
+    pub fn_hz: (f64, f64),
+    /// Allowed damping band.
+    pub damping: (f64, f64),
+}
+
+impl LimitComparator {
+    /// Limits centred on a golden design with relative tolerances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tolerances are not in `(0, 1)`.
+    pub fn around(fn_hz: f64, damping: f64, rel_tol: f64) -> Self {
+        assert!(rel_tol > 0.0 && rel_tol < 1.0, "tolerance must be in (0,1)");
+        Self {
+            fn_hz: (fn_hz * (1.0 - rel_tol), fn_hz * (1.0 + rel_tol)),
+            damping: (damping * (1.0 - rel_tol), damping * (1.0 + rel_tol)),
+        }
+    }
+
+    /// Compares an estimate against the limits.
+    pub fn judge(&self, estimate: &ParameterEstimate) -> BistVerdict {
+        let mut violations = Vec::new();
+        match estimate.natural_frequency_hz {
+            Some(f) if f >= self.fn_hz.0 && f <= self.fn_hz.1 => {}
+            Some(f) => violations.push(format!(
+                "natural frequency {f:.2} Hz outside [{:.2}, {:.2}] Hz",
+                self.fn_hz.0, self.fn_hz.1
+            )),
+            None => violations.push("no resonance peak found".to_string()),
+        }
+        match estimate.damping {
+            Some(z) if z >= self.damping.0 && z <= self.damping.1 => {}
+            Some(z) => violations.push(format!(
+                "damping {z:.3} outside [{:.3}, {:.3}]",
+                self.damping.0, self.damping.1
+            )),
+            None => violations.push("damping not extractable from peak".to_string()),
+        }
+        BistVerdict {
+            pass: violations.is_empty(),
+            violations,
+        }
+    }
+}
+
+/// Pass/fail with the reasons for failure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BistVerdict {
+    /// `true` when every parameter is within limits.
+    pub pass: bool,
+    /// Human-readable limit violations (empty on pass).
+    pub violations: Vec<String>,
+}
+
+impl fmt::Display for BistVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.pass {
+            write!(f, "PASS")
+        } else {
+            write!(f, "FAIL: {}", self.violations.join("; "))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pllbist_numeric::bode::BodePlot;
+    use pllbist_numeric::tf::TransferFunction;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn model_peak_monotone_in_damping() {
+        let peaks: Vec<f64> = [0.2, 0.3, 0.43, 0.7, 1.0]
+            .iter()
+            .map(|&z| model_peak_magnitude(z))
+            .collect();
+        assert!(peaks.windows(2).all(|w| w[0] > w[1]), "{peaks:?}");
+        // ζ = 0.43 peaks ~4 dB in the canonical (zero at ωn/2ζ) model.
+        let db = 20.0 * model_peak_magnitude(0.43).log10();
+        assert!(db > 3.0 && db < 5.0, "{db} dB");
+    }
+
+    #[test]
+    fn damping_round_trip() {
+        for z in [0.2, 0.43, 0.7, 1.2] {
+            let peak_db = 20.0 * model_peak_magnitude(z).log10();
+            let back = damping_from_peak_db(peak_db).unwrap();
+            assert!((back - z).abs() < 1e-6, "{z} → {back}");
+        }
+    }
+
+    #[test]
+    fn damping_out_of_range_rejected() {
+        assert!(damping_from_peak_db(40.0).is_none());
+        assert!(damping_from_peak_db(-1.0).is_none());
+        assert!(damping_from_peak_db_no_zero(-0.5).is_none());
+    }
+
+    #[test]
+    fn no_zero_closed_forms_round_trip() {
+        for z in [0.2f64, 0.43, 0.6] {
+            // Analytic peak of the no-zero model.
+            let mp = 1.0 / (2.0 * z * (1.0 - z * z).sqrt());
+            let db = 20.0 * mp.log10();
+            let back = damping_from_peak_db_no_zero(db).unwrap();
+            assert!((back - z).abs() < 1e-12, "{z} vs {back}");
+            let ratio = peak_frequency_ratio_no_zero(z);
+            assert!((ratio - (1.0f64 - 2.0 * z * z).sqrt()).abs() < 1e-15);
+        }
+        assert_eq!(peak_frequency_ratio_no_zero(0.9), 1.0);
+    }
+
+    #[test]
+    fn no_zero_estimate_recovers_parameters() {
+        let (wn, z) = (50.0, 0.43);
+        let h = TransferFunction::new(
+            [wn * wn],
+            [wn * wn, 2.0 * z * wn, 1.0],
+        );
+        let plot = BodePlot::sweep_log(&h, wn / 30.0, wn * 30.0, 800);
+        let est = ParameterEstimate::from_plot(&plot); // NoZero default
+        assert!((est.damping.unwrap() - z).abs() < 0.01, "{:?}", est.damping);
+        let fn_hz = est.natural_frequency_hz.unwrap();
+        assert!((fn_hz - wn / std::f64::consts::TAU).abs() < 0.2, "{fn_hz}");
+    }
+
+    #[test]
+    fn estimate_recovers_canonical_parameters() {
+        let (wn, z) = (TAU * 8.0, 0.43);
+        let h = TransferFunction::second_order_pll(wn, z);
+        let plot = BodePlot::sweep_log(&h, wn / 30.0, wn * 30.0, 500);
+        let est = ParameterEstimate::from_plot_with_model(&plot, ResponseModel::WithZero);
+        let fn_hz = est.natural_frequency_hz.unwrap();
+        assert!((fn_hz - 8.0).abs() < 0.1, "fn {fn_hz}");
+        let zeta = est.damping.unwrap();
+        assert!((zeta - 0.43).abs() < 0.02, "ζ {zeta}");
+        assert!(est.f_3db_hz.unwrap() > 8.0);
+    }
+
+    #[test]
+    fn estimate_handles_flat_plot() {
+        let h = TransferFunction::gain(1.0);
+        let plot = BodePlot::sweep_log(&h, 1.0, 100.0, 50);
+        let est = ParameterEstimate::from_plot(&plot);
+        // Flat response: damping not invertible (no real peak).
+        assert!(est.damping.is_none());
+        assert!(est.f_3db_hz.is_none());
+    }
+
+    #[test]
+    fn comparator_passes_golden_and_fails_shifted() {
+        let limits = LimitComparator::around(8.0, 0.43, 0.2);
+        let good = ParameterEstimate {
+            natural_frequency_hz: Some(8.3),
+            damping: Some(0.45),
+            f_3db_hz: Some(16.0),
+            peak_db: Some(2.7),
+        };
+        assert!(limits.judge(&good).pass);
+
+        let bad = ParameterEstimate {
+            natural_frequency_hz: Some(5.0),
+            damping: Some(0.45),
+            f_3db_hz: Some(10.0),
+            peak_db: Some(2.7),
+        };
+        let verdict = limits.judge(&bad);
+        assert!(!verdict.pass);
+        assert_eq!(verdict.violations.len(), 1);
+        assert!(verdict.to_string().contains("natural frequency"));
+    }
+
+    #[test]
+    fn comparator_reports_missing_peak() {
+        let limits = LimitComparator::around(8.0, 0.43, 0.2);
+        let none = ParameterEstimate {
+            natural_frequency_hz: None,
+            damping: None,
+            f_3db_hz: None,
+            peak_db: None,
+        };
+        let verdict = limits.judge(&none);
+        assert!(!verdict.pass);
+        assert_eq!(verdict.violations.len(), 2);
+    }
+}

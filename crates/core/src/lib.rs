@@ -1,0 +1,60 @@
+//! Automatic on-chip closed-loop transfer-function monitoring (BIST) for
+//! embedded charge-pump PLLs.
+//!
+//! This crate implements the DfT techniques of *Burbidge, Tijou &
+//! Richardson, "Techniques for Automatic On Chip Closed Loop Transfer
+//! Function Monitoring For Embedded Charge Pump Phase Locked Loops"*
+//! (DATE 2003), on top of the mixed-signal PLL simulator in
+//! [`pllbist_sim`]:
+//!
+//! * [`dco`] — the fig. 4 stimulus generator: a ring-counter DCO
+//!   synthesising discrete (two-tone / multi-tone FSK) frequency
+//!   modulation, with the resolution limit of eq. 2 / Table 1.
+//! * [`peak_detect`] — the fig. 7 novel peak-frequency detector: a
+//!   test-only PFD whose lead/lag flip marks the extremum of the output
+//!   frequency excursion (behavioural twin; the gate-level circuit is in
+//!   [`testbench`]).
+//! * [`counter`] — the fig. 6 response-capture counters: a reciprocal
+//!   frequency counter and a phase (time-interval) counter, with honest
+//!   ±1-count quantisation.
+//! * [`sequencer`] — the Table 2 five-stage test sequence.
+//! * [`monitor`] — [`TransferFunctionMonitor`], the complete automated
+//!   measurement: per-tone stimulus, peak capture, hold, count,
+//!   post-processing by eqs. 7–8 into a Bode plot.
+//! * [`estimate`] — ωn / ζ / ω3dB extraction from the measured plot and
+//!   the go/no-go limit comparator (full BIST verdict).
+//! * [`testbench`] — gate-level fig. 6/7 test hardware on the
+//!   co-simulation engine (used to regenerate fig. 8 and validate the
+//!   behavioural models).
+//! * [`paper`] — the paper's tables and sweep definitions in one place.
+//!
+//! # Quickstart
+//!
+//! Measure the closed-loop response of the paper's PLL with the ten-step
+//! multi-tone stimulus and check the extracted natural frequency:
+//!
+//! ```
+//! use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
+//! use pllbist_sim::config::PllConfig;
+//!
+//! let config = PllConfig::paper_table3();
+//! let mut settings = MonitorSettings::fast();
+//! settings.mod_frequencies_hz = vec![1.0, 6.0, 8.0, 10.0, 30.0];
+//! let monitor = TransferFunctionMonitor::new(settings);
+//! let result = monitor.measure(&config);
+//! let est = result.estimate();
+//! let fn_hz = est.natural_frequency_hz.expect("resonance found");
+//! assert!((fn_hz - 8.0).abs() < 2.5, "fn = {fn_hz}");
+//! ```
+
+pub mod counter;
+pub mod dco;
+pub mod estimate;
+pub mod monitor;
+pub mod paper;
+pub mod peak_detect;
+pub mod sequencer;
+pub mod testbench;
+
+pub use estimate::{BistVerdict, LimitComparator, ParameterEstimate};
+pub use monitor::{MonitorResult, MonitorSettings, StimulusKind, TransferFunctionMonitor};

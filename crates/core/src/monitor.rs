@@ -1,0 +1,490 @@
+//! The automated closed-loop transfer-function monitor (the paper's
+//! complete technique: figs. 4, 6, 7 + Table 2 + eqs. 7–8).
+//!
+//! For each modulation frequency the monitor executes the Table 2
+//! sequence on a simulated PLL:
+//!
+//! 1. apply discrete FM through the DCO path (stage 1) and settle;
+//! 2. arm the phase counter at the **input**-modulation peak — the
+//!    sequencer controls the DCO mux so it knows that instant exactly —
+//!    and watch the peak detector (stage 2);
+//! 3. on `MFREQ` (output-frequency maximum) engage the loop-break hold
+//!    (stage 3), freezing the VCO;
+//! 4. read the reciprocal frequency counter and the phase counter
+//!    (stage 4): eq. 7 turns held-frequency deviations into referenced
+//!    magnitudes, eq. 8 turns the counter interval into phase lag;
+//! 5. release, move to the next tone (stage 5).
+//!
+//! No analogue node is touched: the measurement uses only edges, counters
+//! and the mux — the paper's digital-only test goal.
+
+use crate::counter::{FrequencyCounter, FrequencyReading, PhaseCounter, PhaseReading};
+use crate::dco::DcoDesign;
+use crate::estimate::ParameterEstimate;
+use crate::peak_detect::{PeakDetector, PeakKind};
+use crate::sequencer::{TestSequencer, Transition};
+use pllbist_numeric::bode::{BodePlot, BodePoint};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::stimulus::FmStimulus;
+use std::f64::consts::TAU;
+
+/// Which FM approximation drives the reference (the fig. 11/12
+/// comparison).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StimulusKind {
+    /// Ideal sinusoidal FM (the bench reference case).
+    PureSine,
+    /// Two-tone FSK (square deviation).
+    TwoTone,
+    /// Multi-tone FSK with ideal (unquantised) levels.
+    MultiTone {
+        /// Steps per modulation period.
+        steps: usize,
+    },
+    /// Multi-tone FSK through the real DCO tone grid of fig. 4 —
+    /// deviation levels quantised to `f_master/k`.
+    QuantizedDco {
+        /// Steps per modulation period.
+        steps: usize,
+        /// DCO master clock in Hz.
+        f_master_hz: f64,
+    },
+}
+
+/// How the peak output deviation is captured once `MFREQ` fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CaptureMode {
+    /// The paper's novel technique: break the loop (Table 2 stage 3),
+    /// freeze the VCO on the filter's capacitor state, and count at
+    /// leisure with full resolution. Reads the **hold-referred** response
+    /// (`LoopAnalysis::hold_referred_transfer`) — on feed-through filter
+    /// topologies this is the no-zero second order.
+    HoldAndCount,
+    /// The conventional alternative the paper argues against: count on
+    /// the free-running output in a short gate around the peak. Includes
+    /// the feed-through path (follows the full response) but trades
+    /// resolution against gate length — quantified by ablation abl03.
+    GatedCount {
+        /// Gate length as a fraction of the modulation period.
+        gate_fraction: f64,
+    },
+}
+
+/// Monitor configuration (the BIST test plan).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MonitorSettings {
+    /// Stimulus class.
+    pub stimulus: StimulusKind,
+    /// Peak-capture mode.
+    pub capture: CaptureMode,
+    /// Peak reference deviation in Hz.
+    pub deviation_hz: f64,
+    /// Modulation frequencies to sweep, ascending; the first must lie well
+    /// inside the loop bandwidth (it is the eq. 7 reference point).
+    pub mod_frequencies_hz: Vec<f64>,
+    /// Modulation periods to wait after each stimulus change.
+    pub settle_periods: f64,
+    /// Fixed additional settling time per tone in seconds (covers the
+    /// loop's own transient; a test-plan constant in real BIST).
+    pub loop_settle_secs: f64,
+    /// Test clock for both counters in Hz.
+    pub test_clock_hz: f64,
+    /// Frequency-counter gate length in measured-signal cycles.
+    pub gate_cycles: u64,
+    /// Tap point (fig. 6): `true` counts the divided output, `false` the
+    /// full-rate VCO.
+    pub count_divided_output: bool,
+    /// Fraction of a modulation period before the input peak in which an
+    /// output peak is still accepted (protects the in-band, near-zero-lag
+    /// points against edge jitter).
+    pub peak_guard_fraction: f64,
+}
+
+impl MonitorSettings {
+    /// The paper's fig. 11/12 test plan: ten-step multi-tone FSK, ±10 Hz
+    /// deviation, 1 MHz test clock.
+    pub fn paper() -> Self {
+        Self {
+            stimulus: StimulusKind::MultiTone { steps: 10 },
+            capture: CaptureMode::HoldAndCount,
+            deviation_hz: 10.0,
+            mod_frequencies_hz: crate::paper::fig11_sweep(),
+            settle_periods: 4.0,
+            loop_settle_secs: 0.5,
+            test_clock_hz: 1e6,
+            gate_cycles: 200,
+            count_divided_output: false,
+            peak_guard_fraction: 0.05,
+        }
+    }
+
+    /// A reduced plan for unit tests: fewer tones, shorter settling.
+    pub fn fast() -> Self {
+        Self {
+            stimulus: StimulusKind::MultiTone { steps: 10 },
+            capture: CaptureMode::HoldAndCount,
+            deviation_hz: 10.0,
+            mod_frequencies_hz: vec![1.0, 4.0, 8.0, 12.0, 30.0],
+            settle_periods: 3.0,
+            loop_settle_secs: 0.3,
+            test_clock_hz: 1e6,
+            gate_cycles: 100,
+            count_divided_output: false,
+            peak_guard_fraction: 0.05,
+        }
+    }
+}
+
+/// One completed tone measurement.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MonitorPoint {
+    /// Modulation frequency in Hz.
+    pub f_mod_hz: f64,
+    /// Held-peak frequency reading.
+    pub frequency: FrequencyReading,
+    /// Peak output deviation `ΔF` from the measured nominal, in Hz (at
+    /// the configured tap point).
+    pub delta_f_hz: f64,
+    /// Eq. 8 phase reading.
+    pub phase: PhaseReading,
+    /// Input-modulation peak instant (phase-counter start).
+    pub t_input_peak: f64,
+    /// Detected output peak instant (`MFREQ`).
+    pub t_output_peak: f64,
+    /// `false` when no lead/lag flip was seen and the point fell back to
+    /// zero lag (deeply attenuated or dead-zone-swallowed response).
+    pub peak_found: bool,
+}
+
+/// The full sweep result.
+#[derive(Clone, Debug)]
+pub struct MonitorResult {
+    /// Nominal (unmodulated) frequency reading at the tap point.
+    pub nominal: FrequencyReading,
+    /// Per-tone measurements, in sweep order.
+    pub points: Vec<MonitorPoint>,
+    /// The Table 2 sequencer transcript.
+    pub transcript: Vec<Transition>,
+    /// The capture mode the sweep ran with (selects the estimator's
+    /// response family).
+    pub capture: CaptureMode,
+}
+
+impl MonitorResult {
+    /// The measured magnitude/phase plot, referenced per eq. 7 to the
+    /// first (in-band) point: `A_F = 20·log10(ΔF_max / ΔF_ref_max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sweep is empty or the reference deviation is zero.
+    pub fn to_bode(&self) -> BodePlot {
+        assert!(!self.points.is_empty(), "sweep produced no points");
+        let reference = self.points[0].delta_f_hz.abs();
+        assert!(reference > 0.0, "in-band reference deviation is zero");
+        let mut plot: BodePlot = self
+            .points
+            .iter()
+            .map(|p| BodePoint {
+                omega: TAU * p.f_mod_hz,
+                magnitude: p.delta_f_hz.abs() / reference,
+                phase: p.phase.phase_degrees.to_radians(),
+            })
+            .collect();
+        plot.unwrap_phase();
+        plot
+    }
+
+    /// Extracts (ωn, ζ, ω3dB) from the measured plot, using the response
+    /// family that matches the capture mode (hold readout ⇒ no-zero
+    /// model).
+    pub fn estimate(&self) -> ParameterEstimate {
+        let model = match self.capture {
+            CaptureMode::HoldAndCount => crate::estimate::ResponseModel::NoZero,
+            CaptureMode::GatedCount { .. } => crate::estimate::ResponseModel::WithZero,
+        };
+        ParameterEstimate::from_plot_with_model(&self.to_bode(), model)
+    }
+}
+
+/// The automated monitor.
+#[derive(Clone, Debug)]
+pub struct TransferFunctionMonitor {
+    settings: MonitorSettings,
+}
+
+impl TransferFunctionMonitor {
+    /// Creates a monitor with the given test plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or non-ascending frequency list, or non-positive
+    /// deviation.
+    pub fn new(settings: MonitorSettings) -> Self {
+        assert!(
+            !settings.mod_frequencies_hz.is_empty(),
+            "sweep needs at least one modulation frequency"
+        );
+        assert!(
+            settings
+                .mod_frequencies_hz
+                .windows(2)
+                .all(|w| w[0] < w[1]),
+            "modulation frequencies must be strictly ascending"
+        );
+        assert!(settings.deviation_hz > 0.0, "deviation must be positive");
+        Self { settings }
+    }
+
+    /// The test plan.
+    pub fn settings(&self) -> &MonitorSettings {
+        &self.settings
+    }
+
+    /// Runs the full sweep against a PLL configuration.
+    pub fn measure(&self, config: &PllConfig) -> MonitorResult {
+        let mut pll = CpPll::new_locked(config);
+        self.measure_on(&mut pll)
+    }
+
+    /// Runs the full sweep on an existing (already constructed) loop —
+    /// lets callers pre-stress or pre-fault the device.
+    pub fn measure_on(&self, pll: &mut CpPll) -> MonitorResult {
+        let s = &self.settings;
+        let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
+        let pc = PhaseCounter::new(s.test_clock_hz);
+
+        // Lock and take the nominal reading (held for a clean gate).
+        pll.advance_to(pll.time() + s.loop_settle_secs.max(0.1));
+        pll.set_hold(true);
+        let nominal = fc.measure(pll, s.count_divided_output);
+        pll.set_hold(false);
+
+        let mut seq = TestSequencer::new(s.mod_frequencies_hz.len());
+        let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
+        let f_ref = pll.config().f_ref_hz;
+
+        for &f_mod in &s.mod_frequencies_hz {
+            let t_mod = 1.0 / f_mod;
+            // Stage 5 → stage 1 wrap for every tone after the first.
+            if seq.stage() == crate::sequencer::Stage::NextTone {
+                seq.advance(pll.time());
+            }
+            // Stage 1: apply the modulation and settle.
+            let stimulus = self.build_stimulus(f_ref, f_mod);
+            pll.set_stimulus(stimulus.clone());
+            pll.advance_to(pll.time() + s.settle_periods * t_mod + s.loop_settle_secs);
+            seq.advance(pll.time());
+
+            // Stage 2: next input-modulation peak, then watch for MFREQ.
+            let tp0 = stimulus.deviation_peak_time();
+            let now = pll.time();
+            let k = ((now - tp0) / t_mod).ceil().max(0.0);
+            let mut t_input_peak = tp0 + k * t_mod;
+            if t_input_peak < now {
+                t_input_peak += t_mod;
+            }
+            let guard = s.peak_guard_fraction * t_mod;
+            let chunk = 1.0 / f_ref; // MFREQ resolution: one reference cycle
+            let deadline = t_input_peak + 3.0 * t_mod;
+            let mut detector = PeakDetector::new();
+            let mut t_output_peak = None;
+            pll.take_events();
+            pll.collect_events(true);
+            'detect: while pll.time() < deadline {
+                pll.advance_to(pll.time() + chunk);
+                for event in pll.take_events() {
+                    if let Some(peak) = detector.on_event(event) {
+                        if peak.kind == PeakKind::Max && peak.t >= t_input_peak - guard {
+                            t_output_peak = Some(peak.t);
+                            break 'detect;
+                        }
+                    }
+                }
+            }
+            pll.collect_events(false);
+            pll.take_events();
+            let peak_found = t_output_peak.is_some();
+            let t_output_peak = t_output_peak.unwrap_or(t_input_peak);
+
+            // Stage 3: hold (or skip, in the no-hold comparison mode).
+            seq.advance(pll.time());
+            let frequency = match s.capture {
+                CaptureMode::HoldAndCount => {
+                    pll.set_hold(true);
+                    seq.advance(pll.time());
+                    let reading = fc.measure(pll, s.count_divided_output);
+                    pll.set_hold(false);
+                    reading
+                }
+                CaptureMode::GatedCount { gate_fraction } => {
+                    // Count on the free-running output: the gate must stay
+                    // short relative to the modulation period or the peak
+                    // is averaged away.
+                    seq.advance(pll.time());
+                    let f_tap = if s.count_divided_output {
+                        pll.config().f_ref_hz
+                    } else {
+                        pll.config().f_vco_hz()
+                    };
+                    let cycles = ((gate_fraction * t_mod * f_tap).floor() as u64).max(1);
+                    FrequencyCounter::new(s.test_clock_hz, cycles)
+                        .measure(pll, s.count_divided_output)
+                }
+            };
+            let delta_f_hz = frequency.frequency_hz - nominal.frequency_hz;
+            // A physical lag lies within one modulation period. If the
+            // detector slipped a period (a spurious lead/lag wiggle just
+            // before the window silenced the true crossing — the same
+            // failure a level-based MFREQ flag has in hardware), the
+            // counter interval exceeds T_mod by exactly k·T_mod; folding
+            // recovers the true phase.
+            let raw_delay = (t_output_peak - t_input_peak).max(0.0);
+            let folded = raw_delay.rem_euclid(t_mod);
+            let phase = pc.reading(0.0, folded, t_mod);
+
+            // Stage 5.
+            seq.advance(pll.time());
+            points.push(MonitorPoint {
+                f_mod_hz: f_mod,
+                frequency,
+                delta_f_hz,
+                phase,
+                t_input_peak,
+                t_output_peak,
+                peak_found,
+            });
+        }
+
+        MonitorResult {
+            nominal,
+            points,
+            transcript: seq.transcript().to_vec(),
+            capture: s.capture,
+        }
+    }
+
+    fn build_stimulus(&self, f_ref_hz: f64, f_mod_hz: f64) -> FmStimulus {
+        let dev = self.settings.deviation_hz;
+        match self.settings.stimulus {
+            StimulusKind::PureSine => FmStimulus::pure_sine(f_ref_hz, dev, f_mod_hz),
+            StimulusKind::TwoTone => FmStimulus::two_tone(f_ref_hz, dev, f_mod_hz),
+            StimulusKind::MultiTone { steps } => {
+                FmStimulus::multi_tone(f_ref_hz, dev, f_mod_hz, steps)
+            }
+            StimulusKind::QuantizedDco { steps, f_master_hz } => {
+                DcoDesign::new(f_master_hz, f_ref_hz)
+                    .quantized_multi_tone(dev, f_mod_hz, steps)
+                    .0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_settings() -> MonitorSettings {
+        MonitorSettings {
+            mod_frequencies_hz: vec![1.0, 8.0, 25.0],
+            settle_periods: 2.5,
+            loop_settle_secs: 0.25,
+            ..MonitorSettings::fast()
+        }
+    }
+
+    #[test]
+    fn monitor_measures_in_band_unity_gain() {
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let result = monitor.measure(&cfg);
+        assert_eq!(result.points.len(), 3);
+        // Nominal reading near 5 kHz (VCO tap).
+        assert!((result.nominal.frequency_hz - 5_000.0).abs() < 2.0);
+        // In-band point: ΔF ≈ N·Δf_ref = 50 Hz.
+        let p0 = &result.points[0];
+        assert!(p0.peak_found, "in-band peak detected");
+        assert!((p0.delta_f_hz - 50.0).abs() < 5.0, "ΔF = {}", p0.delta_f_hz);
+        // In-band lag is small.
+        assert!(p0.phase.phase_degrees > -30.0, "{}", p0.phase.phase_degrees);
+    }
+
+    #[test]
+    fn monitor_sees_the_resonant_peak() {
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let result = monitor.measure(&cfg);
+        let bode = result.to_bode();
+        let pts = bode.points();
+        // 8 Hz (resonance) above the 1 Hz reference; 25 Hz attenuated.
+        assert!(pts[1].magnitude > 1.02, "peak {}", pts[1].magnitude);
+        assert!(pts[2].magnitude < 0.8, "rolloff {}", pts[2].magnitude);
+        // Phase increasingly lags.
+        assert!(pts[1].phase < pts[0].phase);
+        assert!(pts[2].phase < pts[1].phase);
+    }
+
+    #[test]
+    fn monitor_matches_hold_referred_model_within_tolerance() {
+        // The hold-and-count readout follows the hold-referred (no-zero)
+        // response, not the full divided-output one — see
+        // LoopAnalysis::hold_referred_transfer.
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let result = monitor.measure(&cfg);
+        let h = cfg.analysis().hold_referred_transfer();
+        let h_ref = h.magnitude(TAU * 1.0);
+        for p in &result.points {
+            let want = h.magnitude(TAU * p.f_mod_hz) / h_ref;
+            let got = p.delta_f_hz.abs() / result.points[0].delta_f_hz.abs();
+            assert!(
+                (got - want).abs() / want < 0.25,
+                "f={} got {got} want {want}",
+                p.f_mod_hz
+            );
+        }
+    }
+
+    #[test]
+    fn transcript_covers_every_stage() {
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let result = monitor.measure(&cfg);
+        assert_eq!(result.transcript.len(), 3 * 5);
+        // Times non-decreasing.
+        assert!(result
+            .transcript
+            .windows(2)
+            .all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn stimulus_kinds_build() {
+        let kinds = [
+            StimulusKind::PureSine,
+            StimulusKind::TwoTone,
+            StimulusKind::MultiTone { steps: 10 },
+            StimulusKind::QuantizedDco {
+                steps: 10,
+                f_master_hz: 1e6,
+            },
+        ];
+        for kind in kinds {
+            let monitor = TransferFunctionMonitor::new(MonitorSettings {
+                stimulus: kind,
+                ..MonitorSettings::fast()
+            });
+            let stim = monitor.build_stimulus(1_000.0, 5.0);
+            assert!((stim.peak_deviation_hz() - 10.0).abs() < 1.1, "{kind:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn unsorted_sweep_rejected() {
+        let mut s = MonitorSettings::fast();
+        s.mod_frequencies_hz = vec![8.0, 1.0];
+        let _ = TransferFunctionMonitor::new(s);
+    }
+}

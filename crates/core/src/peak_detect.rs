@@ -1,0 +1,250 @@
+//! The novel peak-frequency detector (paper §4, fig. 7).
+//!
+//! A **test-only PFD** watches the same reference/feedback edge pair as the
+//! loop PFD. While the reference leads, its UP output carries wide pulses
+//! and DN only dead-zone glitches; at the instant the lead/lag relation
+//! flips, the sampling flip-flop (clocked from the delayed, inverted DN
+//! signal) raises `MFREQ`.
+//!
+//! Why this marks the output-frequency extremum: the loop filter
+//! integrates the pump drive, and the drive sign is the lead/lag sign —
+//! so the control voltage (hence the VCO frequency) peaks exactly where
+//! the sign flips. Ref-stops-leading ⇒ **maximum** output frequency;
+//! ref-stops-lagging ⇒ minimum (fig. 8's `Min Freq`/`Max Freq` markers).
+//!
+//! This module is the behavioural twin consuming the engine's edge events;
+//! the gate-accurate circuit (with the glitch-clocking subtlety and the
+//! optional pulse-widening buffers) is in [`crate::testbench`].
+
+use pllbist_sim::behavioral::LoopEvent;
+
+/// Which extremum a peak event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PeakKind {
+    /// Output frequency maximum (reference stopped leading).
+    Max,
+    /// Output frequency minimum (reference stopped lagging).
+    Min,
+}
+
+/// One detected extremum.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeakEvent {
+    /// Time of the detecting edge (the first edge of the new lead/lag
+    /// direction) in seconds.
+    pub t: f64,
+    /// Maximum or minimum.
+    pub kind: PeakKind,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Lead {
+    Unknown,
+    Reference,
+    Feedback,
+}
+
+/// Edge-driven peak-frequency detector.
+///
+/// Feed it the interleaved [`LoopEvent`] stream; it reports a
+/// [`PeakEvent`] whenever the lead/lag direction flips.
+///
+/// # Example
+///
+/// ```
+/// use pllbist::peak_detect::{PeakDetector, PeakKind};
+/// use pllbist_sim::behavioral::LoopEvent;
+///
+/// let mut det = PeakDetector::new();
+/// // Reference leading for two cycles, then feedback takes over.
+/// let events = [
+///     LoopEvent::RefEdge { t: 0.000 }, LoopEvent::FbEdge { t: 0.0002 },
+///     LoopEvent::RefEdge { t: 0.001 }, LoopEvent::FbEdge { t: 0.0011 },
+///     LoopEvent::FbEdge { t: 0.0019 }, LoopEvent::RefEdge { t: 0.002 },
+/// ];
+/// let peaks: Vec<_> = events.iter().filter_map(|e| det.on_event(*e)).collect();
+/// assert_eq!(peaks.len(), 1);
+/// assert_eq!(peaks[0].kind, PeakKind::Max);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PeakDetector {
+    /// +1 = waiting for the opposite edge after a reference edge,
+    /// −1 = after a feedback edge, 0 = balanced.
+    armed: i8,
+    /// Time the current pulse was armed.
+    armed_at: f64,
+    lead: Lead,
+    /// Skew (seconds) of the most recent completed lead interval —
+    /// a diagnostic for the dead-zone ablation.
+    last_skew: f64,
+}
+
+impl Default for Lead {
+    fn default() -> Self {
+        Lead::Unknown
+    }
+}
+
+impl PeakDetector {
+    /// Creates a detector in the unknown-lead state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current lead direction (`None` until established).
+    pub fn reference_leading(&self) -> Option<bool> {
+        match self.lead {
+            Lead::Unknown => None,
+            Lead::Reference => Some(true),
+            Lead::Feedback => Some(false),
+        }
+    }
+
+    /// The edge skew of the last completed pulse in seconds.
+    pub fn last_skew(&self) -> f64 {
+        self.last_skew
+    }
+
+    /// Processes one edge event; returns a peak when the lead direction
+    /// flips.
+    pub fn on_event(&mut self, event: LoopEvent) -> Option<PeakEvent> {
+        let (t, is_ref) = match event {
+            LoopEvent::RefEdge { t } => (t, true),
+            LoopEvent::FbEdge { t } => (t, false),
+        };
+        let dir: i8 = if is_ref { 1 } else { -1 };
+        match self.armed {
+            0 => {
+                self.armed = dir;
+                self.armed_at = t;
+                None
+            }
+            a if a == dir => None, // saturated, same input again
+            _ => {
+                // Opposite edge completes a pulse: the *armed* direction is
+                // the leader of this cycle.
+                let new_lead = if self.armed == 1 {
+                    Lead::Reference
+                } else {
+                    Lead::Feedback
+                };
+                self.last_skew = t - self.armed_at;
+                self.armed = 0;
+                let flipped = match (self.lead, new_lead) {
+                    (Lead::Reference, Lead::Feedback) => Some(PeakKind::Max),
+                    (Lead::Feedback, Lead::Reference) => Some(PeakKind::Min),
+                    _ => None,
+                };
+                self.lead = new_lead;
+                flipped.map(|kind| PeakEvent { t, kind })
+            }
+        }
+    }
+
+    /// Resets to the unknown-lead state (used between sweep tones).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(t: f64) -> LoopEvent {
+        LoopEvent::RefEdge { t }
+    }
+    fn f(t: f64) -> LoopEvent {
+        LoopEvent::FbEdge { t }
+    }
+
+    #[test]
+    fn steady_lead_produces_no_peaks() {
+        let mut d = PeakDetector::new();
+        for k in 0..10 {
+            let t = k as f64 * 1e-3;
+            assert!(d.on_event(r(t)).is_none());
+            assert!(d.on_event(f(t + 1e-4)).is_none());
+        }
+        assert_eq!(d.reference_leading(), Some(true));
+    }
+
+    #[test]
+    fn flip_to_feedback_marks_max() {
+        let mut d = PeakDetector::new();
+        d.on_event(r(0.0));
+        d.on_event(f(1e-4));
+        // Feedback now arrives first.
+        d.on_event(f(0.9e-3));
+        let peak = d.on_event(r(1.0e-3)).expect("flip detected");
+        assert_eq!(peak.kind, PeakKind::Max);
+        assert!((peak.t - 1.0e-3).abs() < 1e-12);
+        assert_eq!(d.reference_leading(), Some(false));
+    }
+
+    #[test]
+    fn flip_back_marks_min() {
+        let mut d = PeakDetector::new();
+        d.on_event(f(0.0));
+        d.on_event(r(1e-5));
+        d.on_event(r(1e-3));
+        let peak = d.on_event(f(1.1e-3)).expect("flip detected");
+        assert_eq!(peak.kind, PeakKind::Min);
+    }
+
+    #[test]
+    fn saturation_does_not_false_trigger() {
+        // Cycle slip: two reference edges in a row while ref leads.
+        let mut d = PeakDetector::new();
+        d.on_event(r(0.0));
+        d.on_event(f(1e-4));
+        assert!(d.on_event(r(1e-3)).is_none());
+        assert!(d.on_event(r(2e-3)).is_none());
+        assert!(d.on_event(f(2.1e-3)).is_none(), "still reference-led");
+    }
+
+    #[test]
+    fn skew_is_recorded() {
+        let mut d = PeakDetector::new();
+        d.on_event(r(0.0));
+        d.on_event(f(2.5e-4));
+        assert!((d.last_skew() - 2.5e-4).abs() < 1e-15);
+    }
+
+    #[test]
+    fn reset_clears_direction() {
+        let mut d = PeakDetector::new();
+        d.on_event(r(0.0));
+        d.on_event(f(1e-4));
+        d.reset();
+        assert_eq!(d.reference_leading(), None);
+    }
+
+    #[test]
+    fn sinusoidal_skew_gives_two_peaks_per_cycle() {
+        // Synthesise edges with a sinusoidally varying skew — the locked
+        // loop under FM. One Max and one Min per modulation period.
+        let mut d = PeakDetector::new();
+        let mut peaks = Vec::new();
+        for k in 0..200 {
+            let t = k as f64 * 1e-3;
+            let skew = 5e-5 * (std::f64::consts::TAU * 5.0 * t).sin();
+            let (first, second) = if skew >= 0.0 {
+                (r(t), f(t + skew))
+            } else {
+                (f(t), r(t - skew))
+            };
+            if let Some(p) = d.on_event(first) {
+                peaks.push(p);
+            }
+            if let Some(p) = d.on_event(second) {
+                peaks.push(p);
+            }
+        }
+        // 0.2 s at 5 Hz modulation → one Max/Min pair per period.
+        let maxes = peaks.iter().filter(|p| p.kind == PeakKind::Max).count();
+        let mins = peaks.iter().filter(|p| p.kind == PeakKind::Min).count();
+        assert!((maxes as i64 - mins as i64).abs() <= 1);
+        assert!(maxes >= 1, "at least one maximum in one second");
+    }
+}

@@ -1,0 +1,497 @@
+//! Gate-level BIST test hardware (figs. 6 and 7) on the co-simulation
+//! engine.
+//!
+//! This is the silicon-faithful twin of the behavioural monitor: a second
+//! (monitoring-only) PFD built from real flip-flops watches the
+//! reference/feedback pair, and the `MFREQ` flags are produced by sampling
+//! flip-flops whose clocks pass through **inertial-delay buffers** that
+//! swallow the dead-zone glitches — the functional equivalent of the
+//! paper's "inverter which delays ... so that the glitch pulse will not
+//! cause incorrect sampling", and of its suggested glitch-widening delay
+//! elements (ablation abl04 sweeps that delay).
+//!
+//! The reference itself comes from the gate-level DCO of fig. 4: a
+//! pulse divider running off the 1 MHz master clock whose modulus is
+//! stepped through the multi-tone schedule by the test sequencer.
+
+use crate::dco::DcoDesign;
+use pllbist_digital::kernel::{Circuit, NetId};
+use pllbist_digital::logic::Logic;
+use pllbist_digital::time::SimTime;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::cosim::{build_gate_pfd, LoopNets, MixedSignalPll};
+
+/// Nets of the gate-level peak detector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PeakDetectNets {
+    /// Monitoring PFD UP output (wide pulses while the reference leads).
+    pub mon_up: NetId,
+    /// Monitoring PFD DN output.
+    pub mon_dn: NetId,
+    /// High while the feedback leads; its **rising edge is `MFREQ`** (the
+    /// output-frequency maximum strobe).
+    pub lag_flag: NetId,
+    /// High while the reference leads; rising edge marks the minimum.
+    pub lead_flag: NetId,
+}
+
+/// Builds the fig. 7 monitoring hardware: an additional PFD (the paper's
+/// "preferred method is to construct an additional PFD specifically for
+/// the purpose of monitoring") plus the glitch-filtered sampling
+/// flip-flops.
+///
+/// `gate_delay` is the PFD's per-gate delay (sets the dead-zone glitch
+/// width ≈ 2·delay); `judge_delay` is the inertial buffer delay that
+/// separates glitches from real pulses — it must exceed the glitch width.
+///
+/// # Panics
+///
+/// Panics if `judge_delay` does not exceed twice the gate delay.
+pub fn build_peak_detector(
+    circuit: &mut Circuit,
+    reference: NetId,
+    feedback: NetId,
+    gate_delay: SimTime,
+    judge_delay: SimTime,
+) -> PeakDetectNets {
+    assert!(
+        judge_delay > gate_delay + gate_delay,
+        "judge delay must exceed the dead-zone glitch width (≈ 2·gate delay)"
+    );
+    let (mon_up, mon_dn) = build_gate_pfd(circuit, reference, feedback, gate_delay);
+    // Inertial buffers: dead-zone glitches (narrower than judge_delay)
+    // are swallowed; real lead pulses pass.
+    let up_wide = circuit.buf("mon_up_wide", mon_up, judge_delay);
+    let dn_wide = circuit.buf("mon_dn_wide", mon_dn, judge_delay);
+    let vdd = circuit.constant("pk_vdd", Logic::High);
+    // Sampling flip-flops: a wide DN pulse clocks the lag flag high; a
+    // wide UP pulse (reference leading again) resets it — and vice versa.
+    let lag_flag = circuit.dff("lag_flag", vdd, dn_wide, Some(up_wide), gate_delay);
+    let lead_flag = circuit.dff("lead_flag", vdd, up_wide, Some(dn_wide), gate_delay);
+    PeakDetectNets {
+        mon_up,
+        mon_dn,
+        lag_flag,
+        lead_flag,
+    }
+}
+
+/// A gate-level fig. 4 DCO: a bank of dividers running off one master
+/// clock and a binary mux tree selecting the active tone.
+///
+/// This is the *faithful* fig. 4 topology (every tone exists
+/// simultaneously; the "Mux Switching Control" picks one), as opposed to
+/// the single reprogrammable divider used by the fast path — the two are
+/// equivalent at the output but the bank also reproduces the asynchronous
+/// mux-switching glitches of the real circuit.
+#[derive(Clone, Debug)]
+pub struct GateDcoBank {
+    output: NetId,
+    selects: Vec<NetId>,
+    tone_count: usize,
+}
+
+impl GateDcoBank {
+    /// Builds the bank on `circuit`: one pulse divider per modulus in
+    /// `moduli`, muxed down to a single output by a tree of 2:1 muxes
+    /// controlled by `ceil(log2(n))` select nets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two moduli are given or any modulus is zero.
+    pub fn build(circuit: &mut Circuit, master: NetId, moduli: &[u64]) -> Self {
+        assert!(moduli.len() >= 2, "a DCO bank needs at least two tones");
+        let tone_count = moduli.len();
+        let bits = usize::BITS as usize - (tone_count - 1).leading_zeros() as usize;
+        let selects: Vec<NetId> = (0..bits)
+            .map(|b| circuit.input(&format!("dco_sel{b}"), Logic::Low))
+            .collect();
+        // Leaf dividers (pad the bank to a power of two by repeating the
+        // last modulus so the tree is complete).
+        let mut layer: Vec<NetId> = (0..1usize << bits)
+            .map(|i| {
+                let m = moduli[i.min(tone_count - 1)];
+                circuit.pulse_divider(&format!("dco_div{i}"), master, m)
+            })
+            .collect();
+        // Mux tree: level b selects on bit b.
+        for (b, sel) in selects.iter().enumerate() {
+            layer = layer
+                .chunks(2)
+                .enumerate()
+                .map(|(i, pair)| {
+                    circuit.mux2(
+                        &format!("dco_mux{b}_{i}"),
+                        *sel,
+                        pair[0],
+                        pair[1],
+                        SimTime::from_nanos(1),
+                    )
+                })
+                .collect();
+        }
+        Self {
+            output: layer[0],
+            selects,
+            tone_count,
+        }
+    }
+
+    /// The muxed DCO output net.
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+
+    /// Number of distinct tones.
+    pub fn tone_count(&self) -> usize {
+        self.tone_count
+    }
+
+    /// Schedules the select lines to route tone `index` at time `at`
+    /// (the fig. 4 "Mux Switching Control" action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn select(&self, circuit: &mut Circuit, index: usize, at: SimTime) {
+        assert!(index < self.tone_count, "tone index out of range");
+        for (b, sel) in self.selects.iter().enumerate() {
+            circuit.poke(*sel, Logic::from_bool(index >> b & 1 == 1), at);
+        }
+    }
+}
+
+/// Options for the fig. 8 gate-level capture run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestbenchOptions {
+    /// Per-gate propagation delay of the PFDs.
+    pub gate_delay: SimTime,
+    /// Inertial glitch-filter delay of the sampling path.
+    pub judge_delay: SimTime,
+    /// DCO master clock in Hz (paper: 1 MHz).
+    pub dco_master_hz: f64,
+    /// Modulation frequency under test in Hz.
+    pub f_mod_hz: f64,
+    /// Multi-tone steps per modulation period.
+    pub steps: usize,
+    /// Peak reference deviation in Hz.
+    pub deviation_hz: f64,
+    /// Settling time before capture, in seconds.
+    pub settle_secs: f64,
+    /// Capture window, in seconds.
+    pub capture_secs: f64,
+    /// Control-voltage sampling interval during capture, in seconds.
+    pub sample_interval: f64,
+}
+
+impl Default for TestbenchOptions {
+    fn default() -> Self {
+        Self {
+            gate_delay: SimTime::from_nanos(2),
+            judge_delay: SimTime::from_nanos(20),
+            dco_master_hz: 1e6,
+            f_mod_hz: 8.0,
+            steps: 10,
+            deviation_hz: 10.0,
+            settle_secs: 0.6,
+            capture_secs: 0.25,
+            sample_interval: 1e-3,
+        }
+    }
+}
+
+/// The fig. 8 capture: loop-filter-node waveform plus the digital strobes.
+#[derive(Clone, Debug, Default)]
+pub struct Fig8Capture {
+    /// `(t, v_ctrl)` samples of the loop-filter node over the capture
+    /// window.
+    pub control_samples: Vec<(f64, f64)>,
+    /// Rising-edge times of the `MFREQ` (maximum) flag, seconds.
+    pub mfreq_times: Vec<f64>,
+    /// Rising-edge times of the minimum flag, seconds.
+    pub minfreq_times: Vec<f64>,
+    /// Completed high-pulse widths on the monitoring UP output, seconds.
+    pub up_pulse_widths: Vec<f64>,
+    /// Completed high-pulse widths on the monitoring DN output, seconds.
+    pub dn_pulse_widths: Vec<f64>,
+}
+
+/// Runs the gate-level fig. 8 experiment: DCO-modulated reference, full
+/// gate-level loop, monitoring PFD and peak-detect flags, sampling the
+/// loop-filter node.
+///
+/// # Panics
+///
+/// Panics if the DCO cannot quantise the requested deviation (the Table 1
+/// infeasible case) or the options are inconsistent.
+pub fn run_fig8(config: &PllConfig, opts: &TestbenchOptions) -> Fig8Capture {
+    let dco = DcoDesign::new(opts.dco_master_hz, config.f_ref_hz);
+    let (_, schedule) = dco.quantized_multi_tone(opts.deviation_hz, opts.f_mod_hz, opts.steps);
+    let moduli: Vec<u64> = schedule.iter().map(|t| t.modulus).collect();
+    let dwell = 1.0 / (opts.f_mod_hz * opts.steps as f64);
+
+    // Digital side: master clock → DCO divider → loop PFD ← ÷N ← VCO.
+    let mut circuit = Circuit::new();
+    let half = SimTime::from_secs_f64(0.5 / opts.dco_master_hz);
+    let master = circuit.clock("dco_master", half);
+    let reference = circuit.pulse_divider("dco_out", master, moduli[0]);
+    let vco_out = circuit.input("vco_out", Logic::Low);
+    let feedback = circuit.pulse_divider("fbdiv", vco_out, config.divider_n as u64);
+    let (pfd_up, pfd_dn) = build_gate_pfd(&mut circuit, reference, feedback, opts.gate_delay);
+    let peak = build_peak_detector(
+        &mut circuit,
+        reference,
+        feedback,
+        opts.gate_delay,
+        opts.judge_delay,
+    );
+    circuit.trace_net(peak.mon_up);
+    circuit.trace_net(peak.mon_dn);
+    circuit.trace_net(peak.lag_flag);
+    circuit.trace_net(peak.lead_flag);
+
+    let mut pll = MixedSignalPll::new(
+        config,
+        circuit,
+        LoopNets {
+            vco_out,
+            pfd_up,
+            pfd_dn,
+        },
+    );
+
+    // Drive the DCO mux schedule ("Mux Switching Control" of fig. 4): the
+    // sequencer reprograms the divider modulus at every dwell boundary.
+    let mut step_index = 0usize;
+    let mut capture = Fig8Capture::default();
+    let t_end = opts.settle_secs + opts.capture_secs;
+    let mut next_sample = opts.settle_secs;
+    let mut t = 0.0;
+    while t < t_end {
+        let next_dwell = (t / dwell).floor() * dwell + dwell;
+        let boundary = next_dwell.min(t_end).min(if t >= opts.settle_secs {
+            next_sample
+        } else {
+            opts.settle_secs
+        });
+        let boundary = boundary.max(t + dwell.min(opts.sample_interval) * 1e-6);
+        pll.advance_to(boundary);
+        t = pll.time();
+        if t >= next_sample && t >= opts.settle_secs {
+            capture.control_samples.push((t, pll.control_voltage()));
+            while next_sample <= t {
+                next_sample += opts.sample_interval;
+            }
+        }
+        if (t - next_dwell).abs() < 1e-12 || t >= next_dwell {
+            step_index = (step_index + 1) % moduli.len();
+            pll.circuit_mut()
+                .set_divider_modulus(reference, moduli[step_index]);
+        }
+    }
+
+    // Harvest the digital trace.
+    let start = SimTime::from_secs_f64(opts.settle_secs);
+    let trace = pll.circuit().trace();
+    capture.mfreq_times = trace
+        .rising_edges(peak.lag_flag)
+        .into_iter()
+        .filter(|&e| e >= start)
+        .map(|e| e.as_secs_f64())
+        .collect();
+    capture.minfreq_times = trace
+        .rising_edges(peak.lead_flag)
+        .into_iter()
+        .filter(|&e| e >= start)
+        .map(|e| e.as_secs_f64())
+        .collect();
+    capture.up_pulse_widths = trace
+        .high_pulse_widths(peak.mon_up)
+        .into_iter()
+        .map(|w| w.as_secs_f64())
+        .collect();
+    capture.dn_pulse_widths = trace
+        .high_pulse_widths(peak.mon_dn)
+        .into_iter()
+        .map(|w| w.as_secs_f64())
+        .collect();
+    capture
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_options() -> TestbenchOptions {
+        TestbenchOptions {
+            settle_secs: 0.45,
+            capture_secs: 0.25, // two modulation periods at 8 Hz
+            sample_interval: 2e-3,
+            ..TestbenchOptions::default()
+        }
+    }
+
+    #[test]
+    fn dco_bank_produces_selected_tone() {
+        let mut c = Circuit::new();
+        let master = c.clock("master", SimTime::from_nanos(500)); // 1 MHz
+        let bank = GateDcoBank::build(&mut c, master, &[1_000, 990, 1_010]);
+        assert_eq!(bank.tone_count(), 3);
+        // Tone 0: 1 kHz.
+        bank.select(&mut c, 0, SimTime::from_micros(1));
+        c.run_until(SimTime::from_millis(100));
+        let e0 = c.rising_edge_count(bank.output());
+        // Tone 1: ~1010.1 Hz (÷990).
+        let now = c.now();
+        bank.select(&mut c, 1, now);
+        c.run_until(SimTime::from_millis(200));
+        let e1 = c.rising_edge_count(bank.output()) - e0;
+        // Tone 2: ~990.1 Hz (÷1010).
+        let now = c.now();
+        bank.select(&mut c, 2, now);
+        c.run_until(SimTime::from_millis(300));
+        let e2 = c.rising_edge_count(bank.output()) - e0 - e1;
+        assert!((e0 as i64 - 100).abs() <= 1, "tone0 {e0}");
+        assert!((e1 as i64 - 101).abs() <= 2, "tone1 {e1}");
+        assert!((e2 as i64 - 99).abs() <= 2, "tone2 {e2}");
+    }
+
+    #[test]
+    fn dco_bank_matches_reprogrammable_divider() {
+        // The faithful fig. 4 bank and the fast-path variable divider
+        // produce the same average edge rate through a staircase schedule.
+        let moduli = [1_000u64, 995, 1_005];
+        let dwell = SimTime::from_millis(50);
+
+        let mut c1 = Circuit::new();
+        let m1 = c1.clock("m", SimTime::from_nanos(500));
+        let bank = GateDcoBank::build(&mut c1, m1, &moduli);
+        let mut t = SimTime::from_micros(1);
+        for step in 0..6 {
+            bank.select(&mut c1, step % 3, t);
+            t += dwell;
+        }
+        c1.run_until(t);
+        let bank_edges = c1.rising_edge_count(bank.output());
+
+        let mut c2 = Circuit::new();
+        let m2 = c2.clock("m", SimTime::from_nanos(500));
+        let div = c2.pulse_divider("d", m2, moduli[0]);
+        let mut t2 = SimTime::from_micros(1);
+        for step in 0..6 {
+            c2.run_until(t2);
+            c2.set_divider_modulus(div, moduli[step % 3]);
+            t2 += dwell;
+        }
+        c2.run_until(t2);
+        let div_edges = c2.rising_edge_count(div);
+        assert!(
+            (bank_edges as i64 - div_edges as i64).abs() <= 3,
+            "bank {bank_edges} vs divider {div_edges}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two tones")]
+    fn tiny_bank_rejected() {
+        let mut c = Circuit::new();
+        let m = c.clock("m", SimTime::from_nanos(500));
+        let _ = GateDcoBank::build(&mut c, m, &[1_000]);
+    }
+
+    #[test]
+    fn peak_detector_nets_build() {
+        let mut c = Circuit::new();
+        let r = c.input("r", Logic::Low);
+        let f = c.input("f", Logic::Low);
+        let nets = build_peak_detector(
+            &mut c,
+            r,
+            f,
+            SimTime::from_nanos(2),
+            SimTime::from_nanos(20),
+        );
+        assert_ne!(nets.mon_up, nets.mon_dn);
+        assert_ne!(nets.lag_flag, nets.lead_flag);
+    }
+
+    #[test]
+    #[should_panic(expected = "judge delay must exceed")]
+    fn too_small_judge_delay_rejected() {
+        let mut c = Circuit::new();
+        let r = c.input("r", Logic::Low);
+        let f = c.input("f", Logic::Low);
+        let _ = build_peak_detector(&mut c, r, f, SimTime::from_nanos(2), SimTime::from_nanos(3));
+    }
+
+    #[test]
+    fn lag_flag_tracks_forced_lead_changes() {
+        // Drive the detector open-loop with synthetic edge streams.
+        let mut c = Circuit::new();
+        let r = c.input("r", Logic::Low);
+        let f = c.input("f", Logic::Low);
+        let nets = build_peak_detector(
+            &mut c,
+            r,
+            f,
+            SimTime::from_nanos(2),
+            SimTime::from_nanos(20),
+        );
+        let mut t = SimTime::from_micros(10);
+        let period = SimTime::from_micros(100);
+        // Phase 1: reference leads by 1 µs for 10 cycles.
+        for _ in 0..10 {
+            c.poke(r, Logic::High, t);
+            c.poke(r, Logic::Low, t + SimTime::from_micros(20));
+            c.poke(f, Logic::High, t + SimTime::from_micros(1));
+            c.poke(f, Logic::Low, t + SimTime::from_micros(21));
+            t += period;
+        }
+        c.run_until(t);
+        assert!(c.value(nets.lead_flag).is_high(), "reference-led");
+        assert!(c.value(nets.lag_flag).is_low());
+        // Phase 2: feedback leads by 1 µs.
+        for _ in 0..10 {
+            c.poke(f, Logic::High, t);
+            c.poke(f, Logic::Low, t + SimTime::from_micros(20));
+            c.poke(r, Logic::High, t + SimTime::from_micros(1));
+            c.poke(r, Logic::Low, t + SimTime::from_micros(21));
+            t += period;
+        }
+        c.run_until(t);
+        assert!(c.value(nets.lag_flag).is_high(), "feedback-led");
+        assert!(c.value(nets.lead_flag).is_low());
+    }
+
+    #[test]
+    #[ignore = "multi-second gate-level run; exercised by the fig08 bench"]
+    fn fig8_capture_strobes_near_control_peaks() {
+        let cfg = PllConfig::paper_table3();
+        let capture = run_fig8(&cfg, &quick_options());
+        // Two modulation periods → two MFREQ strobes (±1).
+        assert!(
+            (1..=3).contains(&capture.mfreq_times.len()),
+            "{} MFREQ strobes",
+            capture.mfreq_times.len()
+        );
+        // Each MFREQ lands near a maximum of the sampled control voltage.
+        let t_mod = 1.0 / 8.0;
+        for &tm in &capture.mfreq_times {
+            let window: Vec<&(f64, f64)> = capture
+                .control_samples
+                .iter()
+                .filter(|(t, _)| (t - tm).abs() < 0.5 * t_mod)
+                .collect();
+            let vmax = window.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+            let (t_peak, _) = window
+                .iter()
+                .find(|(_, v)| *v == vmax)
+                .copied()
+                .expect("window non-empty");
+            assert!(
+                (t_peak - tm).abs() < 0.2 * t_mod,
+                "MFREQ {tm} vs control peak {t_peak}"
+            );
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Property-based tests on the BIST layer: counters, DCO grid, peak
+//! detector and estimator invariants.
+
+use pllbist::counter::{FrequencyCounter, PhaseCounter};
+use pllbist::dco::DcoDesign;
+use pllbist::estimate::{
+    damping_from_peak_db, damping_from_peak_db_no_zero, model_peak_magnitude,
+    peak_frequency_ratio_no_zero,
+};
+use pllbist::peak_detect::{PeakDetector, PeakKind};
+use pllbist_sim::behavioral::LoopEvent;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn frequency_counter_error_within_stated_resolution(
+        f_true in 100.0f64..100_000.0,
+        gate in 10u64..2_000,
+        f_clk in prop_oneof![Just(1e6), Just(10e6), Just(100e6)],
+    ) {
+        let c = FrequencyCounter::new(f_clk, gate);
+        let r = c.reading_from_window(gate as f64 / f_true);
+        prop_assert!(
+            (r.frequency_hz - f_true).abs() <= r.resolution_hz * (1.0 + 1e-9),
+            "err {} > res {}",
+            (r.frequency_hz - f_true).abs(),
+            r.resolution_hz
+        );
+        // Resolution relation: df = f/count.
+        prop_assert!((r.resolution_hz - r.frequency_hz / r.clock_count as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_counter_error_within_one_count(
+        delay_fraction in 0.0f64..0.9,
+        f_mod in 0.5f64..100.0,
+        f_clk in prop_oneof![Just(1e5), Just(1e6)],
+    ) {
+        let t_mod = 1.0 / f_mod;
+        let pc = PhaseCounter::new(f_clk);
+        let r = pc.reading(10.0, 10.0 + delay_fraction * t_mod, t_mod);
+        let true_deg = -delay_fraction * 360.0;
+        prop_assert!(
+            (r.phase_degrees - true_deg).abs() <= r.resolution_degrees * (1.0 + 1e-9),
+            "phase {} vs {true_deg} (res {})",
+            r.phase_degrees,
+            r.resolution_degrees
+        );
+    }
+
+    #[test]
+    fn dco_grid_tones_are_exact_divisions(
+        f_master in 1e5f64..1e8,
+        ratio in 20.0f64..5_000.0,
+    ) {
+        let f_nom = f_master / ratio;
+        let dco = DcoDesign::new(f_master, f_nom);
+        let dev = (dco.resolution_hz() * 5.0).min(f_nom / 4.0);
+        prop_assume!(dev > 0.0);
+        for tone in dco.tone_grid(dev) {
+            prop_assert!((tone.frequency_hz - f_master / tone.modulus as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dco_resolution_approximation_holds(
+        f_master in 1e6f64..1e8,
+        ratio in 50.0f64..10_000.0,
+    ) {
+        // Eq. 2's closed form tracks the exact grid spacing to ~1/k.
+        let f_nom = f_master / ratio;
+        let dco = DcoDesign::new(f_master, f_nom);
+        let exact = dco.resolution_hz();
+        let approx = dco.resolution_eq2_hz();
+        prop_assert!(
+            (exact - approx).abs() / exact < 3.0 / ratio + 1e-3,
+            "exact {exact}, eq2 {approx}"
+        );
+    }
+
+    #[test]
+    fn nearest_tone_quantisation_bounded_by_local_spacing(
+        dev_target in -50.0f64..50.0,
+    ) {
+        let dco = DcoDesign::new(1e6, 1e3);
+        let tone = dco.nearest_tone(dev_target);
+        // The divider grid's spacing grows away from nominal (~f²/F_ref),
+        // so the quantisation bound is half the *local* spacing at the
+        // selected modulus, not the nominal resolution.
+        let local_spacing =
+            dco.tone(tone.modulus - 1).frequency_hz - dco.tone(tone.modulus + 1).frequency_hz;
+        prop_assert!(
+            (tone.deviation_hz - dev_target).abs() <= 0.5 * local_spacing / 2.0 * 1.02 + 1e-9,
+            "err {} vs half local spacing {}",
+            (tone.deviation_hz - dev_target).abs(),
+            local_spacing / 2.0
+        );
+    }
+
+    #[test]
+    fn peak_detector_balanced_over_periodic_skew(
+        periods in 2u32..8,
+        skew_amp_us in 5.0f64..200.0,
+        f_mod in 1.0f64..10.0,
+    ) {
+        // Sinusoidal skew ⇒ equal numbers of Max and Min flips (±1).
+        let mut det = PeakDetector::new();
+        let t_ref = 1e-3;
+        let n = (periods as f64 / f_mod / t_ref) as usize;
+        let mut maxes = 0i64;
+        let mut mins = 0i64;
+        for k in 0..n {
+            let t = k as f64 * t_ref;
+            let skew = skew_amp_us * 1e-6 * (std::f64::consts::TAU * f_mod * t).sin();
+            let (first, second) = if skew >= 0.0 {
+                (LoopEvent::RefEdge { t }, LoopEvent::FbEdge { t: t + skew })
+            } else {
+                (LoopEvent::FbEdge { t }, LoopEvent::RefEdge { t: t - skew })
+            };
+            for e in [first, second] {
+                if let Some(p) = det.on_event(e) {
+                    match p.kind {
+                        PeakKind::Max => maxes += 1,
+                        PeakKind::Min => mins += 1,
+                    }
+                }
+            }
+        }
+        prop_assert!((maxes - mins).abs() <= 1, "maxes {maxes} mins {mins}");
+        prop_assert!(maxes >= periods as i64 - 1, "maxes {maxes} for {periods} periods");
+    }
+
+    #[test]
+    fn peak_detector_flip_times_near_skew_zero_crossings(
+        f_mod in 1.0f64..5.0,
+    ) {
+        let mut det = PeakDetector::new();
+        let t_ref = 1e-3;
+        let mut flips = Vec::new();
+        for k in 0..4_000 {
+            let t = k as f64 * t_ref;
+            let skew = 100e-6 * (std::f64::consts::TAU * f_mod * t).sin();
+            let (first, second) = if skew >= 0.0 {
+                (LoopEvent::RefEdge { t }, LoopEvent::FbEdge { t: t + skew })
+            } else {
+                (LoopEvent::FbEdge { t }, LoopEvent::RefEdge { t: t - skew })
+            };
+            for e in [first, second] {
+                if let Some(p) = det.on_event(e) {
+                    flips.push(p.t);
+                }
+            }
+        }
+        // Zero crossings of sin(2π·f·t) are at multiples of 1/(2f); every
+        // flip should land within ~1.5 reference cycles of one.
+        for t in flips {
+            let frac = (t * 2.0 * f_mod).fract();
+            let dist = frac.min(1.0 - frac) / (2.0 * f_mod);
+            prop_assert!(dist < 2.5 * t_ref, "flip at {t} is {dist} from a crossing");
+        }
+    }
+
+    #[test]
+    fn damping_inversions_are_monotone(
+        db1 in 0.5f64..10.0,
+        db2 in 0.5f64..10.0,
+    ) {
+        prop_assume!((db1 - db2).abs() > 0.05);
+        let (lo, hi) = if db1 < db2 { (db1, db2) } else { (db2, db1) };
+        // Higher peak ⇒ lower damping, in both model families.
+        let z_with = (damping_from_peak_db(lo), damping_from_peak_db(hi));
+        if let (Some(a), Some(b)) = z_with {
+            prop_assert!(a > b, "with-zero: {a} !> {b}");
+        }
+        let z_no = (
+            damping_from_peak_db_no_zero(lo),
+            damping_from_peak_db_no_zero(hi),
+        );
+        if let (Some(a), Some(b)) = z_no {
+            prop_assert!(a > b, "no-zero: {a} !> {b}");
+        }
+    }
+
+    #[test]
+    fn model_peak_and_ratio_are_consistent(
+        zeta in 0.1f64..0.65,
+    ) {
+        // The with-zero numeric peak exceeds the no-zero analytic peak
+        // (the zero lifts the response) and both exceed 0 dB.
+        let with = model_peak_magnitude(zeta);
+        let without = 1.0 / (2.0 * zeta * (1.0 - zeta * zeta).sqrt());
+        prop_assert!(with > 1.0 && without > 1.0);
+        prop_assert!(with > without * 0.99, "with {with}, without {without}");
+        let r = peak_frequency_ratio_no_zero(zeta);
+        prop_assert!(r > 0.0 && r <= 1.0);
+    }
+}

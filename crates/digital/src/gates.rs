@@ -1,0 +1,370 @@
+//! Gate primitives evaluated by the [`kernel`](crate::kernel).
+//!
+//! Combinational gates ([`GateKind::And`], [`GateKind::Not`], …) re-evaluate
+//! whenever an input net changes and drive their output after an inertial
+//! propagation delay. Sequential and behavioural primitives (D flip-flop,
+//! free-running clock, pulse divider, edge counter) carry internal state.
+//!
+//! The D flip-flop matches the paper's PFD building block: positive-edge
+//! triggered with an **asynchronous active-high reset**, so two of them plus
+//! an AND gate form the classic tri-state phase-frequency detector whose
+//! reset path produces the dead-zone glitches of fig. 5.
+
+use crate::kernel::NetId;
+use crate::logic::Logic;
+use crate::time::SimTime;
+
+/// The behavioural definition of one gate instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GateKind {
+    /// N-input AND.
+    And(Vec<NetId>),
+    /// N-input OR.
+    Or(Vec<NetId>),
+    /// N-input NAND.
+    Nand(Vec<NetId>),
+    /// N-input NOR.
+    Nor(Vec<NetId>),
+    /// Two-input XOR.
+    Xor(NetId, NetId),
+    /// Inverter.
+    Not(NetId),
+    /// Buffer (pure delay element — the paper's glitch-widening trick uses
+    /// chains of these).
+    Buf(NetId),
+    /// Two-input multiplexer: output = `b` when `sel` is high, else `a`.
+    /// An unknown select with differing inputs yields `Unknown`.
+    Mux2 {
+        /// Select input (high selects `b`).
+        sel: NetId,
+        /// Input routed when `sel` is low.
+        a: NetId,
+        /// Input routed when `sel` is high.
+        b: NetId,
+    },
+    /// Positive-edge-triggered D flip-flop with asynchronous active-high
+    /// reset.
+    Dff {
+        /// Data input.
+        d: NetId,
+        /// Clock input (rising edge active).
+        clk: NetId,
+        /// Asynchronous reset (high forces the output low).
+        rst: NetId,
+        /// Last observed clock level, for edge detection.
+        last_clk: Logic,
+        /// Stored output state.
+        state: Logic,
+    },
+    /// Free-running clock toggling every `half_period`. Self-scheduling:
+    /// the kernel re-arms it each time its own output event matures.
+    Clock {
+        /// Half of the output period.
+        half_period: SimTime,
+    },
+    /// Behavioural divider: emits a one-input-period-wide high pulse every
+    /// `modulus` rising edges of `input` (division by `modulus`, edge-rate
+    /// preserving — the PFD and the counters only use rising edges, so the
+    /// non-50 % duty cycle is irrelevant, exactly as in the paper's ring
+    /// counter).
+    PulseDivider {
+        /// Clock input.
+        input: NetId,
+        /// Division modulus (≥ 1); changeable at run time for DCO use.
+        modulus: u64,
+        /// Rising edges counted since the last output pulse.
+        count: u64,
+        /// Last observed input level.
+        last_in: Logic,
+    },
+    /// Behavioural counter of rising edges on `input`, gated by an optional
+    /// `enable` net (counts only while enable is high). Has no output net;
+    /// read with [`Circuit::counter_value`](crate::kernel::Circuit::counter_value).
+    EdgeCounter {
+        /// Counted input.
+        input: NetId,
+        /// Optional count-enable net.
+        enable: Option<NetId>,
+        /// Current count.
+        count: u64,
+        /// Last observed input level.
+        last_in: Logic,
+        /// Time of the most recently counted edge.
+        last_edge: Option<SimTime>,
+    },
+}
+
+impl GateKind {
+    /// Nets this gate listens to.
+    pub fn inputs(&self) -> Vec<NetId> {
+        match self {
+            GateKind::And(v) | GateKind::Or(v) | GateKind::Nand(v) | GateKind::Nor(v) => v.clone(),
+            GateKind::Xor(a, b) => vec![*a, *b],
+            GateKind::Not(a) | GateKind::Buf(a) => vec![*a],
+            GateKind::Mux2 { sel, a, b } => vec![*sel, *a, *b],
+            GateKind::Dff { d, clk, rst, .. } => vec![*d, *clk, *rst],
+            GateKind::Clock { .. } => Vec::new(),
+            GateKind::PulseDivider { input, .. } => vec![*input],
+            GateKind::EdgeCounter { input, enable, .. } => {
+                let mut v = vec![*input];
+                if let Some(e) = enable {
+                    v.push(*e);
+                }
+                v
+            }
+        }
+    }
+
+    /// Evaluates the gate against current net values, returning the new
+    /// output level (if this gate drives a net). `read` resolves a net's
+    /// present value; `now` is the simulation time (used by stateful
+    /// primitives for bookkeeping).
+    pub fn evaluate(&mut self, read: &dyn Fn(NetId) -> Logic, now: SimTime) -> Option<Logic> {
+        match self {
+            GateKind::And(v) => Some(v.iter().fold(Logic::High, |acc, &n| acc.and(read(n)))),
+            GateKind::Or(v) => Some(v.iter().fold(Logic::Low, |acc, &n| acc.or(read(n)))),
+            GateKind::Nand(v) => {
+                Some(v.iter().fold(Logic::High, |acc, &n| acc.and(read(n))).not())
+            }
+            GateKind::Nor(v) => Some(v.iter().fold(Logic::Low, |acc, &n| acc.or(read(n))).not()),
+            GateKind::Xor(a, b) => Some(read(*a).xor(read(*b))),
+            GateKind::Not(a) => Some(read(*a).not()),
+            GateKind::Buf(a) => Some(read(*a)),
+            GateKind::Mux2 { sel, a, b } => Some(match read(*sel) {
+                Logic::Low => read(*a),
+                Logic::High => read(*b),
+                Logic::Unknown => {
+                    let (va, vb) = (read(*a), read(*b));
+                    if va == vb {
+                        va
+                    } else {
+                        Logic::Unknown
+                    }
+                }
+            }),
+            GateKind::Dff {
+                d,
+                clk,
+                rst,
+                last_clk,
+                state,
+            } => {
+                let clk_now = read(*clk);
+                let rising = clk_now.is_high() && !last_clk.is_high();
+                *last_clk = clk_now;
+                if read(*rst).is_high() {
+                    *state = Logic::Low;
+                } else if rising {
+                    *state = read(*d);
+                }
+                Some(*state)
+            }
+            GateKind::Clock { .. } => None, // handled by the kernel's re-arm path
+            GateKind::PulseDivider {
+                input,
+                modulus,
+                count,
+                last_in,
+            } => {
+                let in_now = read(*input);
+                let rising = in_now.is_high() && !last_in.is_high();
+                *last_in = in_now;
+                if !rising {
+                    return None; // only rising edges move the divider
+                }
+                *count += 1;
+                if *count >= *modulus {
+                    *count = 0;
+                    Some(Logic::High)
+                } else {
+                    Some(Logic::Low)
+                }
+            }
+            GateKind::EdgeCounter {
+                input,
+                enable,
+                count,
+                last_in,
+                last_edge,
+            } => {
+                let in_now = read(*input);
+                let rising = in_now.is_high() && !last_in.is_high();
+                *last_in = in_now;
+                if rising {
+                    let enabled = enable.map_or(true, |e| read(e).is_high());
+                    if enabled {
+                        *count += 1;
+                        *last_edge = Some(now);
+                    }
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixed(values: Vec<Logic>) -> impl Fn(NetId) -> Logic {
+        move |n: NetId| values[n.index()]
+    }
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    #[test]
+    fn combinational_truth_tables() {
+        use Logic::{High, Low};
+        let read = fixed(vec![Low, High, High]);
+        let t = SimTime::ZERO;
+        assert_eq!(
+            GateKind::And(vec![net(1), net(2)]).evaluate(&read, t),
+            Some(High)
+        );
+        assert_eq!(
+            GateKind::And(vec![net(0), net(1)]).evaluate(&read, t),
+            Some(Low)
+        );
+        assert_eq!(
+            GateKind::Or(vec![net(0), net(0)]).evaluate(&read, t),
+            Some(Low)
+        );
+        assert_eq!(
+            GateKind::Nand(vec![net(1), net(2)]).evaluate(&read, t),
+            Some(Low)
+        );
+        assert_eq!(
+            GateKind::Nor(vec![net(0), net(0)]).evaluate(&read, t),
+            Some(High)
+        );
+        assert_eq!(GateKind::Xor(net(0), net(1)).evaluate(&read, t), Some(High));
+        assert_eq!(GateKind::Not(net(1)).evaluate(&read, t), Some(Low));
+        assert_eq!(GateKind::Buf(net(1)).evaluate(&read, t), Some(High));
+    }
+
+    #[test]
+    fn mux_select_paths() {
+        use Logic::{High, Low, Unknown};
+        let t = SimTime::ZERO;
+        let mut mux = GateKind::Mux2 {
+            sel: net(0),
+            a: net(1),
+            b: net(2),
+        };
+        assert_eq!(mux.evaluate(&fixed(vec![Low, High, Low]), t), Some(High));
+        assert_eq!(mux.evaluate(&fixed(vec![High, High, Low]), t), Some(Low));
+        // Unknown select: agreeing inputs pass through, else X.
+        assert_eq!(
+            mux.evaluate(&fixed(vec![Unknown, High, High]), t),
+            Some(High)
+        );
+        assert_eq!(
+            mux.evaluate(&fixed(vec![Unknown, High, Low]), t),
+            Some(Unknown)
+        );
+    }
+
+    #[test]
+    fn dff_captures_on_rising_edge_only() {
+        use Logic::{High, Low};
+        let t = SimTime::ZERO;
+        let mut ff = GateKind::Dff {
+            d: net(0),
+            clk: net(1),
+            rst: net(2),
+            last_clk: Low,
+            state: Low,
+        };
+        // Clock low, d high: state stays.
+        assert_eq!(ff.evaluate(&fixed(vec![High, Low, Low]), t), Some(Low));
+        // Rising edge captures d=1.
+        assert_eq!(ff.evaluate(&fixed(vec![High, High, Low]), t), Some(High));
+        // Clock stays high while d drops: no capture.
+        assert_eq!(ff.evaluate(&fixed(vec![Low, High, Low]), t), Some(High));
+        // Falling edge: no capture.
+        assert_eq!(ff.evaluate(&fixed(vec![Low, Low, Low]), t), Some(High));
+        // Next rising edge captures d=0.
+        assert_eq!(ff.evaluate(&fixed(vec![Low, High, Low]), t), Some(Low));
+    }
+
+    #[test]
+    fn dff_async_reset_dominates() {
+        use Logic::{High, Low};
+        let t = SimTime::ZERO;
+        let mut ff = GateKind::Dff {
+            d: net(0),
+            clk: net(1),
+            rst: net(2),
+            last_clk: Low,
+            state: High,
+        };
+        // Reset high with a simultaneous rising edge: reset wins.
+        assert_eq!(ff.evaluate(&fixed(vec![High, High, High]), t), Some(Low));
+        // Reset released, no edge: stays low.
+        assert_eq!(ff.evaluate(&fixed(vec![High, High, Low]), t), Some(Low));
+    }
+
+    #[test]
+    fn pulse_divider_divides_edge_rate() {
+        use Logic::{High, Low};
+        let t = SimTime::ZERO;
+        let mut div = GateKind::PulseDivider {
+            input: net(0),
+            modulus: 3,
+            count: 0,
+            last_in: Low,
+        };
+        let mut outs = Vec::new();
+        for _ in 0..9 {
+            let o = div.evaluate(&fixed(vec![High]), t); // rising
+            outs.push(o);
+            assert_eq!(div.evaluate(&fixed(vec![Low]), t), None); // falling
+        }
+        let highs = outs.iter().filter(|o| **o == Some(High)).count();
+        assert_eq!(highs, 3); // every third edge
+        assert_eq!(outs[2], Some(High));
+        assert_eq!(outs[3], Some(Low));
+    }
+
+    #[test]
+    fn edge_counter_respects_enable() {
+        use Logic::{High, Low};
+        let t = SimTime::from_nanos(5);
+        let mut ctr = GateKind::EdgeCounter {
+            input: net(0),
+            enable: Some(net(1)),
+            count: 0,
+            last_in: Low,
+            last_edge: None,
+        };
+        // Enabled edge counts.
+        ctr.evaluate(&fixed(vec![High, High]), t);
+        // Falling, then disabled edge does not count.
+        ctr.evaluate(&fixed(vec![Low, Low]), t);
+        ctr.evaluate(&fixed(vec![High, Low]), t);
+        if let GateKind::EdgeCounter { count, last_edge, .. } = &ctr {
+            assert_eq!(*count, 1);
+            assert_eq!(*last_edge, Some(SimTime::from_nanos(5)));
+        } else {
+            unreachable!()
+        }
+    }
+
+    #[test]
+    fn inputs_listed_correctly() {
+        let g = GateKind::Mux2 {
+            sel: net(3),
+            a: net(1),
+            b: net(2),
+        };
+        assert_eq!(g.inputs(), vec![net(3), net(1), net(2)]);
+        assert!(GateKind::Clock {
+            half_period: SimTime::from_nanos(1)
+        }
+        .inputs()
+        .is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Logic levels.
+//!
+//! Two driven levels plus an `Unknown` power-on state. Gates propagate
+//! `Unknown` pessimistically (any unknown input that can affect the output
+//! makes the output unknown), so un-reset registers are visible in traces
+//! instead of silently reading as zero.
+
+use std::fmt;
+
+/// A digital logic level.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Driven low (0).
+    Low,
+    /// Driven high (1).
+    High,
+    /// Uninitialised / unknown (X).
+    #[default]
+    Unknown,
+}
+
+impl Logic {
+    /// `true` only for a driven high.
+    #[inline]
+    pub fn is_high(self) -> bool {
+        self == Logic::High
+    }
+
+    /// `true` only for a driven low.
+    #[inline]
+    pub fn is_low(self) -> bool {
+        self == Logic::Low
+    }
+
+    /// `true` for `Unknown`.
+    #[inline]
+    pub fn is_unknown(self) -> bool {
+        self == Logic::Unknown
+    }
+
+    /// Logical NOT; `Unknown` stays `Unknown`.
+    #[inline]
+    pub fn not(self) -> Self {
+        match self {
+            Logic::Low => Logic::High,
+            Logic::High => Logic::Low,
+            Logic::Unknown => Logic::Unknown,
+        }
+    }
+
+    /// Logical AND with X-pessimism (`0 AND X = 0`, `1 AND X = X`).
+    #[inline]
+    pub fn and(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::Low, _) | (_, Logic::Low) => Logic::Low,
+            (Logic::High, Logic::High) => Logic::High,
+            _ => Logic::Unknown,
+        }
+    }
+
+    /// Logical OR with X-pessimism (`1 OR X = 1`, `0 OR X = X`).
+    #[inline]
+    pub fn or(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::High, _) | (_, Logic::High) => Logic::High,
+            (Logic::Low, Logic::Low) => Logic::Low,
+            _ => Logic::Unknown,
+        }
+    }
+
+    /// Logical XOR; any `Unknown` input yields `Unknown`.
+    #[inline]
+    pub fn xor(self, rhs: Self) -> Self {
+        match (self, rhs) {
+            (Logic::Unknown, _) | (_, Logic::Unknown) => Logic::Unknown,
+            (a, b) if a == b => Logic::Low,
+            _ => Logic::High,
+        }
+    }
+
+    /// Converts a `bool` to a driven level.
+    #[inline]
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            Logic::High
+        } else {
+            Logic::Low
+        }
+    }
+
+    /// VCD value character (`0`, `1`, `x`).
+    #[inline]
+    pub fn vcd_char(self) -> char {
+        match self {
+            Logic::Low => '0',
+            Logic::High => '1',
+            Logic::Unknown => 'x',
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        Logic::from_bool(b)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vcd_char())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{High, Low, Unknown};
+
+    #[test]
+    fn not_truth_table() {
+        assert_eq!(Low.not(), High);
+        assert_eq!(High.not(), Low);
+        assert_eq!(Unknown.not(), Unknown);
+    }
+
+    #[test]
+    fn and_truth_table_with_x() {
+        assert_eq!(Low.and(High), Low);
+        assert_eq!(High.and(High), High);
+        assert_eq!(Low.and(Unknown), Low); // controlling value wins
+        assert_eq!(High.and(Unknown), Unknown);
+        assert_eq!(Unknown.and(Unknown), Unknown);
+    }
+
+    #[test]
+    fn or_truth_table_with_x() {
+        assert_eq!(Low.or(Low), Low);
+        assert_eq!(Low.or(High), High);
+        assert_eq!(High.or(Unknown), High); // controlling value wins
+        assert_eq!(Low.or(Unknown), Unknown);
+    }
+
+    #[test]
+    fn xor_truth_table() {
+        assert_eq!(Low.xor(Low), Low);
+        assert_eq!(Low.xor(High), High);
+        assert_eq!(High.xor(High), Low);
+        assert_eq!(High.xor(Unknown), Unknown);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Logic::from(true), High);
+        assert_eq!(Logic::from(false), Low);
+        assert_eq!(High.vcd_char(), '1');
+        assert_eq!(Unknown.to_string(), "x");
+        assert!(High.is_high() && !High.is_low() && !High.is_unknown());
+        assert!(Unknown.is_unknown());
+        assert_eq!(Logic::default(), Unknown);
+    }
+}

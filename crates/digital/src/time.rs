@@ -1,0 +1,199 @@
+//! Integer simulation time.
+//!
+//! Digital simulators must order events exactly; floating-point time makes
+//! "simultaneous" a rounding accident. [`SimTime`] counts **picoseconds**
+//! in a `u64`, giving exact event ordering with a range of ~213 days —
+//! vastly more than the seconds-long sweeps this workspace runs.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// Picoseconds per second.
+pub const PS_PER_SEC: u64 = 1_000_000_000_000;
+
+/// Simulation time in integer picoseconds.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_digital::time::SimTime;
+///
+/// let t = SimTime::from_micros(3) + SimTime::from_nanos(500);
+/// assert_eq!(t.as_ps(), 3_500_000);
+/// assert!((t.as_secs_f64() - 3.5e-6).abs() < 1e-18);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Time zero.
+    pub const ZERO: Self = Self(0);
+    /// The largest representable time.
+    pub const MAX: Self = Self(u64::MAX);
+
+    /// Creates a time from raw picoseconds.
+    #[inline]
+    pub const fn from_ps(ps: u64) -> Self {
+        Self(ps)
+    }
+
+    /// Creates a time from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns * 1_000)
+    }
+
+    /// Creates a time from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Self(us * 1_000_000)
+    }
+
+    /// Creates a time from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Self(ms * 1_000_000_000)
+    }
+
+    /// Creates a time from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Self(s * PS_PER_SEC)
+    }
+
+    /// Creates a time from fractional seconds, rounding to the nearest
+    /// picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative, NaN or too large to represent.
+    #[inline]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "time must be a finite non-negative number of seconds"
+        );
+        let ps = secs * PS_PER_SEC as f64;
+        assert!(ps <= u64::MAX as f64, "time out of range");
+        Self(ps.round() as u64)
+    }
+
+    /// Raw picosecond count.
+    #[inline]
+    pub const fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds (lossy above ~2^53 ps).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_SEC as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition.
+    #[inline]
+    pub fn checked_add(self, rhs: Self) -> Option<Self> {
+        self.0.checked_add(rhs.0).map(Self)
+    }
+}
+
+impl Add for SimTime {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = Self;
+    /// # Panics
+    ///
+    /// Panics on underflow in debug builds (wraps in release like `u64`).
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ps = self.0;
+        if ps == 0 {
+            write!(f, "0s")
+        } else if ps % PS_PER_SEC == 0 {
+            write!(f, "{}s", ps / PS_PER_SEC)
+        } else if ps % 1_000_000_000 == 0 {
+            write!(f, "{}ms", ps / 1_000_000_000)
+        } else if ps % 1_000_000 == 0 {
+            write!(f, "{}us", ps / 1_000_000)
+        } else if ps % 1_000 == 0 {
+            write!(f, "{}ns", ps / 1_000)
+        } else {
+            write!(f, "{ps}ps")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_nanos(1).as_ps(), 1_000);
+        assert_eq!(SimTime::from_micros(1).as_ps(), 1_000_000);
+        assert_eq!(SimTime::from_millis(1).as_ps(), 1_000_000_000);
+        assert_eq!(SimTime::from_secs(1).as_ps(), PS_PER_SEC);
+        assert_eq!(SimTime::from_secs_f64(1.5).as_ps(), 3 * PS_PER_SEC / 2);
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let t = SimTime::from_secs_f64(0.123456789);
+        assert!((t.as_secs_f64() - 0.123456789).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(3);
+        assert_eq!((a + b).as_ps(), 13_000);
+        assert_eq!((a - b).as_ps(), 7_000);
+        assert!(b < a);
+        assert_eq!(b.saturating_sub(a), SimTime::ZERO);
+        assert_eq!(SimTime::MAX.checked_add(SimTime::from_ps(1)), None);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_ps(), 13_000);
+    }
+
+    #[test]
+    fn display_picks_finest_unit() {
+        assert_eq!(SimTime::ZERO.to_string(), "0s");
+        assert_eq!(SimTime::from_secs(2).to_string(), "2s");
+        assert_eq!(SimTime::from_millis(5).to_string(), "5ms");
+        assert_eq!(SimTime::from_micros(7).to_string(), "7us");
+        assert_eq!(SimTime::from_nanos(9).to_string(), "9ns");
+        assert_eq!(SimTime::from_ps(11).to_string(), "11ps");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_seconds_rejected() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+}

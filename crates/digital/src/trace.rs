@@ -1,0 +1,257 @@
+//! Waveform capture and VCD export.
+//!
+//! Traced nets record every transition; the captured [`Trace`] backs the
+//! figure-8 waveform regeneration (PFD up/down pulses, dead-zone glitches,
+//! `MFREQ` strobes) and can be exported as a Value Change Dump for any
+//! standard viewer.
+
+use crate::kernel::NetId;
+use crate::logic::Logic;
+use crate::time::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One recorded transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Transition {
+    /// When the net changed.
+    pub time: SimTime,
+    /// The new level.
+    pub value: Logic,
+}
+
+#[derive(Clone, Debug, Default)]
+struct NetTrace {
+    name: String,
+    initial: Logic,
+    start: SimTime,
+    transitions: Vec<Transition>,
+}
+
+/// A per-net waveform recording.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    nets: BTreeMap<NetId, NetTrace>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a net for tracing with its value at registration time.
+    pub fn declare(&mut self, net: NetId, name: &str, at: SimTime, initial: Logic) {
+        self.nets.entry(net).or_insert_with(|| NetTrace {
+            name: name.to_string(),
+            initial,
+            start: at,
+            transitions: Vec::new(),
+        });
+    }
+
+    /// Records a transition on a declared net (ignored for undeclared
+    /// nets).
+    pub fn record(&mut self, net: NetId, time: SimTime, value: Logic) {
+        if let Some(t) = self.nets.get_mut(&net) {
+            t.transitions.push(Transition { time, value });
+        }
+    }
+
+    /// `true` if no nets are declared.
+    pub fn is_empty(&self) -> bool {
+        self.nets.is_empty()
+    }
+
+    /// The declared nets, in id order.
+    pub fn net_ids(&self) -> Vec<NetId> {
+        self.nets.keys().copied().collect()
+    }
+
+    /// All transitions recorded for a net; empty for undeclared nets.
+    pub fn transitions(&self, net: NetId) -> &[Transition] {
+        self.nets
+            .get(&net)
+            .map(|t| t.transitions.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Value of a net at an arbitrary time (the value after the last
+    /// transition at or before `t`); `None` for undeclared nets or times
+    /// before declaration.
+    pub fn value_at(&self, net: NetId, t: SimTime) -> Option<Logic> {
+        let nt = self.nets.get(&net)?;
+        if t < nt.start {
+            return None;
+        }
+        let mut v = nt.initial;
+        for tr in &nt.transitions {
+            if tr.time > t {
+                break;
+            }
+            v = tr.value;
+        }
+        Some(v)
+    }
+
+    /// Times of rising edges on a net.
+    pub fn rising_edges(&self, net: NetId) -> Vec<SimTime> {
+        let Some(nt) = self.nets.get(&net) else {
+            return Vec::new();
+        };
+        let mut prev = nt.initial;
+        let mut out = Vec::new();
+        for tr in &nt.transitions {
+            if tr.value.is_high() && !prev.is_high() {
+                out.push(tr.time);
+            }
+            prev = tr.value;
+        }
+        out
+    }
+
+    /// Widths of completed high pulses on a net (rising to next falling
+    /// edge).
+    pub fn high_pulse_widths(&self, net: NetId) -> Vec<SimTime> {
+        let Some(nt) = self.nets.get(&net) else {
+            return Vec::new();
+        };
+        let mut prev = nt.initial;
+        let mut rise: Option<SimTime> = None;
+        let mut out = Vec::new();
+        for tr in &nt.transitions {
+            if tr.value.is_high() && !prev.is_high() {
+                rise = Some(tr.time);
+            } else if prev.is_high() && !tr.value.is_high() {
+                if let Some(r) = rise.take() {
+                    out.push(tr.time - r);
+                }
+            }
+            prev = tr.value;
+        }
+        out
+    }
+
+    /// Total time a net spent high across all completed pulses (an open
+    /// final pulse is not counted).
+    pub fn total_high_time(&self, net: NetId) -> SimTime {
+        self.high_pulse_widths(net)
+            .into_iter()
+            .fold(SimTime::ZERO, |acc, w| acc + w)
+    }
+
+    /// Serialises to Value Change Dump format (timescale 1 ps).
+    pub fn to_vcd(&self, module: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "$timescale 1ps $end");
+        let _ = writeln!(out, "$scope module {module} $end");
+        let ids: Vec<(NetId, char)> = self
+            .nets
+            .keys()
+            .enumerate()
+            .map(|(i, &n)| (n, (b'!' + (i as u8 % 94)) as char))
+            .collect();
+        for (net, code) in &ids {
+            let name = &self.nets[net].name;
+            let _ = writeln!(out, "$var wire 1 {code} {name} $end");
+        }
+        let _ = writeln!(out, "$upscope $end");
+        let _ = writeln!(out, "$enddefinitions $end");
+        let _ = writeln!(out, "#0");
+        let _ = writeln!(out, "$dumpvars");
+        for (net, code) in &ids {
+            let _ = writeln!(out, "{}{code}", self.nets[net].initial.vcd_char());
+        }
+        let _ = writeln!(out, "$end");
+        // Merge-sort all transitions by time.
+        let mut all: Vec<(SimTime, char, Logic)> = Vec::new();
+        for (net, code) in &ids {
+            for tr in &self.nets[net].transitions {
+                all.push((tr.time, *code, tr.value));
+            }
+        }
+        all.sort_by_key(|(t, c, _)| (*t, *c));
+        let mut last_time = None;
+        for (t, code, v) in all {
+            if last_time != Some(t) {
+                let _ = writeln!(out, "#{}", t.as_ps());
+                last_time = Some(t);
+            }
+            let _ = writeln!(out, "{}{code}", v.vcd_char());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Logic::{High, Low};
+
+    fn net(i: usize) -> NetId {
+        NetId::from_index(i)
+    }
+
+    fn sample_trace() -> Trace {
+        let mut t = Trace::new();
+        t.declare(net(0), "sig", SimTime::ZERO, Low);
+        t.record(net(0), SimTime::from_nanos(10), High);
+        t.record(net(0), SimTime::from_nanos(15), Low);
+        t.record(net(0), SimTime::from_nanos(30), High);
+        t.record(net(0), SimTime::from_nanos(50), Low);
+        t
+    }
+
+    #[test]
+    fn value_at_walks_transitions() {
+        let t = sample_trace();
+        assert_eq!(t.value_at(net(0), SimTime::ZERO), Some(Low));
+        assert_eq!(t.value_at(net(0), SimTime::from_nanos(12)), Some(High));
+        assert_eq!(t.value_at(net(0), SimTime::from_nanos(20)), Some(Low));
+        assert_eq!(t.value_at(net(0), SimTime::from_nanos(100)), Some(Low));
+        assert_eq!(t.value_at(net(1), SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn edges_and_pulse_widths() {
+        let t = sample_trace();
+        assert_eq!(
+            t.rising_edges(net(0)),
+            vec![SimTime::from_nanos(10), SimTime::from_nanos(30)]
+        );
+        assert_eq!(
+            t.high_pulse_widths(net(0)),
+            vec![SimTime::from_nanos(5), SimTime::from_nanos(20)]
+        );
+        assert_eq!(t.total_high_time(net(0)), SimTime::from_nanos(25));
+    }
+
+    #[test]
+    fn open_pulse_not_counted() {
+        let mut t = Trace::new();
+        t.declare(net(0), "sig", SimTime::ZERO, Low);
+        t.record(net(0), SimTime::from_nanos(10), High);
+        assert!(t.high_pulse_widths(net(0)).is_empty());
+        assert_eq!(t.total_high_time(net(0)), SimTime::ZERO);
+    }
+
+    #[test]
+    fn undeclared_net_is_ignored() {
+        let mut t = Trace::new();
+        t.record(net(5), SimTime::ZERO, High);
+        assert!(t.transitions(net(5)).is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn vcd_export_structure() {
+        let t = sample_trace();
+        let vcd = t.to_vcd("pll");
+        assert!(vcd.contains("$timescale 1ps $end"));
+        assert!(vcd.contains("$var wire 1 ! sig $end"));
+        assert!(vcd.contains("#10000")); // 10 ns in ps
+        assert!(vcd.contains("$dumpvars"));
+        // Initial value then four transitions → five value lines for '!'
+        assert_eq!(vcd.matches('!').count(), 6); // 1 declaration + 5 values
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests on the digital kernel: determinism, divider
+//! algebra, counter exactness and inertial-delay filtering.
+
+use pllbist_digital::kernel::Circuit;
+use pllbist_digital::logic::Logic;
+use pllbist_digital::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn divider_chain_composes_multiplicatively(
+        m1 in 2u64..20,
+        m2 in 2u64..20,
+        half_ns in 100u64..2_000,
+    ) {
+        let mut c = Circuit::new();
+        let clk = c.clock("clk", SimTime::from_nanos(half_ns));
+        let d1 = c.pulse_divider("d1", clk, m1);
+        let d2 = c.pulse_divider("d2", d1, m2);
+        // Run long enough for several composite periods.
+        let cycles = (m1 * m2 * 10).max(200);
+        c.run_until(SimTime::from_nanos(2 * half_ns * cycles));
+        let in_edges = c.rising_edge_count(clk);
+        let out_edges = c.rising_edge_count(d2);
+        let expect = in_edges / (m1 * m2);
+        prop_assert!(
+            (out_edges as i64 - expect as i64).abs() <= 1,
+            "{out_edges} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn edge_counter_counts_exactly_when_always_enabled(
+        half_ns in 50u64..5_000,
+        run_periods in 10u64..500,
+    ) {
+        let mut c = Circuit::new();
+        let clk = c.clock("clk", SimTime::from_nanos(half_ns));
+        let ctr = c.edge_counter(clk, None);
+        c.run_until(SimTime::from_nanos(2 * half_ns * run_periods));
+        prop_assert_eq!(c.counter_value(ctr), run_periods);
+        prop_assert_eq!(c.rising_edge_count(clk), run_periods);
+    }
+
+    #[test]
+    fn inertial_delay_is_a_sharp_pulse_filter(
+        delay_ns in 5u64..100,
+        pulse_ns in 1u64..200,
+    ) {
+        prop_assume!(pulse_ns != delay_ns);
+        let mut c = Circuit::new();
+        let a = c.input("a", Logic::Low);
+        let y = c.buf("y", a, SimTime::from_nanos(delay_ns));
+        c.poke(a, Logic::High, SimTime::from_micros(1));
+        c.poke(a, Logic::Low, SimTime::from_micros(1) + SimTime::from_nanos(pulse_ns));
+        c.run_until(SimTime::from_micros(10));
+        let passed = c.rising_edge_count(y) == 1;
+        prop_assert_eq!(passed, pulse_ns > delay_ns,
+            "pulse {}ns through {}ns buffer: passed={}", pulse_ns, delay_ns, passed);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(
+        m in 2u64..12,
+        half_ns in 100u64..1_000,
+    ) {
+        let run = || {
+            let mut c = Circuit::new();
+            let clk = c.clock("clk", SimTime::from_nanos(half_ns));
+            let d = c.pulse_divider("d", clk, m);
+            let x = c.xor("x", clk, d, SimTime::from_nanos(3));
+            let ctr = c.edge_counter(x, None);
+            c.run_until(SimTime::from_micros(300));
+            (c.counter_value(ctr), c.value(x), c.rising_edge_count(d))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_edges_match_net_statistics(
+        m in 2u64..10,
+    ) {
+        let mut c = Circuit::new();
+        let clk = c.clock("clk", SimTime::from_micros(1));
+        let d = c.pulse_divider("d", clk, m);
+        c.trace_net(d);
+        c.run_until(SimTime::from_millis(2));
+        let from_trace = c.trace().rising_edges(d).len() as u64;
+        prop_assert_eq!(from_trace, c.rising_edge_count(d));
+    }
+
+    #[test]
+    fn run_until_is_composable(
+        splits in prop::collection::vec(1u64..500, 1..6),
+    ) {
+        // Running in several steps equals running once to the end.
+        let build = || {
+            let mut c = Circuit::new();
+            let clk = c.clock("clk", SimTime::from_nanos(700));
+            let d = c.pulse_divider("d", clk, 3);
+            (c, d)
+        };
+        let total: u64 = splits.iter().sum();
+        let (mut one, d1) = build();
+        one.run_until(SimTime::from_micros(total));
+        let (mut many, d2) = build();
+        let mut acc = 0;
+        for s in &splits {
+            acc += s;
+            many.run_until(SimTime::from_micros(acc));
+        }
+        prop_assert_eq!(one.rising_edge_count(d1), many.rising_edge_count(d2));
+        prop_assert_eq!(one.value(d1), many.value(d2));
+    }
+}

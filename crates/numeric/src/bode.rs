@@ -1,0 +1,378 @@
+//! Frequency-response sweeps and Bode-plot feature extraction.
+//!
+//! The paper's measurement (§2) reduces a PLL to three features of its
+//! closed-loop Bode plot: the resonance `ωp` (≈ natural frequency `ωn`), the
+//! peak height above the 0 dB asymptote (→ damping `ζ`) and the one-sided
+//! −3 dB bandwidth `ω3dB`. [`BodePlot`] holds a sampled response — whether it
+//! came from the analytic model or from the BIST measurement — and extracts
+//! those features uniformly, so theory and measurement are compared on equal
+//! footing.
+
+use crate::interp::parabolic_peak;
+use crate::tf::TransferFunction;
+use crate::units::{Decibels, Degrees, Hertz, RadPerSec};
+
+/// One sample of a frequency response.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BodePoint {
+    /// Angular frequency in rad/s.
+    pub omega: f64,
+    /// Linear magnitude (not dB).
+    pub magnitude: f64,
+    /// Phase in radians, continuous (unwrapped) across the sweep.
+    pub phase: f64,
+}
+
+impl BodePoint {
+    /// Magnitude in decibels.
+    pub fn magnitude_db(&self) -> Decibels {
+        Decibels::from_amplitude_ratio(self.magnitude)
+    }
+
+    /// Phase in degrees.
+    pub fn phase_degrees(&self) -> Degrees {
+        Degrees::from_radians(self.phase)
+    }
+
+    /// Cyclic frequency in Hz.
+    pub fn frequency(&self) -> Hertz {
+        RadPerSec::new(self.omega).to_hertz()
+    }
+}
+
+/// A sampled frequency response, sorted by ascending frequency.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::tf::TransferFunction;
+/// use pllbist_numeric::bode::BodePlot;
+///
+/// let h = TransferFunction::second_order_pll(50.0, 0.43);
+/// let plot = BodePlot::sweep_log(&h, 1.0, 1000.0, 300);
+/// let bw = plot.bandwidth_3db().expect("low-pass response");
+/// assert!(bw > 50.0 && bw < 200.0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BodePlot {
+    points: Vec<BodePoint>,
+}
+
+impl BodePlot {
+    /// Builds a plot from pre-computed points, sorting by frequency.
+    ///
+    /// Phases are used as given (callers that assemble plots from wrapped
+    /// per-point measurements should call [`BodePlot::unwrap_phase`]).
+    pub fn from_points<I: IntoIterator<Item = BodePoint>>(points: I) -> Self {
+        let mut points: Vec<BodePoint> = points.into_iter().collect();
+        points.sort_by(|a, b| a.omega.total_cmp(&b.omega));
+        Self { points }
+    }
+
+    /// Sweeps a transfer function over logarithmically spaced angular
+    /// frequencies `[w_min, w_max]` (rad/s) with `n` points, unwrapping the
+    /// phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the bounds are not positive and increasing.
+    pub fn sweep_log(h: &TransferFunction, w_min: f64, w_max: f64, n: usize) -> Self {
+        assert!(n >= 2, "a sweep needs at least two points");
+        assert!(
+            w_min > 0.0 && w_max > w_min,
+            "log sweep bounds must satisfy 0 < w_min < w_max"
+        );
+        let ratio = (w_max / w_min).ln();
+        let mut plot = Self::from_points((0..n).map(|i| {
+            let omega = w_min * (ratio * i as f64 / (n - 1) as f64).exp();
+            let z = h.eval_jw(omega);
+            BodePoint {
+                omega,
+                magnitude: z.abs(),
+                phase: z.arg(),
+            }
+        }));
+        plot.unwrap_phase();
+        plot
+    }
+
+    /// The sampled points in ascending frequency order.
+    pub fn points(&self) -> &[BodePoint] {
+        &self.points
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` if the plot has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Removes 2π discontinuities so the phase is continuous across the
+    /// sweep (standard phase unwrapping).
+    pub fn unwrap_phase(&mut self) {
+        let mut offset = 0.0;
+        let mut prev = None;
+        for p in &mut self.points {
+            if let Some(prev) = prev {
+                let mut d = p.phase + offset - prev;
+                while d > std::f64::consts::PI {
+                    offset -= std::f64::consts::TAU;
+                    d -= std::f64::consts::TAU;
+                }
+                while d < -std::f64::consts::PI {
+                    offset += std::f64::consts::TAU;
+                    d += std::f64::consts::TAU;
+                }
+            }
+            p.phase += offset;
+            prev = Some(p.phase);
+        }
+    }
+
+    /// Normalises magnitudes to the first (lowest-frequency) point and
+    /// references phases to it — exactly what the paper's method does with
+    /// its first in-band measurement (§2: "all measurements … can be
+    /// referenced to the first measurement").
+    ///
+    /// Returns `None` if the plot is empty or the reference magnitude is
+    /// zero.
+    pub fn referenced_to_first(&self) -> Option<Self> {
+        let first = *self.points.first()?;
+        if first.magnitude == 0.0 {
+            return None;
+        }
+        Some(Self {
+            points: self
+                .points
+                .iter()
+                .map(|p| BodePoint {
+                    omega: p.omega,
+                    magnitude: p.magnitude / first.magnitude,
+                    phase: p.phase - first.phase,
+                })
+                .collect(),
+        })
+    }
+
+    /// The sample with the largest magnitude, refined by parabolic
+    /// interpolation in log-frequency; `None` for empty plots.
+    ///
+    /// The returned point's `omega`/`magnitude` are the interpolated peak;
+    /// its phase is the phase of the nearest sample.
+    pub fn peak(&self) -> Option<BodePoint> {
+        let (idx, best) = self
+            .points
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.magnitude.total_cmp(&b.1.magnitude))?;
+        if idx == 0 || idx + 1 == self.points.len() {
+            return Some(*best);
+        }
+        let (l, c, r) = (&self.points[idx - 1], best, &self.points[idx + 1]);
+        // Interpolate in (ln ω, magnitude) space; log spacing makes the
+        // abscissa uniform enough for the three-point formula. On sparse
+        // hand-picked grids the neighbour spacing can be wildly uneven —
+        // there the parabola extrapolates nonsense, so fall back to the
+        // raw sample.
+        let dl = c.omega.ln() - l.omega.ln();
+        let dr = r.omega.ln() - c.omega.ln();
+        if !(0.4..=2.5).contains(&(dl / dr)) {
+            return Some(*best);
+        }
+        let (x, y) = parabolic_peak(
+            [l.omega.ln(), c.omega.ln(), r.omega.ln()],
+            [l.magnitude, c.magnitude, r.magnitude],
+        );
+        Some(BodePoint {
+            omega: x.exp(),
+            magnitude: y,
+            phase: c.phase,
+        })
+    }
+
+    /// One-sided −3 dB bandwidth: the lowest frequency (rad/s) above the
+    /// peak where the magnitude first crosses `ref_mag/√2`, where `ref_mag`
+    /// is the magnitude of the first sample (the paper's 0 dB asymptote
+    /// reference). Linear interpolation in log-frequency between the
+    /// bracketing samples.
+    ///
+    /// Returns `None` when the response never drops below the threshold in
+    /// the sweep, or the plot has fewer than two points.
+    pub fn bandwidth_3db(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return None;
+        }
+        let threshold = self.points[0].magnitude / 2f64.sqrt();
+        let peak_idx = self
+            .points
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.magnitude.total_cmp(&b.1.magnitude))
+            .map(|(i, _)| i)?;
+        for w in self.points[peak_idx..].windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if a.magnitude >= threshold && b.magnitude < threshold {
+                let t = (a.magnitude - threshold) / (a.magnitude - b.magnitude);
+                let lw = a.omega.ln() + t * (b.omega.ln() - a.omega.ln());
+                return Some(lw.exp());
+            }
+        }
+        None
+    }
+
+    /// The phase (radians) at angular frequency `omega`, linearly
+    /// interpolated in log-frequency; `None` outside the swept range.
+    pub fn phase_at(&self, omega: f64) -> Option<f64> {
+        self.interp_at(omega, |p| p.phase)
+    }
+
+    /// The magnitude at angular frequency `omega`, linearly interpolated in
+    /// log-frequency; `None` outside the swept range.
+    pub fn magnitude_at(&self, omega: f64) -> Option<f64> {
+        self.interp_at(omega, |p| p.magnitude)
+    }
+
+    fn interp_at(&self, omega: f64, f: impl Fn(&BodePoint) -> f64) -> Option<f64> {
+        if self.points.is_empty() || omega < self.points[0].omega {
+            return None;
+        }
+        for w in self.points.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if omega <= b.omega {
+                let t = (omega.ln() - a.omega.ln()) / (b.omega.ln() - a.omega.ln());
+                return Some(f(a) + t * (f(b) - f(a)));
+            }
+        }
+        (omega == self.points.last()?.omega).then(|| f(self.points.last().unwrap()))
+    }
+}
+
+impl FromIterator<BodePoint> for BodePlot {
+    fn from_iter<T: IntoIterator<Item = BodePoint>>(iter: T) -> Self {
+        Self::from_points(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, TAU};
+
+    fn resonant_plot() -> (BodePlot, f64, f64) {
+        let (wn, zeta) = (TAU * 8.0, 0.43);
+        let h = TransferFunction::second_order_pll(wn, zeta);
+        (BodePlot::sweep_log(&h, wn / 50.0, wn * 50.0, 400), wn, zeta)
+    }
+
+    #[test]
+    fn sweep_is_sorted_and_sized() {
+        let (plot, ..) = resonant_plot();
+        assert_eq!(plot.len(), 400);
+        assert!(!plot.is_empty());
+        assert!(plot
+            .points()
+            .windows(2)
+            .all(|w| w[0].omega < w[1].omega));
+    }
+
+    #[test]
+    fn peak_matches_analytic_resonance() {
+        let (plot, wn, zeta) = resonant_plot();
+        let peak = plot.peak().unwrap();
+        // Analytic peak of the 2nd-order-with-zero response.
+        let h = TransferFunction::second_order_pll(wn, zeta);
+        let mut best = (0.0, 0.0);
+        let mut w = wn / 10.0;
+        while w < wn * 10.0 {
+            let m = h.magnitude(w);
+            if m > best.1 {
+                best = (w, m);
+            }
+            w *= 1.0005;
+        }
+        assert!((peak.omega - best.0).abs() / best.0 < 0.02);
+        assert!((peak.magnitude - best.1).abs() / best.1 < 0.005);
+        // For zeta = 0.43 this peak is a few dB.
+        let db = peak.magnitude_db().value();
+        assert!(db > 1.0 && db < 5.0, "peak {db} dB");
+    }
+
+    #[test]
+    fn bandwidth_beyond_peak() {
+        let (plot, wn, _) = resonant_plot();
+        let bw = plot.bandwidth_3db().unwrap();
+        // Gardner: for a type-2 loop with zeta 0.43, w3dB is ~2x wn.
+        assert!(bw > wn && bw < 4.0 * wn, "bw = {bw}, wn = {wn}");
+    }
+
+    #[test]
+    fn referenced_to_first_normalises() {
+        let (plot, ..) = resonant_plot();
+        let r = plot.referenced_to_first().unwrap();
+        assert!((r.points()[0].magnitude - 1.0).abs() < 1e-15);
+        assert_eq!(r.points()[0].phase, 0.0);
+    }
+
+    #[test]
+    fn phase_unwrap_keeps_continuity() {
+        // Third-order system sweeps past -180 degrees without jumps.
+        let h = TransferFunction::new([1.0], [1.0, 3.0, 3.0, 1.0]);
+        let plot = BodePlot::sweep_log(&h, 0.01, 100.0, 500);
+        for w in plot.points().windows(2) {
+            assert!((w[1].phase - w[0].phase).abs() < 0.5);
+        }
+        let last = plot.points().last().unwrap();
+        assert!(last.phase < -FRAC_PI_2 * 2.5, "phase {}", last.phase);
+    }
+
+    #[test]
+    fn interpolated_lookups() {
+        let (plot, wn, _) = resonant_plot();
+        let m = plot.magnitude_at(wn).unwrap();
+        let h = TransferFunction::second_order_pll(wn, 0.43);
+        assert!((m - h.magnitude(wn)).abs() / h.magnitude(wn) < 0.01);
+        let ph = plot.phase_at(wn).unwrap();
+        assert!((ph - h.phase(wn)).abs() < 0.02);
+        assert!(plot.magnitude_at(1e-9).is_none());
+        assert!(plot.magnitude_at(1e9).is_none());
+    }
+
+    #[test]
+    fn point_conversions() {
+        let p = BodePoint {
+            omega: TAU * 10.0,
+            magnitude: 2.0,
+            phase: -FRAC_PI_2,
+        };
+        assert!((p.frequency().value() - 10.0).abs() < 1e-12);
+        assert!((p.magnitude_db().value() - 6.0206).abs() < 1e-3);
+        assert!((p.phase_degrees().value() + 90.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_cases() {
+        let empty = BodePlot::default();
+        assert!(empty.peak().is_none());
+        assert!(empty.bandwidth_3db().is_none());
+        assert!(empty.referenced_to_first().is_none());
+
+        let single = BodePlot::from_points([BodePoint {
+            omega: 1.0,
+            magnitude: 1.0,
+            phase: 0.0,
+        }]);
+        assert!(single.peak().is_some());
+        assert!(single.bandwidth_3db().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn sweep_needs_two_points() {
+        let h = TransferFunction::gain(1.0);
+        let _ = BodePlot::sweep_log(&h, 1.0, 10.0, 1);
+    }
+}

@@ -1,0 +1,400 @@
+//! Double-precision complex numbers.
+//!
+//! A minimal but complete complex type sufficient for frequency-domain
+//! analysis: arithmetic operators, exponential/logarithm, magnitude and
+//! phase accessors. Implemented locally so the workspace carries no external
+//! numerics dependency.
+
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::Complex64;
+///
+/// let s = Complex64::new(0.0, 2.0 * std::f64::consts::PI * 8.0); // jω at 8 Hz
+/// assert!((s.abs() - 50.265).abs() < 1e-2);
+/// assert!((s.arg().to_degrees() - 90.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0j`.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0j`.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1j`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from rectangular components.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates `j·omega`, the Laplace variable evaluated on the imaginary
+    /// axis at angular frequency `omega` (rad/s).
+    #[inline]
+    pub const fn jw(omega: f64) -> Self {
+        Self { re: 0.0, im: omega }
+    }
+
+    /// Creates a complex number from polar coordinates.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pllbist_numeric::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!(z.re.abs() < 1e-15 && (z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Magnitude (modulus), computed with `hypot` for robustness.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude, avoiding the square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians, in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns infinities when `self` is zero, mirroring `1.0 / 0.0`.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal natural logarithm.
+    #[inline]
+    pub fn ln(self) -> Self {
+        Self::new(self.abs().ln(), self.arg())
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// Raises to a real power through the principal branch.
+    #[inline]
+    pub fn powf(self, p: f64) -> Self {
+        if self == Self::ZERO {
+            return Self::ZERO;
+        }
+        Self::from_polar(self.abs().powf(p), self.arg() * p)
+    }
+
+    /// Integer power by repeated squaring (exact for small exponents).
+    pub fn powi(self, mut n: i32) -> Self {
+        if n < 0 {
+            return self.powi(-n).recip();
+        }
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while n > 0 {
+            if n & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            n >>= 1;
+        }
+        acc
+    }
+
+    /// `true` if either component is NaN.
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.re.is_nan() || self.im.is_nan()
+    }
+
+    /// `true` if both components are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl From<f64> for Complex64 {
+    fn from(re: f64) -> Self {
+        Self::from_re(re)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+macro_rules! scalar_ops {
+    ($($t:ty),*) => {$(
+        impl Add<$t> for Complex64 {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: $t) -> Self { Self::new(self.re + rhs as f64, self.im) }
+        }
+        impl Sub<$t> for Complex64 {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: $t) -> Self { Self::new(self.re - rhs as f64, self.im) }
+        }
+        impl Mul<$t> for Complex64 {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: $t) -> Self { Self::new(self.re * rhs as f64, self.im * rhs as f64) }
+        }
+        impl Div<$t> for Complex64 {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: $t) -> Self { Self::new(self.re / rhs as f64, self.im / rhs as f64) }
+        }
+        impl Mul<Complex64> for $t {
+            type Output = Complex64;
+            #[inline]
+            fn mul(self, rhs: Complex64) -> Complex64 { rhs * self }
+        }
+        impl Add<Complex64> for $t {
+            type Output = Complex64;
+            #[inline]
+            fn add(self, rhs: Complex64) -> Complex64 { rhs + self }
+        }
+    )*};
+}
+scalar_ops!(f64);
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, Add::add)
+    }
+}
+
+impl Product for Complex64 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ONE, Mul::mul)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{E, FRAC_PI_2, PI};
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert!((z.arg() - (-4.0f64).atan2(3.0)).abs() < 1e-15);
+        assert_eq!(z.conj(), Complex64::new(3.0, 4.0));
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex64::new(1.5, -2.5);
+        let b = Complex64::new(-0.25, 4.0);
+        assert!(close(a + b - b, a, 1e-15));
+        assert!(close(a * b / b, a, 1e-12));
+        assert!(close(a * a.recip(), Complex64::ONE, 1e-14));
+        assert!(close(-a + a, Complex64::ZERO, 0.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Complex64::I * Complex64::I, Complex64::from_re(-1.0));
+    }
+
+    #[test]
+    fn exp_and_ln_are_inverse() {
+        let z = Complex64::new(0.3, 1.1);
+        assert!(close(z.exp().ln(), z, 1e-14));
+        // Euler's identity.
+        assert!(close(Complex64::jw(PI).exp(), Complex64::from_re(-1.0), 1e-15));
+        assert!((Complex64::from_re(1.0).exp().re - E).abs() < 1e-15);
+    }
+
+    #[test]
+    fn sqrt_of_minus_one() {
+        let r = Complex64::from_re(-1.0).sqrt();
+        assert!(close(r, Complex64::I, 1e-15));
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex64::new(0.7, -0.2);
+        let mut acc = Complex64::ONE;
+        for _ in 0..7 {
+            acc *= z;
+        }
+        assert!(close(z.powi(7), acc, 1e-14));
+        assert!(close(z.powi(-3), (z * z * z).recip(), 1e-12));
+        assert_eq!(z.powi(0), Complex64::ONE);
+    }
+
+    #[test]
+    fn powf_principal_branch() {
+        let z = Complex64::from_polar(4.0, FRAC_PI_2);
+        let r = z.powf(0.5);
+        assert!(close(r, Complex64::from_polar(2.0, FRAC_PI_2 / 2.0), 1e-14));
+        assert_eq!(Complex64::ZERO.powf(2.5), Complex64::ZERO);
+    }
+
+    #[test]
+    fn scalar_mixed_ops() {
+        let z = Complex64::new(2.0, -1.0);
+        assert_eq!(z * 2.0, Complex64::new(4.0, -2.0));
+        assert_eq!(2.0 * z, Complex64::new(4.0, -2.0));
+        assert_eq!(z / 2.0, Complex64::new(1.0, -0.5));
+        assert_eq!(z + 1.0, Complex64::new(3.0, -1.0));
+        assert_eq!(1.0 + z, Complex64::new(3.0, -1.0));
+        assert_eq!(z - 1.0, Complex64::new(1.0, -1.0));
+    }
+
+    #[test]
+    fn sum_and_product_fold() {
+        let v = [
+            Complex64::new(1.0, 1.0),
+            Complex64::new(2.0, -1.0),
+            Complex64::new(-0.5, 0.25),
+        ];
+        let s: Complex64 = v.iter().copied().sum();
+        assert!(close(s, Complex64::new(2.5, 0.25), 1e-15));
+        let p: Complex64 = v.iter().copied().product();
+        let expect = v[0] * v[1] * v[2];
+        assert!(close(p, expect, 1e-15));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn nan_and_finite_predicates() {
+        assert!(Complex64::new(f64::NAN, 0.0).is_nan());
+        assert!(!Complex64::ONE.is_nan());
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::INFINITY, 0.0).is_finite());
+    }
+}

@@ -1,0 +1,213 @@
+//! Least-squares fitting: three-parameter sine fit and linear regression.
+//!
+//! The sine fit (IEEE-1057 style, known frequency) is the reference method
+//! for extracting amplitude and phase from noisy sampled responses and is
+//! used to cross-validate the Goertzel extraction and to post-process
+//! measured frequency-deviation trajectories.
+
+use crate::matrix::Matrix;
+
+/// Result of a known-frequency sine fit `y ≈ a·cos(ωt) + b·sin(ωt) + c`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SineFit {
+    /// Cosine coefficient.
+    pub a: f64,
+    /// Sine coefficient.
+    pub b: f64,
+    /// DC offset.
+    pub c: f64,
+    /// Angular frequency used for the fit (rad/s).
+    pub omega: f64,
+}
+
+impl SineFit {
+    /// Peak amplitude `√(a² + b²)`.
+    pub fn amplitude(&self) -> f64 {
+        self.a.hypot(self.b)
+    }
+
+    /// Phase `φ` such that the fitted tone is `A·cos(ωt + φ)`.
+    pub fn phase(&self) -> f64 {
+        (-self.b).atan2(self.a)
+    }
+
+    /// Evaluates the fitted model at time `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.a * (self.omega * t).cos() + self.b * (self.omega * t).sin() + self.c
+    }
+}
+
+/// Fits `y ≈ a·cos(ωt) + b·sin(ωt) + c` by linear least squares over the
+/// sample pairs `(t, y)`.
+///
+/// Returns `None` when the system is degenerate (fewer than 3 samples or a
+/// singular normal matrix, e.g. all samples at the same instant).
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::fit::sine_fit;
+///
+/// let omega = 10.0;
+/// let samples: Vec<(f64, f64)> = (0..200)
+///     .map(|k| {
+///         let t = k as f64 * 1e-3;
+///         (t, 2.0 * (omega * t).cos() - 0.5 * (omega * t).sin() + 3.0)
+///     })
+///     .collect();
+/// let fit = sine_fit(&samples, omega).expect("well-conditioned fit");
+/// assert!((fit.a - 2.0).abs() < 1e-9 && (fit.b + 0.5).abs() < 1e-9);
+/// assert!((fit.c - 3.0).abs() < 1e-9);
+/// ```
+pub fn sine_fit(samples: &[(f64, f64)], omega: f64) -> Option<SineFit> {
+    if samples.len() < 3 {
+        return None;
+    }
+    // Normal equations for the 3-column design matrix [cos, sin, 1].
+    let mut ata = Matrix::zeros(3, 3);
+    let mut atb = Matrix::zeros(3, 1);
+    for &(t, y) in samples {
+        let row = [(omega * t).cos(), (omega * t).sin(), 1.0];
+        for i in 0..3 {
+            for j in 0..3 {
+                ata[(i, j)] += row[i] * row[j];
+            }
+            atb[(i, 0)] += row[i] * y;
+        }
+    }
+    let sol = ata.solve(&atb)?;
+    Some(SineFit {
+        a: sol[(0, 0)],
+        b: sol[(1, 0)],
+        c: sol[(2, 0)],
+        omega,
+    })
+}
+
+/// Result of an ordinary least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LineFit {
+    /// Slope of the fitted line.
+    pub slope: f64,
+    /// Intercept of the fitted line.
+    pub intercept: f64,
+    /// Coefficient of determination R² (1 for a perfect fit; defined as 1
+    /// when the data has zero variance).
+    pub r_squared: f64,
+}
+
+/// Ordinary least-squares straight-line fit.
+///
+/// Returns `None` for fewer than 2 samples or zero x-variance.
+pub fn line_fit(samples: &[(f64, f64)]) -> Option<LineFit> {
+    let n = samples.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mx = samples.iter().map(|s| s.0).sum::<f64>() / nf;
+    let my = samples.iter().map(|s| s.1).sum::<f64>() / nf;
+    let sxx: f64 = samples.iter().map(|s| (s.0 - mx) * (s.0 - mx)).sum();
+    let sxy: f64 = samples.iter().map(|s| (s.0 - mx) * (s.1 - my)).sum();
+    let syy: f64 = samples.iter().map(|s| (s.1 - my) * (s.1 - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(LineFit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn sine_fit_recovers_parameters() {
+        let omega = TAU * 8.0;
+        let samples: Vec<(f64, f64)> = (0..500)
+            .map(|k| {
+                let t = k as f64 * 0.4e-3;
+                (t, 1.3 * (omega * t + 0.7).cos() - 0.2)
+            })
+            .collect();
+        let fit = sine_fit(&samples, omega).unwrap();
+        assert!((fit.amplitude() - 1.3).abs() < 1e-9);
+        assert!((fit.phase() - 0.7).abs() < 1e-9);
+        assert!((fit.c + 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sine_fit_eval_reproduces_samples() {
+        let omega = 5.0;
+        let samples: Vec<(f64, f64)> = (0..100)
+            .map(|k| {
+                let t = k as f64 * 0.01;
+                (t, 0.5 * (omega * t).cos() + 0.5)
+            })
+            .collect();
+        let fit = sine_fit(&samples, omega).unwrap();
+        for &(t, y) in &samples {
+            assert!((fit.eval(t) - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sine_fit_with_noise_is_unbiased() {
+        // Deterministic pseudo-noise via a simple LCG so the test is stable.
+        let mut seed = 42u64;
+        let mut rand = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        let omega = TAU * 3.0;
+        let samples: Vec<(f64, f64)> = (0..4000)
+            .map(|k| {
+                let t = k as f64 * 1e-3;
+                (t, (omega * t).cos() + 0.1 * rand())
+            })
+            .collect();
+        let fit = sine_fit(&samples, omega).unwrap();
+        assert!((fit.amplitude() - 1.0).abs() < 0.01);
+        assert!(fit.phase().abs() < 0.01);
+    }
+
+    #[test]
+    fn sine_fit_degenerate_cases() {
+        assert!(sine_fit(&[(0.0, 1.0), (1.0, 2.0)], 1.0).is_none());
+        // All samples at the same time: singular.
+        let degenerate = vec![(0.5, 1.0); 10];
+        assert!(sine_fit(&degenerate, 1.0).is_none());
+    }
+
+    #[test]
+    fn line_fit_exact() {
+        let samples: Vec<(f64, f64)> =
+            (0..10).map(|k| (k as f64, 2.0 * k as f64 - 1.0)).collect();
+        let fit = line_fit(&samples).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept + 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_fit_flat_data() {
+        let samples: Vec<(f64, f64)> = (0..5).map(|k| (k as f64, 3.0)).collect();
+        let fit = line_fit(&samples).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 3.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn line_fit_degenerate() {
+        assert!(line_fit(&[(1.0, 1.0)]).is_none());
+        assert!(line_fit(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+    }
+}

@@ -1,0 +1,174 @@
+//! Goertzel single-bin DFT.
+//!
+//! The bench-style baseline measurement (paper fig. 3) extracts the gain and
+//! phase of the loop-filter-node response at exactly the modulation
+//! frequency; the Goertzel recursion does this in O(N) without a full FFT
+//! and — unlike the radix-2 FFT — at an arbitrary, non-bin-centred
+//! frequency.
+
+use crate::complex::Complex64;
+
+/// Result of a single-tone correlation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ToneEstimate {
+    /// Complex amplitude: `signal ≈ Re{ amplitude · e^{jωt} }` — its `abs()`
+    /// is the tone's peak amplitude, its `arg()` the phase of the cosine
+    /// component at `t = 0`.
+    pub amplitude: Complex64,
+    /// The analysed frequency in Hz.
+    pub frequency_hz: f64,
+}
+
+impl ToneEstimate {
+    /// Peak amplitude of the tone.
+    pub fn magnitude(&self) -> f64 {
+        self.amplitude.abs()
+    }
+
+    /// Phase in radians of the tone relative to `cos(ωt)` at the first
+    /// sample.
+    pub fn phase(&self) -> f64 {
+        self.amplitude.arg()
+    }
+}
+
+/// Correlates `signal` (sampled at `sample_rate_hz`) against a complex
+/// exponential at `frequency_hz`, returning amplitude and phase.
+///
+/// This is a direct single-bin DFT with `2/N` scaling, so a pure tone
+/// `A·cos(ωt + φ)` spanning an integer number of periods yields magnitude
+/// `A` and phase `φ`. For non-integer spans the estimate degrades gracefully
+/// (spectral leakage), which the callers mitigate by choosing measurement
+/// windows of whole modulation periods.
+///
+/// # Panics
+///
+/// Panics if the signal is empty or the rates are not positive.
+pub fn goertzel(signal: &[f64], sample_rate_hz: f64, frequency_hz: f64) -> ToneEstimate {
+    assert!(!signal.is_empty(), "signal must not be empty");
+    assert!(
+        sample_rate_hz > 0.0 && frequency_hz >= 0.0,
+        "rates must be positive"
+    );
+    let n = signal.len() as f64;
+    let w = std::f64::consts::TAU * frequency_hz / sample_rate_hz;
+    // Goertzel recursion: s[k] = x[k] + 2cos(w) s[k-1] − s[k-2].
+    let coeff = 2.0 * w.cos();
+    let (mut s1, mut s2) = (0.0f64, 0.0f64);
+    for &x in signal {
+        let s0 = x + coeff * s1 - s2;
+        s2 = s1;
+        s1 = s0;
+    }
+    // s1 − e^{−jw}·s2 equals the DFT value rotated by e^{+jw(N−1)} (it is
+    // referenced to the *last* sample); rotate back so the phase is relative
+    // to cos(ωt) at the first sample.
+    let x = Complex64::new(s1 - w.cos() * s2, w.sin() * s2)
+        * Complex64::from_polar(1.0, -w * (n - 1.0));
+    let scale = if frequency_hz == 0.0 { 1.0 } else { 2.0 };
+    ToneEstimate {
+        amplitude: x * (scale / n),
+        frequency_hz,
+    }
+}
+
+/// Gain and phase of `output` relative to `input` at `frequency_hz`
+/// (both signals sampled at `sample_rate_hz`).
+///
+/// Returns `(gain, phase_rad)` where `phase_rad` is negative when the
+/// output lags the input.
+///
+/// # Panics
+///
+/// Panics if the signals differ in length or are empty.
+pub fn relative_response(
+    input: &[f64],
+    output: &[f64],
+    sample_rate_hz: f64,
+    frequency_hz: f64,
+) -> (f64, f64) {
+    assert_eq!(input.len(), output.len(), "signals must be the same length");
+    let i = goertzel(input, sample_rate_hz, frequency_hz);
+    let o = goertzel(output, sample_rate_hz, frequency_hz);
+    let ratio = o.amplitude / i.amplitude;
+    (ratio.abs(), ratio.arg())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    fn tone(n: usize, fs: f64, f: f64, a: f64, phi: f64) -> Vec<f64> {
+        (0..n)
+            .map(|k| a * (TAU * f * k as f64 / fs + phi).cos())
+            .collect()
+    }
+
+    #[test]
+    fn recovers_amplitude_and_phase() {
+        let fs = 1000.0;
+        let f = 50.0; // 20 samples per period, integer periods in 400 samples
+        let s = tone(400, fs, f, 1.7, 0.6);
+        let est = goertzel(&s, fs, f);
+        assert!((est.magnitude() - 1.7).abs() < 1e-10);
+        assert!((est.phase() - 0.6).abs() < 1e-10);
+    }
+
+    #[test]
+    fn non_bin_centred_frequency() {
+        let fs = 1000.0;
+        let f = 37.5; // 3 full periods in 80 ms = 80 samples? 37.5*0.08=3 ✓
+        let s = tone(80, fs, f, 0.9, -1.1);
+        let est = goertzel(&s, fs, f);
+        assert!((est.magnitude() - 0.9).abs() < 1e-9);
+        assert!((est.phase() + 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_orthogonal_tone() {
+        let fs = 800.0;
+        let s = tone(800, fs, 100.0, 1.0, 0.0);
+        let est = goertzel(&s, fs, 200.0);
+        assert!(est.magnitude() < 1e-10);
+    }
+
+    #[test]
+    fn dc_component() {
+        let s = vec![2.5; 100];
+        let est = goertzel(&s, 100.0, 0.0);
+        assert!((est.magnitude() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_response_gain_and_lag() {
+        let fs = 2000.0;
+        let f = 40.0;
+        let input = tone(1000, fs, f, 1.0, 0.0);
+        let output = tone(1000, fs, f, 0.5, -0.8); // attenuated, lagging
+        let (g, ph) = relative_response(&input, &output, fs, f);
+        assert!((g - 0.5).abs() < 1e-9);
+        assert!((ph + 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_signal_extracts_only_target_tone() {
+        let fs = 1600.0;
+        let n = 1600;
+        let s: Vec<f64> = (0..n)
+            .map(|k| {
+                let t = k as f64 / fs;
+                0.7 * (TAU * 80.0 * t + 0.3).cos() + 2.0 * (TAU * 200.0 * t).cos() + 0.5
+            })
+            .collect();
+        let est = goertzel(&s, fs, 80.0);
+        assert!((est.magnitude() - 0.7).abs() < 1e-9);
+        assert!((est.phase() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_signal_rejected() {
+        let _ = goertzel(&[], 1.0, 1.0);
+    }
+}

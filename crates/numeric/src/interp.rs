@@ -1,0 +1,168 @@
+//! Interpolation and feature location on sampled waveforms.
+//!
+//! The transient engine samples continuous quantities at discrete steps;
+//! these helpers recover sub-step timing (threshold crossings — used for
+//! VCO edge extraction) and sub-sample extrema (parabolic peak refinement —
+//! used for Bode peak location and the paper's peak-deviation measurement).
+
+/// Linear interpolation between `(x0, y0)` and `(x1, y1)` at `x`.
+pub fn lerp(x0: f64, y0: f64, x1: f64, y1: f64, x: f64) -> f64 {
+    if x1 == x0 {
+        return y0;
+    }
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// The `x` where the segment from `(x0, y0)` to `(x1, y1)` crosses `level`;
+/// `None` if the segment does not cross it (touching an endpoint counts as
+/// crossing).
+pub fn crossing_time(x0: f64, y0: f64, x1: f64, y1: f64, level: f64) -> Option<f64> {
+    let d0 = y0 - level;
+    let d1 = y1 - level;
+    if d0 == 0.0 {
+        return Some(x0);
+    }
+    if d1 == 0.0 {
+        return Some(x1);
+    }
+    if d0.signum() == d1.signum() {
+        return None;
+    }
+    Some(x0 + (x1 - x0) * d0 / (d0 - d1))
+}
+
+/// All rising crossings of `level` in a uniformly sampled signal starting
+/// at `t0` with step `dt`, located by linear interpolation.
+pub fn rising_crossings(signal: &[f64], t0: f64, dt: f64, level: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (i, w) in signal.windows(2).enumerate() {
+        if w[0] < level && w[1] >= level {
+            let x0 = t0 + i as f64 * dt;
+            if let Some(t) = crossing_time(x0, w[0], x0 + dt, w[1], level) {
+                out.push(t);
+            }
+        }
+    }
+    out
+}
+
+/// Vertex of the parabola through three points; returns `(x, y)` of the
+/// extremum. Falls back to the middle point when the three are collinear.
+///
+/// # Panics
+///
+/// Panics if the abscissae are not strictly increasing.
+pub fn parabolic_peak(x: [f64; 3], y: [f64; 3]) -> (f64, f64) {
+    assert!(x[0] < x[1] && x[1] < x[2], "abscissae must be increasing");
+    // Lagrange form second-difference.
+    let d1 = (y[1] - y[0]) / (x[1] - x[0]);
+    let d2 = (y[2] - y[1]) / (x[2] - x[1]);
+    let curv = (d2 - d1) / (x[2] - x[0]);
+    if curv == 0.0 {
+        return (x[1], y[1]);
+    }
+    // Derivative of the interpolating quadratic = 0.
+    let xm = 0.5 * (x[0] + x[1]) - d1 / (2.0 * curv);
+    // Evaluate the quadratic (Newton form) at xm.
+    let ym = y[0] + d1 * (xm - x[0]) + curv * (xm - x[0]) * (xm - x[1]);
+    (xm, ym)
+}
+
+/// Locates the extremum of a uniformly sampled signal with sub-sample
+/// parabolic refinement. Returns `(time, value)`; `None` for fewer than
+/// one sample. `maximize` selects max vs min.
+pub fn refined_extremum(signal: &[f64], t0: f64, dt: f64, maximize: bool) -> Option<(f64, f64)> {
+    if signal.is_empty() {
+        return None;
+    }
+    let idx = if maximize {
+        crate::stats::argmax(signal)?
+    } else {
+        crate::stats::argmin(signal)?
+    };
+    if idx == 0 || idx + 1 >= signal.len() {
+        return Some((t0 + idx as f64 * dt, signal[idx]));
+    }
+    let x = [
+        t0 + (idx - 1) as f64 * dt,
+        t0 + idx as f64 * dt,
+        t0 + (idx + 1) as f64 * dt,
+    ];
+    let y = [signal[idx - 1], signal[idx], signal[idx + 1]];
+    Some(parabolic_peak(x, y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn lerp_basics() {
+        assert_eq!(lerp(0.0, 0.0, 1.0, 10.0, 0.25), 2.5);
+        assert_eq!(lerp(1.0, 5.0, 1.0, 9.0, 1.0), 5.0); // degenerate
+    }
+
+    #[test]
+    fn crossing_detection() {
+        assert_eq!(crossing_time(0.0, -1.0, 1.0, 1.0, 0.0), Some(0.5));
+        assert_eq!(crossing_time(0.0, 1.0, 1.0, 2.0, 0.0), None);
+        assert_eq!(crossing_time(0.0, 0.0, 1.0, 2.0, 0.0), Some(0.0));
+        assert_eq!(crossing_time(2.0, 3.0, 3.0, 5.0, 5.0), Some(3.0));
+    }
+
+    #[test]
+    fn rising_crossings_of_sine() {
+        let f = 5.0;
+        let fs = 1000.0;
+        let signal: Vec<f64> = (0..1000).map(|k| (TAU * f * k as f64 / fs).sin()).collect();
+        let times = rising_crossings(&signal, 0.0, 1.0 / fs, 0.0);
+        // Rising zero crossings at t = k/f (excluding t=0 which starts at level).
+        assert_eq!(times.len(), 4);
+        for (k, t) in times.iter().enumerate() {
+            assert!((t - (k + 1) as f64 / f).abs() < 1e-4, "t={t}");
+        }
+    }
+
+    #[test]
+    fn parabola_vertex_recovered_exactly() {
+        // y = -(x-2)^2 + 3
+        let f = |x: f64| -(x - 2.0) * (x - 2.0) + 3.0;
+        let (x, y) = parabolic_peak([1.0, 1.8, 3.1], [f(1.0), f(1.8), f(3.1)]);
+        assert!((x - 2.0).abs() < 1e-12);
+        assert!((y - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collinear_points_fall_back() {
+        let (x, y) = parabolic_peak([0.0, 1.0, 2.0], [0.0, 1.0, 2.0]);
+        assert_eq!((x, y), (1.0, 1.0));
+    }
+
+    #[test]
+    fn refined_extremum_of_sine_peak() {
+        let f = 2.0;
+        let fs = 100.0; // coarse sampling
+        let signal: Vec<f64> = (0..100).map(|k| (TAU * f * k as f64 / fs).sin()).collect();
+        let (t, v) = refined_extremum(&signal, 0.0, 1.0 / fs, true).unwrap();
+        assert!((t - 0.125).abs() < 1e-3, "t={t}");
+        assert!((v - 1.0).abs() < 1e-3);
+        let (tmin, vmin) = refined_extremum(&signal, 0.0, 1.0 / fs, false).unwrap();
+        assert!((tmin - 0.375).abs() < 1e-3);
+        assert!((vmin + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn extremum_at_boundary() {
+        let signal = [3.0, 2.0, 1.0];
+        let (t, v) = refined_extremum(&signal, 10.0, 0.5, true).unwrap();
+        assert_eq!((t, v), (10.0, 3.0));
+        assert!(refined_extremum(&[], 0.0, 1.0, true).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "increasing")]
+    fn unordered_abscissae_panic() {
+        let _ = parabolic_peak([0.0, 0.0, 1.0], [1.0, 2.0, 3.0]);
+    }
+}

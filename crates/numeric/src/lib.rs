@@ -1,0 +1,64 @@
+//! Numerical substrate for the `pllbist` workspace.
+//!
+//! This crate provides every piece of mathematics the PLL simulator and the
+//! BIST monitor need, implemented from scratch so the workspace has no
+//! external numerical dependencies:
+//!
+//! * [`complex`] — double-precision complex arithmetic ([`Complex64`]).
+//! * [`units`] — newtypes for physical quantities ([`Hertz`], [`Seconds`], …).
+//! * [`poly`] — real-coefficient polynomials with complex evaluation and
+//!   root finding.
+//! * [`tf`] — rational Laplace-domain transfer functions and block-diagram
+//!   composition (series / parallel / feedback).
+//! * [`bode`] — frequency-response sweeps and feature extraction (peak,
+//!   −3 dB bandwidth).
+//! * [`matrix`] — small dense matrices with LU solve and the matrix
+//!   exponential.
+//! * [`statespace`] — continuous state-space models and *exact*
+//!   zero-order-hold discretisation.
+//! * [`ode`] — classic fixed-step integrators (RK4, trapezoidal).
+//! * [`rootfind`] — bracketing scalar root finders (bisection, Brent).
+//! * [`fft`] — radix-2 FFT, inverse FFT and spectral helpers.
+//! * [`goertzel`] — single-bin DFT for gain/phase extraction at one tone.
+//! * [`fit`] — least-squares sine fitting and linear regression.
+//! * [`stats`] — descriptive statistics.
+//! * [`interp`] — interpolation and threshold-crossing location on sampled
+//!   waveforms.
+//!
+//! # Example
+//!
+//! Build the closed-loop transfer function of a second-order PLL and read
+//! off its resonance:
+//!
+//! ```
+//! use pllbist_numeric::tf::TransferFunction;
+//! use pllbist_numeric::bode::BodePlot;
+//!
+//! // H(s) = (2*zeta*wn*s + wn^2) / (s^2 + 2*zeta*wn*s + wn^2)
+//! let (wn, zeta) = (50.0, 0.43);
+//! let h = TransferFunction::new(
+//!     [wn * wn, 2.0 * zeta * wn],
+//!     [wn * wn, 2.0 * zeta * wn, 1.0],
+//! );
+//! let plot = BodePlot::sweep_log(&h, 1.0, 1000.0, 200);
+//! let peak = plot.peak().expect("resonant system");
+//! assert!((peak.omega - wn).abs() / wn < 0.2);
+//! ```
+
+pub mod bode;
+pub mod complex;
+pub mod fft;
+pub mod fit;
+pub mod goertzel;
+pub mod interp;
+pub mod matrix;
+pub mod ode;
+pub mod poly;
+pub mod rootfind;
+pub mod statespace;
+pub mod stats;
+pub mod tf;
+pub mod units;
+
+pub use complex::Complex64;
+pub use units::{Decibels, Degrees, Hertz, RadPerSec, Seconds, Volts};

@@ -1,0 +1,487 @@
+//! Small dense matrices: arithmetic, LU solve, inverse and the matrix
+//! exponential.
+//!
+//! Loop filters are 1–3 state systems, so these routines are tuned for
+//! clarity and robustness on tiny matrices rather than for large-scale
+//! performance. The matrix exponential uses scaling-and-squaring with a
+//! diagonal Padé(6,6) approximant — accurate to machine precision for the
+//! well-scaled matrices that arise from filter discretisation.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::matrix::Matrix;
+///
+/// let a = Matrix::from_rows(&[&[0.0, 1.0], &[-2.0, -3.0]]);
+/// let e = a.expm();
+/// // expm of a stable matrix stays bounded
+/// assert!(e.frobenius_norm() < 2.0);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix of the given shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be nonzero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n×n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows are empty or ragged.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut m = Self::zeros(rows.len(), cols);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(r.len(), cols, "ragged rows");
+            m.data[i * cols..(i + 1) * cols].copy_from_slice(r);
+        }
+        m
+    }
+
+    /// Creates a column vector.
+    pub fn column(values: &[f64]) -> Self {
+        let mut m = Self::zeros(values.len(), 1);
+        m.data.copy_from_slice(values);
+        m
+    }
+
+    /// Creates a row vector.
+    pub fn row(values: &[f64]) -> Self {
+        let mut m = Self::zeros(1, values.len());
+        m.data.copy_from_slice(values);
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` if the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Raw data in row-major order.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let mut t = Self::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Scales every entry.
+    pub fn scale(&self, k: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| x * k).collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Infinity norm (max absolute row sum).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| {
+                self.data[i * self.cols..(i + 1) * self.cols]
+                    .iter()
+                    .map(|x| x.abs())
+                    .sum::<f64>()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Extracts a sub-matrix block starting at `(r0, c0)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block exceeds the matrix bounds.
+    pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
+        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        let mut b = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                b[(i, j)] = self[(r0 + i, c0 + j)];
+            }
+        }
+        b
+    }
+
+    /// Solves `A·x = b` by LU decomposition with partial pivoting.
+    ///
+    /// Returns `None` when the matrix is numerically singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch (A not square, or b row count ≠ A size).
+    pub fn solve(&self, b: &Matrix) -> Option<Matrix> {
+        assert!(self.is_square(), "solve requires a square matrix");
+        assert_eq!(self.rows, b.rows, "rhs row count must match");
+        let n = self.rows;
+        let mut lu = self.clone();
+        let mut x = b.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // Pivot.
+            let (piv, piv_val) = (k..n)
+                .map(|i| (i, lu[(i, k)].abs()))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("non-empty range");
+            if piv_val < 1e-300 {
+                return None;
+            }
+            if piv != k {
+                for j in 0..n {
+                    let t = lu[(k, j)];
+                    lu[(k, j)] = lu[(piv, j)];
+                    lu[(piv, j)] = t;
+                }
+                for j in 0..x.cols {
+                    let t = x[(k, j)];
+                    x[(k, j)] = x[(piv, j)];
+                    x[(piv, j)] = t;
+                }
+                perm.swap(k, piv);
+            }
+            for i in k + 1..n {
+                let f = lu[(i, k)] / lu[(k, k)];
+                lu[(i, k)] = f;
+                for j in k + 1..n {
+                    lu[(i, j)] -= f * lu[(k, j)];
+                }
+                for j in 0..x.cols {
+                    x[(i, j)] -= f * x[(k, j)];
+                }
+            }
+        }
+        // Back substitution.
+        for j in 0..x.cols {
+            for i in (0..n).rev() {
+                let mut s = x[(i, j)];
+                for k in i + 1..n {
+                    s -= lu[(i, k)] * x[(k, j)];
+                }
+                x[(i, j)] = s / lu[(i, i)];
+            }
+        }
+        Some(x)
+    }
+
+    /// Matrix inverse; `None` when singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        self.solve(&Matrix::identity(self.rows))
+    }
+
+    /// Matrix exponential `e^A` by scaling-and-squaring with a Padé(6,6)
+    /// approximant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square or is numerically singular at the
+    /// Padé solve step (does not occur for finite inputs).
+    pub fn expm(&self) -> Matrix {
+        assert!(self.is_square(), "expm requires a square matrix");
+        let n = self.rows;
+        let norm = self.inf_norm();
+        // Scale so that ||A/2^s|| <= 0.5.
+        let s = if norm > 0.5 {
+            (norm / 0.5).log2().ceil() as i32
+        } else {
+            0
+        };
+        let a = self.scale(0.5f64.powi(s));
+
+        // Padé(6,6): N = sum c_k A^k, D = sum (-1)^k c_k A^k.
+        let c = pade6_coefficients();
+        let mut term = Matrix::identity(n);
+        let mut num = Matrix::identity(n).scale(c[0]);
+        let mut den = Matrix::identity(n).scale(c[0]);
+        for (k, &ck) in c.iter().enumerate().skip(1) {
+            term = &term * &a;
+            num = &num + &term.scale(ck);
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            den = &den + &term.scale(sign * ck);
+        }
+        let mut e = den
+            .solve(&num)
+            .expect("Padé denominator is well conditioned for scaled input");
+        for _ in 0..s {
+            e = &e * &e;
+        }
+        e
+    }
+}
+
+fn pade6_coefficients() -> [f64; 7] {
+    // c_k = (2m-k)! m! / ((2m)! k! (m-k)!) with m = 6.
+    let mut c = [0.0; 7];
+    c[0] = 1.0;
+    let m = 6.0;
+    for k in 1..7 {
+        let kf = k as f64;
+        c[k] = c[k - 1] * (m - kf + 1.0) / ((2.0 * m - kf + 1.0) * kf);
+    }
+    c
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Add for &Matrix {
+    type Output = Matrix;
+    fn add(self, rhs: Self) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &Matrix {
+    type Output = Matrix;
+    fn sub(self, rhs: Self) -> Matrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for &Matrix {
+    type Output = Matrix;
+    fn mul(self, rhs: Self) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:.6}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &Matrix, b: &Matrix, tol: f64) -> bool {
+        (a - b).frobenius_norm() <= tol
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 2);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(Matrix::identity(3)[(2, 2)], 1.0);
+        assert_eq!(Matrix::column(&[1.0, 2.0]).rows(), 2);
+        assert_eq!(Matrix::row(&[1.0, 2.0]).cols(), 2);
+    }
+
+    #[test]
+    fn multiplication_and_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = &a * &b;
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+        assert_eq!(a.transpose(), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+    }
+
+    #[test]
+    fn solve_and_inverse() {
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let b = Matrix::column(&[3.0, 5.0]);
+        let x = a.solve(&b).unwrap();
+        // 2x+y=3, x+3y=5 → x=0.8, y=1.4
+        assert!((x[(0, 0)] - 0.8).abs() < 1e-12);
+        assert!((x[(1, 0)] - 1.4).abs() < 1e-12);
+
+        let inv = a.inverse().unwrap();
+        assert!(close(&(&a * &inv), &Matrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    fn singular_detected() {
+        let s = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert!(s.inverse().is_none());
+        assert!(s.solve(&Matrix::column(&[1.0, 1.0])).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.solve(&Matrix::column(&[2.0, 3.0])).unwrap();
+        assert!((x[(0, 0)] - 3.0).abs() < 1e-14);
+        assert!((x[(1, 0)] - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_of_zero_is_identity() {
+        let z = Matrix::zeros(3, 3);
+        assert!(close(&z.expm(), &Matrix::identity(3), 1e-15));
+    }
+
+    #[test]
+    fn expm_of_diagonal() {
+        let d = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, -2.0]]);
+        let e = d.expm();
+        assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-14);
+        assert!(e[(0, 1)].abs() < 1e-14 && e[(1, 0)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn expm_of_rotation_generator() {
+        // A = [[0, -w],[w, 0]] → expm(A·t) is rotation by w·t.
+        let w = 2.5;
+        let a = Matrix::from_rows(&[&[0.0, -w], &[w, 0.0]]);
+        let e = a.expm();
+        let want = Matrix::from_rows(&[&[w.cos(), -w.sin()], &[w.sin(), w.cos()]]);
+        assert!(close(&e, &want, 1e-12));
+    }
+
+    #[test]
+    fn expm_semigroup_property() {
+        // expm(A) * expm(A) == expm(2A)
+        let a = Matrix::from_rows(&[&[-0.3, 1.2, 0.0], &[0.0, -0.7, 0.4], &[0.1, 0.0, -1.5]]);
+        let e1 = a.expm();
+        let e2 = a.scale(2.0).expm();
+        assert!(close(&(&e1 * &e1), &e2, 1e-10));
+    }
+
+    #[test]
+    fn expm_large_norm_uses_scaling() {
+        let a = Matrix::from_rows(&[&[-100.0, 0.0], &[0.0, -200.0]]);
+        let e = a.expm();
+        assert!(e[(0, 0)] < 1e-40 && e[(1, 1)] < 1e-80);
+        assert!(e[(0, 0)] >= 0.0 && e[(1, 1)] >= 0.0);
+    }
+
+    #[test]
+    fn block_extraction() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &[7.0, 8.0, 9.0]]);
+        let b = m.block(1, 1, 2, 2);
+        assert_eq!(b, Matrix::from_rows(&[&[5.0, 6.0], &[8.0, 9.0]]));
+    }
+
+    #[test]
+    fn norms() {
+        let m = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(m.inf_norm(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,147 @@
+//! Fixed-step ODE integrators.
+//!
+//! The linear parts of the PLL are stepped exactly via
+//! [`crate::statespace::DiscreteStateSpace`]; these general integrators are
+//! used for the *non-linear* models (VCO tuning-curve non-linearity,
+//! saturating charge pump) and as an independent cross-check in tests.
+
+/// Advances `x` by one step of the classic fourth-order Runge–Kutta method.
+///
+/// `f(t, x, dx)` writes the derivative of `x` at time `t` into `dx`.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::ode::rk4_step;
+///
+/// // dx/dt = -x, x(0)=1 → x(t)=e^{-t}
+/// let mut x = vec![1.0];
+/// let dt = 0.01;
+/// for k in 0..100 {
+///     rk4_step(&mut x, k as f64 * dt, dt, |_, x, dx| dx[0] = -x[0]);
+/// }
+/// assert!((x[0] - (-1.0f64).exp()).abs() < 1e-9);
+/// ```
+pub fn rk4_step<F>(x: &mut [f64], t: f64, dt: f64, mut f: F)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = x.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut k3 = vec![0.0; n];
+    let mut k4 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+
+    f(t, x, &mut k1);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * dt * k1[i];
+    }
+    f(t + 0.5 * dt, &tmp, &mut k2);
+    for i in 0..n {
+        tmp[i] = x[i] + 0.5 * dt * k2[i];
+    }
+    f(t + 0.5 * dt, &tmp, &mut k3);
+    for i in 0..n {
+        tmp[i] = x[i] + dt * k3[i];
+    }
+    f(t + dt, &tmp, &mut k4);
+    for i in 0..n {
+        x[i] += dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+}
+
+/// Integrates from `t0` to `t1` in `steps` equal RK4 steps, returning the
+/// final state.
+///
+/// # Panics
+///
+/// Panics if `steps == 0`.
+pub fn rk4_integrate<F>(mut x: Vec<f64>, t0: f64, t1: f64, steps: usize, mut f: F) -> Vec<f64>
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    assert!(steps > 0, "at least one step required");
+    let dt = (t1 - t0) / steps as f64;
+    for k in 0..steps {
+        rk4_step(&mut x, t0 + k as f64 * dt, dt, &mut f);
+    }
+    x
+}
+
+/// One step of the explicit trapezoidal (Heun) method — second order, used
+/// where a cheap, dissipative-friendly integrator is preferred.
+pub fn heun_step<F>(x: &mut [f64], t: f64, dt: f64, mut f: F)
+where
+    F: FnMut(f64, &[f64], &mut [f64]),
+{
+    let n = x.len();
+    let mut k1 = vec![0.0; n];
+    let mut k2 = vec![0.0; n];
+    let mut tmp = vec![0.0; n];
+    f(t, x, &mut k1);
+    for i in 0..n {
+        tmp[i] = x[i] + dt * k1[i];
+    }
+    f(t + dt, &tmp, &mut k2);
+    for i in 0..n {
+        x[i] += 0.5 * dt * (k1[i] + k2[i]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk4_exponential_decay_fourth_order() {
+        // Halving dt should reduce the error ~16x.
+        let run = |steps: usize| {
+            let x = rk4_integrate(vec![1.0], 0.0, 1.0, steps, |_, x, dx| dx[0] = -x[0]);
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(20);
+        let e2 = run(40);
+        assert!(e1 / e2 > 12.0, "order too low: {e1} / {e2}");
+    }
+
+    #[test]
+    fn rk4_harmonic_oscillator_energy() {
+        // x'' = -w^2 x as a 2-state system; energy conserved to high order.
+        let w = 3.0;
+        let x = rk4_integrate(vec![1.0, 0.0], 0.0, 10.0, 5000, |_, x, dx| {
+            dx[0] = x[1];
+            dx[1] = -w * w * x[0];
+        });
+        let energy = 0.5 * x[1] * x[1] + 0.5 * w * w * x[0] * x[0];
+        assert!((energy - 0.5 * w * w).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rk4_time_dependent_rhs() {
+        // dx/dt = cos(t) → x = sin(t).
+        let x = rk4_integrate(vec![0.0], 0.0, 2.0, 200, |t, _, dx| dx[0] = t.cos());
+        assert!((x[0] - 2.0f64.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heun_second_order() {
+        let run = |steps: usize| {
+            let mut x = vec![1.0];
+            let dt = 1.0 / steps as f64;
+            for k in 0..steps {
+                heun_step(&mut x, k as f64 * dt, dt, |_, x, dx| dx[0] = -x[0]);
+            }
+            (x[0] - (-1.0f64).exp()).abs()
+        };
+        let e1 = run(50);
+        let e2 = run(100);
+        assert!(e1 / e2 > 3.5 && e1 / e2 < 4.5, "ratio {}", e1 / e2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_rejected() {
+        let _ = rk4_integrate(vec![0.0], 0.0, 1.0, 0, |_, _, dx| dx[0] = 0.0);
+    }
+}

@@ -1,0 +1,380 @@
+//! Real-coefficient polynomials with complex evaluation and root finding.
+//!
+//! Polynomials are stored in **ascending** coefficient order
+//! (`c[0] + c[1]·x + c[2]·x² + …`), the natural order for transfer-function
+//! work where the constant term is the DC behaviour.
+
+use crate::complex::Complex64;
+use std::fmt;
+use std::ops::{Add, Mul, Sub};
+
+/// A polynomial with real coefficients, ascending order.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::poly::Polynomial;
+///
+/// // p(x) = 1 + 2x + x²  =  (x + 1)²
+/// let p = Polynomial::new([1.0, 2.0, 1.0]);
+/// assert_eq!(p.degree(), 2);
+/// assert_eq!(p.eval(2.0), 9.0);
+/// let roots = p.roots(1e-10, 200);
+/// assert!(roots.iter().all(|r| (r.re + 1.0).abs() < 1e-4 && r.im.abs() < 1e-4));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from ascending coefficients, trimming trailing
+    /// (highest-order) zeros.
+    ///
+    /// The zero polynomial is represented by a single `0.0` coefficient.
+    pub fn new<I: IntoIterator<Item = f64>>(coeffs: I) -> Self {
+        let mut coeffs: Vec<f64> = coeffs.into_iter().collect();
+        while coeffs.len() > 1 && coeffs.last() == Some(&0.0) {
+            coeffs.pop();
+        }
+        if coeffs.is_empty() {
+            coeffs.push(0.0);
+        }
+        Self { coeffs }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::new([c])
+    }
+
+    /// The monomial `x`.
+    pub fn x() -> Self {
+        Self::new([0.0, 1.0])
+    }
+
+    /// Builds a monic polynomial from its real roots: `∏ (x − rᵢ)`.
+    pub fn from_roots<I: IntoIterator<Item = f64>>(roots: I) -> Self {
+        let mut p = Self::constant(1.0);
+        for r in roots {
+            p = &p * &Self::new([-r, 1.0]);
+        }
+        p
+    }
+
+    /// Ascending coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Degree (0 for constants, including the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// `true` if all coefficients are zero.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.iter().all(|&c| c == 0.0)
+    }
+
+    /// Leading (highest-order) coefficient.
+    pub fn leading(&self) -> f64 {
+        *self.coeffs.last().expect("polynomial is never empty")
+    }
+
+    /// Evaluates at a real point by Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates at a complex point by Horner's rule.
+    pub fn eval_complex(&self, x: Complex64) -> Complex64 {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex64::ZERO, |acc, &c| acc * x + c)
+    }
+
+    /// First derivative.
+    pub fn derivative(&self) -> Self {
+        if self.coeffs.len() == 1 {
+            return Self::constant(0.0);
+        }
+        Self::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(i, &c)| c * i as f64),
+        )
+    }
+
+    /// Multiplies every coefficient by a scalar.
+    pub fn scale(&self, k: f64) -> Self {
+        Self::new(self.coeffs.iter().map(|&c| c * k))
+    }
+
+    /// Substitutes `x → k·x`, i.e. returns `p(k·x)`; used for frequency
+    /// scaling of transfer functions.
+    pub fn scale_arg(&self, k: f64) -> Self {
+        let mut pow = 1.0;
+        Self::new(self.coeffs.iter().map(|&c| {
+            let out = c * pow;
+            pow *= k;
+            out
+        }))
+    }
+
+    /// All complex roots via the Durand–Kerner (Weierstrass) simultaneous
+    /// iteration.
+    ///
+    /// Returns an empty vector for constant polynomials. Convergence is
+    /// declared when every root moves less than `tol` in one sweep; at most
+    /// `max_iter` sweeps are performed (the best iterate so far is returned
+    /// even if the tolerance was not met, which for the well-conditioned
+    /// low-order polynomials of this workspace does not occur in practice).
+    pub fn roots(&self, tol: f64, max_iter: usize) -> Vec<Complex64> {
+        let n = self.degree();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // c0 + c1 x = 0
+            return vec![Complex64::from_re(-self.coeffs[0] / self.coeffs[1])];
+        }
+        if n == 2 {
+            return quadratic_roots(self.coeffs[0], self.coeffs[1], self.coeffs[2]).to_vec();
+        }
+        // Normalise to monic.
+        let lead = self.leading();
+        let monic: Vec<f64> = self.coeffs.iter().map(|&c| c / lead).collect();
+        // Initial guesses on a circle of radius related to the coefficient
+        // magnitudes (Cauchy bound), rotated off the real axis.
+        let radius = 1.0
+            + monic[..n]
+                .iter()
+                .fold(0.0f64, |m, &c| m.max(c.abs()));
+        let mut roots: Vec<Complex64> = (0..n)
+            .map(|k| {
+                Complex64::from_polar(
+                    radius,
+                    std::f64::consts::TAU * (k as f64 + 0.25) / n as f64 + 0.1,
+                )
+            })
+            .collect();
+        let poly = Self::new(monic.iter().copied());
+        for _ in 0..max_iter {
+            let mut max_step = 0.0f64;
+            for i in 0..n {
+                let mut denom = Complex64::ONE;
+                for j in 0..n {
+                    if i != j {
+                        denom *= roots[i] - roots[j];
+                    }
+                }
+                let step = poly.eval_complex(roots[i]) / denom;
+                roots[i] -= step;
+                max_step = max_step.max(step.abs());
+            }
+            if max_step < tol {
+                break;
+            }
+        }
+        roots
+    }
+}
+
+/// Roots of `c0 + c1·x + c2·x²` in closed form.
+///
+/// # Panics
+///
+/// Panics if `c2 == 0` (not a quadratic).
+pub fn quadratic_roots(c0: f64, c1: f64, c2: f64) -> [Complex64; 2] {
+    assert!(c2 != 0.0, "leading coefficient of a quadratic must be nonzero");
+    let disc = c1 * c1 - 4.0 * c2 * c0;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // Numerically stable form avoiding cancellation.
+        let q = -0.5 * (c1 + c1.signum() * sq);
+        let (r1, r2) = if q == 0.0 {
+            (0.0, 0.0)
+        } else {
+            (q / c2, c0 / q)
+        };
+        [Complex64::from_re(r1), Complex64::from_re(r2)]
+    } else {
+        let sq = (-disc).sqrt();
+        let re = -c1 / (2.0 * c2);
+        let im = sq / (2.0 * c2);
+        [Complex64::new(re, im), Complex64::new(re, -im)]
+    }
+}
+
+impl fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (i, &c) in self.coeffs.iter().enumerate().rev() {
+            if c == 0.0 && self.coeffs.len() > 1 {
+                continue;
+            }
+            if !first {
+                write!(f, " {} ", if c >= 0.0 { "+" } else { "-" })?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            let a = c.abs();
+            match i {
+                0 => write!(f, "{a}")?,
+                1 => write!(f, "{a}·x")?,
+                _ => write!(f, "{a}·x^{i}")?,
+            }
+            first = false;
+        }
+        if first {
+            write!(f, "0")?;
+        }
+        Ok(())
+    }
+}
+
+impl Add for &Polynomial {
+    type Output = Polynomial;
+    fn add(self, rhs: Self) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Polynomial::new((0..n).map(|i| {
+            self.coeffs.get(i).copied().unwrap_or(0.0) + rhs.coeffs.get(i).copied().unwrap_or(0.0)
+        }))
+    }
+}
+
+impl Sub for &Polynomial {
+    type Output = Polynomial;
+    fn sub(self, rhs: Self) -> Polynomial {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        Polynomial::new((0..n).map(|i| {
+            self.coeffs.get(i).copied().unwrap_or(0.0) - rhs.coeffs.get(i).copied().unwrap_or(0.0)
+        }))
+    }
+}
+
+impl Mul for &Polynomial {
+    type Output = Polynomial;
+    fn mul(self, rhs: Self) -> Polynomial {
+        let mut out = vec![0.0; self.coeffs.len() + rhs.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in rhs.coeffs.iter().enumerate() {
+                out[i + j] += a * b;
+            }
+        }
+        Polynomial::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = Polynomial::new([1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+        let z = Polynomial::new([0.0, 0.0]);
+        assert!(z.is_zero());
+        assert_eq!(z.degree(), 0);
+    }
+
+    #[test]
+    fn horner_evaluation() {
+        let p = Polynomial::new([1.0, -3.0, 2.0]); // 1 - 3x + 2x²
+        assert_eq!(p.eval(0.0), 1.0);
+        assert_eq!(p.eval(1.0), 0.0);
+        assert_eq!(p.eval(2.0), 3.0);
+        let z = p.eval_complex(Complex64::I);
+        // 1 - 3j + 2(-1) = -1 - 3j
+        assert!((z - Complex64::new(-1.0, -3.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn derivative_rules() {
+        let p = Polynomial::new([5.0, 1.0, 3.0, 2.0]); // 5 + x + 3x² + 2x³
+        assert_eq!(p.derivative().coeffs(), &[1.0, 6.0, 6.0]);
+        assert_eq!(Polynomial::constant(7.0).derivative().coeffs(), &[0.0]);
+    }
+
+    #[test]
+    fn ring_operations() {
+        let a = Polynomial::new([1.0, 1.0]); // 1 + x
+        let b = Polynomial::new([-1.0, 1.0]); // -1 + x
+        assert_eq!((&a * &b).coeffs(), &[-1.0, 0.0, 1.0]); // x² − 1
+        assert_eq!((&a + &b).coeffs(), &[0.0, 2.0]);
+        assert_eq!((&a - &b).coeffs(), &[2.0]);
+    }
+
+    #[test]
+    fn from_roots_expands() {
+        let p = Polynomial::from_roots([1.0, -2.0]);
+        // (x−1)(x+2) = x² + x − 2
+        assert_eq!(p.coeffs(), &[-2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn scale_arg_substitutes() {
+        let p = Polynomial::new([1.0, 1.0, 1.0]); // 1 + x + x²
+        let q = p.scale_arg(2.0); // 1 + 2x + 4x²
+        assert_eq!(q.coeffs(), &[1.0, 2.0, 4.0]);
+        assert_eq!(q.eval(3.0), p.eval(6.0));
+    }
+
+    #[test]
+    fn quadratic_roots_real_and_complex() {
+        let [r1, r2] = quadratic_roots(-2.0, 1.0, 1.0); // x²+x−2 = (x+2)(x−1)
+        let mut roots = [r1.re, r2.re];
+        roots.sort_by(f64::total_cmp);
+        assert!((roots[0] + 2.0).abs() < 1e-12 && (roots[1] - 1.0).abs() < 1e-12);
+
+        let [c1, c2] = quadratic_roots(1.0, 0.0, 1.0); // x²+1
+        assert!((c1.im.abs() - 1.0).abs() < 1e-12 && c1.re.abs() < 1e-12);
+        assert!((c1 - c2.conj()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_root() {
+        let p = Polynomial::new([3.0, -1.5]); // 3 − 1.5x → x = 2
+        let r = p.roots(1e-12, 10);
+        assert_eq!(r.len(), 1);
+        assert!((r[0].re - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn durand_kerner_cubic() {
+        // (x−1)(x−2)(x−3) = x³ − 6x² + 11x − 6
+        let p = Polynomial::new([-6.0, 11.0, -6.0, 1.0]);
+        let mut roots: Vec<f64> = p.roots(1e-12, 500).iter().map(|r| r.re).collect();
+        roots.sort_by(f64::total_cmp);
+        for (got, want) in roots.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-8, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn durand_kerner_complex_quartic() {
+        // (x²+1)(x²+4): roots ±j, ±2j
+        let p = Polynomial::new([4.0, 0.0, 5.0, 0.0, 1.0]);
+        let roots = p.roots(1e-12, 500);
+        let mut mags: Vec<f64> = roots.iter().map(|r| r.abs()).collect();
+        mags.sort_by(f64::total_cmp);
+        assert!((mags[0] - 1.0).abs() < 1e-6 && (mags[1] - 1.0).abs() < 1e-6);
+        assert!((mags[2] - 2.0).abs() < 1e-6 && (mags[3] - 2.0).abs() < 1e-6);
+        for r in &roots {
+            assert!(r.re.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn display_renders() {
+        let p = Polynomial::new([1.0, -2.0, 3.0]);
+        assert_eq!(p.to_string(), "3·x^2 - 2·x + 1");
+        assert_eq!(Polynomial::constant(0.0).to_string(), "0");
+    }
+}

@@ -1,0 +1,224 @@
+//! Bracketing scalar root finders.
+//!
+//! Used by the transient engine to pin down VCO edge times (threshold
+//! crossings of the phase accumulator) and by the parameter-estimation code
+//! to invert monotone damping relations.
+
+/// Error from a failed root search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindRootError {
+    /// `f(a)` and `f(b)` have the same sign, so no root is bracketed.
+    NotBracketed,
+    /// The iteration budget was exhausted before reaching the tolerance.
+    MaxIterations,
+}
+
+impl std::fmt::Display for FindRootError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NotBracketed => write!(f, "root is not bracketed by the interval"),
+            Self::MaxIterations => write!(f, "root finder exhausted its iteration budget"),
+        }
+    }
+}
+
+impl std::error::Error for FindRootError {}
+
+/// Bisection on `[a, b]` until the interval is narrower than `tol`.
+///
+/// # Errors
+///
+/// Returns [`FindRootError::NotBracketed`] if `f(a)·f(b) > 0`.
+///
+/// # Example
+///
+/// ```
+/// use pllbist_numeric::rootfind::bisect;
+/// # fn main() -> Result<(), pllbist_numeric::rootfind::FindRootError> {
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12, 200)?;
+/// assert!((root - 2f64.sqrt()).abs() < 1e-11);
+/// # Ok(())
+/// # }
+/// ```
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, FindRootError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(FindRootError::NotBracketed);
+    }
+    for _ in 0..max_iter {
+        let m = 0.5 * (a + b);
+        if (b - a).abs() < tol {
+            return Ok(m);
+        }
+        let fm = f(m);
+        if fm == 0.0 {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Err(FindRootError::MaxIterations)
+}
+
+/// Brent's method: inverse-quadratic / secant steps with a bisection
+/// safety net. Typically converges in a handful of iterations.
+///
+/// # Errors
+///
+/// Returns [`FindRootError::NotBracketed`] if `f(a)·f(b) > 0`, or
+/// [`FindRootError::MaxIterations`] if the budget runs out.
+pub fn brent<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+    max_iter: usize,
+) -> Result<f64, FindRootError> {
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(FindRootError::NotBracketed);
+    }
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut mflag = true;
+    let mut d = 0.0;
+
+    for _ in 0..max_iter {
+        if fb == 0.0 || (b - a).abs() < tol {
+            return Ok(b);
+        }
+        let mut s = if fa != fc && fb != fc {
+            // Inverse quadratic interpolation.
+            a * fb * fc / ((fa - fb) * (fa - fc))
+                + b * fa * fc / ((fb - fa) * (fb - fc))
+                + c * fa * fb / ((fc - fa) * (fc - fb))
+        } else {
+            // Secant.
+            b - fb * (b - a) / (fb - fa)
+        };
+
+        let lo = (3.0 * a + b) / 4.0;
+        let within = (s > lo.min(b)) && (s < lo.max(b));
+        let big_step = if mflag {
+            (s - b).abs() >= (b - c).abs() / 2.0
+        } else {
+            (s - b).abs() >= (c - d).abs() / 2.0
+        };
+        let tiny = if mflag {
+            (b - c).abs() < tol
+        } else {
+            (c - d).abs() < tol
+        };
+        if !within || big_step || tiny {
+            s = 0.5 * (a + b);
+            mflag = true;
+        } else {
+            mflag = false;
+        }
+
+        let fs = f(s);
+        d = c;
+        c = b;
+        fc = fb;
+        if fa.signum() != fs.signum() {
+            b = s;
+            fb = fs;
+        } else {
+            a = s;
+            fa = fs;
+        }
+        if fa.abs() < fb.abs() {
+            std::mem::swap(&mut a, &mut b);
+            std::mem::swap(&mut fa, &mut fb);
+        }
+    }
+    Err(FindRootError::MaxIterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-13, 100).unwrap();
+        assert!((r - 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bisect_endpoint_roots() {
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12, 100).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12, 100).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn bisect_not_bracketed() {
+        assert_eq!(
+            bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12, 100),
+            Err(FindRootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn brent_transcendental() {
+        // cos(x) = x near 0.739085.
+        let r = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14, 100).unwrap();
+        assert!((r - 0.7390851332151607).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_polynomial_with_flat_region() {
+        let r = brent(|x| (x - 3.0).powi(3), 0.0, 5.0, 1e-12, 200).unwrap();
+        assert!((r - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| (x / 2.0).sin() - 0.3;
+        let rb = bisect(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        let rr = brent(f, 0.0, 2.0, 1e-13, 200).unwrap();
+        assert!((rb - rr).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_not_bracketed() {
+        assert_eq!(
+            brent(|x| x * x + 0.5, -1.0, 1.0, 1e-12, 100),
+            Err(FindRootError::NotBracketed)
+        );
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(FindRootError::NotBracketed.to_string().contains("bracket"));
+        assert!(FindRootError::MaxIterations.to_string().contains("budget"));
+    }
+}

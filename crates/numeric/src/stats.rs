@@ -1,0 +1,145 @@
+//! Descriptive statistics over sample slices.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    Some(data.iter().sum::<f64>() / data.len() as f64)
+}
+
+/// Unbiased sample variance; `None` for fewer than two samples.
+pub fn variance(data: &[f64]) -> Option<f64> {
+    if data.len() < 2 {
+        return None;
+    }
+    let m = mean(data)?;
+    Some(data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64)
+}
+
+/// Sample standard deviation; `None` for fewer than two samples.
+pub fn std_dev(data: &[f64]) -> Option<f64> {
+    variance(data).map(f64::sqrt)
+}
+
+/// Root mean square; `None` for an empty slice.
+pub fn rms(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    Some((data.iter().map(|x| x * x).sum::<f64>() / data.len() as f64).sqrt())
+}
+
+/// Minimum and maximum; `None` for an empty slice. NaNs are ignored unless
+/// all values are NaN, in which case `None` is returned.
+pub fn min_max(data: &[f64]) -> Option<(f64, f64)> {
+    let mut it = data.iter().copied().filter(|x| !x.is_nan());
+    let first = it.next()?;
+    Some(it.fold((first, first), |(lo, hi), x| (lo.min(x), hi.max(x))))
+}
+
+/// Peak-to-peak span; `None` for an empty slice.
+pub fn peak_to_peak(data: &[f64]) -> Option<f64> {
+    min_max(data).map(|(lo, hi)| hi - lo)
+}
+
+/// Linear-interpolated percentile `p ∈ [0, 100]`; `None` for an empty
+/// slice.
+///
+/// # Panics
+///
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(data: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if data.is_empty() {
+        return None;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + frac * (sorted[hi] - sorted[lo]))
+}
+
+/// Index of the maximum value; `None` for empty input. Ties resolve to the
+/// first occurrence.
+pub fn argmax(data: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in data.iter().enumerate() {
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ if x.is_nan() => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum value; `None` for empty input.
+pub fn argmin(data: &[f64]) -> Option<usize> {
+    argmax(&data.iter().map(|x| -x).collect::<Vec<_>>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&d), Some(2.5));
+        assert!((variance(&d).unwrap() - 5.0 / 3.0).abs() < 1e-12);
+        assert!((std_dev(&d).unwrap() - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rms_of_sine_is_amplitude_over_sqrt2() {
+        let d: Vec<f64> = (0..1000)
+            .map(|k| 2.0 * (std::f64::consts::TAU * k as f64 / 1000.0).sin())
+            .collect();
+        assert!((rms(&d).unwrap() - 2.0 / 2f64.sqrt()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_max_and_ptp() {
+        let d = [3.0, -1.0, 7.0, 0.0];
+        assert_eq!(min_max(&d), Some((-1.0, 7.0)));
+        assert_eq!(peak_to_peak(&d), Some(8.0));
+        assert_eq!(min_max(&[f64::NAN, 2.0]), Some((2.0, 2.0)));
+        assert_eq!(min_max(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn percentiles() {
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&d, 0.0), Some(1.0));
+        assert_eq!(percentile(&d, 50.0), Some(3.0));
+        assert_eq!(percentile(&d, 100.0), Some(5.0));
+        assert_eq!(percentile(&d, 25.0), Some(2.0));
+    }
+
+    #[test]
+    fn arg_extrema() {
+        let d = [1.0, 5.0, 5.0, -2.0];
+        assert_eq!(argmax(&d), Some(1));
+        assert_eq!(argmin(&d), Some(3));
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(rms(&[]), None);
+        assert_eq!(peak_to_peak(&[]), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn out_of_range_percentile_panics() {
+        let _ = percentile(&[1.0], 120.0);
+    }
+}

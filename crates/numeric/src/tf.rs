@@ -1,0 +1,345 @@
+//! Rational Laplace-domain transfer functions and block-diagram algebra.
+//!
+//! A [`TransferFunction`] is a ratio of two real polynomials in `s`. The
+//! composition operators implement the block-diagram rules used to assemble
+//! the PLL loop of the paper's eq. (1):
+//!
+//! * [`TransferFunction::series`] — cascade `G1·G2`,
+//! * [`TransferFunction::parallel`] — sum `G1 + G2`,
+//! * [`TransferFunction::feedback`] — closed loop `G / (1 + G·H)`.
+
+use crate::complex::Complex64;
+use crate::poly::Polynomial;
+use std::fmt;
+
+/// A proper or improper rational function `N(s)/D(s)` with real
+/// coefficients.
+///
+/// # Example
+///
+/// Assemble the type-2 PLL of the paper and check its DC gain equals the
+/// divider ratio `N` (eq. 4 ⇒ `H(0) = N`):
+///
+/// ```
+/// use pllbist_numeric::tf::TransferFunction;
+///
+/// let (kd, k0, n) = (0.4, 2400.0, 5.0);
+/// let (tau1, tau2) = (64.04e-3, 11.9e-3);
+/// let filter = TransferFunction::new([1.0, tau2], [1.0, tau1 + tau2]);
+/// let forward = TransferFunction::gain(kd)
+///     .series(&filter)
+///     .series(&TransferFunction::new([k0], [0.0, 1.0])); // K0/s
+/// let h = forward.feedback(&TransferFunction::gain(1.0 / n));
+/// assert!((h.dc_gain() - n).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct TransferFunction {
+    num: Polynomial,
+    den: Polynomial,
+}
+
+impl TransferFunction {
+    /// Creates a transfer function from ascending numerator and denominator
+    /// coefficients.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is identically zero.
+    pub fn new<N, D>(num: N, den: D) -> Self
+    where
+        N: IntoIterator<Item = f64>,
+        D: IntoIterator<Item = f64>,
+    {
+        let num = Polynomial::new(num);
+        let den = Polynomial::new(den);
+        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        Self { num, den }
+    }
+
+    /// Creates a transfer function from polynomials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the denominator is identically zero.
+    pub fn from_polys(num: Polynomial, den: Polynomial) -> Self {
+        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        Self { num, den }
+    }
+
+    /// A pure gain `k`.
+    pub fn gain(k: f64) -> Self {
+        Self::new([k], [1.0])
+    }
+
+    /// An ideal integrator `k/s` — the VCO phase model `θo = (K0/s)·Vc`.
+    pub fn integrator(k: f64) -> Self {
+        Self::new([k], [0.0, 1.0])
+    }
+
+    /// A first-order low-pass `1/(1+s·tau)`.
+    pub fn first_order_lowpass(tau: f64) -> Self {
+        Self::new([1.0], [1.0, tau])
+    }
+
+    /// The canonical unity-DC-gain second-order system with a zero at
+    /// `−ωn/(2ζ)`:
+    /// `H(s) = (2ζωn·s + ωn²) / (s² + 2ζωn·s + ωn²)` —
+    /// the high-gain closed-loop shape of a type-2 PLL (paper fig. 1).
+    pub fn second_order_pll(omega_n: f64, zeta: f64) -> Self {
+        let a = 2.0 * zeta * omega_n;
+        Self::new([omega_n * omega_n, a], [omega_n * omega_n, a, 1.0])
+    }
+
+    /// Numerator polynomial.
+    pub fn num(&self) -> &Polynomial {
+        &self.num
+    }
+
+    /// Denominator polynomial.
+    pub fn den(&self) -> &Polynomial {
+        &self.den
+    }
+
+    /// Evaluates `H(s)` at an arbitrary complex point.
+    pub fn eval(&self, s: Complex64) -> Complex64 {
+        self.num.eval_complex(s) / self.den.eval_complex(s)
+    }
+
+    /// Evaluates the frequency response `H(jω)` at angular frequency `omega`
+    /// in rad/s.
+    pub fn eval_jw(&self, omega: f64) -> Complex64 {
+        self.eval(Complex64::jw(omega))
+    }
+
+    /// Magnitude of the frequency response at `omega` (rad/s).
+    pub fn magnitude(&self, omega: f64) -> f64 {
+        self.eval_jw(omega).abs()
+    }
+
+    /// Phase of the frequency response at `omega` (rad/s), in radians,
+    /// wrapped to `(−π, π]`.
+    pub fn phase(&self, omega: f64) -> f64 {
+        self.eval_jw(omega).arg()
+    }
+
+    /// DC gain `H(0)`; infinite for systems with integrators.
+    pub fn dc_gain(&self) -> f64 {
+        self.num.coeffs()[0] / self.den.coeffs()[0]
+    }
+
+    /// Series (cascade) connection `self · other`.
+    pub fn series(&self, other: &Self) -> Self {
+        Self {
+            num: &self.num * &other.num,
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Parallel (summing) connection `self + other`.
+    pub fn parallel(&self, other: &Self) -> Self {
+        Self {
+            num: &(&self.num * &other.den) + &(&other.num * &self.den),
+            den: &self.den * &other.den,
+        }
+    }
+
+    /// Negative-feedback closure `self / (1 + self·h)` where `h` is the
+    /// feedback-path transfer function.
+    ///
+    /// For the PLL of eq. (1), the forward path is `Kd·F(s)·K0/s` and the
+    /// feedback path is `1/N`.
+    pub fn feedback(&self, h: &Self) -> Self {
+        // G = ng/dg, H = nh/dh  =>  G/(1+GH) = ng·dh / (dg·dh + ng·nh)
+        let num = &self.num * &h.den;
+        let den = &(&self.den * &h.den) + &(&self.num * &h.num);
+        Self::from_polys(num, den)
+    }
+
+    /// Unity-negative-feedback closure `self / (1 + self)`.
+    pub fn feedback_unity(&self) -> Self {
+        self.feedback(&Self::gain(1.0))
+    }
+
+    /// The reciprocal `1/H(s)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the numerator is identically zero.
+    pub fn inv(&self) -> Self {
+        Self::from_polys(self.den.clone(), self.num.clone())
+    }
+
+    /// Scales the overall gain by `k`.
+    pub fn scale(&self, k: f64) -> Self {
+        Self {
+            num: self.num.scale(k),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Poles (denominator roots).
+    pub fn poles(&self) -> Vec<Complex64> {
+        self.den.roots(1e-12, 1000)
+    }
+
+    /// Zeros (numerator roots).
+    pub fn zeros(&self) -> Vec<Complex64> {
+        self.num.roots(1e-12, 1000)
+    }
+
+    /// `true` if every pole has a strictly negative real part.
+    ///
+    /// Poles with `|Re| < tol·|pole|` are treated as marginal and reported
+    /// unstable.
+    pub fn is_stable(&self, tol: f64) -> bool {
+        self.poles()
+            .iter()
+            .all(|p| p.re < -tol * p.abs().max(1e-300))
+    }
+
+    /// Relative degree `deg(den) − deg(num)`; negative for improper systems.
+    pub fn relative_degree(&self) -> isize {
+        self.den.degree() as isize - self.num.degree() as isize
+    }
+}
+
+impl fmt::Display for TransferFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}) / ({})", self.num, self.den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn gain_and_integrator() {
+        let g = TransferFunction::gain(3.0);
+        assert_eq!(g.dc_gain(), 3.0);
+        assert_eq!(g.magnitude(123.0), 3.0);
+
+        let i = TransferFunction::integrator(2.0);
+        let z = i.eval_jw(4.0); // 2/(4j) = -0.5j
+        assert!((z - Complex64::new(0.0, -0.5)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lowpass_corner() {
+        let tau = 1e-3;
+        let lp = TransferFunction::first_order_lowpass(tau);
+        let w = 1.0 / tau;
+        assert!((lp.magnitude(w) - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+        assert!((lp.phase(w) + std::f64::consts::FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_multiplies_responses() {
+        let a = TransferFunction::first_order_lowpass(1.0);
+        let b = TransferFunction::gain(2.0);
+        let c = a.series(&b);
+        for w in [0.1, 1.0, 10.0] {
+            let lhs = c.eval_jw(w);
+            let rhs = a.eval_jw(w) * b.eval_jw(w);
+            assert!((lhs - rhs).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn parallel_adds_responses() {
+        let a = TransferFunction::first_order_lowpass(1.0);
+        let b = TransferFunction::new([0.0, 1.0], [1.0, 1.0]); // s/(1+s)
+        let c = a.parallel(&b);
+        for w in [0.3, 3.0] {
+            let lhs = c.eval_jw(w);
+            let rhs = a.eval_jw(w) + b.eval_jw(w);
+            assert!((lhs - rhs).abs() < 1e-14);
+        }
+        // 1/(1+s) + s/(1+s) = 1
+        assert!((c.magnitude(5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feedback_matches_manual_algebra() {
+        // G = 10/s with unity feedback: H = 10/(s+10)
+        let g = TransferFunction::integrator(10.0);
+        let h = g.feedback_unity();
+        for w in [1.0, 10.0, 100.0] {
+            let want = Complex64::from_re(10.0) / Complex64::new(10.0, w);
+            assert!((h.eval_jw(w) - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn second_order_pll_shape() {
+        let wn = TAU * 8.0;
+        let h = TransferFunction::second_order_pll(wn, 0.43);
+        // DC gain 1, high-frequency roll-off, peak near wn.
+        assert!((h.dc_gain() - 1.0).abs() < 1e-12);
+        assert!(h.magnitude(wn) > 1.0);
+        assert!(h.magnitude(100.0 * wn) < 0.05);
+    }
+
+    #[test]
+    fn paper_eq4_composition_matches_direct_form() {
+        // Direct eq. (4):
+        // H(s) = N·K(1+sτ2) / ( N(τ1+τ2) s² + (N + Kτ2) s + K )
+        let (kd, k0, n) = (0.4, 2400.0, 5.0);
+        let k = kd * k0;
+        let (t1, t2) = (64.04e-3, 11.9e-3);
+        let direct = TransferFunction::new(
+            [n * k, n * k * t2],
+            [k, n + k * t2, n * (t1 + t2)],
+        );
+        let filter = TransferFunction::new([1.0, t2], [1.0, t1 + t2]);
+        let composed = TransferFunction::gain(kd)
+            .series(&filter)
+            .series(&TransferFunction::integrator(k0))
+            .feedback(&TransferFunction::gain(1.0 / n));
+        for w in [1.0, 10.0, 50.0, 200.0, 1000.0] {
+            let a = direct.eval_jw(w);
+            let b = composed.eval_jw(w);
+            assert!(
+                (a - b).abs() / a.abs() < 1e-10,
+                "mismatch at w={w}: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn poles_zeros_and_stability() {
+        let h = TransferFunction::new([1.0], [2.0, 3.0, 1.0]); // poles −1, −2
+        let mut poles: Vec<f64> = h.poles().iter().map(|p| p.re).collect();
+        poles.sort_by(f64::total_cmp);
+        assert!((poles[0] + 2.0).abs() < 1e-9 && (poles[1] + 1.0).abs() < 1e-9);
+        assert!(h.is_stable(1e-9));
+
+        let unstable = TransferFunction::new([1.0], [-1.0, 1.0]); // pole +1
+        assert!(!unstable.is_stable(1e-9));
+    }
+
+    #[test]
+    fn inv_and_scale() {
+        let h = TransferFunction::new([2.0], [1.0, 1.0]);
+        let hi = h.inv();
+        for w in [0.5, 2.0] {
+            assert!((h.eval_jw(w) * hi.eval_jw(w) - Complex64::ONE).abs() < 1e-13);
+        }
+        assert_eq!(h.scale(3.0).dc_gain(), 6.0);
+    }
+
+    #[test]
+    fn relative_degree_reports_properness() {
+        assert_eq!(TransferFunction::integrator(1.0).relative_degree(), 1);
+        assert_eq!(TransferFunction::gain(1.0).relative_degree(), 0);
+        let improper = TransferFunction::new([0.0, 0.0, 1.0], [1.0, 1.0]);
+        assert_eq!(improper.relative_degree(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be nonzero")]
+    fn zero_denominator_panics() {
+        let _ = TransferFunction::new([1.0], [0.0]);
+    }
+}

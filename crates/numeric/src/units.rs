@@ -1,0 +1,257 @@
+//! Newtype wrappers for the physical quantities used throughout the
+//! workspace.
+//!
+//! Frequency appears in three guises in PLL work — cyclic frequency (Hz),
+//! angular frequency (rad/s) and period (s) — and confusing them is the
+//! classic source of 2π bugs. These newtypes make every conversion explicit.
+//!
+//! # Example
+//!
+//! ```
+//! use pllbist_numeric::{Hertz, RadPerSec, Seconds};
+//!
+//! let fn_ = Hertz::new(8.0);
+//! let wn: RadPerSec = fn_.to_rad_per_sec();
+//! assert!((wn.value() - 50.265).abs() < 1e-2);
+//! let period: Seconds = fn_.to_period();
+//! assert!((period.value() - 0.125).abs() < 1e-12);
+//! ```
+
+use std::f64::consts::TAU;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $unit:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// Wraps a raw value in this unit.
+            #[inline]
+            pub const fn new(value: f64) -> Self {
+                Self(value)
+            }
+
+            /// Returns the raw value in this unit.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $unit)
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+        /// Dimensionless ratio of two like quantities.
+        impl Div for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Cyclic frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Angular frequency in radians per second.
+    RadPerSec,
+    "rad/s"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Voltage in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Logarithmic magnitude in decibels (20·log10 convention).
+    Decibels,
+    "dB"
+);
+quantity!(
+    /// Angle in degrees.
+    Degrees,
+    "deg"
+);
+
+impl Hertz {
+    /// Converts to angular frequency: `ω = 2π·f`.
+    #[inline]
+    pub fn to_rad_per_sec(self) -> RadPerSec {
+        RadPerSec::new(self.0 * TAU)
+    }
+
+    /// Converts to period `T = 1/f`.
+    ///
+    /// Returns an infinite period for zero frequency, mirroring `1.0 / 0.0`.
+    #[inline]
+    pub fn to_period(self) -> Seconds {
+        Seconds::new(1.0 / self.0)
+    }
+}
+
+impl RadPerSec {
+    /// Converts to cyclic frequency: `f = ω / 2π`.
+    #[inline]
+    pub fn to_hertz(self) -> Hertz {
+        Hertz::new(self.0 / TAU)
+    }
+}
+
+impl Seconds {
+    /// Converts a period to cyclic frequency `f = 1/T`.
+    #[inline]
+    pub fn to_hertz(self) -> Hertz {
+        Hertz::new(1.0 / self.0)
+    }
+}
+
+impl Decibels {
+    /// Converts a linear amplitude ratio to decibels (`20·log10`).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use pllbist_numeric::Decibels;
+    /// assert!((Decibels::from_amplitude_ratio(10.0).value() - 20.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn from_amplitude_ratio(ratio: f64) -> Self {
+        Self::new(20.0 * ratio.log10())
+    }
+
+    /// Converts back to a linear amplitude ratio.
+    #[inline]
+    pub fn to_amplitude_ratio(self) -> f64 {
+        10f64.powf(self.0 / 20.0)
+    }
+}
+
+impl Degrees {
+    /// Converts radians to degrees.
+    #[inline]
+    pub fn from_radians(rad: f64) -> Self {
+        Self::new(rad.to_degrees())
+    }
+
+    /// Converts to radians.
+    #[inline]
+    pub fn to_radians(self) -> f64 {
+        self.0.to_radians()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hertz_rad_round_trip() {
+        let f = Hertz::new(123.456);
+        let back = f.to_rad_per_sec().to_hertz();
+        assert!((back.value() - f.value()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn period_round_trip() {
+        let f = Hertz::new(1000.0);
+        assert!((f.to_period().to_hertz().value() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decibel_round_trip() {
+        let db = Decibels::from_amplitude_ratio(0.5);
+        assert!((db.value() + 6.0206).abs() < 1e-3);
+        assert!((db.to_amplitude_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_round_trip() {
+        let d = Degrees::from_radians(std::f64::consts::PI);
+        assert!((d.value() - 180.0).abs() < 1e-12);
+        assert!((d.to_radians() - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic_on_quantities() {
+        let a = Seconds::new(2.0);
+        let b = Seconds::new(0.5);
+        assert_eq!((a + b).value(), 2.5);
+        assert_eq!((a - b).value(), 1.5);
+        assert_eq!((a * 2.0).value(), 4.0);
+        assert_eq!((2.0 * a).value(), 4.0);
+        assert_eq!((a / 2.0).value(), 1.0);
+        assert_eq!(a / b, 4.0);
+        assert_eq!((-a).value(), -2.0);
+        assert_eq!(Seconds::new(-3.0).abs().value(), 3.0);
+    }
+
+    #[test]
+    fn display_includes_unit() {
+        assert_eq!(Hertz::new(8.0).to_string(), "8 Hz");
+        assert_eq!(Decibels::new(-3.0).to_string(), "-3 dB");
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based tests for the numerical substrate.
+
+use pllbist_numeric::complex::Complex64;
+use pllbist_numeric::fft::{fft, ifft};
+use pllbist_numeric::fit::sine_fit;
+use pllbist_numeric::goertzel::goertzel;
+use pllbist_numeric::matrix::Matrix;
+use pllbist_numeric::poly::Polynomial;
+use pllbist_numeric::statespace::StateSpace;
+use pllbist_numeric::tf::TransferFunction;
+use proptest::prelude::*;
+
+fn finite(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
+    range.prop_filter("finite", |x| x.is_finite())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn complex_field_axioms(
+        ar in finite(-1e3..1e3), ai in finite(-1e3..1e3),
+        br in finite(-1e3..1e3), bi in finite(-1e3..1e3),
+        cr in finite(-1e3..1e3), ci in finite(-1e3..1e3),
+    ) {
+        let (a, b, c) = (
+            Complex64::new(ar, ai),
+            Complex64::new(br, bi),
+            Complex64::new(cr, ci),
+        );
+        // Commutativity and associativity (within float tolerance).
+        prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
+        prop_assert!((a * b - b * a).abs() < 1e-6);
+        let lhs = (a * b) * c;
+        let rhs = a * (b * c);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * lhs.abs().max(1.0));
+        // Distributivity.
+        let d1 = a * (b + c);
+        let d2 = a * b + a * c;
+        prop_assert!((d1 - d2).abs() <= 1e-6 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn complex_division_inverts_multiplication(
+        ar in finite(-100.0..100.0), ai in finite(-100.0..100.0),
+        br in finite(0.1..100.0), bi in finite(0.1..100.0),
+    ) {
+        let a = Complex64::new(ar, ai);
+        let b = Complex64::new(br, bi);
+        let q = a * b / b;
+        prop_assert!((q - a).abs() < 1e-9 * a.abs().max(1.0));
+    }
+
+    #[test]
+    fn polynomial_mul_is_evaluation_homomorphism(
+        c1 in prop::collection::vec(finite(-5.0..5.0), 1..5),
+        c2 in prop::collection::vec(finite(-5.0..5.0), 1..5),
+        x in finite(-3.0..3.0),
+    ) {
+        let p = Polynomial::new(c1);
+        let q = Polynomial::new(c2);
+        let prod = &p * &q;
+        let lhs = prod.eval(x);
+        let rhs = p.eval(x) * q.eval(x);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn polynomial_roots_evaluate_to_zero(
+        roots in prop::collection::vec(finite(-3.0..3.0), 2..5),
+    ) {
+        let p = Polynomial::from_roots(roots.clone());
+        let found = p.roots(1e-12, 2000);
+        prop_assert_eq!(found.len(), roots.len());
+        for r in found {
+            let v = p.eval_complex(r).abs();
+            prop_assert!(v < 1e-5, "residual {v} at {r}");
+        }
+    }
+
+    #[test]
+    fn fft_round_trip_and_linearity(
+        data in prop::collection::vec(finite(-10.0..10.0), 1..6),
+        k in finite(-4.0..4.0),
+    ) {
+        // Pad to a power of two.
+        let n = data.len().next_power_of_two().max(2);
+        let mut buf: Vec<Complex64> =
+            data.iter().map(|&x| Complex64::from_re(x)).collect();
+        buf.resize(n, Complex64::ZERO);
+        let back = ifft(&fft(&buf));
+        for (a, b) in buf.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-9);
+        }
+        // Linearity: F(k·x) = k·F(x).
+        let scaled: Vec<Complex64> = buf.iter().map(|&z| z * k).collect();
+        let f1 = fft(&scaled);
+        let f2: Vec<Complex64> = fft(&buf).iter().map(|&z| z * k).collect();
+        for (a, b) in f1.iter().zip(&f2) {
+            prop_assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn goertzel_recovers_random_tones(
+        amp in finite(0.1..5.0),
+        phase in finite(-3.0..3.0),
+        cycles in 3u32..20,
+    ) {
+        let fs = 1000.0;
+        let n = 500usize;
+        // Integer number of periods in the window.
+        let f = cycles as f64 * fs / n as f64;
+        let signal: Vec<f64> = (0..n)
+            .map(|k| amp * (std::f64::consts::TAU * f * k as f64 / fs + phase).cos())
+            .collect();
+        let est = goertzel(&signal, fs, f);
+        prop_assert!((est.magnitude() - amp).abs() < 1e-6 * amp);
+        let mut dphi = est.phase() - phase;
+        while dphi > std::f64::consts::PI { dphi -= std::f64::consts::TAU; }
+        while dphi < -std::f64::consts::PI { dphi += std::f64::consts::TAU; }
+        prop_assert!(dphi.abs() < 1e-6);
+    }
+
+    #[test]
+    fn sine_fit_agrees_with_goertzel(
+        a in finite(-3.0..3.0),
+        b in finite(-3.0..3.0),
+        dc in finite(-2.0..2.0),
+    ) {
+        prop_assume!(a.hypot(b) > 0.05);
+        let omega = 40.0;
+        let samples: Vec<(f64, f64)> = (0..400)
+            .map(|k| {
+                let t = k as f64 * 1e-3;
+                (t, a * (omega * t).cos() + b * (omega * t).sin() + dc)
+            })
+            .collect();
+        let fit = sine_fit(&samples, omega).unwrap();
+        prop_assert!((fit.a - a).abs() < 1e-8);
+        prop_assert!((fit.b - b).abs() < 1e-8);
+        prop_assert!((fit.c - dc).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lu_solve_reconstructs_rhs(
+        m in prop::collection::vec(finite(-5.0..5.0), 9),
+        v in prop::collection::vec(finite(-5.0..5.0), 3),
+    ) {
+        let a = Matrix::from_rows(&[&m[0..3], &m[3..6], &m[6..9]]);
+        let b = Matrix::column(&v);
+        if let Some(x) = a.solve(&b) {
+            let ax = &a * &x;
+            for i in 0..3 {
+                prop_assert!(
+                    (ax[(i, 0)] - b[(i, 0)]).abs() < 1e-6 * (1.0 + b[(i, 0)].abs()),
+                    "row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expm_inverse_identity(
+        m in prop::collection::vec(finite(-2.0..2.0), 4),
+    ) {
+        // expm(A)·expm(−A) = I.
+        let a = Matrix::from_rows(&[&m[0..2], &m[2..4]]);
+        let e = a.expm();
+        let einv = a.scale(-1.0).expm();
+        let prod = &e * &einv;
+        let err = (&prod - &Matrix::identity(2)).frobenius_norm();
+        prop_assert!(err < 1e-8, "err {err}");
+    }
+
+    #[test]
+    fn zoh_discretisation_matches_dense_rk4(
+        tau in finite(1e-3..1e-1),
+        dt in finite(1e-4..5e-3),
+        u in finite(-3.0..3.0),
+    ) {
+        let tf = TransferFunction::first_order_lowpass(tau);
+        let ss = StateSpace::from_transfer_function(&tf);
+        let z = ss.discretize(dt);
+        let mut x = ss.zero_state();
+        for _ in 0..10 {
+            x = z.step(&x, u);
+        }
+        let y_exact = z.output(&x, u);
+        // Dense RK4 on the same ODE.
+        let rk = pllbist_numeric::ode::rk4_integrate(
+            vec![0.0],
+            0.0,
+            10.0 * dt,
+            4000,
+            |_, s, ds| ds[0] = (-s[0]) / tau + u / tau,
+        );
+        prop_assert!((y_exact - rk[0]).abs() < 1e-6 * (1.0 + rk[0].abs()));
+    }
+
+    #[test]
+    fn feedback_composition_reduces_gain_below_unity_loop(
+        k in finite(0.1..50.0),
+        w in finite(0.1..100.0),
+    ) {
+        // |G/(1+G)| <= |G| for G = k/s on the jω axis (positive-real G/s).
+        let g = TransferFunction::integrator(k);
+        let h = g.feedback_unity();
+        prop_assert!(h.magnitude(w) <= g.magnitude(w) + 1e-12);
+        // And the closed loop is stable.
+        prop_assert!(h.is_stable(1e-12));
+    }
+}

@@ -1,0 +1,745 @@
+//! Event-driven behavioural closed-loop engine.
+//!
+//! The loop state advances over **segments** during which the pump drive is
+//! constant; the loop filter is stepped *exactly* over each segment (see
+//! `pllbist-analog::lti`), the VCO phase is accumulated by trapezoidal
+//! integration of the instantaneous frequency (exact when the control
+//! voltage is linear in time, ~1e-15-cycle error otherwise), and the times
+//! of reference and feedback edges — the only instants anything discrete
+//! happens in a CP-PLL — are located by root finding.
+//!
+//! Segment boundaries are: the next reference edge (from the stimulus's
+//! closed-form phase), the next feedback edge (the VCO phase crossing its
+//! divider target), the dead-zone expiry of an armed PFD pulse, a micro
+//! step bound (numerical insurance for the trapezoid), and the caller's
+//! horizon.
+
+use crate::config::{DriveConfig, PllConfig};
+use crate::noise::{NoiseConfig, NoiseSource};
+use crate::stimulus::FmStimulus;
+use pllbist_analog::filter::LoopFilter;
+use pllbist_analog::pfd::{BehavioralPfd, PfdOutput};
+use pllbist_analog::pump::{ChargePump, PumpOutput, VoltageDriver};
+use pllbist_analog::vco::Vco;
+
+/// A discrete event observed at the loop boundary.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LoopEvent {
+    /// Rising edge of the (modulated) reference input.
+    RefEdge {
+        /// Event time in seconds.
+        t: f64,
+    },
+    /// Rising edge of the divided VCO (feedback) signal.
+    FbEdge {
+        /// Event time in seconds.
+        t: f64,
+    },
+}
+
+impl LoopEvent {
+    /// The event time in seconds.
+    pub fn time(&self) -> f64 {
+        match self {
+            LoopEvent::RefEdge { t } | LoopEvent::FbEdge { t } => *t,
+        }
+    }
+}
+
+/// One recorded analogue sample.
+///
+/// `v_ctrl` and `f_vco_hz` are **instantaneous** values: with a tri-state
+/// voltage drive they show the correction-pulse ripple (the resistive
+/// feed-through of the paper's fig. 9 network, visible in its fig. 8
+/// waveforms). `phase_cycles` is the VCO phase accumulator — differencing
+/// it between samples gives the ripple-free boxcar-average frequency,
+/// exactly what a gated counter measures.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Sample {
+    /// Sample time in seconds.
+    pub t: f64,
+    /// Loop-filter (control) voltage in volts.
+    pub v_ctrl: f64,
+    /// Instantaneous VCO frequency in Hz.
+    pub f_vco_hz: f64,
+    /// Accumulated VCO phase in cycles.
+    pub phase_cycles: f64,
+    /// The **held** control voltage — the filter output with the drive
+    /// high-impedance (the capacitor state the hold mechanism freezes).
+    /// Free of correction-pulse feed-through; the smooth trajectory.
+    pub v_held: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DriveStage {
+    Voltage(VoltageDriver),
+    Charge(ChargePump),
+}
+
+impl DriveStage {
+    fn of(config: &PllConfig) -> Self {
+        match config.drive {
+            DriveConfig::Voltage { vdd } => DriveStage::Voltage(VoltageDriver::new(vdd)),
+            DriveConfig::Charge { i_pump, mismatch } => {
+                DriveStage::Charge(ChargePump::with_mismatch(i_pump, mismatch))
+            }
+        }
+    }
+
+    fn drive(&self, pfd: PfdOutput) -> PumpOutput {
+        match self {
+            DriveStage::Voltage(d) => d.drive(pfd),
+            DriveStage::Charge(p) => p.drive(pfd),
+        }
+    }
+}
+
+/// The behavioural CP-PLL simulator.
+///
+/// # Example
+///
+/// Watch the loop re-acquire after a reference frequency step:
+///
+/// ```
+/// use pllbist_sim::config::PllConfig;
+/// use pllbist_sim::behavioral::CpPll;
+/// use pllbist_sim::stimulus::FmStimulus;
+///
+/// let cfg = PllConfig::paper_table3();
+/// let mut pll = CpPll::new_locked(&cfg);
+/// // Step the reference up by 5 Hz and settle.
+/// pll.set_stimulus(FmStimulus::constant(1_000.0, 5.0));
+/// pll.advance_to(1.0);
+/// let f = pll.average_frequency_hz(0.1);
+/// assert!((f - 5_025.0).abs() < 1.0, "f = {f}");
+/// ```
+pub struct CpPll {
+    config: PllConfig,
+    filter: Box<dyn LoopFilter>,
+    filter_state: Vec<f64>,
+    pfd: BehavioralPfd,
+    vco: Vco,
+    drive_stage: DriveStage,
+    stimulus: FmStimulus,
+    t: f64,
+    vco_phase_cycles: f64,
+    fb_edge_count: u64,
+    next_fb_target: f64,
+    next_ref_edge: f64,
+    /// The unjittered time of the pending reference edge — the edge
+    /// *sequence* advances on the ideal grid; jitter only moves each
+    /// edge's emission time.
+    next_ref_edge_ideal: f64,
+    /// Offset making the reference phase continuous across stimulus
+    /// switches: ref_phase(t) = stim_phase_base + stimulus.phase_cycles(t).
+    stim_phase_base: f64,
+    hold: bool,
+    micro_dt: f64,
+    collect_events: bool,
+    events: Vec<LoopEvent>,
+    sampler: Option<Sampler>,
+    noise: Option<NoiseSource>,
+}
+
+struct Sampler {
+    interval: f64,
+    next_t: f64,
+    samples: Vec<Sample>,
+}
+
+impl CpPll {
+    /// Builds the loop with everything discharged (cold start). The loop
+    /// will pull in through its non-linear acquisition transient.
+    pub fn new(config: &PllConfig) -> Self {
+        let filter = config.build_filter();
+        let filter_state = filter.initial_state();
+        Self::assemble(config, filter, filter_state)
+    }
+
+    /// Builds the loop preset at its lock point: filter output at the
+    /// control voltage that yields `N·f_ref`, phases aligned. This is how
+    /// every measurement starts (the paper's Table 2 assumes "the PLL is
+    /// initially locked").
+    pub fn new_locked(config: &PllConfig) -> Self {
+        let filter = config.build_filter();
+        let mut filter_state = filter.initial_state();
+        let vco = config.build_vco();
+        let v_lock = vco.control_for_frequency(config.f_vco_hz());
+        filter.preset_output(&mut filter_state, v_lock);
+        Self::assemble(config, filter, filter_state)
+    }
+
+    fn assemble(
+        config: &PllConfig,
+        filter: Box<dyn LoopFilter>,
+        filter_state: Vec<f64>,
+    ) -> Self {
+        let stimulus = FmStimulus::constant(config.f_ref_hz, 0.0);
+        let next_ref_edge = stimulus.next_edge_after(0.0);
+        Self {
+            config: config.clone(),
+            filter,
+            filter_state,
+            pfd: BehavioralPfd::with_dead_zone(config.pfd_dead_zone),
+            vco: config.build_vco(),
+            drive_stage: DriveStage::of(config),
+            stimulus,
+            t: 0.0,
+            vco_phase_cycles: 0.0,
+            fb_edge_count: 0,
+            next_fb_target: config.divider_n as f64,
+            next_ref_edge,
+            next_ref_edge_ideal: next_ref_edge,
+            stim_phase_base: 0.0,
+            hold: false,
+            micro_dt: 0.25 / config.f_ref_hz,
+            collect_events: false,
+            events: Vec::new(),
+            sampler: None,
+            noise: None,
+        }
+    }
+
+    /// The configuration this loop was built from.
+    pub fn config(&self) -> &PllConfig {
+        &self.config
+    }
+
+    /// Current simulation time in seconds.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Current control voltage.
+    pub fn control_voltage(&self) -> f64 {
+        self.filter.output(&self.filter_state, self.current_drive())
+    }
+
+    /// Current instantaneous VCO frequency in Hz.
+    pub fn vco_frequency_hz(&self) -> f64 {
+        self.vco.frequency_hz(self.control_voltage())
+    }
+
+    /// The held control voltage: the filter output with the drive
+    /// high-impedance — the smooth capacitor state, free of the
+    /// correction-pulse feed-through (what engaging hold would freeze).
+    pub fn held_control_voltage(&self) -> f64 {
+        let off = self.drive_stage.drive(PfdOutput::Off);
+        self.filter.output(&self.filter_state, off)
+    }
+
+    /// Accumulated VCO phase in cycles — the ideal-counter readout; the
+    /// BIST layer quantises this to model real counters.
+    pub fn vco_phase_cycles(&self) -> f64 {
+        self.vco_phase_cycles
+    }
+
+    /// Advances the simulation by `window` seconds and returns the
+    /// **boxcar-average** VCO frequency over that window (what a gated
+    /// frequency counter reads — immune to the control-node pulse
+    /// ripple that contaminates instantaneous readings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is not positive and finite.
+    pub fn average_frequency_hz(&mut self, window: f64) -> f64 {
+        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        let p0 = self.vco_phase_cycles;
+        let t0 = self.t;
+        self.advance_to(t0 + window);
+        (self.vco_phase_cycles - p0) / (self.t - t0)
+    }
+
+    /// Number of feedback (divided-VCO) edges so far.
+    pub fn fb_edge_count(&self) -> u64 {
+        self.fb_edge_count
+    }
+
+    /// The PFD's present output state.
+    pub fn pfd_output(&self) -> PfdOutput {
+        self.pfd.output()
+    }
+
+    /// Replaces the reference stimulus **phase-continuously**: the edge
+    /// stream carries on without a phase step, so only the frequency-law
+    /// change excites the loop (exactly what reprogramming the DCO mux of
+    /// fig. 4 does in hardware).
+    pub fn set_stimulus(&mut self, stimulus: FmStimulus) {
+        let current = self.reference_phase_cycles();
+        self.stimulus = stimulus;
+        self.stim_phase_base = current - self.stimulus.phase_cycles(self.t);
+        self.schedule_next_ref_edge(self.t);
+    }
+
+    /// Accumulated reference phase in cycles (continuous across stimulus
+    /// switches).
+    pub fn reference_phase_cycles(&self) -> f64 {
+        self.stim_phase_base + self.stimulus.phase_cycles(self.t)
+    }
+
+    /// Advances the reference edge schedule: the edge *sequence* walks the
+    /// ideal (noiseless) grid; source jitter displaces each edge's
+    /// emission time by a clamped Gaussian so edges never duplicate,
+    /// vanish or reorder.
+    fn schedule_next_ref_edge(&mut self, ideal_after: f64) {
+        let phase_now = self.stim_phase_base + self.stimulus.phase_cycles(ideal_after);
+        let mut target = phase_now.floor() + 1.0;
+        // Guard: a phase that lands numerically on (or a hair below) an
+        // integer must yield the *following* edge — otherwise the solver
+        // returns `ideal_after` itself and the event loop cannot progress.
+        // A 1e-9-cycle guard is ~1 ps at the paper's reference rate.
+        if target - phase_now < 1e-9 {
+            target += 1.0;
+        }
+        let mut ideal = self
+            .stimulus
+            .time_at_phase(target - self.stim_phase_base, ideal_after);
+        if ideal <= ideal_after {
+            // Degenerate rounding fallback: force forward progress by at
+            // least one representable step even at large absolute times.
+            let bump = (ideal_after.abs() * 4.0 * f64::EPSILON).max(1e-12);
+            ideal = ideal_after + bump;
+        }
+        self.next_ref_edge_ideal = ideal;
+        let mut emitted = ideal;
+        if let Some(n) = &mut self.noise {
+            // Clamp to ±45 % of the nominal period: consecutive clamped
+            // extremes still leave emission times strictly increasing.
+            let limit = 0.45 / self.config.f_ref_hz;
+            let jittered = n.jitter_ref_edge(ideal);
+            emitted = jittered.clamp(ideal - limit, ideal + limit);
+        }
+        self.next_ref_edge = emitted.max(self.t + f64::MIN_POSITIVE);
+    }
+
+    /// The current stimulus.
+    pub fn stimulus(&self) -> &FmStimulus {
+        &self.stimulus
+    }
+
+    /// Injects white Gaussian edge jitter (see [`crate::noise`]); `None`
+    /// restores the noiseless ideal. Takes effect from the next edge.
+    ///
+    /// Reference jitter is applied at edge **generation** — it shakes the
+    /// loop itself (source jitter). Feedback jitter is applied at the
+    /// **observation** point (divider/sampling noise seen by the PFD's
+    /// timing and the BIST counters).
+    pub fn set_noise(&mut self, config: Option<NoiseConfig>) {
+        self.noise = config.map(NoiseSource::new);
+    }
+
+    /// Engages or releases the hold mechanism (paper §4, Table 2 stage 3):
+    /// the loop PFD's inputs are muxed to one identical signal, so it emits
+    /// nothing and the filter holds the control voltage — exactly, unless a
+    /// leakage fault is present.
+    pub fn set_hold(&mut self, hold: bool) {
+        if hold && !self.hold {
+            self.pfd.reset();
+        }
+        self.hold = hold;
+    }
+
+    /// `true` while the hold mechanism is engaged.
+    pub fn is_held(&self) -> bool {
+        self.hold
+    }
+
+    /// Starts collecting [`LoopEvent`]s (reference/feedback edges).
+    pub fn collect_events(&mut self, on: bool) {
+        self.collect_events = on;
+    }
+
+    /// Drains collected events.
+    pub fn take_events(&mut self) -> Vec<LoopEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Starts sampling the analogue state every `interval` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive and finite.
+    pub fn enable_sampling(&mut self, interval: f64) {
+        assert!(
+            interval > 0.0 && interval.is_finite(),
+            "sampling interval must be positive"
+        );
+        self.sampler = Some(Sampler {
+            interval,
+            next_t: self.t,
+            samples: Vec::new(),
+        });
+    }
+
+    /// Drains collected samples.
+    pub fn take_samples(&mut self) -> Vec<Sample> {
+        self.sampler
+            .as_mut()
+            .map(|s| std::mem::take(&mut s.samples))
+            .unwrap_or_default()
+    }
+
+    fn current_drive(&self) -> PumpOutput {
+        if self.hold {
+            return self.drive_stage.drive(PfdOutput::Off);
+        }
+        let state = self.pfd.output();
+        if state != PfdOutput::Off && self.pfd.dead_zone() > 0.0 {
+            if let Some(armed) = self.pfd.armed_since() {
+                if self.t - armed < self.pfd.dead_zone() {
+                    return self.drive_stage.drive(PfdOutput::Off);
+                }
+            }
+        }
+        self.drive_stage.drive(state)
+    }
+
+    /// Phase advance (cycles) over `dt` and the filter state afterwards,
+    /// without committing.
+    fn trial(&mut self, u: PumpOutput, dt: f64) -> (f64, Vec<f64>) {
+        let v0 = self.filter.output(&self.filter_state, u);
+        let mut state = self.filter_state.clone();
+        self.filter.step(&mut state, u, dt);
+        let v1 = self.filter.output(&state, u);
+        let f0 = self.vco.frequency_hz(v0);
+        let f1 = self.vco.frequency_hz(v1);
+        (0.5 * (f0 + f1) * dt, state)
+    }
+
+    fn commit(&mut self, u: PumpOutput, dt: f64, trial: Option<(f64, Vec<f64>)>) {
+        let (dphase, state) = trial.unwrap_or_else(|| {
+            // Recompute (no trial available for this dt).
+            let v0 = self.filter.output(&self.filter_state, u);
+            let mut s = self.filter_state.clone();
+            self.filter.step(&mut s, u, dt);
+            let v1 = self.filter.output(&s, u);
+            let f0 = self.vco.frequency_hz(v0);
+            let f1 = self.vco.frequency_hz(v1);
+            (0.5 * (f0 + f1) * dt, s)
+        });
+        self.filter_state = state;
+        self.vco_phase_cycles += dphase;
+        self.t += dt;
+        if let Some(sampler) = &mut self.sampler {
+            if self.t >= sampler.next_t {
+                let v = self.filter.output(&self.filter_state, u);
+                let off = self.drive_stage.drive(PfdOutput::Off);
+                let v_held = self.filter.output(&self.filter_state, off);
+                sampler.samples.push(Sample {
+                    t: self.t,
+                    v_ctrl: v,
+                    f_vco_hz: self.vco.frequency_hz(v),
+                    phase_cycles: self.vco_phase_cycles,
+                    v_held,
+                });
+                while sampler.next_t <= self.t {
+                    sampler.next_t += sampler.interval;
+                }
+            }
+        }
+    }
+
+    /// Advances the simulation to absolute time `t_end`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t_end` is in the past or not finite.
+    pub fn advance_to(&mut self, t_end: f64) {
+        assert!(
+            t_end.is_finite() && t_end >= self.t,
+            "t_end must be ahead of the current time"
+        );
+        // Guard: bound iterations to catch pathological configs in tests.
+        let max_iters = ((t_end - self.t) * (self.config.f_vco_hz() * 8.0 + 1e4)) as u64 + 1000;
+        let mut iters = 0u64;
+        while self.t < t_end {
+            iters += 1;
+            assert!(
+                iters <= max_iters,
+                "simulation failed to progress (t = {}, next_ref_edge = {}, \
+                 next_fb_target = {}, vco_phase = {}, hold = {}, pfd = {:?})",
+                self.t,
+                self.next_ref_edge,
+                self.next_fb_target,
+                self.vco_phase_cycles,
+                self.hold,
+                self.pfd.output()
+            );
+            // Segment boundary candidates.
+            let mut tb = (self.t + self.micro_dt).min(t_end);
+            if let Some(s) = &self.sampler {
+                if s.next_t > self.t {
+                    tb = tb.min(s.next_t);
+                }
+            }
+            let mut is_ref_edge = false;
+            if self.next_ref_edge <= tb {
+                tb = self.next_ref_edge;
+                is_ref_edge = true;
+            }
+            if !self.hold && self.pfd.dead_zone() > 0.0 {
+                if let Some(armed) = self.pfd.armed_since() {
+                    let expiry = armed + self.pfd.dead_zone();
+                    if expiry > self.t && expiry < tb {
+                        tb = expiry;
+                        is_ref_edge = false;
+                    }
+                }
+            }
+            let dt_seg = tb - self.t;
+            if dt_seg <= 0.0 {
+                // Boundary coincides with `t` (e.g. edge exactly at the
+                // horizon): process the edge without advancing time.
+                if is_ref_edge {
+                    self.process_ref_edge();
+                }
+                continue;
+            }
+            let u = self.current_drive();
+            let trial = self.trial(u, dt_seg);
+            let crossing = self.vco_phase_cycles + trial.0 >= self.next_fb_target;
+            if crossing {
+                // Locate the feedback edge inside the segment.
+                let target = self.next_fb_target - self.vco_phase_cycles;
+                let dt_edge = self.solve_phase_crossing(u, target, dt_seg);
+                self.commit(u, dt_edge, None);
+                self.process_fb_edge();
+                continue;
+            }
+            self.commit(u, dt_seg, Some(trial));
+            if is_ref_edge {
+                self.process_ref_edge();
+            }
+        }
+    }
+
+    fn solve_phase_crossing(&mut self, u: PumpOutput, target_cycles: f64, dt_max: f64) -> f64 {
+        // Bisection on the monotone trial-phase function. 60 iterations
+        // take dt to ~1e-18·dt_max — far below edge-time significance.
+        let mut lo = 0.0f64;
+        let mut hi = dt_max;
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            if mid == lo || mid == hi {
+                break;
+            }
+            let (dphase, _) = self.trial(u, mid);
+            if dphase < target_cycles {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    fn process_ref_edge(&mut self) {
+        // The generation-level jitter is already in `next_ref_edge`.
+        let t = self.next_ref_edge;
+        if self.collect_events {
+            self.events.push(LoopEvent::RefEdge { t });
+        }
+        if !self.hold {
+            self.pfd.on_reference_edge(t);
+        }
+        let ideal = self.next_ref_edge_ideal;
+        self.schedule_next_ref_edge(ideal);
+    }
+
+    fn process_fb_edge(&mut self) {
+        let t = self.t;
+        let t_obs = match &mut self.noise {
+            Some(n) => n.jitter_fb_edge(t),
+            None => t,
+        };
+        self.fb_edge_count += 1;
+        self.next_fb_target += self.config.divider_n as f64;
+        if self.collect_events {
+            self.events.push(LoopEvent::FbEdge { t: t_obs });
+        }
+        if !self.hold {
+            self.pfd.on_feedback_edge(t_obs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stimulus::FmStimulus;
+
+    #[test]
+    fn locked_loop_stays_locked() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(0.5);
+        let f = pll.average_frequency_hz(0.1);
+        assert!((f - 5_000.0).abs() < 2.0, "f = {f}");
+        // Feedback edges at the reference rate.
+        let edges_per_sec = pll.fb_edge_count() as f64 / 0.6;
+        assert!((edges_per_sec - 1_000.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn cold_start_acquires_lock() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new(&cfg);
+        // Acquisition: slew of the big lag filter plus a few loop time
+        // constants.
+        pll.advance_to(3.0);
+        let f = pll.average_frequency_hz(0.2);
+        assert!((f - 5_000.0).abs() < 10.0, "f = {f}");
+    }
+
+    #[test]
+    fn frequency_step_settles_to_n_times_reference() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.set_stimulus(FmStimulus::constant(1_000.0, 8.0));
+        pll.advance_to(1.5);
+        // N = 5 → output deviation 40 Hz.
+        let f = pll.average_frequency_hz(0.1);
+        assert!((f - 5_040.0).abs() < 1.0, "f = {f}");
+    }
+
+    #[test]
+    fn charge_pump_loop_locks_too() {
+        let cfg = PllConfig::integer_n_charge_pump();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(0.2);
+        let f = pll.average_frequency_hz(0.02);
+        assert!((f - 80_000.0).abs() < 100.0, "f = {f}");
+    }
+
+    #[test]
+    fn step_response_overshoot_matches_damping() {
+        // ζ = 0.43 → a clear overshoot on a frequency step.
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(0.2);
+        pll.enable_sampling(5e-3);
+        pll.set_stimulus(FmStimulus::constant(1_000.0, 8.0));
+        pll.advance_to(1.2);
+        let samples = pll.take_samples();
+        // Boxcar frequency between samples (ripple-free, counter-style).
+        let peak = samples
+            .windows(2)
+            .map(|w| (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t))
+            .fold(f64::MIN, f64::max);
+        let overshoot = (peak - 5_040.0) / 40.0;
+        // 2nd-order-with-zero step overshoot for ζ=0.43 is roughly 25–60 %.
+        assert!(
+            overshoot > 0.15 && overshoot < 0.7,
+            "overshoot = {overshoot}"
+        );
+    }
+
+    #[test]
+    fn hold_freezes_the_vco() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.set_stimulus(FmStimulus::constant(1_000.0, 6.0));
+        pll.advance_to(0.9);
+        let f_before = pll.average_frequency_hz(0.1); // ends at t = 1.0
+        pll.set_hold(true);
+        let f_at_hold = pll.vco_frequency_hz();
+        assert!((f_at_hold - f_before).abs() < 2.0, "{f_before} vs {f_at_hold}");
+        // Change the reference — held loop must not react.
+        pll.set_stimulus(FmStimulus::constant(1_000.0, -6.0));
+        pll.advance_to(3.0);
+        let f_after = pll.vco_frequency_hz();
+        assert!(
+            (f_after - f_at_hold).abs() < 1e-6,
+            "held: {f_at_hold} → {f_after}"
+        );
+        // Release: the loop re-acquires the new reference.
+        pll.set_hold(false);
+        pll.advance_to(4.5);
+        let f = pll.average_frequency_hz(0.1);
+        assert!((f - 5.0 * 994.0).abs() < 2.0, "f = {f}");
+    }
+
+    #[test]
+    fn hold_droops_with_leakage_fault() {
+        use pllbist_analog::fault::Fault;
+        let cfg = PllConfig::paper_table3().with_fault(Fault::FilterLeakage(5e6));
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(1.0);
+        let f0 = pll.vco_frequency_hz();
+        pll.set_hold(true);
+        pll.advance_to(1.5); // τ_leak ≈ (R2+Rl)·C ≈ 0.25 s
+        let f1 = pll.vco_frequency_hz();
+        assert!(f0 - f1 > 100.0, "droop {} Hz", f0 - f1);
+    }
+
+    #[test]
+    fn events_are_ordered_and_interleaved() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.collect_events(true);
+        pll.advance_to(0.05);
+        let events = pll.take_events();
+        assert!(events.len() > 80, "{} events", events.len());
+        for w in events.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+        let refs = events
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::RefEdge { .. }))
+            .count();
+        let fbs = events.len() - refs;
+        assert!((refs as i64 - fbs as i64).abs() <= 5, "refs {refs} fbs {fbs}");
+    }
+
+    #[test]
+    fn sine_fm_modulates_the_output() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        // Well inside the 8 Hz loop bandwidth: output tracks the input.
+        pll.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 1.0));
+        pll.advance_to(3.0);
+        pll.enable_sampling(5e-3);
+        pll.advance_to(5.0);
+        let samples = pll.take_samples();
+        let boxcar: Vec<f64> = samples
+            .windows(2)
+            .map(|w| (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t))
+            .collect();
+        let max = boxcar.iter().copied().fold(f64::MIN, f64::max);
+        let min = boxcar.iter().copied().fold(f64::MAX, f64::min);
+        // Tracks ±50 Hz at the output (N·10 Hz), within a few percent.
+        assert!((max - 5_050.0).abs() < 6.0, "max {max}");
+        assert!((min - 4_950.0).abs() < 6.0, "min {min}");
+    }
+
+    #[test]
+    fn dead_zone_slows_small_corrections() {
+        // With a gross dead zone, a small phase error persists.
+        let mut cfg = PllConfig::paper_table3();
+        cfg.pfd_dead_zone = 40e-6; // 4 % of the reference period
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(0.5);
+        // Still roughly locked (the dead zone tolerates small errors).
+        assert!((pll.vco_frequency_hz() - 5_000.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn sampler_interval_respected() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.enable_sampling(10e-3);
+        pll.advance_to(0.5);
+        let s = pll.take_samples();
+        assert!((48..=52).contains(&s.len()), "{} samples", s.len());
+        assert!(pll.take_samples().is_empty(), "drained");
+    }
+
+    #[test]
+    #[should_panic(expected = "ahead of the current time")]
+    fn cannot_run_backwards() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.advance_to(0.1);
+        pll.advance_to(0.05);
+    }
+}

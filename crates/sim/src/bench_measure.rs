@@ -1,0 +1,237 @@
+//! Bench-style transfer-function measurement (the paper's fig. 3).
+//!
+//! This is the **conventional laboratory method** the BIST replaces: apply
+//! sinusoidal FM to the reference, *probe the analogue loop-filter node
+//! directly* (or, equivalently, the VCO instantaneous frequency), and
+//! extract gain and phase at the modulation frequency by least-squares sine
+//! fitting. It requires exactly the analogue access an embedded PLL does
+//! not have — which is why it serves as the accuracy baseline the on-chip
+//! monitor is compared against (ablation abl06).
+
+use crate::behavioral::CpPll;
+use crate::config::PllConfig;
+use crate::stimulus::FmStimulus;
+use pllbist_numeric::bode::{BodePlot, BodePoint};
+use pllbist_numeric::fit::sine_fit;
+use std::f64::consts::{FRAC_PI_2, TAU};
+
+/// One bench measurement at a single modulation frequency.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchPoint {
+    /// Modulation frequency in Hz.
+    pub f_mod_hz: f64,
+    /// Measured feedback-referred gain `|H(jω)|/N` (linear).
+    pub gain: f64,
+    /// Measured phase of the response in radians (negative = output lags).
+    pub phase: f64,
+}
+
+/// Settings for the bench sweep.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchSettings {
+    /// Peak reference deviation in Hz.
+    pub deviation_hz: f64,
+    /// Modulation periods to discard while the loop settles (in addition
+    /// to the loop's own settling time).
+    pub settle_periods: f64,
+    /// Modulation periods to fit over.
+    pub measure_periods: f64,
+    /// Samples per modulation period.
+    pub samples_per_period: usize,
+}
+
+impl Default for BenchSettings {
+    fn default() -> Self {
+        Self {
+            deviation_hz: 10.0,
+            settle_periods: 3.0,
+            measure_periods: 4.0,
+            samples_per_period: 64,
+        }
+    }
+}
+
+/// Measures one point of the closed-loop response with full analogue
+/// access.
+///
+/// The loop is built fresh, locked, driven with pure sinusoidal FM at
+/// `f_mod_hz`, allowed to settle for the larger of the configured settle
+/// periods and eight loop time constants, and then the VCO instantaneous
+/// frequency is sine-fitted against the known stimulus.
+///
+/// # Panics
+///
+/// Panics if `f_mod_hz` is not positive or the settings are degenerate.
+pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings) -> BenchPoint {
+    assert!(f_mod_hz > 0.0, "modulation frequency must be positive");
+    assert!(
+        settings.measure_periods >= 1.0 && settings.samples_per_period >= 8,
+        "measurement window too small"
+    );
+    let mut pll = CpPll::new_locked(config);
+    let t_mod = 1.0 / f_mod_hz;
+
+    // Loop settling: 8 dominant time constants.
+    let params = config.analysis().dominant_params();
+    let loop_settle = 8.0 / (params.damping * params.omega_n).max(1e-9);
+    let settle = (settings.settle_periods * t_mod).max(loop_settle);
+    // Start the modulation at t = 0 so the stimulus phase reference is
+    // exact, then wait out the transient.
+    pll.set_stimulus(FmStimulus::pure_sine(
+        config.f_ref_hz,
+        settings.deviation_hz,
+        f_mod_hz,
+    ));
+    pll.advance_to(settle);
+
+    // Sample on a grid commensurate with the reference period: the
+    // control-node correction-pulse ripple is (quasi-)periodic at f_ref,
+    // so a boxcar over whole reference periods rejects it exactly —
+    // the same reason the paper's frequency counter gates over whole
+    // cycles. The frequency estimate between samples is the phase
+    // difference over the interval (a gated-counter readout with the
+    // quantisation removed; the BIST layer adds the quantisation back).
+    let t_ref = 1.0 / config.f_ref_hz;
+    let periods_per_sample =
+        (t_mod / (settings.samples_per_period as f64 * t_ref)).round().max(1.0);
+    let sample_dt = periods_per_sample * t_ref;
+    pll.enable_sampling(sample_dt);
+    pll.advance_to(settle + settings.measure_periods * t_mod);
+    let samples = pll.take_samples();
+
+    let omega = TAU * f_mod_hz;
+    let pairs: Vec<(f64, f64)> = samples
+        .windows(2)
+        .map(|w| {
+            let f = (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t);
+            (0.5 * (w[0].t + w[1].t), f - config.f_vco_hz())
+        })
+        .collect();
+    let fit = sine_fit(&pairs, omega).expect("well-conditioned sine fit");
+
+    // The boxcar attenuates the modulation tone by sinc(π·f_mod·dt);
+    // compensate so the gain is unbiased even at coarse sampling.
+    let x = std::f64::consts::PI * f_mod_hz * sample_dt;
+    let sinc = if x.abs() < 1e-12 { 1.0 } else { x.sin() / x };
+
+    // The stimulus deviation is Δf·sin(ωt) = Δf·cos(ωt − π/2); the fit
+    // reports A·cos(ωt + φ_out). Output-referred gain is A/(N·Δf).
+    let n = config.divider_n as f64;
+    let gain = fit.amplitude() / sinc / (n * settings.deviation_hz);
+    let mut phase = fit.phase() + FRAC_PI_2;
+    // Normalise to (−π, π].
+    while phase > std::f64::consts::PI {
+        phase -= TAU;
+    }
+    while phase <= -std::f64::consts::PI {
+        phase += TAU;
+    }
+    BenchPoint {
+        f_mod_hz,
+        gain,
+        phase,
+    }
+}
+
+/// Sweeps the bench measurement over the given modulation frequencies and
+/// assembles a Bode plot (phases unwrapped across the sweep).
+pub fn measure_sweep(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> BodePlot {
+    let mut plot: BodePlot = f_mod_hz
+        .iter()
+        .map(|&fm| {
+            let p = measure_point(config, fm, settings);
+            BodePoint {
+                omega: TAU * p.f_mod_hz,
+                magnitude: p.gain,
+                phase: p.phase,
+            }
+        })
+        .collect();
+    plot.unwrap_phase();
+    plot
+}
+
+/// Log-spaced modulation frequencies for a sweep (helper shared with the
+/// BIST monitor so baseline and monitor measure the same points).
+///
+/// # Panics
+///
+/// Panics if the bounds are not `0 < lo < hi` or `n < 2`.
+pub fn log_spaced(lo_hz: f64, hi_hz: f64, n: usize) -> Vec<f64> {
+    assert!(n >= 2 && lo_hz > 0.0 && hi_hz > lo_hz, "invalid sweep spec");
+    let ratio = (hi_hz / lo_hz).ln();
+    (0..n)
+        .map(|i| lo_hz * (ratio * i as f64 / (n - 1) as f64).exp())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> BenchSettings {
+        BenchSettings {
+            deviation_hz: 10.0,
+            settle_periods: 3.0,
+            measure_periods: 3.0,
+            samples_per_period: 32,
+        }
+    }
+
+    #[test]
+    fn in_band_point_has_unity_gain_and_small_lag() {
+        let cfg = PllConfig::paper_table3();
+        let p = measure_point(&cfg, 1.0, &quick());
+        assert!((p.gain - 1.0).abs() < 0.05, "gain {}", p.gain);
+        assert!(p.phase.abs() < 0.25, "phase {}", p.phase);
+    }
+
+    #[test]
+    fn resonance_point_matches_linear_model() {
+        let cfg = PllConfig::paper_table3();
+        let a = cfg.analysis();
+        let h = a.feedback_transfer();
+        let p = measure_point(&cfg, 8.0, &quick());
+        let want = h.eval_jw(TAU * 8.0);
+        assert!((p.gain - want.abs()).abs() / want.abs() < 0.05, "gain {} vs {}", p.gain, want.abs());
+        assert!((p.phase - want.arg()).abs() < 0.12, "phase {} vs {}", p.phase, want.arg());
+    }
+
+    #[test]
+    fn out_of_band_point_rolls_off() {
+        let cfg = PllConfig::paper_table3();
+        let p = measure_point(&cfg, 60.0, &quick());
+        let want = cfg.analysis().feedback_transfer().eval_jw(TAU * 60.0);
+        assert!(p.gain < 0.5, "rolled off: {}", p.gain);
+        assert!((p.gain - want.abs()).abs() / want.abs() < 0.15);
+    }
+
+    #[test]
+    fn sweep_produces_unwrapped_monotone_plot() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = log_spaced(1.0, 40.0, 6);
+        let plot = measure_sweep(&cfg, &freqs, &quick());
+        assert_eq!(plot.len(), 6);
+        for w in plot.points().windows(2) {
+            assert!(w[1].phase <= w[0].phase + 0.2, "phase roughly decreasing");
+        }
+    }
+
+    #[test]
+    fn log_spacing_endpoints() {
+        let f = log_spaced(1.0, 100.0, 5);
+        assert!((f[0] - 1.0).abs() < 1e-12);
+        assert!((f[4] - 100.0).abs() < 1e-9);
+        assert!((f[2] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid sweep spec")]
+    fn bad_sweep_rejected() {
+        let _ = log_spaced(10.0, 1.0, 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Mixed-signal closed-loop CP-PLL simulation.
+//!
+//! Two engines share one component catalogue (`pllbist-analog`,
+//! `pllbist-digital`):
+//!
+//! * [`behavioral`] — an event-driven fast path: the PFD is an edge state
+//!   machine, the loop filter is stepped **exactly** over constant-drive
+//!   segments, and reference/feedback edges are located by root finding.
+//!   This is the engine the BIST sweeps run on.
+//! * [`cosim`] — gate-level co-simulation: the digital side (DCO, dividers,
+//!   PFDs, counters, the paper's fig. 7 peak detector) runs in the
+//!   `pllbist-digital` event kernel with real propagation delays while the
+//!   analogue loop integrates between events. Used to validate the fast
+//!   path and to regenerate the waveform-level figures.
+//!
+//! Supporting modules: [`config`] (the PLL description and fault
+//! injection), [`linear`] (closed-loop transfer function, eq. 4/5/6 of the
+//! paper), [`stimulus`] (sine FM, two-tone and multi-tone FSK — fig. 4),
+//! and [`bench_measure`] (the fig. 3 bench-style measurement baseline that
+//! needs analogue node access).
+//!
+//! # Example
+//!
+//! Lock the paper's PLL and check it stays at the lock frequency:
+//!
+//! ```
+//! use pllbist_sim::config::PllConfig;
+//! use pllbist_sim::behavioral::CpPll;
+//!
+//! let config = PllConfig::paper_table3();
+//! let mut pll = CpPll::new_locked(&config);
+//! pll.advance_to(0.1); // run 100 ms at lock
+//! let f = pll.average_frequency_hz(0.05); // counter-style readout
+//! assert!((f - 5_000.0).abs() < 5.0, "still at lock: {f}");
+//! ```
+
+pub mod behavioral;
+pub mod bench_measure;
+pub mod config;
+pub mod cosim;
+pub mod linear;
+pub mod lock;
+pub mod noise;
+pub mod stimulus;
+pub mod transient;
+
+pub use behavioral::CpPll;
+pub use config::PllConfig;
+pub use linear::LoopAnalysis;

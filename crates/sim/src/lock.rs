@@ -1,0 +1,238 @@
+//! Lock detection.
+//!
+//! The paper's test sequence presumes "the PLL is initially locked"
+//! (Table 2). Real BIST hardware gates the measurement on a **lock
+//! detector**: a window counter that watches the reference/feedback edge
+//! skew and declares lock after `m` consecutive cycles inside a phase
+//! window — exactly the structure modelled by [`LockDetector`]. The
+//! monitor can use it to qualify the device before sweeping.
+
+use crate::behavioral::{CpPll, LoopEvent};
+
+/// Edge-skew based lock detector (window comparator + consecutive-cycle
+/// counter).
+///
+/// # Example
+///
+/// ```
+/// use pllbist_sim::lock::LockDetector;
+/// use pllbist_sim::behavioral::LoopEvent;
+///
+/// let mut det = LockDetector::new(100e-6, 8);
+/// for k in 0..10 {
+///     let t = k as f64 * 1e-3;
+///     det.on_event(LoopEvent::RefEdge { t });
+///     det.on_event(LoopEvent::FbEdge { t: t + 20e-6 }); // 20 µs skew
+/// }
+/// assert!(det.is_locked());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LockDetector {
+    window_secs: f64,
+    required_cycles: u32,
+    consecutive: u32,
+    armed: Option<(f64, bool)>, // (time, is_ref)
+    locked: bool,
+}
+
+impl LockDetector {
+    /// Creates a detector that declares lock after `required_cycles`
+    /// consecutive edge pairs with |skew| ≤ `window_secs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the window is positive/finite and at least one cycle
+    /// is required.
+    pub fn new(window_secs: f64, required_cycles: u32) -> Self {
+        assert!(
+            window_secs > 0.0 && window_secs.is_finite(),
+            "lock window must be positive"
+        );
+        assert!(required_cycles >= 1, "at least one qualifying cycle required");
+        Self {
+            window_secs,
+            required_cycles,
+            consecutive: 0,
+            armed: None,
+            locked: false,
+        }
+    }
+
+    /// The phase window in seconds.
+    pub fn window_secs(&self) -> f64 {
+        self.window_secs
+    }
+
+    /// `true` once lock has been declared (sticky until [`LockDetector::reset`]
+    /// or an out-of-window cycle).
+    pub fn is_locked(&self) -> bool {
+        self.locked
+    }
+
+    /// Consecutive in-window cycles so far.
+    pub fn consecutive_cycles(&self) -> u32 {
+        self.consecutive
+    }
+
+    /// Feeds one loop event; returns `true` exactly when lock is first
+    /// declared.
+    pub fn on_event(&mut self, event: LoopEvent) -> bool {
+        let (t, is_ref) = match event {
+            LoopEvent::RefEdge { t } => (t, true),
+            LoopEvent::FbEdge { t } => (t, false),
+        };
+        match self.armed {
+            None => {
+                self.armed = Some((t, is_ref));
+                false
+            }
+            Some((t0, was_ref)) if was_ref != is_ref => {
+                // Completed a ref/fb pair: judge the skew.
+                self.armed = None;
+                if (t - t0).abs() <= self.window_secs {
+                    self.consecutive = self.consecutive.saturating_add(1);
+                    if self.consecutive >= self.required_cycles && !self.locked {
+                        self.locked = true;
+                        return true;
+                    }
+                } else {
+                    self.consecutive = 0;
+                    self.locked = false;
+                }
+                false
+            }
+            Some(_) => {
+                // Same-input edge twice (cycle slip): definitely not locked.
+                self.armed = Some((t, is_ref));
+                self.consecutive = 0;
+                self.locked = false;
+                false
+            }
+        }
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.consecutive = 0;
+        self.armed = None;
+        self.locked = false;
+    }
+}
+
+/// Runs the loop until the lock detector declares lock, or `timeout`
+/// seconds elapse. Returns the lock time.
+///
+/// # Errors
+///
+/// Returns the final phase-skew estimate as `Err` when the timeout
+/// expires without lock.
+pub fn wait_for_lock(
+    pll: &mut CpPll,
+    detector: &mut LockDetector,
+    timeout: f64,
+) -> Result<f64, f64> {
+    let t_end = pll.time() + timeout;
+    let chunk = 10.0 / pll.config().f_ref_hz;
+    pll.collect_events(true);
+    let mut last_skew = f64::INFINITY;
+    while pll.time() < t_end {
+        pll.advance_to((pll.time() + chunk).min(t_end));
+        for e in pll.take_events() {
+            if detector.on_event(e) {
+                pll.collect_events(false);
+                pll.take_events();
+                return Ok(pll.time());
+            }
+        }
+        last_skew = detector.consecutive_cycles() as f64;
+    }
+    pll.collect_events(false);
+    pll.take_events();
+    Err(last_skew)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PllConfig;
+    use crate::stimulus::FmStimulus;
+
+    #[test]
+    fn declares_lock_on_consistent_small_skew() {
+        let mut det = LockDetector::new(50e-6, 5);
+        let mut declared_at = None;
+        for k in 0..8 {
+            let t = k as f64 * 1e-3;
+            det.on_event(LoopEvent::RefEdge { t });
+            if det.on_event(LoopEvent::FbEdge { t: t + 10e-6 }) {
+                declared_at = Some(k);
+            }
+        }
+        assert!(det.is_locked());
+        assert_eq!(declared_at, Some(4), "after the 5th qualifying pair");
+    }
+
+    #[test]
+    fn large_skew_resets_the_count() {
+        let mut det = LockDetector::new(50e-6, 3);
+        for k in 0..2 {
+            let t = k as f64 * 1e-3;
+            det.on_event(LoopEvent::RefEdge { t });
+            det.on_event(LoopEvent::FbEdge { t: t + 10e-6 });
+        }
+        assert_eq!(det.consecutive_cycles(), 2);
+        // One bad cycle.
+        det.on_event(LoopEvent::RefEdge { t: 2e-3 });
+        det.on_event(LoopEvent::FbEdge { t: 2e-3 + 400e-6 });
+        assert_eq!(det.consecutive_cycles(), 0);
+        assert!(!det.is_locked());
+    }
+
+    #[test]
+    fn cycle_slip_unlocks() {
+        let mut det = LockDetector::new(50e-6, 2);
+        det.on_event(LoopEvent::RefEdge { t: 0.0 });
+        det.on_event(LoopEvent::FbEdge { t: 1e-6 });
+        det.on_event(LoopEvent::RefEdge { t: 1e-3 });
+        det.on_event(LoopEvent::FbEdge { t: 1e-3 + 1e-6 });
+        assert!(det.is_locked());
+        // Two reference edges in a row: slip.
+        det.on_event(LoopEvent::RefEdge { t: 2e-3 });
+        det.on_event(LoopEvent::RefEdge { t: 3e-3 });
+        assert!(!det.is_locked());
+    }
+
+    #[test]
+    fn preset_loop_locks_quickly() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = crate::behavioral::CpPll::new_locked(&cfg);
+        let mut det = LockDetector::new(100e-6, 16);
+        let t = wait_for_lock(&mut pll, &mut det, 1.0).expect("preset loop locks");
+        assert!(t < 0.2, "locked at {t}");
+    }
+
+    #[test]
+    fn cold_loop_locks_within_acquisition_time() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = crate::behavioral::CpPll::new(&cfg);
+        let mut det = LockDetector::new(100e-6, 16);
+        let t = wait_for_lock(&mut pll, &mut det, 5.0).expect("acquires");
+        assert!(t > 0.05, "cold start is not instant: {t}");
+    }
+
+    #[test]
+    fn detuned_loop_does_not_lock_within_timeout() {
+        // Reference far outside anything the loop can follow quickly.
+        let cfg = PllConfig::paper_table3();
+        let mut pll = crate::behavioral::CpPll::new_locked(&cfg);
+        pll.set_stimulus(FmStimulus::constant(1_000.0, 150.0));
+        let mut det = LockDetector::new(20e-6, 64);
+        assert!(wait_for_lock(&mut pll, &mut det, 0.05).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock window must be positive")]
+    fn bad_window_rejected() {
+        let _ = LockDetector::new(0.0, 4);
+    }
+}

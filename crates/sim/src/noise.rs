@@ -1,0 +1,159 @@
+//! Edge-jitter injection.
+//!
+//! Real reference sources and VCOs jitter; a BIST that only works on a
+//! noiseless device is useless. [`NoiseConfig`] adds white Gaussian
+//! **edge jitter** at the two observation points of the loop — the
+//! reference input and the divided VCO output — which is how period
+//! jitter presents to the PFD and to every BIST block downstream of it.
+//! The generator is a small deterministic PRNG (xorshift + Box–Muller),
+//! so noisy runs are exactly reproducible from a seed.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// White Gaussian edge-jitter magnitudes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseConfig {
+    /// RMS jitter of observed reference edges, seconds.
+    pub ref_edge_jitter_rms: f64,
+    /// RMS jitter of observed feedback (divided VCO) edges, seconds.
+    pub fb_edge_jitter_rms: f64,
+    /// PRNG seed (same seed ⇒ identical run).
+    pub seed: u64,
+}
+
+impl NoiseConfig {
+    /// A convenience constructor with equal jitter on both inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rms` is negative or not finite.
+    pub fn symmetric(rms: f64, seed: u64) -> Self {
+        assert!(rms >= 0.0 && rms.is_finite(), "jitter must be non-negative");
+        Self {
+            ref_edge_jitter_rms: rms,
+            fb_edge_jitter_rms: rms,
+            seed,
+        }
+    }
+}
+
+/// The stateful jitter source used by the engine.
+#[derive(Clone, Debug)]
+pub struct NoiseSource {
+    config: NoiseConfig,
+    rng: SmallRng,
+    spare: Option<f64>,
+}
+
+impl NoiseSource {
+    /// Creates a source from its configuration.
+    pub fn new(config: NoiseConfig) -> Self {
+        Self {
+            config,
+            rng: SmallRng::seed_from_u64(config.seed),
+            spare: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NoiseConfig {
+        &self.config
+    }
+
+    /// Standard normal deviate via Box–Muller (with the usual spare).
+    fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1: f64 = self.rng.gen::<f64>();
+            let u2: f64 = self.rng.gen::<f64>();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+
+    /// Jitters an observed reference-edge time.
+    pub fn jitter_ref_edge(&mut self, t: f64) -> f64 {
+        if self.config.ref_edge_jitter_rms == 0.0 {
+            return t;
+        }
+        t + self.gaussian() * self.config.ref_edge_jitter_rms
+    }
+
+    /// Jitters an observed feedback-edge time.
+    pub fn jitter_fb_edge(&mut self, t: f64) -> f64 {
+        if self.config.fb_edge_jitter_rms == 0.0 {
+            return t;
+        }
+        t + self.gaussian() * self.config.fb_edge_jitter_rms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_jitter_is_transparent() {
+        let mut src = NoiseSource::new(NoiseConfig::symmetric(0.0, 7));
+        for k in 0..20 {
+            let t = k as f64;
+            assert_eq!(src.jitter_ref_edge(t), t);
+            assert_eq!(src.jitter_fb_edge(t), t);
+        }
+    }
+
+    #[test]
+    fn jitter_statistics_match_config() {
+        let rms = 5e-6;
+        let mut src = NoiseSource::new(NoiseConfig::symmetric(rms, 42));
+        let n = 20_000;
+        let devs: Vec<f64> = (0..n).map(|_| src.jitter_ref_edge(0.0)).collect();
+        let mean = devs.iter().sum::<f64>() / n as f64;
+        let var = devs.iter().map(|d| (d - mean) * (d - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05 * rms, "mean {mean}");
+        assert!((var.sqrt() - rms).abs() < 0.05 * rms, "rms {}", var.sqrt());
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let a: Vec<f64> = {
+            let mut s = NoiseSource::new(NoiseConfig::symmetric(1e-6, 99));
+            (0..50).map(|_| s.jitter_fb_edge(1.0)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut s = NoiseSource::new(NoiseConfig::symmetric(1e-6, 99));
+            (0..50).map(|_| s.jitter_fb_edge(1.0)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<f64> = {
+            let mut s = NoiseSource::new(NoiseConfig::symmetric(1e-6, 100));
+            (0..50).map(|_| s.jitter_fb_edge(1.0)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn asymmetric_config() {
+        let mut src = NoiseSource::new(NoiseConfig {
+            ref_edge_jitter_rms: 0.0,
+            fb_edge_jitter_rms: 1e-6,
+            seed: 1,
+        });
+        assert_eq!(src.jitter_ref_edge(2.0), 2.0);
+        assert_ne!(src.jitter_fb_edge(2.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter must be non-negative")]
+    fn negative_rms_rejected() {
+        let _ = NoiseConfig::symmetric(-1.0, 0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Reference-input frequency-modulation stimuli.
+//!
+//! The transfer-function test modulates the PLL's reference frequency
+//! sinusoidally (paper §2). On chip, a true sine is unavailable; the DCO of
+//! fig. 4 approximates it by **stepping between a small set of discrete
+//! frequencies** (frequency-shift keying). This module defines the three
+//! stimulus classes the paper compares in figs. 11/12 —
+//! [`FmStimulus::pure_sine`], [`FmStimulus::two_tone`],
+//! [`FmStimulus::multi_tone`] — as instantaneous-frequency functions with
+//! exact phase integrals, so the behavioural engine can place reference
+//! edges with machine precision.
+
+use std::f64::consts::TAU;
+
+/// A frequency-modulated reference stimulus.
+///
+/// The reference signal's instantaneous frequency is
+/// `f(t) = f_nominal + deviation(t)` where `deviation(t)` is periodic with
+/// the modulation frequency. Phase is measured in **cycles** so that edge
+/// `k` occurs when `phase(t) = k`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FmStimulus {
+    f_nominal_hz: f64,
+    f_mod_hz: f64,
+    kind: Kind,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Kind {
+    /// Ideal sinusoidal FM with the given peak deviation.
+    Sine { deviation_hz: f64 },
+    /// Ideal sinusoidal PM with the given peak phase deviation in cycles
+    /// (delay-line style modulation, paper §2/§3).
+    SinePm { amplitude_cycles: f64 },
+    /// Staircase FSK through the given deviation levels, each held for an
+    /// equal fraction of the modulation period.
+    Staircase { levels: Vec<f64> },
+    /// Constant deviation (used to park the DCO at one tone).
+    Constant { deviation_hz: f64 },
+}
+
+impl FmStimulus {
+    /// Ideal sinusoidal FM: `f(t) = f_nom + Δf·sin(2π·f_mod·t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < |Δf| < f_nom` and both frequencies are positive.
+    pub fn pure_sine(f_nominal_hz: f64, deviation_hz: f64, f_mod_hz: f64) -> Self {
+        validate(f_nominal_hz, deviation_hz, f_mod_hz);
+        Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind: Kind::Sine { deviation_hz },
+        }
+    }
+
+    /// Ideal sinusoidal **phase** modulation:
+    /// `θ(t) = f_nom·t + a·sin(2π·f_mod·t)` with `a` in cycles — what a
+    /// tapped-delay-line modulator produces (paper §3's alternative). Per
+    /// the paper's §2 remark, PM with amplitude `a` is equivalent to FM
+    /// with peak deviation `Δf = a·2π·f_mod` shifted by 90°.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the frequencies are positive and the resulting peak
+    /// frequency deviation `a·2π·f_mod` stays below `f_nom` (so phase
+    /// remains monotone and edges stay well ordered).
+    pub fn phase_modulated(f_nominal_hz: f64, amplitude_cycles: f64, f_mod_hz: f64) -> Self {
+        assert!(
+            f_nominal_hz > 0.0 && f_mod_hz > 0.0,
+            "frequencies must be positive"
+        );
+        let peak_dev = amplitude_cycles.abs() * TAU * f_mod_hz;
+        assert!(
+            amplitude_cycles != 0.0 && peak_dev < f_nominal_hz,
+            "PM amplitude must be nonzero and keep the phase monotone"
+        );
+        Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind: Kind::SinePm { amplitude_cycles },
+        }
+    }
+
+    /// Two-tone FSK: a square-wave deviation of ±Δf (the paper's "Two Tone
+    /// FS" trace) phased like the sine it approximates (+Δf over the first
+    /// half period).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < |Δf| < f_nom` and both frequencies are positive.
+    pub fn two_tone(f_nominal_hz: f64, deviation_hz: f64, f_mod_hz: f64) -> Self {
+        validate(f_nominal_hz, deviation_hz, f_mod_hz);
+        Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind: Kind::Staircase {
+                levels: vec![deviation_hz, -deviation_hz],
+            },
+        }
+    }
+
+    /// Multi-tone FSK with `steps` equal-duration levels per modulation
+    /// period, sampling the sine at interval midpoints — the paper's
+    /// "Multi Tone FS" with ten steps (fig. 4 DCO output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps < 2`, or on the frequency conditions of
+    /// [`FmStimulus::pure_sine`].
+    pub fn multi_tone(f_nominal_hz: f64, deviation_hz: f64, f_mod_hz: f64, steps: usize) -> Self {
+        assert!(steps >= 2, "multi-tone FSK needs at least two steps");
+        validate(f_nominal_hz, deviation_hz, f_mod_hz);
+        let levels = (0..steps)
+            .map(|k| deviation_hz * (TAU * (k as f64 + 0.5) / steps as f64).sin())
+            .collect();
+        Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind: Kind::Staircase { levels },
+        }
+    }
+
+    /// Staircase FSK through explicit deviation levels (one DCO tone per
+    /// level, equal dwell times) — for quantised-DCO studies where the
+    /// levels come from the actual divider tone grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two levels are given or any level's magnitude
+    /// reaches `f_nom`.
+    pub fn staircase(f_nominal_hz: f64, levels: Vec<f64>, f_mod_hz: f64) -> Self {
+        assert!(levels.len() >= 2, "staircase needs at least two levels");
+        for &l in &levels {
+            assert!(l.abs() < f_nominal_hz, "deviation must stay below f_nom");
+        }
+        assert!(f_nominal_hz > 0.0 && f_mod_hz > 0.0, "frequencies must be positive");
+        Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind: Kind::Staircase { levels },
+        }
+    }
+
+    /// An unmodulated carrier at `f_nom + Δf` (the `f_mod` is kept for
+    /// bookkeeping but nothing varies).
+    pub fn constant(f_nominal_hz: f64, deviation_hz: f64) -> Self {
+        assert!(
+            f_nominal_hz > 0.0 && deviation_hz.abs() < f_nominal_hz,
+            "deviation must stay below f_nom"
+        );
+        Self {
+            f_nominal_hz,
+            f_mod_hz: 1.0,
+            kind: Kind::Constant { deviation_hz },
+        }
+    }
+
+    /// Nominal (carrier) frequency in Hz.
+    pub fn f_nominal_hz(&self) -> f64 {
+        self.f_nominal_hz
+    }
+
+    /// Modulation frequency in Hz.
+    pub fn f_mod_hz(&self) -> f64 {
+        self.f_mod_hz
+    }
+
+    /// Peak deviation magnitude in Hz.
+    pub fn peak_deviation_hz(&self) -> f64 {
+        match &self.kind {
+            Kind::Sine { deviation_hz } | Kind::Constant { deviation_hz } => deviation_hz.abs(),
+            Kind::SinePm { amplitude_cycles } => amplitude_cycles.abs() * TAU * self.f_mod_hz,
+            Kind::Staircase { levels } => levels.iter().fold(0.0, |m, l| m.max(l.abs())),
+        }
+    }
+
+    /// Instantaneous frequency deviation from nominal at time `t`, in Hz.
+    pub fn deviation_at(&self, t: f64) -> f64 {
+        match &self.kind {
+            Kind::Sine { deviation_hz } => deviation_hz * (TAU * self.f_mod_hz * t).sin(),
+            Kind::SinePm { amplitude_cycles } => {
+                // d/dt [a·sin(ωm·t)] = a·ωm·cos(ωm·t), in Hz.
+                amplitude_cycles * TAU * self.f_mod_hz * (TAU * self.f_mod_hz * t).cos()
+            }
+            Kind::Constant { deviation_hz } => *deviation_hz,
+            Kind::Staircase { levels } => {
+                let frac = (t * self.f_mod_hz).rem_euclid(1.0);
+                let idx = ((frac * levels.len() as f64) as usize).min(levels.len() - 1);
+                levels[idx]
+            }
+        }
+    }
+
+    /// Instantaneous frequency at time `t`, in Hz.
+    pub fn frequency_at(&self, t: f64) -> f64 {
+        self.f_nominal_hz + self.deviation_at(t)
+    }
+
+    /// Accumulated phase in **cycles** from `t = 0`, exact (closed form for
+    /// the sine, per-segment sums for the staircase).
+    pub fn phase_cycles(&self, t: f64) -> f64 {
+        self.f_nominal_hz * t + self.deviation_phase_cycles(t)
+    }
+
+    fn deviation_phase_cycles(&self, t: f64) -> f64 {
+        match &self.kind {
+            Kind::Sine { deviation_hz } => {
+                // ∫Δf·sin(2πfm·τ)dτ = Δf(1 − cos(2πfm·t))/(2πfm)
+                deviation_hz * (1.0 - (TAU * self.f_mod_hz * t).cos()) / (TAU * self.f_mod_hz)
+            }
+            Kind::SinePm { amplitude_cycles } => {
+                amplitude_cycles * (TAU * self.f_mod_hz * t).sin()
+            }
+            Kind::Constant { deviation_hz } => deviation_hz * t,
+            Kind::Staircase { levels } => {
+                let n = levels.len() as f64;
+                let dwell = 1.0 / (self.f_mod_hz * n);
+                let per_period: f64 = levels.iter().sum::<f64>() / (self.f_mod_hz * n);
+                let periods = (t * self.f_mod_hz).floor();
+                let mut acc = periods * per_period;
+                let mut rem = t - periods / self.f_mod_hz;
+                for &l in levels {
+                    if rem <= 0.0 {
+                        break;
+                    }
+                    let seg = rem.min(dwell);
+                    acc += l * seg;
+                    rem -= seg;
+                }
+                acc
+            }
+        }
+    }
+
+    /// The time of the next rising reference edge strictly after `t`
+    /// (edge `k` occurs at `phase_cycles = k`).
+    ///
+    /// Solved with bisection on the monotone phase function; accurate to
+    /// ~1 fs relative to the edge period.
+    pub fn next_edge_after(&self, t: f64) -> f64 {
+        self.time_at_phase(self.phase_cycles(t).floor() + 1.0, t)
+    }
+
+    /// The earliest time `≥ t_min` at which the accumulated phase reaches
+    /// `target` cycles (used by the engine to keep the reference edge
+    /// stream phase-continuous across stimulus switches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the target lies in the past (`phase(t_min) > target`).
+    pub fn time_at_phase(&self, target: f64, t_min: f64) -> f64 {
+        let t = t_min;
+        let start = self.phase_cycles(t);
+        assert!(
+            start <= target,
+            "phase target {target} is in the past (phase({t}) = {start})"
+        );
+        // Bracket: frequency is bounded within [f_nom − Δf, f_nom + Δf].
+        let f_min = self.f_nominal_hz - self.peak_deviation_hz();
+        let f_max = self.f_nominal_hz + self.peak_deviation_hz();
+        let mut lo = t + (target - start) / f_max;
+        let mut hi = t + (target - start) / f_min;
+        // Guard against rounding at the bracket ends.
+        lo = lo.max(t);
+        hi = hi.max(lo + 1e-18);
+        while self.phase_cycles(hi) < target {
+            hi += 0.1 / self.f_nominal_hz;
+        }
+        for _ in 0..200 {
+            if hi - lo < 1e-15 * hi.max(1.0) {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            if mid == lo || mid == hi {
+                break;
+            }
+            if self.phase_cycles(mid) < target {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Return the upper bracket: its phase is ≥ the integer target, so a
+        // subsequent call starting from the returned time cannot rediscover
+        // the same edge (which would double-arm the PFD).
+        hi
+    }
+
+    /// Times within `[0, 1/f_mod)` where the *deviation* waveform peaks
+    /// (maximum positive deviation) — the paper's "peak of the input
+    /// modulation", the phase-counter start reference.
+    pub fn deviation_peak_time(&self) -> f64 {
+        match &self.kind {
+            Kind::Sine { .. } => 0.25 / self.f_mod_hz,
+            Kind::SinePm { .. } => 0.0, // cos peaks at t = 0 (mod T)
+            Kind::Constant { .. } => 0.0,
+            Kind::Staircase { levels } => {
+                let n = levels.len() as f64;
+                let idx = levels
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                // Centre of the peak dwell interval.
+                (idx as f64 + 0.5) / (self.f_mod_hz * n)
+            }
+        }
+    }
+}
+
+fn validate(f_nom: f64, dev: f64, f_mod: f64) {
+    assert!(f_nom > 0.0 && f_nom.is_finite(), "f_nominal must be positive");
+    assert!(f_mod > 0.0 && f_mod.is_finite(), "f_mod must be positive");
+    assert!(
+        dev != 0.0 && dev.abs() < f_nom,
+        "deviation must be nonzero and below f_nom"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sine_phase_is_integral_of_frequency() {
+        let s = FmStimulus::pure_sine(1000.0, 10.0, 8.0);
+        // Numeric integral vs closed form.
+        let t_end = 0.37;
+        let n = 200_000;
+        let dt = t_end / n as f64;
+        let mut acc = 0.0;
+        for k in 0..n {
+            let t0 = k as f64 * dt;
+            acc += 0.5 * (s.frequency_at(t0) + s.frequency_at(t0 + dt)) * dt;
+        }
+        assert!((acc - s.phase_cycles(t_end)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn staircase_phase_is_integral_of_frequency() {
+        let s = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10);
+        let t_end = 0.41;
+        let n = 400_000;
+        let dt = t_end / n as f64;
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += s.frequency_at((k as f64 + 0.5) * dt) * dt;
+        }
+        assert!((acc - s.phase_cycles(t_end)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn multi_tone_tracks_the_sine() {
+        let sine = FmStimulus::pure_sine(1000.0, 10.0, 5.0);
+        let fsk = FmStimulus::multi_tone(1000.0, 10.0, 5.0, 10);
+        // Mid-dwell the staircase equals the sine at the same sample point.
+        for k in 0..10 {
+            let t = (k as f64 + 0.5) / (5.0 * 10.0);
+            assert!(
+                (fsk.deviation_at(t) - sine.deviation_at(t)).abs() < 1e-9,
+                "step {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_tone_is_square() {
+        let s = FmStimulus::two_tone(1000.0, 10.0, 4.0);
+        assert_eq!(s.deviation_at(0.01), 10.0); // first half period
+        assert_eq!(s.deviation_at(0.2), -10.0); // second half
+        assert_eq!(s.peak_deviation_hz(), 10.0);
+    }
+
+    #[test]
+    fn edges_are_monotone_and_consistent() {
+        for s in [
+            FmStimulus::pure_sine(1000.0, 10.0, 8.0),
+            FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10),
+            FmStimulus::two_tone(1000.0, 10.0, 8.0),
+        ] {
+            let mut t = 0.0;
+            let mut prev_phase = s.phase_cycles(t);
+            for _ in 0..50 {
+                let te = s.next_edge_after(t);
+                assert!(te > t);
+                let ph = s.phase_cycles(te);
+                assert!((ph - ph.round()).abs() < 1e-6, "edge lands on integer phase");
+                assert!(ph > prev_phase);
+                prev_phase = ph;
+                t = te;
+            }
+        }
+    }
+
+    #[test]
+    fn edge_rate_matches_frequency() {
+        let s = FmStimulus::constant(1000.0, 5.0);
+        let mut t = 0.0;
+        let mut count = 0;
+        while t < 1.0 {
+            t = s.next_edge_after(t);
+            if t < 1.0 {
+                count += 1;
+            }
+        }
+        assert!((count as i64 - 1005).abs() <= 1, "{count} edges in 1 s");
+    }
+
+    #[test]
+    fn peak_times() {
+        let sine = FmStimulus::pure_sine(1000.0, 10.0, 8.0);
+        assert!((sine.deviation_peak_time() - 0.03125).abs() < 1e-12);
+        let fsk = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10);
+        let tp = fsk.deviation_peak_time();
+        // The staircase peaks where the sine does (within one dwell).
+        assert!((tp - 0.03125).abs() <= 0.5 / (8.0 * 10.0) + 1e-12, "tp={tp}");
+        let d = fsk.deviation_at(tp);
+        assert!((d - fsk.peak_deviation_hz()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_frequency_preserved_over_full_period() {
+        // Symmetric staircase: zero net deviation per period.
+        let s = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10);
+        let per = 1.0 / 8.0;
+        let ph = s.phase_cycles(per) - s.phase_cycles(0.0);
+        assert!((ph - 1000.0 * per).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pm_equals_fm_shifted_by_quarter_period() {
+        // Paper §2: "it is possible to replace phase modulation by
+        // frequency modulation". PM with amplitude a ≡ FM with peak
+        // deviation a·2π·fm, advanced by T/4.
+        let fm_mod = 5.0;
+        let a = 0.2; // cycles
+        let dev = a * TAU * fm_mod;
+        let pm = FmStimulus::phase_modulated(1_000.0, a, fm_mod);
+        let fm = FmStimulus::pure_sine(1_000.0, dev, fm_mod);
+        assert!((pm.peak_deviation_hz() - dev).abs() < 1e-12);
+        for k in 0..40 {
+            let t = 0.3 + k as f64 * 0.011;
+            // cos(x) = sin(x + π/2): the FM deviation a quarter period later.
+            let fm_shifted = fm.deviation_at(t + 0.25 / fm_mod);
+            assert!(
+                (pm.deviation_at(t) - fm_shifted).abs() < 1e-9,
+                "t = {t}"
+            );
+        }
+        // Phase is the exact integral of the deviation (spot check).
+        let t = 0.777;
+        let dt = 1e-6;
+        let num_dev = (pm.phase_cycles(t + dt) - pm.phase_cycles(t)) / dt - 1_000.0;
+        assert!((num_dev - pm.deviation_at(t + dt / 2.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pm_edges_land_on_integer_phase_too() {
+        let pm = FmStimulus::phase_modulated(1_000.0, 0.3, 8.0);
+        let mut t = 0.0;
+        for _ in 0..30 {
+            t = pm.next_edge_after(t);
+            let ph = pm.phase_cycles(t);
+            assert!((ph - ph.round()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "keep the phase monotone")]
+    fn excessive_pm_amplitude_rejected() {
+        // a·2π·fm = 0.5·2π·400 > 1000 Hz.
+        let _ = FmStimulus::phase_modulated(1_000.0, 0.5, 400.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deviation must be nonzero")]
+    fn zero_deviation_rejected() {
+        let _ = FmStimulus::pure_sine(1000.0, 0.0, 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two steps")]
+    fn single_step_rejected() {
+        let _ = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Time-domain characterisation: step and ramp responses.
+//!
+//! The paper's premise (§1/§2) is that the transfer-function parameters
+//! "relate directly to the time domain response of the PLL" — these
+//! utilities make that relation checkable: a reference frequency **step**
+//! yields overshoot/settling metrics predicted by ζ and ωn, and a
+//! frequency **ramp** exercises the tracking limit (the ramp-based test of
+//! the authors' earlier work — reference 12 of the paper — probes the
+//! same corner). Both run on the behavioural engine with counter-style boxcar
+//! readouts.
+
+use crate::behavioral::CpPll;
+use crate::config::PllConfig;
+use crate::stimulus::FmStimulus;
+
+/// Step-response metrics at the (VCO) output.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepMetrics {
+    /// Commanded output frequency step in Hz (`N · Δf_ref`).
+    pub step_hz: f64,
+    /// Peak overshoot as a fraction of the step (0.0 = none).
+    pub overshoot: f64,
+    /// Time of the overshoot peak after the step, seconds.
+    pub peak_time: f64,
+    /// First time the response stays within `tolerance` of the final
+    /// value, seconds after the step.
+    pub settling_time: f64,
+}
+
+/// Applies a reference frequency step of `delta_f_hz` to a locked loop
+/// and extracts the output-frequency step metrics.
+///
+/// `tolerance` is the settling band as a fraction of the step (e.g. 0.05
+/// for 5 %).
+///
+/// # Panics
+///
+/// Panics if `delta_f_hz` is zero/non-finite or `tolerance` is not in
+/// `(0, 1)`.
+pub fn step_response(config: &PllConfig, delta_f_hz: f64, tolerance: f64) -> StepMetrics {
+    assert!(
+        delta_f_hz != 0.0 && delta_f_hz.is_finite(),
+        "step must be nonzero"
+    );
+    assert!(
+        tolerance > 0.0 && tolerance < 1.0,
+        "tolerance must be a fraction in (0,1)"
+    );
+    let mut pll = CpPll::new_locked(config);
+    // Confirm lock first.
+    pll.advance_to(0.3);
+    let n = config.divider_n as f64;
+    let step_hz = n * delta_f_hz;
+    let f_final = config.f_vco_hz() + step_hz;
+
+    let params = config.analysis().dominant_params();
+    let horizon = 20.0 / (params.damping * params.omega_n).max(1e-9);
+    let sample_dt = 1.0 / config.f_ref_hz; // whole-period boxcar
+    let t0 = pll.time();
+    pll.enable_sampling(sample_dt);
+    pll.set_stimulus(FmStimulus::constant(config.f_ref_hz, delta_f_hz));
+    pll.advance_to(t0 + horizon);
+    let samples = pll.take_samples();
+
+    // The smooth (held/capacitor) output-frequency trajectory — free of
+    // the correction-pulse feed-through that the boxcar would pick up
+    // during the transient on voltage-driven loops.
+    let vco = config.build_vco();
+    let traj: Vec<(f64, f64)> = samples
+        .iter()
+        .map(|s| (s.t - t0, vco.frequency_hz(s.v_held)))
+        .collect();
+
+    let sign = step_hz.signum();
+    let (mut peak_time, mut peak_val) = (0.0, f64::MIN);
+    for &(t, f) in &traj {
+        let excess = sign * (f - f_final);
+        if excess > peak_val {
+            peak_val = excess;
+            peak_time = t;
+        }
+    }
+    let overshoot = (peak_val / step_hz.abs()).max(0.0);
+
+    let band = tolerance * step_hz.abs();
+    let mut settling_time = horizon;
+    for (i, &(t, _)) in traj.iter().enumerate() {
+        if traj[i..].iter().all(|&(_, f)| (f - f_final).abs() <= band) {
+            settling_time = t;
+            break;
+        }
+    }
+    StepMetrics {
+        step_hz,
+        overshoot,
+        peak_time,
+        settling_time,
+    }
+}
+
+/// Result of a frequency-ramp tracking run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RampMetrics {
+    /// Applied reference ramp rate in Hz/s.
+    pub ramp_rate_hz_per_s: f64,
+    /// Peak phase error observed during the ramp, in cycles.
+    pub peak_phase_error_cycles: f64,
+    /// `true` if the loop slipped at least one cycle.
+    pub slipped: bool,
+}
+
+/// Ramps the reference frequency by `total_dev_hz` over `ramp_secs`
+/// (approximated as a fine staircase — exactly how a DCO would apply it)
+/// and reports the tracking stress.
+///
+/// The classic result: a type-2-like loop tracks a ramp with a steady
+/// phase error `Δφ ≈ ramp_rate/(ωn²·f_scale)`; ramps past the pull-out
+/// limit slip cycles.
+///
+/// # Panics
+///
+/// Panics if the durations or deviations are not positive and finite.
+pub fn ramp_response(config: &PllConfig, total_dev_hz: f64, ramp_secs: f64) -> RampMetrics {
+    assert!(
+        total_dev_hz > 0.0 && total_dev_hz.is_finite(),
+        "deviation must be positive"
+    );
+    assert!(ramp_secs > 0.0 && ramp_secs.is_finite(), "ramp time must be positive");
+    let mut pll = CpPll::new_locked(config);
+    pll.advance_to(0.3);
+    let t0 = pll.time();
+    let steps = 64usize;
+    let n = config.divider_n as f64;
+
+    let mut peak_err: f64 = 0.0;
+    for k in 1..=steps {
+        let dev = total_dev_hz * k as f64 / steps as f64;
+        pll.set_stimulus(FmStimulus::constant(config.f_ref_hz, dev));
+        pll.advance_to(t0 + ramp_secs * k as f64 / steps as f64);
+        let err = pll.reference_phase_cycles() - pll.vco_phase_cycles() / n;
+        peak_err = peak_err.max(err.abs());
+    }
+    // Settle out and measure the residual: a slipped loop relocks offset
+    // by whole cycles.
+    pll.advance_to(t0 + ramp_secs + 1.0);
+    let residual = pll.reference_phase_cycles() - pll.vco_phase_cycles() / n;
+    RampMetrics {
+        ramp_rate_hz_per_s: total_dev_hz / ramp_secs,
+        peak_phase_error_cycles: peak_err,
+        slipped: residual.abs() > 0.6,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_metrics_match_second_order_theory() {
+        let cfg = PllConfig::paper_table3();
+        let m = step_response(&cfg, 8.0, 0.05);
+        assert!((m.step_hz - 40.0).abs() < 1e-9);
+        // ζ = 0.43 with the zero: overshoot ~25–55 %.
+        assert!(
+            m.overshoot > 0.15 && m.overshoot < 0.7,
+            "overshoot {}",
+            m.overshoot
+        );
+        // Peak time scales as ~π/(ωn√(1−ζ²)) = 69 ms.
+        assert!(m.peak_time > 0.02 && m.peak_time < 0.2, "tp {}", m.peak_time);
+        // 5 % settling within a few 1/(ζωn) = 46 ms units.
+        assert!(
+            m.settling_time > m.peak_time && m.settling_time < 0.6,
+            "ts {}",
+            m.settling_time
+        );
+    }
+
+    #[test]
+    fn step_direction_symmetry() {
+        let cfg = PllConfig::paper_table3();
+        let up = step_response(&cfg, 6.0, 0.05);
+        let down = step_response(&cfg, -6.0, 0.05);
+        assert!((up.overshoot - down.overshoot).abs() < 0.15);
+        assert!(down.step_hz < 0.0);
+    }
+
+    #[test]
+    fn gentle_ramp_tracks_without_slip() {
+        let cfg = PllConfig::paper_table3();
+        let m = ramp_response(&cfg, 8.0, 2.0); // 4 Hz/s at the reference
+        assert!(!m.slipped, "peak err {}", m.peak_phase_error_cycles);
+        assert!(m.peak_phase_error_cycles < 0.3);
+    }
+
+    #[test]
+    fn violent_ramp_stresses_the_loop() {
+        let cfg = PllConfig::paper_table3();
+        let gentle = ramp_response(&cfg, 8.0, 2.0);
+        let violent = ramp_response(&cfg, 60.0, 0.15); // 400 Hz/s
+        assert!(
+            violent.peak_phase_error_cycles > 3.0 * gentle.peak_phase_error_cycles,
+            "gentle {} vs violent {}",
+            gentle.peak_phase_error_cycles,
+            violent.peak_phase_error_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "step must be nonzero")]
+    fn zero_step_rejected() {
+        let _ = step_response(&PllConfig::paper_table3(), 0.0, 0.05);
+    }
+}

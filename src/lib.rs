@@ -1,0 +1,12 @@
+//! Workspace façade crate.
+//!
+//! Hosts the runnable examples (`examples/`) and the cross-crate
+//! integration tests (`tests/`) of the DATE 2003 PLL BIST reproduction.
+//! The library surface simply re-exports the member crates so examples
+//! and tests can use one import root.
+
+pub use pllbist as bist;
+pub use pllbist_analog as analog;
+pub use pllbist_digital as digital;
+pub use pllbist_numeric as numeric;
+pub use pllbist_sim as sim;

@@ -1,0 +1,143 @@
+//! End-to-end integration: the full BIST measurement chain against the
+//! analytic models, across stimulus classes — the substance of the
+//! paper's figs. 11 and 12.
+
+use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
+use pllbist_sim::config::PllConfig;
+use std::f64::consts::TAU;
+
+fn settings_with(stimulus: StimulusKind) -> MonitorSettings {
+    MonitorSettings {
+        stimulus,
+        mod_frequencies_hz: vec![1.0, 5.0, 8.0, 14.0, 30.0],
+        settle_periods: 3.0,
+        loop_settle_secs: 0.3,
+        ..MonitorSettings::fast()
+    }
+}
+
+fn measured_magnitudes(stimulus: StimulusKind) -> Vec<(f64, f64)> {
+    let cfg = PllConfig::paper_table3();
+    let result = TransferFunctionMonitor::new(settings_with(stimulus)).measure(&cfg);
+    let reference = result.points[0].delta_f_hz.abs();
+    result
+        .points
+        .iter()
+        .map(|p| (p.f_mod_hz, p.delta_f_hz.abs() / reference))
+        .collect()
+}
+
+#[test]
+fn multi_tone_sweep_tracks_hold_referred_model() {
+    let cfg = PllConfig::paper_table3();
+    let h = cfg.analysis().hold_referred_transfer();
+    let h_ref = h.magnitude(TAU * 1.0);
+    for (f, got) in measured_magnitudes(StimulusKind::MultiTone { steps: 10 }) {
+        let want = h.magnitude(TAU * f) / h_ref;
+        assert!(
+            (got - want).abs() / want < 0.2,
+            "f = {f}: measured {got}, model {want}"
+        );
+    }
+}
+
+#[test]
+fn pure_sine_and_ten_step_fsk_agree() {
+    // The paper's central fig. 11 finding: "the ideal sinusoidal FM plot
+    // closely corresponds to the ten-step FS plot".
+    let sine = measured_magnitudes(StimulusKind::PureSine);
+    let fsk = measured_magnitudes(StimulusKind::MultiTone { steps: 10 });
+    for ((f, a), (_, b)) in sine.iter().zip(&fsk) {
+        assert!(
+            (a - b).abs() / a.max(0.05) < 0.15,
+            "f = {f}: sine {a} vs 10-step {b}"
+        );
+    }
+}
+
+#[test]
+fn two_tone_deviates_more_than_multi_tone() {
+    // Fig. 11's comparison trace: the two-tone (square) FSK departs from
+    // the sine response where the multi-tone does not. The square wave
+    // carries only 4/π·sinc-weighted fundamental plus strong odd
+    // harmonics, which bias the peak capture around the resonance.
+    let sine = measured_magnitudes(StimulusKind::PureSine);
+    let fsk10 = measured_magnitudes(StimulusKind::MultiTone { steps: 10 });
+    let fsk2 = measured_magnitudes(StimulusKind::TwoTone);
+    let err = |a: &[(f64, f64)], b: &[(f64, f64)]| -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|((_, x), (_, y))| ((x - y) / x.max(0.05)).abs())
+            .sum::<f64>()
+    };
+    let err10 = err(&sine, &fsk10);
+    let err2 = err(&sine, &fsk2);
+    assert!(
+        err2 > 1.5 * err10,
+        "two-tone total deviation {err2} should exceed ten-step {err10}"
+    );
+}
+
+#[test]
+fn quantized_dco_matches_ideal_multi_tone() {
+    // The real DCO tone grid (1 Hz resolution at the paper's operating
+    // point) barely perturbs the measurement.
+    let ideal = measured_magnitudes(StimulusKind::MultiTone { steps: 10 });
+    let quant = measured_magnitudes(StimulusKind::QuantizedDco {
+        steps: 10,
+        f_master_hz: 1e6,
+    });
+    for ((f, a), (_, b)) in ideal.iter().zip(&quant) {
+        assert!(
+            (a - b).abs() / a.max(0.05) < 0.12,
+            "f = {f}: ideal {a} vs quantised {b}"
+        );
+    }
+}
+
+#[test]
+fn measured_phase_response_is_monotone_lag() {
+    // Fig. 12's shape: lag grows monotonically from ~0° through −90° at
+    // fn towards −180°.
+    let cfg = PllConfig::paper_table3();
+    let result = TransferFunctionMonitor::new(settings_with(StimulusKind::MultiTone {
+        steps: 10,
+    }))
+    .measure(&cfg);
+    let phases: Vec<f64> = result
+        .points
+        .iter()
+        .map(|p| p.phase.phase_degrees)
+        .collect();
+    assert!(
+        phases.windows(2).all(|w| w[1] <= w[0] + 8.0),
+        "phases not monotone: {phases:?}"
+    );
+    assert!(phases[0] > -30.0, "in-band lag small: {}", phases[0]);
+    let last = *phases.last().unwrap();
+    assert!(last < -150.0, "out-of-band approaches −180°: {last}");
+    // At fn = 8 Hz the hold-readout is close to −90°.
+    let at_fn = result
+        .points
+        .iter()
+        .find(|p| (p.f_mod_hz - 8.0).abs() < 0.5)
+        .unwrap();
+    assert!(
+        (-115.0..=-65.0).contains(&at_fn.phase.phase_degrees),
+        "phase at fn: {}",
+        at_fn.phase.phase_degrees
+    );
+}
+
+#[test]
+fn estimates_recover_design_parameters() {
+    let cfg = PllConfig::paper_table3();
+    let mut settings = settings_with(StimulusKind::MultiTone { steps: 10 });
+    settings.mod_frequencies_hz = pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 11);
+    let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+    let est = result.estimate();
+    let fn_hz = est.natural_frequency_hz.expect("resonance found");
+    let zeta = est.damping.expect("damping extracted");
+    assert!((fn_hz - 8.0).abs() < 1.2, "fn = {fn_hz}");
+    assert!((zeta - 0.43).abs() < 0.08, "ζ = {zeta}");
+}

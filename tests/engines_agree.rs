@@ -1,0 +1,145 @@
+//! Cross-engine validation: the behavioural fast path, the gate-level
+//! co-simulation and the analogue-access bench baseline must tell the
+//! same story (ablations abl02 / abl06 in test form).
+
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::bench_measure::{measure_point, BenchSettings};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::cosim::MixedSignalPll;
+use std::f64::consts::TAU;
+
+#[test]
+fn behavioral_and_gate_level_track_each_other() {
+    let cfg = PllConfig::paper_table3();
+    let mut beh = CpPll::new_locked(&cfg);
+    let mut gate = MixedSignalPll::with_clock_reference(&cfg);
+    for k in 1..=4 {
+        let t = k as f64 * 0.1;
+        beh.advance_to(t);
+        gate.advance_to(t);
+        let pb = beh.vco_phase_cycles();
+        let pg = gate.vco_phase_cycles();
+        assert!(
+            (pb - pg).abs() < 5.0,
+            "t = {t}: behavioral {pb} vs gate {pg} cycles"
+        );
+    }
+}
+
+#[test]
+fn bench_baseline_matches_full_linear_model() {
+    // The fig. 3 bench method has analogue access, so it sees the *full*
+    // response (zero included) — unlike the hold-based BIST.
+    let cfg = PllConfig::paper_table3();
+    let h = cfg.analysis().feedback_transfer();
+    let settings = BenchSettings {
+        settle_periods: 3.0,
+        measure_periods: 3.0,
+        ..BenchSettings::default()
+    };
+    for fm in [2.0, 8.0, 20.0] {
+        let p = measure_point(&cfg, fm, &settings);
+        let want = h.eval_jw(TAU * fm);
+        assert!(
+            (p.gain - want.abs()).abs() / want.abs() < 0.1,
+            "f = {fm}: bench {}, model {}",
+            p.gain,
+            want.abs()
+        );
+        assert!(
+            (p.phase - want.arg()).abs() < 0.2,
+            "f = {fm}: bench phase {}, model {}",
+            p.phase,
+            want.arg()
+        );
+    }
+}
+
+#[test]
+fn bench_and_bist_differ_exactly_by_the_hold_readout() {
+    // abl06 in miniature: at a frequency past the zero, the bench (full
+    // response) and the BIST (hold-referred) disagree by the |1 + jωτ2|
+    // factor — both are right about what they measure.
+    let cfg = PllConfig::paper_table3();
+    let a = cfg.analysis();
+    let fm = 25.0;
+    let w = TAU * fm;
+    let full = a.feedback_transfer().magnitude(w);
+    let hold = a.hold_referred_transfer().magnitude(w);
+    assert!(full / hold > 2.0, "zero factor visible: {full} vs {hold}");
+
+    let bench = measure_point(
+        &cfg,
+        fm,
+        &BenchSettings {
+            settle_periods: 3.0,
+            measure_periods: 3.0,
+            ..BenchSettings::default()
+        },
+    );
+    assert!(
+        (bench.gain - full).abs() / full < 0.12,
+        "bench follows the full response: {} vs {full}",
+        bench.gain
+    );
+}
+
+#[test]
+fn gate_level_pfd_matches_behavioral_pfd_statistics() {
+    use pllbist_analog::pfd::{BehavioralPfd, PfdOutput};
+    use pllbist_digital::kernel::Circuit;
+    use pllbist_digital::logic::Logic;
+    use pllbist_digital::time::SimTime;
+    use pllbist_sim::cosim::build_gate_pfd;
+
+    // Drive both PFDs with the same deterministic edge pattern and
+    // compare UP-time accounting.
+    let skews_us: Vec<i64> = (0..40).map(|k| ((k * 37) % 21) as i64 - 10).collect();
+
+    // Gate level.
+    let mut c = Circuit::new();
+    let r = c.input("r", Logic::Low);
+    let f = c.input("f", Logic::Low);
+    let (up, dn) = build_gate_pfd(&mut c, r, f, SimTime::from_nanos(2));
+    c.trace_net(up);
+    c.trace_net(dn);
+    let mut t = SimTime::from_micros(50);
+    for &sk in &skews_us {
+        let (tr, tf) = if sk >= 0 {
+            (t, t + SimTime::from_micros(sk as u64))
+        } else {
+            (t + SimTime::from_micros((-sk) as u64), t)
+        };
+        c.poke(r, Logic::High, tr);
+        c.poke(r, Logic::Low, tr + SimTime::from_micros(20));
+        c.poke(f, Logic::High, tf);
+        c.poke(f, Logic::Low, tf + SimTime::from_micros(20));
+        t += SimTime::from_micros(100);
+    }
+    c.run_until(t);
+    let up_gate = c.trace().total_high_time(up).as_secs_f64();
+
+    // Behavioural.
+    let mut pfd = BehavioralPfd::new();
+    let mut up_beh = 0.0;
+    for (k, &sk) in skews_us.iter().enumerate() {
+        let t0 = 50e-6 + k as f64 * 100e-6;
+        if sk >= 0 {
+            pfd.on_reference_edge(t0);
+            pfd.on_feedback_edge(t0 + sk as f64 * 1e-6);
+        } else {
+            pfd.on_feedback_edge(t0);
+            pfd.on_reference_edge(t0 + (-sk) as f64 * 1e-6);
+        }
+        if let Some(p) = pfd.last_pulse() {
+            if p.direction == PfdOutput::Up {
+                up_beh += p.end - p.start;
+            }
+        }
+    }
+    // Gate-level adds ~2 gate delays per pulse; tolerance covers that.
+    assert!(
+        (up_gate - up_beh).abs() < 0.05 * up_beh.max(1e-6) + 40.0 * 6e-9,
+        "gate {up_gate} vs behavioral {up_beh}"
+    );
+}

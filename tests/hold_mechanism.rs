@@ -1,0 +1,134 @@
+//! The hold mechanism (paper §4 point 3, Table 2 stage 3) and the
+//! counter error budget — abl03's subject matter as integration tests.
+
+use pllbist::counter::{FrequencyCounter, PhaseCounter};
+use pllbist::monitor::{CaptureMode, MonitorSettings, TransferFunctionMonitor};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::stimulus::FmStimulus;
+
+#[test]
+fn hold_keeps_frequency_constant_for_arbitrarily_long_gates() {
+    let cfg = PllConfig::paper_table3();
+    let mut pll = CpPll::new_locked(&cfg);
+    pll.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 4.0));
+    pll.advance_to(1.2);
+    pll.set_hold(true);
+    let f0 = pll.vco_frequency_hz();
+    // 10 s of hold: a gate this long would be absurd live, trivial held.
+    let f_avg = pll.average_frequency_hz(10.0);
+    assert!((f_avg - f0).abs() < 1e-6, "held: {f0} vs {f_avg}");
+}
+
+#[test]
+fn longer_gates_buy_resolution_only_when_held() {
+    let cfg = PllConfig::paper_table3();
+    // Held: resolution improves linearly with gate length.
+    let short = FrequencyCounter::new(1e6, 20);
+    let long = FrequencyCounter::new(1e6, 2000);
+    let mut pll = CpPll::new_locked(&cfg);
+    pll.advance_to(0.5);
+    pll.set_hold(true);
+    let r_short = short.measure(&mut pll, false);
+    let r_long = long.measure(&mut pll, false);
+    assert!(r_long.resolution_hz < r_short.resolution_hz / 50.0);
+    assert!(
+        (r_long.frequency_hz - r_short.frequency_hz).abs()
+            < r_short.resolution_hz + r_long.resolution_hz
+    );
+}
+
+#[test]
+fn unheld_long_gate_averages_the_peak_away() {
+    // Without hold, a gate long relative to the modulation period reads
+    // the cycle average, not the peak — the problem the paper's hold
+    // technique exists to solve.
+    let cfg = PllConfig::paper_table3();
+    let f_mod = 4.0;
+    let mut pll = CpPll::new_locked(&cfg);
+    pll.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, f_mod));
+    pll.advance_to(2.0);
+    // Gate spanning two whole modulation periods.
+    let f_avg = pll.average_frequency_hz(2.0 / f_mod);
+    // The in-band peak is ~5050 Hz; the full-period average is ~5000.
+    assert!(
+        (f_avg - 5_000.0).abs() < 5.0,
+        "long unheld gate reads the average: {f_avg}"
+    );
+}
+
+#[test]
+fn hold_mode_beats_gated_mode_on_resolution() {
+    // abl03: same sweep, two capture modes; the hold mode's counter
+    // resolution is decisively better because its gate is unconstrained.
+    let cfg = PllConfig::paper_table3();
+    let base = MonitorSettings {
+        mod_frequencies_hz: vec![1.0, 8.0, 25.0],
+        settle_periods: 2.5,
+        loop_settle_secs: 0.25,
+        ..MonitorSettings::fast()
+    };
+    let hold = TransferFunctionMonitor::new(MonitorSettings {
+        capture: CaptureMode::HoldAndCount,
+        ..base.clone()
+    })
+    .measure(&cfg);
+    let gated = TransferFunctionMonitor::new(MonitorSettings {
+        capture: CaptureMode::GatedCount {
+            gate_fraction: 0.05,
+        },
+        ..base
+    })
+    .measure(&cfg);
+    // The gated counter's window shrinks with the modulation period, so
+    // its resolution degrades towards fast tones; the held counter's gate
+    // is unconstrained and its resolution stays flat.
+    let g_res: Vec<f64> = gated.points.iter().map(|p| p.frequency.resolution_hz).collect();
+    let h_res: Vec<f64> = hold.points.iter().map(|p| p.frequency.resolution_hz).collect();
+    assert!(
+        g_res.last().unwrap() > &(5.0 * g_res[0]),
+        "gated resolution degrades with f_mod: {g_res:?}"
+    );
+    assert!(
+        h_res.last().unwrap() < &(2.0 * h_res[0]),
+        "held resolution is flat: {h_res:?}"
+    );
+    // At the fastest tone — where the peak is narrow and the resolution
+    // matters most — the hold mode wins decisively.
+    assert!(
+        h_res.last().unwrap() * 3.0 < *g_res.last().unwrap(),
+        "hold {h_res:?} vs gated {g_res:?}"
+    );
+}
+
+#[test]
+fn phase_counter_resolution_scales_with_test_clock() {
+    let fast = PhaseCounter::new(1e6).reading(0.0, 0.016, 0.125);
+    let slow = PhaseCounter::new(1e4).reading(0.0, 0.016, 0.125);
+    assert!(fast.resolution_degrees < slow.resolution_degrees / 50.0);
+    // Both agree within the coarser resolution.
+    assert!(
+        (fast.phase_degrees - slow.phase_degrees).abs()
+            <= slow.resolution_degrees + 1e-9
+    );
+}
+
+#[test]
+fn leakage_makes_the_hold_droop_visibly() {
+    use pllbist_analog::fault::Fault;
+    let healthy = PllConfig::paper_table3();
+    let leaky = healthy.with_fault(Fault::FilterLeakage(2e6));
+    for (cfg, droops) in [(&healthy, false), (&leaky, true)] {
+        let mut pll = CpPll::new_locked(cfg);
+        pll.advance_to(0.5);
+        pll.set_hold(true);
+        let f0 = pll.vco_frequency_hz();
+        pll.advance_to(1.5);
+        let f1 = pll.vco_frequency_hz();
+        if droops {
+            assert!(f0 - f1 > 100.0, "leaky hold must droop: {f0} → {f1}");
+        } else {
+            assert!((f0 - f1).abs() < 1e-6, "healthy hold is exact: {f0} → {f1}");
+        }
+    }
+}

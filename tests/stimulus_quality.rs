@@ -1,0 +1,123 @@
+//! Spectral quality of the DCO stimulus and the PM/FM equivalence —
+//! quantifying the paper's §2/§3 arguments with the workspace's own DSP.
+
+use pllbist_numeric::fft::amplitude_spectrum;
+use pllbist_numeric::goertzel::goertzel;
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::stimulus::FmStimulus;
+use std::f64::consts::TAU;
+
+/// Samples a stimulus's deviation waveform over whole periods.
+fn sample_deviation(stim: &FmStimulus, n: usize, periods: u32) -> (Vec<f64>, f64) {
+    let fs = n as f64 * stim.f_mod_hz() / periods as f64;
+    let sig = (0..n)
+        .map(|k| stim.deviation_at(k as f64 / fs))
+        .collect();
+    (sig, fs)
+}
+
+#[test]
+fn multi_tone_staircase_harmonics_sit_at_k_steps_plus_minus_one() {
+    // A midpoint-sampled 10-step staircase of a sine has its first
+    // spurious lines at the 9th and 11th harmonics (images of the
+    // sampling process), each ~1/9 and ~1/11 of the fundamental — which
+    // is why the PLL's low-pass (fn ≈ f_mod here) strips them: the
+    // paper's "excellent approximation" argument, in numbers.
+    let steps = 10usize;
+    let stim = FmStimulus::multi_tone(1_000.0, 10.0, 8.0, steps);
+    let (sig, fs) = sample_deviation(&stim, 1 << 12, 8);
+    let spec = amplitude_spectrum(&sig, fs);
+    let bin_of = |f: f64| (f / (fs / (1 << 12) as f64)).round() as usize;
+
+    let fundamental = spec[bin_of(8.0)].1;
+    assert!((fundamental - 10.0 * 0.983).abs() < 0.2, "sinc-weighted fundamental");
+    // Low harmonics (2..=8) are absent.
+    for h in 2..=8 {
+        let a = spec[bin_of(8.0 * h as f64)].1;
+        assert!(a < 0.05 * fundamental, "harmonic {h}: {a}");
+    }
+    // Image harmonics at steps∓1 carry ~1/(steps∓1) of the fundamental.
+    let h9 = spec[bin_of(8.0 * 9.0)].1;
+    let h11 = spec[bin_of(8.0 * 11.0)].1;
+    assert!((h9 / fundamental - 1.0 / 9.0).abs() < 0.03, "9th: {}", h9 / fundamental);
+    assert!((h11 / fundamental - 1.0 / 11.0).abs() < 0.03, "11th: {}", h11 / fundamental);
+}
+
+#[test]
+fn two_tone_square_has_strong_odd_harmonics() {
+    let stim = FmStimulus::two_tone(1_000.0, 10.0, 8.0);
+    let (sig, fs) = sample_deviation(&stim, 1 << 12, 8);
+    let spec = amplitude_spectrum(&sig, fs);
+    let bin_of = |f: f64| (f / (fs / (1 << 12) as f64)).round() as usize;
+    let f1 = spec[bin_of(8.0)].1;
+    let f3 = spec[bin_of(24.0)].1;
+    // Square wave: fundamental 4Δ/π, 3rd harmonic a full third of it.
+    assert!((f1 - 4.0 * 10.0 / std::f64::consts::PI).abs() < 0.3, "f1 {f1}");
+    assert!((f3 / f1 - 1.0 / 3.0).abs() < 0.02, "f3/f1 {}", f3 / f1);
+}
+
+#[test]
+fn loop_strips_the_staircase_images() {
+    // Drive the closed loop with the 10-step staircase and check the
+    // output deviation's 9th-harmonic content is attenuated by the loop's
+    // roll-off relative to the stimulus's own 1/9 line.
+    let cfg = PllConfig::paper_table3();
+    let f_mod = 4.0;
+    let mut pll = CpPll::new_locked(&cfg);
+    pll.set_stimulus(FmStimulus::multi_tone(1_000.0, 10.0, f_mod, 10));
+    pll.advance_to(1.5);
+    // Whole-reference-period boxcar samples of output frequency.
+    pll.enable_sampling(1.0 / cfg.f_ref_hz);
+    pll.advance_to(1.5 + 4.0 / f_mod);
+    let samples = pll.take_samples();
+    let traj: Vec<(f64, f64)> = samples
+        .windows(2)
+        .map(|w| {
+            (
+                0.5 * (w[0].t + w[1].t),
+                (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t) - 5_000.0,
+            )
+        })
+        .collect();
+    let fs = 1.0 / (traj[1].0 - traj[0].0);
+    let sig: Vec<f64> = traj.iter().map(|p| p.1).collect();
+    let fund = goertzel(&sig, fs, f_mod).magnitude();
+    let image = goertzel(&sig, fs, 9.0 * f_mod).magnitude();
+    // Stimulus image ratio is 1/9 ≈ 0.111; the loop (|H| at 36 Hz vs
+    // 4 Hz ≈ 0.05/1.0) must push it well below that.
+    assert!(fund > 30.0, "fundamental tracked: {fund}");
+    assert!(
+        image / fund < 0.05,
+        "image suppressed by the loop: {}",
+        image / fund
+    );
+}
+
+#[test]
+fn pm_drives_the_loop_identically_to_equivalent_fm() {
+    // Paper §2: "it is possible to replace phase modulation by frequency
+    // modulation" — the closed-loop output deviation amplitude must agree.
+    let cfg = PllConfig::paper_table3();
+    let f_mod = 3.0;
+    let amp_cycles = 10.0 / (TAU * f_mod); // ⇒ 10 Hz peak deviation
+    let measure = |stim: FmStimulus| -> f64 {
+        let mut pll = CpPll::new_locked(&cfg);
+        pll.set_stimulus(stim);
+        pll.advance_to(2.0);
+        pll.enable_sampling(1.0 / cfg.f_ref_hz);
+        pll.advance_to(2.0 + 3.0 / f_mod);
+        let samples = pll.take_samples();
+        let sig: Vec<f64> = samples
+            .windows(2)
+            .map(|w| (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t) - 5_000.0)
+            .collect();
+        goertzel(&sig, cfg.f_ref_hz, f_mod).magnitude()
+    };
+    let via_fm = measure(FmStimulus::pure_sine(1_000.0, 10.0, f_mod));
+    let via_pm = measure(FmStimulus::phase_modulated(1_000.0, amp_cycles, f_mod));
+    assert!(
+        (via_fm - via_pm).abs() / via_fm < 0.03,
+        "FM {via_fm} vs PM {via_pm}"
+    );
+}
