@@ -130,10 +130,16 @@ impl PassiveLag {
     /// Panics if any element is not positive and finite.
     pub fn with_leakage(r1: f64, r2: f64, c: f64, r_leak: Option<f64>) -> Self {
         for (name, v) in [("r1", r1), ("r2", r2), ("c", c)] {
-            assert!(v > 0.0 && v.is_finite(), "{name} must be positive and finite");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{name} must be positive and finite"
+            );
         }
         if let Some(rl) = r_leak {
-            assert!(rl > 0.0 && rl.is_finite(), "r_leak must be positive and finite");
+            assert!(
+                rl > 0.0 && rl.is_finite(),
+                "r_leak must be positive and finite"
+            );
         }
         let g_leak = r_leak.map_or(0.0, |rl| 1.0 / rl);
         // Driven: node A fed by u through r1, by vc through r2, leak to gnd.
@@ -265,13 +271,19 @@ impl SeriesRc {
     /// Panics if any element is not positive and finite.
     pub fn with_options(r: f64, c1: f64, c2: Option<f64>, r_leak: Option<f64>) -> Self {
         for (name, v) in [("r", r), ("c1", c1)] {
-            assert!(v > 0.0 && v.is_finite(), "{name} must be positive and finite");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{name} must be positive and finite"
+            );
         }
         if let Some(x) = c2 {
             assert!(x > 0.0 && x.is_finite(), "c2 must be positive and finite");
         }
         if let Some(x) = r_leak {
-            assert!(x > 0.0 && x.is_finite(), "r_leak must be positive and finite");
+            assert!(
+                x > 0.0 && x.is_finite(),
+                "r_leak must be positive and finite"
+            );
         }
         let (a, b, cv, dv) = match r_leak {
             None => (0.0, 1.0 / c1, 1.0, r),
@@ -381,9 +393,10 @@ impl LoopFilter for SeriesRc {
                 // (1 + s·R·C1)/(s·C1)
                 TransferFunction::new([1.0, self.r * self.c1], [0.0, self.c1])
             }
-            (None, Some(_)) => {
-                TransferFunction::new([self.cv * self.b - self.dv * self.a, self.dv], [-self.a, 1.0])
-            }
+            (None, Some(_)) => TransferFunction::new(
+                [self.cv * self.b - self.dv * self.a, self.dv],
+                [-self.a, 1.0],
+            ),
         }
     }
 
@@ -394,9 +407,7 @@ impl LoopFilter for SeriesRc {
             (Some(z), _) => z.system().to_transfer_function(),
             // Otherwise the IR feed-through dies with the drive: 1/(s·C1).
             (None, None) => TransferFunction::new([1.0], [0.0, self.c1]),
-            (None, Some(_)) => {
-                TransferFunction::new([self.cv * self.b], [-self.a, 1.0])
-            }
+            (None, Some(_)) => TransferFunction::new([self.cv * self.b], [-self.a, 1.0]),
         }
     }
 }
@@ -420,7 +431,10 @@ impl ActivePi {
     /// Panics if either time constant is not positive and finite.
     pub fn new(tau1: f64, tau2: f64) -> Self {
         for (name, v) in [("tau1", tau1), ("tau2", tau2)] {
-            assert!(v > 0.0 && v.is_finite(), "{name} must be positive and finite");
+            assert!(
+                v > 0.0 && v.is_finite(),
+                "{name} must be positive and finite"
+            );
         }
         Self { tau1, tau2 }
     }

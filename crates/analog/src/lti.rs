@@ -111,7 +111,11 @@ mod tests {
         let mut x = z.zero_state();
         let mut t = 0.0;
         // Irregular durations exercise multiple cache entries.
-        for &dt in [1e-4, 2.5e-4, 1e-4, 7e-5, 1e-4, 2.5e-4].iter().cycle().take(60) {
+        for &dt in [1e-4, 2.5e-4, 1e-4, 7e-5, 1e-4, 2.5e-4]
+            .iter()
+            .cycle()
+            .take(60)
+        {
             z.step(&mut x, 1.0, dt);
             t += dt;
             let want = 1.0 - (-t / tau).exp();

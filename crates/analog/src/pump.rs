@@ -120,7 +120,10 @@ impl ChargePump {
     ///
     /// Panics if `i_pump` is not positive and finite.
     pub fn new(i_pump: f64) -> Self {
-        assert!(i_pump > 0.0 && i_pump.is_finite(), "pump current must be positive");
+        assert!(
+            i_pump > 0.0 && i_pump.is_finite(),
+            "pump current must be positive"
+        );
         Self {
             i_up: i_pump,
             i_down: i_pump,

@@ -87,7 +87,10 @@ impl Vco {
     ///
     /// Panics if `factor` is not positive and finite.
     pub fn with_gain_scaled(mut self, factor: f64) -> Self {
-        assert!(factor > 0.0 && factor.is_finite(), "gain factor must be positive");
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "gain factor must be positive"
+        );
         self.k0_rad_per_sec_per_volt *= factor;
         self
     }
@@ -117,10 +120,7 @@ impl Vco {
     pub fn frequency_hz(&self, v_ctrl: f64) -> f64 {
         let dv = v_ctrl - self.v_center;
         let (a2, a3) = self.curvature;
-        let f = self.f_center_hz
-            + self.gain_hz_per_volt() * dv
-            + a2 * dv * dv
-            + a3 * dv * dv * dv;
+        let f = self.f_center_hz + self.gain_hz_per_volt() * dv + a2 * dv * dv + a3 * dv * dv * dv;
         f.clamp(self.f_min_hz, self.f_max_hz)
     }
 
@@ -182,7 +182,10 @@ mod tests {
     fn gain_fault_scales_slope() {
         let vco = Vco::new(5_000.0, 2_400.0, 2.5).with_gain_scaled(0.8);
         assert!((vco.k0() - 1_920.0).abs() < 1e-9);
-        assert!((vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-12, "centre unchanged");
+        assert!(
+            (vco.frequency_hz(2.5) - 5_000.0).abs() < 1e-12,
+            "centre unchanged"
+        );
     }
 
     #[test]

@@ -1,12 +1,12 @@
-//! Criterion benches for the frequency-domain substrate (figs. 1/10
-//! compute cost): transfer-function evaluation, Bode sweeps, feature
-//! extraction and the matrix exponential behind exact discretisation.
+//! Benches for the frequency-domain substrate (figs. 1/10 compute
+//! cost): transfer-function evaluation, Bode sweeps, feature extraction
+//! and the matrix exponential behind exact discretisation.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use pllbist_numeric::bode::BodePlot;
 use pllbist_numeric::matrix::Matrix;
 use pllbist_numeric::statespace::StateSpace;
 use pllbist_numeric::tf::TransferFunction;
+use pllbist_testkit::{BatchSize, Bench};
 use std::hint::black_box;
 
 fn paper_transfer() -> TransferFunction {
@@ -15,7 +15,7 @@ fn paper_transfer() -> TransferFunction {
         .feedback_transfer()
 }
 
-fn bench_eval(c: &mut Criterion) {
+fn bench_eval(c: &mut Bench) {
     let h = paper_transfer();
     c.bench_function("tf_eval_jw", |b| {
         b.iter(|| black_box(h.eval_jw(black_box(50.0))))
@@ -29,14 +29,12 @@ fn bench_eval(c: &mut Criterion) {
     });
 }
 
-fn bench_poles(c: &mut Criterion) {
+fn bench_poles(c: &mut Bench) {
     let h = paper_transfer();
-    c.bench_function("poles_durand_kerner", |b| {
-        b.iter(|| black_box(&h).poles())
-    });
+    c.bench_function("poles_durand_kerner", |b| b.iter(|| black_box(&h).poles()));
 }
 
-fn bench_expm(c: &mut Criterion) {
+fn bench_expm(c: &mut Bench) {
     let a = Matrix::from_rows(&[&[-13.2, 1.0, 0.0], &[0.0, -13.2, 4.1], &[2.0, 0.0, -1.0]]);
     c.bench_function("expm_3x3", |b| b.iter(|| black_box(&a).expm()));
     let ss = StateSpace::from_transfer_function(&TransferFunction::new(
@@ -52,5 +50,10 @@ fn bench_expm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_eval, bench_poles, bench_expm);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_eval(&mut c);
+    bench_poles(&mut c);
+    bench_expm(&mut c);
+    c.finish();
+}

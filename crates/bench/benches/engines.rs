@@ -1,14 +1,14 @@
-//! **Ablation abl02** as a Criterion bench: the behavioural fast path vs
-//! the gate-level co-simulation, per simulated second of the paper's PLL.
+//! **Ablation abl02** as a bench: the behavioural fast path vs the
+//! gate-level co-simulation, per simulated second of the paper's PLL.
 //! The two engines agree on results (see `tests/engines_agree.rs`); this
 //! bench quantifies what the gate-level fidelity costs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::cosim::MixedSignalPll;
+use pllbist_testkit::Bench;
 
-fn bench_behavioral(c: &mut Criterion) {
+fn bench_behavioral(c: &mut Bench) {
     let cfg = PllConfig::paper_table3();
     c.bench_function("behavioral_100ms_locked", |b| {
         b.iter(|| {
@@ -29,7 +29,7 @@ fn bench_behavioral(c: &mut Criterion) {
     });
 }
 
-fn bench_gate_level(c: &mut Criterion) {
+fn bench_gate_level(c: &mut Bench) {
     let cfg = PllConfig::paper_table3();
     let mut group = c.benchmark_group("gate_level");
     group.sample_size(10);
@@ -43,7 +43,7 @@ fn bench_gate_level(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_charge_pump_engine(c: &mut Criterion) {
+fn bench_charge_pump_engine(c: &mut Bench) {
     // The 2-state-filterless CP loop runs at 10× the reference rate of the
     // paper loop; per-wall-clock throughput scales with event rate.
     let cfg = PllConfig::integer_n_charge_pump();
@@ -56,10 +56,10 @@ fn bench_charge_pump_engine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_behavioral,
-    bench_gate_level,
-    bench_charge_pump_engine
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_behavioral(&mut c);
+    bench_gate_level(&mut c);
+    bench_charge_pump_engine(&mut c);
+    c.finish();
+}

@@ -1,14 +1,14 @@
-//! Criterion benches for the measurement layer: one full BIST tone
-//! (the figs. 11/12 unit of work), the bench-style baseline point, and
-//! the counter primitives.
+//! Benches for the measurement layer: one full BIST tone (the
+//! figs. 11/12 unit of work), the bench-style baseline point, and the
+//! counter primitives.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pllbist::counter::{FrequencyCounter, PhaseCounter};
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_sim::bench_measure::{measure_point, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_testkit::Bench;
 
-fn bench_single_tone(c: &mut Criterion) {
+fn bench_single_tone(c: &mut Bench) {
     let cfg = PllConfig::paper_table3();
     let mut group = c.benchmark_group("bist_tone");
     group.sample_size(10);
@@ -31,7 +31,7 @@ fn bench_single_tone(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_baseline_point(c: &mut Criterion) {
+fn bench_baseline_point(c: &mut Bench) {
     let cfg = PllConfig::paper_table3();
     let settings = BenchSettings {
         settle_periods: 2.0,
@@ -46,7 +46,7 @@ fn bench_baseline_point(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_counters(c: &mut Criterion) {
+fn bench_counters(c: &mut Bench) {
     let counter = FrequencyCounter::new(1e6, 200);
     c.bench_function("frequency_reading", |b| {
         b.iter(|| counter.reading_from_window(std::hint::black_box(0.04)))
@@ -57,5 +57,10 @@ fn bench_counters(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_single_tone, bench_baseline_point, bench_counters);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_single_tone(&mut c);
+    bench_baseline_point(&mut c);
+    bench_counters(&mut c);
+    c.finish();
+}

@@ -1,12 +1,12 @@
-//! Criterion benches for the stimulus path (abl01's compute side): edge
-//! solving for the three FM classes and DCO grid synthesis.
+//! Benches for the stimulus path (abl01's compute side): edge solving
+//! for the three FM classes and DCO grid synthesis.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use pllbist::dco::DcoDesign;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_testkit::Bench;
 use std::hint::black_box;
 
-fn bench_edges(c: &mut Criterion) {
+fn bench_edges(c: &mut Bench) {
     let stimuli = [
         ("sine", FmStimulus::pure_sine(1_000.0, 10.0, 8.0)),
         ("two_tone", FmStimulus::two_tone(1_000.0, 10.0, 8.0)),
@@ -28,7 +28,7 @@ fn bench_edges(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_phase_eval(c: &mut Criterion) {
+fn bench_phase_eval(c: &mut Bench) {
     let sine = FmStimulus::pure_sine(1_000.0, 10.0, 8.0);
     let fsk = FmStimulus::multi_tone(1_000.0, 10.0, 8.0, 10);
     c.bench_function("phase_sine", |b| {
@@ -39,7 +39,7 @@ fn bench_phase_eval(c: &mut Criterion) {
     });
 }
 
-fn bench_dco(c: &mut Criterion) {
+fn bench_dco(c: &mut Bench) {
     let dco = DcoDesign::new(1e6, 1e3);
     c.bench_function("dco_quantized_multitone", |b| {
         b.iter(|| dco.quantized_multi_tone(black_box(10.0), 8.0, 10))
@@ -49,5 +49,10 @@ fn bench_dco(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_edges, bench_phase_eval, bench_dco);
-criterion_main!(benches);
+fn main() {
+    let mut c = Bench::from_args();
+    bench_edges(&mut c);
+    bench_phase_eval(&mut c);
+    bench_dco(&mut c);
+    c.finish();
+}

@@ -30,7 +30,9 @@ fn main() {
     })
     .measure(&cfg);
     let gated = TransferFunctionMonitor::new(MonitorSettings {
-        capture: CaptureMode::GatedCount { gate_fraction: 0.05 },
+        capture: CaptureMode::GatedCount {
+            gate_fraction: 0.05,
+        },
         ..base
     })
     .measure(&cfg);
@@ -43,14 +45,9 @@ fn main() {
     let ref_full = h_full.magnitude(TAU * freqs[0]);
     let ref_hr = h_hold.magnitude(TAU * freqs[0]);
 
-    println!(
-        " f_mod | held A_F | res (Hz) | gated A_F | res (Hz) | theory hold | theory full"
-    );
-    println!(
-        " ------+----------+----------+-----------+----------+-------------+------------"
-    );
-    for i in 0..freqs.len() {
-        let f = freqs[i];
+    println!(" f_mod | held A_F | res (Hz) | gated A_F | res (Hz) | theory hold | theory full");
+    println!(" ------+----------+----------+-----------+----------+-------------+------------");
+    for (i, &f) in freqs.iter().enumerate() {
         // Clamp: a gated reading quantised to zero deviation is "below
         // the counter floor", not minus infinity.
         let db = |x: f64| (20.0 * x.log10()).max(-40.0);

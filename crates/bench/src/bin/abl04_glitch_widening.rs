@@ -19,7 +19,14 @@ fn main() {
     // 4.2 ns sits barely above the ~4 ns glitches (marginal filtering);
     // 120 µs exceeds the typical monitoring-pulse width (~63 µs), so real
     // pulses get swallowed.
-    for judge_ps in [4_200u64, 10_000, 100_000, 1_000_000, 20_000_000, 120_000_000] {
+    for judge_ps in [
+        4_200u64,
+        10_000,
+        100_000,
+        1_000_000,
+        20_000_000,
+        120_000_000,
+    ] {
         let opts = TestbenchOptions {
             judge_delay: SimTime::from_ps(judge_ps),
             settle_secs: 0.6,
@@ -40,10 +47,7 @@ fn main() {
                 .iter()
                 .filter(|(t, _)| (t - tm).abs() < 0.5 * t_mod)
                 .collect();
-            if let Some((tp, _)) = window
-                .iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            {
+            if let Some((tp, _)) = window.iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
                 offsets.push((tp - tm).abs());
             }
         }

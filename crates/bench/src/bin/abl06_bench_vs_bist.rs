@@ -61,9 +61,7 @@ fn main() {
     }
     bench_rms = (bench_rms / freqs.len() as f64).sqrt();
     bist_rms = (bist_rms / freqs.len() as f64).sqrt();
-    println!(
-        "\nRMS error vs own theory: bench {bench_rms:.1} %, BIST {bist_rms:.1} %"
-    );
+    println!("\nRMS error vs own theory: bench {bench_rms:.1} %, BIST {bist_rms:.1} %");
     println!(
         "shape check: the digital-only monitor matches its model about as well as\n\
          the analogue-probe bench matches its own — the paper's case that embedded\n\

@@ -41,8 +41,7 @@ fn main() {
             .map(|p| p.delta_f_hz.abs() / noisy.points[0].delta_f_hz.abs())
             .collect();
         let err_db = |i: usize| 20.0 * (rel[i] / clean_rel[i]).log10();
-        let phase_err =
-            noisy.points[1].phase.phase_degrees - clean.points[1].phase.phase_degrees;
+        let phase_err = noisy.points[1].phase.phase_degrees - clean.points[1].phase.phase_degrees;
         println!(
             " {:>7.1} µs | {:>17.2} | {:>20.2} | {:>17.1}",
             rms * 1e6,

@@ -1,0 +1,56 @@
+//! **Ablation abl08** — wall-clock scaling of the parallel sweep engine.
+//!
+//! Runs the same 12-tone bench-style transfer-function sweep serially
+//! (`threads = 1`) and with one worker per available core (`threads = 0`),
+//! checks the two result vectors are bitwise identical (each modulation
+//! point is measured on its own freshly built loop — see
+//! `pllbist_sim::parallel`), and reports the measured speedup.
+//!
+//! On a single-core host the two runs are the same code path and the
+//! ratio prints near 1.0×; the >1.5× figure in the PR notes requires a
+//! multi-core machine.
+
+use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, BenchSettings};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::parallel::available_parallelism;
+use std::time::Instant;
+
+fn main() {
+    let cfg = PllConfig::paper_table3();
+    let tones = log_spaced(1.0, 40.0, 12);
+    let settings = |threads| BenchSettings {
+        threads,
+        ..BenchSettings::default()
+    };
+    let cores = available_parallelism();
+    println!(
+        "abl08 — parallel sweep speedup ({} tones, {} core(s) available)\n",
+        tones.len(),
+        cores
+    );
+
+    // Warm-up pass so neither timed run pays first-touch costs.
+    let _ = measure_sweep_points(&cfg, &tones[..2], &settings(1));
+
+    let t0 = Instant::now();
+    let serial = measure_sweep_points(&cfg, &tones, &settings(1));
+    let dt_serial = t0.elapsed();
+
+    let t1 = Instant::now();
+    let parallel = measure_sweep_points(&cfg, &tones, &settings(0));
+    let dt_parallel = t1.elapsed();
+
+    assert_eq!(
+        serial, parallel,
+        "parallel sweep must be bitwise identical to serial"
+    );
+    println!(" threads = 1      : {:>8.2?}", dt_serial);
+    println!(" threads = 0 (auto): {:>8.2?}", dt_parallel);
+    let speedup = dt_serial.as_secs_f64() / dt_parallel.as_secs_f64();
+    println!("\nspeedup: {speedup:.2}× on {cores} core(s); results bitwise identical");
+    if cores == 1 {
+        println!("(single-core host: both runs take the serial path, ~1.0× expected)");
+    } else if speedup < 1.5 {
+        println!("warning: expected >1.5× on a {cores}-core host");
+    }
+}

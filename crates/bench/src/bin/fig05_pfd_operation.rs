@@ -40,9 +40,7 @@ fn run_case(skew_ns: i64, label: &str) {
     };
     let (nu, wu) = stats(up);
     let (nd, wd) = stats(dn);
-    println!(
-        " {label:<26} | {nu:>4} × {wu:>9.1} ns | {nd:>4} × {wd:>9.1} ns"
-    );
+    println!(" {label:<26} | {nu:>4} × {wu:>9.1} ns | {nd:>4} × {wd:>9.1} ns");
 }
 
 fn main() {

@@ -30,7 +30,11 @@ fn main() {
             .unwrap_or(0.0)
     };
     let mfreq: Vec<(f64, f64)> = capture.mfreq_times.iter().map(|&t| (t, v_at(t))).collect();
-    let minf: Vec<(f64, f64)> = capture.minfreq_times.iter().map(|&t| (t, v_at(t))).collect();
+    let minf: Vec<(f64, f64)> = capture
+        .minfreq_times
+        .iter()
+        .map(|&t| (t, v_at(t)))
+        .collect();
     println!(
         "{}",
         ascii_plot(
@@ -52,10 +56,16 @@ fn main() {
             v.iter().sum::<f64>() / v.len() as f64
         }
     };
-    println!(" monitoring-PFD UP pulses : {:>5} (mean width {:>8.2} µs)",
-        capture.up_pulse_widths.len(), mean(&capture.up_pulse_widths) * 1e6);
-    println!(" monitoring-PFD DN pulses : {:>5} (mean width {:>8.2} µs)",
-        capture.dn_pulse_widths.len(), mean(&capture.dn_pulse_widths) * 1e6);
+    println!(
+        " monitoring-PFD UP pulses : {:>5} (mean width {:>8.2} µs)",
+        capture.up_pulse_widths.len(),
+        mean(&capture.up_pulse_widths) * 1e6
+    );
+    println!(
+        " monitoring-PFD DN pulses : {:>5} (mean width {:>8.2} µs)",
+        capture.dn_pulse_widths.len(),
+        mean(&capture.dn_pulse_widths) * 1e6
+    );
     println!(" MFREQ strobes            : {:?}", capture.mfreq_times);
     println!(" min-frequency strobes    : {:?}", capture.minfreq_times);
 

@@ -19,12 +19,7 @@ fn main() {
     );
 
     let full = a.bode(0.5, 100.0, 120);
-    let hold = BodePlot::sweep_log(
-        &a.hold_referred_transfer(),
-        0.5 * TAU,
-        100.0 * TAU,
-        120,
-    );
+    let hold = BodePlot::sweep_log(&a.hold_referred_transfer(), 0.5 * TAU, 100.0 * TAU, 120);
 
     println!(
         "{}",
@@ -52,7 +47,10 @@ fn main() {
     );
 
     let coarse = a.bode(0.5, 100.0, 15);
-    println!("{}", bode_table(&coarse, "eq. 4 response (table, full readout):"));
+    println!(
+        "{}",
+        bode_table(&coarse, "eq. 4 response (table, full readout):")
+    );
 
     let peak = full.peak().expect("resonance");
     println!(

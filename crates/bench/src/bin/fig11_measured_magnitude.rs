@@ -105,7 +105,10 @@ fn main() {
          {:.2} Hz)",
         peak.1,
         peak.0,
-        cfg.analysis().second_order().unwrap().natural_frequency_hz()
+        cfg.analysis()
+            .second_order()
+            .unwrap()
+            .natural_frequency_hz()
             * (1.0f64 - 2.0 * 0.43 * 0.43).sqrt()
     );
 }

@@ -58,10 +58,7 @@ fn main() {
         .collect();
     let mut all = series.clone();
     all.push(("theory (hold-referred)", '.', theory));
-    println!(
-        "{}",
-        ascii_plot(&all, 78, 18, "phase (deg) vs log10 f_mod")
-    );
+    println!("{}", ascii_plot(&all, 78, 18, "phase (deg) vs log10 f_mod"));
 
     println!(" f_mod (Hz) | sine (°)  | 2-tone (°) | 10-step (°) | theory (°)");
     println!(" -----------+-----------+------------+-------------+-----------");
@@ -78,7 +75,11 @@ fn main() {
     }
 
     // The fn annotation.
-    let fn_hz = cfg.analysis().second_order().unwrap().natural_frequency_hz();
+    let fn_hz = cfg
+        .analysis()
+        .second_order()
+        .unwrap()
+        .natural_frequency_hz();
     let measured_at_fn = tables[2]
         .1
         .iter()
@@ -91,6 +92,9 @@ fn main() {
     println!(
         " full-readout theory {:.1}° — the paper's fig. 12 annotates a measured −46°\n\
          on its full-readout plot (see EXPERIMENTS.md for the readout-model discussion).",
-        cfg.analysis().feedback_transfer().phase(TAU * fn_hz).to_degrees()
+        cfg.analysis()
+            .feedback_transfer()
+            .phase(TAU * fn_hz)
+            .to_degrees()
     );
 }

@@ -14,21 +14,34 @@ fn main() {
             " {:<41} | {:<20} | {}",
             r.parameter,
             r.value,
-            if r.literal { "paper (OCR)" } else { "reconstructed" }
+            if r.literal {
+                "paper (OCR)"
+            } else {
+                "reconstructed"
+            }
         );
     }
 
     println!("\nderived (eqs. 5–6):");
-    println!("  ωn = sqrt(K0·Kd / (N·(τ1+τ2))) = {:.3} rad/s = {:.3} Hz",
-        params.omega_n, params.natural_frequency_hz());
+    println!(
+        "  ωn = sqrt(K0·Kd / (N·(τ1+τ2))) = {:.3} rad/s = {:.3} Hz",
+        params.omega_n,
+        params.natural_frequency_hz()
+    );
     println!("  ζ  = (ωn/2)·(τ2 + N/K)          = {:.4}", params.damping);
-    println!("  ω3dB (Gardner high-gain form)    = {:.2} rad/s = {:.2} Hz",
-        params.omega_3db(), params.omega_3db() / std::f64::consts::TAU);
+    println!(
+        "  ω3dB (Gardner high-gain form)    = {:.2} rad/s = {:.2} Hz",
+        params.omega_3db(),
+        params.omega_3db() / std::f64::consts::TAU
+    );
 
     // Cross-check with the composed eq. 1 model.
     let a = PllConfig::paper_table3().analysis();
     let p = a.second_order().expect("second order");
     println!("\ncross-check against the composed eq. 1/eq. 4 loop:");
-    println!("  fn = {:.4} Hz (target 8.00), ζ = {:.4} (target 0.430)",
-        p.natural_frequency_hz(), p.damping);
+    println!(
+        "  fn = {:.4} Hz (target 8.00), ζ = {:.4} (target 0.430)",
+        p.natural_frequency_hz(),
+        p.damping
+    );
 }

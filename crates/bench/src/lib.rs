@@ -26,15 +26,13 @@ pub fn bode_table(plot: &BodePlot, title: &str) -> String {
     out
 }
 
+/// One plot series: label, glyph and the `(x, y)` points to draw.
+pub type PlotSeries<'a> = (&'a str, char, Vec<(f64, f64)>);
+
 /// Renders an ASCII line plot of `(x, y)` series (log-x assumed already
 /// applied by the caller if desired). Each series is drawn with its own
 /// glyph; the y-range is shared.
-pub fn ascii_plot(
-    series: &[(&str, char, Vec<(f64, f64)>)],
-    width: usize,
-    height: usize,
-    y_label: &str,
-) -> String {
+pub fn ascii_plot(series: &[PlotSeries<'_>], width: usize, height: usize, y_label: &str) -> String {
     assert!(width >= 16 && height >= 4, "plot too small");
     let mut xs: Vec<f64> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
@@ -130,12 +128,7 @@ mod tests {
     fn ascii_plot_draws_all_series() {
         let s1: Vec<(f64, f64)> = (0..20).map(|k| (k as f64, (k as f64).sin())).collect();
         let s2: Vec<(f64, f64)> = (0..20).map(|k| (k as f64, (k as f64).cos())).collect();
-        let out = ascii_plot(
-            &[("sin", '*', s1), ("cos", 'o', s2)],
-            60,
-            12,
-            "amplitude",
-        );
+        let out = ascii_plot(&[("sin", '*', s1), ("cos", 'o', s2)], 60, 12, "amplitude");
         assert!(out.contains('*') && out.contains('o'));
         assert!(out.contains("sin") && out.contains("cos"));
         assert_eq!(out.matches('\n').count(), 1 + 12 + 1 + 1);

@@ -135,10 +135,9 @@ impl FrequencyCounter {
             let seen_gate_cycles =
                 ((pll.vco_phase_cycles() - start_phase) / cycles_per_gate_cycle).floor();
             let clock_count = (window * self.f_clock_hz).floor().max(1.0) as u64;
-            let frequency_hz =
-                seen_gate_cycles.max(0.0) * cycles_per_gate_cycle * self.f_clock_hz
-                    / clock_count as f64
-                    / cycles_per_gate_cycle;
+            let frequency_hz = seen_gate_cycles.max(0.0) * cycles_per_gate_cycle * self.f_clock_hz
+                / clock_count as f64
+                / cycles_per_gate_cycle;
             return FrequencyReading {
                 frequency_hz,
                 clock_count,
@@ -199,7 +198,10 @@ impl PhaseCounter {
     /// Panics if `stop < start` or `t_mod` is not positive.
     pub fn reading(&self, start: f64, stop: f64, t_mod: f64) -> PhaseReading {
         assert!(stop >= start, "stop must not precede start");
-        assert!(t_mod > 0.0 && t_mod.is_finite(), "modulation period must be positive");
+        assert!(
+            t_mod > 0.0 && t_mod.is_finite(),
+            "modulation period must be positive"
+        );
         let pulse_count = ((stop - start) * self.f_clock_hz).floor() as u64;
         let degrees_per_count = 360.0 / (t_mod * self.f_clock_hz);
         PhaseReading {
@@ -232,7 +234,11 @@ mod tests {
         let true_f = 5_000.3;
         let r = c.reading_from_window(10.0 / true_f);
         assert!((r.frequency_hz - true_f).abs() <= r.resolution_hz * 1.5);
-        assert!(r.resolution_hz > 1.0, "short gate ⇒ coarse ({} Hz)", r.resolution_hz);
+        assert!(
+            r.resolution_hz > 1.0,
+            "short gate ⇒ coarse ({} Hz)",
+            r.resolution_hz
+        );
     }
 
     #[test]

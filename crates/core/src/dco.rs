@@ -282,7 +282,9 @@ mod tests {
         let grid = d.tone_grid(10.0);
         // ±10 Hz at ~1 Hz spacing: about 20 tones.
         assert!((18..=22).contains(&grid.len()), "{} tones", grid.len());
-        assert!(grid.windows(2).all(|w| w[0].frequency_hz < w[1].frequency_hz));
+        assert!(grid
+            .windows(2)
+            .all(|w| w[0].frequency_hz < w[1].frequency_hz));
         for t in &grid {
             assert!(t.deviation_hz.abs() <= 10.0 + 1e-9);
             assert!((t.frequency_hz - 1e6 / t.modulus as f64).abs() < 1e-9);

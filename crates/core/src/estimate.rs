@@ -307,10 +307,7 @@ mod tests {
     #[test]
     fn no_zero_estimate_recovers_parameters() {
         let (wn, z) = (50.0, 0.43);
-        let h = TransferFunction::new(
-            [wn * wn],
-            [wn * wn, 2.0 * z * wn, 1.0],
-        );
+        let h = TransferFunction::new([wn * wn], [wn * wn, 2.0 * z * wn, 1.0]);
         let plot = BodePlot::sweep_log(&h, wn / 30.0, wn * 30.0, 800);
         let est = ParameterEstimate::from_plot(&plot); // NoZero default
         assert!((est.damping.unwrap() - z).abs() < 0.01, "{:?}", est.damping);

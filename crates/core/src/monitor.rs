@@ -99,6 +99,14 @@ pub struct MonitorSettings {
     /// output peak is still accepted (protects the in-band, near-zero-lag
     /// points against edge jitter).
     pub peak_guard_fraction: f64,
+    /// Worker threads for the sweep: `0` = one per available core, `1` =
+    /// the historical serial sweep (bit-for-bit: one simulated loop walks
+    /// every tone in order). With more than one worker the tone list is
+    /// split into contiguous chunks and each worker walks its chunk on a
+    /// **freshly locked** loop built from the device configuration, so
+    /// the measured values can differ from the serial ones in low-order
+    /// bits (different settle history), never in physics.
+    pub threads: usize,
 }
 
 impl MonitorSettings {
@@ -116,6 +124,7 @@ impl MonitorSettings {
             gate_cycles: 200,
             count_divided_output: false,
             peak_guard_fraction: 0.05,
+            threads: 0,
         }
     }
 
@@ -132,6 +141,7 @@ impl MonitorSettings {
             gate_cycles: 100,
             count_divided_output: false,
             peak_guard_fraction: 0.05,
+            threads: 1,
         }
     }
 }
@@ -226,10 +236,7 @@ impl TransferFunctionMonitor {
             "sweep needs at least one modulation frequency"
         );
         assert!(
-            settings
-                .mod_frequencies_hz
-                .windows(2)
-                .all(|w| w[0] < w[1]),
+            settings.mod_frequencies_hz.windows(2).all(|w| w[0] < w[1]),
             "modulation frequencies must be strictly ascending"
         );
         assert!(settings.deviation_hz > 0.0, "deviation must be positive");
@@ -249,10 +256,17 @@ impl TransferFunctionMonitor {
 
     /// Runs the full sweep on an existing (already constructed) loop —
     /// lets callers pre-stress or pre-fault the device.
+    ///
+    /// With `threads` ≤ 1 (after resolving `0` = auto on a single-core
+    /// host) the given loop walks every tone in order — the historical
+    /// serial path. With more workers the tone list is chunked and every
+    /// worker measures its chunk on a fresh `CpPll::new_locked` built
+    /// from this loop's configuration; pre-stressed *state* (as opposed
+    /// to configuration) therefore only influences the nominal reading
+    /// and the serial path.
     pub fn measure_on(&self, pll: &mut CpPll) -> MonitorResult {
         let s = &self.settings;
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
-        let pc = PhaseCounter::new(s.test_clock_hz);
 
         // Lock and take the nominal reading (held for a clean gate).
         pll.advance_to(pll.time() + s.loop_settle_secs.max(0.1));
@@ -260,11 +274,59 @@ impl TransferFunctionMonitor {
         let nominal = fc.measure(pll, s.count_divided_output);
         pll.set_hold(false);
 
-        let mut seq = TestSequencer::new(s.mod_frequencies_hz.len());
+        let workers = pllbist_sim::parallel::resolve_threads(s.threads)
+            .min(s.mod_frequencies_hz.len().max(1));
+        if workers <= 1 {
+            let (points, transcript) = self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal);
+            return MonitorResult {
+                nominal,
+                points,
+                transcript,
+                capture: s.capture,
+            };
+        }
+
+        // Parallel path: one freshly locked loop per contiguous chunk of
+        // tones (the Table 2 sequence still runs in order inside each
+        // chunk). Results come back in sweep order.
+        let config = pll.config().clone();
+        let chunks =
+            pllbist_sim::parallel::par_map_chunks(&s.mod_frequencies_hz, workers, |chunk| {
+                let mut worker_pll = CpPll::new_locked(&config);
+                worker_pll.advance_to(worker_pll.time() + s.loop_settle_secs.max(0.1));
+                vec![self.sweep_chunk(&mut worker_pll, chunk, &nominal)]
+            });
         let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
+        let mut transcript = Vec::new();
+        for (chunk_points, chunk_transcript) in chunks {
+            points.extend(chunk_points);
+            transcript.extend(chunk_transcript);
+        }
+        MonitorResult {
+            nominal,
+            points,
+            transcript,
+            capture: s.capture,
+        }
+    }
+
+    /// Walks one contiguous run of modulation frequencies on `pll`,
+    /// returning the measured points and the chunk's Table 2 transcript.
+    fn sweep_chunk(
+        &self,
+        pll: &mut CpPll,
+        mod_frequencies_hz: &[f64],
+        nominal: &FrequencyReading,
+    ) -> (Vec<MonitorPoint>, Vec<Transition>) {
+        let s = &self.settings;
+        let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
+        let pc = PhaseCounter::new(s.test_clock_hz);
+
+        let mut seq = TestSequencer::new(mod_frequencies_hz.len());
+        let mut points = Vec::with_capacity(mod_frequencies_hz.len());
         let f_ref = pll.config().f_ref_hz;
 
-        for &f_mod in &s.mod_frequencies_hz {
+        for &f_mod in mod_frequencies_hz {
             let t_mod = 1.0 / f_mod;
             // Stage 5 → stage 1 wrap for every tone after the first.
             if seq.stage() == crate::sequencer::Stage::NextTone {
@@ -356,12 +418,7 @@ impl TransferFunctionMonitor {
             });
         }
 
-        MonitorResult {
-            nominal,
-            points,
-            transcript: seq.transcript().to_vec(),
-            capture: s.capture,
-        }
+        (points, seq.transcript().to_vec())
     }
 
     fn build_stimulus(&self, f_ref_hz: f64, f_mod_hz: f64) -> FmStimulus {
@@ -453,10 +510,7 @@ mod tests {
         let result = monitor.measure(&cfg);
         assert_eq!(result.transcript.len(), 3 * 5);
         // Times non-decreasing.
-        assert!(result
-            .transcript
-            .windows(2)
-            .all(|w| w[0].t <= w[1].t));
+        assert!(result.transcript.windows(2).all(|w| w[0].t <= w[1].t));
     }
 
     #[test]
@@ -478,6 +532,42 @@ mod tests {
             let stim = monitor.build_stimulus(1_000.0, 5.0);
             assert!((stim.peak_deviation_hz() - 10.0).abs() < 1.1, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_physics() {
+        let cfg = PllConfig::paper_table3();
+        let serial = TransferFunctionMonitor::new(tiny_settings()).measure(&cfg);
+        let mut settings = tiny_settings();
+        settings.threads = 2;
+        let parallel = TransferFunctionMonitor::new(settings).measure(&cfg);
+        // Same tones, same order, full Table 2 transcript, and the same
+        // physics (worker loops settle independently, so only low-order
+        // bits may differ from the serial walk).
+        assert_eq!(serial.points.len(), parallel.points.len());
+        assert_eq!(parallel.transcript.len(), 3 * 5);
+        for (a, b) in serial.points.iter().zip(&parallel.points) {
+            assert_eq!(a.f_mod_hz, b.f_mod_hz);
+            let rel = (a.delta_f_hz - b.delta_f_hz).abs() / a.delta_f_hz.abs().max(1.0);
+            assert!(
+                rel < 0.05,
+                "f = {}: serial ΔF {} vs parallel ΔF {}",
+                a.f_mod_hz,
+                a.delta_f_hz,
+                b.delta_f_hz
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_deterministic_per_worker_count() {
+        let cfg = PllConfig::paper_table3();
+        let mut settings = tiny_settings();
+        settings.threads = 2;
+        let monitor = TransferFunctionMonitor::new(settings);
+        let a = monitor.measure(&cfg);
+        let b = monitor.measure(&cfg);
+        assert_eq!(a.points, b.points);
     }
 
     #[test]

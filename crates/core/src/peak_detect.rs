@@ -37,8 +37,9 @@ pub struct PeakEvent {
     pub kind: PeakKind,
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 enum Lead {
+    #[default]
     Unknown,
     Reference,
     Feedback,
@@ -77,12 +78,6 @@ pub struct PeakDetector {
     /// Skew (seconds) of the most recent completed lead interval —
     /// a diagnostic for the dead-zone ablation.
     last_skew: f64,
-}
-
-impl Default for Lead {
-    fn default() -> Self {
-        Lead::Unknown
-    }
 }
 
 impl PeakDetector {

@@ -54,9 +54,7 @@ impl Stage {
     /// columns).
     pub fn mux(self) -> MuxConfig {
         match self {
-            Stage::ApplyModulation | Stage::MonitorPeak | Stage::NextTone => {
-                MuxConfig::NormalLoop
-            }
+            Stage::ApplyModulation | Stage::MonitorPeak | Stage::NextTone => MuxConfig::NormalLoop,
             Stage::HoldOutput | Stage::Measure => MuxConfig::HoldLoop,
         }
     }
@@ -75,8 +73,12 @@ impl Stage {
     /// The paper's comment column, abridged.
     pub fn comment(self) -> &'static str {
         match self {
-            Stage::ApplyModulation => "apply digital modulation at FN; start phase counter reference",
-            Stage::MonitorPeak => "start phase counter at input-modulation peak; monitor for output peak",
+            Stage::ApplyModulation => {
+                "apply digital modulation at FN; start phase counter reference"
+            }
+            Stage::MonitorPeak => {
+                "start phase counter at input-modulation peak; monitor for output peak"
+            }
             Stage::HoldOutput => "peak occurred: hold output frequency, stop phase counter",
             Stage::Measure => "count output frequency and store; store phase counter",
             Stage::NextTone => "increase FN and repeat stages 1-4",

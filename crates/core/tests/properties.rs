@@ -1,5 +1,6 @@
 //! Property-based tests on the BIST layer: counters, DCO grid, peak
-//! detector and estimator invariants.
+//! detector and estimator invariants (on the in-tree `pllbist-testkit`
+//! harness).
 
 use pllbist::counter::{FrequencyCounter, PhaseCounter};
 use pllbist::dco::DcoDesign;
@@ -9,17 +10,14 @@ use pllbist::estimate::{
 };
 use pllbist::peak_detect::{PeakDetector, PeakKind};
 use pllbist_sim::behavioral::LoopEvent;
-use proptest::prelude::*;
+use pllbist_testkit::{prop_assert, prop_assume, prop_check};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn frequency_counter_error_within_stated_resolution(
-        f_true in 100.0f64..100_000.0,
-        gate in 10u64..2_000,
-        f_clk in prop_oneof![Just(1e6), Just(10e6), Just(100e6)],
-    ) {
+#[test]
+fn frequency_counter_error_within_stated_resolution() {
+    prop_check!(cases: 64, |g| {
+        let f_true = g.f64_range(100.0, 100_000.0);
+        let gate = g.u64_range(10, 2_000);
+        let f_clk = g.pick(&[1e6, 10e6, 100e6]);
         let c = FrequencyCounter::new(f_clk, gate);
         let r = c.reading_from_window(gate as f64 / f_true);
         prop_assert!(
@@ -30,14 +28,16 @@ proptest! {
         );
         // Resolution relation: df = f/count.
         prop_assert!((r.resolution_hz - r.frequency_hz / r.clock_count as f64).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn phase_counter_error_within_one_count(
-        delay_fraction in 0.0f64..0.9,
-        f_mod in 0.5f64..100.0,
-        f_clk in prop_oneof![Just(1e5), Just(1e6)],
-    ) {
+#[test]
+fn phase_counter_error_within_one_count() {
+    prop_check!(cases: 64, |g| {
+        let delay_fraction = g.f64_range(0.0, 0.9);
+        let f_mod = g.f64_range(0.5, 100.0);
+        let f_clk = g.pick(&[1e5, 1e6]);
         let t_mod = 1.0 / f_mod;
         let pc = PhaseCounter::new(f_clk);
         let r = pc.reading(10.0, 10.0 + delay_fraction * t_mod, t_mod);
@@ -48,13 +48,15 @@ proptest! {
             r.phase_degrees,
             r.resolution_degrees
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dco_grid_tones_are_exact_divisions(
-        f_master in 1e5f64..1e8,
-        ratio in 20.0f64..5_000.0,
-    ) {
+#[test]
+fn dco_grid_tones_are_exact_divisions() {
+    prop_check!(cases: 64, |g| {
+        let f_master = g.f64_range(1e5, 1e8);
+        let ratio = g.f64_range(20.0, 5_000.0);
         let f_nom = f_master / ratio;
         let dco = DcoDesign::new(f_master, f_nom);
         let dev = (dco.resolution_hz() * 5.0).min(f_nom / 4.0);
@@ -62,13 +64,15 @@ proptest! {
         for tone in dco.tone_grid(dev) {
             prop_assert!((tone.frequency_hz - f_master / tone.modulus as f64).abs() < 1e-9);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dco_resolution_approximation_holds(
-        f_master in 1e6f64..1e8,
-        ratio in 50.0f64..10_000.0,
-    ) {
+#[test]
+fn dco_resolution_approximation_holds() {
+    prop_check!(cases: 64, |g| {
+        let f_master = g.f64_range(1e6, 1e8);
+        let ratio = g.f64_range(50.0, 10_000.0);
         // Eq. 2's closed form tracks the exact grid spacing to ~1/k.
         let f_nom = f_master / ratio;
         let dco = DcoDesign::new(f_master, f_nom);
@@ -78,12 +82,14 @@ proptest! {
             (exact - approx).abs() / exact < 3.0 / ratio + 1e-3,
             "exact {exact}, eq2 {approx}"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn nearest_tone_quantisation_bounded_by_local_spacing(
-        dev_target in -50.0f64..50.0,
-    ) {
+#[test]
+fn nearest_tone_quantisation_bounded_by_local_spacing() {
+    prop_check!(cases: 64, |g| {
+        let dev_target = g.f64_range(-50.0, 50.0);
         let dco = DcoDesign::new(1e6, 1e3);
         let tone = dco.nearest_tone(dev_target);
         // The divider grid's spacing grows away from nominal (~f²/F_ref),
@@ -97,14 +103,16 @@ proptest! {
             (tone.deviation_hz - dev_target).abs(),
             local_spacing / 2.0
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn peak_detector_balanced_over_periodic_skew(
-        periods in 2u32..8,
-        skew_amp_us in 5.0f64..200.0,
-        f_mod in 1.0f64..10.0,
-    ) {
+#[test]
+fn peak_detector_balanced_over_periodic_skew() {
+    prop_check!(cases: 64, |g| {
+        let periods = g.u32_range(2, 8);
+        let skew_amp_us = g.f64_range(5.0, 200.0);
+        let f_mod = g.f64_range(1.0, 10.0);
         // Sinusoidal skew ⇒ equal numbers of Max and Min flips (±1).
         let mut det = PeakDetector::new();
         let t_ref = 1e-3;
@@ -130,12 +138,14 @@ proptest! {
         }
         prop_assert!((maxes - mins).abs() <= 1, "maxes {maxes} mins {mins}");
         prop_assert!(maxes >= periods as i64 - 1, "maxes {maxes} for {periods} periods");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn peak_detector_flip_times_near_skew_zero_crossings(
-        f_mod in 1.0f64..5.0,
-    ) {
+#[test]
+fn peak_detector_flip_times_near_skew_zero_crossings() {
+    prop_check!(cases: 64, |g| {
+        let f_mod = g.f64_range(1.0, 5.0);
         let mut det = PeakDetector::new();
         let t_ref = 1e-3;
         let mut flips = Vec::new();
@@ -160,13 +170,15 @@ proptest! {
             let dist = frac.min(1.0 - frac) / (2.0 * f_mod);
             prop_assert!(dist < 2.5 * t_ref, "flip at {t} is {dist} from a crossing");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn damping_inversions_are_monotone(
-        db1 in 0.5f64..10.0,
-        db2 in 0.5f64..10.0,
-    ) {
+#[test]
+fn damping_inversions_are_monotone() {
+    prop_check!(cases: 64, |g| {
+        let db1 = g.f64_range(0.5, 10.0);
+        let db2 = g.f64_range(0.5, 10.0);
         prop_assume!((db1 - db2).abs() > 0.05);
         let (lo, hi) = if db1 < db2 { (db1, db2) } else { (db2, db1) };
         // Higher peak ⇒ lower damping, in both model families.
@@ -181,12 +193,14 @@ proptest! {
         if let (Some(a), Some(b)) = z_no {
             prop_assert!(a > b, "no-zero: {a} !> {b}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn model_peak_and_ratio_are_consistent(
-        zeta in 0.1f64..0.65,
-    ) {
+#[test]
+fn model_peak_and_ratio_are_consistent() {
+    prop_check!(cases: 64, |g| {
+        let zeta = g.f64_range(0.1, 0.65);
         // The with-zero numeric peak exceeds the no-zero analytic peak
         // (the zero lifts the response) and both exceed 0 dB.
         let with = model_peak_magnitude(zeta);
@@ -195,5 +209,6 @@ proptest! {
         prop_assert!(with > without * 0.99, "with {with}, without {without}");
         let r = peak_frequency_ratio_no_zero(zeta);
         prop_assert!(r > 0.0 && r <= 1.0);
-    }
+        Ok(())
+    });
 }

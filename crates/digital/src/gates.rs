@@ -123,9 +123,7 @@ impl GateKind {
         match self {
             GateKind::And(v) => Some(v.iter().fold(Logic::High, |acc, &n| acc.and(read(n)))),
             GateKind::Or(v) => Some(v.iter().fold(Logic::Low, |acc, &n| acc.or(read(n)))),
-            GateKind::Nand(v) => {
-                Some(v.iter().fold(Logic::High, |acc, &n| acc.and(read(n))).not())
-            }
+            GateKind::Nand(v) => Some(v.iter().fold(Logic::High, |acc, &n| acc.and(read(n))).not()),
             GateKind::Nor(v) => Some(v.iter().fold(Logic::Low, |acc, &n| acc.or(read(n))).not()),
             GateKind::Xor(a, b) => Some(read(*a).xor(read(*b))),
             GateKind::Not(a) => Some(read(*a).not()),
@@ -191,7 +189,7 @@ impl GateKind {
                 let rising = in_now.is_high() && !last_in.is_high();
                 *last_in = in_now;
                 if rising {
-                    let enabled = enable.map_or(true, |e| read(e).is_high());
+                    let enabled = enable.is_none_or(|e| read(e).is_high());
                     if enabled {
                         *count += 1;
                         *last_edge = Some(now);
@@ -345,7 +343,10 @@ mod tests {
         // Falling, then disabled edge does not count.
         ctr.evaluate(&fixed(vec![Low, Low]), t);
         ctr.evaluate(&fixed(vec![High, Low]), t);
-        if let GateKind::EdgeCounter { count, last_edge, .. } = &ctr {
+        if let GateKind::EdgeCounter {
+            count, last_edge, ..
+        } = &ctr
+        {
             assert_eq!(*count, 1);
             assert_eq!(*last_edge, Some(SimTime::from_nanos(5)));
         } else {

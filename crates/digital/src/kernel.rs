@@ -233,7 +233,14 @@ impl Circuit {
     /// active-high reset; returns its Q output net. The output powers up
     /// `Low` (matching the reset state the paper's test sequence begins
     /// from).
-    pub fn dff(&mut self, name: &str, d: NetId, clk: NetId, rst: Option<NetId>, delay: SimTime) -> NetId {
+    pub fn dff(
+        &mut self,
+        name: &str,
+        d: NetId,
+        clk: NetId,
+        rst: Option<NetId>,
+        delay: SimTime,
+    ) -> NetId {
         // A missing reset is wired to a constant low net.
         let rst = rst.unwrap_or_else(|| self.constant(&format!("{name}_rst_tie"), Logic::Low));
         self.add_gate(
@@ -282,7 +289,10 @@ impl Circuit {
     ///
     /// Panics if `half_period` is zero.
     pub fn clock(&mut self, name: &str, half_period: SimTime) -> NetId {
-        assert!(half_period > SimTime::ZERO, "clock half period must be nonzero");
+        assert!(
+            half_period > SimTime::ZERO,
+            "clock half period must be nonzero"
+        );
         let gid = GateId(self.gates.len() as u32);
         let out = self.add_net(name, Logic::Low, Some(gid));
         self.gates.push(Gate {
@@ -399,7 +409,9 @@ impl Circuit {
     /// Panics if the id does not refer to an edge counter.
     pub fn counter_clear(&mut self, counter: GateId) {
         match &mut self.gates[counter.0 as usize].kind {
-            GateKind::EdgeCounter { count, last_edge, .. } => {
+            GateKind::EdgeCounter {
+                count, last_edge, ..
+            } => {
                 *count = 0;
                 *last_edge = None;
             }
@@ -414,7 +426,11 @@ impl Circuit {
     ///
     /// Panics if `at` is in the past or the net is gate-driven.
     pub fn poke(&mut self, net: NetId, value: Logic, at: SimTime) {
-        assert!(at >= self.now, "cannot poke in the past ({at} < {})", self.now);
+        assert!(
+            at >= self.now,
+            "cannot poke in the past ({at} < {})",
+            self.now
+        );
         assert!(
             self.nets[net.index()].driver.is_none(),
             "cannot poke gate-driven net '{}'",
@@ -453,8 +469,12 @@ impl Circuit {
     /// Enables waveform tracing on a net (see [`Circuit::trace`]).
     pub fn trace_net(&mut self, net: NetId) {
         self.nets[net.index()].traced = true;
-        self.trace
-            .declare(net, &self.nets[net.index()].name, self.now, self.nets[net.index()].value);
+        self.trace.declare(
+            net,
+            &self.nets[net.index()].name,
+            self.now,
+            self.nets[net.index()].value,
+        );
     }
 
     /// The recorded waveform trace.
@@ -689,7 +709,10 @@ mod tests {
         c.run_until(SimTime::from_millis(2));
         let edges_delta = c.rising_edge_count(div) - edges_at_div4;
         // Twice the output rate after halving the modulus.
-        assert!(edges_delta > 3 * edges_at_div4 / 2, "{edges_delta} vs {edges_at_div4}");
+        assert!(
+            edges_delta > 3 * edges_at_div4 / 2,
+            "{edges_delta} vs {edges_at_div4}"
+        );
     }
 
     #[test]

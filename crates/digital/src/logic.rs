@@ -40,6 +40,7 @@ impl Logic {
 
     /// Logical NOT; `Unknown` stays `Unknown`.
     #[inline]
+    #[allow(clippy::should_implement_trait)] // three-valued NOT, kept inherent on purpose
     pub fn not(self) -> Self {
         match self {
             Logic::Low => Logic::High,

@@ -1,20 +1,18 @@
 //! Property-based tests on the digital kernel: determinism, divider
-//! algebra, counter exactness and inertial-delay filtering.
+//! algebra, counter exactness and inertial-delay filtering (on the
+//! in-tree `pllbist-testkit` harness).
 
 use pllbist_digital::kernel::Circuit;
 use pllbist_digital::logic::Logic;
 use pllbist_digital::time::SimTime;
-use proptest::prelude::*;
+use pllbist_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn divider_chain_composes_multiplicatively(
-        m1 in 2u64..20,
-        m2 in 2u64..20,
-        half_ns in 100u64..2_000,
-    ) {
+#[test]
+fn divider_chain_composes_multiplicatively() {
+    prop_check!(cases: 48, |g| {
+        let m1 = g.u64_range(2, 20);
+        let m2 = g.u64_range(2, 20);
+        let half_ns = g.u64_range(100, 2_000);
         let mut c = Circuit::new();
         let clk = c.clock("clk", SimTime::from_nanos(half_ns));
         let d1 = c.pulse_divider("d1", clk, m1);
@@ -29,26 +27,30 @@ proptest! {
             (out_edges as i64 - expect as i64).abs() <= 1,
             "{out_edges} vs {expect}"
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn edge_counter_counts_exactly_when_always_enabled(
-        half_ns in 50u64..5_000,
-        run_periods in 10u64..500,
-    ) {
+#[test]
+fn edge_counter_counts_exactly_when_always_enabled() {
+    prop_check!(cases: 48, |g| {
+        let half_ns = g.u64_range(50, 5_000);
+        let run_periods = g.u64_range(10, 500);
         let mut c = Circuit::new();
         let clk = c.clock("clk", SimTime::from_nanos(half_ns));
         let ctr = c.edge_counter(clk, None);
         c.run_until(SimTime::from_nanos(2 * half_ns * run_periods));
         prop_assert_eq!(c.counter_value(ctr), run_periods);
         prop_assert_eq!(c.rising_edge_count(clk), run_periods);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn inertial_delay_is_a_sharp_pulse_filter(
-        delay_ns in 5u64..100,
-        pulse_ns in 1u64..200,
-    ) {
+#[test]
+fn inertial_delay_is_a_sharp_pulse_filter() {
+    prop_check!(cases: 48, |g| {
+        let delay_ns = g.u64_range(5, 100);
+        let pulse_ns = g.u64_range(1, 200);
         prop_assume!(pulse_ns != delay_ns);
         let mut c = Circuit::new();
         let a = c.input("a", Logic::Low);
@@ -57,15 +59,23 @@ proptest! {
         c.poke(a, Logic::Low, SimTime::from_micros(1) + SimTime::from_nanos(pulse_ns));
         c.run_until(SimTime::from_micros(10));
         let passed = c.rising_edge_count(y) == 1;
-        prop_assert_eq!(passed, pulse_ns > delay_ns,
-            "pulse {}ns through {}ns buffer: passed={}", pulse_ns, delay_ns, passed);
-    }
+        prop_assert_eq!(
+            passed,
+            pulse_ns > delay_ns,
+            "pulse {}ns through {}ns buffer: passed={}",
+            pulse_ns,
+            delay_ns,
+            passed
+        );
+        Ok(())
+    });
+}
 
-    #[test]
-    fn simulation_is_deterministic(
-        m in 2u64..12,
-        half_ns in 100u64..1_000,
-    ) {
+#[test]
+fn simulation_is_deterministic() {
+    prop_check!(cases: 48, |g| {
+        let m = g.u64_range(2, 12);
+        let half_ns = g.u64_range(100, 1_000);
         let run = || {
             let mut c = Circuit::new();
             let clk = c.clock("clk", SimTime::from_nanos(half_ns));
@@ -76,12 +86,14 @@ proptest! {
             (c.counter_value(ctr), c.value(x), c.rising_edge_count(d))
         };
         prop_assert_eq!(run(), run());
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn trace_edges_match_net_statistics(
-        m in 2u64..10,
-    ) {
+#[test]
+fn trace_edges_match_net_statistics() {
+    prop_check!(cases: 48, |g| {
+        let m = g.u64_range(2, 10);
         let mut c = Circuit::new();
         let clk = c.clock("clk", SimTime::from_micros(1));
         let d = c.pulse_divider("d", clk, m);
@@ -89,13 +101,16 @@ proptest! {
         c.run_until(SimTime::from_millis(2));
         let from_trace = c.trace().rising_edges(d).len() as u64;
         prop_assert_eq!(from_trace, c.rising_edge_count(d));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn run_until_is_composable(
-        splits in prop::collection::vec(1u64..500, 1..6),
-    ) {
+#[test]
+fn run_until_is_composable() {
+    prop_check!(cases: 48, |g| {
         // Running in several steps equals running once to the end.
+        let len = g.usize_range(1, 6);
+        let splits: Vec<u64> = (0..len).map(|_| g.u64_range(1, 500)).collect();
         let build = || {
             let mut c = Circuit::new();
             let clk = c.clock("clk", SimTime::from_nanos(700));
@@ -113,5 +128,6 @@ proptest! {
         }
         prop_assert_eq!(one.rising_edge_count(d1), many.rising_edge_count(d2));
         prop_assert_eq!(one.value(d1), many.value(d2));
-    }
+        Ok(())
+    });
 }

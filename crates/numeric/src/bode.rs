@@ -273,10 +273,7 @@ mod tests {
         let (plot, ..) = resonant_plot();
         assert_eq!(plot.len(), 400);
         assert!(!plot.is_empty());
-        assert!(plot
-            .points()
-            .windows(2)
-            .all(|w| w[0].omega < w[1].omega));
+        assert!(plot.points().windows(2).all(|w| w[0].omega < w[1].omega));
     }
 
     #[test]

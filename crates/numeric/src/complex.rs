@@ -213,6 +213,7 @@ impl Mul for Complex64 {
 impl Div for Complex64 {
     type Output = Self;
     #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z·w⁻¹ by design
     fn div(self, rhs: Self) -> Self {
         self * rhs.recip()
     }
@@ -329,7 +330,11 @@ mod tests {
         let z = Complex64::new(0.3, 1.1);
         assert!(close(z.exp().ln(), z, 1e-14));
         // Euler's identity.
-        assert!(close(Complex64::jw(PI).exp(), Complex64::from_re(-1.0), 1e-15));
+        assert!(close(
+            Complex64::jw(PI).exp(),
+            Complex64::from_re(-1.0),
+            1e-15
+        ));
         assert!((Complex64::from_re(1.0).exp().re - E).abs() < 1e-15);
     }
 

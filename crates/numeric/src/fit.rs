@@ -115,7 +115,11 @@ pub fn line_fit(samples: &[(f64, f64)]) -> Option<LineFit> {
     }
     let slope = sxy / sxx;
     let intercept = my - slope * mx;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(LineFit {
         slope,
         intercept,
@@ -163,7 +167,9 @@ mod tests {
         // Deterministic pseudo-noise via a simple LCG so the test is stable.
         let mut seed = 42u64;
         let mut rand = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64 - 1.0
         };
         let omega = TAU * 3.0;
@@ -188,8 +194,7 @@ mod tests {
 
     #[test]
     fn line_fit_exact() {
-        let samples: Vec<(f64, f64)> =
-            (0..10).map(|k| (k as f64, 2.0 * k as f64 - 1.0)).collect();
+        let samples: Vec<(f64, f64)> = (0..10).map(|k| (k as f64, 2.0 * k as f64 - 1.0)).collect();
         let fit = line_fit(&samples).unwrap();
         assert!((fit.slope - 2.0).abs() < 1e-12);
         assert!((fit.intercept + 1.0).abs() < 1e-12);

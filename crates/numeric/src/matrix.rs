@@ -147,7 +147,10 @@ impl Matrix {
     ///
     /// Panics if the block exceeds the matrix bounds.
     pub fn block(&self, r0: usize, c0: usize, rows: usize, cols: usize) -> Self {
-        assert!(r0 + rows <= self.rows && c0 + cols <= self.cols, "block out of bounds");
+        assert!(
+            r0 + rows <= self.rows && c0 + cols <= self.cols,
+            "block out of bounds"
+        );
         let mut b = Self::zeros(rows, cols);
         for i in 0..rows {
             for j in 0..cols {
@@ -297,7 +300,11 @@ impl IndexMut<(usize, usize)> for Matrix {
 impl Add for &Matrix {
     type Output = Matrix;
     fn add(self, rhs: Self) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -314,7 +321,11 @@ impl Add for &Matrix {
 impl Sub for &Matrix {
     type Output = Matrix;
     fn sub(self, rhs: Self) -> Matrix {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -390,7 +401,10 @@ mod tests {
         let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
         let c = &a * &b;
         assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
-        assert_eq!(a.transpose(), Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.transpose(),
+            Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]])
+        );
     }
 
     #[test]

@@ -150,10 +150,7 @@ impl Polynomial {
         let monic: Vec<f64> = self.coeffs.iter().map(|&c| c / lead).collect();
         // Initial guesses on a circle of radius related to the coefficient
         // magnitudes (Cauchy bound), rotated off the real axis.
-        let radius = 1.0
-            + monic[..n]
-                .iter()
-                .fold(0.0f64, |m, &c| m.max(c.abs()));
+        let radius = 1.0 + monic[..n].iter().fold(0.0f64, |m, &c| m.max(c.abs()));
         let mut roots: Vec<Complex64> = (0..n)
             .map(|k| {
                 Complex64::from_polar(
@@ -190,7 +187,10 @@ impl Polynomial {
 ///
 /// Panics if `c2 == 0` (not a quadratic).
 pub fn quadratic_roots(c0: f64, c1: f64, c2: f64) -> [Complex64; 2] {
-    assert!(c2 != 0.0, "leading coefficient of a quadratic must be nonzero");
+    assert!(
+        c2 != 0.0,
+        "leading coefficient of a quadratic must be nonzero"
+    );
     let disc = c1 * c1 - 4.0 * c2 * c0;
     if disc >= 0.0 {
         let sq = disc.sqrt();

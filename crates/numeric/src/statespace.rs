@@ -141,6 +141,7 @@ impl StateSpace {
     }
 
     /// Output `y = C·x + D·u` for a given state and input.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the matrix algebra
     pub fn output(&self, x: &[f64], u: f64) -> f64 {
         assert_eq!(x.len(), self.order(), "state dimension mismatch");
         let mut y = self.d * u;
@@ -151,6 +152,7 @@ impl StateSpace {
     }
 
     /// State derivative `ẋ = A·x + B·u`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the matrix algebra
     pub fn derivative(&self, x: &[f64], u: f64) -> Vec<f64> {
         assert_eq!(x.len(), self.order(), "state dimension mismatch");
         let n = self.order();
@@ -243,6 +245,7 @@ impl DiscreteStateSpace {
 
     /// Advances one step: `x⁺ = Ad·x + Bd·u` with `u` held constant over the
     /// step.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the matrix algebra
     pub fn step(&self, x: &[f64], u: f64) -> Vec<f64> {
         let n = self.ad.rows();
         assert_eq!(x.len(), n, "state dimension mismatch");
@@ -258,6 +261,7 @@ impl DiscreteStateSpace {
     }
 
     /// Output `y = C·x + D·u`.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the matrix algebra
     pub fn output(&self, x: &[f64], u: f64) -> f64 {
         let mut y = self.d * u;
         for j in 0..self.c.cols() {
@@ -322,8 +326,7 @@ mod tests {
     #[test]
     fn zoh_matches_analytic_first_order() {
         let tau = 2e-3;
-        let ss =
-            StateSpace::from_transfer_function(&TransferFunction::first_order_lowpass(tau));
+        let ss = StateSpace::from_transfer_function(&TransferFunction::first_order_lowpass(tau));
         let dt = 0.7e-3; // deliberately "large" step: ZOH is still exact
         let z = ss.discretize(dt);
         let mut x = ss.zero_state();
@@ -363,7 +366,7 @@ mod tests {
         let ss = StateSpace::from_transfer_function(&tf);
         let dx = ss.derivative(&[1.0, 2.0], 3.0);
         // A = [[0,1],[-1,-2]], B=[0,1]^T
-        assert_eq!(dx, vec![2.0, 1.0 * -1.0 + 2.0 * -2.0 + 3.0]);
+        assert_eq!(dx, vec![2.0, -1.0 + 2.0 * -2.0 + 3.0]);
     }
 
     #[test]

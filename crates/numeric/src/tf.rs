@@ -52,7 +52,10 @@ impl TransferFunction {
     {
         let num = Polynomial::new(num);
         let den = Polynomial::new(den);
-        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        assert!(
+            !den.is_zero(),
+            "transfer function denominator must be nonzero"
+        );
         Self { num, den }
     }
 
@@ -62,7 +65,10 @@ impl TransferFunction {
     ///
     /// Panics if the denominator is identically zero.
     pub fn from_polys(num: Polynomial, den: Polynomial) -> Self {
-        assert!(!den.is_zero(), "transfer function denominator must be nonzero");
+        assert!(
+            !den.is_zero(),
+            "transfer function denominator must be nonzero"
+        );
         Self { num, den }
     }
 
@@ -288,10 +294,7 @@ mod tests {
         let (kd, k0, n) = (0.4, 2400.0, 5.0);
         let k = kd * k0;
         let (t1, t2) = (64.04e-3, 11.9e-3);
-        let direct = TransferFunction::new(
-            [n * k, n * k * t2],
-            [k, n + k * t2, n * (t1 + t2)],
-        );
+        let direct = TransferFunction::new([n * k, n * k * t2], [k, n + k * t2, n * (t1 + t2)]);
         let filter = TransferFunction::new([1.0, t2], [1.0, t1 + t2]);
         let composed = TransferFunction::gain(kd)
             .series(&filter)

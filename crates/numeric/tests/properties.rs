@@ -1,4 +1,5 @@
-//! Property-based tests for the numerical substrate.
+//! Property-based tests for the numerical substrate (on the in-tree
+//! `pllbist-testkit` harness — seeded, deterministic, offline).
 
 use pllbist_numeric::complex::Complex64;
 use pllbist_numeric::fft::{fft, ifft};
@@ -8,25 +9,15 @@ use pllbist_numeric::matrix::Matrix;
 use pllbist_numeric::poly::Polynomial;
 use pllbist_numeric::statespace::StateSpace;
 use pllbist_numeric::tf::TransferFunction;
-use proptest::prelude::*;
+use pllbist_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
-fn finite(range: std::ops::Range<f64>) -> impl Strategy<Value = f64> {
-    range.prop_filter("finite", |x| x.is_finite())
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn complex_field_axioms(
-        ar in finite(-1e3..1e3), ai in finite(-1e3..1e3),
-        br in finite(-1e3..1e3), bi in finite(-1e3..1e3),
-        cr in finite(-1e3..1e3), ci in finite(-1e3..1e3),
-    ) {
+#[test]
+fn complex_field_axioms() {
+    prop_check!(cases: 64, |g| {
         let (a, b, c) = (
-            Complex64::new(ar, ai),
-            Complex64::new(br, bi),
-            Complex64::new(cr, ci),
+            Complex64::new(g.f64_range(-1e3, 1e3), g.f64_range(-1e3, 1e3)),
+            Complex64::new(g.f64_range(-1e3, 1e3), g.f64_range(-1e3, 1e3)),
+            Complex64::new(g.f64_range(-1e3, 1e3), g.f64_range(-1e3, 1e3)),
         );
         // Commutativity and associativity (within float tolerance).
         prop_assert!(((a + b) - (b + a)).abs() < 1e-9);
@@ -38,37 +29,39 @@ proptest! {
         let d1 = a * (b + c);
         let d2 = a * b + a * c;
         prop_assert!((d1 - d2).abs() <= 1e-6 * d1.abs().max(1.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn complex_division_inverts_multiplication(
-        ar in finite(-100.0..100.0), ai in finite(-100.0..100.0),
-        br in finite(0.1..100.0), bi in finite(0.1..100.0),
-    ) {
-        let a = Complex64::new(ar, ai);
-        let b = Complex64::new(br, bi);
+#[test]
+fn complex_division_inverts_multiplication() {
+    prop_check!(cases: 64, |g| {
+        let a = Complex64::new(g.f64_range(-100.0, 100.0), g.f64_range(-100.0, 100.0));
+        let b = Complex64::new(g.f64_range(0.1, 100.0), g.f64_range(0.1, 100.0));
         let q = a * b / b;
         prop_assert!((q - a).abs() < 1e-9 * a.abs().max(1.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn polynomial_mul_is_evaluation_homomorphism(
-        c1 in prop::collection::vec(finite(-5.0..5.0), 1..5),
-        c2 in prop::collection::vec(finite(-5.0..5.0), 1..5),
-        x in finite(-3.0..3.0),
-    ) {
-        let p = Polynomial::new(c1);
-        let q = Polynomial::new(c2);
+#[test]
+fn polynomial_mul_is_evaluation_homomorphism() {
+    prop_check!(cases: 64, |g| {
+        let p = Polynomial::new(g.vec_f64(-5.0, 5.0, 1, 4));
+        let q = Polynomial::new(g.vec_f64(-5.0, 5.0, 1, 4));
+        let x = g.f64_range(-3.0, 3.0);
         let prod = &p * &q;
         let lhs = prod.eval(x);
         let rhs = p.eval(x) * q.eval(x);
         prop_assert!((lhs - rhs).abs() <= 1e-6 * rhs.abs().max(1.0), "{lhs} vs {rhs}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn polynomial_roots_evaluate_to_zero(
-        roots in prop::collection::vec(finite(-3.0..3.0), 2..5),
-    ) {
+#[test]
+fn polynomial_roots_evaluate_to_zero() {
+    prop_check!(cases: 64, |g| {
+        let roots = g.vec_f64(-3.0, 3.0, 2, 4);
         let p = Polynomial::from_roots(roots.clone());
         let found = p.roots(1e-12, 2000);
         prop_assert_eq!(found.len(), roots.len());
@@ -76,13 +69,15 @@ proptest! {
             let v = p.eval_complex(r).abs();
             prop_assert!(v < 1e-5, "residual {v} at {r}");
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn fft_round_trip_and_linearity(
-        data in prop::collection::vec(finite(-10.0..10.0), 1..6),
-        k in finite(-4.0..4.0),
-    ) {
+#[test]
+fn fft_round_trip_and_linearity() {
+    prop_check!(cases: 64, |g| {
+        let data = g.vec_f64(-10.0, 10.0, 1, 5);
+        let k = g.f64_range(-4.0, 4.0);
         // Pad to a power of two.
         let n = data.len().next_power_of_two().max(2);
         let mut buf: Vec<Complex64> =
@@ -99,14 +94,16 @@ proptest! {
         for (a, b) in f1.iter().zip(&f2) {
             prop_assert!((*a - *b).abs() < 1e-7);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn goertzel_recovers_random_tones(
-        amp in finite(0.1..5.0),
-        phase in finite(-3.0..3.0),
-        cycles in 3u32..20,
-    ) {
+#[test]
+fn goertzel_recovers_random_tones() {
+    prop_check!(cases: 64, |g| {
+        let amp = g.f64_range(0.1, 5.0);
+        let phase = g.f64_range(-3.0, 3.0);
+        let cycles = g.u32_range(3, 20);
         let fs = 1000.0;
         let n = 500usize;
         // Integer number of periods in the window.
@@ -117,17 +114,23 @@ proptest! {
         let est = goertzel(&signal, fs, f);
         prop_assert!((est.magnitude() - amp).abs() < 1e-6 * amp);
         let mut dphi = est.phase() - phase;
-        while dphi > std::f64::consts::PI { dphi -= std::f64::consts::TAU; }
-        while dphi < -std::f64::consts::PI { dphi += std::f64::consts::TAU; }
+        while dphi > std::f64::consts::PI {
+            dphi -= std::f64::consts::TAU;
+        }
+        while dphi < -std::f64::consts::PI {
+            dphi += std::f64::consts::TAU;
+        }
         prop_assert!(dphi.abs() < 1e-6);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sine_fit_agrees_with_goertzel(
-        a in finite(-3.0..3.0),
-        b in finite(-3.0..3.0),
-        dc in finite(-2.0..2.0),
-    ) {
+#[test]
+fn sine_fit_agrees_with_goertzel() {
+    prop_check!(cases: 64, |g| {
+        let a = g.f64_range(-3.0, 3.0);
+        let b = g.f64_range(-3.0, 3.0);
+        let dc = g.f64_range(-2.0, 2.0);
         prop_assume!(a.hypot(b) > 0.05);
         let omega = 40.0;
         let samples: Vec<(f64, f64)> = (0..400)
@@ -140,13 +143,15 @@ proptest! {
         prop_assert!((fit.a - a).abs() < 1e-8);
         prop_assert!((fit.b - b).abs() < 1e-8);
         prop_assert!((fit.c - dc).abs() < 1e-8);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lu_solve_reconstructs_rhs(
-        m in prop::collection::vec(finite(-5.0..5.0), 9),
-        v in prop::collection::vec(finite(-5.0..5.0), 3),
-    ) {
+#[test]
+fn lu_solve_reconstructs_rhs() {
+    prop_check!(cases: 64, |g| {
+        let m = g.vec_f64(-5.0, 5.0, 9, 9);
+        let v = g.vec_f64(-5.0, 5.0, 3, 3);
         let a = Matrix::from_rows(&[&m[0..3], &m[3..6], &m[6..9]]);
         let b = Matrix::column(&v);
         if let Some(x) = a.solve(&b) {
@@ -158,27 +163,31 @@ proptest! {
                 );
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn expm_inverse_identity(
-        m in prop::collection::vec(finite(-2.0..2.0), 4),
-    ) {
+#[test]
+fn expm_inverse_identity() {
+    prop_check!(cases: 64, |g| {
         // expm(A)·expm(−A) = I.
+        let m = g.vec_f64(-2.0, 2.0, 4, 4);
         let a = Matrix::from_rows(&[&m[0..2], &m[2..4]]);
         let e = a.expm();
         let einv = a.scale(-1.0).expm();
         let prod = &e * &einv;
         let err = (&prod - &Matrix::identity(2)).frobenius_norm();
         prop_assert!(err < 1e-8, "err {err}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn zoh_discretisation_matches_dense_rk4(
-        tau in finite(1e-3..1e-1),
-        dt in finite(1e-4..5e-3),
-        u in finite(-3.0..3.0),
-    ) {
+#[test]
+fn zoh_discretisation_matches_dense_rk4() {
+    prop_check!(cases: 64, |g| {
+        let tau = g.f64_range(1e-3, 1e-1);
+        let dt = g.f64_range(1e-4, 5e-3);
+        let u = g.f64_range(-3.0, 3.0);
         let tf = TransferFunction::first_order_lowpass(tau);
         let ss = StateSpace::from_transfer_function(&tf);
         let z = ss.discretize(dt);
@@ -196,18 +205,21 @@ proptest! {
             |_, s, ds| ds[0] = (-s[0]) / tau + u / tau,
         );
         prop_assert!((y_exact - rk[0]).abs() < 1e-6 * (1.0 + rk[0].abs()));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn feedback_composition_reduces_gain_below_unity_loop(
-        k in finite(0.1..50.0),
-        w in finite(0.1..100.0),
-    ) {
+#[test]
+fn feedback_composition_reduces_gain_below_unity_loop() {
+    prop_check!(cases: 64, |g| {
+        let k = g.f64_range(0.1, 50.0);
+        let w = g.f64_range(0.1, 100.0);
         // |G/(1+G)| <= |G| for G = k/s on the jω axis (positive-real G/s).
-        let g = TransferFunction::integrator(k);
-        let h = g.feedback_unity();
-        prop_assert!(h.magnitude(w) <= g.magnitude(w) + 1e-12);
+        let gtf = TransferFunction::integrator(k);
+        let h = gtf.feedback_unity();
+        prop_assert!(h.magnitude(w) <= gtf.magnitude(w) + 1e-12);
         // And the closed loop is stable.
         prop_assert!(h.is_stable(1e-12));
-    }
+        Ok(())
+    });
 }

@@ -169,11 +169,7 @@ impl CpPll {
         Self::assemble(config, filter, filter_state)
     }
 
-    fn assemble(
-        config: &PllConfig,
-        filter: Box<dyn LoopFilter>,
-        filter_state: Vec<f64>,
-    ) -> Self {
+    fn assemble(config: &PllConfig, filter: Box<dyn LoopFilter>, filter_state: Vec<f64>) -> Self {
         let stimulus = FmStimulus::constant(config.f_ref_hz, 0.0);
         let next_ref_edge = stimulus.next_edge_after(0.0);
         Self {
@@ -243,7 +239,10 @@ impl CpPll {
     ///
     /// Panics if `window` is not positive and finite.
     pub fn average_frequency_hz(&mut self, window: f64) -> f64 {
-        assert!(window > 0.0 && window.is_finite(), "window must be positive");
+        assert!(
+            window > 0.0 && window.is_finite(),
+            "window must be positive"
+        );
         let p0 = self.vco_phase_cycles;
         let t0 = self.t;
         self.advance_to(t0 + window);
@@ -643,7 +642,10 @@ mod tests {
         let f_before = pll.average_frequency_hz(0.1); // ends at t = 1.0
         pll.set_hold(true);
         let f_at_hold = pll.vco_frequency_hz();
-        assert!((f_at_hold - f_before).abs() < 2.0, "{f_before} vs {f_at_hold}");
+        assert!(
+            (f_at_hold - f_before).abs() < 2.0,
+            "{f_before} vs {f_at_hold}"
+        );
         // Change the reference — held loop must not react.
         pll.set_stimulus(FmStimulus::constant(1_000.0, -6.0));
         pll.advance_to(3.0);
@@ -662,7 +664,9 @@ mod tests {
     #[test]
     fn hold_droops_with_leakage_fault() {
         use pllbist_analog::fault::Fault;
-        let cfg = PllConfig::paper_table3().with_fault(Fault::FilterLeakage(5e6));
+        let cfg = PllConfig::paper_table3()
+            .with_fault(Fault::FilterLeakage(5e6))
+            .unwrap();
         let mut pll = CpPll::new_locked(&cfg);
         pll.advance_to(1.0);
         let f0 = pll.vco_frequency_hz();
@@ -688,7 +692,10 @@ mod tests {
             .filter(|e| matches!(e, LoopEvent::RefEdge { .. }))
             .count();
         let fbs = events.len() - refs;
-        assert!((refs as i64 - fbs as i64).abs() <= 5, "refs {refs} fbs {fbs}");
+        assert!(
+            (refs as i64 - fbs as i64).abs() <= 5,
+            "refs {refs} fbs {fbs}"
+        );
     }
 
     #[test]

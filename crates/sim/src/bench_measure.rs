@@ -38,6 +38,11 @@ pub struct BenchSettings {
     pub measure_periods: f64,
     /// Samples per modulation period.
     pub samples_per_period: usize,
+    /// Worker threads for the sweep: `0` = one per available core
+    /// (the default), `1` = serial. Every modulation point is measured on
+    /// its own freshly built loop, so the results are **bitwise
+    /// identical** for every thread count — see [`crate::parallel`].
+    pub threads: usize,
 }
 
 impl Default for BenchSettings {
@@ -47,6 +52,7 @@ impl Default for BenchSettings {
             settle_periods: 3.0,
             measure_periods: 4.0,
             samples_per_period: 64,
+            threads: 0,
         }
     }
 }
@@ -92,8 +98,9 @@ pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings
     // difference over the interval (a gated-counter readout with the
     // quantisation removed; the BIST layer adds the quantisation back).
     let t_ref = 1.0 / config.f_ref_hz;
-    let periods_per_sample =
-        (t_mod / (settings.samples_per_period as f64 * t_ref)).round().max(1.0);
+    let periods_per_sample = (t_mod / (settings.samples_per_period as f64 * t_ref))
+        .round()
+        .max(1.0);
     let sample_dt = periods_per_sample * t_ref;
     pll.enable_sampling(sample_dt);
     pll.advance_to(settle + settings.measure_periods * t_mod);
@@ -133,22 +140,32 @@ pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings
     }
 }
 
-/// Sweeps the bench measurement over the given modulation frequencies and
-/// assembles a Bode plot (phases unwrapped across the sweep).
-pub fn measure_sweep(
+/// Sweeps the bench measurement over the given modulation frequencies,
+/// returning one [`BenchPoint`] per frequency in input order.
+///
+/// Points are distributed over `settings.threads` workers (`0` = one per
+/// core, `1` = serial). Each point builds its own loop, so the result is
+/// a pure function of `(config, f_mod_hz, settings)` — bitwise identical
+/// for every thread count.
+pub fn measure_sweep_points(
     config: &PllConfig,
     f_mod_hz: &[f64],
     settings: &BenchSettings,
-) -> BodePlot {
-    let mut plot: BodePlot = f_mod_hz
-        .iter()
-        .map(|&fm| {
-            let p = measure_point(config, fm, settings);
-            BodePoint {
-                omega: TAU * p.f_mod_hz,
-                magnitude: p.gain,
-                phase: p.phase,
-            }
+) -> Vec<BenchPoint> {
+    crate::parallel::par_map(f_mod_hz, settings.threads, |&fm| {
+        measure_point(config, fm, settings)
+    })
+}
+
+/// Sweeps the bench measurement over the given modulation frequencies and
+/// assembles a Bode plot (phases unwrapped across the sweep).
+pub fn measure_sweep(config: &PllConfig, f_mod_hz: &[f64], settings: &BenchSettings) -> BodePlot {
+    let mut plot: BodePlot = measure_sweep_points(config, f_mod_hz, settings)
+        .into_iter()
+        .map(|p| BodePoint {
+            omega: TAU * p.f_mod_hz,
+            magnitude: p.gain,
+            phase: p.phase,
         })
         .collect();
     plot.unwrap_phase();
@@ -179,6 +196,7 @@ mod tests {
             settle_periods: 3.0,
             measure_periods: 3.0,
             samples_per_period: 32,
+            threads: 1,
         }
     }
 
@@ -197,8 +215,18 @@ mod tests {
         let h = a.feedback_transfer();
         let p = measure_point(&cfg, 8.0, &quick());
         let want = h.eval_jw(TAU * 8.0);
-        assert!((p.gain - want.abs()).abs() / want.abs() < 0.05, "gain {} vs {}", p.gain, want.abs());
-        assert!((p.phase - want.arg()).abs() < 0.12, "phase {} vs {}", p.phase, want.arg());
+        assert!(
+            (p.gain - want.abs()).abs() / want.abs() < 0.05,
+            "gain {} vs {}",
+            p.gain,
+            want.abs()
+        );
+        assert!(
+            (p.phase - want.arg()).abs() < 0.12,
+            "phase {} vs {}",
+            p.phase,
+            want.arg()
+        );
     }
 
     #[test]

@@ -204,12 +204,16 @@ impl PllConfig {
 
     /// Returns a copy with a fault injected (the abl05 campaign driver).
     ///
-    /// # Panics
-    ///
-    /// Panics when a fault does not apply to this configuration (e.g. a
+    /// A fault that does not apply to this configuration (e.g. a
     /// pump-mismatch fault on a voltage-driven loop, or an R1 fault on an
-    /// active-PI filter).
-    pub fn with_fault(&self, fault: Fault) -> Self {
+    /// active-PI filter) is reported as a [`FaultWiringError`] so a sweep
+    /// can skip it gracefully instead of aborting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultWiringError`] when the fault names a circuit
+    /// element the configured topology does not have.
+    pub fn with_fault(&self, fault: Fault) -> Result<Self, FaultWiringError> {
         let mut cfg = self.clone();
         match fault {
             Fault::VcoGainScale(k) => cfg.vco_gain_scale *= k,
@@ -218,18 +222,26 @@ impl PllConfig {
             Fault::PumpMismatch(m) => match &mut cfg.drive {
                 DriveConfig::Charge { mismatch, .. } => *mismatch = m,
                 DriveConfig::Voltage { .. } => {
-                    panic!("pump mismatch does not apply to a voltage-driven loop")
+                    return Err(FaultWiringError::PumpFaultOnVoltageDrive)
                 }
             },
             Fault::FilterR1Scale(k) => match &mut cfg.filter {
                 FilterConfig::PassiveLag { r1, .. } => *r1 *= k,
-                _ => panic!("R1 fault applies only to the passive-lag filter"),
+                _ => {
+                    return Err(FaultWiringError::FilterElementAbsent {
+                        element: "R1",
+                        filter: cfg.filter_topology_name(),
+                    })
+                }
             },
             Fault::FilterR2Scale(k) => match &mut cfg.filter {
                 FilterConfig::PassiveLag { r2, .. } => *r2 *= k,
                 FilterConfig::SeriesRc { r, .. } => *r *= k,
                 FilterConfig::ActivePi { .. } => {
-                    panic!("R2 fault applies only to passive filters")
+                    return Err(FaultWiringError::FilterElementAbsent {
+                        element: "R2",
+                        filter: cfg.filter_topology_name(),
+                    })
                 }
             },
             Fault::FilterCapScale(k) => match &mut cfg.filter {
@@ -241,16 +253,64 @@ impl PllConfig {
                 }
             },
             Fault::FilterLeakage(r) => match &mut cfg.filter {
-                FilterConfig::PassiveLag { r_leak, .. }
-                | FilterConfig::SeriesRc { r_leak, .. } => *r_leak = Some(r),
+                FilterConfig::PassiveLag { r_leak, .. } | FilterConfig::SeriesRc { r_leak, .. } => {
+                    *r_leak = Some(r)
+                }
                 FilterConfig::ActivePi { .. } => {
-                    panic!("leakage fault applies only to passive filters")
+                    return Err(FaultWiringError::FilterElementAbsent {
+                        element: "leakage path",
+                        filter: cfg.filter_topology_name(),
+                    })
                 }
             },
         }
-        cfg
+        Ok(cfg)
+    }
+
+    /// Short human name of the configured filter topology (error text).
+    fn filter_topology_name(&self) -> &'static str {
+        match self.filter {
+            FilterConfig::PassiveLag { .. } => "passive-lag",
+            FilterConfig::SeriesRc { .. } => "series-RC",
+            FilterConfig::ActivePi { .. } => "active-PI",
+        }
     }
 }
+
+/// A fault that cannot be wired into the configured loop topology.
+///
+/// Produced by [`PllConfig::with_fault`]; carrying this as a value (rather
+/// than panicking at the injection site) lets a fault-coverage sweep note
+/// the skip and keep going — an ill-matched fault/filter combination is a
+/// campaign-definition issue, not a simulator failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultWiringError {
+    /// A charge-pump mismatch fault was applied to a voltage-driven loop,
+    /// which has no current pump.
+    PumpFaultOnVoltageDrive,
+    /// A filter fault names an element the configured topology lacks.
+    FilterElementAbsent {
+        /// The element the fault targets (e.g. `"R1"`).
+        element: &'static str,
+        /// The filter topology actually configured.
+        filter: &'static str,
+    },
+}
+
+impl std::fmt::Display for FaultWiringError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::PumpFaultOnVoltageDrive => {
+                write!(f, "pump mismatch does not apply to a voltage-driven loop")
+            }
+            Self::FilterElementAbsent { element, filter } => {
+                write!(f, "{filter} filter has no {element} to fault")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultWiringError {}
 
 #[cfg(test)]
 mod tests {
@@ -263,7 +323,11 @@ mod tests {
         // Kd = VDD/4π ≈ 0.398 — the paper's "0.4 V/rad".
         assert!((cfg.detector_gain() - 0.4).abs() < 0.005);
         let p = cfg.analysis().second_order().unwrap();
-        assert!((p.natural_frequency_hz() - 8.0).abs() < 0.05, "fn = {}", p.natural_frequency_hz());
+        assert!(
+            (p.natural_frequency_hz() - 8.0).abs() < 0.05,
+            "fn = {}",
+            p.natural_frequency_hz()
+        );
         assert!((p.damping - 0.43).abs() < 0.005, "zeta = {}", p.damping);
     }
 
@@ -287,20 +351,26 @@ mod tests {
         let cfg = PllConfig::paper_table3();
         let nominal = cfg.analysis().second_order().unwrap();
 
-        let weak_vco = cfg.with_fault(Fault::VcoGainScale(0.5));
+        let weak_vco = cfg.with_fault(Fault::VcoGainScale(0.5)).unwrap();
         let p = weak_vco.analysis().second_order().unwrap();
         // ωn scales with sqrt(K): 1/√2.
         assert!((p.omega_n / nominal.omega_n - 0.5f64.sqrt()).abs() < 0.01);
 
-        let small_r2 = cfg.with_fault(Fault::FilterR2Scale(0.1));
+        let small_r2 = cfg.with_fault(Fault::FilterR2Scale(0.1)).unwrap();
         let p2 = small_r2.analysis().second_order().unwrap();
-        assert!(p2.damping < 0.6 * nominal.damping, "zero weakened: {}", p2.damping);
+        assert!(
+            p2.damping < 0.6 * nominal.damping,
+            "zero weakened: {}",
+            p2.damping
+        );
     }
 
     #[test]
     fn leakage_fault_registers() {
         use pllbist_analog::fault::Fault;
-        let cfg = PllConfig::paper_table3().with_fault(Fault::FilterLeakage(1e6));
+        let cfg = PllConfig::paper_table3()
+            .with_fault(Fault::FilterLeakage(1e6))
+            .unwrap();
         match cfg.filter {
             FilterConfig::PassiveLag { r_leak, .. } => assert_eq!(r_leak, Some(1e6)),
             _ => unreachable!(),
@@ -308,21 +378,41 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not apply to a voltage-driven loop")]
-    fn inapplicable_fault_panics() {
+    fn inapplicable_fault_is_a_typed_error() {
         use pllbist_analog::fault::Fault;
-        let _ = PllConfig::paper_table3().with_fault(Fault::PumpMismatch(1.2));
+        let err = PllConfig::paper_table3()
+            .with_fault(Fault::PumpMismatch(1.2))
+            .unwrap_err();
+        assert_eq!(err, FaultWiringError::PumpFaultOnVoltageDrive);
+        assert!(err.to_string().contains("voltage-driven"));
+
+        let mut active = PllConfig::paper_table3();
+        active.filter = FilterConfig::ActivePi {
+            tau1: 1e-3,
+            tau2: 1e-4,
+        };
+        let err = active.with_fault(Fault::FilterR2Scale(0.5)).unwrap_err();
+        assert_eq!(
+            err,
+            FaultWiringError::FilterElementAbsent {
+                element: "R2",
+                filter: "active-PI",
+            }
+        );
+        assert!(err.to_string().contains("active-PI"), "{err}");
     }
 
     #[test]
     fn campaign_applies_cleanly_to_paper_config() {
         use pllbist_analog::fault::Fault;
         for fault in Fault::standard_campaign() {
-            if matches!(fault, Fault::PumpMismatch(_)) {
-                continue; // voltage-driven loop
+            match PllConfig::paper_table3().with_fault(fault) {
+                Ok(cfg) => {
+                    assert!(cfg.analysis().phase_transfer().is_stable(1e-12), "{fault}")
+                }
+                // The voltage-driven paper loop has no current pump.
+                Err(e) => assert_eq!(e, FaultWiringError::PumpFaultOnVoltageDrive, "{fault}"),
             }
-            let cfg = PllConfig::paper_table3().with_fault(fault);
-            assert!(cfg.analysis().phase_transfer().is_stable(1e-12), "{fault}");
         }
     }
 }

@@ -126,7 +126,10 @@ impl MixedSignalPll {
         let filter = config.build_filter();
         let mut filter_state = filter.initial_state();
         let vco = config.build_vco();
-        filter.preset_output(&mut filter_state, vco.control_for_frequency(config.f_vco_hz()));
+        filter.preset_output(
+            &mut filter_state,
+            vco.control_for_frequency(config.f_vco_hz()),
+        );
         let micro_dt = 0.125 / config.f_vco_hz();
         Self {
             config: config.clone(),
@@ -277,7 +280,8 @@ impl MixedSignalPll {
         self.vco_level = !self.vco_level;
         self.next_half += 1.0;
         let at = SimTime::from_secs_f64(self.t).max(self.circuit.now());
-        self.circuit.poke(self.nets.vco_out, Logic::from(self.vco_level), at);
+        self.circuit
+            .poke(self.nets.vco_out, Logic::from(self.vco_level), at);
         self.circuit.run_until(at);
     }
 

@@ -16,8 +16,10 @@
 //! Supporting modules: [`config`] (the PLL description and fault
 //! injection), [`linear`] (closed-loop transfer function, eq. 4/5/6 of the
 //! paper), [`stimulus`] (sine FM, two-tone and multi-tone FSK — fig. 4),
-//! and [`bench_measure`] (the fig. 3 bench-style measurement baseline that
-//! needs analogue node access).
+//! [`bench_measure`] (the fig. 3 bench-style measurement baseline that
+//! needs analogue node access), and [`parallel`] (the scoped-thread sweep
+//! executor behind the `threads` knobs — each modulation point is
+//! independent, so sweeps scale with cores).
 //!
 //! # Example
 //!
@@ -41,6 +43,7 @@ pub mod cosim;
 pub mod linear;
 pub mod lock;
 pub mod noise;
+pub mod parallel;
 pub mod stimulus;
 pub mod transient;
 

@@ -95,8 +95,7 @@ impl LoopAnalysis {
     /// The loop-error transfer function `θe/θi = 1 − H/N` (useful for
     /// tracking studies).
     pub fn error_transfer(&self) -> TransferFunction {
-        TransferFunction::gain(1.0)
-            .parallel(&self.feedback_transfer().scale(-1.0))
+        TransferFunction::gain(1.0).parallel(&self.feedback_transfer().scale(-1.0))
     }
 
     /// The **hold-referred** feedback response: what the hold-and-count
@@ -270,7 +269,10 @@ mod tests {
             200,
         )
         .expect("bandwidth bracketed");
-        assert!((sweep_bw - exact).abs() / exact < 0.01, "{sweep_bw} vs {exact}");
+        assert!(
+            (sweep_bw - exact).abs() / exact < 0.01,
+            "{sweep_bw} vs {exact}"
+        );
     }
 
     #[test]
@@ -328,10 +330,7 @@ mod tests {
     fn hold_referred_rolls_off_faster_than_full() {
         let a = paper();
         let w = 40.0 * std::f64::consts::TAU; // well past the zero
-        assert!(
-            a.hold_referred_transfer().magnitude(w)
-                < 0.5 * a.feedback_transfer().magnitude(w)
-        );
+        assert!(a.hold_referred_transfer().magnitude(w) < 0.5 * a.feedback_transfer().magnitude(w));
     }
 
     #[test]

@@ -48,7 +48,10 @@ impl LockDetector {
             window_secs > 0.0 && window_secs.is_finite(),
             "lock window must be positive"
         );
-        assert!(required_cycles >= 1, "at least one qualifying cycle required");
+        assert!(
+            required_cycles >= 1,
+            "at least one qualifying cycle required"
+        );
         Self {
             window_secs,
             required_cycles,

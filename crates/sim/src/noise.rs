@@ -5,11 +5,14 @@
 //! **edge jitter** at the two observation points of the loop — the
 //! reference input and the divided VCO output — which is how period
 //! jitter presents to the PFD and to every BIST block downstream of it.
-//! The generator is a small deterministic PRNG (xorshift + Box–Muller),
-//! so noisy runs are exactly reproducible from a seed.
+//! The generator is the workspace's deterministic PRNG
+//! ([`pllbist_testkit::rng::TestRng`]: SplitMix64-seeded xorshift128+
+//! with Box–Muller Gaussian sampling), so noisy runs are exactly
+//! reproducible from a seed — on every platform, forever: the generator
+//! is frozen in-tree rather than borrowed from a library that may change
+//! its stream between versions.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use pllbist_testkit::rng::TestRng;
 
 /// White Gaussian edge-jitter magnitudes.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -42,8 +45,7 @@ impl NoiseConfig {
 #[derive(Clone, Debug)]
 pub struct NoiseSource {
     config: NoiseConfig,
-    rng: SmallRng,
-    spare: Option<f64>,
+    rng: TestRng,
 }
 
 impl NoiseSource {
@@ -51,8 +53,7 @@ impl NoiseSource {
     pub fn new(config: NoiseConfig) -> Self {
         Self {
             config,
-            rng: SmallRng::seed_from_u64(config.seed),
-            spare: None,
+            rng: TestRng::seed_from_u64(config.seed),
         }
     }
 
@@ -61,30 +62,12 @@ impl NoiseSource {
         &self.config
     }
 
-    /// Standard normal deviate via Box–Muller (with the usual spare).
-    fn gaussian(&mut self) -> f64 {
-        if let Some(z) = self.spare.take() {
-            return z;
-        }
-        loop {
-            let u1: f64 = self.rng.gen::<f64>();
-            let u2: f64 = self.rng.gen::<f64>();
-            if u1 <= f64::MIN_POSITIVE {
-                continue;
-            }
-            let r = (-2.0 * u1.ln()).sqrt();
-            let theta = std::f64::consts::TAU * u2;
-            self.spare = Some(r * theta.sin());
-            return r * theta.cos();
-        }
-    }
-
     /// Jitters an observed reference-edge time.
     pub fn jitter_ref_edge(&mut self, t: f64) -> f64 {
         if self.config.ref_edge_jitter_rms == 0.0 {
             return t;
         }
-        t + self.gaussian() * self.config.ref_edge_jitter_rms
+        t + self.rng.gaussian() * self.config.ref_edge_jitter_rms
     }
 
     /// Jitters an observed feedback-edge time.
@@ -92,7 +75,7 @@ impl NoiseSource {
         if self.config.fb_edge_jitter_rms == 0.0 {
             return t;
         }
-        t + self.gaussian() * self.config.fb_edge_jitter_rms
+        t + self.rng.gaussian() * self.config.fb_edge_jitter_rms
     }
 }
 
@@ -139,6 +122,26 @@ mod tests {
         };
         assert_ne!(a, c);
     }
+
+    #[test]
+    fn jitter_sequence_is_pinned_to_the_documented_generator() {
+        // Regression: the jitter stream is a frozen function of the seed
+        // (xorshift128+ + Box–Muller as documented above). If this test
+        // fails, a PRNG change silently broke reproducibility of every
+        // recorded noisy experiment.
+        let mut src = NoiseSource::new(NoiseConfig::symmetric(1.0, 2003));
+        let got: Vec<f64> = (0..4).map(|_| src.jitter_ref_edge(0.0)).collect();
+        let mut rng = TestRng::seed_from_u64(2003);
+        let want: Vec<f64> = (0..4).map(|_| rng.gaussian()).collect();
+        assert_eq!(got, want);
+        // And the first deviate is byte-for-byte what it was when this
+        // test was written.
+        assert_eq!(got[0].to_bits(), EXPECTED_FIRST_DEVIATE_BITS);
+    }
+
+    /// `TestRng::seed_from_u64(2003).gaussian()`, captured at the time the
+    /// in-tree generator was introduced.
+    const EXPECTED_FIRST_DEVIATE_BITS: u64 = 0x3FCC_4DAF_EF15_0FB0;
 
     #[test]
     fn asymmetric_config() {

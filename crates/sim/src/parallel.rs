@@ -1,0 +1,159 @@
+//! A `std::thread`-based parallel sweep executor.
+//!
+//! The closed-loop |H(jω)| sweep (paper §4–§5) evaluates one independent
+//! FM modulation point per step — an embarrassingly parallel shape (the
+//! same one batched across parameter grids by the closed-form CP-PLL
+//! models of Kuznetsov et al.). This module provides the small,
+//! dependency-free executor the sweep paths share: scoped threads, one
+//! **contiguous chunk** of work items per worker, results reassembled in
+//! input order.
+//!
+//! Determinism contract: when the per-item function is a pure function of
+//! the item (as [`crate::bench_measure::measure_point`] is — it builds a
+//! fresh loop per point), the output vector is **bitwise identical** for
+//! every thread count, including `1`. Chunking only changes which worker
+//! computes an item, never the item's inputs.
+//!
+//! `threads` convention used across the workspace: `0` means "auto"
+//! (use [`available_parallelism`]), `1` forces the serial path (no
+//! threads spawned — useful both for debugging and for bit-exact
+//! reproduction of historical serial runs in the stateful monitor case),
+//! and any other value is an explicit worker count.
+
+/// The host's available parallelism (1 if it cannot be determined).
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Resolves a `threads` knob: `0` → [`available_parallelism`], anything
+/// else is taken literally.
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        available_parallelism()
+    } else {
+        threads
+    }
+}
+
+/// Maps `f` over `items` on up to `threads` workers (`0` = auto),
+/// returning results in input order.
+///
+/// Items are split into at most `threads` contiguous chunks; each worker
+/// owns one chunk. With one worker (or one item) no thread is spawned and
+/// the map runs inline on the caller's stack.
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_chunks(items, threads, |chunk| chunk.iter().map(&f).collect())
+}
+
+/// Chunk-granular variant of [`par_map`]: `f` receives each worker's
+/// whole contiguous chunk and returns that chunk's results (any length).
+///
+/// Use this when per-item work shares mutable state within a worker —
+/// e.g. the BIST monitor, which walks one simulated loop through a chunk
+/// of modulation frequencies in sweep order.
+pub fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&[T]) -> Vec<R> + Sync,
+{
+    let workers = resolve_threads(threads).max(1).min(items.len().max(1));
+    if workers <= 1 {
+        return f(items);
+    }
+    let chunk_len = items.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_zero_is_auto() {
+        assert_eq!(resolve_threads(0), available_parallelism());
+        assert_eq!(resolve_threads(1), 1);
+        assert_eq!(resolve_threads(7), 7);
+        assert!(available_parallelism() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let got = par_map(&items, threads, |&x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |&x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 4, |&x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn chunks_are_contiguous_and_cover_everything() {
+        let items: Vec<usize> = (0..10).collect();
+        let flat = par_map_chunks(&items, 3, |chunk| {
+            // Each worker sees a contiguous ascending run.
+            assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1));
+            chunk.to_vec()
+        });
+        assert_eq!(flat, items);
+    }
+
+    #[test]
+    fn chunk_results_may_differ_in_length() {
+        let items: Vec<u32> = (0..9).collect();
+        let flat = par_map_chunks(&items, 2, |chunk| {
+            chunk.iter().filter(|&&x| x % 2 == 0).copied().collect()
+        });
+        assert_eq!(flat, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn float_results_are_bitwise_stable_across_thread_counts() {
+        // The determinism contract the sweep paths rely on.
+        let items: Vec<f64> = (1..=25).map(|k| k as f64 * 0.1).collect();
+        let work = |&x: &f64| (x.sin() * x.exp()).sqrt().to_bits();
+        let serial = par_map(&items, 1, work);
+        for threads in [2, 4, 16] {
+            assert_eq!(
+                par_map(&items, threads, work),
+                serial,
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep worker panicked")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map(&items, 2, |&x| {
+            assert!(x < 6, "boom");
+            x
+        });
+    }
+}

@@ -134,7 +134,10 @@ impl FmStimulus {
         for &l in &levels {
             assert!(l.abs() < f_nominal_hz, "deviation must stay below f_nom");
         }
-        assert!(f_nominal_hz > 0.0 && f_mod_hz > 0.0, "frequencies must be positive");
+        assert!(
+            f_nominal_hz > 0.0 && f_mod_hz > 0.0,
+            "frequencies must be positive"
+        );
         Self {
             f_nominal_hz,
             f_mod_hz,
@@ -209,9 +212,7 @@ impl FmStimulus {
                 // ∫Δf·sin(2πfm·τ)dτ = Δf(1 − cos(2πfm·t))/(2πfm)
                 deviation_hz * (1.0 - (TAU * self.f_mod_hz * t).cos()) / (TAU * self.f_mod_hz)
             }
-            Kind::SinePm { amplitude_cycles } => {
-                amplitude_cycles * (TAU * self.f_mod_hz * t).sin()
-            }
+            Kind::SinePm { amplitude_cycles } => amplitude_cycles * (TAU * self.f_mod_hz * t).sin(),
             Kind::Constant { deviation_hz } => deviation_hz * t,
             Kind::Staircase { levels } => {
                 let n = levels.len() as f64;
@@ -311,7 +312,10 @@ impl FmStimulus {
 }
 
 fn validate(f_nom: f64, dev: f64, f_mod: f64) {
-    assert!(f_nom > 0.0 && f_nom.is_finite(), "f_nominal must be positive");
+    assert!(
+        f_nom > 0.0 && f_nom.is_finite(),
+        "f_nominal must be positive"
+    );
     assert!(f_mod > 0.0 && f_mod.is_finite(), "f_mod must be positive");
     assert!(
         dev != 0.0 && dev.abs() < f_nom,
@@ -386,7 +390,10 @@ mod tests {
                 let te = s.next_edge_after(t);
                 assert!(te > t);
                 let ph = s.phase_cycles(te);
-                assert!((ph - ph.round()).abs() < 1e-6, "edge lands on integer phase");
+                assert!(
+                    (ph - ph.round()).abs() < 1e-6,
+                    "edge lands on integer phase"
+                );
                 assert!(ph > prev_phase);
                 prev_phase = ph;
                 t = te;
@@ -415,7 +422,10 @@ mod tests {
         let fsk = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10);
         let tp = fsk.deviation_peak_time();
         // The staircase peaks where the sine does (within one dwell).
-        assert!((tp - 0.03125).abs() <= 0.5 / (8.0 * 10.0) + 1e-12, "tp={tp}");
+        assert!(
+            (tp - 0.03125).abs() <= 0.5 / (8.0 * 10.0) + 1e-12,
+            "tp={tp}"
+        );
         let d = fsk.deviation_at(tp);
         assert!((d - fsk.peak_deviation_hz()).abs() < 1e-9);
     }
@@ -444,10 +454,7 @@ mod tests {
             let t = 0.3 + k as f64 * 0.011;
             // cos(x) = sin(x + π/2): the FM deviation a quarter period later.
             let fm_shifted = fm.deviation_at(t + 0.25 / fm_mod);
-            assert!(
-                (pm.deviation_at(t) - fm_shifted).abs() < 1e-9,
-                "t = {t}"
-            );
+            assert!((pm.deviation_at(t) - fm_shifted).abs() < 1e-9, "t = {t}");
         }
         // Phase is the exact integral of the deviation (spot check).
         let t = 0.777;

@@ -125,7 +125,10 @@ pub fn ramp_response(config: &PllConfig, total_dev_hz: f64, ramp_secs: f64) -> R
         total_dev_hz > 0.0 && total_dev_hz.is_finite(),
         "deviation must be positive"
     );
-    assert!(ramp_secs > 0.0 && ramp_secs.is_finite(), "ramp time must be positive");
+    assert!(
+        ramp_secs > 0.0 && ramp_secs.is_finite(),
+        "ramp time must be positive"
+    );
     let mut pll = CpPll::new_locked(config);
     pll.advance_to(0.3);
     let t0 = pll.time();
@@ -167,7 +170,11 @@ mod tests {
             m.overshoot
         );
         // Peak time scales as ~π/(ωn√(1−ζ²)) = 69 ms.
-        assert!(m.peak_time > 0.02 && m.peak_time < 0.2, "tp {}", m.peak_time);
+        assert!(
+            m.peak_time > 0.02 && m.peak_time < 0.2,
+            "tp {}",
+            m.peak_time
+        );
         // 5 % settling within a few 1/(ζωn) = 46 ms units.
         assert!(
             m.settling_time > m.peak_time && m.settling_time < 0.6,

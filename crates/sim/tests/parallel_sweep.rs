@@ -1,0 +1,70 @@
+//! The parallel sweep executor must be a pure refactor of the serial
+//! sweep: every modulation point is measured on its own freshly built
+//! loop, so for ANY thread count the result vector is identical — same
+//! order, bitwise-equal floats.
+
+use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, BenchSettings};
+use pllbist_sim::config::PllConfig;
+
+fn quick_settings(threads: usize) -> BenchSettings {
+    BenchSettings {
+        settle_periods: 1.0,
+        measure_periods: 2.0,
+        samples_per_period: 32,
+        threads,
+        ..BenchSettings::default()
+    }
+}
+
+#[test]
+fn sweep_is_bitwise_identical_across_thread_counts() {
+    let cfg = PllConfig::paper_table3();
+    let tones = log_spaced(2.0, 30.0, 6);
+
+    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
+    let parallel = measure_sweep_points(&cfg, &tones, &quick_settings(4));
+
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            s.f_mod_hz.to_bits(),
+            p.f_mod_hz.to_bits(),
+            "tone order differs at {i}"
+        );
+        assert_eq!(
+            s.gain.to_bits(),
+            p.gain.to_bits(),
+            "gain differs at {i}: {} vs {}",
+            s.gain,
+            p.gain
+        );
+        assert_eq!(
+            s.phase.to_bits(),
+            p.phase.to_bits(),
+            "phase differs at {i}: {} vs {}",
+            s.phase,
+            p.phase
+        );
+    }
+}
+
+#[test]
+fn auto_thread_count_matches_serial_too() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [3.0, 8.0, 21.0];
+    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
+    let auto = measure_sweep_points(&cfg, &tones, &quick_settings(0));
+    for (s, a) in serial.iter().zip(&auto) {
+        assert_eq!(s.gain.to_bits(), a.gain.to_bits());
+        assert_eq!(s.phase.to_bits(), a.phase.to_bits());
+    }
+}
+
+#[test]
+fn more_threads_than_points_is_fine() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [5.0, 12.0];
+    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
+    let wide = measure_sweep_points(&cfg, &tones, &quick_settings(16));
+    assert_eq!(serial, wide);
+}

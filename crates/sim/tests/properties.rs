@@ -1,38 +1,30 @@
 //! Property-based tests on the simulation layer: stimulus phase algebra,
-//! engine invariants and linear-model consistency.
+//! engine invariants and linear-model consistency (on the in-tree
+//! `pllbist-testkit` harness).
 
 use pllbist_sim::behavioral::{CpPll, LoopEvent};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::lock::LockDetector;
 use pllbist_sim::noise::NoiseConfig;
 use pllbist_sim::stimulus::FmStimulus;
-use proptest::prelude::*;
+use pllbist_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check, Gen};
 
-fn stimulus_strategy() -> impl Strategy<Value = FmStimulus> {
-    (
-        100.0f64..5_000.0, // f_nominal
-        0.5f64..20.0,      // deviation (kept below f_nominal/5)
-        0.5f64..50.0,      // f_mod
-        prop_oneof![Just(0usize), Just(2), Just(3), Just(10)],
-    )
-        .prop_map(|(f_nom, dev, f_mod, steps)| {
-            let dev = dev.min(f_nom / 5.0);
-            match steps {
-                0 => FmStimulus::pure_sine(f_nom, dev, f_mod),
-                2 => FmStimulus::two_tone(f_nom, dev, f_mod),
-                s => FmStimulus::multi_tone(f_nom, dev, f_mod, s),
-            }
-        })
+fn any_stimulus(g: &mut Gen) -> FmStimulus {
+    let f_nom = g.f64_range(100.0, 5_000.0);
+    let dev = g.f64_range(0.5, 20.0).min(f_nom / 5.0);
+    let f_mod = g.f64_range(0.5, 50.0);
+    match g.pick(&[0usize, 2, 3, 10]) {
+        0 => FmStimulus::pure_sine(f_nom, dev, f_mod),
+        2 => FmStimulus::two_tone(f_nom, dev, f_mod),
+        s => FmStimulus::multi_tone(f_nom, dev, f_mod, s),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn stimulus_phase_is_monotone_and_consistent(
-        stim in stimulus_strategy(),
-        t0 in 0.0f64..2.0,
-    ) {
+#[test]
+fn stimulus_phase_is_monotone_and_consistent() {
+    prop_check!(cases: 48, |g| {
+        let stim = any_stimulus(g);
+        let t0 = g.f64_range(0.0, 2.0);
         // Phase increases; its slope stays inside the deviation bounds.
         let dt = 1e-4;
         let p0 = stim.phase_cycles(t0);
@@ -42,13 +34,15 @@ proptest! {
         let f_lo = stim.f_nominal_hz() - stim.peak_deviation_hz() - 1e-6;
         let f_hi = stim.f_nominal_hz() + stim.peak_deviation_hz() + 1e-6;
         prop_assert!(f_avg >= f_lo && f_avg <= f_hi, "{f_avg} not in [{f_lo},{f_hi}]");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn stimulus_edges_land_on_integer_phase(
-        stim in stimulus_strategy(),
-        t0 in 0.0f64..1.0,
-    ) {
+#[test]
+fn stimulus_edges_land_on_integer_phase() {
+    prop_check!(cases: 48, |g| {
+        let stim = any_stimulus(g);
+        let t0 = g.f64_range(0.0, 1.0);
         let mut t = t0;
         let mut prev = t0;
         for _ in 0..10 {
@@ -58,12 +52,14 @@ proptest! {
             prop_assert!((ph - ph.round()).abs() < 1e-5, "phase {ph} at {t}");
             prev = t;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn edge_count_matches_phase_advance(
-        stim in stimulus_strategy(),
-    ) {
+#[test]
+fn edge_count_matches_phase_advance() {
+    prop_check!(cases: 48, |g| {
+        let stim = any_stimulus(g);
         // Count edges over ~20 nominal periods; must equal the floor
         // difference of the phase function (±1 boundary effect).
         let t_end = 20.0 / stim.f_nominal_hz();
@@ -77,12 +73,14 @@ proptest! {
         }
         let expect = stim.phase_cycles(t_end).floor() as i64;
         prop_assert!((count - expect).abs() <= 1, "{count} vs {expect}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn locked_loop_mean_frequency_follows_any_constant_offset(
-        dev in -8.0f64..8.0,
-    ) {
+#[test]
+fn locked_loop_mean_frequency_follows_any_constant_offset() {
+    prop_check!(cases: 48, |g| {
+        let dev = g.f64_range(-8.0, 8.0);
         prop_assume!(dev.abs() > 0.5);
         let cfg = PllConfig::paper_table3();
         let mut pll = CpPll::new_locked(&cfg);
@@ -91,13 +89,15 @@ proptest! {
         let f = pll.average_frequency_hz(0.1);
         let want = 5.0 * (1_000.0 + dev);
         prop_assert!((f - want).abs() < 1.5, "f {f}, want {want}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn vco_phase_never_decreases(
-        dev in 1.0f64..10.0,
-        f_mod in 1.0f64..20.0,
-    ) {
+#[test]
+fn vco_phase_never_decreases() {
+    prop_check!(cases: 48, |g| {
+        let dev = g.f64_range(1.0, 10.0);
+        let f_mod = g.f64_range(1.0, 20.0);
         let cfg = PllConfig::paper_table3();
         let mut pll = CpPll::new_locked(&cfg);
         pll.set_stimulus(FmStimulus::pure_sine(cfg.f_ref_hz, dev, f_mod));
@@ -108,12 +108,14 @@ proptest! {
             prop_assert!(now >= prev);
             prev = now;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hold_is_exact_for_any_engage_time(
-        t_hold in 0.2f64..1.5,
-    ) {
+#[test]
+fn hold_is_exact_for_any_engage_time() {
+    prop_check!(cases: 48, |g| {
+        let t_hold = g.f64_range(0.2, 1.5);
         let cfg = PllConfig::paper_table3();
         let mut pll = CpPll::new_locked(&cfg);
         pll.set_stimulus(FmStimulus::pure_sine(cfg.f_ref_hz, 10.0, 4.0));
@@ -122,25 +124,29 @@ proptest! {
         let f0 = pll.vco_frequency_hz();
         pll.advance_to(t_hold + 1.0);
         prop_assert!((pll.vco_frequency_hz() - f0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn linear_model_dc_gain_is_divider_ratio(
-        n in 2u32..40,
-        vdd in 3.0f64..12.0,
-    ) {
+#[test]
+fn linear_model_dc_gain_is_divider_ratio() {
+    prop_check!(cases: 48, |g| {
+        let n = g.u32_range(2, 40);
+        let vdd = g.f64_range(3.0, 12.0);
         let mut cfg = PllConfig::paper_table3();
         cfg.divider_n = n;
         cfg.drive = pllbist_sim::config::DriveConfig::Voltage { vdd };
         let a = cfg.analysis();
         prop_assert!((a.phase_transfer().dc_gain() - n as f64).abs() < 1e-6);
         prop_assert!((a.feedback_transfer().dc_gain() - 1.0).abs() < 1e-9);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn eq5_eq6_scaling_laws(
-        scale_k in 0.25f64..4.0,
-    ) {
+#[test]
+fn eq5_eq6_scaling_laws() {
+    prop_check!(cases: 48, |g| {
+        let scale_k = g.f64_range(0.25, 4.0);
         // ωn scales as √K, ζ (high-gain) as √K too via the ωn factor.
         let base = PllConfig::paper_table3();
         let mut scaled = base.clone();
@@ -153,13 +159,15 @@ proptest! {
             "ωn ratio {} vs {want_ratio}",
             p1.omega_n / p0.omega_n
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn lock_declared_after_exactly_required_pairs(
-        skew_us in 1.0f64..40.0,
-        required in 1u32..20,
-    ) {
+#[test]
+fn lock_declared_after_exactly_required_pairs() {
+    prop_check!(cases: 48, |g| {
+        let skew_us = g.f64_range(1.0, 40.0);
+        let required = g.u32_range(1, 20);
         let mut det = LockDetector::new(50e-6, required);
         let mut declared = None;
         for k in 0..(required + 5) {
@@ -170,13 +178,15 @@ proptest! {
             }
         }
         prop_assert_eq!(declared, Some(required), "skew {} µs", skew_us);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn jittered_reference_edges_stay_strictly_ordered(
-        rms_us in 1.0f64..300.0,
-        seed in 0u64..1_000,
-    ) {
+#[test]
+fn jittered_reference_edges_stay_strictly_ordered() {
+    prop_check!(cases: 48, |g| {
+        let rms_us = g.f64_range(1.0, 300.0);
+        let seed = g.u64_range(0, 1_000);
         // Even gross jitter (clamped at ±45 % of the period internally)
         // must never reorder or duplicate reference edges.
         let cfg = PllConfig::paper_table3();
@@ -201,12 +211,14 @@ proptest! {
             prop_assert!(w[1] > w[0], "reordered: {} then {}", w[0], w[1]);
             prop_assert!(w[1] - w[0] < 2.5e-3, "gap {}", w[1] - w[0]);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn step_response_is_linear_in_step_size(
-        dev in 1.0f64..9.0,
-    ) {
+#[test]
+fn step_response_is_linear_in_step_size() {
+    prop_check!(cases: 48, |g| {
+        let dev = g.f64_range(1.0, 9.0);
         // In the linear regime the normalised step metrics are invariant
         // to step size: overshoot fraction and peak time must match the
         // 4 Hz reference case. (Large gains can excite feed-through limit
@@ -228,16 +240,19 @@ proptest! {
             a.peak_time,
             b.peak_time
         );
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hold_referred_never_exceeds_full_response(
-        w in 1.0f64..2_000.0,
-    ) {
+#[test]
+fn hold_referred_never_exceeds_full_response() {
+    prop_check!(cases: 48, |g| {
+        let w = g.f64_range(1.0, 2_000.0);
         // |H_hold| = |H|/|1+jωτ2| ≤ |H| at every frequency.
         let a = PllConfig::paper_table3().analysis();
         let full = a.feedback_transfer().magnitude(w);
         let hold = a.hold_referred_transfer().magnitude(w);
         prop_assert!(hold <= full + 1e-12, "{hold} > {full} at ω={w}");
-    }
+        Ok(())
+    });
 }

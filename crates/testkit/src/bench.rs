@@ -1,0 +1,383 @@
+//! A wall-clock benchmark harness (the workspace's `criterion`
+//! replacement).
+//!
+//! Usage from a `harness = false` bench target:
+//!
+//! ```no_run
+//! use pllbist_testkit::bench::Bench;
+//!
+//! fn main() {
+//!     let mut c = Bench::from_args();
+//!     c.bench_function("hot_path", |b| b.iter(|| 2u64.pow(10)));
+//!     c.finish();
+//! }
+//! ```
+//!
+//! Methodology: each benchmark is warmed up for a fixed wall-clock
+//! budget, the per-iteration cost estimated from the warmup picks a batch
+//! size such that one sample is long enough to time reliably (≥ ~1 ms),
+//! and `sample_size` batches are timed. Reported statistics are the
+//! **median** per-iteration time and the **MAD** (median absolute
+//! deviation) — both robust against the occasional scheduler hiccup that
+//! makes means useless on shared machines.
+//!
+//! Environment knobs: `PLLBIST_BENCH_SAMPLES` (samples per benchmark),
+//! `PLLBIST_BENCH_WARMUP_MS` (warmup budget). A positional command-line
+//! argument filters benchmarks by substring (flags such as `--bench`
+//! passed by cargo are ignored).
+
+use std::time::{Duration, Instant};
+
+/// Batch-size hint for [`Bencher::iter_batched`] (API parity with
+/// criterion; the harness treats both the same).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Setup output is small; batches may be large.
+    SmallInput,
+    /// Setup output is large; keep batches small.
+    LargeInput,
+}
+
+/// One benchmark's robust statistics, in seconds per iteration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchStats {
+    /// Benchmark name (group path included).
+    pub name: String,
+    /// Median per-iteration time.
+    pub median_secs: f64,
+    /// Median absolute deviation of the per-iteration times.
+    pub mad_secs: f64,
+    /// Fastest sample.
+    pub min_secs: f64,
+    /// Samples taken.
+    pub samples: usize,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+/// The per-benchmark driver handed to the closure.
+pub struct Bencher {
+    sample_size: usize,
+    warmup: Duration,
+    /// Per-iteration seconds, one entry per sample.
+    samples: Vec<f64>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize, warmup: Duration) -> Self {
+        Self {
+            sample_size,
+            warmup,
+            samples: Vec::new(),
+            iters_per_sample: 0,
+        }
+    }
+
+    /// Times `routine` (called in auto-sized batches).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup and per-iteration cost estimate.
+        let warmup_started = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_started.elapsed() < self.warmup {
+            std::hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let est_iter_secs = warmup_started.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        // One sample should take ≥ ~1 ms so Instant resolution is noise-free.
+        let batch = ((1e-3 / est_iter_secs.max(1e-12)).ceil() as u64).max(1);
+        self.iters_per_sample = batch;
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let started = Instant::now();
+                for _ in 0..batch {
+                    std::hint::black_box(routine());
+                }
+                started.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+    }
+
+    /// Times `routine` on fresh values from `setup` (setup excluded from
+    /// the measurement; one setup per iteration).
+    pub fn iter_batched<S, R>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+        _size: BatchSize,
+    ) {
+        // Warmup.
+        let warmup_started = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        let mut routine_secs = 0.0;
+        while warmup_started.elapsed() < self.warmup {
+            let input = setup();
+            let started = Instant::now();
+            std::hint::black_box(routine(input));
+            routine_secs += started.elapsed().as_secs_f64();
+            warmup_iters += 1;
+        }
+        let est_iter_secs = routine_secs / warmup_iters.max(1) as f64;
+        let batch = ((1e-3 / est_iter_secs.max(1e-12)).ceil() as u64).max(1);
+        self.iters_per_sample = batch;
+        self.samples = (0..self.sample_size)
+            .map(|_| {
+                let inputs: Vec<S> = (0..batch).map(|_| setup()).collect();
+                let started = Instant::now();
+                for input in inputs {
+                    std::hint::black_box(routine(input));
+                }
+                started.elapsed().as_secs_f64() / batch as f64
+            })
+            .collect();
+    }
+}
+
+/// The top-level harness: owns the filter, defaults and result table.
+pub struct Bench {
+    filter: Option<String>,
+    sample_size: usize,
+    warmup: Duration,
+    results: Vec<BenchStats>,
+}
+
+impl Default for Bench {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Bench {
+    /// A harness with default settings (20 samples, 200 ms warmup),
+    /// honouring the environment knobs.
+    pub fn new() -> Self {
+        let sample_size = std::env::var("PLLBIST_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20)
+            .max(3);
+        let warmup_ms = std::env::var("PLLBIST_BENCH_WARMUP_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200u64);
+        Self {
+            filter: None,
+            sample_size,
+            warmup: Duration::from_millis(warmup_ms),
+            results: Vec::new(),
+        }
+    }
+
+    /// Like [`Bench::new`], plus a name filter from the first
+    /// non-flag command-line argument (cargo's own `--bench` flag and
+    /// friends are skipped).
+    pub fn from_args() -> Self {
+        let mut harness = Self::new();
+        harness.filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        harness
+    }
+
+    /// Runs one benchmark (unless filtered out) and prints its line.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(self.sample_size, self.warmup);
+        f(&mut bencher);
+        let stats = summarize(name, &bencher);
+        println!("{}", format_stats(&stats));
+        self.results.push(stats);
+    }
+
+    /// Opens a named group (names become `group/bench`); the group can
+    /// override the sample size.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchGroup<'_> {
+        BenchGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            harness: self,
+        }
+    }
+
+    /// All statistics collected so far.
+    pub fn results(&self) -> &[BenchStats] {
+        &self.results
+    }
+
+    /// Prints the closing summary line.
+    pub fn finish(&self) {
+        println!(
+            "— {} benchmark{} done —",
+            self.results.len(),
+            if self.results.len() == 1 { "" } else { "s" }
+        );
+    }
+}
+
+/// A named sub-group of benchmarks with its own sample size.
+pub struct BenchGroup<'a> {
+    harness: &'a mut Bench,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchGroup<'_> {
+    /// Overrides the number of samples for this group (criterion calls
+    /// this `sample_size`; minimum 3).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        let warmup = self.harness.warmup;
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher::new(sample_size, warmup);
+        f(&mut bencher);
+        let stats = summarize(&full, &bencher);
+        println!("{}", format_stats(&stats));
+        self.harness.results.push(stats);
+    }
+
+    /// Ends the group (explicit for criterion API parity; dropping the
+    /// group works too).
+    pub fn finish(self) {}
+}
+
+fn summarize(name: &str, bencher: &Bencher) -> BenchStats {
+    let (median, mad) = median_mad(&bencher.samples);
+    let min = bencher
+        .samples
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    BenchStats {
+        name: name.to_string(),
+        median_secs: median,
+        mad_secs: mad,
+        min_secs: if min.is_finite() { min } else { 0.0 },
+        samples: bencher.samples.len(),
+        iters_per_sample: bencher.iters_per_sample,
+    }
+}
+
+/// Median and median-absolute-deviation of a sample set (0.0 for empty
+/// input).
+pub fn median_mad(samples: &[f64]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let median = median_of(samples);
+    let deviations: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    (median, median_of(&deviations))
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Scales a duration in seconds to an engineering-unit string.
+pub fn format_secs(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+fn format_stats(stats: &BenchStats) -> String {
+    format!(
+        "{:<40} median {:>12}  MAD {:>12}  ({} samples × {} iters)",
+        stats.name,
+        format_secs(stats.median_secs),
+        format_secs(stats.mad_secs),
+        stats.samples,
+        stats.iters_per_sample
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_and_mad_odd_even() {
+        let (m, d) = median_mad(&[1.0, 3.0, 2.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(d, 1.0);
+        let (m, _) = median_mad(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m, 2.5);
+        assert_eq!(median_mad(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher::new(5, Duration::from_millis(5));
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(1);
+            acc
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.iters_per_sample >= 1);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(4, Duration::from_millis(5));
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn harness_runs_and_filters() {
+        std::env::set_var("PLLBIST_BENCH_WARMUP_MS", "2");
+        std::env::set_var("PLLBIST_BENCH_SAMPLES", "3");
+        let mut c = Bench::new();
+        c.filter = Some("keep".into());
+        c.bench_function("keep_me", |b| b.iter(|| 1 + 1));
+        c.bench_function("drop_me", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(3);
+        group.bench_function("keep_too", |b| b.iter(|| 2 + 2));
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].name, "keep_me");
+        assert_eq!(c.results()[1].name, "grp/keep_too");
+        std::env::remove_var("PLLBIST_BENCH_WARMUP_MS");
+        std::env::remove_var("PLLBIST_BENCH_SAMPLES");
+    }
+
+    #[test]
+    fn formatting_units() {
+        assert_eq!(format_secs(2.5), "2.500 s");
+        assert_eq!(format_secs(2.5e-3), "2.500 ms");
+        assert_eq!(format_secs(2.5e-6), "2.500 µs");
+        assert_eq!(format_secs(2.5e-9), "2.5 ns");
+    }
+}

@@ -1,0 +1,30 @@
+//! Zero-dependency test substrate for the pllbist workspace.
+//!
+//! The workspace must build and test **hermetically** — no registry
+//! access, no vendored third-party code — so the three external crates a
+//! Rust test bench usually leans on are reimplemented here at the scale
+//! this project actually needs:
+//!
+//! * [`rng`] — a deterministic [`rng::TestRng`] (SplitMix64 seeding into
+//!   xorshift128+, Box–Muller Gaussian sampling) replacing `rand`. The
+//!   same seed yields the same sequence on every platform and every run,
+//!   which is a hard requirement for reproducible noisy simulations.
+//! * [`prop`] — a seeded property-testing harness replacing `proptest`:
+//!   the [`prop_check!`] macro runs a closure over deterministically
+//!   generated cases and reports the failing case index, seed and message
+//!   (no shrinking — the generators are simple enough that the raw case
+//!   is readable).
+//! * [`bench`] — a wall-clock benchmark timer replacing `criterion`:
+//!   warmup, auto-scaled batching, and robust per-iteration statistics
+//!   (median and MAD) printed in a stable one-line-per-bench format.
+//!
+//! Everything is plain `std`; there are no features, no build scripts and
+//! no dependencies, so `cargo build --offline` always works.
+
+pub mod bench;
+pub mod prop;
+pub mod rng;
+
+pub use bench::{BatchSize, Bench, Bencher};
+pub use prop::{CaseError, CaseResult, Gen, PropConfig};
+pub use rng::{SplitMix64, TestRng};

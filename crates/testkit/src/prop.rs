@@ -1,0 +1,365 @@
+//! A minimal seeded property-testing harness.
+//!
+//! The [`prop_check!`] macro runs a closure over `cases` deterministically
+//! generated inputs. Each case gets a fresh [`Gen`] (a [`TestRng`] plus
+//! convenience generators); assertions inside the closure use
+//! [`prop_assert!`] / [`prop_assert_eq!`], and preconditions use
+//! [`prop_assume!`] (a discarded case is retried with the next derived
+//! seed, up to a discard budget). There is **no shrinking**: on failure
+//! the harness panics with the case index, the exact case seed and the
+//! assertion message, which is enough to replay the case under a debugger
+//! via `PLLBIST_PROP_SEED`.
+//!
+//! Environment knobs:
+//!
+//! * `PLLBIST_PROP_CASES` — overrides the case count (e.g. `10000` for a
+//!   soak run).
+//! * `PLLBIST_PROP_SEED` — overrides the base seed (printed on failure),
+//!   replaying the exact failing sequence.
+//!
+//! # Example
+//!
+//! ```
+//! use pllbist_testkit::{prop_assert, prop_check};
+//!
+//! prop_check!(cases: 64, |g| {
+//!     let x = g.f64_range(-100.0, 100.0);
+//!     prop_assert!((x.abs()).sqrt() >= 0.0, "sqrt of |{x}|");
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{SplitMix64, TestRng};
+
+/// Why a single case did not pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseError {
+    /// Precondition not met (`prop_assume!`); the case is retried.
+    Discard,
+    /// Assertion failed; the whole property fails.
+    Fail(String),
+}
+
+/// The result of one property case.
+pub type CaseResult = Result<(), CaseError>;
+
+/// Harness configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PropConfig {
+    /// Cases that must pass.
+    pub cases: usize,
+    /// Base seed; every case seed derives from it.
+    pub seed: u64,
+    /// Maximum discarded cases per accepted case before the property
+    /// errors out (a generator/assume mismatch, not a real failure).
+    pub max_discard_ratio: usize,
+}
+
+impl PropConfig {
+    /// A configuration with the given case count and seed, honouring the
+    /// `PLLBIST_PROP_CASES` / `PLLBIST_PROP_SEED` environment overrides.
+    pub fn new(cases: usize, seed: u64) -> Self {
+        let cases = std::env::var("PLLBIST_PROP_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(cases);
+        let seed = std::env::var("PLLBIST_PROP_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(seed);
+        Self {
+            cases,
+            seed,
+            max_discard_ratio: 20,
+        }
+    }
+}
+
+/// Per-case value source handed to the property closure.
+#[derive(Clone, Debug)]
+pub struct Gen {
+    rng: TestRng,
+    /// Zero-based index of the case being generated.
+    pub case: usize,
+}
+
+impl Gen {
+    /// A generator for one case (normally constructed by the harness).
+    pub fn new(case_seed: u64, case: usize) -> Self {
+        Self {
+            rng: TestRng::seed_from_u64(case_seed),
+            case,
+        }
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.f64_range(lo, hi)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.u64_range(lo, hi)
+    }
+
+    /// Uniform `u32` in `[lo, hi)`.
+    pub fn u32_range(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.u64_range(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.usize_range(lo, hi)
+    }
+
+    /// A fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_bool()
+    }
+
+    /// Uniform choice from a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty slice.
+    pub fn pick<T: Copy>(&mut self, options: &[T]) -> T {
+        assert!(!options.is_empty(), "pick from empty slice");
+        options[self.rng.usize_range(0, options.len())]
+    }
+
+    /// A `Vec<f64>` of uniform values in `[lo, hi)` with a length drawn
+    /// uniformly from `[len_lo, len_hi]`.
+    pub fn vec_f64(&mut self, lo: f64, hi: f64, len_lo: usize, len_hi: usize) -> Vec<f64> {
+        let len = self.rng.usize_range(len_lo, len_hi + 1);
+        (0..len).map(|_| self.rng.f64_range(lo, hi)).collect()
+    }
+
+    /// Direct access to the underlying PRNG for bespoke generation.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
+
+/// Runs a property: `cases` accepted cases must return `Ok(())`.
+///
+/// Prefer the [`prop_check!`] macro, which fills in `name` and derives a
+/// stable per-call-site seed.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// or when the discard budget is exhausted.
+pub fn run_prop<F>(name: &str, config: PropConfig, mut property: F)
+where
+    F: FnMut(&mut Gen) -> CaseResult,
+{
+    let mut seeds = SplitMix64::new(config.seed);
+    let max_discards = config.max_discard_ratio * config.cases.max(1);
+    let mut discards = 0usize;
+    let mut accepted = 0usize;
+    while accepted < config.cases {
+        let case_seed = seeds.next_u64();
+        let mut gen = Gen::new(case_seed, accepted);
+        match property(&mut gen) {
+            Ok(()) => accepted += 1,
+            Err(CaseError::Discard) => {
+                discards += 1;
+                if discards > max_discards {
+                    panic!(
+                        "property {name}: {discards} discards for {accepted} accepted cases \
+                         (base seed {seed}); the prop_assume! precondition is too narrow",
+                        seed = config.seed
+                    );
+                }
+            }
+            Err(CaseError::Fail(message)) => {
+                panic!(
+                    "property {name} failed at case {accepted} (case seed {case_seed}, base seed \
+                     {seed}, {cases} cases)\n  {message}\n  replay: \
+                     PLLBIST_PROP_SEED={seed} cargo test",
+                    seed = config.seed,
+                    cases = config.cases
+                );
+            }
+        }
+    }
+}
+
+/// Derives a stable base seed from a call-site string (FNV-1a).
+pub fn site_seed(site: &str) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325u64;
+    for byte in site.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Runs a seeded property over generated cases.
+///
+/// `prop_check!(cases: N, |g| { ... Ok(()) })` or `prop_check!(|g| ...)`
+/// (256 cases). The closure receives `&mut Gen` and returns
+/// [`CaseResult`]; use [`prop_assert!`] / [`prop_assert_eq!`] /
+/// [`prop_assume!`] inside.
+#[macro_export]
+macro_rules! prop_check {
+    (cases: $cases:expr, $property:expr) => {{
+        const SITE: &str = concat!(file!(), ":", line!());
+        $crate::prop::run_prop(
+            SITE,
+            $crate::prop::PropConfig::new($cases as usize, $crate::prop::site_seed(SITE)),
+            $property,
+        )
+    }};
+    ($property:expr) => {
+        $crate::prop_check!(cases: 256, $property)
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt {}", args…)` — fails
+/// the current case with the stringified condition or the message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {}\n  {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// `prop_assert_eq!(left, right)` with optional trailing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::prop::CaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left:  {:?}\n  right: {:?}\n  {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)` — discards the case (retried with a new seed)
+/// when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::prop::CaseError::Discard);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0;
+        run_prop("t", PropConfig::new(50, 1), |g| {
+            let x = g.f64_range(0.0, 1.0);
+            count += 1;
+            if (0.0..1.0).contains(&x) {
+                Ok(())
+            } else {
+                Err(CaseError::Fail("out of range".into()))
+            }
+        });
+        assert_eq!(count, 50);
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_seed() {
+        let collect = |seed| {
+            let mut vals = Vec::new();
+            run_prop("t", PropConfig::new(10, seed), |g| {
+                vals.push(g.u64_range(0, 1_000_000));
+                Ok(())
+            });
+            vals
+        };
+        assert_eq!(collect(7), collect(7));
+        assert_ne!(collect(7), collect(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_reports_case() {
+        run_prop("t", PropConfig::new(20, 3), |g| {
+            let x = g.u64_range(0, 10);
+            prop_assert!(x < 9, "x = {x}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn discards_are_retried() {
+        let mut accepted = 0;
+        run_prop("t", PropConfig::new(30, 5), |g| {
+            let x = g.u64_range(0, 4);
+            prop_assume!(x != 0); // ~25 % discard rate
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "too narrow")]
+    fn discard_budget_is_enforced() {
+        run_prop("t", PropConfig::new(5, 5), |_g| Err(CaseError::Discard));
+    }
+
+    #[test]
+    fn prop_assert_eq_formats_both_sides() {
+        let result = std::panic::catch_unwind(|| {
+            run_prop("t", PropConfig::new(1, 0), |_g| {
+                prop_assert_eq!(1 + 1, 3, "math {}", "check");
+                Ok(())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("left:  2") && msg.contains("right: 3"),
+            "{msg}"
+        );
+        assert!(msg.contains("math check"), "{msg}");
+    }
+
+    #[test]
+    fn site_seed_is_stable_and_distinct() {
+        assert_eq!(site_seed("a.rs:1"), site_seed("a.rs:1"));
+        assert_ne!(site_seed("a.rs:1"), site_seed("a.rs:2"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Deterministic pseudo-random numbers: SplitMix64 stream seeding,
+//! xorshift128+ generation, Box–Muller Gaussian sampling.
+//!
+//! The generators are the well-known public-domain constructions
+//! (Steele/Lea/Flood's SplitMix64; Vigna's xorshift128+), chosen because
+//! they are tiny, fast, and — unlike library PRNGs — frozen: a seed
+//! recorded in a test or an EXPERIMENTS.md entry reproduces the same
+//! sequence forever.
+
+/// SplitMix64: a 64-bit mixing generator.
+///
+/// Used directly for short derived-seed streams (one value per property
+/// case) and to expand a single `u64` seed into the xorshift state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates the generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// The next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace test PRNG: xorshift128+ seeded through SplitMix64, with
+/// a Box–Muller Gaussian tap.
+///
+/// Not cryptographic — it exists to make noisy simulations and property
+/// cases exactly reproducible from a logged `u64` seed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TestRng {
+    s0: u64,
+    s1: u64,
+    /// Spare deviate from the last Box–Muller pair.
+    spare: Option<f64>,
+}
+
+impl TestRng {
+    /// Expands a 64-bit seed into the full state (any seed is fine,
+    /// including zero — SplitMix64 never produces the all-zero state
+    /// twice in a row).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut mix = SplitMix64::new(seed);
+        let s0 = mix.next_u64();
+        let mut s1 = mix.next_u64();
+        if s0 == 0 && s1 == 0 {
+            s1 = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self {
+            s0,
+            s1,
+            spare: None,
+        }
+    }
+
+    /// The next 64-bit value (xorshift128+).
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.s0;
+        let y = self.s1;
+        self.s0 = y;
+        x ^= x << 23;
+        self.s1 = x ^ y ^ (x >> 17) ^ (y >> 26);
+        self.s1.wrapping_add(y)
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are not finite or `lo >= hi`.
+    pub fn f64_range(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range [{lo}, {hi})"
+        );
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform `u64` in `[lo, hi)` (half-open, mirroring `lo..hi`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "bad range [{lo}, {hi})");
+        let span = hi - lo;
+        // Multiply-shift bounded generation (Lemire, without the
+        // rejection refinement — bias is < 2⁻⁶⁴·span, irrelevant here).
+        let wide = (self.next_u64() as u128) * (span as u128);
+        lo + (wide >> 64) as u64
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_range(&mut self, lo: usize, hi: usize) -> usize {
+        self.u64_range(lo as u64, hi as u64) as usize
+    }
+
+    /// A fair coin.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Standard normal deviate via Box–Muller (the spare from each pair
+    /// is kept for the next call).
+    pub fn gaussian(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        loop {
+            let u1 = self.next_f64();
+            let u2 = self.next_f64();
+            if u1 <= f64::MIN_POSITIVE {
+                continue;
+            }
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = std::f64::consts::TAU * u2;
+            self.spare = Some(r * theta.sin());
+            return r * theta.cos();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // First outputs for seed 1234567 from the published reference
+        // implementation (pinned so the algorithm can never drift).
+        let mut g = SplitMix64::new(1234567);
+        assert_eq!(g.next_u64(), 0x599E_D017_FB08_FC85);
+        assert_eq!(g.next_u64(), 0x2C73_F084_5854_0FA5);
+        assert_eq!(g.next_u64(), 0x883E_BCE5_A3F2_7C77);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = TestRng::seed_from_u64(42);
+        let mut b = TestRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = TestRng::seed_from_u64(43);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| c.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn unit_interval_bounds_and_mean() {
+        let mut rng = TestRng::seed_from_u64(7);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn ranged_integers_cover_and_stay_inside() {
+        let mut rng = TestRng::seed_from_u64(11);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.u64_range(5, 15);
+            assert!((5..15).contains(&v));
+            seen[(v - 5) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values hit: {seen:?}");
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut rng = TestRng::seed_from_u64(99);
+        let n = 100_000;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gaussian()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = TestRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert!(a != 0 || b != 0);
+    }
+}

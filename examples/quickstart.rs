@@ -18,20 +18,24 @@ fn main() {
     let config = PllConfig::paper_table3();
     let analysis = config.analysis();
     let design = analysis.second_order().expect("second-order loop");
-    println!("DUT: fn = {:.2} Hz, ζ = {:.3} (by design, eqs. 5-6)",
-        design.natural_frequency_hz(), design.damping);
+    println!(
+        "DUT: fn = {:.2} Hz, ζ = {:.3} (by design, eqs. 5-6)",
+        design.natural_frequency_hz(),
+        design.damping
+    );
 
     // 2. The test plan: ten-step multi-tone FSK through the DCO path,
     //    ±10 Hz deviation, hold-and-count capture, 1 MHz test clock.
     let mut settings = MonitorSettings::fast();
-    settings.mod_frequencies_hz =
-        pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 9);
+    settings.mod_frequencies_hz = pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 9);
     let monitor = TransferFunctionMonitor::new(settings);
 
     // 3. Run the sweep. No analogue node is touched: edges, counters and
     //    the loop-break mux only.
-    println!("\nrunning BIST sweep ({} tones)...",
-        monitor.settings().mod_frequencies_hz.len());
+    println!(
+        "\nrunning BIST sweep ({} tones)...",
+        monitor.settings().mod_frequencies_hz.len()
+    );
     let result = monitor.measure(&config);
 
     println!("\n f_mod (Hz) | ΔF (Hz)  | A_F (dB) | phase (deg)");
@@ -50,10 +54,12 @@ fn main() {
     // 4. Extract parameters from the measured plot (hold readout ⇒
     //    no-zero response family) and judge.
     let estimate = result.estimate();
-    println!("\nmeasured: fn = {:.2} Hz, ζ = {:.3}, f3dB = {:.2} Hz",
+    println!(
+        "\nmeasured: fn = {:.2} Hz, ζ = {:.3}, f3dB = {:.2} Hz",
         estimate.natural_frequency_hz.unwrap_or(f64::NAN),
         estimate.damping.unwrap_or(f64::NAN),
-        estimate.f_3db_hz.unwrap_or(f64::NAN));
+        estimate.f_3db_hz.unwrap_or(f64::NAN)
+    );
 
     let limits = LimitComparator::around(8.0, 0.43, 0.25);
     let verdict = limits.judge(&estimate);

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Full local verification: tier-1 (hermetic release build + tests),
+# formatting and lints. Run from anywhere; operates on the repo root.
+#
+# The build is fully offline — the workspace has no external
+# dependencies (randomness, property testing and benchmarking live in
+# the in-tree crates/testkit) — so --offline both enforces and proves
+# the hermetic-build invariant.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline --workspace"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "verify: OK"

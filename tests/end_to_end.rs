@@ -100,10 +100,8 @@ fn measured_phase_response_is_monotone_lag() {
     // Fig. 12's shape: lag grows monotonically from ~0° through −90° at
     // fn towards −180°.
     let cfg = PllConfig::paper_table3();
-    let result = TransferFunctionMonitor::new(settings_with(StimulusKind::MultiTone {
-        steps: 10,
-    }))
-    .measure(&cfg);
+    let result = TransferFunctionMonitor::new(settings_with(StimulusKind::MultiTone { steps: 10 }))
+        .measure(&cfg);
     let phases: Vec<f64> = result
         .points
         .iter()

@@ -38,7 +38,9 @@ fn golden_device_passes() {
 #[test]
 fn gross_vco_gain_fault_fails() {
     // −50 % VCO gain moves ωn by 1/√2 — far outside ±20 %.
-    let cfg = PllConfig::paper_table3().with_fault(Fault::VcoGainScale(0.5));
+    let cfg = PllConfig::paper_table3()
+        .with_fault(Fault::VcoGainScale(0.5))
+        .unwrap();
     let est = monitor().measure(&cfg).estimate();
     let verdict = golden_limits().judge(&est);
     assert!(!verdict.pass, "fault escaped: {est:?}");
@@ -46,7 +48,9 @@ fn gross_vco_gain_fault_fails() {
 
 #[test]
 fn filter_capacitor_fault_fails() {
-    let cfg = PllConfig::paper_table3().with_fault(Fault::FilterCapScale(3.0));
+    let cfg = PllConfig::paper_table3()
+        .with_fault(Fault::FilterCapScale(3.0))
+        .unwrap();
     let est = monitor().measure(&cfg).estimate();
     let verdict = golden_limits().judge(&est);
     assert!(!verdict.pass, "fault escaped: {est:?}");
@@ -55,7 +59,9 @@ fn filter_capacitor_fault_fails() {
 #[test]
 fn weakened_zero_fault_shifts_damping() {
     // R2 × 0.1 starves the stabilising zero: ζ collapses, peaking grows.
-    let cfg = PllConfig::paper_table3().with_fault(Fault::FilterR2Scale(0.1));
+    let cfg = PllConfig::paper_table3()
+        .with_fault(Fault::FilterR2Scale(0.1))
+        .unwrap();
     let golden = monitor().measure(&PllConfig::paper_table3()).estimate();
     let faulty = monitor().measure(&cfg).estimate();
     let (zg, zf) = (golden.damping.unwrap(), faulty.damping.unwrap());
@@ -67,7 +73,9 @@ fn leakage_fault_detected_through_hold_droop() {
     // A leaky control node makes the held frequency sag during the count
     // window — the measured deviations become inconsistent and the
     // parameters move out of band.
-    let cfg = PllConfig::paper_table3().with_fault(Fault::FilterLeakage(1e6));
+    let cfg = PllConfig::paper_table3()
+        .with_fault(Fault::FilterLeakage(1e6))
+        .unwrap();
     let golden = monitor().measure(&PllConfig::paper_table3()).estimate();
     let faulty = monitor().measure(&cfg).estimate();
     let fg = golden.natural_frequency_hz.unwrap();
@@ -88,10 +96,11 @@ fn campaign_detection_rate_is_high() {
     let mut detected = 0usize;
     let mut total = 0usize;
     for fault in Fault::standard_campaign() {
-        if matches!(fault, Fault::PumpMismatch(_)) {
-            continue; // not applicable to the voltage-driven paper loop
-        }
-        let cfg = PllConfig::paper_table3().with_fault(fault);
+        // Skip faults that don't wire into the voltage-driven paper loop
+        // (e.g. current-pump mismatch).
+        let Ok(cfg) = PllConfig::paper_table3().with_fault(fault) else {
+            continue;
+        };
         let est = mon.measure(&cfg).estimate();
         total += 1;
         if !limits.judge(&est).pass {

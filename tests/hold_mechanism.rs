@@ -83,8 +83,16 @@ fn hold_mode_beats_gated_mode_on_resolution() {
     // The gated counter's window shrinks with the modulation period, so
     // its resolution degrades towards fast tones; the held counter's gate
     // is unconstrained and its resolution stays flat.
-    let g_res: Vec<f64> = gated.points.iter().map(|p| p.frequency.resolution_hz).collect();
-    let h_res: Vec<f64> = hold.points.iter().map(|p| p.frequency.resolution_hz).collect();
+    let g_res: Vec<f64> = gated
+        .points
+        .iter()
+        .map(|p| p.frequency.resolution_hz)
+        .collect();
+    let h_res: Vec<f64> = hold
+        .points
+        .iter()
+        .map(|p| p.frequency.resolution_hz)
+        .collect();
     assert!(
         g_res.last().unwrap() > &(5.0 * g_res[0]),
         "gated resolution degrades with f_mod: {g_res:?}"
@@ -107,17 +115,14 @@ fn phase_counter_resolution_scales_with_test_clock() {
     let slow = PhaseCounter::new(1e4).reading(0.0, 0.016, 0.125);
     assert!(fast.resolution_degrees < slow.resolution_degrees / 50.0);
     // Both agree within the coarser resolution.
-    assert!(
-        (fast.phase_degrees - slow.phase_degrees).abs()
-            <= slow.resolution_degrees + 1e-9
-    );
+    assert!((fast.phase_degrees - slow.phase_degrees).abs() <= slow.resolution_degrees + 1e-9);
 }
 
 #[test]
 fn leakage_makes_the_hold_droop_visibly() {
     use pllbist_analog::fault::Fault;
     let healthy = PllConfig::paper_table3();
-    let leaky = healthy.with_fault(Fault::FilterLeakage(2e6));
+    let leaky = healthy.with_fault(Fault::FilterLeakage(2e6)).unwrap();
     for (cfg, droops) in [(&healthy, false), (&leaky, true)] {
         let mut pll = CpPll::new_locked(cfg);
         pll.advance_to(0.5);

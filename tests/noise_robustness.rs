@@ -23,7 +23,7 @@ fn loop_stays_locked_under_moderate_jitter() {
 fn lock_detector_needs_a_window_wider_than_the_jitter() {
     let cfg = PllConfig::paper_table3();
     for (rms, window, expect_lock) in [
-        (5e-6, 100e-6, true),   // jitter well inside the window
+        (5e-6, 100e-6, true),    // jitter well inside the window
         (200e-6, 100e-6, false), // jitter dominates the window
     ] {
         let mut pll = CpPll::new_locked(&cfg);

@@ -11,9 +11,7 @@ use std::f64::consts::TAU;
 /// Samples a stimulus's deviation waveform over whole periods.
 fn sample_deviation(stim: &FmStimulus, n: usize, periods: u32) -> (Vec<f64>, f64) {
     let fs = n as f64 * stim.f_mod_hz() / periods as f64;
-    let sig = (0..n)
-        .map(|k| stim.deviation_at(k as f64 / fs))
-        .collect();
+    let sig = (0..n).map(|k| stim.deviation_at(k as f64 / fs)).collect();
     (sig, fs)
 }
 
@@ -31,7 +29,10 @@ fn multi_tone_staircase_harmonics_sit_at_k_steps_plus_minus_one() {
     let bin_of = |f: f64| (f / (fs / (1 << 12) as f64)).round() as usize;
 
     let fundamental = spec[bin_of(8.0)].1;
-    assert!((fundamental - 10.0 * 0.983).abs() < 0.2, "sinc-weighted fundamental");
+    assert!(
+        (fundamental - 10.0 * 0.983).abs() < 0.2,
+        "sinc-weighted fundamental"
+    );
     // Low harmonics (2..=8) are absent.
     for h in 2..=8 {
         let a = spec[bin_of(8.0 * h as f64)].1;
@@ -40,8 +41,16 @@ fn multi_tone_staircase_harmonics_sit_at_k_steps_plus_minus_one() {
     // Image harmonics at steps∓1 carry ~1/(steps∓1) of the fundamental.
     let h9 = spec[bin_of(8.0 * 9.0)].1;
     let h11 = spec[bin_of(8.0 * 11.0)].1;
-    assert!((h9 / fundamental - 1.0 / 9.0).abs() < 0.03, "9th: {}", h9 / fundamental);
-    assert!((h11 / fundamental - 1.0 / 11.0).abs() < 0.03, "11th: {}", h11 / fundamental);
+    assert!(
+        (h9 / fundamental - 1.0 / 9.0).abs() < 0.03,
+        "9th: {}",
+        h9 / fundamental
+    );
+    assert!(
+        (h11 / fundamental - 1.0 / 11.0).abs() < 0.03,
+        "11th: {}",
+        h11 / fundamental
+    );
 }
 
 #[test]
@@ -53,7 +62,10 @@ fn two_tone_square_has_strong_odd_harmonics() {
     let f1 = spec[bin_of(8.0)].1;
     let f3 = spec[bin_of(24.0)].1;
     // Square wave: fundamental 4Δ/π, 3rd harmonic a full third of it.
-    assert!((f1 - 4.0 * 10.0 / std::f64::consts::PI).abs() < 0.3, "f1 {f1}");
+    assert!(
+        (f1 - 4.0 * 10.0 / std::f64::consts::PI).abs() < 0.3,
+        "f1 {f1}"
+    );
     assert!((f3 / f1 - 1.0 / 3.0).abs() < 0.02, "f3/f1 {}", f3 / f1);
 }
 
