@@ -53,6 +53,10 @@ pub struct BehavioralPfd {
     dead_zone: f64,
     /// Whether the last completed pulse survived the dead zone.
     last_pulse: Option<CompletedPulse>,
+    /// Completed pulses swallowed by the dead zone (ineffective), since
+    /// construction. Plain counter — keeps the struct `Copy` and the
+    /// edge path lock-free; telemetry polls it at stage boundaries.
+    glitches: u64,
 }
 
 /// A completed UP or DOWN pulse (between arming edge and resetting edge).
@@ -140,15 +144,26 @@ impl BehavioralPfd {
             _ => {
                 // Opposite edge: reset. Record the completed pulse.
                 let width = t - self.armed_at;
+                let effective = width >= self.dead_zone;
+                if !effective {
+                    self.glitches += 1;
+                }
                 self.last_pulse = Some(CompletedPulse {
                     direction: self.output(),
                     start: self.armed_at,
                     end: t,
-                    effective: width >= self.dead_zone,
+                    effective,
                 });
                 self.state = 0;
             }
         }
+    }
+
+    /// Completed pulses swallowed by the dead zone since construction
+    /// (the paper's fig. 5 "dead zone pulses"). Survives [`reset`]
+    /// (Self::reset) — it is a lifetime diagnostic, not loop state.
+    pub fn glitch_count(&self) -> u64 {
+        self.glitches
     }
 
     /// Resets to the idle state (test-mode loop break, Table 2 stage 3).
@@ -214,9 +229,13 @@ mod tests {
         p.on_reference_edge(0.0);
         p.on_feedback_edge(2e-9); // narrower than dead zone
         assert!(!p.last_pulse().unwrap().effective);
+        assert_eq!(p.glitch_count(), 1);
         p.on_reference_edge(1e-6);
         p.on_feedback_edge(1e-6 + 20e-9);
         assert!(p.last_pulse().unwrap().effective);
+        assert_eq!(p.glitch_count(), 1, "effective pulses are not glitches");
+        p.reset();
+        assert_eq!(p.glitch_count(), 1, "reset must not clear the diagnostic");
     }
 
     #[test]

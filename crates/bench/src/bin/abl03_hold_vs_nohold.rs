@@ -11,15 +11,18 @@
 
 use pllbist::monitor::{CaptureMode, MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("abl03_hold_vs_nohold");
     let cfg = PllConfig::paper_table3();
     let freqs = vec![1.0, 4.0, 8.0, 15.0, 30.0];
     let base = MonitorSettings {
         mod_frequencies_hz: freqs.clone(),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
+        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     println!("abl03 — hold-and-count vs short gated count\n");
@@ -36,6 +39,20 @@ fn main() {
         ..base
     })
     .measure(&cfg);
+    report.extend(hold.telemetry.clone());
+    report.extend(gated.telemetry.clone());
+    for (i, &f) in freqs.iter().enumerate() {
+        report.result(
+            "hold_vs_gated",
+            fields![
+                f_mod_hz = f,
+                held_delta_f_hz = hold.points[i].delta_f_hz,
+                held_resolution_hz = hold.points[i].frequency.resolution_hz,
+                gated_delta_f_hz = gated.points[i].delta_f_hz,
+                gated_resolution_hz = gated.points[i].frequency.resolution_hz
+            ],
+        );
+    }
 
     let a = cfg.analysis();
     let h_full = a.feedback_transfer();
@@ -68,4 +85,5 @@ fn main() {
          resolution degrades ∝ f_mod — the estimation problem the paper says its\n\
          peak-hold technique has 'the potential to overcome'."
     );
+    report.finish().expect("write --jsonl output");
 }

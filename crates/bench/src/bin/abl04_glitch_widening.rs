@@ -10,8 +10,10 @@
 use pllbist::testbench::{run_fig8, TestbenchOptions};
 use pllbist_digital::time::SimTime;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("abl04_glitch_widening");
     let cfg = PllConfig::paper_table3();
     println!("abl04 — sampling-path glitch-filter delay sweep (gate delay 2 ns)\n");
     println!(" judge delay | MFREQ strobes | min strobes | offset (ms) | verdict");
@@ -71,10 +73,21 @@ fn main() {
             mean_off * 1e3,
             verdict
         );
+        report.result(
+            "judge_delay_point",
+            fields![
+                judge_delay_ns = judge_ps as f64 / 1_000.0,
+                mfreq_strobes = n_max,
+                min_strobes = n_min,
+                mean_offset_ms = mean_off * 1e3,
+                verdict = verdict
+            ],
+        );
     }
     println!(
         "\nshape check: a wide plateau of clean detection between the glitch width\n\
          (~4 ns) and the minimum real pulse width near the flip — the design margin\n\
          the paper's delay-element remark is about."
     );
+    report.finish().expect("write --jsonl output");
 }

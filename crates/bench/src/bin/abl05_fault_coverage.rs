@@ -12,16 +12,21 @@ use pllbist::estimate::{LimitComparator, ParameterEstimate};
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
 use pllbist_sim::config::{FaultWiringError, PllConfig};
+use pllbist_telemetry::{fields, Record, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("abl05_fault_coverage");
     let golden_cfg = PllConfig::paper_table3();
     let monitor = TransferFunctionMonitor::new(MonitorSettings {
         mod_frequencies_hz: pllbist_sim::bench_measure::log_spaced(1.0, 30.0, 8),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
+        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     });
-    let golden = monitor.measure(&golden_cfg).estimate();
+    let golden_result = monitor.measure(&golden_cfg);
+    report.extend(golden_result.telemetry.clone());
+    let golden = golden_result.estimate();
     let fng = golden.natural_frequency_hz.expect("golden fn");
     let zg = golden.damping.expect("golden ζ");
     println!("abl05 — fault coverage (golden: fn = {fng:.2} Hz, ζ = {zg:.3})\n");
@@ -29,13 +34,17 @@ fn main() {
     let tight = LimitComparator::around(fng, zg, 0.10);
     let loose = LimitComparator::around(fng, zg, 0.25);
 
-    // One faulty sweep per campaign entry, fanned out across cores.
+    // One faulty sweep per campaign entry, fanned out across cores. Each
+    // worker's sweep telemetry rides back with its estimate.
     let campaign = Fault::standard_campaign();
-    let results: Vec<(Fault, Result<ParameterEstimate, FaultWiringError>)> =
+    type FaultOutcome = Result<(ParameterEstimate, Vec<Record>), FaultWiringError>;
+    let results: Vec<(Fault, FaultOutcome)> =
         pllbist_sim::parallel::par_map(&campaign, 0, |&fault| {
-            let est = golden_cfg
-                .with_fault(fault)
-                .map(|cfg| monitor.measure(&cfg).estimate());
+            let est = golden_cfg.with_fault(fault).map(|cfg| {
+                let result = monitor.measure(&cfg);
+                let telemetry = result.telemetry.clone();
+                (result.estimate(), telemetry)
+            });
             (fault, est)
         });
 
@@ -45,13 +54,14 @@ fn main() {
     let mut total = 0usize;
     let mut skipped = Vec::new();
     for (fault, est) in results {
-        let est = match est {
-            Ok(est) => est,
+        let (est, telemetry) = match est {
+            Ok(ok) => ok,
             Err(e) => {
                 skipped.push(format!("{fault}: {e}"));
                 continue;
             }
         };
+        report.extend(telemetry);
         let vt = tight.judge(&est);
         let vl = loose.judge(&est);
         total += 1;
@@ -69,6 +79,16 @@ fn main() {
             if vt.pass { "pass" } else { "FAIL" },
             if vl.pass { "pass" } else { "FAIL" },
         );
+        report.result(
+            "fault_verdict",
+            fields![
+                fault = fault.to_string(),
+                fn_hz = est.natural_frequency_hz.unwrap_or(f64::NAN),
+                damping = est.damping.unwrap_or(f64::NAN),
+                pass_tight = vt.pass,
+                pass_loose = vl.pass
+            ],
+        );
     }
     println!(
         "\ncoverage: ±10 % limits catch {}/{total}; ±25 % limits catch {}/{total}",
@@ -81,4 +101,14 @@ fn main() {
         "shape check: gross severities are caught even with wide guard bands;\n\
          marginal ones need tight limits — the classic coverage/yield trade."
     );
+    report.result(
+        "coverage",
+        fields![
+            total = total,
+            caught_tight = caught[0],
+            caught_loose = caught[1],
+            skipped = skipped.len()
+        ],
+    );
+    report.finish().expect("write --jsonl output");
 }

@@ -10,9 +10,11 @@
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_sim::bench_measure::{measure_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("abl06_bench_vs_bist");
     let cfg = PllConfig::paper_table3();
     let freqs = vec![1.0, 3.0, 6.0, 8.0, 12.0, 20.0, 35.0];
     println!("abl06 — bench (analogue access) vs BIST (digital only)\n");
@@ -31,9 +33,11 @@ fn main() {
         mod_frequencies_hz: freqs.clone(),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
+        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     })
     .measure(&cfg);
+    report.extend(bist.telemetry.clone());
 
     let a = cfg.analysis();
     let h_full = a.feedback_transfer();
@@ -58,13 +62,25 @@ fn main() {
             " {:>5.1} | {:>9.3} | {:>11.3} | {:>8.3} | {:>11.3} | {:>8.1} % | {:>6.1} %",
             f, b, tf, m, th, be, me
         );
+        report.result(
+            "bench_vs_bist_point",
+            fields![
+                f_mod_hz = f,
+                bench_magnitude = b,
+                bench_err_pct = be,
+                bist_magnitude = m,
+                bist_err_pct = me
+            ],
+        );
     }
     bench_rms = (bench_rms / freqs.len() as f64).sqrt();
     bist_rms = (bist_rms / freqs.len() as f64).sqrt();
     println!("\nRMS error vs own theory: bench {bench_rms:.1} %, BIST {bist_rms:.1} %");
+    report.result("rms_error_pct", fields![bench = bench_rms, bist = bist_rms]);
     println!(
         "shape check: the digital-only monitor matches its model about as well as\n\
          the analogue-probe bench matches its own — the paper's case that embedded\n\
          PLLs do not need the probe."
     );
+    report.finish().expect("write --jsonl output");
 }

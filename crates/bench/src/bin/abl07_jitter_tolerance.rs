@@ -8,19 +8,23 @@ use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::noise::NoiseConfig;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("abl07_jitter_tolerance");
     let cfg = PllConfig::paper_table3();
     let settings = MonitorSettings {
         mod_frequencies_hz: vec![1.0, 6.3, 25.0],
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
+        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     let monitor = TransferFunctionMonitor::new(settings);
     println!("abl07 — BIST accuracy vs RMS edge jitter (1 ms reference period)\n");
 
     let clean = monitor.measure(&cfg);
+    report.extend(clean.telemetry.clone());
     let clean_rel: Vec<f64> = clean
         .points
         .iter()
@@ -35,6 +39,7 @@ fn main() {
             pll.set_noise(Some(NoiseConfig::symmetric(rms, 2_026)));
         }
         let noisy = monitor.measure_on(&mut pll);
+        report.extend(noisy.telemetry.clone());
         let rel: Vec<f64> = noisy
             .points
             .iter()
@@ -49,6 +54,15 @@ fn main() {
             err_db(2),
             phase_err
         );
+        report.result(
+            "jitter_point",
+            fields![
+                jitter_rms_us = rms * 1e6,
+                peak_err_db = err_db(1),
+                rolloff_err_db = err_db(2),
+                phase_err_deg = phase_err
+            ],
+        );
     }
     println!(
         "\nshape check: negligible error at 1 µs RMS (0.1 % period jitter), a few dB\n\
@@ -58,4 +72,5 @@ fn main() {
          reciprocal counter) outlives the phase path, whose MFREQ strobe rides on\n\
          individual edges."
     );
+    report.finish().expect("write --jsonl output");
 }

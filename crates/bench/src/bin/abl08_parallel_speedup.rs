@@ -10,16 +10,21 @@
 //! ratio prints near 1.0×; the >1.5× figure in the PR notes requires a
 //! multi-core machine.
 
-use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, BenchSettings};
+use pllbist_sim::bench_measure::{
+    log_spaced, measure_sweep_points, measure_sweep_run, BenchSettings,
+};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::parallel::available_parallelism;
+use pllbist_telemetry::{fields, RunReport};
 use std::time::Instant;
 
 fn main() {
+    let mut report = RunReport::from_args("abl08_parallel_speedup");
     let cfg = PllConfig::paper_table3();
     let tones = log_spaced(1.0, 40.0, 12);
     let settings = |threads| BenchSettings {
         threads,
+        telemetry: report.telemetry_config(),
         ..BenchSettings::default()
     };
     let cores = available_parallelism();
@@ -33,17 +38,19 @@ fn main() {
     let _ = measure_sweep_points(&cfg, &tones[..2], &settings(1));
 
     let t0 = Instant::now();
-    let serial = measure_sweep_points(&cfg, &tones, &settings(1));
+    let serial = measure_sweep_run(&cfg, &tones, &settings(1));
     let dt_serial = t0.elapsed();
 
     let t1 = Instant::now();
-    let parallel = measure_sweep_points(&cfg, &tones, &settings(0));
+    let parallel = measure_sweep_run(&cfg, &tones, &settings(0));
     let dt_parallel = t1.elapsed();
 
     assert_eq!(
-        serial, parallel,
+        serial.points, parallel.points,
         "parallel sweep must be bitwise identical to serial"
     );
+    report.extend(serial.telemetry);
+    report.extend(parallel.telemetry);
     println!(" threads = 1      : {:>8.2?}", dt_serial);
     println!(" threads = 0 (auto): {:>8.2?}", dt_parallel);
     let speedup = dt_serial.as_secs_f64() / dt_parallel.as_secs_f64();
@@ -53,4 +60,15 @@ fn main() {
     } else if speedup < 1.5 {
         println!("warning: expected >1.5× on a {cores}-core host");
     }
+    report.result(
+        "speedup",
+        fields![
+            cores = cores,
+            tones = tones.len(),
+            serial_secs = dt_serial.as_secs_f64(),
+            parallel_secs = dt_parallel.as_secs_f64(),
+            speedup = speedup
+        ],
+    );
+    report.finish().expect("write --jsonl output");
 }

@@ -6,9 +6,11 @@
 use pllbist_bench::{ascii_plot, magnitude_series, phase_series};
 use pllbist_numeric::bode::BodePlot;
 use pllbist_numeric::tf::TransferFunction;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("fig01_second_order_bode");
     let wn = TAU * 8.0; // normalise to the paper's 8 Hz loop
     println!("fig. 1 — second-order closed-loop response (unity-gain referred)\n");
 
@@ -43,9 +45,20 @@ fn main() {
             dc,
             plot.points()[0].frequency().value()
         );
+        report.result(
+            "damping_features",
+            fields![
+                zeta = z,
+                peak_f_hz = peak.frequency().value(),
+                peak_db = peak.magnitude_db().value(),
+                f3db_hz = bw / TAU,
+                dc_db = dc
+            ],
+        );
     }
     println!(
         "\nshape checks: lower ζ ⇒ taller peak; all curves start on the 0 dB\n\
          asymptote and roll off past ω3dB — matching the paper's fig. 1."
     );
+    report.finish().expect("write --jsonl output");
 }

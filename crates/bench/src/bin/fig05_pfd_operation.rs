@@ -6,8 +6,9 @@ use pllbist_digital::kernel::Circuit;
 use pllbist_digital::logic::Logic;
 use pllbist_digital::time::SimTime;
 use pllbist_sim::cosim::build_gate_pfd;
+use pllbist_telemetry::{fields, RunReport};
 
-fn run_case(skew_ns: i64, label: &str) {
+fn run_case(skew_ns: i64, label: &str, report: &mut RunReport) {
     let mut c = Circuit::new();
     let r = c.input("ref", Logic::Low);
     let f = c.input("fb", Logic::Low);
@@ -41,21 +42,34 @@ fn run_case(skew_ns: i64, label: &str) {
     let (nu, wu) = stats(up);
     let (nd, wd) = stats(dn);
     println!(" {label:<26} | {nu:>4} × {wu:>9.1} ns | {nd:>4} × {wd:>9.1} ns");
+    report.result(
+        "pfd_case",
+        fields![
+            skew_ns = skew_ns,
+            up_pulses = nu,
+            up_width_ns = wu,
+            dn_pulses = nd,
+            dn_width_ns = wd,
+            kernel_events = c.events_dispatched()
+        ],
+    );
 }
 
 fn main() {
+    let mut report = RunReport::from_args("fig05_pfd_operation");
     println!("fig. 5 — CP-PFD operation (gate-level, 2 ns gate delay)\n");
     println!(" case                       | UP pulses (width)   | DN pulses (width)");
     println!(" ---------------------------+---------------------+-------------------");
-    run_case(20_000, "θi leads by 20 µs");
-    run_case(2_000, "θi leads by 2 µs");
-    run_case(0, "coincident (dead zone)");
-    run_case(-2_000, "θi lags by 2 µs");
-    run_case(-20_000, "θi lags by 20 µs");
+    run_case(20_000, "θi leads by 20 µs", &mut report);
+    run_case(2_000, "θi leads by 2 µs", &mut report);
+    run_case(0, "coincident (dead zone)", &mut report);
+    run_case(-2_000, "θi lags by 2 µs", &mut report);
+    run_case(-20_000, "θi lags by 20 µs", &mut report);
     println!(
         "\nshape checks: the leading input's pulse width equals the skew\n\
          (+ reset path), the other side shows only ~4 ns dead-zone glitches;\n\
          coincident edges leave glitches on both outputs — the pulses the\n\
          fig. 7 sampling flip-flop is clocked from."
     );
+    report.finish().expect("write --jsonl output");
 }

@@ -6,8 +6,10 @@
 use pllbist::testbench::{run_fig8, TestbenchOptions};
 use pllbist_bench::ascii_plot;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("fig08_peak_detect_waveforms");
     let cfg = PllConfig::paper_table3();
     let opts = TestbenchOptions {
         settle_secs: 0.6,
@@ -81,4 +83,16 @@ fn main() {
         " each strobe marks a maximum of the filter-node waveform — the paper's\n\
          'output pulse at the peak frequency of the PLL output waveform'."
     );
+    report.result(
+        "peak_detect",
+        fields![
+            f_mod_hz = opts.f_mod_hz,
+            periods = periods,
+            mfreq_strobes = capture.mfreq_times.len(),
+            min_strobes = capture.minfreq_times.len(),
+            up_pulses = capture.up_pulse_widths.len(),
+            dn_pulses = capture.dn_pulse_widths.len()
+        ],
+    );
+    report.finish().expect("write --jsonl output");
 }

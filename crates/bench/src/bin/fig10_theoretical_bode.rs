@@ -6,9 +6,11 @@
 use pllbist_bench::{ascii_plot, bode_table, magnitude_series, phase_series};
 use pllbist_numeric::bode::BodePlot;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("fig10_theoretical_bode");
     let cfg = PllConfig::paper_table3();
     let a = cfg.analysis();
     let p = a.second_order().expect("second-order loop");
@@ -66,4 +68,17 @@ fn main() {
         hold_peak.magnitude_db().value(),
         hold_peak.frequency().value(),
     );
+    report.result(
+        "theory_features",
+        fields![
+            fn_hz = p.natural_frequency_hz(),
+            damping = p.damping,
+            full_peak_db = peak.magnitude_db().value(),
+            full_peak_f_hz = peak.frequency().value(),
+            full_f3db_hz = full.bandwidth_3db().unwrap_or(f64::NAN) / TAU,
+            hold_peak_db = hold_peak.magnitude_db().value(),
+            hold_peak_f_hz = hold_peak.frequency().value()
+        ],
+    );
+    report.finish().expect("write --jsonl output");
 }

@@ -13,9 +13,11 @@
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_bench::ascii_plot;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("fig11_measured_magnitude");
     let cfg = PllConfig::paper_table3();
     let kinds = [
         ("pure sine FM", '*', StimulusKind::PureSine),
@@ -29,9 +31,11 @@ fn main() {
     for (label, glyph, kind) in kinds {
         let settings = MonitorSettings {
             stimulus: kind,
+            telemetry: report.telemetry_config(),
             ..MonitorSettings::paper()
         };
         let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        report.extend(result.telemetry.clone());
         let reference = result.points[0].delta_f_hz.abs();
         let pts: Vec<(f64, f64)> = result
             .points
@@ -77,6 +81,16 @@ fn main() {
             " {:>10.2} | {:>9.2} | {:>11.2} | {:>12.2} | {:>10.2}",
             f, tables[0].1[i].1, tables[1].1[i].1, tables[2].1[i].1, th
         );
+        report.result(
+            "magnitude_point",
+            fields![
+                f_mod_hz = f,
+                sine_db = tables[0].1[i].1,
+                two_tone_db = tables[1].1[i].1,
+                ten_step_db = tables[2].1[i].1,
+                theory_db = th
+            ],
+        );
     }
 
     // Shape metrics the paper reports.
@@ -111,4 +125,9 @@ fn main() {
             .natural_frequency_hz()
             * (1.0f64 - 2.0 * 0.43 * 0.43).sqrt()
     );
+    report.result(
+        "measured_peak",
+        fields![peak_db = peak.1, peak_f_hz = peak.0],
+    );
+    report.finish().expect("write --jsonl output");
 }

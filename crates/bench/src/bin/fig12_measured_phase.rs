@@ -11,9 +11,11 @@
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_bench::ascii_plot;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
+    let mut report = RunReport::from_args("fig12_measured_phase");
     let cfg = PllConfig::paper_table3();
     let kinds = [
         ("pure sine FM", '*', StimulusKind::PureSine),
@@ -27,9 +29,11 @@ fn main() {
     for (label, glyph, kind) in kinds {
         let settings = MonitorSettings {
             stimulus: kind,
+            telemetry: report.telemetry_config(),
             ..MonitorSettings::paper()
         };
         let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        report.extend(result.telemetry.clone());
         let pts: Vec<(f64, f64)> = result
             .points
             .iter()
@@ -72,6 +76,16 @@ fn main() {
             " {:>10.2} | {:>9.1} | {:>10.1} | {:>11.1} | {:>9.1}",
             f, tables[0].1[i].1, tables[1].1[i].1, tables[2].1[i].1, th
         );
+        report.result(
+            "phase_point",
+            fields![
+                f_mod_hz = f,
+                sine_deg = tables[0].1[i].1,
+                two_tone_deg = tables[1].1[i].1,
+                ten_step_deg = tables[2].1[i].1,
+                theory_deg = th
+            ],
+        );
     }
 
     // The fn annotation.
@@ -97,4 +111,9 @@ fn main() {
             .phase(TAU * fn_hz)
             .to_degrees()
     );
+    report.result(
+        "phase_at_fn",
+        fields![fn_hz = fn_hz, measured_deg = measured_at_fn.1],
+    );
+    report.finish().expect("write --jsonl output");
 }

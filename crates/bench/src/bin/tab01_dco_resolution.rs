@@ -5,8 +5,10 @@
 //! without increasing F_ref").
 
 use pllbist::dco::resolution_table;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("tab01_dco_resolution");
     println!("Table 1 — relationship between F_in_nom, F_ref and F_res\n");
     println!(
         " F_in_nom     | F_ref        | ΔF_max req.  | F_res (exact) | usable steps | feasible?"
@@ -24,11 +26,23 @@ fn main() {
             row.usable_steps,
             if row.usable_steps >= 2 { "yes" } else { "NO" }
         );
+        report.result(
+            "resolution_row",
+            fields![
+                f_in_nom_hz = row.f_in_nom_hz,
+                f_ref_hz = row.f_ref_hz,
+                f_max_dev_hz = row.f_max_dev_hz,
+                f_res_hz = row.f_res_hz,
+                usable_steps = row.usable_steps,
+                feasible = row.usable_steps >= 2
+            ],
+        );
     }
     println!(
         "\neq. 2's message: resolution worsens as F_in²/F_ref — the only\n\
          levers are a lower input frequency or a faster master clock."
     );
+    report.finish().expect("write --jsonl output");
 }
 
 fn eng(v: f64) -> String {

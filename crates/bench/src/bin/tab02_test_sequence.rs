@@ -6,8 +6,10 @@
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist::sequencer::Stage;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("tab02_test_sequence");
     println!("Table 2 — basic test sequence (as executed)\n");
     // The static table first.
     println!(" stage | mux M1/M2 | comment");
@@ -33,9 +35,14 @@ fn main() {
         mod_frequencies_hz: vec![2.0, 8.0],
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
+        // This bin's whole point is the transcript — keep recording on
+        // even though fast() now defaults it off.
+        capture_transcript: true,
+        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+    report.extend(result.telemetry.clone());
 
     println!("\nexecuted transcript (2-tone sweep):\n");
     println!(" t (s)    | tone | stage");
@@ -49,9 +56,19 @@ fn main() {
             tr.stage,
             tr.stage.mux()
         );
+        report.result(
+            "transition",
+            fields![
+                t_secs = tr.t,
+                tone = tr.tone_index + 1,
+                stage = tr.stage.number() as u64,
+                mux = tr.stage.mux().to_string()
+            ],
+        );
     }
     println!(
         "\n{} transitions; every tone passes through stages 1–5 exactly once.",
         result.transcript.len()
     );
+    report.finish().expect("write --jsonl output");
 }

@@ -3,8 +3,10 @@
 
 use pllbist::paper::table3;
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
+    let mut report = RunReport::from_args("tab03_parameters");
     println!("Table 3 — parameters for the test set-up (reconstructed; see DESIGN.md)\n");
     let (rows, params) = table3();
     println!(" parameter                                | value                | provenance");
@@ -19,6 +21,14 @@ fn main() {
             } else {
                 "reconstructed"
             }
+        );
+        report.result(
+            "parameter",
+            fields![
+                name = r.parameter,
+                value = r.value.clone(),
+                literal = r.literal
+            ],
         );
     }
 
@@ -44,4 +54,16 @@ fn main() {
         p.natural_frequency_hz(),
         p.damping
     );
+    report.result(
+        "derived",
+        fields![
+            omega_n = params.omega_n,
+            fn_hz = params.natural_frequency_hz(),
+            damping = params.damping,
+            omega_3db = params.omega_3db(),
+            composed_fn_hz = p.natural_frequency_hz(),
+            composed_damping = p.damping
+        ],
+    );
+    report.finish().expect("write --jsonl output");
 }

@@ -27,6 +27,7 @@ use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
 use std::f64::consts::TAU;
 
 /// Which FM approximation drives the reference (the fig. 11/12
@@ -107,6 +108,17 @@ pub struct MonitorSettings {
     /// the measured values can differ from the serial ones in low-order
     /// bits (different settle history), never in physics.
     pub threads: usize,
+    /// Whether to record the Table 2 sequencer transcript into
+    /// [`MonitorResult::transcript`]. On in [`paper`](Self::paper) (the
+    /// transcript *is* the paper's Table 2 artefact), off in
+    /// [`fast`](Self::fast): a transcript grows by five [`Transition`]s
+    /// per tone forever, which long sweeps cannot afford.
+    pub capture_transcript: bool,
+    /// Observability knob (disabled by default): stage spans, MFREQ
+    /// strobe / gate / hold counters, solver statistics and transcript
+    /// memory are drained into [`MonitorResult::telemetry`]. Never
+    /// changes the measured values.
+    pub telemetry: TelemetryConfig,
 }
 
 impl MonitorSettings {
@@ -125,6 +137,8 @@ impl MonitorSettings {
             count_divided_output: false,
             peak_guard_fraction: 0.05,
             threads: 0,
+            capture_transcript: true,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -142,6 +156,8 @@ impl MonitorSettings {
             count_divided_output: false,
             peak_guard_fraction: 0.05,
             threads: 1,
+            capture_transcript: false,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -174,11 +190,16 @@ pub struct MonitorResult {
     pub nominal: FrequencyReading,
     /// Per-tone measurements, in sweep order.
     pub points: Vec<MonitorPoint>,
-    /// The Table 2 sequencer transcript.
+    /// The Table 2 sequencer transcript (empty unless
+    /// `MonitorSettings::capture_transcript` is on).
     pub transcript: Vec<Transition>,
     /// The capture mode the sweep ran with (selects the estimator's
     /// response family).
     pub capture: CaptureMode,
+    /// Drained telemetry records (empty unless
+    /// `MonitorSettings::telemetry` is enabled): per-tone stage spans,
+    /// MFREQ/gate/hold counters, solver statistics, worker utilization.
+    pub telemetry: Vec<Record>,
 }
 
 impl MonitorResult {
@@ -266,47 +287,58 @@ impl TransferFunctionMonitor {
     /// and the serial path.
     pub fn measure_on(&self, pll: &mut CpPll) -> MonitorResult {
         let s = &self.settings;
+        let tel = Collector::from_config(&s.telemetry);
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
 
         // Lock and take the nominal reading (held for a clean gate).
-        pll.advance_to(pll.time() + s.loop_settle_secs.max(0.1));
-        pll.set_hold(true);
-        let nominal = fc.measure(pll, s.count_divided_output);
-        pll.set_hold(false);
+        let nominal = {
+            let _settle = span!(tel, "monitor.nominal");
+            pll.advance_to(pll.time() + s.loop_settle_secs.max(0.1));
+            pll.set_hold(true);
+            let nominal = fc.measure(pll, s.count_divided_output);
+            pll.set_hold(false);
+            nominal
+        };
 
         let workers = pllbist_sim::parallel::resolve_threads(s.threads)
             .min(s.mod_frequencies_hz.len().max(1));
-        if workers <= 1 {
-            let (points, transcript) = self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal);
-            return MonitorResult {
-                nominal,
-                points,
-                transcript,
-                capture: s.capture,
-            };
-        }
-
-        // Parallel path: one freshly locked loop per contiguous chunk of
-        // tones (the Table 2 sequence still runs in order inside each
-        // chunk). Results come back in sweep order.
-        let config = pll.config().clone();
-        let chunks =
-            pllbist_sim::parallel::par_map_chunks(&s.mod_frequencies_hz, workers, |chunk| {
-                let mut worker_pll = CpPll::new_locked(&config);
-                worker_pll.advance_to(worker_pll.time() + s.loop_settle_secs.max(0.1));
-                vec![self.sweep_chunk(&mut worker_pll, chunk, &nominal)]
-            });
-        let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
-        let mut transcript = Vec::new();
-        for (chunk_points, chunk_transcript) in chunks {
-            points.extend(chunk_points);
-            transcript.extend(chunk_transcript);
+        let (points, transcript) = if workers <= 1 {
+            self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal, &tel)
+        } else {
+            // Parallel path: one freshly locked loop per contiguous chunk
+            // of tones (the Table 2 sequence still runs in order inside
+            // each chunk). Results come back in sweep order.
+            let config = pll.config().clone();
+            let chunks = pllbist_sim::parallel::par_map_chunks_observed(
+                &s.mod_frequencies_hz,
+                workers,
+                &tel,
+                |_worker, chunk| {
+                    let mut worker_pll = CpPll::new_locked(&config);
+                    worker_pll.advance_to(worker_pll.time() + s.loop_settle_secs.max(0.1));
+                    vec![self.sweep_chunk(&mut worker_pll, chunk, &nominal, &tel)]
+                },
+            );
+            let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
+            let mut transcript = Vec::new();
+            for (chunk_points, chunk_transcript) in chunks {
+                points.extend(chunk_points);
+                transcript.extend(chunk_transcript);
+            }
+            (points, transcript)
+        };
+        if tel.is_enabled() {
+            tel.gauge(
+                "monitor.transcript_bytes",
+                (transcript.len() * std::mem::size_of::<Transition>()) as f64,
+            );
         }
         MonitorResult {
             nominal,
             points,
             transcript,
             capture: s.capture,
+            telemetry: tel.drain(),
         }
     }
 
@@ -317,28 +349,41 @@ impl TransferFunctionMonitor {
         pll: &mut CpPll,
         mod_frequencies_hz: &[f64],
         nominal: &FrequencyReading,
+        tel: &Collector,
     ) -> (Vec<MonitorPoint>, Vec<Transition>) {
         let s = &self.settings;
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
         let pc = PhaseCounter::new(s.test_clock_hz);
 
-        let mut seq = TestSequencer::new(mod_frequencies_hz.len());
+        let mut seq = if s.capture_transcript {
+            TestSequencer::new(mod_frequencies_hz.len())
+        } else {
+            TestSequencer::silent(mod_frequencies_hz.len())
+        };
         let mut points = Vec::with_capacity(mod_frequencies_hz.len());
         let f_ref = pll.config().f_ref_hz;
 
         for &f_mod in mod_frequencies_hz {
+            let _tone = span!(tel, "monitor.tone", f_mod_hz = f_mod);
+            let stats_tone = pll.solver_stats();
+            let glitches_tone = pll.pfd_glitch_count();
             let t_mod = 1.0 / f_mod;
             // Stage 5 → stage 1 wrap for every tone after the first.
             if seq.stage() == crate::sequencer::Stage::NextTone {
                 seq.advance(pll.time());
             }
             // Stage 1: apply the modulation and settle.
-            let stimulus = self.build_stimulus(f_ref, f_mod);
-            pll.set_stimulus(stimulus.clone());
-            pll.advance_to(pll.time() + s.settle_periods * t_mod + s.loop_settle_secs);
-            seq.advance(pll.time());
+            let stimulus = {
+                let _settle = span!(tel, "monitor.settle");
+                let stimulus = self.build_stimulus(f_ref, f_mod);
+                pll.set_stimulus(stimulus.clone());
+                pll.advance_to(pll.time() + s.settle_periods * t_mod + s.loop_settle_secs);
+                seq.advance(pll.time());
+                stimulus
+            };
 
             // Stage 2: next input-modulation peak, then watch for MFREQ.
+            let capture = span!(tel, "monitor.capture");
             let tp0 = stimulus.deviation_peak_time();
             let now = pll.time();
             let k = ((now - tp0) / t_mod).ceil().max(0.0);
@@ -351,26 +396,32 @@ impl TransferFunctionMonitor {
             let deadline = t_input_peak + 3.0 * t_mod;
             let mut detector = PeakDetector::new();
             let mut t_output_peak = None;
+            let mut mfreq_strobes = 0u64;
             pll.take_events();
             pll.collect_events(true);
             'detect: while pll.time() < deadline {
                 pll.advance_to(pll.time() + chunk);
                 for event in pll.take_events() {
                     if let Some(peak) = detector.on_event(event) {
-                        if peak.kind == PeakKind::Max && peak.t >= t_input_peak - guard {
-                            t_output_peak = Some(peak.t);
-                            break 'detect;
+                        if peak.kind == PeakKind::Max {
+                            mfreq_strobes += 1;
+                            if peak.t >= t_input_peak - guard {
+                                t_output_peak = Some(peak.t);
+                                break 'detect;
+                            }
                         }
                     }
                 }
             }
             pll.collect_events(false);
             pll.take_events();
+            drop(capture);
             let peak_found = t_output_peak.is_some();
             let t_output_peak = t_output_peak.unwrap_or(t_input_peak);
 
             // Stage 3: hold (or skip, in the no-hold comparison mode).
             seq.advance(pll.time());
+            let count = span!(tel, "monitor.count");
             let frequency = match s.capture {
                 CaptureMode::HoldAndCount => {
                     pll.set_hold(true);
@@ -394,6 +445,21 @@ impl TransferFunctionMonitor {
                         .measure(pll, s.count_divided_output)
                 }
             };
+            drop(count);
+            if tel.is_enabled() {
+                let d = pll.solver_stats().since(&stats_tone);
+                tel.add("monitor.mfreq_strobes", mfreq_strobes);
+                tel.add("monitor.counter_gates", 1);
+                tel.add("monitor.hold_engagements", d.hold_engagements);
+                tel.add("sim.steps", d.steps);
+                tel.add("sim.step_rejections", d.step_rejections);
+                tel.add("sim.ref_edges", d.ref_edges);
+                tel.add("sim.fb_edges", d.fb_edges);
+                tel.add(
+                    "pfd.dead_zone_glitches",
+                    pll.pfd_glitch_count() - glitches_tone,
+                );
+            }
             let delta_f_hz = frequency.frequency_hz - nominal.frequency_hz;
             // A physical lag lies within one modulation period. If the
             // detector slipped a period (a spurious lead/lag wiggle just
@@ -447,6 +513,7 @@ mod tests {
             mod_frequencies_hz: vec![1.0, 8.0, 25.0],
             settle_periods: 2.5,
             loop_settle_secs: 0.25,
+            capture_transcript: true,
             ..MonitorSettings::fast()
         }
     }
@@ -568,6 +635,67 @@ mod tests {
         let a = monitor.measure(&cfg);
         let b = monitor.measure(&cfg);
         assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn fast_settings_skip_the_transcript() {
+        let cfg = PllConfig::paper_table3();
+        let mut settings = tiny_settings();
+        settings.capture_transcript = false;
+        let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        assert!(result.transcript.is_empty());
+        assert_eq!(result.points.len(), 3);
+        // Telemetry disabled by default: no records either.
+        assert!(result.telemetry.is_empty());
+    }
+
+    #[test]
+    fn telemetry_records_monitor_stages_without_steering() {
+        use pllbist_telemetry::{Record, TelemetryConfig};
+        let cfg = PllConfig::paper_table3();
+        let baseline = TransferFunctionMonitor::new(tiny_settings()).measure(&cfg);
+        let mut settings = tiny_settings();
+        settings.telemetry = TelemetryConfig::enabled();
+        let observed = TransferFunctionMonitor::new(settings).measure(&cfg);
+        // Observation never steers the physics.
+        assert_eq!(baseline.points, observed.points);
+        // One tone span per modulation frequency, plus stage spans.
+        let span_names: Vec<&str> = observed
+            .telemetry
+            .iter()
+            .filter_map(|r| match r {
+                Record::Span { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            span_names.iter().filter(|n| **n == "monitor.tone").count(),
+            3
+        );
+        for stage in [
+            "monitor.nominal",
+            "monitor.settle",
+            "monitor.capture",
+            "monitor.count",
+        ] {
+            assert!(span_names.contains(&stage), "missing span {stage}");
+        }
+        // Work counters present with plausible magnitudes.
+        let counter = |want: &str| {
+            observed.telemetry.iter().find_map(|r| match r {
+                Record::Counter { name, value } if name == want => Some(*value),
+                _ => None,
+            })
+        };
+        assert_eq!(counter("monitor.counter_gates"), Some(3));
+        assert!(counter("sim.steps").unwrap() > 100);
+        assert!(counter("sim.ref_edges").unwrap() > 10);
+        assert!(counter("monitor.hold_engagements").unwrap() >= 3);
+        // Transcript memory gauge reported.
+        assert!(observed.telemetry.iter().any(|r| matches!(
+            r,
+            Record::Gauge { name, .. } if name == "monitor.transcript_bytes"
+        )));
     }
 
     #[test]

@@ -123,6 +123,7 @@ pub struct TestSequencer {
     tone_index: usize,
     tones: usize,
     transcript: Vec<Transition>,
+    record: bool,
     finished: bool,
 }
 
@@ -133,16 +134,38 @@ impl TestSequencer {
     ///
     /// Panics if `tones` is zero.
     pub fn new(tones: usize) -> Self {
+        Self::with_transcript(tones, true)
+    }
+
+    /// Creates a sequencer that does not record its transcript — the
+    /// state machine is identical, but long sweeps stop accreting one
+    /// [`Transition`] per stage (the monitor's `capture_transcript`
+    /// knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tones` is zero.
+    pub fn silent(tones: usize) -> Self {
+        Self::with_transcript(tones, false)
+    }
+
+    fn with_transcript(tones: usize, record: bool) -> Self {
         assert!(tones >= 1, "a sweep needs at least one tone");
+        let transcript = if record {
+            vec![Transition {
+                t: 0.0,
+                stage: Stage::ApplyModulation,
+                tone_index: 0,
+            }]
+        } else {
+            Vec::new()
+        };
         Self {
             stage: Stage::ApplyModulation,
             tone_index: 0,
             tones,
-            transcript: vec![Transition {
-                t: 0.0,
-                stage: Stage::ApplyModulation,
-                tone_index: 0,
-            }],
+            transcript,
+            record,
             finished: false,
         }
     }
@@ -189,11 +212,13 @@ impl TestSequencer {
             }
         };
         self.stage = next;
-        self.transcript.push(Transition {
-            t,
-            stage: next,
-            tone_index: self.tone_index,
-        });
+        if self.record {
+            self.transcript.push(Transition {
+                t,
+                stage: next,
+                tone_index: self.tone_index,
+            });
+        }
         Some(next)
     }
 }
@@ -247,6 +272,23 @@ mod tests {
             .transcript()
             .windows(2)
             .all(|w| w[0].tone_index <= w[1].tone_index));
+    }
+
+    #[test]
+    fn silent_sequencer_walks_the_same_machine_without_transcript() {
+        let mut loud = TestSequencer::new(2);
+        let mut quiet = TestSequencer::silent(2);
+        loop {
+            let a = loud.advance(0.5);
+            let b = quiet.advance(0.5);
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+        assert!(loud.transcript().len() > 1);
+        assert!(quiet.transcript().is_empty());
+        assert!(quiet.is_finished());
     }
 
     #[test]

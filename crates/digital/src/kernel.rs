@@ -111,6 +111,10 @@ pub struct Circuit {
     seq: u64,
     now: SimTime,
     trace: Trace,
+    /// Events popped and applied by [`run_until`](Self::run_until) since
+    /// construction (includes cancelled inertial transitions). Plain
+    /// counter for telemetry — never affects simulation behaviour.
+    events_dispatched: u64,
 }
 
 impl Default for Circuit {
@@ -130,6 +134,7 @@ impl Circuit {
             seq: 0,
             now: SimTime::ZERO,
             trace: Trace::new(),
+            events_dispatched: 0,
         }
     }
 
@@ -493,6 +498,12 @@ impl Circuit {
         self.queue.is_empty()
     }
 
+    /// Events dispatched by the kernel since construction — the
+    /// event-driven equivalent of "ODE steps taken" for telemetry.
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
     fn next_seq(&mut self) -> u64 {
         self.seq += 1;
         self.seq
@@ -512,6 +523,7 @@ impl Circuit {
             }
             let Reverse(ev) = self.queue.pop().expect("peeked event exists");
             self.now = ev.time;
+            self.events_dispatched += 1;
             self.apply_event(ev);
         }
         self.now = t;
@@ -796,6 +808,20 @@ mod tests {
             (c.rising_edge_count(x), c.value(x))
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn events_dispatched_counts_kernel_work() {
+        let mut c = Circuit::new();
+        assert_eq!(c.events_dispatched(), 0);
+        let clk = c.clock("clk", SimTime::from_nanos(500));
+        let _div = c.pulse_divider("div", clk, 4);
+        c.run_until(SimTime::from_micros(100));
+        let after = c.events_dispatched();
+        // 100 µs of a 1 MHz clock: 200 clock toggles plus divider events.
+        assert!(after >= 200, "only {after} events dispatched");
+        c.run_until(SimTime::from_micros(200));
+        assert!(c.events_dispatched() > after, "counter must keep rising");
     }
 
     #[test]

@@ -70,6 +70,50 @@ pub struct Sample {
     pub v_held: f64,
 }
 
+/// Cumulative solver work counters, kept as intrinsic plain `u64`s so
+/// the hot loop pays no synchronisation cost and stays bit-for-bit
+/// deterministic. Telemetry layers poll [`CpPll::solver_stats`] at stage
+/// boundaries and emit deltas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Committed integration segments (ODE steps taken).
+    pub steps: u64,
+    /// Trial segments shortened because a feedback-edge crossing was
+    /// detected inside them (the solver's step-size rejections).
+    pub step_rejections: u64,
+    /// Reference edges processed.
+    pub ref_edges: u64,
+    /// Feedback (divided-VCO) edges processed.
+    pub fb_edges: u64,
+    /// Hold-mechanism engagements (off→on transitions).
+    pub hold_engagements: u64,
+}
+
+impl SolverStats {
+    /// Component-wise `self - earlier`, for turning two cumulative
+    /// snapshots into a per-stage delta. Saturates at zero.
+    pub fn since(&self, earlier: &SolverStats) -> SolverStats {
+        SolverStats {
+            steps: self.steps.saturating_sub(earlier.steps),
+            step_rejections: self.step_rejections.saturating_sub(earlier.step_rejections),
+            ref_edges: self.ref_edges.saturating_sub(earlier.ref_edges),
+            fb_edges: self.fb_edges.saturating_sub(earlier.fb_edges),
+            hold_engagements: self
+                .hold_engagements
+                .saturating_sub(earlier.hold_engagements),
+        }
+    }
+
+    /// Component-wise accumulation of another stats block.
+    pub fn absorb(&mut self, other: &SolverStats) {
+        self.steps += other.steps;
+        self.step_rejections += other.step_rejections;
+        self.ref_edges += other.ref_edges;
+        self.fb_edges += other.fb_edges;
+        self.hold_engagements += other.hold_engagements;
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 enum DriveStage {
     Voltage(VoltageDriver),
@@ -139,6 +183,7 @@ pub struct CpPll {
     events: Vec<LoopEvent>,
     sampler: Option<Sampler>,
     noise: Option<NoiseSource>,
+    stats: SolverStats,
 }
 
 struct Sampler {
@@ -193,6 +238,7 @@ impl CpPll {
             events: Vec::new(),
             sampler: None,
             noise: None,
+            stats: SolverStats::default(),
         }
     }
 
@@ -252,6 +298,19 @@ impl CpPll {
     /// Number of feedback (divided-VCO) edges so far.
     pub fn fb_edge_count(&self) -> u64 {
         self.fb_edge_count
+    }
+
+    /// Cumulative solver work counters since construction. Snapshot at
+    /// stage boundaries and diff with [`SolverStats::since`] to attribute
+    /// work to a stage.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Dead-zone glitches (correction pulses narrower than the PFD dead
+    /// zone, hence ineffective) seen by this loop's PFD so far.
+    pub fn pfd_glitch_count(&self) -> u64 {
+        self.pfd.glitch_count()
     }
 
     /// The PFD's present output state.
@@ -334,6 +393,7 @@ impl CpPll {
     pub fn set_hold(&mut self, hold: bool) {
         if hold && !self.hold {
             self.pfd.reset();
+            self.stats.hold_engagements += 1;
         }
         self.hold = hold;
     }
@@ -419,6 +479,7 @@ impl CpPll {
         self.filter_state = state;
         self.vco_phase_cycles += dphase;
         self.t += dt;
+        self.stats.steps += 1;
         if let Some(sampler) = &mut self.sampler {
             if self.t >= sampler.next_t {
                 let v = self.filter.output(&self.filter_state, u);
@@ -498,7 +559,9 @@ impl CpPll {
             let trial = self.trial(u, dt_seg);
             let crossing = self.vco_phase_cycles + trial.0 >= self.next_fb_target;
             if crossing {
-                // Locate the feedback edge inside the segment.
+                // Locate the feedback edge inside the segment: the trial
+                // step is rejected and re-taken at the shortened length.
+                self.stats.step_rejections += 1;
                 let target = self.next_fb_target - self.vco_phase_cycles;
                 let dt_edge = self.solve_phase_crossing(u, target, dt_seg);
                 self.commit(u, dt_edge, None);
@@ -535,6 +598,7 @@ impl CpPll {
     fn process_ref_edge(&mut self) {
         // The generation-level jitter is already in `next_ref_edge`.
         let t = self.next_ref_edge;
+        self.stats.ref_edges += 1;
         if self.collect_events {
             self.events.push(LoopEvent::RefEdge { t });
         }
@@ -552,6 +616,7 @@ impl CpPll {
             None => t,
         };
         self.fb_edge_count += 1;
+        self.stats.fb_edges += 1;
         self.next_fb_target += self.config.divider_n as f64;
         if self.collect_events {
             self.events.push(LoopEvent::FbEdge { t: t_obs });
@@ -739,6 +804,33 @@ mod tests {
         let s = pll.take_samples();
         assert!((48..=52).contains(&s.len()), "{} samples", s.len());
         assert!(pll.take_samples().is_empty(), "drained");
+    }
+
+    #[test]
+    fn solver_stats_count_work_and_diff_cleanly() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = CpPll::new_locked(&cfg);
+        assert_eq!(pll.solver_stats(), SolverStats::default());
+        pll.advance_to(0.1);
+        let mid = pll.solver_stats();
+        assert!(mid.steps > 0, "{mid:?}");
+        // A locked loop at f_ref = 1 kHz sees ~100 edges of each kind
+        // in 0.1 s, and every feedback edge is a shortened (rejected)
+        // trial segment.
+        assert!((90..=110).contains(&mid.ref_edges), "{mid:?}");
+        assert!((90..=110).contains(&mid.fb_edges), "{mid:?}");
+        assert_eq!(mid.step_rejections, mid.fb_edges, "{mid:?}");
+        assert_eq!(mid.hold_engagements, 0);
+        pll.set_hold(true);
+        pll.set_hold(true); // idempotent: still one engagement
+        pll.advance_to(0.2);
+        let end = pll.solver_stats();
+        let delta = end.since(&mid);
+        assert_eq!(delta.hold_engagements, 1);
+        assert_eq!(delta.fb_edges, end.fb_edges - mid.fb_edges);
+        let mut acc = mid;
+        acc.absorb(&delta);
+        assert_eq!(acc, end);
     }
 
     #[test]

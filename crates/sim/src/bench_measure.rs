@@ -8,11 +8,12 @@
 //! not have — which is why it serves as the accuracy baseline the on-chip
 //! monitor is compared against (ablation abl06).
 
-use crate::behavioral::CpPll;
+use crate::behavioral::{CpPll, SolverStats};
 use crate::config::PllConfig;
 use crate::stimulus::FmStimulus;
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_numeric::fit::sine_fit;
+use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
 use std::f64::consts::{FRAC_PI_2, TAU};
 
 /// One bench measurement at a single modulation frequency.
@@ -27,7 +28,7 @@ pub struct BenchPoint {
 }
 
 /// Settings for the bench sweep.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct BenchSettings {
     /// Peak reference deviation in Hz.
     pub deviation_hz: f64,
@@ -43,6 +44,11 @@ pub struct BenchSettings {
     /// its own freshly built loop, so the results are **bitwise
     /// identical** for every thread count — see [`crate::parallel`].
     pub threads: usize,
+    /// Observability knob: disabled by default (near-zero overhead).
+    /// When enabled, [`measure_sweep_run`] returns per-point spans,
+    /// solver counters and per-worker utilization alongside the points.
+    /// Telemetry never changes the measured numbers.
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for BenchSettings {
@@ -53,6 +59,7 @@ impl Default for BenchSettings {
             measure_periods: 4.0,
             samples_per_period: 64,
             threads: 0,
+            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
@@ -69,6 +76,16 @@ impl Default for BenchSettings {
 ///
 /// Panics if `f_mod_hz` is not positive or the settings are degenerate.
 pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings) -> BenchPoint {
+    measure_point_with_stats(config, f_mod_hz, settings).0
+}
+
+/// [`measure_point`] plus the solver work it cost ([`SolverStats`]),
+/// for telemetry attribution. The measured point is identical.
+pub fn measure_point_with_stats(
+    config: &PllConfig,
+    f_mod_hz: f64,
+    settings: &BenchSettings,
+) -> (BenchPoint, SolverStats) {
     assert!(f_mod_hz > 0.0, "modulation frequency must be positive");
     assert!(
         settings.measure_periods >= 1.0 && settings.samples_per_period >= 8,
@@ -133,11 +150,14 @@ pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings
     while phase <= -std::f64::consts::PI {
         phase += TAU;
     }
-    BenchPoint {
-        f_mod_hz,
-        gain,
-        phase,
-    }
+    (
+        BenchPoint {
+            f_mod_hz,
+            gain,
+            phase,
+        },
+        pll.solver_stats(),
+    )
 }
 
 /// Sweeps the bench measurement over the given modulation frequencies,
@@ -152,9 +172,55 @@ pub fn measure_sweep_points(
     f_mod_hz: &[f64],
     settings: &BenchSettings,
 ) -> Vec<BenchPoint> {
-    crate::parallel::par_map(f_mod_hz, settings.threads, |&fm| {
-        measure_point(config, fm, settings)
-    })
+    measure_sweep_run(config, f_mod_hz, settings).points
+}
+
+/// A completed bench sweep: the measured points plus every telemetry
+/// record the run produced (empty when `settings.telemetry` is off).
+#[derive(Clone, Debug)]
+pub struct SweepRun {
+    /// One [`BenchPoint`] per requested frequency, in input order.
+    pub points: Vec<BenchPoint>,
+    /// Drained telemetry: per-point spans, solver counters, per-worker
+    /// chunk spans and utilization.
+    pub telemetry: Vec<Record>,
+}
+
+/// Sweeps the bench measurement with telemetry per
+/// `settings.telemetry`. The points are bitwise identical to
+/// [`measure_sweep_points`] for every thread count and telemetry state —
+/// instrumentation observes, never steers.
+pub fn measure_sweep_run(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> SweepRun {
+    let tel = Collector::from_config(&settings.telemetry);
+    let points = crate::parallel::par_map_chunks_observed(
+        f_mod_hz,
+        settings.threads,
+        &tel,
+        |_worker, chunk| {
+            chunk
+                .iter()
+                .map(|&fm| {
+                    let _point = span!(tel, "bench.point", f_mod_hz = fm);
+                    let (point, stats) = measure_point_with_stats(config, fm, settings);
+                    if tel.is_enabled() {
+                        tel.add("sim.steps", stats.steps);
+                        tel.add("sim.step_rejections", stats.step_rejections);
+                        tel.add("sim.ref_edges", stats.ref_edges);
+                        tel.add("sim.fb_edges", stats.fb_edges);
+                    }
+                    point
+                })
+                .collect()
+        },
+    );
+    SweepRun {
+        points,
+        telemetry: tel.drain(),
+    }
 }
 
 /// Sweeps the bench measurement over the given modulation frequencies and
@@ -197,7 +263,34 @@ mod tests {
             measure_periods: 3.0,
             samples_per_period: 32,
             threads: 1,
+            ..BenchSettings::default()
         }
+    }
+
+    #[test]
+    fn sweep_run_telemetry_observes_without_steering() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0, 20.0];
+        let quiet = measure_sweep_points(&cfg, &freqs, &quick());
+        let loud_settings = BenchSettings {
+            telemetry: TelemetryConfig::enabled(),
+            ..quick()
+        };
+        let run = measure_sweep_run(&cfg, &freqs, &loud_settings);
+        assert_eq!(run.points, quiet, "telemetry must not change results");
+        let point_spans = run
+            .telemetry
+            .iter()
+            .filter(|r| matches!(r, Record::Span { name, .. } if name == "bench.point"))
+            .count();
+        assert_eq!(point_spans, 3);
+        assert!(run.telemetry.iter().any(
+            |r| matches!(r, Record::Counter { name, value } if name == "sim.steps" && *value > 0)
+        ));
+        // Disabled telemetry yields no records at all.
+        let silent = measure_sweep_run(&cfg, &freqs, &quick());
+        assert!(silent.telemetry.is_empty());
+        assert_eq!(silent.points, quiet);
     }
 
     #[test]

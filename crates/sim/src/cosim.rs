@@ -23,6 +23,22 @@ use pllbist_digital::kernel::{Circuit, NetId};
 use pllbist_digital::logic::Logic;
 use pllbist_digital::time::SimTime;
 
+/// Cumulative co-simulation work counters (same philosophy as
+/// [`crate::behavioral::SolverStats`]: plain `u64`s, polled by telemetry
+/// at stage boundaries, never synchronised in the hot loop).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CosimStats {
+    /// Committed analogue integration segments.
+    pub steps: u64,
+    /// Trial segments shortened by a VCO output toggle inside them.
+    pub step_rejections: u64,
+    /// VCO output-net toggles poked into the digital kernel.
+    pub vco_toggles: u64,
+    /// Gate-level events dispatched by the digital kernel (see
+    /// [`Circuit::events_dispatched`]).
+    pub kernel_events: u64,
+}
+
 /// The nets through which the analogue loop meets the digital circuit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LoopNets {
@@ -113,6 +129,9 @@ pub struct MixedSignalPll {
     next_half: f64,
     vco_level: bool,
     micro_dt: f64,
+    steps: u64,
+    step_rejections: u64,
+    vco_toggles: u64,
 }
 
 impl MixedSignalPll {
@@ -149,6 +168,9 @@ impl MixedSignalPll {
             next_half: 1.0,
             vco_level: false,
             micro_dt,
+            steps: 0,
+            step_rejections: 0,
+            vco_toggles: 0,
         }
     }
 
@@ -193,6 +215,16 @@ impl MixedSignalPll {
         self.nets
     }
 
+    /// Cumulative co-simulation work counters since construction.
+    pub fn stats(&self) -> CosimStats {
+        CosimStats {
+            steps: self.steps,
+            step_rejections: self.step_rejections,
+            vco_toggles: self.vco_toggles,
+            kernel_events: self.circuit.events_dispatched(),
+        }
+    }
+
     /// Current simulation time in seconds.
     pub fn time(&self) -> f64 {
         self.t
@@ -235,6 +267,7 @@ impl MixedSignalPll {
         self.filter_state = state;
         self.vco_phase_cycles += dphase;
         self.t += dt;
+        self.steps += 1;
     }
 
     /// Advances both domains to absolute time `t_end` (seconds).
@@ -260,7 +293,9 @@ impl MixedSignalPll {
             let (dphase, _) = self.trial(u, dt_seg);
             let target = self.next_half * 0.5; // in cycles
             if self.vco_phase_cycles + dphase >= target {
-                // VCO output toggles inside the segment.
+                // VCO output toggles inside the segment: reject the trial
+                // and re-take it shortened to the toggle instant.
+                self.step_rejections += 1;
                 let need = target - self.vco_phase_cycles;
                 let dt_edge = self.solve_phase_crossing(u, need, dt_seg);
                 self.commit(u, dt_edge);
@@ -279,6 +314,7 @@ impl MixedSignalPll {
     fn toggle_vco_output(&mut self) {
         self.vco_level = !self.vco_level;
         self.next_half += 1.0;
+        self.vco_toggles += 1;
         let at = SimTime::from_secs_f64(self.t).max(self.circuit.now());
         self.circuit
             .poke(self.nets.vco_out, Logic::from(self.vco_level), at);
@@ -354,6 +390,22 @@ mod tests {
         let dn_high = pll.circuit().trace().total_high_time(dn).as_secs_f64();
         // Allow for the acquisition transient at the start.
         assert!(up_high + dn_high < 0.2, "up {up_high} dn {dn_high}");
+    }
+
+    #[test]
+    fn cosim_stats_count_both_domains() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_clock_reference(&cfg);
+        assert_eq!(pll.stats(), CosimStats::default());
+        pll.advance_to(0.05);
+        let s = pll.stats();
+        // 0.05 s at 5 kHz VCO: 500 half-period toggles, each a rejected
+        // (shortened) trial; the kernel sees at least those pokes plus
+        // reference clock and divider activity.
+        assert!((495..=505).contains(&s.vco_toggles), "{s:?}");
+        assert!(s.step_rejections >= s.vco_toggles, "{s:?}");
+        assert!(s.steps > s.vco_toggles, "{s:?}");
+        assert!(s.kernel_events > 500, "{s:?}");
     }
 
     #[test]

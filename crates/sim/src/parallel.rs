@@ -66,21 +66,103 @@ where
     R: Send,
     F: Fn(&[T]) -> Vec<R> + Sync,
 {
+    par_map_chunks_observed(
+        items,
+        threads,
+        &pllbist_telemetry::Collector::disabled(),
+        |_, c| f(c),
+    )
+}
+
+/// [`par_map_chunks`] with per-worker telemetry: each worker's chunk is
+/// wrapped in a `parallel.chunk` span (worker index + item count), chunk
+/// wall times feed the `parallel.chunk_wall_secs` histogram, and the
+/// whole scope reports `parallel.items`, `parallel.workers` and the
+/// busy-vs-idle `parallel.utilization` gauge (1.0 = every worker busy
+/// for the full scope).
+///
+/// `f` additionally receives the worker's chunk index. Telemetry never
+/// influences the work: the returned vector is bitwise identical to
+/// [`par_map_chunks`] for every thread count and collector state.
+pub fn par_map_chunks_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<R> + Sync,
+{
     let workers = resolve_threads(threads).max(1).min(items.len().max(1));
     if workers <= 1 {
-        return f(items);
+        let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = 1u64);
+        let start = std::time::Instant::now();
+        let out = {
+            let _chunk = pllbist_telemetry::span!(
+                telemetry,
+                "parallel.chunk",
+                worker = 0u64,
+                items = items.len()
+            );
+            f(0, items)
+        };
+        if telemetry.is_enabled() {
+            telemetry.observe("parallel.chunk_wall_secs", start.elapsed().as_secs_f64());
+            telemetry.add("parallel.items", items.len() as u64);
+            telemetry.gauge("parallel.workers", 1.0);
+            telemetry.gauge("parallel.utilization", 1.0);
+        }
+        return out;
     }
     let chunk_len = items.len().div_ceil(workers);
-    std::thread::scope(|scope| {
+    let scope_start = std::time::Instant::now();
+    let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = workers as u64);
+    let f = &f;
+    let (out, busy): (Vec<R>, f64) = std::thread::scope(|scope| {
         let handles: Vec<_> = items
             .chunks(chunk_len)
-            .map(|chunk| scope.spawn(|| f(chunk)))
+            .enumerate()
+            .map(|(worker, chunk)| {
+                let tel = telemetry.clone();
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let out = {
+                        let _chunk = pllbist_telemetry::span!(
+                            tel,
+                            "parallel.chunk",
+                            worker = worker,
+                            items = chunk.len()
+                        );
+                        f(worker, chunk)
+                    };
+                    let wall = start.elapsed().as_secs_f64();
+                    if tel.is_enabled() {
+                        tel.observe("parallel.chunk_wall_secs", wall);
+                        tel.add("parallel.items", chunk.len() as u64);
+                    }
+                    (out, wall)
+                })
+            })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
+        let mut out = Vec::with_capacity(items.len());
+        let mut busy = 0.0;
+        for h in handles {
+            let (chunk_out, wall) = h.join().expect("sweep worker panicked");
+            out.extend(chunk_out);
+            busy += wall;
+        }
+        (out, busy)
+    });
+    if telemetry.is_enabled() {
+        let scope_wall = scope_start.elapsed().as_secs_f64();
+        telemetry.gauge("parallel.workers", workers as f64);
+        if scope_wall > 0.0 {
+            telemetry.gauge("parallel.utilization", busy / (workers as f64 * scope_wall));
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -144,6 +226,55 @@ mod tests {
                 serial,
                 "threads = {threads}"
             );
+        }
+    }
+
+    #[test]
+    fn worker_count_clamps_to_item_count() {
+        // More threads than items must not create empty-chunk workers:
+        // every spawned chunk carries at least one item, and results are
+        // unchanged.
+        let items: Vec<u32> = (0..3).collect();
+        let tel = pllbist_telemetry::Collector::enabled();
+        let got = par_map_chunks_observed(&items, 64, &tel, |_, chunk| {
+            assert!(!chunk.is_empty(), "empty-chunk worker spawned");
+            chunk.iter().map(|&x| x * 2).collect()
+        });
+        assert_eq!(got, vec![0, 2, 4]);
+        let records = tel.drain();
+        let chunk_spans = records
+            .iter()
+            .filter(|r| {
+                matches!(r, pllbist_telemetry::Record::Span { name, .. }
+                    if name == "parallel.chunk")
+            })
+            .count();
+        assert!(
+            (1..=3).contains(&chunk_spans),
+            "{chunk_spans} chunk spans for 3 items"
+        );
+        assert!(records.iter().any(|r| matches!(
+            r,
+            pllbist_telemetry::Record::Counter { name, value: 3 } if name == "parallel.items"
+        )));
+    }
+
+    #[test]
+    fn observed_map_is_identical_with_and_without_telemetry() {
+        let items: Vec<f64> = (1..=25).map(|k| k as f64 * 0.1).collect();
+        let work = |_w: usize, chunk: &[f64]| -> Vec<u64> {
+            chunk
+                .iter()
+                .map(|x| (x.sin() * x.exp()).sqrt().to_bits())
+                .collect()
+        };
+        let quiet =
+            par_map_chunks_observed(&items, 1, &pllbist_telemetry::Collector::disabled(), work);
+        for threads in [1, 2, 4, 16] {
+            let tel = pllbist_telemetry::Collector::enabled();
+            let got = par_map_chunks_observed(&items, threads, &tel, work);
+            assert_eq!(got, quiet, "threads = {threads}");
+            assert!(!tel.drain().is_empty());
         }
     }
 

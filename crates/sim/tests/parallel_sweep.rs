@@ -3,8 +3,11 @@
 //! loop, so for ANY thread count the result vector is identical — same
 //! order, bitwise-equal floats.
 
-use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, BenchSettings};
+use pllbist_sim::bench_measure::{
+    log_spaced, measure_sweep_points, measure_sweep_run, BenchSettings,
+};
 use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::TelemetryConfig;
 
 fn quick_settings(threads: usize) -> BenchSettings {
     BenchSettings {
@@ -57,6 +60,36 @@ fn auto_thread_count_matches_serial_too() {
     for (s, a) in serial.iter().zip(&auto) {
         assert_eq!(s.gain.to_bits(), a.gain.to_bits());
         assert_eq!(s.phase.to_bits(), a.phase.to_bits());
+    }
+}
+
+#[test]
+fn telemetry_enabled_sweep_is_bitwise_identical_for_any_thread_count() {
+    // The acceptance bar for the observability layer: turning the
+    // collector on must not perturb a single bit of the physics, at any
+    // parallelism.
+    let cfg = PllConfig::paper_table3();
+    let tones = log_spaced(2.0, 30.0, 5);
+    let baseline = measure_sweep_points(&cfg, &tones, &quick_settings(1));
+    for threads in [1, 2, 3, 8] {
+        let settings = BenchSettings {
+            telemetry: TelemetryConfig::enabled(),
+            ..quick_settings(threads)
+        };
+        let run = measure_sweep_run(&cfg, &tones, &settings);
+        assert!(!run.telemetry.is_empty(), "threads = {threads}");
+        for (i, (b, p)) in baseline.iter().zip(&run.points).enumerate() {
+            assert_eq!(
+                b.gain.to_bits(),
+                p.gain.to_bits(),
+                "gain differs at {i} with telemetry, threads = {threads}"
+            );
+            assert_eq!(
+                b.phase.to_bits(),
+                p.phase.to_bits(),
+                "phase differs at {i} with telemetry, threads = {threads}"
+            );
+        }
     }
 }
 

@@ -1,0 +1,251 @@
+//! Fixed-bucket log-scale histogram with quantile readout.
+//!
+//! Built for wall-time samples spanning nanoseconds to seconds: buckets
+//! are geometrically spaced between a configurable `lo` and `hi`, so
+//! relative error per bucket is constant regardless of magnitude. The
+//! struct is plain data (no locks) — the [`crate::Collector`] guards it
+//! behind its own mutex.
+
+/// Number of geometric buckets between `lo` and `hi` (plus one underflow
+/// and one overflow bucket either side).
+const BUCKETS: usize = 96;
+
+/// A fixed-memory histogram over positive samples.
+///
+/// Quantiles are estimated by walking the cumulative bucket counts and
+/// geometrically interpolating inside the target bucket, then clamping
+/// to the exact observed `[min, max]`. With the default range
+/// (1 ns .. 1000 s) relative quantile error is bounded by one bucket
+/// width (~30% per decade / 96 buckets ≈ 27% of a decade, i.e. well
+/// under a factor of 2 and typically a few percent).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    /// log(hi/lo), cached for bucket index math.
+    log_span: f64,
+    counts: [u64; BUCKETS + 2],
+    count: u64,
+    min: f64,
+    max: f64,
+    sum: f64,
+}
+
+impl Default for Histogram {
+    /// Range suited to wall-clock seconds: 1 ns to 1000 s.
+    fn default() -> Self {
+        Self::with_range(1e-9, 1e3)
+    }
+}
+
+impl Histogram {
+    /// Creates a histogram with geometric buckets spanning `[lo, hi]`.
+    ///
+    /// # Panics
+    /// If `lo` or `hi` is not positive and finite, or `lo >= hi`.
+    pub fn with_range(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo > 0.0 && hi.is_finite() && lo < hi,
+            "invalid histogram range"
+        );
+        Self {
+            lo,
+            hi,
+            log_span: (hi / lo).ln(),
+            counts: [0; BUCKETS + 2],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+        }
+    }
+
+    /// Records one sample. Non-finite samples are ignored; values
+    /// outside the bucket range land in the under/overflow buckets but
+    /// still update `min`/`max` exactly.
+    pub fn record(&mut self, sample: f64) {
+        if !sample.is_finite() {
+            return;
+        }
+        let idx = if sample < self.lo {
+            0
+        } else if sample >= self.hi {
+            BUCKETS + 1
+        } else {
+            1 + ((sample / self.lo).ln() / self.log_span * BUCKETS as f64) as usize
+        };
+        // Float rounding at the top edge can land exactly on BUCKETS.
+        self.counts[idx.min(BUCKETS + 1)] += 1;
+        self.count += 1;
+        self.sum += sample;
+        self.min = self.min.min(sample);
+        self.max = self.max.max(sample);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact smallest sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Exact largest sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Exact sum of samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`), or `None` if empty.
+    ///
+    /// `q = 0` returns the exact min and `q = 1` the exact max; interior
+    /// quantiles are bucket estimates clamped into `[min, max]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        if q == 0.0 {
+            return Some(self.min);
+        }
+        if q == 1.0 {
+            return Some(self.max);
+        }
+        let target = q * self.count as f64;
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = seen + c;
+            if (next as f64) >= target {
+                let est = if idx == 0 {
+                    self.lo
+                } else if idx == BUCKETS + 1 {
+                    self.hi
+                } else {
+                    // Geometric midpoint-ish: interpolate within the
+                    // bucket by the fraction of the target rank inside it.
+                    let frac = (target - seen as f64) / c as f64;
+                    let b = idx - 1;
+                    self.lo * ((b as f64 + frac) / BUCKETS as f64 * self.log_span).exp()
+                };
+                return Some(est.clamp(self.min, self.max));
+            }
+            seen = next;
+        }
+        Some(self.max)
+    }
+
+    /// `(p50, p90, p99)` convenience readout, or `None` if empty.
+    pub fn percentiles(&self) -> Option<(f64, f64, f64)> {
+        Some((
+            self.quantile(0.5)?,
+            self.quantile(0.9)?,
+            self.quantile(0.99)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.percentiles(), None);
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_that_sample() {
+        let mut h = Histogram::default();
+        h.record(0.037);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!(
+                (v - 0.037).abs() < 1e-12,
+                "q={q}: got {v}, want exactly the single sample"
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_quantiles_are_exact_min_max() {
+        let mut h = Histogram::default();
+        for s in [3.0e-6, 1.0e-3, 2.2e-3, 0.5, 7.7] {
+            h.record(s);
+        }
+        assert_eq!(h.quantile(0.0), Some(3.0e-6));
+        assert_eq!(h.quantile(1.0), Some(7.7));
+        assert_eq!(h.min(), Some(3.0e-6));
+        assert_eq!(h.max(), Some(7.7));
+    }
+
+    #[test]
+    fn median_of_uniform_log_spread_is_close() {
+        let mut h = Histogram::default();
+        // 999 samples log-uniform over [1e-6, 1e0]: true median = 1e-3.
+        for i in 0..999 {
+            let t = i as f64 / 998.0;
+            h.record(1e-6 * (t * (1e0f64 / 1e-6).ln()).exp());
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!(
+            (p50.ln() - 1e-3f64.ln()).abs() < 0.2,
+            "p50 {p50:.3e} should be within one bucket of 1e-3"
+        );
+        let (q50, q90, q99) = h.percentiles().unwrap();
+        assert!(q50 <= q90 && q90 <= q99, "quantiles must be monotone");
+    }
+
+    #[test]
+    fn out_of_range_samples_clamp_but_min_max_stay_exact() {
+        let mut h = Histogram::with_range(1e-3, 1e0);
+        h.record(1e-9); // underflow bucket
+        h.record(1e6); // overflow bucket
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.min(), Some(1e-9));
+        assert_eq!(h.max(), Some(1e6));
+        // Interior quantile estimates clamp into the observed range.
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((1e-9..=1e6).contains(&p50));
+    }
+
+    #[test]
+    fn non_finite_samples_are_ignored() {
+        let mut h = Histogram::default();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        h.record(1.0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1.0);
+    }
+
+    #[test]
+    fn quantile_out_of_domain_clamps() {
+        let mut h = Histogram::default();
+        h.record(2.0);
+        h.record(4.0);
+        assert_eq!(h.quantile(-1.0), Some(2.0));
+        assert_eq!(h.quantile(2.0), Some(4.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid histogram range")]
+    fn invalid_range_panics() {
+        let _ = Histogram::with_range(1.0, 1.0);
+    }
+}

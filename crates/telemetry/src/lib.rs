@@ -1,0 +1,126 @@
+//! Zero-dependency observability for the pllbist workspace.
+//!
+//! The paper's whole argument is *measurement you can trust from the
+//! outside*: every Table 2 stage (settle, peak capture, hold, count) is
+//! observable at the pins. This crate gives the simulator the same
+//! property — every sweep stage, solver hot path and worker thread emits
+//! structured records a machine can read back — while preserving the
+//! workspace's hermetic-build invariant (plain `std`, no serde, no
+//! tracing crates; `cargo build --offline` keeps working).
+//!
+//! Three record families, one [`Collector`]:
+//!
+//! * **spans** ([`span!`]) — nestable, monotonic-clock timed scopes with
+//!   static-key/typed-value fields. The collector is `Sync`, so sweep
+//!   workers on `std::thread::scope` threads report into one place; each
+//!   record carries its thread label and per-thread nesting depth.
+//! * **metrics** — named [counters](Collector::add), [gauges]
+//!   (Collector::gauge) and fixed-bucket log-scale [histograms]
+//!   (Collector::observe) with p50/p90/p99 readout, for hot-path event
+//!   counts (solver steps, PFD glitches, MFREQ strobes, …).
+//! * **results** — the headline numbers a bench binary produces, so a
+//!   run is machine-checkable without scraping its stdout tables.
+//!
+//! Every record serialises to one JSON line (hand-rolled writer, schema
+//! documented on [`Record`]) and to a human-readable table
+//! ([`render_table`]). A disabled collector ([`Collector::disabled`])
+//! reduces every operation to an `Option` check on an `Arc` — no clock
+//! reads, no allocation, no locks — which is what makes the
+//! `enabled = false` default free enough to thread through the hot
+//! sweep paths (ablation `abl09_telemetry_overhead` bounds the enabled
+//! cost too).
+//!
+//! # Example
+//!
+//! ```
+//! use pllbist_telemetry::{span, Collector, Record};
+//!
+//! let tel = Collector::enabled();
+//! {
+//!     let _sweep = span!(tel, "sweep.point", f_mod_hz = 8.0);
+//!     tel.add("solver.steps", 1234);
+//!     tel.observe("tone_wall_secs", 0.021);
+//! }
+//! let records = tel.drain();
+//! assert!(records.iter().any(|r| matches!(r, Record::Span { name, .. } if name == "sweep.point")));
+//! let jsonl = pllbist_telemetry::to_jsonl(&records);
+//! assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+//! ```
+
+pub mod collector;
+pub mod hist;
+pub mod record;
+pub mod report;
+
+pub use collector::{Collector, SpanBuilder, SpanGuard};
+pub use hist::Histogram;
+pub use record::{render_table, to_jsonl, Fields, Record, Value, SCHEMA_VERSION};
+pub use report::RunReport;
+
+/// Where drained telemetry records should go when a run finishes.
+///
+/// Plain data (no handles) so it can live inside `MonitorSettings` /
+/// `BenchSettings` and keep their `Clone`/`Debug`/`PartialEq` derives.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SinkConfig {
+    /// Keep records in memory only; the caller drains and drops them.
+    Null,
+    /// Render the record table to stdout at the end of the run.
+    Stdout,
+    /// Append records as JSON lines to this path.
+    JsonlPath(String),
+}
+
+/// The observability knob threaded through the sweep stacks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Master switch: `false` compiles the instrumentation down to a
+    /// no-op collector (near-zero overhead).
+    pub enabled: bool,
+    /// Where the records go when the owning run report finishes.
+    pub sink: SinkConfig,
+    /// Record every Nth span per span name (1 = every span). Counters,
+    /// gauges and histograms are aggregates and are never sampled.
+    pub sample_every: u64,
+}
+
+impl TelemetryConfig {
+    /// Telemetry off (the default for library settings constructors).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            sink: SinkConfig::Null,
+            sample_every: 1,
+        }
+    }
+
+    /// Telemetry on, records kept in memory for the caller to drain.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            sink: SinkConfig::Null,
+            sample_every: 1,
+        }
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_off() {
+        let cfg = TelemetryConfig::default();
+        assert!(!cfg.enabled);
+        assert_eq!(cfg.sink, SinkConfig::Null);
+        assert_eq!(cfg.sample_every, 1);
+        assert_eq!(cfg, TelemetryConfig::disabled());
+        assert!(TelemetryConfig::enabled().enabled);
+    }
+}

@@ -1,0 +1,166 @@
+//! Machine-readable run reporting for bench binaries.
+//!
+//! Every `crates/bench` binary prints its human tables to stdout exactly
+//! as before; a [`RunReport`] additionally gathers [`Record`]s and, when
+//! the user passed `--jsonl <path>`, writes them as JSON lines with a
+//! `run` header so downstream tooling can parse results without
+//! scraping stdout.
+
+use std::io::Write as _;
+
+use crate::record::{Fields, Record, SCHEMA_VERSION};
+use crate::{Collector, SinkConfig, TelemetryConfig};
+
+/// Accumulates a bench run's records and flushes them to the configured
+/// sink on [`finish`](Self::finish).
+pub struct RunReport {
+    bin: &'static str,
+    jsonl_path: Option<String>,
+    records: Vec<Record>,
+}
+
+impl RunReport {
+    /// Creates a report for `bin`, reading `--jsonl <path>` from the
+    /// process arguments (all other arguments are ignored, so binaries
+    /// with their own flags keep working).
+    pub fn from_args(bin: &'static str) -> Self {
+        Self::new(bin, jsonl_path_from(std::env::args().skip(1)))
+    }
+
+    /// Creates a report with an explicit JSONL destination (`None` =
+    /// records are gathered but only written if a path is set later
+    /// logic-free; useful in tests).
+    pub fn new(bin: &'static str, jsonl_path: Option<String>) -> Self {
+        Self {
+            bin,
+            jsonl_path,
+            records: Vec::new(),
+        }
+    }
+
+    /// Telemetry knob for settings structs: enabled iff the run wants
+    /// JSONL output, pointing at the same path.
+    pub fn telemetry_config(&self) -> TelemetryConfig {
+        match &self.jsonl_path {
+            Some(path) => TelemetryConfig {
+                enabled: true,
+                sink: SinkConfig::JsonlPath(path.clone()),
+                sample_every: 1,
+            },
+            None => TelemetryConfig::disabled(),
+        }
+    }
+
+    /// Whether `--jsonl` was requested.
+    pub fn wants_jsonl(&self) -> bool {
+        self.jsonl_path.is_some()
+    }
+
+    /// Appends a headline result record.
+    pub fn result(&mut self, name: &str, fields: Fields) {
+        self.records.push(Record::Result {
+            name: name.to_string(),
+            fields,
+        });
+    }
+
+    /// Appends pre-built records (e.g. a sweep's drained telemetry).
+    pub fn extend(&mut self, records: Vec<Record>) {
+        self.records.extend(records);
+    }
+
+    /// Drains a collector into this report.
+    pub fn absorb(&mut self, collector: &Collector) {
+        self.records.extend(collector.drain());
+    }
+
+    /// Writes the `run` header plus all records to the JSONL path (if
+    /// any) and returns. Without `--jsonl` this is a no-op success.
+    pub fn finish(self) -> std::io::Result<()> {
+        let Some(path) = &self.jsonl_path else {
+            return Ok(());
+        };
+        let mut out = Vec::new();
+        let header = Record::Run {
+            bin: self.bin.to_string(),
+            schema: SCHEMA_VERSION,
+        };
+        out.extend_from_slice(header.to_json().as_bytes());
+        out.push(b'\n');
+        for r in &self.records {
+            out.extend_from_slice(r.to_json().as_bytes());
+            out.push(b'\n');
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(&out)?;
+        file.flush()
+    }
+}
+
+fn jsonl_path_from(args: impl Iterator<Item = String>) -> Option<String> {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        if arg == "--jsonl" {
+            return args.next();
+        }
+        if let Some(path) = arg.strip_prefix("--jsonl=") {
+            return Some(path.to_string());
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields;
+
+    #[test]
+    fn jsonl_flag_parses_both_forms() {
+        let argv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(
+            jsonl_path_from(argv(&["--threads", "4", "--jsonl", "/tmp/x.jsonl"]).into_iter()),
+            Some("/tmp/x.jsonl".to_string())
+        );
+        assert_eq!(
+            jsonl_path_from(argv(&["--jsonl=/tmp/y.jsonl"]).into_iter()),
+            Some("/tmp/y.jsonl".to_string())
+        );
+        assert_eq!(jsonl_path_from(argv(&["--threads", "4"]).into_iter()), None);
+        assert_eq!(jsonl_path_from(argv(&["--jsonl"]).into_iter()), None);
+    }
+
+    #[test]
+    fn finish_writes_header_then_records() {
+        let dir = std::env::temp_dir().join("pllbist_telemetry_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let mut report = RunReport::new("demo_bin", Some(path.to_string_lossy().into_owned()));
+        assert!(report.wants_jsonl());
+        assert!(report.telemetry_config().enabled);
+        report.result("gain_db", fields![f_mod_hz = 8.0, value = -3.1]);
+        let tel = Collector::enabled();
+        tel.add("sim.steps", 42);
+        report.absorb(&tel);
+        report.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"run\",\"bin\":\"demo_bin\",\"schema\":1}"
+        );
+        assert!(lines[1].starts_with("{\"type\":\"result\",\"name\":\"gain_db\""));
+        assert!(lines[2].contains("\"sim.steps\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn without_jsonl_finish_is_noop() {
+        let mut report = RunReport::new("demo_bin", None);
+        assert!(!report.wants_jsonl());
+        assert!(!report.telemetry_config().enabled);
+        report.result("x", fields![]);
+        report.finish().unwrap();
+    }
+}

@@ -21,4 +21,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> examples/quickstart (offline)"
+cargo run --release --offline --example quickstart
+
+echo "==> abl09 telemetry-overhead smoke (offline, JSONL sink)"
+abl09_out="target/abl09-smoke.jsonl"
+PLLBIST_ABL09_SAMPLES=5 cargo run --release --offline -p pllbist-bench \
+  --bin abl09_telemetry_overhead -- --jsonl "$abl09_out"
+head -1 "$abl09_out" | grep -q '"type":"run"' \
+  || { echo "abl09 smoke: missing JSONL run header"; exit 1; }
+
 echo "verify: OK"
