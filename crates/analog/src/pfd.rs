@@ -160,8 +160,9 @@ impl BehavioralPfd {
     }
 
     /// Completed pulses swallowed by the dead zone since construction
-    /// (the paper's fig. 5 "dead zone pulses"). Survives [`reset`]
-    /// (Self::reset) — it is a lifetime diagnostic, not loop state.
+    /// (the paper's fig. 5 "dead zone pulses"). Survives
+    /// [`reset`](Self::reset) — it is a lifetime diagnostic, not loop
+    /// state.
     pub fn glitch_count(&self) -> u64 {
         self.glitches
     }

@@ -1,0 +1,99 @@
+//! **Ablation abl10** — wall-clock payoff of lock-state checkpointing.
+//!
+//! Every sweep point needs the loop settled at lock before its tone is
+//! programmed. Without checkpointing each point simulates the whole lock
+//! transient from scratch; with it the transient is simulated **once**
+//! and every point restores the bit-exact snapshot
+//! (`pllbist_sim::scenario`). This ablation runs the same bench-style
+//! sweep both ways on one thread (so the ratio isolates checkpointing
+//! from core-count scaling), checks the results are bitwise identical,
+//! and reports the median speedup over several repetitions.
+//!
+//! The sweep uses high modulation tones on purpose: their per-tone
+//! settle/measure windows are short, so the fixed lock transient
+//! (≈ `8/(ζ·ωn)` ≈ 0.37 s of simulated time on the paper's loop)
+//! dominates the from-scratch cost — the regime checkpointing exists
+//! for. The `PLLBIST_ABL10_MIN_SPEEDUP` environment variable overrides
+//! the pass threshold (default 1.5) for constrained hosts.
+
+use pllbist_sim::bench_measure::{log_spaced, measure_sweep_run, BenchSettings};
+use pllbist_sim::config::PllConfig;
+use pllbist_telemetry::{fields, RunReport};
+use std::time::Instant;
+
+fn main() {
+    let mut report = RunReport::from_args("abl10_checkpoint_speedup");
+    let cfg = PllConfig::paper_table3();
+    let tones = log_spaced(25.0, 50.0, 8);
+    let reps: usize = std::env::var("PLLBIST_ABL10_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let min_speedup: f64 = std::env::var("PLLBIST_ABL10_MIN_SPEEDUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+    let telemetry = report.telemetry_config();
+    let settings = move |checkpoint| BenchSettings {
+        threads: 1,
+        checkpoint,
+        telemetry: telemetry.clone(),
+        ..BenchSettings::default()
+    };
+    println!(
+        "abl10 — lock-checkpoint speedup ({} tones at 25–50 Hz, {} rep(s), serial)\n",
+        tones.len(),
+        reps
+    );
+
+    // Warm-up pass so neither timed run pays first-touch costs.
+    let _ = measure_sweep_run(&cfg, &tones[..2], &settings(true));
+
+    let mut ratios = Vec::with_capacity(reps);
+    let mut scratch_secs = 0.0;
+    let mut ckpt_secs = 0.0;
+    for rep in 0..reps {
+        let t0 = Instant::now();
+        let scratch = measure_sweep_run(&cfg, &tones, &settings(false));
+        let dt_scratch = t0.elapsed();
+
+        let t1 = Instant::now();
+        let ckpt = measure_sweep_run(&cfg, &tones, &settings(true));
+        let dt_ckpt = t1.elapsed();
+
+        assert_eq!(
+            scratch.points, ckpt.points,
+            "checkpointed sweep must be bitwise identical to from-scratch"
+        );
+        report.extend(scratch.telemetry);
+        report.extend(ckpt.telemetry);
+        let ratio = dt_scratch.as_secs_f64() / dt_ckpt.as_secs_f64();
+        println!(
+            " rep {rep}: from-scratch {dt_scratch:>8.2?}  checkpointed {dt_ckpt:>8.2?}  ({ratio:.2}×)"
+        );
+        ratios.push(ratio);
+        scratch_secs += dt_scratch.as_secs_f64();
+        ckpt_secs += dt_ckpt.as_secs_f64();
+    }
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    let median = ratios[ratios.len() / 2];
+    println!(
+        "\nmedian speedup: {median:.2}× (threshold {min_speedup:.2}×); results bitwise identical"
+    );
+    report.result(
+        "checkpoint_speedup",
+        fields![
+            tones = tones.len(),
+            reps = reps,
+            scratch_secs = scratch_secs,
+            checkpoint_secs = ckpt_secs,
+            median_speedup = median,
+            min_speedup = min_speedup
+        ],
+    );
+    report.finish().expect("write --jsonl output");
+    assert!(
+        median >= min_speedup,
+        "checkpointing should pay ≥{min_speedup:.2}× on this sweep, measured {median:.2}×"
+    );
+}

@@ -14,7 +14,7 @@
 //! floor of the method — the EXPERIMENTS.md error budget quotes these
 //! bounds.
 
-use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::PllEngine;
 
 /// A frequency reading with its raw counts.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -111,7 +111,11 @@ impl FrequencyCounter {
     /// expected window plus one second): a stalled device — e.g. a gross
     /// leakage fault drooping the held VCO towards zero — produces a
     /// reading from the cycles actually seen instead of hanging the test.
-    pub fn measure(&self, pll: &mut CpPll, divided: bool) -> FrequencyReading {
+    ///
+    /// Works on any [`PllEngine`] backend — the counter only touches
+    /// phase, frequency and time, exactly the digital access a real BIST
+    /// counter has.
+    pub fn measure<E: PllEngine>(&self, pll: &mut E, divided: bool) -> FrequencyReading {
         let n = pll.config().divider_n as f64;
         let cycles_per_gate_cycle = if divided { n } else { 1.0 };
         let start_phase = pll.vco_phase_cycles();

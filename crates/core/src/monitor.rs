@@ -26,7 +26,9 @@ use crate::sequencer::{TestSequencer, Transition};
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::scenario::Scenario;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_sim::PllEngine;
 use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
 use std::f64::consts::TAU;
 
@@ -87,7 +89,11 @@ pub struct MonitorSettings {
     /// Modulation periods to wait after each stimulus change.
     pub settle_periods: f64,
     /// Fixed additional settling time per tone in seconds (covers the
-    /// loop's own transient; a test-plan constant in real BIST).
+    /// loop's own transient; a test-plan constant in real BIST). Any
+    /// value ≤ 0 means *auto*: use the workspace
+    /// [`pllbist_sim::scenario::settle_time`] heuristic for the device
+    /// configuration — see
+    /// [`resolved_loop_settle`](Self::resolved_loop_settle).
     pub loop_settle_secs: f64,
     /// Test clock for both counters in Hz.
     pub test_clock_hz: f64,
@@ -108,6 +114,12 @@ pub struct MonitorSettings {
     /// the measured values can differ from the serial ones in low-order
     /// bits (different settle history), never in physics.
     pub threads: usize,
+    /// On the parallel path, settle the lock transient once and hand
+    /// every worker a restored snapshot instead of re-locking per worker
+    /// (default `true`). [`PllEngine::restore`] is bit-exact, so this
+    /// changes wall-clock time only, never the measured values. Ignored
+    /// by the serial path, which walks the caller's loop as-is.
+    pub checkpoint: bool,
     /// Whether to record the Table 2 sequencer transcript into
     /// [`MonitorResult::transcript`]. On in [`paper`](Self::paper) (the
     /// transcript *is* the paper's Table 2 artefact), off in
@@ -137,6 +149,7 @@ impl MonitorSettings {
             count_divided_output: false,
             peak_guard_fraction: 0.05,
             threads: 0,
+            checkpoint: true,
             capture_transcript: true,
             telemetry: TelemetryConfig::disabled(),
         }
@@ -156,8 +169,20 @@ impl MonitorSettings {
             count_divided_output: false,
             peak_guard_fraction: 0.05,
             threads: 1,
+            checkpoint: true,
             capture_transcript: false,
             telemetry: TelemetryConfig::disabled(),
+        }
+    }
+
+    /// The per-tone loop-settle wait for `config`: `loop_settle_secs`
+    /// when positive, otherwise the workspace
+    /// [`pllbist_sim::scenario::settle_time`] heuristic.
+    pub fn resolved_loop_settle(&self, config: &PllConfig) -> f64 {
+        if self.loop_settle_secs > 0.0 {
+            self.loop_settle_secs
+        } else {
+            pllbist_sim::scenario::settle_time(config)
         }
     }
 }
@@ -269,9 +294,19 @@ impl TransferFunctionMonitor {
         &self.settings
     }
 
-    /// Runs the full sweep against a PLL configuration.
+    /// Runs the full sweep against a PLL configuration on the default
+    /// (behavioral, [`CpPll`]) backend.
     pub fn measure(&self, config: &PllConfig) -> MonitorResult {
-        let mut pll = CpPll::new_locked(config);
+        self.measure_with::<CpPll>(config)
+    }
+
+    /// Runs the full sweep against a PLL configuration on any
+    /// [`PllEngine`] backend — the behavioral fast path, the gate-level
+    /// co-simulation, or the closed-form reference adapter. The Table 2
+    /// sequence, counters and peak detector are identical in every case;
+    /// only the device model underneath changes.
+    pub fn measure_with<E: PllEngine>(&self, config: &PllConfig) -> MonitorResult {
+        let mut pll = E::new_locked(config);
         self.measure_on(&mut pll)
     }
 
@@ -281,19 +316,23 @@ impl TransferFunctionMonitor {
     /// With `threads` ≤ 1 (after resolving `0` = auto on a single-core
     /// host) the given loop walks every tone in order — the historical
     /// serial path. With more workers the tone list is chunked and every
-    /// worker measures its chunk on a fresh `CpPll::new_locked` built
-    /// from this loop's configuration; pre-stressed *state* (as opposed
-    /// to configuration) therefore only influences the nominal reading
-    /// and the serial path.
-    pub fn measure_on(&self, pll: &mut CpPll) -> MonitorResult {
+    /// worker measures its chunk on a settled loop built from the device
+    /// configuration (one shared checkpoint when `settings.checkpoint`
+    /// is on, a fresh lock per worker otherwise); pre-stressed *state*
+    /// (as opposed to configuration) therefore only influences the
+    /// nominal reading and the serial path.
+    pub fn measure_on<E: PllEngine>(&self, pll: &mut E) -> MonitorResult {
         let s = &self.settings;
         let tel = Collector::from_config(&s.telemetry);
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
+        let config = pll.config().clone();
+        let loop_settle = s.resolved_loop_settle(&config).max(0.1);
 
         // Lock and take the nominal reading (held for a clean gate).
         let nominal = {
             let _settle = span!(tel, "monitor.nominal");
-            pll.advance_to(pll.time() + s.loop_settle_secs.max(0.1));
+            let t = pll.time();
+            pll.advance_to(t + loop_settle);
             pll.set_hold(true);
             let nominal = fc.measure(pll, s.count_divided_output);
             pll.set_hold(false);
@@ -305,18 +344,20 @@ impl TransferFunctionMonitor {
         let (points, transcript) = if workers <= 1 {
             self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal, &tel)
         } else {
-            // Parallel path: one freshly locked loop per contiguous chunk
-            // of tones (the Table 2 sequence still runs in order inside
-            // each chunk). Results come back in sweep order.
-            let config = pll.config().clone();
-            let chunks = pllbist_sim::parallel::par_map_chunks_observed(
+            // Parallel path: one settled loop per contiguous chunk of
+            // tones (the Table 2 sequence still runs in order inside
+            // each chunk). Results come back in sweep order. With
+            // checkpointing the lock transient is simulated once and
+            // every worker restores the snapshot.
+            let scenario = Scenario::with_lock_settle(&config, loop_settle);
+            let snapshot = s.checkpoint.then(|| scenario.lock_checkpoint::<E>(&tel));
+            let chunks = scenario.sweep_chunks::<E, _, _>(
                 &s.mod_frequencies_hz,
                 workers,
+                snapshot.as_ref(),
                 &tel,
-                |_worker, chunk| {
-                    let mut worker_pll = CpPll::new_locked(&config);
-                    worker_pll.advance_to(worker_pll.time() + s.loop_settle_secs.max(0.1));
-                    vec![self.sweep_chunk(&mut worker_pll, chunk, &nominal, &tel)]
+                |worker_pll, _worker, chunk| {
+                    vec![self.sweep_chunk(worker_pll, chunk, &nominal, &tel)]
                 },
             );
             let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
@@ -344,9 +385,9 @@ impl TransferFunctionMonitor {
 
     /// Walks one contiguous run of modulation frequencies on `pll`,
     /// returning the measured points and the chunk's Table 2 transcript.
-    fn sweep_chunk(
+    fn sweep_chunk<E: PllEngine>(
         &self,
-        pll: &mut CpPll,
+        pll: &mut E,
         mod_frequencies_hz: &[f64],
         nominal: &FrequencyReading,
         tel: &Collector,
@@ -362,11 +403,11 @@ impl TransferFunctionMonitor {
         };
         let mut points = Vec::with_capacity(mod_frequencies_hz.len());
         let f_ref = pll.config().f_ref_hz;
+        let loop_settle = s.resolved_loop_settle(pll.config());
 
         for &f_mod in mod_frequencies_hz {
             let _tone = span!(tel, "monitor.tone", f_mod_hz = f_mod);
-            let stats_tone = pll.solver_stats();
-            let glitches_tone = pll.pfd_glitch_count();
+            let stats_tone = pll.work_stats();
             let t_mod = 1.0 / f_mod;
             // Stage 5 → stage 1 wrap for every tone after the first.
             if seq.stage() == crate::sequencer::Stage::NextTone {
@@ -376,8 +417,11 @@ impl TransferFunctionMonitor {
             let stimulus = {
                 let _settle = span!(tel, "monitor.settle");
                 let stimulus = self.build_stimulus(f_ref, f_mod);
-                pll.set_stimulus(stimulus.clone());
-                pll.advance_to(pll.time() + s.settle_periods * t_mod + s.loop_settle_secs);
+                Scenario::stimulate(
+                    pll,
+                    stimulus.clone(),
+                    s.settle_periods * t_mod + loop_settle,
+                );
                 seq.advance(pll.time());
                 stimulus
             };
@@ -447,7 +491,7 @@ impl TransferFunctionMonitor {
             };
             drop(count);
             if tel.is_enabled() {
-                let d = pll.solver_stats().since(&stats_tone);
+                let d = pll.work_stats().since(&stats_tone);
                 tel.add("monitor.mfreq_strobes", mfreq_strobes);
                 tel.add("monitor.counter_gates", 1);
                 tel.add("monitor.hold_engagements", d.hold_engagements);
@@ -455,10 +499,8 @@ impl TransferFunctionMonitor {
                 tel.add("sim.step_rejections", d.step_rejections);
                 tel.add("sim.ref_edges", d.ref_edges);
                 tel.add("sim.fb_edges", d.fb_edges);
-                tel.add(
-                    "pfd.dead_zone_glitches",
-                    pll.pfd_glitch_count() - glitches_tone,
-                );
+                tel.add("sim.kernel_events", d.kernel_events);
+                tel.add("pfd.dead_zone_glitches", d.pfd_glitches);
             }
             let delta_f_hz = frequency.frequency_hz - nominal.frequency_hz;
             // A physical lag lies within one modulation period. If the

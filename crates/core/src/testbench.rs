@@ -257,6 +257,8 @@ pub fn run_fig8(config: &PllConfig, opts: &TestbenchOptions) -> Fig8Capture {
             vco_out,
             pfd_up,
             pfd_dn,
+            reference,
+            fb: feedback,
         },
     );
 

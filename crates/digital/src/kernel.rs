@@ -34,6 +34,7 @@ impl NetId {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct GateId(u32);
 
+#[derive(Clone)]
 struct Net {
     name: String,
     value: Logic,
@@ -43,6 +44,7 @@ struct Net {
     traced: bool,
 }
 
+#[derive(Clone)]
 struct Gate {
     kind: GateKind,
     output: Option<NetId>,
@@ -52,7 +54,7 @@ struct Gate {
     generation: u64,
 }
 
-#[derive(PartialEq, Eq)]
+#[derive(Clone, PartialEq, Eq)]
 struct Event {
     time: SimTime,
     seq: u64,
@@ -103,6 +105,13 @@ impl PartialOrd for Event {
 /// assert!(c.value(up).is_high());
 /// assert!(c.value(dn).is_low());
 /// ```
+///
+/// `Circuit` is `Clone`: every field is plain data (the event queue
+/// included), so a clone is a **bit-exact checkpoint** of the whole
+/// digital domain — replaying the same pokes from a clone reproduces the
+/// original run event for event. The mixed-signal engine's lock-state
+/// snapshots rely on this.
+#[derive(Clone)]
 pub struct Circuit {
     nets: Vec<Net>,
     gates: Vec<Gate>,

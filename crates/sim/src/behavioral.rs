@@ -15,6 +15,7 @@
 //! horizon.
 
 use crate::config::{DriveConfig, PllConfig};
+use crate::engine::{PllEngine, WorkStats};
 use crate::noise::{NoiseConfig, NoiseSource};
 use crate::stimulus::FmStimulus;
 use pllbist_analog::filter::LoopFilter;
@@ -625,6 +626,149 @@ impl CpPll {
             self.pfd.on_feedback_edge(t_obs);
         }
     }
+
+    /// Snapshots the loop's dynamic state (see [`CpPllCheckpoint`]).
+    pub fn checkpoint(&self) -> CpPllCheckpoint {
+        CpPllCheckpoint {
+            t: self.t,
+            filter_state: self.filter_state.clone(),
+            pfd: self.pfd,
+            stimulus: self.stimulus.clone(),
+            vco_phase_cycles: self.vco_phase_cycles,
+            fb_edge_count: self.fb_edge_count,
+            next_fb_target: self.next_fb_target,
+            next_ref_edge: self.next_ref_edge,
+            next_ref_edge_ideal: self.next_ref_edge_ideal,
+            stim_phase_base: self.stim_phase_base,
+            hold: self.hold,
+            noise: self.noise.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites the dynamic state with a snapshot taken from a loop
+    /// built from the **same configuration** — bit-exact: the restored
+    /// loop continues precisely as the snapshotted one would have (every
+    /// filter/VCO/PFD coefficient is derived from the config, so only the
+    /// dynamic state needs restoring). Instrumentation (sampler, event
+    /// collection) is reset to off/empty.
+    pub fn restore(&mut self, snapshot: &CpPllCheckpoint) {
+        self.t = snapshot.t;
+        self.filter_state.clone_from(&snapshot.filter_state);
+        self.pfd = snapshot.pfd;
+        self.stimulus = snapshot.stimulus.clone();
+        self.vco_phase_cycles = snapshot.vco_phase_cycles;
+        self.fb_edge_count = snapshot.fb_edge_count;
+        self.next_fb_target = snapshot.next_fb_target;
+        self.next_ref_edge = snapshot.next_ref_edge;
+        self.next_ref_edge_ideal = snapshot.next_ref_edge_ideal;
+        self.stim_phase_base = snapshot.stim_phase_base;
+        self.hold = snapshot.hold;
+        self.noise = snapshot.noise.clone();
+        self.stats = snapshot.stats;
+        self.collect_events = false;
+        self.events = Vec::new();
+        self.sampler = None;
+    }
+}
+
+/// A bit-exact snapshot of a [`CpPll`]'s dynamic state.
+///
+/// Everything static — the filter object, VCO, drive stage, micro-step —
+/// is a pure function of the [`PllConfig`] and is deliberately *not*
+/// stored: [`CpPll::restore`] requires an engine built from the same
+/// configuration (restoring across configurations is a contract
+/// violation). The PFD (including its glitch counter) and the solver
+/// stats ride along so checkpointed and from-scratch runs report
+/// identical telemetry.
+#[derive(Clone, Debug)]
+pub struct CpPllCheckpoint {
+    t: f64,
+    filter_state: Vec<f64>,
+    pfd: BehavioralPfd,
+    stimulus: FmStimulus,
+    vco_phase_cycles: f64,
+    fb_edge_count: u64,
+    next_fb_target: f64,
+    next_ref_edge: f64,
+    next_ref_edge_ideal: f64,
+    stim_phase_base: f64,
+    hold: bool,
+    noise: Option<NoiseSource>,
+    stats: SolverStats,
+}
+
+impl PllEngine for CpPll {
+    type Checkpoint = CpPllCheckpoint;
+
+    fn new_locked(config: &PllConfig) -> Self {
+        CpPll::new_locked(config)
+    }
+
+    fn config(&self) -> &PllConfig {
+        self.config()
+    }
+
+    fn time(&self) -> f64 {
+        self.time()
+    }
+
+    fn advance_to(&mut self, t_end: f64) {
+        CpPll::advance_to(self, t_end);
+    }
+
+    fn control_voltage(&self) -> f64 {
+        CpPll::control_voltage(self)
+    }
+
+    fn vco_frequency_hz(&self) -> f64 {
+        CpPll::vco_frequency_hz(self)
+    }
+
+    fn vco_phase_cycles(&self) -> f64 {
+        CpPll::vco_phase_cycles(self)
+    }
+
+    fn set_stimulus(&mut self, stimulus: FmStimulus) {
+        CpPll::set_stimulus(self, stimulus);
+    }
+
+    fn set_hold(&mut self, hold: bool) {
+        CpPll::set_hold(self, hold);
+    }
+
+    fn is_held(&self) -> bool {
+        CpPll::is_held(self)
+    }
+
+    fn collect_events(&mut self, on: bool) {
+        CpPll::collect_events(self, on);
+    }
+
+    fn take_events(&mut self) -> Vec<LoopEvent> {
+        CpPll::take_events(self)
+    }
+
+    fn checkpoint(&self) -> CpPllCheckpoint {
+        CpPll::checkpoint(self)
+    }
+
+    fn restore(&mut self, snapshot: &CpPllCheckpoint) {
+        CpPll::restore(self, snapshot);
+    }
+
+    fn work_stats(&self) -> WorkStats {
+        let s = self.solver_stats();
+        WorkStats {
+            steps: s.steps,
+            step_rejections: s.step_rejections,
+            ref_edges: s.ref_edges,
+            fb_edges: s.fb_edges,
+            hold_engagements: s.hold_engagements,
+            pfd_glitches: self.pfd_glitch_count(),
+            kernel_events: 0,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -831,6 +975,28 @@ mod tests {
         let mut acc = mid;
         acc.absorb(&delta);
         assert_eq!(acc, end);
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_exactly() {
+        let cfg = PllConfig::paper_table3();
+        let mut a = CpPll::new_locked(&cfg);
+        a.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 8.0));
+        a.set_noise(Some(crate::noise::NoiseConfig::symmetric(2e-7, 42)));
+        a.advance_to(0.7);
+        let snap = a.checkpoint();
+        let mut b = CpPll::new_locked(&cfg);
+        b.restore(&snap);
+        a.advance_to(1.3);
+        b.advance_to(1.3);
+        assert_eq!(
+            a.vco_phase_cycles().to_bits(),
+            b.vco_phase_cycles().to_bits()
+        );
+        assert_eq!(a.control_voltage().to_bits(), b.control_voltage().to_bits());
+        assert_eq!(a.solver_stats(), b.solver_stats());
+        assert_eq!(a.fb_edge_count(), b.fb_edge_count());
+        assert_eq!(a.pfd_glitch_count(), b.pfd_glitch_count());
     }
 
     #[test]

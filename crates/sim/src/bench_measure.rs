@@ -7,9 +7,16 @@
 //! fitting. It requires exactly the analogue access an embedded PLL does
 //! not have — which is why it serves as the accuracy baseline the on-chip
 //! monitor is compared against (ablation abl06).
+//!
+//! Measurement runs on the shared [`crate::scenario`] pipeline: the loop
+//! locks and settles once per configuration (checkpointed by default),
+//! then each modulation point restores the snapshot, programs its tone,
+//! waits out the modulation transient and captures.
 
-use crate::behavioral::{CpPll, SolverStats};
+use crate::behavioral::CpPll;
 use crate::config::PllConfig;
+use crate::engine::{PllEngine, WorkStats};
+use crate::scenario::Scenario;
 use crate::stimulus::FmStimulus;
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_numeric::fit::sine_fit;
@@ -32,18 +39,23 @@ pub struct BenchPoint {
 pub struct BenchSettings {
     /// Peak reference deviation in Hz.
     pub deviation_hz: f64,
-    /// Modulation periods to discard while the loop settles (in addition
-    /// to the loop's own settling time).
+    /// Modulation periods to discard after the tone is programmed (on top
+    /// of the loop's own lock-settle wait, [`crate::scenario::settle_time`]).
     pub settle_periods: f64,
     /// Modulation periods to fit over.
     pub measure_periods: f64,
     /// Samples per modulation period.
     pub samples_per_period: usize,
     /// Worker threads for the sweep: `0` = one per available core
-    /// (the default), `1` = serial. Every modulation point is measured on
-    /// its own freshly built loop, so the results are **bitwise
-    /// identical** for every thread count — see [`crate::parallel`].
+    /// (the default), `1` = serial. Every modulation point starts from the
+    /// same settled lock state, so the results are **bitwise identical**
+    /// for every thread count — see [`crate::parallel`].
     pub threads: usize,
+    /// Reuse one settled lock state across the sweep (default `true`):
+    /// the lock transient is simulated once and every point restores the
+    /// snapshot instead of re-locking. [`PllEngine::restore`] is bit-exact,
+    /// so this changes wall-clock time only, never the measured numbers.
+    pub checkpoint: bool,
     /// Observability knob: disabled by default (near-zero overhead).
     /// When enabled, [`measure_sweep_run`] returns per-point spans,
     /// solver counters and per-worker utilization alongside the points.
@@ -59,6 +71,7 @@ impl Default for BenchSettings {
             measure_periods: 4.0,
             samples_per_period: 64,
             threads: 0,
+            checkpoint: true,
             telemetry: TelemetryConfig::disabled(),
         }
     }
@@ -67,10 +80,11 @@ impl Default for BenchSettings {
 /// Measures one point of the closed-loop response with full analogue
 /// access.
 ///
-/// The loop is built fresh, locked, driven with pure sinusoidal FM at
-/// `f_mod_hz`, allowed to settle for the larger of the configured settle
-/// periods and eight loop time constants, and then the VCO instantaneous
-/// frequency is sine-fitted against the known stimulus.
+/// The loop is settled at lock (the [`crate::scenario::settle_time`]
+/// heuristic), driven with pure sinusoidal FM at `f_mod_hz`, allowed
+/// `settle_periods` modulation periods for the tone's own transient, and
+/// then the VCO instantaneous frequency is sine-fitted against the known
+/// stimulus.
 ///
 /// # Panics
 ///
@@ -79,33 +93,44 @@ pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings
     measure_point_with_stats(config, f_mod_hz, settings).0
 }
 
-/// [`measure_point`] plus the solver work it cost ([`SolverStats`]),
+/// [`measure_point`] plus the solver work it cost ([`WorkStats`]),
 /// for telemetry attribution. The measured point is identical.
 pub fn measure_point_with_stats(
     config: &PllConfig,
     f_mod_hz: f64,
     settings: &BenchSettings,
-) -> (BenchPoint, SolverStats) {
+) -> (BenchPoint, WorkStats) {
+    let scenario = Scenario::new(config);
+    let mut pll: CpPll = scenario.settle_fresh();
+    capture_point(&mut pll, f_mod_hz, settings)
+}
+
+/// The capture stage of the pipeline: `pll` arrives already settled at
+/// lock; this programs the tone, waits out its transient, samples the VCO
+/// frequency over whole reference periods and sine-fits gain and phase.
+///
+/// Returns the point plus the work done *by this point* (a clean delta
+/// even when `pll` was restored from a checkpoint that already carries
+/// the settle work).
+fn capture_point(
+    pll: &mut CpPll,
+    f_mod_hz: f64,
+    settings: &BenchSettings,
+) -> (BenchPoint, WorkStats) {
     assert!(f_mod_hz > 0.0, "modulation frequency must be positive");
     assert!(
         settings.measure_periods >= 1.0 && settings.samples_per_period >= 8,
         "measurement window too small"
     );
-    let mut pll = CpPll::new_locked(config);
+    let config = PllEngine::config(pll);
+    let (f_ref_hz, f_vco_hz, divider_n) = (config.f_ref_hz, config.f_vco_hz(), config.divider_n);
+    let before = PllEngine::work_stats(pll);
     let t_mod = 1.0 / f_mod_hz;
-
-    // Loop settling: 8 dominant time constants.
-    let params = config.analysis().dominant_params();
-    let loop_settle = 8.0 / (params.damping * params.omega_n).max(1e-9);
-    let settle = (settings.settle_periods * t_mod).max(loop_settle);
-    // Start the modulation at t = 0 so the stimulus phase reference is
-    // exact, then wait out the transient.
-    pll.set_stimulus(FmStimulus::pure_sine(
-        config.f_ref_hz,
-        settings.deviation_hz,
-        f_mod_hz,
-    ));
-    pll.advance_to(settle);
+    Scenario::stimulate(
+        pll,
+        FmStimulus::pure_sine(f_ref_hz, settings.deviation_hz, f_mod_hz),
+        settings.settle_periods * t_mod,
+    );
 
     // Sample on a grid commensurate with the reference period: the
     // control-node correction-pulse ripple is (quasi-)periodic at f_ref,
@@ -114,13 +139,14 @@ pub fn measure_point_with_stats(
     // cycles. The frequency estimate between samples is the phase
     // difference over the interval (a gated-counter readout with the
     // quantisation removed; the BIST layer adds the quantisation back).
-    let t_ref = 1.0 / config.f_ref_hz;
+    let t_ref = 1.0 / f_ref_hz;
     let periods_per_sample = (t_mod / (settings.samples_per_period as f64 * t_ref))
         .round()
         .max(1.0);
     let sample_dt = periods_per_sample * t_ref;
     pll.enable_sampling(sample_dt);
-    pll.advance_to(settle + settings.measure_periods * t_mod);
+    let t = pll.time();
+    pll.advance_to(t + settings.measure_periods * t_mod);
     let samples = pll.take_samples();
 
     let omega = TAU * f_mod_hz;
@@ -128,7 +154,7 @@ pub fn measure_point_with_stats(
         .windows(2)
         .map(|w| {
             let f = (w[1].phase_cycles - w[0].phase_cycles) / (w[1].t - w[0].t);
-            (0.5 * (w[0].t + w[1].t), f - config.f_vco_hz())
+            (0.5 * (w[0].t + w[1].t), f - f_vco_hz)
         })
         .collect();
     let fit = sine_fit(&pairs, omega).expect("well-conditioned sine fit");
@@ -140,7 +166,7 @@ pub fn measure_point_with_stats(
 
     // The stimulus deviation is Δf·sin(ωt) = Δf·cos(ωt − π/2); the fit
     // reports A·cos(ωt + φ_out). Output-referred gain is A/(N·Δf).
-    let n = config.divider_n as f64;
+    let n = divider_n as f64;
     let gain = fit.amplitude() / sinc / (n * settings.deviation_hz);
     let mut phase = fit.phase() + FRAC_PI_2;
     // Normalise to (−π, π].
@@ -156,7 +182,7 @@ pub fn measure_point_with_stats(
             gain,
             phase,
         },
-        pll.solver_stats(),
+        PllEngine::work_stats(pll).since(&before),
     )
 }
 
@@ -164,9 +190,10 @@ pub fn measure_point_with_stats(
 /// returning one [`BenchPoint`] per frequency in input order.
 ///
 /// Points are distributed over `settings.threads` workers (`0` = one per
-/// core, `1` = serial). Each point builds its own loop, so the result is
-/// a pure function of `(config, f_mod_hz, settings)` — bitwise identical
-/// for every thread count.
+/// core, `1` = serial). Each point starts from the same settled lock
+/// state, so the result is a pure function of
+/// `(config, f_mod_hz, settings)` — bitwise identical for every thread
+/// count and for `checkpoint` on or off.
 pub fn measure_sweep_points(
     config: &PllConfig,
     f_mod_hz: &[f64],
@@ -196,25 +223,22 @@ pub fn measure_sweep_run(
     settings: &BenchSettings,
 ) -> SweepRun {
     let tel = Collector::from_config(&settings.telemetry);
-    let points = crate::parallel::par_map_chunks_observed(
+    let scenario = Scenario::new(config);
+    let points = scenario.sweep_points::<CpPll, _, _>(
         f_mod_hz,
         settings.threads,
+        settings.checkpoint,
         &tel,
-        |_worker, chunk| {
-            chunk
-                .iter()
-                .map(|&fm| {
-                    let _point = span!(tel, "bench.point", f_mod_hz = fm);
-                    let (point, stats) = measure_point_with_stats(config, fm, settings);
-                    if tel.is_enabled() {
-                        tel.add("sim.steps", stats.steps);
-                        tel.add("sim.step_rejections", stats.step_rejections);
-                        tel.add("sim.ref_edges", stats.ref_edges);
-                        tel.add("sim.fb_edges", stats.fb_edges);
-                    }
-                    point
-                })
-                .collect()
+        |pll, fm| {
+            let _point = span!(tel, "bench.point", f_mod_hz = fm);
+            let (point, stats) = capture_point(pll, fm, settings);
+            if tel.is_enabled() {
+                tel.add("sim.steps", stats.steps);
+                tel.add("sim.step_rejections", stats.step_rejections);
+                tel.add("sim.ref_edges", stats.ref_edges);
+                tel.add("sim.fb_edges", stats.fb_edges);
+            }
+            point
         },
     );
     SweepRun {
@@ -291,6 +315,22 @@ mod tests {
         let silent = measure_sweep_run(&cfg, &freqs, &quick());
         assert!(silent.telemetry.is_empty());
         assert_eq!(silent.points, quiet);
+    }
+
+    #[test]
+    fn checkpointed_sweep_is_bitwise_identical_to_fresh() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0, 20.0];
+        let fresh = measure_sweep_points(
+            &cfg,
+            &freqs,
+            &BenchSettings {
+                checkpoint: false,
+                ..quick()
+            },
+        );
+        let ckpt = measure_sweep_points(&cfg, &freqs, &quick());
+        assert_eq!(ckpt, fresh, "checkpointing must not change results");
     }
 
     #[test]

@@ -15,7 +15,10 @@
 //! dead-zone-clocked sampling flip-flop and the mux-based hold circuit all
 //! behave as they would in silicon.
 
+use crate::behavioral::LoopEvent;
 use crate::config::{DriveConfig, PllConfig};
+use crate::engine::{PllEngine, WorkStats};
+use crate::stimulus::FmStimulus;
 use pllbist_analog::filter::LoopFilter;
 use pllbist_analog::pump::{ChargePump, PumpOutput, VoltageDriver};
 use pllbist_analog::vco::Vco;
@@ -48,6 +51,37 @@ pub struct LoopNets {
     pub pfd_up: NetId,
     /// The loop PFD's DN output.
     pub pfd_dn: NetId,
+    /// The (modulated) reference the loop PFD compares against.
+    pub reference: NetId,
+    /// The divided-VCO feedback net at the loop PFD.
+    pub fb: NetId,
+}
+
+/// How the reference net is driven.
+///
+/// A caller-built circuit (clock, DCO, fig. 8 testbench) drives its own
+/// reference — `External`. The engine-driven variant synthesises the
+/// reference square wave from an [`FmStimulus`]'s closed-form phase, the
+/// same edge law the behavioural engine uses, which is what lets
+/// [`PllEngine::set_stimulus`] reprogram the gate-level loop
+/// phase-continuously.
+#[derive(Clone, Debug)]
+enum ReferenceSource {
+    /// The reference net is driven by circuitry the caller built; the
+    /// stimulus mux is absent.
+    External,
+    /// The engine pokes the reference net from the stimulus phase:
+    /// rising edges at integer phase, falling at half-integer.
+    Stimulated {
+        stimulus: FmStimulus,
+        /// Offset making the reference phase continuous across stimulus
+        /// switches.
+        stim_phase_base: f64,
+        /// Next toggle target in cycles (multiples of 0.5; integer =
+        /// rising).
+        next_toggle_phase: f64,
+        level: bool,
+    },
 }
 
 /// Builds the classic gate-level tri-state PFD (two D flip-flops with D
@@ -122,6 +156,7 @@ pub struct MixedSignalPll {
     filter_state: Vec<f64>,
     vco: Vco,
     drive_stage: DriveStage,
+    source: ReferenceSource,
     t: f64,
     vco_phase_cycles: f64,
     /// Next half-cycle boundary (in units of half cycles) at which the VCO
@@ -129,9 +164,16 @@ pub struct MixedSignalPll {
     next_half: f64,
     vco_level: bool,
     micro_dt: f64,
+    hold: bool,
+    collect: bool,
+    events: Vec<LoopEvent>,
+    /// Rising-edge counts already harvested into `events`.
+    seen_ref_edges: u64,
+    seen_fb_edges: u64,
     steps: u64,
     step_rejections: u64,
     vco_toggles: u64,
+    hold_engagements: u64,
 }
 
 impl MixedSignalPll {
@@ -163,19 +205,32 @@ impl MixedSignalPll {
                     DriveStage::Charge(ChargePump::with_mismatch(i_pump, mismatch))
                 }
             },
+            source: ReferenceSource::External,
             t: 0.0,
             vco_phase_cycles: 0.0,
             next_half: 1.0,
             vco_level: false,
             micro_dt,
+            hold: false,
+            collect: false,
+            events: Vec::new(),
+            seen_ref_edges: 0,
+            seen_fb_edges: 0,
             steps: 0,
             step_rejections: 0,
             vco_toggles: 0,
+            hold_engagements: 0,
         }
     }
 
     /// Builds the standard loop with a plain digital clock as reference:
     /// clock → PFD ← ÷N ← VCO. Gate delays default to 2 ns.
+    ///
+    /// The clock is circuit-driven (an external reference), so
+    /// [`PllEngine::set_stimulus`] is unavailable on this build; use
+    /// [`with_stimulated_reference`](Self::with_stimulated_reference)
+    /// (what [`PllEngine::new_locked`] builds) when the BIST needs to
+    /// modulate the reference.
     pub fn with_clock_reference(config: &PllConfig) -> Self {
         let mut circuit = Circuit::new();
         let half = SimTime::from_secs_f64(0.5 / config.f_ref_hz);
@@ -190,8 +245,42 @@ impl MixedSignalPll {
                 vco_out,
                 pfd_up,
                 pfd_dn,
+                reference,
+                fb,
             },
         )
+    }
+
+    /// Builds the standard loop with an **engine-driven** reference: the
+    /// reference net is an input poked from an [`FmStimulus`]'s
+    /// closed-form phase (initially the unmodulated `f_ref` carrier), so
+    /// the full Table 2 BIST sequence — stimulus mux included — can
+    /// drive the gate-level loop. This is what
+    /// [`PllEngine::new_locked`] returns for this engine.
+    pub fn with_stimulated_reference(config: &PllConfig) -> Self {
+        let mut circuit = Circuit::new();
+        let reference = circuit.input("refin", Logic::Low);
+        let vco_out = circuit.input("vco_out", Logic::Low);
+        let fb = circuit.pulse_divider("fbdiv", vco_out, config.divider_n as u64);
+        let (pfd_up, pfd_dn) = build_gate_pfd(&mut circuit, reference, fb, SimTime::from_nanos(2));
+        let mut pll = Self::new(
+            config,
+            circuit,
+            LoopNets {
+                vco_out,
+                pfd_up,
+                pfd_dn,
+                reference,
+                fb,
+            },
+        );
+        pll.source = ReferenceSource::Stimulated {
+            stimulus: FmStimulus::constant(config.f_ref_hz, 0.0),
+            stim_phase_base: 0.0,
+            next_toggle_phase: 1.0,
+            level: false,
+        };
+        pll
     }
 
     /// The configuration in use.
@@ -246,6 +335,12 @@ impl MixedSignalPll {
     }
 
     fn current_drive(&self) -> PumpOutput {
+        if self.hold {
+            // The hold mux starves the drive stage: tri-state (voltage
+            // drive) / zero current (charge pump), so the filter coasts on
+            // its capacitor state.
+            return self.drive_stage.drive(Logic::Low, Logic::Low);
+        }
         self.drive_stage.drive(
             self.circuit.value(self.nets.pfd_up),
             self.circuit.value(self.nets.pfd_dn),
@@ -282,13 +377,31 @@ impl MixedSignalPll {
         );
         while self.t < t_end {
             let mut tb = (self.t + self.micro_dt).min(t_end);
+            let mut is_ref_toggle = false;
+            if let Some(tr) = self.next_ref_toggle_time() {
+                if tr <= tb {
+                    tb = tr;
+                    is_ref_toggle = true;
+                }
+            }
             if let Some(te) = self.circuit.next_event_time() {
                 let te = te.as_secs_f64();
                 if te > self.t && te < tb {
                     tb = te;
+                    is_ref_toggle = false;
                 }
             }
             let dt_seg = tb - self.t;
+            if dt_seg <= 0.0 {
+                // A reference toggle lands exactly on the current time
+                // (e.g. right at the horizon): process it without
+                // advancing the analogue state.
+                if is_ref_toggle {
+                    self.toggle_reference();
+                    self.harvest_edges();
+                }
+                continue;
+            }
             let u = self.current_drive();
             let (dphase, _) = self.trial(u, dt_seg);
             let target = self.next_half * 0.5; // in cycles
@@ -300,15 +413,90 @@ impl MixedSignalPll {
                 let dt_edge = self.solve_phase_crossing(u, need, dt_seg);
                 self.commit(u, dt_edge);
                 self.toggle_vco_output();
+                self.harvest_edges();
                 continue;
             }
             self.commit(u, dt_seg);
+            if is_ref_toggle {
+                self.toggle_reference();
+            }
             // Let the digital side catch up to the boundary.
             let tb_ps = SimTime::from_secs_f64(self.t);
             if tb_ps > self.circuit.now() {
                 self.circuit.run_until(tb_ps);
             }
+            self.harvest_edges();
         }
+    }
+
+    /// The time of the next stimulated-reference toggle, if the engine
+    /// drives the reference itself (a pure function of the stimulus — the
+    /// analogue state plays no part).
+    fn next_ref_toggle_time(&self) -> Option<f64> {
+        match &self.source {
+            ReferenceSource::External => None,
+            ReferenceSource::Stimulated {
+                stimulus,
+                stim_phase_base,
+                next_toggle_phase,
+                ..
+            } => Some(stimulus.time_at_phase(next_toggle_phase - stim_phase_base, self.t)),
+        }
+    }
+
+    /// Pokes the next reference level into the kernel and advances the
+    /// toggle target by half a cycle.
+    fn toggle_reference(&mut self) {
+        let lv = {
+            let ReferenceSource::Stimulated {
+                next_toggle_phase,
+                level,
+                ..
+            } = &mut self.source
+            else {
+                return;
+            };
+            *level = !*level;
+            *next_toggle_phase += 0.5;
+            Logic::from(*level)
+        };
+        let at = SimTime::from_secs_f64(self.t).max(self.circuit.now());
+        self.circuit.poke(self.nets.reference, lv, at);
+        self.circuit.run_until(at);
+    }
+
+    /// Turns newly-dispatched kernel rising edges on the reference and
+    /// feedback nets into [`LoopEvent`]s. Segments are ≤ 1/8 of a VCO
+    /// period, so each harvest sees at most one new edge per stream;
+    /// kernel dispatch order makes the combined stream time-ordered.
+    fn harvest_edges(&mut self) {
+        if !self.collect {
+            return;
+        }
+        let rc = self.circuit.rising_edge_count(self.nets.reference);
+        let fc = self.circuit.rising_edge_count(self.nets.fb);
+        if rc == self.seen_ref_edges && fc == self.seen_fb_edges {
+            return;
+        }
+        let t_ref = self
+            .circuit
+            .last_rising_edge(self.nets.reference)
+            .map_or(self.t, |t| t.as_secs_f64());
+        let t_fb = self
+            .circuit
+            .last_rising_edge(self.nets.fb)
+            .map_or(self.t, |t| t.as_secs_f64());
+        let mut pending: Vec<LoopEvent> = Vec::new();
+        for _ in self.seen_ref_edges..rc {
+            pending.push(LoopEvent::RefEdge { t: t_ref });
+        }
+        for _ in self.seen_fb_edges..fc {
+            pending.push(LoopEvent::FbEdge { t: t_fb });
+        }
+        pending.sort_by(|a, b| a.time().total_cmp(&b.time()));
+        self.events.extend(pending);
+        self.seen_ref_edges = rc;
+        self.seen_fb_edges = fc;
     }
 
     fn toggle_vco_output(&mut self) {
@@ -337,6 +525,178 @@ impl MixedSignalPll {
             }
         }
         hi
+    }
+
+    /// Snapshots both domains (see [`CosimCheckpoint`]).
+    pub fn checkpoint(&self) -> CosimCheckpoint {
+        CosimCheckpoint {
+            circuit: self.circuit.clone(),
+            filter_state: self.filter_state.clone(),
+            source: self.source.clone(),
+            t: self.t,
+            vco_phase_cycles: self.vco_phase_cycles,
+            next_half: self.next_half,
+            vco_level: self.vco_level,
+            hold: self.hold,
+            steps: self.steps,
+            step_rejections: self.step_rejections,
+            vco_toggles: self.vco_toggles,
+            hold_engagements: self.hold_engagements,
+        }
+    }
+
+    /// Overwrites the dynamic state of both domains with a snapshot taken
+    /// from an engine built from the **same configuration** — bit-exact,
+    /// including the whole digital circuit (event queue and all).
+    /// Instrumentation (event collection) is reset to off/empty.
+    pub fn restore(&mut self, snapshot: &CosimCheckpoint) {
+        self.circuit = snapshot.circuit.clone();
+        self.filter_state.clone_from(&snapshot.filter_state);
+        self.source = snapshot.source.clone();
+        self.t = snapshot.t;
+        self.vco_phase_cycles = snapshot.vco_phase_cycles;
+        self.next_half = snapshot.next_half;
+        self.vco_level = snapshot.vco_level;
+        self.hold = snapshot.hold;
+        self.steps = snapshot.steps;
+        self.step_rejections = snapshot.step_rejections;
+        self.vco_toggles = snapshot.vco_toggles;
+        self.hold_engagements = snapshot.hold_engagements;
+        self.collect = false;
+        self.events = Vec::new();
+        self.seen_ref_edges = self.circuit.rising_edge_count(self.nets.reference);
+        self.seen_fb_edges = self.circuit.rising_edge_count(self.nets.fb);
+    }
+}
+
+/// A bit-exact snapshot of a [`MixedSignalPll`]'s dynamic state.
+///
+/// The digital domain is captured by cloning the whole [`Circuit`] —
+/// every net value, flip-flop, counter and pending event — which is what
+/// makes replay from a restore event-for-event identical. Static pieces
+/// (the filter object, VCO, drive stage, net ids, micro-step) derive
+/// from the [`PllConfig`]/build and are not stored; restoring into an
+/// engine built from a different configuration or circuit topology is a
+/// contract violation.
+#[derive(Clone)]
+pub struct CosimCheckpoint {
+    circuit: Circuit,
+    filter_state: Vec<f64>,
+    source: ReferenceSource,
+    t: f64,
+    vco_phase_cycles: f64,
+    next_half: f64,
+    vco_level: bool,
+    hold: bool,
+    steps: u64,
+    step_rejections: u64,
+    vco_toggles: u64,
+    hold_engagements: u64,
+}
+
+impl PllEngine for MixedSignalPll {
+    type Checkpoint = CosimCheckpoint;
+
+    /// Builds [`with_stimulated_reference`](MixedSignalPll::with_stimulated_reference)
+    /// — the full-BIST-capable gate-level loop.
+    fn new_locked(config: &PllConfig) -> Self {
+        MixedSignalPll::with_stimulated_reference(config)
+    }
+
+    fn config(&self) -> &PllConfig {
+        self.config()
+    }
+
+    fn time(&self) -> f64 {
+        self.time()
+    }
+
+    fn advance_to(&mut self, t_end: f64) {
+        MixedSignalPll::advance_to(self, t_end);
+    }
+
+    fn control_voltage(&self) -> f64 {
+        MixedSignalPll::control_voltage(self)
+    }
+
+    fn vco_frequency_hz(&self) -> f64 {
+        MixedSignalPll::vco_frequency_hz(self)
+    }
+
+    fn vco_phase_cycles(&self) -> f64 {
+        MixedSignalPll::vco_phase_cycles(self)
+    }
+
+    /// # Panics
+    ///
+    /// Panics if this engine was built around a caller-driven reference
+    /// ([`MixedSignalPll::with_clock_reference`] or a custom circuit):
+    /// the stimulus mux only exists on the
+    /// [`with_stimulated_reference`](MixedSignalPll::with_stimulated_reference)
+    /// build.
+    fn set_stimulus(&mut self, stimulus: FmStimulus) {
+        match &mut self.source {
+            ReferenceSource::External => panic!(
+                "this gate-level loop has a circuit-driven reference; build it with \
+                 MixedSignalPll::with_stimulated_reference (PllEngine::new_locked) to \
+                 program stimuli"
+            ),
+            ReferenceSource::Stimulated {
+                stimulus: current,
+                stim_phase_base,
+                ..
+            } => {
+                // Phase continuity: the new law takes over at the current
+                // reference phase, so the toggle targets stay valid.
+                let phase_now = *stim_phase_base + current.phase_cycles(self.t);
+                *stim_phase_base = phase_now - stimulus.phase_cycles(self.t);
+                *current = stimulus;
+            }
+        }
+    }
+
+    fn set_hold(&mut self, hold: bool) {
+        if hold && !self.hold {
+            self.hold_engagements += 1;
+        }
+        self.hold = hold;
+    }
+
+    fn is_held(&self) -> bool {
+        self.hold
+    }
+
+    fn collect_events(&mut self, on: bool) {
+        if on && !self.collect {
+            // Only edges from now on are reported.
+            self.seen_ref_edges = self.circuit.rising_edge_count(self.nets.reference);
+            self.seen_fb_edges = self.circuit.rising_edge_count(self.nets.fb);
+        }
+        self.collect = on;
+    }
+
+    fn take_events(&mut self) -> Vec<LoopEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn checkpoint(&self) -> CosimCheckpoint {
+        MixedSignalPll::checkpoint(self)
+    }
+
+    fn restore(&mut self, snapshot: &CosimCheckpoint) {
+        MixedSignalPll::restore(self, snapshot);
+    }
+
+    fn work_stats(&self) -> WorkStats {
+        WorkStats {
+            steps: self.steps,
+            step_rejections: self.step_rejections,
+            ref_edges: self.circuit.rising_edge_count(self.nets.reference),
+            fb_edges: self.circuit.rising_edge_count(self.nets.fb),
+            hold_engagements: self.hold_engagements,
+            pfd_glitches: 0,
+            kernel_events: self.circuit.events_dispatched(),
+        }
     }
 }
 
@@ -406,6 +766,115 @@ mod tests {
         assert!(s.step_rejections >= s.vco_toggles, "{s:?}");
         assert!(s.steps > s.vco_toggles, "{s:?}");
         assert!(s.kernel_events > 500, "{s:?}");
+    }
+
+    #[test]
+    fn stimulated_reference_locks_too() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_stimulated_reference(&cfg);
+        pll.advance_to(0.3);
+        assert!(
+            (pll.vco_frequency_hz() - 5_000.0).abs() < 10.0,
+            "f = {}",
+            pll.vco_frequency_hz()
+        );
+        // Both PFD inputs run at the reference rate once locked.
+        let s = pll.work_stats();
+        assert!((s.ref_edges as i64 - 300).abs() < 10, "{s:?}");
+        assert!((s.fb_edges as i64 - 300).abs() < 15, "{s:?}");
+        assert!(s.kernel_events > 500, "{s:?}");
+    }
+
+    #[test]
+    fn stimulated_reference_tracks_in_band_fm() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_stimulated_reference(&cfg);
+        pll.advance_to(0.5);
+        pll.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 2.0));
+        pll.advance_to(1.5); // modulation steady state
+        let mut prev_phase = pll.vco_phase_cycles();
+        let mut prev_t = pll.time();
+        let (mut max, mut min) = (f64::MIN, f64::MAX);
+        for k in 1..=100 {
+            pll.advance_to(1.5 + k as f64 * 0.01);
+            let f = (pll.vco_phase_cycles() - prev_phase) / (pll.time() - prev_t);
+            max = max.max(f);
+            min = min.min(f);
+            prev_phase = pll.vco_phase_cycles();
+            prev_t = pll.time();
+        }
+        // 2 Hz is well inside the 8 Hz loop: the output swings close to
+        // ±N·10 Hz (boxcar sampling shaves a little off the peaks).
+        assert!(max - min > 85.0 && max - min < 125.0, "swing {}", max - min);
+        assert!((0.5 * (max + min) - 5_000.0).abs() < 5.0, "centre drifted");
+    }
+
+    #[test]
+    fn hold_freezes_gate_level_loop() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_stimulated_reference(&cfg);
+        pll.advance_to(0.4);
+        pll.set_hold(true);
+        let frozen = pll.vco_frequency_hz();
+        pll.advance_to(0.7);
+        assert!(
+            (pll.vco_frequency_hz() - frozen).abs() < 1e-6,
+            "held {frozen} → {}",
+            pll.vco_frequency_hz()
+        );
+        assert_eq!(pll.work_stats().hold_engagements, 1);
+        pll.set_hold(false);
+        pll.advance_to(1.0);
+        assert!((pll.vco_frequency_hz() - 5_000.0).abs() < 10.0, "re-locks");
+    }
+
+    #[test]
+    fn events_match_kernel_edge_streams() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_stimulated_reference(&cfg);
+        pll.advance_to(0.3);
+        pll.collect_events(true);
+        pll.advance_to(0.4);
+        let events = pll.take_events();
+        for w in events.windows(2) {
+            assert!(w[0].time() <= w[1].time());
+        }
+        let refs = events
+            .iter()
+            .filter(|e| matches!(e, LoopEvent::RefEdge { .. }))
+            .count();
+        let fbs = events.len() - refs;
+        // 0.1 s at 1 kHz on each stream.
+        assert!((95..=105).contains(&refs), "refs {refs}");
+        assert!((95..=105).contains(&fbs), "fbs {fbs}");
+    }
+
+    #[test]
+    fn checkpoint_restore_replays_bit_exactly() {
+        let cfg = PllConfig::paper_table3();
+        let mut a = MixedSignalPll::with_stimulated_reference(&cfg);
+        a.advance_to(0.3);
+        a.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 8.0));
+        a.advance_to(0.35);
+        let snap = a.checkpoint();
+        let mut b = MixedSignalPll::with_stimulated_reference(&cfg);
+        b.restore(&snap);
+        a.advance_to(0.6);
+        b.advance_to(0.6);
+        assert_eq!(
+            a.vco_phase_cycles().to_bits(),
+            b.vco_phase_cycles().to_bits()
+        );
+        assert_eq!(a.control_voltage().to_bits(), b.control_voltage().to_bits());
+        assert_eq!(a.work_stats(), b.work_stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "circuit-driven reference")]
+    fn external_reference_rejects_stimulus() {
+        let cfg = PllConfig::paper_table3();
+        let mut pll = MixedSignalPll::with_clock_reference(&cfg);
+        pll.set_stimulus(FmStimulus::pure_sine(1_000.0, 10.0, 8.0));
     }
 
     #[test]

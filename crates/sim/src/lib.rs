@@ -13,6 +13,11 @@
 //!   analogue loop integrates between events. Used to validate the fast
 //!   path and to regenerate the waveform-level figures.
 //!
+//! Both engines (plus the closed-form reference adapter) implement the
+//! [`engine::PllEngine`] trait, so the BIST monitor and every sweep
+//! drive them interchangeably; [`scenario`] owns the shared
+//! settle→stimulate→capture pipeline with lock-state checkpointing.
+//!
 //! Supporting modules: [`config`] (the PLL description and fault
 //! injection), [`linear`] (closed-loop transfer function, eq. 4/5/6 of the
 //! paper), [`stimulus`] (sine FM, two-tone and multi-tone FSK — fig. 4),
@@ -40,13 +45,16 @@ pub mod behavioral;
 pub mod bench_measure;
 pub mod config;
 pub mod cosim;
+pub mod engine;
 pub mod linear;
 pub mod lock;
 pub mod noise;
 pub mod parallel;
+pub mod scenario;
 pub mod stimulus;
 pub mod transient;
 
 pub use behavioral::CpPll;
 pub use config::PllConfig;
+pub use engine::{ClosedFormPll, PllEngine, WorkStats};
 pub use linear::LoopAnalysis;

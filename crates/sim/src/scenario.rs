@@ -1,0 +1,263 @@
+//! The shared settle→stimulate→capture sweep pipeline.
+//!
+//! Every transfer-function measurement in this workspace — the Table 2
+//! BIST monitor, the bench-style baseline, the fault campaigns — walks
+//! the same skeleton: build a locked loop, let the lock transient die
+//! out, program a stimulus, wait for the modulation steady state, then
+//! capture. This module owns that skeleton once, for any
+//! [`PllEngine`] backend, with **lock-state checkpointing**: the settle
+//! phase runs once per configuration and each sweep point restores the
+//! snapshot instead of re-locking from scratch.
+//!
+//! Checkpointing never changes results: [`PllEngine::restore`] is
+//! bit-exact, so a checkpointed sweep is bitwise identical to a
+//! from-scratch sweep at any thread count (the workspace's
+//! `checkpoint_determinism` integration test pins this).
+
+use crate::config::PllConfig;
+use crate::engine::PllEngine;
+use crate::parallel::par_map_chunks_observed;
+use crate::stimulus::FmStimulus;
+use pllbist_telemetry::Collector;
+
+/// The loop-settle-time heuristic, in seconds — the **single** workspace
+/// definition (bench, monitor and transient-horizon logic all derive
+/// from here).
+///
+/// A second-order loop's envelope decays as `exp(−ζ·ωn·t)`; after
+/// `8/(ζ·ωn)` the lock transient is at `e⁻⁸ ≈ 3×10⁻⁴` of its initial
+/// amplitude, comfortably below the BIST counters' quantisation floor.
+/// The `max(1e-9)` guard keeps degenerate (near-undamped) configurations
+/// finite rather than dividing by zero.
+pub fn settle_time(config: &PllConfig) -> f64 {
+    let params = config.analysis().dominant_params();
+    8.0 / (params.damping * params.omega_n).max(1e-9)
+}
+
+/// One measurement scenario: a configuration plus the lock-settle wait
+/// its engines start from.
+///
+/// `Scenario` is the factory the sweep paths share. It builds engines at
+/// their *settled* lock point — either from scratch
+/// ([`settle_fresh`](Self::settle_fresh)) or by restoring a
+/// [`lock_checkpoint`](Self::lock_checkpoint) — and fans sweeps out over
+/// threads with the workspace's bitwise-determinism contract intact.
+#[derive(Clone, Copy, Debug)]
+pub struct Scenario<'a> {
+    config: &'a PllConfig,
+    lock_settle_secs: f64,
+}
+
+impl<'a> Scenario<'a> {
+    /// A scenario whose lock-settle wait is the documented
+    /// [`settle_time`] heuristic.
+    pub fn new(config: &'a PllConfig) -> Self {
+        Self {
+            config,
+            lock_settle_secs: settle_time(config),
+        }
+    }
+
+    /// A scenario with an explicit lock-settle wait (the monitor's
+    /// `loop_settle_secs` knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn with_lock_settle(config: &'a PllConfig, secs: f64) -> Self {
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "lock settle must be non-negative"
+        );
+        Self {
+            config,
+            lock_settle_secs: secs,
+        }
+    }
+
+    /// The configuration this scenario measures.
+    pub fn config(&self) -> &'a PllConfig {
+        self.config
+    }
+
+    /// The lock-settle wait in seconds.
+    pub fn lock_settle_secs(&self) -> f64 {
+        self.lock_settle_secs
+    }
+
+    /// Builds a locked engine and runs the lock-settle wait from scratch.
+    pub fn settle_fresh<E: PllEngine>(&self) -> E {
+        let mut pll = E::new_locked(self.config);
+        let t0 = pll.time();
+        pll.advance_to(t0 + self.lock_settle_secs);
+        pll
+    }
+
+    /// Settles one engine from scratch and snapshots it — the per-config
+    /// cost a checkpointed sweep pays exactly once.
+    pub fn lock_checkpoint<E: PllEngine>(&self, telemetry: &Collector) -> E::Checkpoint {
+        let _span = pllbist_telemetry::span!(telemetry, "scenario.checkpoint");
+        self.settle_fresh::<E>().checkpoint()
+    }
+
+    /// An engine ready for one sweep point: restored from `snapshot` when
+    /// one is given, settled from scratch otherwise. Both paths yield
+    /// bit-identical state.
+    pub fn point_engine<E: PllEngine>(&self, snapshot: Option<&E::Checkpoint>) -> E {
+        match snapshot {
+            Some(snap) => {
+                let mut pll = E::new_locked(self.config);
+                pll.restore(snap);
+                pll
+            }
+            None => self.settle_fresh(),
+        }
+    }
+
+    /// The stimulate stage: programs `stimulus` phase-continuously and
+    /// waits `settle_secs` for the modulation steady state.
+    pub fn stimulate<E: PllEngine>(pll: &mut E, stimulus: FmStimulus, settle_secs: f64) {
+        pll.set_stimulus(stimulus);
+        let t = pll.time();
+        pll.advance_to(t + settle_secs);
+    }
+
+    /// Fans `capture` out over `f_mod_hz` with one fresh-or-restored
+    /// engine **per point** (the bench shape: every point independent).
+    ///
+    /// With `use_checkpoint` the settle runs once and each point restores
+    /// the snapshot; without it each point settles from scratch. Results
+    /// are bitwise identical either way, for any `threads` value.
+    pub fn sweep_points<E, R, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        use_checkpoint: bool,
+        telemetry: &Collector,
+        capture: F,
+    ) -> Vec<R>
+    where
+        E: PllEngine,
+        R: Send,
+        F: Fn(&mut E, f64) -> R + Sync,
+    {
+        let snapshot = use_checkpoint.then(|| self.lock_checkpoint::<E>(telemetry));
+        par_map_chunks_observed(f_mod_hz, threads, telemetry, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&f_mod| {
+                    let mut pll = self.point_engine::<E>(snapshot.as_ref());
+                    capture(&mut pll, f_mod)
+                })
+                .collect()
+        })
+    }
+
+    /// Fans `walk` out over contiguous chunks of `f_mod_hz` with one
+    /// fresh-or-restored engine **per worker** (the monitor shape: a
+    /// worker walks its chunk of tones on one simulated loop).
+    ///
+    /// `walk` receives the worker's engine, its chunk index, and its
+    /// chunk of modulation frequencies, and returns that chunk's results.
+    pub fn sweep_chunks<E, R, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        snapshot: Option<&E::Checkpoint>,
+        telemetry: &Collector,
+        walk: F,
+    ) -> Vec<R>
+    where
+        E: PllEngine,
+        R: Send,
+        F: Fn(&mut E, usize, &[f64]) -> Vec<R> + Sync,
+    {
+        par_map_chunks_observed(f_mod_hz, threads, telemetry, |worker, chunk| {
+            let mut pll = self.point_engine::<E>(snapshot);
+            walk(&mut pll, worker, chunk)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::behavioral::CpPll;
+    use crate::engine::ClosedFormPll;
+
+    #[test]
+    fn settle_time_matches_dominant_pole_heuristic() {
+        let cfg = PllConfig::paper_table3();
+        let params = cfg.analysis().dominant_params();
+        let t = settle_time(&cfg);
+        assert!((t * params.damping * params.omega_n - 8.0).abs() < 1e-12);
+        // fn = 8 Hz, ζ = 0.43 → ≈ 0.37 s.
+        assert!(t > 0.2 && t < 0.6, "settle {t}");
+    }
+
+    #[test]
+    fn point_engine_paths_are_bit_identical() {
+        let cfg = PllConfig::paper_table3();
+        let scenario = Scenario::with_lock_settle(&cfg, 0.3);
+        let tel = Collector::disabled();
+        let snap = scenario.lock_checkpoint::<CpPll>(&tel);
+        let mut fresh: CpPll = scenario.settle_fresh();
+        let mut restored: CpPll = scenario.point_engine(Some(&snap));
+        assert_eq!(
+            PllEngine::time(&fresh).to_bits(),
+            PllEngine::time(&restored).to_bits()
+        );
+        Scenario::stimulate(&mut fresh, FmStimulus::pure_sine(1_000.0, 10.0, 8.0), 0.4);
+        Scenario::stimulate(
+            &mut restored,
+            FmStimulus::pure_sine(1_000.0, 10.0, 8.0),
+            0.4,
+        );
+        assert_eq!(
+            fresh.vco_phase_cycles().to_bits(),
+            restored.vco_phase_cycles().to_bits()
+        );
+        assert_eq!(
+            fresh.control_voltage().to_bits(),
+            restored.control_voltage().to_bits()
+        );
+    }
+
+    #[test]
+    fn sweep_points_checkpoint_and_threads_invariant() {
+        let cfg = PllConfig::paper_table3();
+        let scenario = Scenario::with_lock_settle(&cfg, 0.05);
+        let tones = [1.0, 4.0, 8.0, 12.0, 20.0];
+        let tel = Collector::disabled();
+        let capture = |pll: &mut ClosedFormPll, f_mod: f64| -> u64 {
+            Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
+            let t = pll.time();
+            pll.advance_to(t + 1.0 / f_mod);
+            pll.vco_phase_cycles().to_bits()
+        };
+        let baseline =
+            scenario.sweep_points::<ClosedFormPll, _, _>(&tones, 1, false, &tel, capture);
+        for (threads, use_ckpt) in [(1, true), (4, false), (4, true)] {
+            let got = scenario
+                .sweep_points::<ClosedFormPll, _, _>(&tones, threads, use_ckpt, &tel, capture);
+            assert_eq!(got, baseline, "threads {threads}, checkpoint {use_ckpt}");
+        }
+    }
+
+    #[test]
+    fn sweep_chunks_covers_all_points_in_order() {
+        let cfg = PllConfig::paper_table3();
+        let scenario = Scenario::with_lock_settle(&cfg, 0.0);
+        let tones = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let tel = Collector::disabled();
+        let snap = scenario.lock_checkpoint::<ClosedFormPll>(&tel);
+        let got = scenario.sweep_chunks::<ClosedFormPll, _, _>(
+            &tones,
+            3,
+            Some(&snap),
+            &tel,
+            |_pll, _worker, chunk| chunk.to_vec(),
+        );
+        assert_eq!(got, tones.to_vec());
+    }
+}

@@ -53,8 +53,9 @@ pub fn step_response(config: &PllConfig, delta_f_hz: f64, tolerance: f64) -> Ste
     let step_hz = n * delta_f_hz;
     let f_final = config.f_vco_hz() + step_hz;
 
-    let params = config.analysis().dominant_params();
-    let horizon = 20.0 / (params.damping * params.omega_n).max(1e-9);
+    // 2.5× the workspace settle heuristic (e⁻⁸ residual) so even the
+    // slow tolerance bands have closed well before the horizon.
+    let horizon = 2.5 * crate::scenario::settle_time(config);
     let sample_dt = 1.0 / config.f_ref_hz; // whole-period boxcar
     let t0 = pll.time();
     pll.enable_sampling(sample_dt);

@@ -1,4 +1,4 @@
-//! The thread-safe telemetry collector and the [`span!`] timing macro.
+//! The thread-safe telemetry collector and the [`span!`](crate::span) timing macro.
 //!
 //! Design constraints, in order:
 //!
@@ -112,7 +112,7 @@ impl Collector {
         self.inner.is_some()
     }
 
-    /// Starts a timed span. Prefer the [`span!`] macro, which attaches
+    /// Starts a timed span. Prefer the [`span!`](crate::span) macro, which attaches
     /// fields with less ceremony. The returned guard records the span
     /// when dropped.
     pub fn span(&self, name: &'static str) -> SpanBuilder<'_> {

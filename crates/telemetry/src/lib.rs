@@ -14,9 +14,9 @@
 //!   static-key/typed-value fields. The collector is `Sync`, so sweep
 //!   workers on `std::thread::scope` threads report into one place; each
 //!   record carries its thread label and per-thread nesting depth.
-//! * **metrics** — named [counters](Collector::add), [gauges]
-//!   (Collector::gauge) and fixed-bucket log-scale [histograms]
-//!   (Collector::observe) with p50/p90/p99 readout, for hot-path event
+//! * **metrics** — named [counters](Collector::add),
+//!   [gauges](Collector::gauge) and fixed-bucket log-scale
+//!   [histograms](Collector::observe) with p50/p90/p99 readout, for hot-path event
 //!   counts (solver steps, PFD glitches, MFREQ strobes, …).
 //! * **results** — the headline numbers a bench binary produces, so a
 //!   run is machine-checkable without scraping its stdout tables.

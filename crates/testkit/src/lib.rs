@@ -14,7 +14,7 @@
 //!   generated cases and reports the failing case index, seed and message
 //!   (no shrinking — the generators are simple enough that the raw case
 //!   is readable).
-//! * [`bench`] — a wall-clock benchmark timer replacing `criterion`:
+//! * [`bench`](mod@bench) — a wall-clock benchmark timer replacing `criterion`:
 //!   warmup, auto-scaled batching, and robust per-iteration statistics
 //!   (median and MAD) printed in a stable one-line-per-bench format.
 //!

@@ -1,10 +1,10 @@
 //! A minimal seeded property-testing harness.
 //!
-//! The [`prop_check!`] macro runs a closure over `cases` deterministically
+//! The [`prop_check!`](crate::prop_check) macro runs a closure over `cases` deterministically
 //! generated inputs. Each case gets a fresh [`Gen`] (a [`TestRng`] plus
 //! convenience generators); assertions inside the closure use
-//! [`prop_assert!`] / [`prop_assert_eq!`], and preconditions use
-//! [`prop_assume!`] (a discarded case is retried with the next derived
+//! [`prop_assert!`](crate::prop_assert) / [`prop_assert_eq!`](crate::prop_assert_eq), and preconditions use
+//! [`prop_assume!`](crate::prop_assume) (a discarded case is retried with the next derived
 //! seed, up to a discard budget). There is **no shrinking**: on failure
 //! the harness panics with the case index, the exact case seed and the
 //! assertion message, which is enough to replay the case under a debugger
@@ -142,7 +142,7 @@ impl Gen {
 
 /// Runs a property: `cases` accepted cases must return `Ok(())`.
 ///
-/// Prefer the [`prop_check!`] macro, which fills in `name` and derives a
+/// Prefer the [`prop_check!`](crate::prop_check) macro, which fills in `name` and derives a
 /// stable per-call-site seed.
 ///
 /// # Panics
@@ -199,8 +199,8 @@ pub fn site_seed(site: &str) -> u64 {
 ///
 /// `prop_check!(cases: N, |g| { ... Ok(()) })` or `prop_check!(|g| ...)`
 /// (256 cases). The closure receives `&mut Gen` and returns
-/// [`CaseResult`]; use [`prop_assert!`] / [`prop_assert_eq!`] /
-/// [`prop_assume!`] inside.
+/// [`CaseResult`]; use [`prop_assert!`](crate::prop_assert) / [`prop_assert_eq!`](crate::prop_assert_eq) /
+/// [`prop_assume!`](crate::prop_assume) inside.
 #[macro_export]
 macro_rules! prop_check {
     (cases: $cases:expr, $property:expr) => {{

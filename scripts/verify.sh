@@ -31,4 +31,14 @@ PLLBIST_ABL09_SAMPLES=5 cargo run --release --offline -p pllbist-bench \
 head -1 "$abl09_out" | grep -q '"type":"run"' \
   || { echo "abl09 smoke: missing JSONL run header"; exit 1; }
 
+echo "==> abl10 checkpoint-speedup smoke (offline, JSONL sink)"
+abl10_out="target/abl10-smoke.jsonl"
+cargo run --release --offline -p pllbist-bench \
+  --bin abl10_checkpoint_speedup -- --jsonl "$abl10_out"
+head -1 "$abl10_out" | grep -q '"type":"run"' \
+  || { echo "abl10 smoke: missing JSONL run header"; exit 1; }
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
+
 echo "verify: OK"

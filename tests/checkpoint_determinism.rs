@@ -1,0 +1,108 @@
+//! The checkpointing contract, pinned bitwise: a sweep that restores a
+//! settled lock snapshot per point (or per worker) must produce results
+//! **bit-for-bit identical** to one that re-locks from scratch, at every
+//! thread count. `PllEngine::restore` is specified bit-exact, and
+//! `pllbist_sim::parallel` splits work into contiguous chunks of pure
+//! per-item functions — so checkpointing and threading may only ever
+//! change wall-clock time, never a single mantissa bit.
+
+use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_sim::bench_measure::{measure_sweep_points, BenchPoint, BenchSettings};
+use pllbist_sim::config::PllConfig;
+
+fn bench_settings(threads: usize, checkpoint: bool) -> BenchSettings {
+    BenchSettings {
+        settle_periods: 2.0,
+        measure_periods: 2.0,
+        samples_per_period: 16,
+        threads,
+        checkpoint,
+        ..BenchSettings::default()
+    }
+}
+
+/// Raw IEEE-754 bits — `PartialEq` on `f64` would let `-0.0 == 0.0`
+/// slide; the checkpoint contract is stronger than numeric equality.
+fn bench_bits(points: &[BenchPoint]) -> Vec<[u64; 3]> {
+    points
+        .iter()
+        .map(|p| [p.f_mod_hz.to_bits(), p.gain.to_bits(), p.phase.to_bits()])
+        .collect()
+}
+
+#[test]
+fn bench_sweep_is_bitwise_invariant_to_checkpoint_and_threads() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [2.0, 5.0, 8.0, 14.0, 20.0, 30.0];
+    let baseline = bench_bits(&measure_sweep_points(
+        &cfg,
+        &tones,
+        &bench_settings(1, false),
+    ));
+    for threads in [1, 4] {
+        for checkpoint in [false, true] {
+            let got = bench_bits(&measure_sweep_points(
+                &cfg,
+                &tones,
+                &bench_settings(threads, checkpoint),
+            ));
+            assert_eq!(
+                got, baseline,
+                "threads = {threads}, checkpoint = {checkpoint}: \
+                 bench sweep must be bit-identical to the serial from-scratch run"
+            );
+        }
+    }
+}
+
+fn monitor_settings(threads: usize, checkpoint: bool) -> MonitorSettings {
+    MonitorSettings {
+        mod_frequencies_hz: vec![2.0, 6.0, 10.0, 25.0],
+        settle_periods: 2.5,
+        loop_settle_secs: 0.25,
+        threads,
+        checkpoint,
+        capture_transcript: false,
+        ..MonitorSettings::fast()
+    }
+}
+
+#[test]
+fn monitor_sweep_is_bitwise_invariant_to_checkpointing() {
+    let cfg = PllConfig::paper_table3();
+    for threads in [1usize, 4] {
+        let run = |checkpoint: bool| {
+            TransferFunctionMonitor::new(monitor_settings(threads, checkpoint)).measure(&cfg)
+        };
+        let fresh = run(false);
+        let ckpt = run(true);
+        assert_eq!(fresh.points.len(), ckpt.points.len());
+        for (a, b) in fresh.points.iter().zip(&ckpt.points) {
+            let bits = |p: &pllbist::monitor::MonitorPoint| {
+                (
+                    p.f_mod_hz.to_bits(),
+                    p.frequency.frequency_hz.to_bits(),
+                    p.frequency.clock_count,
+                    p.frequency.gate_cycles,
+                    p.delta_f_hz.to_bits(),
+                    p.phase.phase_degrees.to_bits(),
+                    p.phase.pulse_count,
+                    p.t_input_peak.to_bits(),
+                    p.t_output_peak.to_bits(),
+                    p.peak_found,
+                )
+            };
+            assert_eq!(
+                bits(a),
+                bits(b),
+                "threads = {threads}, f = {}: checkpointed monitor point must be \
+                 bit-identical to the from-scratch one",
+                a.f_mod_hz
+            );
+        }
+        assert_eq!(
+            fresh.nominal.frequency_hz.to_bits(),
+            ckpt.nominal.frequency_hz.to_bits()
+        );
+    }
+}

@@ -2,6 +2,7 @@
 //! co-simulation and the analogue-access bench baseline must tell the
 //! same story (ablations abl02 / abl06 in test form).
 
+use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::bench_measure::{measure_point, BenchSettings};
 use pllbist_sim::config::PllConfig;
@@ -22,6 +23,51 @@ fn behavioral_and_gate_level_track_each_other() {
         assert!(
             (pb - pg).abs() < 5.0,
             "t = {t}: behavioral {pb} vs gate {pg} cycles"
+        );
+    }
+}
+
+#[test]
+fn bist_monitor_agrees_across_backends() {
+    // The tentpole check: the *same* Table 2 BIST sequence — stimulus,
+    // peak detector, hold, counters — runs unchanged against the
+    // behavioural engine and the gate-level co-simulation via
+    // `PllEngine`, and both backends report the same transfer function.
+    let cfg = PllConfig::paper_table3();
+    let settings = MonitorSettings {
+        mod_frequencies_hz: vec![2.0, 8.0, 20.0],
+        settle_periods: 3.0,
+        loop_settle_secs: 0.3,
+        threads: 1,
+        capture_transcript: false,
+        ..MonitorSettings::fast()
+    };
+    let monitor = TransferFunctionMonitor::new(settings);
+    let beh = monitor.measure_with::<CpPll>(&cfg);
+    let gate = monitor.measure_with::<MixedSignalPll>(&cfg);
+
+    assert!(
+        (beh.nominal.frequency_hz - gate.nominal.frequency_hz).abs() < 5.0,
+        "nominal: behavioral {} vs gate {}",
+        beh.nominal.frequency_hz,
+        gate.nominal.frequency_hz
+    );
+    let bb = beh.to_bode();
+    let gb = gate.to_bode();
+    for (pb, pg) in bb.points().iter().zip(gb.points()) {
+        assert!(
+            (pb.magnitude - pg.magnitude).abs() / pb.magnitude.max(1e-9) < 0.25,
+            "ω = {}: |H| behavioral {} vs gate {}",
+            pb.omega,
+            pb.magnitude,
+            pg.magnitude
+        );
+        assert!(
+            (pb.phase - pg.phase).abs() < 20f64.to_radians(),
+            "ω = {}: phase behavioral {}° vs gate {}°",
+            pb.omega,
+            pb.phase.to_degrees(),
+            pg.phase.to_degrees()
         );
     }
 }
