@@ -41,7 +41,11 @@ fn bench_baseline_point(c: &mut Bench) {
     let mut group = c.benchmark_group("bench_baseline");
     group.sample_size(10);
     group.bench_function("point_8hz", |b| {
-        b.iter(|| measure_point(&cfg, 8.0, &settings).gain)
+        b.iter(|| {
+            measure_point(&cfg, 8.0, &settings)
+                .expect("bench point")
+                .gain
+        })
     });
     group.finish();
 }

@@ -5,18 +5,24 @@
 //!
 //! Every faulty measurement is independent, so the campaign fans out
 //! across cores via `pllbist_sim::parallel` (each worker runs its own
-//! serial sweep); faults that cannot be wired into the chosen topology
-//! are reported as skipped instead of aborting the run.
+//! serial sweep). Each sweep runs under the sweep supervisor, so the
+//! whole failure surface flows through one channel — faults that cannot
+//! be wired into the chosen topology arrive as
+//! `SweepPointError::FaultWiring` next to any runtime divergence or
+//! lock-timeout the faulty silicon provokes, and a sick device
+//! quarantines its points instead of aborting the campaign.
 
 use pllbist::estimate::{LimitComparator, ParameterEstimate};
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
-use pllbist_sim::config::{FaultWiringError, PllConfig};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::{SupervisorPolicy, SweepPointError};
 use pllbist_telemetry::{fields, Record, RunReport};
 
 fn main() {
     let mut report = RunReport::from_args("abl05_fault_coverage");
     let golden_cfg = PllConfig::paper_table3();
+    let policy = SupervisorPolicy::default();
     let monitor = TransferFunctionMonitor::new(MonitorSettings {
         mod_frequencies_hz: pllbist_sim::bench_measure::log_spaced(1.0, 30.0, 8),
         settle_periods: 3.0,
@@ -24,9 +30,11 @@ fn main() {
         telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     });
-    let golden_result = monitor.measure(&golden_cfg);
+    let golden_result = monitor.measure_supervised(&golden_cfg, &policy);
     report.extend(golden_result.telemetry.clone());
-    let golden = golden_result.estimate();
+    let golden = golden_result
+        .estimate()
+        .expect("golden device measures cleanly");
     let fng = golden.natural_frequency_hz.expect("golden fn");
     let zg = golden.damping.expect("golden ζ");
     println!("abl05 — fault coverage (golden: fn = {fng:.2} Hz, ζ = {zg:.3})\n");
@@ -34,59 +42,89 @@ fn main() {
     let tight = LimitComparator::around(fng, zg, 0.10);
     let loose = LimitComparator::around(fng, zg, 0.25);
 
-    // One faulty sweep per campaign entry, fanned out across cores. Each
-    // worker's sweep telemetry rides back with its estimate.
+    // One supervised faulty sweep per campaign entry, fanned out across
+    // cores. Each worker's sweep telemetry rides back with its estimate;
+    // wiring failures convert into the same typed error space as
+    // runtime failures.
     let campaign = Fault::standard_campaign();
-    type FaultOutcome = Result<(ParameterEstimate, Vec<Record>), FaultWiringError>;
+    type FaultOutcome =
+        Result<(Option<ParameterEstimate>, usize, usize, Vec<Record>), SweepPointError>;
     let results: Vec<(Fault, FaultOutcome)> =
         pllbist_sim::parallel::par_map(&campaign, 0, |&fault| {
-            let est = golden_cfg.with_fault(fault).map(|cfg| {
-                let result = monitor.measure(&cfg);
-                let telemetry = result.telemetry.clone();
-                (result.estimate(), telemetry)
-            });
+            let est = golden_cfg
+                .with_fault(fault)
+                .map_err(SweepPointError::from)
+                .map(|cfg| {
+                    let result = monitor.measure_supervised(&cfg, &policy);
+                    (
+                        result.estimate(),
+                        result.quarantined_count(),
+                        result.incidents.len(),
+                        result.telemetry,
+                    )
+                });
             (fault, est)
         });
 
-    println!(" fault                            | fn (Hz) |   ζ    | ±10 % | ±25 %");
-    println!(" ---------------------------------+---------+--------+-------+------");
+    println!(" fault                            | fn (Hz) |   ζ    | ±10 % | ±25 % | quar");
+    println!(" ---------------------------------+---------+--------+-------+-------+-----");
     let mut caught = [0usize; 2];
     let mut total = 0usize;
+    let mut quarantined_points = 0usize;
+    let mut incident_count = 0usize;
     let mut skipped = Vec::new();
     for (fault, est) in results {
-        let (est, telemetry) = match est {
+        let (est, quarantined, incidents, telemetry) = match est {
             Ok(ok) => ok,
             Err(e) => {
-                skipped.push(format!("{fault}: {e}"));
+                skipped.push(format!("{fault}: [{}] {e}", e.kind()));
                 continue;
             }
         };
         report.extend(telemetry);
-        let vt = tight.judge(&est);
-        let vl = loose.judge(&est);
+        quarantined_points += quarantined;
+        incident_count += incidents;
         total += 1;
-        if !vt.pass {
+        // A device so sick the supervised sweep cannot extract any
+        // estimate fails the BIST outright at every guard band.
+        let (vt_pass, vl_pass) = match &est {
+            Some(e) => (tight.judge(e).pass, loose.judge(e).pass),
+            None => (false, false),
+        };
+        if !vt_pass {
             caught[0] += 1;
         }
-        if !vl.pass {
+        if !vl_pass {
             caught[1] += 1;
         }
+        let (fn_hz, damping) = est
+            .as_ref()
+            .map(|e| {
+                (
+                    e.natural_frequency_hz.unwrap_or(f64::NAN),
+                    e.damping.unwrap_or(f64::NAN),
+                )
+            })
+            .unwrap_or((f64::NAN, f64::NAN));
         println!(
-            " {:<33} | {:>7.2} | {:>6.3} | {:<5} | {}",
+            " {:<33} | {:>7.2} | {:>6.3} | {:<5} | {:<5} | {}",
             fault.to_string(),
-            est.natural_frequency_hz.unwrap_or(f64::NAN),
-            est.damping.unwrap_or(f64::NAN),
-            if vt.pass { "pass" } else { "FAIL" },
-            if vl.pass { "pass" } else { "FAIL" },
+            fn_hz,
+            damping,
+            if vt_pass { "pass" } else { "FAIL" },
+            if vl_pass { "pass" } else { "FAIL" },
+            quarantined,
         );
         report.result(
             "fault_verdict",
             fields![
                 fault = fault.to_string(),
-                fn_hz = est.natural_frequency_hz.unwrap_or(f64::NAN),
-                damping = est.damping.unwrap_or(f64::NAN),
-                pass_tight = vt.pass,
-                pass_loose = vl.pass
+                fn_hz = fn_hz,
+                damping = damping,
+                pass_tight = vt_pass,
+                pass_loose = vl_pass,
+                quarantined = quarantined,
+                incidents = incidents
             ],
         );
     }
@@ -96,6 +134,12 @@ fn main() {
     );
     for s in &skipped {
         println!("skipped (not wireable in this topology): {s}");
+    }
+    if quarantined_points > 0 || incident_count > 0 {
+        println!(
+            "supervisor: {quarantined_points} quarantined points, \
+             {incident_count} incidents across the campaign"
+        );
     }
     println!(
         "shape check: gross severities are caught even with wide guard bands;\n\
@@ -107,7 +151,9 @@ fn main() {
             total = total,
             caught_tight = caught[0],
             caught_loose = caught[1],
-            skipped = skipped.len()
+            skipped = skipped.len(),
+            quarantined_points = quarantined_points,
+            incidents = incident_count
         ],
     );
     report.finish().expect("write --jsonl output");

@@ -193,15 +193,15 @@ impl DcoDesign {
         let k = (self.f_master_hz / target).round().max(1.0) as u64;
         // The rounding in divider space is not exactly the rounding in
         // frequency space; check the neighbours.
-        [k.saturating_sub(1).max(1), k, k + 1]
-            .into_iter()
-            .map(|m| self.tone(m))
-            .min_by(|a, b| {
-                (a.frequency_hz - target)
-                    .abs()
-                    .total_cmp(&(b.frequency_hz - target).abs())
-            })
-            .expect("candidate list is non-empty")
+        let candidates = [k.saturating_sub(1).max(1), k, k + 1];
+        let mut best = self.tone(candidates[0]);
+        for &m in &candidates[1..] {
+            let tone = self.tone(m);
+            if (tone.frequency_hz - target).abs() < (best.frequency_hz - target).abs() {
+                best = tone;
+            }
+        }
+        best
     }
 }
 

@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Automatic on-chip closed-loop transfer-function monitoring (BIST) for
 //! embedded charge-pump PLLs.
 //!
@@ -57,4 +58,7 @@ pub mod sequencer;
 pub mod testbench;
 
 pub use estimate::{BistVerdict, LimitComparator, ParameterEstimate};
-pub use monitor::{MonitorResult, MonitorSettings, StimulusKind, TransferFunctionMonitor};
+pub use monitor::{
+    MonitorResult, MonitorSettings, StimulusKind, SupervisedMonitorResult, TransferFunctionMonitor,
+    DEVICE_INCIDENT_F_MOD,
+};

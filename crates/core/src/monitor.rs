@@ -26,11 +26,16 @@ use crate::sequencer::{TestSequencer, Transition};
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::error::SweepPointError;
 use pllbist_sim::scenario::Scenario;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_sim::supervisor::{
+    emit_incident, Incident, IncidentAction, Supervised, SupervisorPolicy,
+};
 use pllbist_sim::PllEngine;
 use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
 use std::f64::consts::TAU;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which FM approximation drives the reference (the fig. 11/12
 /// comparison).
@@ -263,6 +268,90 @@ impl MonitorResult {
     }
 }
 
+/// A supervised sweep's result: the per-tone outcomes (quarantined
+/// tones stay in place as typed errors), the device-qualification
+/// outcome, the incident log, and everything [`MonitorResult`] carries.
+///
+/// Produced by [`TransferFunctionMonitor::measure_supervised`]; on a
+/// healthy device the surviving points are bitwise identical to
+/// [`TransferFunctionMonitor::measure`] at the same thread count.
+#[derive(Clone, Debug)]
+pub struct SupervisedMonitorResult {
+    /// Nominal (unmodulated) frequency reading, or the error that
+    /// quarantined the whole device (in which case every point carries
+    /// the same error and the sweep never ran).
+    pub nominal: Result<FrequencyReading, SweepPointError>,
+    /// One outcome per configured modulation frequency, in sweep order.
+    pub points: Vec<Result<MonitorPoint, SweepPointError>>,
+    /// Concatenated Table 2 transcripts of the surviving tones.
+    pub transcript: Vec<Transition>,
+    /// The capture mode the sweep ran with.
+    pub capture: CaptureMode,
+    /// Every supervisor incident: device-level qualification failures
+    /// (reported with `f_mod_hz = 0.0`), per-tone retries, quarantines.
+    pub incidents: Vec<Incident>,
+    /// Drained telemetry records (includes `supervisor.*` records).
+    pub telemetry: Vec<Record>,
+}
+
+impl SupervisedMonitorResult {
+    /// Number of surviving (non-quarantined) tones.
+    pub fn ok_count(&self) -> usize {
+        self.points.iter().filter(|p| p.is_ok()).count()
+    }
+
+    /// Number of quarantined tones.
+    pub fn quarantined_count(&self) -> usize {
+        self.points.len() - self.ok_count()
+    }
+
+    /// The eq. 7 magnitude/phase plot over the surviving tones, or
+    /// `None` when no usable reference survives (every tone quarantined,
+    /// or the first surviving deviation is zero/non-finite) — the
+    /// estimator tolerates gaps but cannot normalise without an in-band
+    /// reference.
+    pub fn to_bode(&self) -> Option<BodePlot> {
+        let ok: Vec<&MonitorPoint> = self.points.iter().filter_map(|p| p.as_ref().ok()).collect();
+        let reference = ok.first()?.delta_f_hz.abs();
+        if !reference.is_finite() || reference == 0.0 {
+            return None;
+        }
+        let mut plot: BodePlot = ok
+            .iter()
+            .map(|p| BodePoint {
+                omega: TAU * p.f_mod_hz,
+                magnitude: p.delta_f_hz.abs() / reference,
+                phase: p.phase.phase_degrees.to_radians(),
+            })
+            .collect();
+        plot.unwrap_phase();
+        Some(plot)
+    }
+
+    /// Extracts (ωn, ζ, ω3dB) from the surviving tones, or `None` when
+    /// [`to_bode`](Self::to_bode) has nothing to fit.
+    pub fn estimate(&self) -> Option<ParameterEstimate> {
+        let model = match self.capture {
+            CaptureMode::HoldAndCount => crate::estimate::ResponseModel::NoZero,
+            CaptureMode::GatedCount { .. } => crate::estimate::ResponseModel::WithZero,
+        };
+        self.to_bode()
+            .map(|plot| ParameterEstimate::from_plot_with_model(&plot, model))
+    }
+}
+
+/// One tone's outcome inside a supervised walk (internal carrier for
+/// point + transcript + incidents across the worker boundary).
+struct ToneOutcome {
+    point: Result<MonitorPoint, SweepPointError>,
+    transcript: Vec<Transition>,
+    incidents: Vec<Incident>,
+}
+
+/// The `f_mod_hz` tag incidents use for device-level (nominal
+/// qualification) failures, which precede any tone.
+pub const DEVICE_INCIDENT_F_MOD: f64 = 0.0;
+
 /// The automated monitor.
 #[derive(Clone, Debug)]
 pub struct TransferFunctionMonitor {
@@ -381,6 +470,324 @@ impl TransferFunctionMonitor {
             capture: s.capture,
             telemetry: tel.drain(),
         }
+    }
+
+    /// Runs the full sweep under the sweep supervisor on the default
+    /// (behavioral, [`CpPll`]) backend: guardrails on every advance,
+    /// panic isolation per tone, deterministic quarantine-and-retry per
+    /// `policy`. The sweep always completes; sick tones come back as
+    /// typed per-point errors instead of aborting the campaign.
+    pub fn measure_supervised(
+        &self,
+        config: &PllConfig,
+        policy: &SupervisorPolicy,
+    ) -> SupervisedMonitorResult {
+        self.measure_supervised_with::<CpPll>(config, policy)
+    }
+
+    /// [`measure_supervised`](Self::measure_supervised) on any
+    /// [`PllEngine`] backend.
+    ///
+    /// On a healthy device the measured points are bitwise identical to
+    /// [`measure_with`](Self::measure_with) at the same thread count:
+    /// the guardrail checks are read-only and the per-tone walk drives
+    /// the engine through exactly the same call sequence. Retries are a
+    /// pure function of `(config, tone, policy)` — a retried tone
+    /// re-locks a fresh engine with the policy's scaled micro-step and
+    /// extended settle, so failing campaigns replay incident for
+    /// incident.
+    pub fn measure_supervised_with<E: PllEngine>(
+        &self,
+        config: &PllConfig,
+        policy: &SupervisorPolicy,
+    ) -> SupervisedMonitorResult {
+        let s = &self.settings;
+        let tel = Collector::from_config(&s.telemetry);
+        let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
+        let loop_settle = s.resolved_loop_settle(config).max(0.1);
+        let mut incidents = Vec::new();
+
+        // Device qualification: build the loop and take the nominal
+        // reading under guardrails, retrying per policy. A device that
+        // cannot even produce a nominal reading quarantines wholesale.
+        let mut device = None;
+        let mut device_error = None;
+        for attempt in 0..=policy.max_retries {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut pll = Supervised::new(E::new_locked(config), policy);
+                if attempt > 0 {
+                    pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
+                }
+                pll.arm_point();
+                let _settle = span!(tel, "monitor.nominal");
+                let settle = loop_settle * policy.retry_settle_scale.powi(attempt as i32);
+                let t = pll.time();
+                pll.advance_to(t + settle);
+                pll.set_hold(true);
+                let nominal = fc.measure(&mut pll, s.count_divided_output);
+                pll.set_hold(false);
+                (pll, nominal)
+            }));
+            match outcome {
+                Ok(pair) => {
+                    device = Some(pair);
+                    break;
+                }
+                Err(payload) => {
+                    let error = SweepPointError::from_panic(payload);
+                    let retry = attempt < policy.max_retries && error.is_retryable();
+                    let incident = Incident {
+                        f_mod_hz: DEVICE_INCIDENT_F_MOD,
+                        attempt,
+                        action: if retry {
+                            IncidentAction::Retried
+                        } else {
+                            IncidentAction::Quarantined
+                        },
+                        error: error.clone(),
+                    };
+                    emit_incident(&tel, &incident);
+                    incidents.push(incident);
+                    if !retry {
+                        device_error = Some(error);
+                        break;
+                    }
+                }
+            }
+        }
+        let (mut pll, nominal) = match device {
+            Some(pair) => pair,
+            None => {
+                let error = device_error.unwrap_or(SweepPointError::WorkerPanic {
+                    message: "device qualification failed".to_string(),
+                });
+                let points = s
+                    .mod_frequencies_hz
+                    .iter()
+                    .map(|_| Err(error.clone()))
+                    .collect();
+                return SupervisedMonitorResult {
+                    nominal: Err(error),
+                    points,
+                    transcript: Vec::new(),
+                    capture: s.capture,
+                    incidents,
+                    telemetry: tel.drain(),
+                };
+            }
+        };
+
+        let workers = pllbist_sim::parallel::resolve_threads(s.threads)
+            .min(s.mod_frequencies_hz.len().max(1));
+        let outcomes = if workers <= 1 {
+            // Serial path: the qualified device walks every tone in
+            // order, exactly like `measure_on`'s serial walk.
+            self.supervised_chunk(
+                &mut pll,
+                &s.mod_frequencies_hz,
+                &nominal,
+                policy,
+                loop_settle,
+                &tel,
+            )
+        } else {
+            // Parallel path: same chunking as `measure_on` — one settled
+            // loop per contiguous chunk, restored from one shared
+            // guarded snapshot when possible.
+            let snapshot = catch_unwind(AssertUnwindSafe(|| {
+                let _span = span!(tel, "scenario.checkpoint");
+                let mut settled = Supervised::new(E::new_locked(config), policy);
+                let t0 = settled.time();
+                settled.advance_to(t0 + loop_settle);
+                settled.checkpoint()
+            }))
+            .ok();
+            let per_tone = pllbist_sim::parallel::par_try_map_chunks_observed(
+                &s.mod_frequencies_hz,
+                workers,
+                &tel,
+                |_, chunk| {
+                    let mut worker_pll = Supervised::new(E::new_locked(config), policy);
+                    match snapshot.as_ref() {
+                        Some(snap) => worker_pll.restore(snap),
+                        None => {
+                            let t0 = worker_pll.time();
+                            worker_pll.advance_to(t0 + loop_settle);
+                        }
+                    }
+                    self.supervised_chunk(
+                        &mut worker_pll,
+                        chunk,
+                        &nominal,
+                        policy,
+                        loop_settle,
+                        &tel,
+                    )
+                    .into_iter()
+                    .map(Ok)
+                    .collect()
+                },
+            );
+            let mut outcomes = Vec::with_capacity(s.mod_frequencies_hz.len());
+            for (res, &f_mod) in per_tone.into_iter().zip(&s.mod_frequencies_hz) {
+                match res {
+                    Ok(outcome) => outcomes.push(outcome),
+                    // A failure that escaped per-tone containment and
+                    // poisoned its worker chunk: quarantine outright.
+                    Err(error) => {
+                        let incident = Incident {
+                            f_mod_hz: f_mod,
+                            attempt: 0,
+                            action: IncidentAction::Quarantined,
+                            error: error.clone(),
+                        };
+                        emit_incident(&tel, &incident);
+                        outcomes.push(ToneOutcome {
+                            point: Err(error),
+                            transcript: Vec::new(),
+                            incidents: vec![incident],
+                        });
+                    }
+                }
+            }
+            outcomes
+        };
+
+        let mut points = Vec::with_capacity(outcomes.len());
+        let mut transcript = Vec::new();
+        for outcome in outcomes {
+            points.push(outcome.point);
+            transcript.extend(outcome.transcript);
+            incidents.extend(outcome.incidents);
+        }
+        if tel.is_enabled() {
+            tel.gauge(
+                "monitor.transcript_bytes",
+                (transcript.len() * std::mem::size_of::<Transition>()) as f64,
+            );
+        }
+        SupervisedMonitorResult {
+            nominal: Ok(nominal),
+            points,
+            transcript,
+            capture: s.capture,
+            incidents,
+            telemetry: tel.drain(),
+        }
+    }
+
+    /// Walks `chunk` tone by tone under per-tone supervision: attempt 0
+    /// runs on the walking engine (pre-tone checkpoint, rewound on
+    /// failure so later tones are unaffected); retries re-lock a fresh
+    /// engine with the policy's scaled micro-step and extended settle.
+    fn supervised_chunk<E: PllEngine>(
+        &self,
+        pll: &mut Supervised<E>,
+        chunk: &[f64],
+        nominal: &FrequencyReading,
+        policy: &SupervisorPolicy,
+        loop_settle: f64,
+        tel: &Collector,
+    ) -> Vec<ToneOutcome> {
+        let config = pll.config().clone();
+        let mut outcomes = Vec::with_capacity(chunk.len());
+        for (j, &f_mod) in chunk.iter().enumerate() {
+            let tone = std::slice::from_ref(&f_mod);
+            let mut incidents = Vec::new();
+            let mut outcome = None;
+            let snap = pll.checkpoint();
+            let tone_start_t = pll.time();
+            for attempt in 0..=policy.max_retries {
+                let result = if attempt == 0 {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        pll.arm_point();
+                        self.sweep_chunk(pll, tone, nominal, tel)
+                    }))
+                } else {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        let mut retry_pll = Supervised::new(E::new_locked(&config), policy);
+                        retry_pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
+                        retry_pll.arm_point();
+                        let t0 = retry_pll.time();
+                        retry_pll.advance_to(
+                            t0 + loop_settle * policy.retry_settle_scale.powi(attempt as i32),
+                        );
+                        self.sweep_chunk(&mut retry_pll, tone, nominal, tel)
+                    }))
+                };
+                match result {
+                    Ok((points, mut transcript)) => {
+                        if tel.is_enabled() {
+                            tel.add("supervisor.points_ok", 1);
+                            if attempt > 0 {
+                                tel.add("supervisor.points_recovered", 1);
+                            }
+                        }
+                        // Per-tone sequencers are chunk-agnostic: stamp
+                        // the tone's chunk position and splice the
+                        // stage-1 entry onto the walking clock so the
+                        // merged transcript is bitwise identical to the
+                        // unsupervised chunk walk.
+                        for transition in &mut transcript {
+                            transition.tone_index = j;
+                        }
+                        if j > 0 {
+                            if let Some(first) = transcript.first_mut() {
+                                first.t = tone_start_t;
+                            }
+                        }
+                        let point = match points.into_iter().next() {
+                            Some(p) => Ok(p),
+                            // `sweep_chunk` yields one point per tone;
+                            // defensive against an empty chunk result.
+                            None => Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod }),
+                        };
+                        outcome = Some(ToneOutcome {
+                            point,
+                            transcript,
+                            incidents: std::mem::take(&mut incidents),
+                        });
+                        break;
+                    }
+                    Err(payload) => {
+                        let error = SweepPointError::from_panic(payload);
+                        if attempt == 0 {
+                            // The walking engine may be mid-tone (hold
+                            // engaged, events collecting): rewind to the
+                            // pre-tone state.
+                            pll.restore(&snap);
+                        }
+                        let retry = attempt < policy.max_retries && error.is_retryable();
+                        let incident = Incident {
+                            f_mod_hz: f_mod,
+                            attempt,
+                            action: if retry {
+                                IncidentAction::Retried
+                            } else {
+                                IncidentAction::Quarantined
+                            },
+                            error: error.clone(),
+                        };
+                        emit_incident(tel, &incident);
+                        incidents.push(incident);
+                        if !retry {
+                            outcome = Some(ToneOutcome {
+                                point: Err(error),
+                                transcript: Vec::new(),
+                                incidents: std::mem::take(&mut incidents),
+                            });
+                            break;
+                        }
+                    }
+                }
+            }
+            // The attempt loop always resolves: success, quarantine, or
+            // the final attempt quarantining above.
+            if let Some(o) = outcome {
+                outcomes.push(o);
+            }
+        }
+        outcomes
     }
 
     /// Walks one contiguous run of modulation frequencies on `pll`,
@@ -746,5 +1153,86 @@ mod tests {
         let mut s = MonitorSettings::fast();
         s.mod_frequencies_hz = vec![8.0, 1.0];
         let _ = TransferFunctionMonitor::new(s);
+    }
+
+    #[test]
+    fn supervised_measure_is_bitwise_identical_on_healthy_device() {
+        let cfg = PllConfig::paper_table3();
+        for threads in [1usize, 2] {
+            let mut settings = tiny_settings();
+            settings.threads = threads;
+            let monitor = TransferFunctionMonitor::new(settings);
+            let baseline = monitor.measure(&cfg);
+            let supervised = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
+            assert!(supervised.incidents.is_empty(), "threads {threads}");
+            assert_eq!(supervised.quarantined_count(), 0);
+            assert_eq!(
+                supervised.nominal,
+                Ok(baseline.nominal),
+                "threads {threads}"
+            );
+            assert_eq!(supervised.points.len(), baseline.points.len());
+            for (got, want) in supervised.points.iter().zip(&baseline.points) {
+                assert_eq!(
+                    got.as_ref().ok(),
+                    Some(want),
+                    "threads {threads}: supervised point diverged"
+                );
+            }
+            assert_eq!(supervised.transcript, baseline.transcript);
+            let bode = supervised.to_bode().expect("healthy sweep has a bode");
+            assert_eq!(bode.points().len(), baseline.to_bode().points().len());
+        }
+    }
+
+    #[test]
+    fn supervised_measure_quarantines_a_nan_device_without_aborting() {
+        // A VCO with a NaN curvature coefficient poisons the control
+        // path immediately; the supervisor must quarantine the whole
+        // device (nominal + every tone) instead of crashing.
+        let mut cfg = PllConfig::paper_table3();
+        cfg.vco_curvature = (f64::NAN, 0.0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let result = TransferFunctionMonitor::new(tiny_settings())
+            .measure_supervised(&cfg, &SupervisorPolicy::default());
+        std::panic::set_hook(prev);
+        assert!(result.nominal.is_err(), "NaN device has no nominal");
+        assert_eq!(result.ok_count(), 0);
+        assert_eq!(result.quarantined_count(), 3);
+        assert!(result
+            .points
+            .iter()
+            .all(|p| matches!(p, Err(SweepPointError::NumericalDivergence { .. }))));
+        assert!(result.to_bode().is_none());
+        assert!(result.estimate().is_none());
+        // Device-level incidents are tagged with the sentinel tone and
+        // end in quarantine after the policy's retries.
+        assert!(!result.incidents.is_empty());
+        assert!(result
+            .incidents
+            .iter()
+            .all(|i| i.f_mod_hz == DEVICE_INCIDENT_F_MOD));
+        assert!(matches!(
+            result.incidents.last().map(|i| &i.action),
+            Some(IncidentAction::Quarantined)
+        ));
+    }
+
+    #[test]
+    fn supervised_measure_is_deterministic() {
+        let mut cfg = PllConfig::paper_table3();
+        cfg.vco_curvature = (f64::NAN, 0.0);
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let a = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
+        let b = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
+        std::panic::set_hook(prev);
+        assert_eq!(a.incidents.len(), b.incidents.len());
+        for (x, y) in a.incidents.iter().zip(&b.incidents) {
+            assert_eq!(x.attempt, y.attempt);
+            assert_eq!(x.error.kind(), y.error.kind());
+        }
     }
 }

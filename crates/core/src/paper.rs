@@ -39,10 +39,9 @@ pub fn table3() -> (Vec<Table3Row>, SecondOrderParams) {
         FilterConfig::PassiveLag { r1, r2, c, .. } => (r1, r2, c),
         _ => unreachable!("paper config is a passive lag"),
     };
-    let params = cfg
-        .analysis()
-        .second_order()
-        .expect("paper loop is second order");
+    let Some(params) = cfg.analysis().second_order() else {
+        unreachable!("paper loop is second order")
+    };
     let rows = vec![
         Table3Row {
             parameter: "PLL reference nominal frequency",

@@ -757,6 +757,16 @@ impl PllEngine for CpPll {
         CpPll::restore(self, snapshot);
     }
 
+    fn set_step_scale(&mut self, scale: f64) {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "step scale must be positive and finite"
+        );
+        // `1.0 * x == x` exactly in IEEE-754, so scale 1.0 is bitwise
+        // neutral as the trait contract requires.
+        self.micro_dt = scale * (0.25 / self.config.f_ref_hz);
+    }
+
     fn work_stats(&self) -> WorkStats {
         let s = self.solver_stats();
         WorkStats {
@@ -768,6 +778,16 @@ impl PllEngine for CpPll {
             pfd_glitches: self.pfd_glitch_count(),
             kernel_events: 0,
         }
+    }
+}
+
+impl crate::engine::AnalogAccess for CpPll {
+    fn enable_sampling(&mut self, interval: f64) {
+        CpPll::enable_sampling(self, interval);
+    }
+
+    fn take_samples(&mut self) -> Vec<Sample> {
+        CpPll::take_samples(self)
     }
 }
 

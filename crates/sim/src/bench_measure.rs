@@ -15,9 +15,11 @@
 
 use crate::behavioral::CpPll;
 use crate::config::PllConfig;
-use crate::engine::{PllEngine, WorkStats};
+use crate::engine::{AnalogAccess, PllEngine, WorkStats};
+use crate::error::SweepPointError;
 use crate::scenario::Scenario;
 use crate::stimulus::FmStimulus;
+use crate::supervisor::{Incident, SupervisorPolicy};
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_numeric::fit::sine_fit;
 use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
@@ -86,20 +88,34 @@ impl Default for BenchSettings {
 /// then the VCO instantaneous frequency is sine-fitted against the known
 /// stimulus.
 ///
+/// # Errors
+///
+/// [`SweepPointError::DegenerateFit`] when the captured record cannot
+/// support a sine fit, [`SweepPointError::NumericalDivergence`] when the
+/// fitted gain/phase comes out non-finite.
+///
 /// # Panics
 ///
 /// Panics if `f_mod_hz` is not positive or the settings are degenerate.
-pub fn measure_point(config: &PllConfig, f_mod_hz: f64, settings: &BenchSettings) -> BenchPoint {
-    measure_point_with_stats(config, f_mod_hz, settings).0
+pub fn measure_point(
+    config: &PllConfig,
+    f_mod_hz: f64,
+    settings: &BenchSettings,
+) -> Result<BenchPoint, SweepPointError> {
+    Ok(measure_point_with_stats(config, f_mod_hz, settings)?.0)
 }
 
 /// [`measure_point`] plus the solver work it cost ([`WorkStats`]),
 /// for telemetry attribution. The measured point is identical.
+///
+/// # Errors
+///
+/// Same as [`measure_point`].
 pub fn measure_point_with_stats(
     config: &PllConfig,
     f_mod_hz: f64,
     settings: &BenchSettings,
-) -> (BenchPoint, WorkStats) {
+) -> Result<(BenchPoint, WorkStats), SweepPointError> {
     let scenario = Scenario::new(config);
     let mut pll: CpPll = scenario.settle_fresh();
     capture_point(&mut pll, f_mod_hz, settings)
@@ -112,11 +128,14 @@ pub fn measure_point_with_stats(
 /// Returns the point plus the work done *by this point* (a clean delta
 /// even when `pll` was restored from a checkpoint that already carries
 /// the settle work).
-fn capture_point(
-    pll: &mut CpPll,
+///
+/// Generic over [`AnalogAccess`] so the same capture runs bare or under
+/// a [`crate::supervisor::Supervised`] wrapper.
+fn capture_point<E: AnalogAccess>(
+    pll: &mut E,
     f_mod_hz: f64,
     settings: &BenchSettings,
-) -> (BenchPoint, WorkStats) {
+) -> Result<(BenchPoint, WorkStats), SweepPointError> {
     assert!(f_mod_hz > 0.0, "modulation frequency must be positive");
     assert!(
         settings.measure_periods >= 1.0 && settings.samples_per_period >= 8,
@@ -157,7 +176,7 @@ fn capture_point(
             (0.5 * (w[0].t + w[1].t), f - f_vco_hz)
         })
         .collect();
-    let fit = sine_fit(&pairs, omega).expect("well-conditioned sine fit");
+    let fit = sine_fit(&pairs, omega).ok_or(SweepPointError::DegenerateFit { f_mod_hz })?;
 
     // The boxcar attenuates the modulation tone by sinc(π·f_mod·dt);
     // compensate so the gain is unbiased even at coarse sampling.
@@ -176,14 +195,21 @@ fn capture_point(
     while phase <= -std::f64::consts::PI {
         phase += TAU;
     }
-    (
+    if !gain.is_finite() || !phase.is_finite() {
+        return Err(SweepPointError::NumericalDivergence {
+            t: pll.time(),
+            quantity: "bench_fit_gain",
+            value: gain,
+        });
+    }
+    Ok((
         BenchPoint {
             f_mod_hz,
             gain,
             phase,
         },
         PllEngine::work_stats(pll).since(&before),
-    )
+    ))
 }
 
 /// Sweeps the bench measurement over the given modulation frequencies,
@@ -231,7 +257,13 @@ pub fn measure_sweep_run(
         &tel,
         |pll, fm| {
             let _point = span!(tel, "bench.point", f_mod_hz = fm);
-            let (point, stats) = capture_point(pll, fm, settings);
+            // The unsupervised sweep keeps its historical fail-fast
+            // contract; route through `measure_sweep_supervised` to get
+            // per-point quarantine instead.
+            let (point, stats) = match capture_point(pll, fm, settings) {
+                Ok(captured) => captured,
+                Err(e) => panic!("bench point at {fm} Hz failed: {e}"),
+            };
             if tel.is_enabled() {
                 tel.add("sim.steps", stats.steps);
                 tel.add("sim.step_rejections", stats.step_rejections);
@@ -243,6 +275,90 @@ pub fn measure_sweep_run(
     );
     SweepRun {
         points,
+        telemetry: tel.drain(),
+    }
+}
+
+/// A supervised bench sweep: per-point `Result`s (quarantined points
+/// stay in place as typed errors), the incident log, and the drained
+/// telemetry.
+#[derive(Clone, Debug)]
+pub struct SupervisedSweepRun {
+    /// One outcome per requested frequency, in input order.
+    pub points: Vec<Result<BenchPoint, SweepPointError>>,
+    /// Every retry/quarantine incident the supervisor logged.
+    pub incidents: Vec<Incident>,
+    /// Drained telemetry (includes `supervisor.*` records).
+    pub telemetry: Vec<Record>,
+}
+
+impl SupervisedSweepRun {
+    /// The surviving (non-quarantined) points, in sweep order.
+    pub fn ok_points(&self) -> Vec<BenchPoint> {
+        self.points.iter().filter_map(|p| p.clone().ok()).collect()
+    }
+
+    /// Number of quarantined points.
+    pub fn quarantined_count(&self) -> usize {
+        self.points.iter().filter(|p| p.is_err()).count()
+    }
+
+    /// Bode plot over the surviving points (phases unwrapped), or `None`
+    /// when every point was quarantined — downstream fitting tolerates
+    /// gaps but cannot conjure a curve from nothing.
+    pub fn to_bode(&self) -> Option<BodePlot> {
+        let ok = self.ok_points();
+        if ok.is_empty() {
+            return None;
+        }
+        let mut plot: BodePlot = ok
+            .into_iter()
+            .map(|p| BodePoint {
+                omega: TAU * p.f_mod_hz,
+                magnitude: p.gain,
+                phase: p.phase,
+            })
+            .collect();
+        plot.unwrap_phase();
+        Some(plot)
+    }
+}
+
+/// [`measure_sweep_run`] under the sweep supervisor: guardrails, panic
+/// isolation, deterministic quarantine-and-retry per `policy`.
+///
+/// On a healthy device the surviving points are bitwise identical to
+/// [`measure_sweep_points`] for every thread count and telemetry state;
+/// on a sick one the sweep completes with the failures quarantined in
+/// place instead of aborting.
+pub fn measure_sweep_supervised(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+) -> SupervisedSweepRun {
+    let tel = Collector::from_config(&settings.telemetry);
+    let scenario = Scenario::new(config);
+    let swept = scenario.sweep_points_supervised::<CpPll, _, _>(
+        f_mod_hz,
+        settings.threads,
+        policy,
+        &tel,
+        |pll, fm| {
+            let _point = span!(tel, "bench.point", f_mod_hz = fm);
+            let (point, stats) = capture_point(pll, fm, settings)?;
+            if tel.is_enabled() {
+                tel.add("sim.steps", stats.steps);
+                tel.add("sim.step_rejections", stats.step_rejections);
+                tel.add("sim.ref_edges", stats.ref_edges);
+                tel.add("sim.fb_edges", stats.fb_edges);
+            }
+            Ok(point)
+        },
+    );
+    SupervisedSweepRun {
+        points: swept.points,
+        incidents: swept.incidents,
         telemetry: tel.drain(),
     }
 }
@@ -336,7 +452,7 @@ mod tests {
     #[test]
     fn in_band_point_has_unity_gain_and_small_lag() {
         let cfg = PllConfig::paper_table3();
-        let p = measure_point(&cfg, 1.0, &quick());
+        let p = measure_point(&cfg, 1.0, &quick()).expect("bench point");
         assert!((p.gain - 1.0).abs() < 0.05, "gain {}", p.gain);
         assert!(p.phase.abs() < 0.25, "phase {}", p.phase);
     }
@@ -346,7 +462,7 @@ mod tests {
         let cfg = PllConfig::paper_table3();
         let a = cfg.analysis();
         let h = a.feedback_transfer();
-        let p = measure_point(&cfg, 8.0, &quick());
+        let p = measure_point(&cfg, 8.0, &quick()).expect("bench point");
         let want = h.eval_jw(TAU * 8.0);
         assert!(
             (p.gain - want.abs()).abs() / want.abs() < 0.05,
@@ -365,7 +481,7 @@ mod tests {
     #[test]
     fn out_of_band_point_rolls_off() {
         let cfg = PllConfig::paper_table3();
-        let p = measure_point(&cfg, 60.0, &quick());
+        let p = measure_point(&cfg, 60.0, &quick()).expect("bench point");
         let want = cfg.analysis().feedback_transfer().eval_jw(TAU * 60.0);
         assert!(p.gain < 0.5, "rolled off: {}", p.gain);
         assert!((p.gain - want.abs()).abs() / want.abs() < 0.15);
@@ -379,6 +495,27 @@ mod tests {
         assert_eq!(plot.len(), 6);
         for w in plot.points().windows(2) {
             assert!(w[1].phase <= w[0].phase + 0.2, "phase roughly decreasing");
+        }
+    }
+
+    #[test]
+    fn supervised_sweep_matches_legacy_on_healthy_device() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0, 20.0];
+        let legacy = measure_sweep_points(&cfg, &freqs, &quick());
+        for threads in [1usize, 4] {
+            let settings = BenchSettings {
+                threads,
+                telemetry: TelemetryConfig::enabled(),
+                ..quick()
+            };
+            let run =
+                measure_sweep_supervised(&cfg, &freqs, &settings, &SupervisorPolicy::default());
+            assert_eq!(run.quarantined_count(), 0, "threads = {threads}");
+            assert!(run.incidents.is_empty());
+            assert_eq!(run.ok_points(), legacy, "threads = {threads}");
+            let bode = run.to_bode().expect("healthy sweep has a curve");
+            assert_eq!(bode.len(), freqs.len());
         }
     }
 

@@ -160,8 +160,34 @@ pub trait PllEngine {
     /// exactness contract).
     fn restore(&mut self, snapshot: &Self::Checkpoint);
 
+    /// Rescales the engine's internal integration micro-step (where one
+    /// exists) to `scale ×` its configuration default. The supervisor's
+    /// retry policy shrinks the step on re-attempts; engines without a
+    /// free-running step (closed form, event-exact paths) ignore it.
+    ///
+    /// A `scale` of exactly `1.0` must be a no-op bit for bit.
+    fn set_step_scale(&mut self, _scale: f64) {}
+
     /// Cumulative work counters since construction.
     fn work_stats(&self) -> WorkStats;
+}
+
+/// Analogue-node access beyond what [`PllEngine`] grants: the sampled
+/// control-voltage/VCO trace the fig. 3 *bench-style* baseline fits its
+/// sine to. Only engines with a real analogue state implement it (the
+/// behavioural [`crate::behavioral::CpPll`] does; supervision wrappers
+/// forward it), which is what lets [`crate::bench_measure`] run under
+/// the supervisor without widening the BIST-visible surface.
+pub trait AnalogAccess: PllEngine {
+    /// Starts sampling the analogue state every `interval` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is not positive and finite.
+    fn enable_sampling(&mut self, interval: f64);
+
+    /// Drains collected samples.
+    fn take_samples(&mut self) -> Vec<crate::behavioral::Sample>;
 }
 
 /// First-harmonic steady-state response of one transfer function to the

@@ -1,0 +1,250 @@
+//! The workspace-wide sweep error taxonomy.
+//!
+//! The paper's BIST runs unattended on possibly faulty silicon (§4–§5,
+//! Table 3): a device that never locks, a solver step that produces
+//! NaN, or a poisoned worker must degrade into a *diagnosable per-point
+//! result*, not abort the campaign. [`SweepPointError`] is the single
+//! typed channel every failure along the measure path flows through —
+//! lock qualification ([`crate::lock::wait_for_lock`]), the per-point
+//! guardrails of [`crate::supervisor::Supervised`], fault wiring
+//! ([`crate::config::FaultWiringError`]) and worker panics caught by
+//! [`crate::parallel::par_try_map_chunks_observed`].
+
+use crate::config::FaultWiringError;
+
+/// Why one sweep point failed.
+///
+/// Every variant carries enough context to diagnose the incident from a
+/// JSONL report alone; [`kind`](Self::kind) gives the stable
+/// machine-readable tag and [`is_retryable`](Self::is_retryable) drives
+/// the supervisor's deterministic quarantine-and-retry policy.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SweepPointError {
+    /// The lock detector never qualified the loop within the timeout.
+    LockTimeout {
+        /// The timeout that expired, in seconds.
+        timeout_secs: f64,
+        /// Consecutive in-window cycles when the timeout hit.
+        consecutive_cycles: u32,
+        /// Cycles the detector requires to declare lock.
+        required_cycles: u32,
+    },
+    /// A watched quantity left the representable/physical range (NaN,
+    /// ±∞, or pinned at a supply rail for too long).
+    NumericalDivergence {
+        /// Simulation time when the divergence was detected.
+        t: f64,
+        /// Which quantity diverged (e.g. `"control_voltage"`,
+        /// `"vco_frequency_hz"`, `"control_voltage_rail_pinned"`).
+        quantity: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The point burned through its solver step budget without
+    /// completing — the watchdog against silently stiff configurations.
+    StepBudgetExhausted {
+        /// Simulation time when the budget ran out.
+        t: f64,
+        /// Steps spent on this point so far.
+        steps: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The requested fault cannot be wired into the device topology
+    /// (constructor-time failure, before any simulation ran).
+    FaultWiring(FaultWiringError),
+    /// A worker panicked; the payload was caught at the point boundary.
+    WorkerPanic {
+        /// The panic payload, rendered as text.
+        message: String,
+    },
+    /// The captured record was too degenerate to fit (e.g. a
+    /// rank-deficient sine fit from a dead output).
+    DegenerateFit {
+        /// Modulation frequency of the failed point, in Hz.
+        f_mod_hz: f64,
+    },
+}
+
+impl SweepPointError {
+    /// Stable machine-readable tag for telemetry records.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SweepPointError::LockTimeout { .. } => "lock_timeout",
+            SweepPointError::NumericalDivergence { .. } => "numerical_divergence",
+            SweepPointError::StepBudgetExhausted { .. } => "step_budget_exhausted",
+            SweepPointError::FaultWiring(_) => "fault_wiring",
+            SweepPointError::WorkerPanic { .. } => "worker_panic",
+            SweepPointError::DegenerateFit { .. } => "degenerate_fit",
+        }
+    }
+
+    /// Whether the supervisor's retry policy may re-attempt the point.
+    ///
+    /// Transient/numerical failures retry (a halved step or a longer
+    /// settle can rescue them); wiring errors are deterministic facts
+    /// about the topology and panics are treated as non-retryable bugs.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SweepPointError::LockTimeout { .. }
+                | SweepPointError::NumericalDivergence { .. }
+                | SweepPointError::StepBudgetExhausted { .. }
+                | SweepPointError::DegenerateFit { .. }
+        )
+    }
+
+    /// Renders a caught panic payload into a [`SweepPointError`].
+    ///
+    /// Supervisor guardrails abort a point via
+    /// [`std::panic::panic_any`] with a `SweepPointError` payload, which
+    /// this recovers *typed*; plain `&str`/`String` panics become
+    /// [`WorkerPanic`](Self::WorkerPanic).
+    pub fn from_panic(payload: Box<dyn std::any::Any + Send>) -> Self {
+        match payload.downcast::<SweepPointError>() {
+            Ok(err) => *err,
+            Err(payload) => {
+                let message = if let Some(s) = payload.downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = payload.downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                SweepPointError::WorkerPanic { message }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for SweepPointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepPointError::LockTimeout {
+                timeout_secs,
+                consecutive_cycles,
+                required_cycles,
+            } => write!(
+                f,
+                "lock timeout after {timeout_secs} s \
+                 ({consecutive_cycles}/{required_cycles} qualifying cycles)"
+            ),
+            SweepPointError::NumericalDivergence { t, quantity, value } => {
+                write!(f, "numerical divergence at t = {t} s: {quantity} = {value}")
+            }
+            SweepPointError::StepBudgetExhausted { t, steps, budget } => write!(
+                f,
+                "step budget exhausted at t = {t} s ({steps} steps, budget {budget})"
+            ),
+            SweepPointError::FaultWiring(e) => write!(f, "fault wiring: {e}"),
+            SweepPointError::WorkerPanic { message } => {
+                write!(f, "worker panicked: {message}")
+            }
+            SweepPointError::DegenerateFit { f_mod_hz } => {
+                write!(f, "degenerate fit at f_mod = {f_mod_hz} Hz")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SweepPointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SweepPointError::FaultWiring(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultWiringError> for SweepPointError {
+    fn from(e: FaultWiringError) -> Self {
+        SweepPointError::FaultWiring(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pllbist_analog::fault::Fault;
+
+    #[test]
+    fn kinds_are_stable_tags() {
+        let errs = [
+            SweepPointError::LockTimeout {
+                timeout_secs: 0.1,
+                consecutive_cycles: 3,
+                required_cycles: 16,
+            },
+            SweepPointError::NumericalDivergence {
+                t: 1.0,
+                quantity: "control_voltage",
+                value: f64::NAN,
+            },
+            SweepPointError::StepBudgetExhausted {
+                t: 1.0,
+                steps: 10,
+                budget: 5,
+            },
+            SweepPointError::WorkerPanic {
+                message: "boom".into(),
+            },
+            SweepPointError::DegenerateFit { f_mod_hz: 8.0 },
+        ];
+        let kinds: Vec<_> = errs.iter().map(|e| e.kind()).collect();
+        assert_eq!(
+            kinds,
+            [
+                "lock_timeout",
+                "numerical_divergence",
+                "step_budget_exhausted",
+                "worker_panic",
+                "degenerate_fit"
+            ]
+        );
+        for e in &errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn retry_policy_splits_transient_from_structural() {
+        assert!(SweepPointError::LockTimeout {
+            timeout_secs: 0.1,
+            consecutive_cycles: 0,
+            required_cycles: 16,
+        }
+        .is_retryable());
+        assert!(SweepPointError::DegenerateFit { f_mod_hz: 1.0 }.is_retryable());
+        assert!(!SweepPointError::WorkerPanic {
+            message: "x".into()
+        }
+        .is_retryable());
+        let wiring = crate::config::PllConfig::paper_table3()
+            .with_fault(Fault::PumpMismatch(1.2))
+            .map(|_| ())
+            .unwrap_err();
+        let err: SweepPointError = wiring.into();
+        assert_eq!(err.kind(), "fault_wiring");
+        assert!(!err.is_retryable());
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn panic_payloads_round_trip() {
+        let typed = std::panic::catch_unwind(|| {
+            std::panic::panic_any(SweepPointError::DegenerateFit { f_mod_hz: 4.0 })
+        })
+        .unwrap_err();
+        assert_eq!(
+            SweepPointError::from_panic(typed),
+            SweepPointError::DegenerateFit { f_mod_hz: 4.0 }
+        );
+        let s = std::panic::catch_unwind(|| panic!("boom {}", 7)).unwrap_err();
+        assert_eq!(
+            SweepPointError::from_panic(s),
+            SweepPointError::WorkerPanic {
+                message: "boom 7".into()
+            }
+        );
+    }
+}

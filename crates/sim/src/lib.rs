@@ -1,3 +1,4 @@
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Mixed-signal closed-loop CP-PLL simulation.
 //!
 //! Two engines share one component catalogue (`pllbist-analog`,
@@ -22,9 +23,12 @@
 //! injection), [`linear`] (closed-loop transfer function, eq. 4/5/6 of the
 //! paper), [`stimulus`] (sine FM, two-tone and multi-tone FSK — fig. 4),
 //! [`bench_measure`] (the fig. 3 bench-style measurement baseline that
-//! needs analogue node access), and [`parallel`] (the scoped-thread sweep
+//! needs analogue node access), [`parallel`] (the scoped-thread sweep
 //! executor behind the `threads` knobs — each modulation point is
-//! independent, so sweeps scale with cores).
+//! independent, so sweeps scale with cores), and the robustness layer:
+//! [`error`] (the typed per-point failure taxonomy) plus [`supervisor`]
+//! (guardrails, panic isolation and deterministic quarantine-and-retry
+//! over the scenario pipeline).
 //!
 //! # Example
 //!
@@ -46,15 +50,19 @@ pub mod bench_measure;
 pub mod config;
 pub mod cosim;
 pub mod engine;
+pub mod error;
 pub mod linear;
 pub mod lock;
 pub mod noise;
 pub mod parallel;
 pub mod scenario;
 pub mod stimulus;
+pub mod supervisor;
 pub mod transient;
 
 pub use behavioral::CpPll;
 pub use config::PllConfig;
-pub use engine::{ClosedFormPll, PllEngine, WorkStats};
+pub use engine::{AnalogAccess, ClosedFormPll, PllEngine, WorkStats};
+pub use error::SweepPointError;
 pub use linear::LoopAnalysis;
+pub use supervisor::{Incident, IncidentAction, Supervised, SupervisorPolicy};

@@ -7,7 +7,9 @@
 //! window — exactly the structure modelled by [`LockDetector`]. The
 //! monitor can use it to qualify the device before sweeping.
 
-use crate::behavioral::{CpPll, LoopEvent};
+use crate::behavioral::LoopEvent;
+use crate::engine::PllEngine;
+use crate::error::SweepPointError;
 
 /// Edge-skew based lock detector (window comparator + consecutive-cycle
 /// counter).
@@ -77,6 +79,11 @@ impl LockDetector {
         self.consecutive
     }
 
+    /// Consecutive in-window cycles needed to declare lock.
+    pub fn required_cycles(&self) -> u32 {
+        self.required_cycles
+    }
+
     /// Feeds one loop event; returns `true` exactly when lock is first
     /// declared.
     pub fn on_event(&mut self, event: LoopEvent) -> bool {
@@ -125,19 +132,23 @@ impl LockDetector {
 /// Runs the loop until the lock detector declares lock, or `timeout`
 /// seconds elapse. Returns the lock time.
 ///
+/// Generic over [`PllEngine`], so the qualification runs identically on
+/// the behavioural engine, the gate-level co-simulation, and supervised
+/// wrappers.
+///
 /// # Errors
 ///
-/// Returns the final phase-skew estimate as `Err` when the timeout
-/// expires without lock.
-pub fn wait_for_lock(
-    pll: &mut CpPll,
+/// [`SweepPointError::LockTimeout`] when the timeout expires without
+/// lock, carrying the detector's progress (consecutive vs. required
+/// qualifying cycles) for the incident record.
+pub fn wait_for_lock<E: PllEngine>(
+    pll: &mut E,
     detector: &mut LockDetector,
     timeout: f64,
-) -> Result<f64, f64> {
+) -> Result<f64, SweepPointError> {
     let t_end = pll.time() + timeout;
     let chunk = 10.0 / pll.config().f_ref_hz;
     pll.collect_events(true);
-    let mut last_skew = f64::INFINITY;
     while pll.time() < t_end {
         pll.advance_to((pll.time() + chunk).min(t_end));
         for e in pll.take_events() {
@@ -147,11 +158,14 @@ pub fn wait_for_lock(
                 return Ok(pll.time());
             }
         }
-        last_skew = detector.consecutive_cycles() as f64;
     }
     pll.collect_events(false);
     pll.take_events();
-    Err(last_skew)
+    Err(SweepPointError::LockTimeout {
+        timeout_secs: timeout,
+        consecutive_cycles: detector.consecutive_cycles(),
+        required_cycles: detector.required_cycles(),
+    })
 }
 
 #[cfg(test)]
@@ -230,7 +244,20 @@ mod tests {
         let mut pll = crate::behavioral::CpPll::new_locked(&cfg);
         pll.set_stimulus(FmStimulus::constant(1_000.0, 150.0));
         let mut det = LockDetector::new(20e-6, 64);
-        assert!(wait_for_lock(&mut pll, &mut det, 0.05).is_err());
+        let err = wait_for_lock(&mut pll, &mut det, 0.05).expect_err("cannot lock");
+        match &err {
+            SweepPointError::LockTimeout {
+                timeout_secs,
+                consecutive_cycles,
+                required_cycles,
+            } => {
+                assert_eq!(*timeout_secs, 0.05);
+                assert_eq!(*required_cycles, 64);
+                assert!(*consecutive_cycles < 64);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(err.is_retryable(), "lock timeouts retry with longer settle");
     }
 
     #[test]

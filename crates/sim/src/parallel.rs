@@ -149,7 +149,13 @@ where
         let mut out = Vec::with_capacity(items.len());
         let mut busy = 0.0;
         for h in handles {
-            let (chunk_out, wall) = h.join().expect("sweep worker panicked");
+            // Re-raise a worker panic with its original payload so a
+            // `catch_unwind` upstream (or a `#[should_panic]` test) sees
+            // the real message, not a generic join error.
+            let (chunk_out, wall) = match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
             out.extend(chunk_out);
             busy += wall;
         }
@@ -165,9 +171,45 @@ where
     out
 }
 
+/// Panic-isolating variant of [`par_map_chunks_observed`] for per-point
+/// `Result` pipelines: `f` returns one `Result` per item, and a *panic*
+/// anywhere inside a chunk is caught at the chunk boundary and rendered
+/// as [`SweepPointError::from_panic`](crate::error::SweepPointError::from_panic)
+/// for **every item of that chunk**
+/// (the shared worker state is unrecoverable once poisoned) instead of
+/// unwinding the sweep.
+///
+/// The supervisor retries point-by-point *before* work reaches this
+/// layer, so a chunk-level `Err` here means a failure escaped per-point
+/// containment — it is reported, never re-raised. Output order and the
+/// bitwise-determinism contract match [`par_map_chunks_observed`]: on
+/// panic-free runs the two are call-for-call identical.
+pub fn par_try_map_chunks_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<Result<R, crate::error::SweepPointError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> Vec<Result<R, crate::error::SweepPointError>> + Sync,
+{
+    par_map_chunks_observed(items, threads, telemetry, |worker, chunk| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(worker, chunk))) {
+            Ok(results) => results,
+            Err(payload) => {
+                let err = crate::error::SweepPointError::from_panic(payload);
+                chunk.iter().map(|_| Err(err.clone())).collect()
+            }
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::SweepPointError;
 
     #[test]
     fn resolve_zero_is_auto() {
@@ -279,12 +321,74 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "sweep worker panicked")]
+    #[should_panic(expected = "boom")]
     fn worker_panic_propagates() {
         let items: Vec<u32> = (0..8).collect();
         let _ = par_map(&items, 2, |&x| {
             assert!(x < 6, "boom");
             x
         });
+    }
+
+    #[test]
+    fn try_map_contains_chunk_panics_as_typed_errors() {
+        let items: Vec<u32> = (0..8).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let tel = pllbist_telemetry::Collector::disabled();
+        let results: Vec<Vec<_>> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                par_try_map_chunks_observed(&items, threads, &tel, |_, chunk| {
+                    chunk
+                        .iter()
+                        .map(|&x| {
+                            assert!(x != 6, "poisoned point {x}");
+                            Ok(x * 10)
+                        })
+                        .collect()
+                })
+            })
+            .collect();
+        std::panic::set_hook(prev);
+        for (result, &threads) in results.iter().zip(&[1usize, 2, 4]) {
+            assert_eq!(result.len(), items.len(), "threads = {threads}");
+            // The panic happened at item 6: its whole chunk reports the
+            // typed panic error, every other chunk is intact.
+            assert!(
+                result.iter().any(|r| matches!(
+                    r,
+                    Err(SweepPointError::WorkerPanic { message }) if message.contains("poisoned point 6")
+                )),
+                "threads = {threads}"
+            );
+            // With more than one worker the poisoned chunk shrinks and
+            // the other chunks' points survive.
+            if threads > 1 {
+                assert!(
+                    result.iter().any(|r| matches!(r, Ok(v) if *v % 10 == 0)),
+                    "threads = {threads}"
+                );
+            }
+        }
+        // Serial containment too: the caller's stack is never unwound.
+        assert!(results[0][6].is_err());
+    }
+
+    #[test]
+    fn try_map_is_identical_to_map_when_nothing_fails() {
+        let items: Vec<f64> = (1..=20).map(|k| k as f64 * 0.3).collect();
+        let tel = pllbist_telemetry::Collector::disabled();
+        let plain = par_map_chunks_observed(&items, 4, &tel, |_, chunk| {
+            chunk.iter().map(|x| x.sin().to_bits()).collect::<Vec<_>>()
+        });
+        let tried = par_try_map_chunks_observed(&items, 4, &tel, |_, chunk| {
+            chunk.iter().map(|x| Ok(x.sin().to_bits())).collect()
+        });
+        let unwrapped: Vec<u64> = tried
+            .into_iter()
+            .map(|r| r.expect("no failures injected"))
+            .collect();
+        assert_eq!(unwrapped, plain);
     }
 }

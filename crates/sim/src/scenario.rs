@@ -16,8 +16,12 @@
 
 use crate::config::PllConfig;
 use crate::engine::PllEngine;
-use crate::parallel::par_map_chunks_observed;
+use crate::error::SweepPointError;
+use crate::parallel::{par_map_chunks_observed, par_try_map_chunks_observed};
 use crate::stimulus::FmStimulus;
+use crate::supervisor::{
+    emit_incident, supervised_point, Incident, IncidentAction, Supervised, SupervisorPolicy,
+};
 use pllbist_telemetry::Collector;
 
 /// The loop-settle-time heuristic, in seconds — the **single** workspace
@@ -159,6 +163,80 @@ impl<'a> Scenario<'a> {
     ///
     /// `walk` receives the worker's engine, its chunk index, and its
     /// chunk of modulation frequencies, and returns that chunk's results.
+    /// Supervised variant of [`sweep_points`](Self::sweep_points): every
+    /// point runs under [`supervised_point`] — guardrails, panic
+    /// isolation, the deterministic quarantine-and-retry policy — and
+    /// the sweep returns per-point `Result`s plus the incident log
+    /// instead of aborting on the first sick point.
+    ///
+    /// On a healthy device the capture sequence (and therefore every
+    /// result bit) is identical to [`sweep_points`](Self::sweep_points)
+    /// with `use_checkpoint` at any thread count; the wrapper's checks
+    /// are read-only. The shared settle itself runs under guardrails
+    /// too: if it diverges, the snapshot is dropped and each point
+    /// settles (and fails, and is quarantined) individually.
+    pub fn sweep_points_supervised<E, R, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        policy: &SupervisorPolicy,
+        telemetry: &Collector,
+        capture: F,
+    ) -> SupervisedPoints<R>
+    where
+        E: PllEngine,
+        R: Send,
+        F: Fn(&mut Supervised<E>, f64) -> Result<R, SweepPointError> + Sync,
+    {
+        let snapshot = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = pllbist_telemetry::span!(telemetry, "scenario.checkpoint");
+            let mut pll = Supervised::new(E::new_locked(self.config), policy);
+            let t0 = pll.time();
+            pll.advance_to(t0 + self.lock_settle_secs);
+            pll.checkpoint()
+        }))
+        .ok();
+        let outcomes = par_try_map_chunks_observed(f_mod_hz, threads, telemetry, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&f_mod| {
+                    Ok(supervised_point::<E, _, _>(
+                        self,
+                        snapshot.as_ref(),
+                        policy,
+                        f_mod,
+                        telemetry,
+                        |pll| capture(pll, f_mod),
+                    ))
+                })
+                .collect()
+        });
+        let mut points = Vec::with_capacity(f_mod_hz.len());
+        let mut incidents = Vec::new();
+        for (outcome, &f_mod) in outcomes.into_iter().zip(f_mod_hz) {
+            match outcome {
+                Ok(point) => {
+                    incidents.extend(point.incidents);
+                    points.push(point.result);
+                }
+                // A failure that escaped per-point containment (it
+                // poisoned the whole worker chunk): quarantine outright.
+                Err(error) => {
+                    let incident = Incident {
+                        f_mod_hz: f_mod,
+                        attempt: 0,
+                        action: IncidentAction::Quarantined,
+                        error: error.clone(),
+                    };
+                    emit_incident(telemetry, &incident);
+                    incidents.push(incident);
+                    points.push(Err(error));
+                }
+            }
+        }
+        SupervisedPoints { points, incidents }
+    }
+
     pub fn sweep_chunks<E, R, F>(
         &self,
         f_mod_hz: &[f64],
@@ -176,6 +254,28 @@ impl<'a> Scenario<'a> {
             let mut pll = self.point_engine::<E>(snapshot);
             walk(&mut pll, worker, chunk)
         })
+    }
+}
+
+/// A supervised sweep's output: one `Result` per requested point (input
+/// order) plus the full incident log.
+#[derive(Clone, Debug)]
+pub struct SupervisedPoints<R> {
+    /// Per-point outcomes, aligned with the requested `f_mod_hz`.
+    pub points: Vec<Result<R, SweepPointError>>,
+    /// Every retry/quarantine incident, in occurrence order per point.
+    pub incidents: Vec<Incident>,
+}
+
+impl<R> SupervisedPoints<R> {
+    /// Number of healthy points.
+    pub fn ok_count(&self) -> usize {
+        self.points.iter().filter(|p| p.is_ok()).count()
+    }
+
+    /// Number of quarantined points.
+    pub fn quarantined_count(&self) -> usize {
+        self.points.len() - self.ok_count()
     }
 }
 
@@ -242,6 +342,84 @@ mod tests {
                 .sweep_points::<ClosedFormPll, _, _>(&tones, threads, use_ckpt, &tel, capture);
             assert_eq!(got, baseline, "threads {threads}, checkpoint {use_ckpt}");
         }
+    }
+
+    #[test]
+    fn supervised_sweep_matches_unsupervised_on_healthy_points() {
+        let cfg = PllConfig::paper_table3();
+        let scenario = Scenario::with_lock_settle(&cfg, 0.05);
+        let tones = [1.0, 4.0, 8.0, 12.0, 20.0];
+        let tel = Collector::disabled();
+        let capture = |pll: &mut ClosedFormPll, f_mod: f64| -> u64 {
+            Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
+            let t = pll.time();
+            pll.advance_to(t + 1.0 / f_mod);
+            pll.vco_phase_cycles().to_bits()
+        };
+        let baseline = scenario.sweep_points::<ClosedFormPll, _, _>(&tones, 1, true, &tel, capture);
+        let policy = SupervisorPolicy::default();
+        for threads in [1usize, 4] {
+            let supervised = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
+                &tones,
+                threads,
+                &policy,
+                &tel,
+                |pll, f_mod| {
+                    Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
+                    let t = pll.time();
+                    pll.advance_to(t + 1.0 / f_mod);
+                    Ok(pll.vco_phase_cycles().to_bits())
+                },
+            );
+            assert!(supervised.incidents.is_empty(), "threads = {threads}");
+            assert_eq!(supervised.quarantined_count(), 0);
+            let got: Vec<u64> = supervised
+                .points
+                .into_iter()
+                .map(|p| p.expect("healthy point"))
+                .collect();
+            assert_eq!(got, baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn supervised_sweep_quarantines_sick_points_only() {
+        let cfg = PllConfig::paper_table3();
+        let scenario = Scenario::with_lock_settle(&cfg, 0.01);
+        let tones = [1.0, 4.0, 8.0];
+        let tel = Collector::enabled();
+        let policy = SupervisorPolicy {
+            max_retries: 1,
+            ..SupervisorPolicy::default()
+        };
+        let out = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
+            &tones,
+            2,
+            &policy,
+            &tel,
+            |pll, f_mod| {
+                if f_mod == 4.0 {
+                    return Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod });
+                }
+                let t = pll.time();
+                pll.advance_to(t + 0.01);
+                Ok(f_mod)
+            },
+        );
+        assert_eq!(out.ok_count(), 2);
+        assert_eq!(out.quarantined_count(), 1);
+        assert!(out.points[1].is_err());
+        // One retry then quarantine, both logged.
+        assert_eq!(out.incidents.len(), 2);
+        assert!(out
+            .incidents
+            .iter()
+            .all(|i| i.f_mod_hz == 4.0 && i.error.kind() == "degenerate_fit"));
+        let records = tel.drain();
+        assert!(records.iter().any(|r| matches!(
+            r,
+            pllbist_telemetry::Record::Counter { name, .. } if name == "supervisor.quarantined"
+        )));
     }
 
     #[test]

@@ -21,6 +21,14 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# The sim and core library crates deny clippy::unwrap_used /
+# clippy::expect_used outside tests via crate-level attributes
+# (crates/{sim,core}/src/lib.rs); this clippy pass compiles exactly the
+# non-test lib targets, so a stray unwrap on a library hot path fails
+# here even if the workspace pass above ever loosens.
+echo "==> clippy unwrap/expect gate (sim + core lib crate attrs)"
+cargo clippy --offline -p pllbist-sim -p pllbist --lib -- -D warnings
+
 echo "==> examples/quickstart (offline)"
 cargo run --release --offline --example quickstart
 
@@ -37,6 +45,13 @@ cargo run --release --offline -p pllbist-bench \
   --bin abl10_checkpoint_speedup -- --jsonl "$abl10_out"
 head -1 "$abl10_out" | grep -q '"type":"run"' \
   || { echo "abl10 smoke: missing JSONL run header"; exit 1; }
+
+echo "==> abl11 fault-tolerant-campaign smoke (offline, JSONL sink)"
+abl11_out="target/abl11-smoke.jsonl"
+cargo run --release --offline -p pllbist-bench \
+  --bin abl11_fault_tolerant_campaign -- --jsonl "$abl11_out"
+head -1 "$abl11_out" | grep -q '"type":"run"' \
+  || { echo "abl11 smoke: missing JSONL run header"; exit 1; }
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace

@@ -84,7 +84,7 @@ fn bench_baseline_matches_full_linear_model() {
         ..BenchSettings::default()
     };
     for fm in [2.0, 8.0, 20.0] {
-        let p = measure_point(&cfg, fm, &settings);
+        let p = measure_point(&cfg, fm, &settings).expect("bench point");
         let want = h.eval_jw(TAU * fm);
         assert!(
             (p.gain - want.abs()).abs() / want.abs() < 0.1,
@@ -122,7 +122,8 @@ fn bench_and_bist_differ_exactly_by_the_hold_readout() {
             measure_periods: 3.0,
             ..BenchSettings::default()
         },
-    );
+    )
+    .expect("bench point");
     assert!(
         (bench.gain - full).abs() / full < 0.12,
         "bench follows the full response: {} vs {full}",

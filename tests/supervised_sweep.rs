@@ -1,0 +1,254 @@
+//! Cross-crate contract tests for the sweep supervisor: panic
+//! containment at every thread count, bitwise identity of healthy runs
+//! (bench sweep and BIST monitor, telemetry on), full quarantine of a
+//! numerically sick device, and a seeded property over random fault
+//! placements.
+
+use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_sim::bench_measure::{measure_sweep_run, measure_sweep_supervised, BenchSettings};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::scenario::Scenario;
+use pllbist_sim::{ClosedFormPll, PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_telemetry::{Collector, TelemetryConfig};
+use pllbist_testkit::{prop_assert, prop_assert_eq, prop_check};
+
+/// Runs `f` with panic messages silenced (the supervisor contains the
+/// panics these tests seed on purpose; the default hook would spam the
+/// test log).
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[test]
+fn injected_panic_is_contained_at_every_thread_count() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [1.0, 4.0, 8.0, 16.0, 32.0];
+    let policy = SupervisorPolicy::default();
+    let mut runs = Vec::new();
+    quietly(|| {
+        for threads in [1usize, 4] {
+            let tel = Collector::disabled();
+            let swept = Scenario::with_lock_settle(&cfg, 0.1)
+                .sweep_points_supervised::<ClosedFormPll, _, _>(
+                    &tones,
+                    threads,
+                    &policy,
+                    &tel,
+                    |pll, fm| {
+                        if fm == 8.0 {
+                            panic!("seeded panic at {fm} Hz");
+                        }
+                        let t = pll.time();
+                        pll.advance_to(t + 0.05);
+                        Ok(pll.control_voltage())
+                    },
+                );
+            assert_eq!(swept.points.len(), tones.len(), "threads {threads}");
+            for (point, &fm) in swept.points.iter().zip(&tones) {
+                match point {
+                    Ok(v) => {
+                        assert!(fm != 8.0 && v.is_finite(), "threads {threads}, tone {fm}")
+                    }
+                    Err(SweepPointError::WorkerPanic { message }) => {
+                        assert_eq!(fm, 8.0, "threads {threads}");
+                        assert!(message.contains("seeded panic"), "{message}");
+                    }
+                    Err(other) => panic!("threads {threads}: unexpected error {other}"),
+                }
+            }
+            // Panics are never retried: exactly one incident.
+            assert_eq!(swept.incidents.len(), 1, "threads {threads}");
+            runs.push(swept);
+        }
+    });
+    // Healthy points are bitwise identical across thread counts.
+    for (a, b) in runs[0].points.iter().zip(&runs[1].points) {
+        if let (Ok(x), Ok(y)) = (a, b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn supervised_bench_sweep_is_bitwise_identical_with_telemetry_on() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [2.0, 8.0, 20.0];
+    let policy = SupervisorPolicy::default();
+    for threads in [1usize, 4] {
+        let settings = BenchSettings {
+            settle_periods: 2.0,
+            measure_periods: 2.0,
+            threads,
+            telemetry: TelemetryConfig::enabled(),
+            ..BenchSettings::default()
+        };
+        let legacy = measure_sweep_run(&cfg, &tones, &settings);
+        let supervised = measure_sweep_supervised(&cfg, &tones, &settings, &policy);
+        assert!(supervised.incidents.is_empty(), "threads {threads}");
+        assert_eq!(supervised.points.len(), legacy.points.len());
+        for (got, want) in supervised.ok_points().iter().zip(&legacy.points) {
+            assert_eq!(got.f_mod_hz, want.f_mod_hz);
+            assert_eq!(
+                got.gain.to_bits(),
+                want.gain.to_bits(),
+                "threads {threads}: gain at {} Hz",
+                want.f_mod_hz
+            );
+            assert_eq!(
+                got.phase.to_bits(),
+                want.phase.to_bits(),
+                "threads {threads}: phase at {} Hz",
+                want.f_mod_hz
+            );
+        }
+    }
+}
+
+#[test]
+fn supervised_monitor_is_bitwise_identical_with_telemetry_on() {
+    let cfg = PllConfig::paper_table3();
+    let policy = SupervisorPolicy::default();
+    for threads in [1usize, 4] {
+        let settings = MonitorSettings {
+            mod_frequencies_hz: vec![1.0, 8.0, 25.0],
+            settle_periods: 2.5,
+            loop_settle_secs: 0.25,
+            capture_transcript: true,
+            threads,
+            telemetry: TelemetryConfig::enabled(),
+            ..MonitorSettings::fast()
+        };
+        let monitor = TransferFunctionMonitor::new(settings);
+        let baseline = monitor.measure(&cfg);
+        let supervised = monitor.measure_supervised(&cfg, &policy);
+        assert!(supervised.incidents.is_empty(), "threads {threads}");
+        assert_eq!(supervised.nominal, Ok(baseline.nominal));
+        for (got, want) in supervised.points.iter().zip(&baseline.points) {
+            assert_eq!(got.as_ref().ok(), Some(want), "threads {threads}");
+        }
+        assert_eq!(
+            supervised.transcript, baseline.transcript,
+            "threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn nan_device_is_fully_quarantined_without_aborting() {
+    let mut cfg = PllConfig::paper_table3();
+    cfg.vco_curvature = (f64::NAN, 0.0);
+    let tones = [2.0, 8.0, 20.0];
+    let settings = BenchSettings {
+        settle_periods: 2.0,
+        measure_periods: 2.0,
+        threads: 2,
+        ..BenchSettings::default()
+    };
+    let run =
+        quietly(|| measure_sweep_supervised(&cfg, &tones, &settings, &SupervisorPolicy::default()));
+    assert_eq!(run.points.len(), tones.len());
+    assert_eq!(run.quarantined_count(), tones.len());
+    assert!(run
+        .points
+        .iter()
+        .all(|p| matches!(p, Err(SweepPointError::NumericalDivergence { .. }))));
+    assert!(run.to_bode().is_none());
+    // Every point exhausted its deterministic retry budget.
+    assert_eq!(
+        run.incidents.len(),
+        tones.len() * (SupervisorPolicy::default().max_retries as usize + 1)
+    );
+}
+
+#[test]
+fn supervised_sweep_always_completes_with_random_fault_placement() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [1.0, 3.0, 9.0, 27.0];
+    quietly(|| {
+        prop_check!(cases: 16, |g| {
+            // One case flavor injects NaN into the device itself (the
+            // behavioral engine's guarded state diverges); the others
+            // seed a panic or a typed failure into one capture.
+            if g.u32_range(0, 3) == 0 {
+                let mut nan_cfg = cfg.clone();
+                nan_cfg.vco_curvature = (f64::NAN, 0.0);
+                let threads = g.pick(&[1usize, 2, 4]);
+                let policy = SupervisorPolicy::default();
+                let tel = Collector::disabled();
+                let swept = Scenario::with_lock_settle(&nan_cfg, 0.1)
+                    .sweep_points_supervised::<pllbist_sim::behavioral::CpPll, _, _>(
+                        &tones,
+                        threads,
+                        &policy,
+                        &tel,
+                        |pll, _fm| {
+                            let t = pll.time();
+                            pll.advance_to(t + 0.02);
+                            Ok(pll.control_voltage())
+                        },
+                    );
+                prop_assert_eq!(swept.points.len(), tones.len());
+                prop_assert_eq!(swept.quarantined_count(), tones.len());
+                for point in &swept.points {
+                    let kind = point.as_ref().err().map(|e| e.kind());
+                    prop_assert_eq!(kind, Some("numerical_divergence"));
+                }
+                prop_assert_eq!(
+                    swept.incidents.len(),
+                    tones.len() * (policy.max_retries as usize + 1)
+                );
+                return Ok(());
+            }
+            let sick = g.usize_range(0, tones.len() - 1);
+            let threads = g.pick(&[1usize, 2, 4]);
+            let as_panic = g.bool();
+            let policy = SupervisorPolicy::default();
+            let tel = Collector::disabled();
+            let swept = Scenario::with_lock_settle(&cfg, 0.1)
+                .sweep_points_supervised::<ClosedFormPll, _, _>(
+                    &tones,
+                    threads,
+                    &policy,
+                    &tel,
+                    |pll, fm| {
+                        if fm == tones[sick] {
+                            if as_panic {
+                                panic!("seeded panic");
+                            }
+                            return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+                        }
+                        let t = pll.time();
+                        pll.advance_to(t + 0.02);
+                        Ok(pll.control_voltage())
+                    },
+                );
+            prop_assert_eq!(swept.points.len(), tones.len());
+            prop_assert_eq!(swept.quarantined_count(), 1);
+            for (point, &fm) in swept.points.iter().zip(&tones) {
+                if fm == tones[sick] {
+                    prop_assert!(point.is_err());
+                    let kind = point.as_ref().err().map(|e| e.kind());
+                    if as_panic {
+                        prop_assert_eq!(kind, Some("worker_panic"));
+                    } else {
+                        prop_assert_eq!(kind, Some("degenerate_fit"));
+                    }
+                } else {
+                    prop_assert!(point.is_ok());
+                }
+            }
+            // Retryable faults burn the retry budget; panics never retry.
+            let want_incidents = if as_panic {
+                1
+            } else {
+                policy.max_retries as usize + 1
+            };
+            prop_assert_eq!(swept.incidents.len(), want_incidents);
+            Ok(())
+        });
+    });
+}
