@@ -57,7 +57,10 @@ fn main() {
                 .map(|cfg| {
                     let result = monitor.measure_supervised(&cfg, &policy);
                     (
-                        result.estimate(),
+                        // A fully quarantined device is a typed
+                        // DegenerateFit; it fails the BIST outright
+                        // below, same as an unfittable estimate.
+                        result.estimate().ok(),
                         result.quarantined_count(),
                         result.incidents.len(),
                         result.telemetry,

@@ -113,14 +113,17 @@ pub struct MonitorSettings {
     pub peak_guard_fraction: f64,
     /// Worker threads for the sweep: `0` = one per available core, `1` =
     /// the historical serial sweep (bit-for-bit: one simulated loop walks
-    /// every tone in order). With more than one worker the tone list is
-    /// split into contiguous chunks and each worker walks its chunk on a
-    /// **freshly locked** loop built from the device configuration, so
-    /// the measured values can differ from the serial ones in low-order
-    /// bits (different settle history), never in physics.
+    /// every tone in order). With more than one worker each tone is
+    /// claimed dynamically by the work-stealing executor
+    /// ([`pllbist_sim::parallel::par_map_points_observed`]) and measured
+    /// on its own **freshly settled** loop built from the device
+    /// configuration, so the measured values can differ from the serial
+    /// ones in low-order bits (different settle history), never in
+    /// physics — and are bitwise identical for every parallel worker
+    /// count, since no tone sees another tone's state.
     pub threads: usize,
     /// On the parallel path, settle the lock transient once and hand
-    /// every worker a restored snapshot instead of re-locking per worker
+    /// every tone a restored snapshot instead of re-locking per tone
     /// (default `true`). [`PllEngine::restore`] is bit-exact, so this
     /// changes wall-clock time only, never the measured values. Ignored
     /// by the serial path, which walks the caller's loop as-is.
@@ -305,16 +308,27 @@ impl SupervisedMonitorResult {
         self.points.len() - self.ok_count()
     }
 
-    /// The eq. 7 magnitude/phase plot over the surviving tones, or
-    /// `None` when no usable reference survives (every tone quarantined,
-    /// or the first surviving deviation is zero/non-finite) — the
-    /// estimator tolerates gaps but cannot normalise without an in-band
-    /// reference.
-    pub fn to_bode(&self) -> Option<BodePlot> {
+    /// The eq. 7 magnitude/phase plot over the surviving tones.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepPointError::DegenerateFit`] when no usable reference
+    /// survives — every tone quarantined (tagged with the
+    /// [`DEVICE_INCIDENT_F_MOD`] sentinel), or the first surviving
+    /// deviation is zero/non-finite (tagged with that tone's frequency).
+    /// The estimator tolerates gaps but cannot normalise without an
+    /// in-band reference, and a silently empty plot is exactly the kind
+    /// of false "pass" the BIST exists to prevent.
+    pub fn to_bode(&self) -> Result<BodePlot, SweepPointError> {
         let ok: Vec<&MonitorPoint> = self.points.iter().filter_map(|p| p.as_ref().ok()).collect();
-        let reference = ok.first()?.delta_f_hz.abs();
+        let first = ok.first().ok_or(SweepPointError::DegenerateFit {
+            f_mod_hz: DEVICE_INCIDENT_F_MOD,
+        })?;
+        let reference = first.delta_f_hz.abs();
         if !reference.is_finite() || reference == 0.0 {
-            return None;
+            return Err(SweepPointError::DegenerateFit {
+                f_mod_hz: first.f_mod_hz,
+            });
         }
         let mut plot: BodePlot = ok
             .iter()
@@ -325,12 +339,16 @@ impl SupervisedMonitorResult {
             })
             .collect();
         plot.unwrap_phase();
-        Some(plot)
+        Ok(plot)
     }
 
-    /// Extracts (ωn, ζ, ω3dB) from the surviving tones, or `None` when
-    /// [`to_bode`](Self::to_bode) has nothing to fit.
-    pub fn estimate(&self) -> Option<ParameterEstimate> {
+    /// Extracts (ωn, ζ, ω3dB) from the surviving tones.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`to_bode`](Self::to_bode): a typed
+    /// [`SweepPointError::DegenerateFit`] when there is nothing to fit.
+    pub fn estimate(&self) -> Result<ParameterEstimate, SweepPointError> {
         let model = match self.capture {
             CaptureMode::HoldAndCount => crate::estimate::ResponseModel::NoZero,
             CaptureMode::GatedCount { .. } => crate::estimate::ResponseModel::WithZero,
@@ -404,12 +422,12 @@ impl TransferFunctionMonitor {
     ///
     /// With `threads` ≤ 1 (after resolving `0` = auto on a single-core
     /// host) the given loop walks every tone in order — the historical
-    /// serial path. With more workers the tone list is chunked and every
-    /// worker measures its chunk on a settled loop built from the device
-    /// configuration (one shared checkpoint when `settings.checkpoint`
-    /// is on, a fresh lock per worker otherwise); pre-stressed *state*
-    /// (as opposed to configuration) therefore only influences the
-    /// nominal reading and the serial path.
+    /// serial path. With more workers each tone is claimed dynamically by
+    /// the work-stealing executor and measured on a settled loop built
+    /// from the device configuration (one shared checkpoint when
+    /// `settings.checkpoint` is on, a fresh lock per tone otherwise);
+    /// pre-stressed *state* (as opposed to configuration) therefore only
+    /// influences the nominal reading and the serial path.
     pub fn measure_on<E: PllEngine>(&self, pll: &mut E) -> MonitorResult {
         let s = &self.settings;
         let tel = Collector::from_config(&s.telemetry);
@@ -433,27 +451,40 @@ impl TransferFunctionMonitor {
         let (points, transcript) = if workers <= 1 {
             self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal, &tel)
         } else {
-            // Parallel path: one settled loop per contiguous chunk of
-            // tones (the Table 2 sequence still runs in order inside
-            // each chunk). Results come back in sweep order. With
-            // checkpointing the lock transient is simulated once and
-            // every worker restores the snapshot.
+            // Parallel path: tones claimed dynamically by the
+            // work-stealing executor, one settled loop per tone — a slow
+            // tone never idles the other workers behind a chunk barrier.
+            // Results come back in sweep order regardless of which
+            // worker ran what. With checkpointing the lock transient is
+            // simulated once and every tone restores the snapshot.
             let scenario = Scenario::with_lock_settle(&config, loop_settle);
             let snapshot = s.checkpoint.then(|| scenario.lock_checkpoint::<E>(&tel));
-            let chunks = scenario.sweep_chunks::<E, _, _>(
+            let per_tone = pllbist_sim::parallel::par_map_points_observed(
                 &s.mod_frequencies_hz,
                 workers,
-                snapshot.as_ref(),
                 &tel,
-                |worker_pll, _worker, chunk| {
-                    vec![self.sweep_chunk(worker_pll, chunk, &nominal, &tel)]
+                |tone_index, &f_mod| {
+                    let mut tone_pll = scenario.point_engine::<E>(snapshot.as_ref());
+                    let (points, mut transcript) = self.sweep_chunk(
+                        &mut tone_pll,
+                        std::slice::from_ref(&f_mod),
+                        &nominal,
+                        &tel,
+                    );
+                    // Per-tone sequencers are schedule-agnostic: stamp
+                    // the tone's global sweep position so the merged
+                    // transcript reads as one Table 2 run.
+                    for transition in &mut transcript {
+                        transition.tone_index = tone_index;
+                    }
+                    (points, transcript)
                 },
             );
             let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
             let mut transcript = Vec::new();
-            for (chunk_points, chunk_transcript) in chunks {
-                points.extend(chunk_points);
-                transcript.extend(chunk_transcript);
+            for (tone_points, tone_transcript) in per_tone {
+                points.extend(tone_points);
+                transcript.extend(tone_transcript);
             }
             (points, transcript)
         };
@@ -514,7 +545,10 @@ impl TransferFunctionMonitor {
         let mut device_error = None;
         for attempt in 0..=policy.max_retries {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                let mut pll = Supervised::new(E::new_locked(config), policy);
+                // `for_attempt` rescales the step budget alongside the
+                // finer micro-step/longer settle below, so a deep
+                // qualification retry is not spuriously budget-killed.
+                let mut pll = Supervised::for_attempt(E::new_locked(config), policy, attempt);
                 if attempt > 0 {
                     pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
                 }
@@ -591,9 +625,11 @@ impl TransferFunctionMonitor {
                 &tel,
             )
         } else {
-            // Parallel path: same chunking as `measure_on` — one settled
-            // loop per contiguous chunk, restored from one shared
-            // guarded snapshot when possible.
+            // Parallel path: same work-stealing schedule as
+            // `measure_on` — tones claimed dynamically, one settled loop
+            // per tone, restored from one shared guarded snapshot when
+            // possible. A failure that escapes per-tone containment
+            // quarantines only its own tone, never a whole chunk.
             let snapshot = catch_unwind(AssertUnwindSafe(|| {
                 let _span = span!(tel, "scenario.checkpoint");
                 let mut settled = Supervised::new(E::new_locked(config), policy);
@@ -602,11 +638,11 @@ impl TransferFunctionMonitor {
                 settled.checkpoint()
             }))
             .ok();
-            let per_tone = pllbist_sim::parallel::par_try_map_chunks_observed(
+            let per_tone = pllbist_sim::parallel::par_try_map_points_observed(
                 &s.mod_frequencies_hz,
                 workers,
                 &tel,
-                |_, chunk| {
+                |tone_index, &f_mod| {
                     let mut worker_pll = Supervised::new(E::new_locked(config), policy);
                     match snapshot.as_ref() {
                         Some(snap) => worker_pll.restore(snap),
@@ -615,25 +651,36 @@ impl TransferFunctionMonitor {
                             worker_pll.advance_to(t0 + loop_settle);
                         }
                     }
-                    self.supervised_chunk(
+                    let mut tone_outcomes = self.supervised_chunk(
                         &mut worker_pll,
-                        chunk,
+                        std::slice::from_ref(&f_mod),
                         &nominal,
                         policy,
                         loop_settle,
                         &tel,
-                    )
-                    .into_iter()
-                    .map(Ok)
-                    .collect()
+                    );
+                    // `supervised_chunk` on a one-tone slice yields
+                    // exactly one outcome; stamp its global position.
+                    let mut outcome = match tone_outcomes.pop() {
+                        Some(outcome) => outcome,
+                        None => ToneOutcome {
+                            point: Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod }),
+                            transcript: Vec::new(),
+                            incidents: Vec::new(),
+                        },
+                    };
+                    for transition in &mut outcome.transcript {
+                        transition.tone_index = tone_index;
+                    }
+                    Ok(outcome)
                 },
             );
             let mut outcomes = Vec::with_capacity(s.mod_frequencies_hz.len());
             for (res, &f_mod) in per_tone.into_iter().zip(&s.mod_frequencies_hz) {
                 match res {
                     Ok(outcome) => outcomes.push(outcome),
-                    // A failure that escaped per-tone containment and
-                    // poisoned its worker chunk: quarantine outright.
+                    // A failure that escaped even the per-tone
+                    // containment boundary: quarantine just this tone.
                     Err(error) => {
                         let incident = Incident {
                             f_mod_hz: f_mod,
@@ -705,7 +752,12 @@ impl TransferFunctionMonitor {
                     }))
                 } else {
                     catch_unwind(AssertUnwindSafe(|| {
-                        let mut retry_pll = Supervised::new(E::new_locked(&config), policy);
+                        // Budget rescaled with the attempt: the finer
+                        // micro-step and longer settle below cost
+                        // ~(settle_scale/step_scale)^k more steps, which
+                        // a constant budget misread as a runaway point.
+                        let mut retry_pll =
+                            Supervised::for_attempt(E::new_locked(&config), policy, attempt);
                         retry_pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
                         retry_pll.arm_point();
                         let t0 = retry_pll.time();
@@ -1204,8 +1256,16 @@ mod tests {
             .points
             .iter()
             .all(|p| matches!(p, Err(SweepPointError::NumericalDivergence { .. }))));
-        assert!(result.to_bode().is_none());
-        assert!(result.estimate().is_none());
+        // An all-quarantined device yields a *typed* degenerate-fit
+        // error carrying the device-level sentinel, not a silent None.
+        assert!(matches!(
+            result.to_bode(),
+            Err(SweepPointError::DegenerateFit { f_mod_hz }) if f_mod_hz == DEVICE_INCIDENT_F_MOD
+        ));
+        assert!(matches!(
+            result.estimate(),
+            Err(SweepPointError::DegenerateFit { .. })
+        ));
         // Device-level incidents are tagged with the sentinel tone and
         // end in quarantine after the policy's retries.
         assert!(!result.incidents.is_empty());

@@ -14,15 +14,19 @@
 //! waits out the modulation transient and captures.
 
 use crate::behavioral::CpPll;
+use crate::campaign::{
+    bits_hex, config_digest, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec,
+};
 use crate::config::PllConfig;
 use crate::engine::{AnalogAccess, PllEngine, WorkStats};
-use crate::error::SweepPointError;
+use crate::error::{CampaignError, SweepPointError};
 use crate::scenario::Scenario;
 use crate::stimulus::FmStimulus;
 use crate::supervisor::{Incident, SupervisorPolicy};
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_numeric::fit::sine_fit;
 use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
+use pllbist_telemetry::{Fields, Value};
 use std::f64::consts::{FRAC_PI_2, TAU};
 
 /// One bench measurement at a single modulation frequency.
@@ -303,13 +307,19 @@ impl SupervisedSweepRun {
         self.points.iter().filter(|p| p.is_err()).count()
     }
 
-    /// Bode plot over the surviving points (phases unwrapped), or `None`
-    /// when every point was quarantined — downstream fitting tolerates
-    /// gaps but cannot conjure a curve from nothing.
-    pub fn to_bode(&self) -> Option<BodePlot> {
+    /// Bode plot over the surviving points (phases unwrapped).
+    ///
+    /// # Errors
+    ///
+    /// [`SweepPointError::DegenerateFit`] (with the device-level
+    /// sentinel `f_mod_hz = 0.0`) when **every** point was quarantined —
+    /// downstream fitting tolerates gaps but cannot conjure a curve from
+    /// nothing, and an empty plot silently accepted by a fitter is
+    /// exactly the kind of false "pass" the BIST exists to prevent.
+    pub fn to_bode(&self) -> Result<BodePlot, SweepPointError> {
         let ok = self.ok_points();
         if ok.is_empty() {
-            return None;
+            return Err(SweepPointError::DegenerateFit { f_mod_hz: 0.0 });
         }
         let mut plot: BodePlot = ok
             .into_iter()
@@ -320,7 +330,7 @@ impl SupervisedSweepRun {
             })
             .collect();
         plot.unwrap_phase();
-        Some(plot)
+        Ok(plot)
     }
 }
 
@@ -361,6 +371,108 @@ pub fn measure_sweep_supervised(
         incidents: swept.incidents,
         telemetry: tel.drain(),
     }
+}
+
+/// The [`PointCodec`] for bench sweep results: every `f64` of a
+/// [`BenchPoint`] stored as its exact bit pattern, so the campaign file
+/// round-trips measurements bit-for-bit.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BenchPointCodec;
+
+impl PointCodec for BenchPointCodec {
+    type Point = BenchPoint;
+
+    fn encode(&self, point: &BenchPoint) -> Fields {
+        vec![
+            (
+                "f_mod_bits".to_string(),
+                Value::Str(bits_hex(point.f_mod_hz)),
+            ),
+            ("gain_bits".to_string(), Value::Str(bits_hex(point.gain))),
+            ("phase_bits".to_string(), Value::Str(bits_hex(point.phase))),
+        ]
+    }
+
+    fn decode(&self, line: &str) -> Option<BenchPoint> {
+        Some(BenchPoint {
+            f_mod_hz: f64_from_bits_hex(&json_str_field(line, "f_mod_bits")?)?,
+            gain: f64_from_bits_hex(&json_str_field(line, "gain_bits")?)?,
+            phase: f64_from_bits_hex(&json_str_field(line, "phase_bits")?)?,
+        })
+    }
+}
+
+/// The campaign config digest of a bench sweep: hashes everything that
+/// determines the measured numbers — config, grid, the measurement
+/// settings and the supervisor policy — but **not** `threads`,
+/// `checkpoint` or `telemetry`, which never change results. A campaign
+/// killed on 16 threads may therefore resume on 1 and still produce the
+/// byte-identical file.
+pub fn bench_campaign_digest(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+) -> String {
+    let salt = format!(
+        "bench|dev:{}|settle:{}|measure:{}|spp:{}|policy:{policy:?}",
+        bits_hex(settings.deviation_hz),
+        bits_hex(settings.settle_periods),
+        bits_hex(settings.measure_periods),
+        settings.samples_per_period,
+    );
+    config_digest(config, f_mod_hz, &salt)
+}
+
+/// [`measure_sweep_supervised`] with a resumable results file at `path`.
+///
+/// Each completed point — healthy or quarantined — streams to the file
+/// as it lands; if the process is killed mid-campaign, re-running with
+/// the same arguments loads the file, skips every completed point and
+/// recomputes only the rest. The finished file is **byte-identical** to
+/// an uninterrupted run's, for every thread count on either side of the
+/// kill.
+///
+/// # Errors
+///
+/// [`CampaignError`] when the results file belongs to a different
+/// campaign ([`CampaignError::HeaderMismatch`]), is corrupted before its
+/// final line, or the filesystem fails.
+pub fn measure_sweep_resumable(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+    path: impl AsRef<std::path::Path>,
+) -> Result<SupervisedSweepRun, CampaignError> {
+    let digest = bench_campaign_digest(config, f_mod_hz, settings, policy);
+    let log = CampaignLog::open(path, BenchPointCodec, digest, f_mod_hz.len())?;
+    let tel = Collector::from_config(&settings.telemetry);
+    let scenario = Scenario::new(config);
+    let swept = scenario.sweep_points_supervised_resumed::<CpPll, BenchPointCodec, _>(
+        f_mod_hz,
+        settings.threads,
+        policy,
+        &tel,
+        &log,
+        |pll, fm| {
+            let _point = span!(tel, "bench.point", f_mod_hz = fm);
+            let (point, stats) = capture_point(pll, fm, settings)?;
+            if tel.is_enabled() {
+                tel.add("sim.steps", stats.steps);
+                tel.add("sim.step_rejections", stats.step_rejections);
+                tel.add("sim.ref_edges", stats.ref_edges);
+                tel.add("sim.fb_edges", stats.fb_edges);
+            }
+            Ok(point)
+        },
+    );
+    log.finish(true)?;
+    Ok(SupervisedSweepRun {
+        points: swept.points,
+        incidents: swept.incidents,
+        telemetry: tel.drain(),
+    })
 }
 
 /// Sweeps the bench measurement over the given modulation frequencies and
@@ -517,6 +629,74 @@ mod tests {
             let bode = run.to_bode().expect("healthy sweep has a curve");
             assert_eq!(bode.len(), freqs.len());
         }
+    }
+
+    #[test]
+    fn bench_codec_round_trips_points_exactly() {
+        use crate::campaign::{decode_point_line, encode_point_line};
+        let p = BenchPoint {
+            f_mod_hz: 8.0,
+            gain: 0.987_654_321,
+            phase: -0.123_456_789,
+        };
+        let line = encode_point_line(&BenchPointCodec, 5, &Ok(p));
+        let (index, back) = decode_point_line(&BenchPointCodec, &line).expect("decodes");
+        assert_eq!(index, 5);
+        assert_eq!(back.expect("ok point"), p);
+        // Re-encoding the decoded point reproduces the exact line — the
+        // byte-identity guarantee resume depends on.
+        assert_eq!(encode_point_line(&BenchPointCodec, 5, &Ok(p)), line);
+    }
+
+    #[test]
+    fn bench_digest_ignores_threads_but_not_settings() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0];
+        let policy = SupervisorPolicy::default();
+        let base = quick();
+        let a = bench_campaign_digest(&cfg, &freqs, &base, &policy);
+        // Thread count, checkpointing and telemetry never change results,
+        // so they must not change the digest (resume across thread counts).
+        let rethreaded = BenchSettings {
+            threads: 16,
+            checkpoint: false,
+            telemetry: TelemetryConfig::enabled(),
+            ..quick()
+        };
+        assert_eq!(a, bench_campaign_digest(&cfg, &freqs, &rethreaded, &policy));
+        // Anything result-affecting must.
+        let detuned = BenchSettings {
+            deviation_hz: 11.0,
+            ..quick()
+        };
+        assert_ne!(a, bench_campaign_digest(&cfg, &freqs, &detuned, &policy));
+        let lax = SupervisorPolicy {
+            max_retries: policy.max_retries + 1,
+            ..SupervisorPolicy::default()
+        };
+        assert_ne!(a, bench_campaign_digest(&cfg, &freqs, &base, &lax));
+    }
+
+    #[test]
+    fn resumable_sweep_matches_supervised_and_reloads_from_file() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0, 20.0];
+        let settings = quick();
+        let policy = SupervisorPolicy::default();
+        let path = std::env::temp_dir().join("pllbist_bench_resumable_inline.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let run =
+            measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path).expect("resumable");
+        let plain = measure_sweep_supervised(&cfg, &freqs, &settings, &policy);
+        assert_eq!(run.points, plain.points);
+        let first = std::fs::read_to_string(&path).expect("results file");
+        // A second run over the completed file recomputes nothing: every
+        // outcome loads from disk and the file is untouched.
+        let again =
+            measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path).expect("resume");
+        assert_eq!(again.points, run.points);
+        assert_eq!(std::fs::read_to_string(&path).expect("results file"), first);
+        std::fs::remove_file(&path).expect("cleanup");
     }
 
     #[test]

@@ -162,6 +162,67 @@ impl From<FaultWiringError> for SweepPointError {
     }
 }
 
+/// Why a resumable campaign results file could not be used.
+///
+/// Produced by [`crate::campaign::CampaignLog`]: a resume must *refuse*
+/// a file it cannot prove belongs to this exact run (config digest +
+/// grid size) rather than silently merging foreign points into the
+/// output — the whole value of the results file is that a resumed run
+/// is byte-identical to an uninterrupted one.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// Filesystem failure on the results file.
+    Io(std::io::Error),
+    /// The file's campaign header does not match this run (different
+    /// config digest or point count) — likely a stale file from an
+    /// earlier grid definition.
+    HeaderMismatch {
+        /// Digest/points expected by the resuming run.
+        expected: String,
+        /// Digest/points found in the file.
+        found: String,
+    },
+    /// A non-trailing line could not be parsed as a campaign record
+    /// (a truncated *final* line is tolerated — that is what a kill
+    /// mid-write leaves behind — but corruption anywhere else is not).
+    Malformed {
+        /// One-based line number of the offending record.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::Io(e) => write!(f, "campaign file I/O: {e}"),
+            CampaignError::HeaderMismatch { expected, found } => write!(
+                f,
+                "campaign header mismatch: expected {expected}, found {found}"
+            ),
+            CampaignError::Malformed { line, reason } => {
+                write!(f, "malformed campaign record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CampaignError {
+    fn from(e: std::io::Error) -> Self {
+        CampaignError::Io(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

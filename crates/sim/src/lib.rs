@@ -47,6 +47,7 @@
 
 pub mod behavioral;
 pub mod bench_measure;
+pub mod campaign;
 pub mod config;
 pub mod cosim;
 pub mod engine;
@@ -61,8 +62,9 @@ pub mod supervisor;
 pub mod transient;
 
 pub use behavioral::CpPll;
+pub use campaign::{CampaignLog, PointCodec};
 pub use config::PllConfig;
 pub use engine::{AnalogAccess, ClosedFormPll, PllEngine, WorkStats};
-pub use error::SweepPointError;
+pub use error::{CampaignError, SweepPointError};
 pub use linear::LoopAnalysis;
 pub use supervisor::{Incident, IncidentAction, Supervised, SupervisorPolicy};

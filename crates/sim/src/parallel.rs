@@ -4,15 +4,27 @@
 //! FM modulation point per step — an embarrassingly parallel shape (the
 //! same one batched across parameter grids by the closed-form CP-PLL
 //! models of Kuznetsov et al.). This module provides the small,
-//! dependency-free executor the sweep paths share: scoped threads, one
-//! **contiguous chunk** of work items per worker, results reassembled in
-//! input order.
+//! dependency-free executors the sweep paths share. Two schedules exist:
+//!
+//! - **Chunked** ([`par_map_chunks`] family): one contiguous chunk of
+//!   items per worker, joined at a barrier. Right when per-item work
+//!   shares mutable state within a worker (the monitor's serial walk),
+//!   but the barrier waits on the slowest chunk — quarantine-and-retry
+//!   skew (retried points cost many times a healthy point) idles every
+//!   other worker.
+//! - **Work-stealing** ([`par_map_points_observed`] family): a shared
+//!   atomic work index over the point list; each worker repeatedly
+//!   claims the next unclaimed point and writes its result into that
+//!   point's pre-sized slot, so a straggler point delays only the worker
+//!   that owns it. This is the default schedule for all per-point sweep
+//!   paths.
 //!
 //! Determinism contract: when the per-item function is a pure function of
 //! the item (as [`crate::bench_measure::measure_point`] is — it builds a
 //! fresh loop per point), the output vector is **bitwise identical** for
-//! every thread count, including `1`. Chunking only changes which worker
-//! computes an item, never the item's inputs.
+//! every thread count, including `1`. Scheduling only changes *which
+//! worker* computes an item and *when*, never the item's inputs, and
+//! results are reassembled in input order.
 //!
 //! `threads` convention used across the workspace: `0` means "auto"
 //! (use [`available_parallelism`]), `1` forces the serial path (no
@@ -33,6 +45,28 @@ pub fn resolve_threads(threads: usize) -> usize {
     } else {
         threads
     }
+}
+
+/// Splits `items` into exactly `workers` contiguous chunks whose lengths
+/// differ by at most one (`workers` must be ≤ `items.len()`).
+///
+/// The previous `div_ceil`-sized chunking could *starve* workers: 9
+/// items on 4 threads produced 3 chunks of 3, so only 3 workers were
+/// ever spawned while telemetry reported 4. The balanced split hands the
+/// first `len % workers` workers one extra item, so the spawned worker
+/// count always equals the reported one.
+fn balanced_chunks<T>(items: &[T], workers: usize) -> Vec<&[T]> {
+    let base = items.len() / workers;
+    let rem = items.len() % workers;
+    let mut chunks = Vec::with_capacity(workers);
+    let mut start = 0;
+    for worker in 0..workers {
+        let len = base + usize::from(worker < rem);
+        chunks.push(&items[start..start + len]);
+        start += len;
+    }
+    debug_assert_eq!(start, items.len());
+    chunks
 }
 
 /// Maps `f` over `items` on up to `threads` workers (`0` = auto),
@@ -116,13 +150,12 @@ where
         }
         return out;
     }
-    let chunk_len = items.len().div_ceil(workers);
     let scope_start = std::time::Instant::now();
     let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = workers as u64);
     let f = &f;
     let (out, busy): (Vec<R>, f64) = std::thread::scope(|scope| {
-        let handles: Vec<_> = items
-            .chunks(chunk_len)
+        let handles: Vec<_> = balanced_chunks(items, workers)
+            .into_iter()
             .enumerate()
             .map(|(worker, chunk)| {
                 let tel = telemetry.clone();
@@ -204,6 +237,167 @@ where
             }
         }
     })
+}
+
+/// Work-stealing per-point map: `f` is applied to every `(index, item)`
+/// pair by up to `threads` workers pulling from a **shared atomic work
+/// index**, and results are written into a pre-sized slot vector so the
+/// output is in input order regardless of which worker computed what.
+///
+/// Unlike the chunk-barrier executors above, a straggler point (e.g. a
+/// quarantine-and-retry cascade costing many times a healthy point)
+/// delays only the worker that claimed it — the remaining workers keep
+/// draining the point list. When `f` is a pure function of
+/// `(index, item)`, output is **bitwise identical** at every thread
+/// count.
+///
+/// Telemetry (replacing the chunk spans of the chunked executors): one
+/// `parallel.worker` span per worker, per-worker wall times in the
+/// `parallel.worker_wall_secs` histogram, per-worker claimed-point
+/// counts in `parallel.points` and `parallel.worker.<w>.points`, plus
+/// the scope-level `parallel.workers` / `parallel.utilization` gauges
+/// (the worker count reported is the count actually spawned).
+///
+/// # Panics
+///
+/// Re-raises a panic from `f` (the scope joins all workers first). For
+/// typed per-point containment use [`par_try_map_points_observed`].
+pub fn par_map_points_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = resolve_threads(threads).max(1).min(items.len().max(1));
+    if workers <= 1 {
+        let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = 1u64);
+        let start = std::time::Instant::now();
+        let out: Vec<R> = {
+            let _worker = pllbist_telemetry::span!(telemetry, "parallel.worker", worker = 0u64);
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect()
+        };
+        if telemetry.is_enabled() {
+            telemetry.observe("parallel.worker_wall_secs", start.elapsed().as_secs_f64());
+            telemetry.add("parallel.points", items.len() as u64);
+            telemetry.add("parallel.worker.0.points", items.len() as u64);
+            telemetry.gauge("parallel.workers", 1.0);
+            telemetry.gauge("parallel.utilization", 1.0);
+        }
+        return out;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let scope_start = std::time::Instant::now();
+    let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = workers as u64);
+    let f = &f;
+    let next = &next;
+    let (mut slots, busy): (Vec<Option<R>>, f64) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let tel = telemetry.clone();
+                scope.spawn(move || {
+                    let start = std::time::Instant::now();
+                    let mut claimed: Vec<(usize, R)> = Vec::new();
+                    {
+                        let _span =
+                            pllbist_telemetry::span!(tel, "parallel.worker", worker = worker);
+                        loop {
+                            let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            let result = f(i, &items[i]);
+                            claimed.push((i, result));
+                        }
+                    }
+                    let wall = start.elapsed().as_secs_f64();
+                    if tel.is_enabled() {
+                        tel.observe("parallel.worker_wall_secs", wall);
+                        tel.add("parallel.points", claimed.len() as u64);
+                        tel.add(
+                            &format!("parallel.worker.{worker}.points"),
+                            claimed.len() as u64,
+                        );
+                    }
+                    (claimed, wall)
+                })
+            })
+            .collect();
+        let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+        let mut busy = 0.0;
+        for h in handles {
+            // Re-raise a worker panic with its original payload so a
+            // `catch_unwind` upstream (or a `#[should_panic]` test) sees
+            // the real message, not a generic join error.
+            let (claimed, wall) = match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, result) in claimed {
+                debug_assert!(slots[i].is_none(), "point {i} claimed twice");
+                slots[i] = Some(result);
+            }
+            busy += wall;
+        }
+        (slots, busy)
+    });
+    if telemetry.is_enabled() {
+        let scope_wall = scope_start.elapsed().as_secs_f64();
+        telemetry.gauge("parallel.workers", workers as f64);
+        if scope_wall > 0.0 {
+            telemetry.gauge("parallel.utilization", busy / (workers as f64 * scope_wall));
+        }
+    }
+    slots
+        .iter_mut()
+        .enumerate()
+        .map(|(i, slot)| match slot.take() {
+            Some(r) => r,
+            // Unreachable: the atomic index hands every i in 0..len to
+            // exactly one worker, and a panicking worker re-raised above.
+            None => unreachable!("point {i} was never claimed"),
+        })
+        .collect()
+}
+
+/// Panic-isolating variant of [`par_map_points_observed`] for per-point
+/// `Result` pipelines: each point runs inside its own `catch_unwind`, so
+/// a panic is rendered as
+/// [`SweepPointError::from_panic`](crate::error::SweepPointError::from_panic)
+/// for **that point alone** — an improvement over the chunked executor,
+/// which had to poison a panicking worker's whole chunk.
+///
+/// Output order and the bitwise-determinism contract match
+/// [`par_map_points_observed`]: on panic-free runs the two are
+/// call-for-call identical.
+pub fn par_try_map_points_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<Result<R, crate::error::SweepPointError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> Result<R, crate::error::SweepPointError> + Sync,
+{
+    par_map_points_observed(
+        items,
+        threads,
+        telemetry,
+        |i, item| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+            Ok(result) => result,
+            Err(payload) => Err(crate::error::SweepPointError::from_panic(payload)),
+        },
+    )
 }
 
 #[cfg(test)]
@@ -373,6 +567,165 @@ mod tests {
         }
         // Serial containment too: the caller's stack is never unwound.
         assert!(results[0][6].is_err());
+    }
+
+    #[test]
+    fn balanced_chunks_spawn_every_requested_worker() {
+        // The regression from the issue: 9 items / 4 threads used to
+        // produce ceil(9/4)=3 chunks of 3, starving the fourth worker
+        // while telemetry reported workers=4.
+        let items: Vec<u32> = (0..9).collect();
+        let chunks = balanced_chunks(&items, 4);
+        assert_eq!(chunks.len(), 4);
+        let lens: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+        assert_eq!(lens, vec![3, 2, 2, 2]);
+        let flat: Vec<u32> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+        assert_eq!(flat, items);
+        // Exhaustive small-space check: every split is a contiguous
+        // cover with exactly `workers` non-empty, near-equal chunks.
+        for len in 1usize..=12 {
+            let items: Vec<usize> = (0..len).collect();
+            for workers in 1..=len {
+                let chunks = balanced_chunks(&items, workers);
+                assert_eq!(chunks.len(), workers, "len {len} workers {workers}");
+                let sizes: Vec<usize> = chunks.iter().map(|c| c.len()).collect();
+                let (min, max) = (sizes.iter().min().copied(), sizes.iter().max().copied());
+                assert!(
+                    min.unwrap() >= 1,
+                    "len {len} workers {workers}: empty chunk"
+                );
+                assert!(
+                    max.unwrap() - min.unwrap() <= 1,
+                    "len {len} workers {workers}: unbalanced {sizes:?}"
+                );
+                let flat: Vec<usize> = chunks.iter().flat_map(|c| c.iter().copied()).collect();
+                assert_eq!(flat, items, "len {len} workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_runs_every_worker_it_reports() {
+        // Observable spawn-count check through the public API: with 9
+        // items on 4 threads all four chunk spans must appear.
+        let items: Vec<u32> = (0..9).collect();
+        let tel = pllbist_telemetry::Collector::enabled();
+        let got = par_map_chunks_observed(&items, 4, &tel, |_, chunk| {
+            chunk.iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(got, (1..=9).collect::<Vec<u32>>());
+        let records = tel.drain();
+        let chunk_workers: std::collections::BTreeSet<u64> = records
+            .iter()
+            .filter_map(|r| match r {
+                pllbist_telemetry::Record::Span { name, fields, .. }
+                    if name == "parallel.chunk" =>
+                {
+                    fields.iter().find_map(|(k, v)| match v {
+                        pllbist_telemetry::Value::U64(w) if *k == "worker" => Some(*w),
+                        _ => None,
+                    })
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            chunk_workers,
+            (0..4).collect(),
+            "every reported worker must actually run a chunk"
+        );
+    }
+
+    #[test]
+    fn stealing_map_preserves_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        let tel = pllbist_telemetry::Collector::disabled();
+        for threads in [1, 2, 3, 4, 8, 16, 64] {
+            let got = par_map_points_observed(&items, threads, &tel, |_, &x| x * x);
+            assert_eq!(got, expect, "threads = {threads}");
+        }
+        let empty: Vec<u64> = Vec::new();
+        assert!(par_map_points_observed(&empty, 4, &tel, |_, &x| x).is_empty());
+    }
+
+    #[test]
+    fn stealing_map_is_bitwise_stable_across_thread_counts() {
+        let items: Vec<f64> = (1..=41).map(|k| k as f64 * 0.07).collect();
+        let work = |i: usize, x: &f64| (x.sin() * (x + i as f64).exp()).sqrt().to_bits();
+        let tel = pllbist_telemetry::Collector::disabled();
+        let serial = par_map_points_observed(&items, 1, &tel, work);
+        for threads in [2, 4, 16] {
+            let tel_on = pllbist_telemetry::Collector::enabled();
+            let got = par_map_points_observed(&items, threads, &tel_on, work);
+            assert_eq!(got, serial, "threads = {threads}");
+            let records = tel_on.drain();
+            // Per-worker telemetry: claimed points sum to the item count.
+            let total: u64 = records
+                .iter()
+                .filter_map(|r| match r {
+                    pllbist_telemetry::Record::Counter { name, value }
+                        if name == "parallel.points" =>
+                    {
+                        Some(*value)
+                    }
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(total, items.len() as u64, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn stealing_try_map_contains_panics_per_point() {
+        let items: Vec<u32> = (0..8).collect();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let tel = pllbist_telemetry::Collector::disabled();
+        let results: Vec<Vec<_>> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                par_try_map_points_observed(&items, threads, &tel, |_, &x| {
+                    assert!(x != 6, "poisoned point {x}");
+                    Ok(x * 10)
+                })
+            })
+            .collect();
+        std::panic::set_hook(prev);
+        for (result, &threads) in results.iter().zip(&[1usize, 2, 4]) {
+            assert_eq!(result.len(), items.len(), "threads = {threads}");
+            // Exactly ONE point fails — per-point containment, unlike
+            // the chunked executor's whole-chunk poisoning.
+            for (i, r) in result.iter().enumerate() {
+                if i == 6 {
+                    assert!(
+                        matches!(
+                            r,
+                            Err(SweepPointError::WorkerPanic { message })
+                                if message.contains("poisoned point 6")
+                        ),
+                        "threads = {threads}"
+                    );
+                } else {
+                    assert_eq!(
+                        r.as_ref().ok(),
+                        Some(&(i as u32 * 10)),
+                        "threads = {threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stealing boom")]
+    fn stealing_map_propagates_uncontained_panics() {
+        let items: Vec<u32> = (0..8).collect();
+        let tel = pllbist_telemetry::Collector::disabled();
+        let _ = par_map_points_observed(&items, 2, &tel, |_, &x| {
+            assert!(x < 6, "stealing boom");
+            x
+        });
     }
 
     #[test]

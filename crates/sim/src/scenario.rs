@@ -14,13 +14,18 @@
 //! from-scratch sweep at any thread count (the workspace's
 //! `checkpoint_determinism` integration test pins this).
 
+use crate::campaign::{CampaignLog, PointCodec};
 use crate::config::PllConfig;
 use crate::engine::PllEngine;
 use crate::error::SweepPointError;
-use crate::parallel::{par_map_chunks_observed, par_try_map_chunks_observed};
+use crate::parallel::{
+    par_map_chunks_observed, par_map_points_observed, par_try_map_chunks_observed,
+    par_try_map_points_observed,
+};
 use crate::stimulus::FmStimulus;
 use crate::supervisor::{
-    emit_incident, supervised_point, Incident, IncidentAction, Supervised, SupervisorPolicy,
+    emit_incident, supervised_point, Incident, IncidentAction, PointOutcome, Supervised,
+    SupervisorPolicy,
 };
 use pllbist_telemetry::Collector;
 
@@ -127,7 +132,10 @@ impl<'a> Scenario<'a> {
     }
 
     /// Fans `capture` out over `f_mod_hz` with one fresh-or-restored
-    /// engine **per point** (the bench shape: every point independent).
+    /// engine **per point** (the bench shape: every point independent),
+    /// scheduled by the work-stealing executor
+    /// ([`par_map_points_observed`]) so a slow point never idles the
+    /// other workers behind a chunk barrier.
     ///
     /// With `use_checkpoint` the settle runs once and each point restores
     /// the snapshot; without it each point settles from scratch. Results
@@ -146,28 +154,41 @@ impl<'a> Scenario<'a> {
         F: Fn(&mut E, f64) -> R + Sync,
     {
         let snapshot = use_checkpoint.then(|| self.lock_checkpoint::<E>(telemetry));
-        par_map_chunks_observed(f_mod_hz, threads, telemetry, |_, chunk| {
-            chunk
-                .iter()
-                .map(|&f_mod| {
-                    let mut pll = self.point_engine::<E>(snapshot.as_ref());
-                    capture(&mut pll, f_mod)
-                })
-                .collect()
+        par_map_points_observed(f_mod_hz, threads, telemetry, |_, &f_mod| {
+            let mut pll = self.point_engine::<E>(snapshot.as_ref());
+            capture(&mut pll, f_mod)
         })
     }
 
-    /// Fans `walk` out over contiguous chunks of `f_mod_hz` with one
-    /// fresh-or-restored engine **per worker** (the monitor shape: a
-    /// worker walks its chunk of tones on one simulated loop).
-    ///
-    /// `walk` receives the worker's engine, its chunk index, and its
-    /// chunk of modulation frequencies, and returns that chunk's results.
+    /// Settles one supervised engine and snapshots it, containing a
+    /// divergent settle: on failure the snapshot is dropped and each
+    /// point settles (and fails, and is quarantined) individually.
+    fn supervised_snapshot<E: PllEngine>(
+        &self,
+        policy: &SupervisorPolicy,
+        telemetry: &Collector,
+    ) -> Option<E::Checkpoint> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = pllbist_telemetry::span!(telemetry, "scenario.checkpoint");
+            let mut pll = Supervised::new(E::new_locked(self.config), policy);
+            let t0 = pll.time();
+            pll.advance_to(t0 + self.lock_settle_secs);
+            pll.checkpoint()
+        }))
+        .ok()
+    }
+
     /// Supervised variant of [`sweep_points`](Self::sweep_points): every
     /// point runs under [`supervised_point`] — guardrails, panic
     /// isolation, the deterministic quarantine-and-retry policy — and
     /// the sweep returns per-point `Result`s plus the incident log
     /// instead of aborting on the first sick point.
+    ///
+    /// Points are scheduled by the work-stealing executor
+    /// ([`par_try_map_points_observed`]), so a retry cascade on one sick
+    /// point keeps every other worker busy instead of idling them at a
+    /// chunk barrier — the schedule that makes retry-heavy campaigns
+    /// scale (see `abl12_work_stealing_campaign`).
     ///
     /// On a healthy device the capture sequence (and therefore every
     /// result bit) is identical to [`sweep_points`](Self::sweep_points)
@@ -188,14 +209,44 @@ impl<'a> Scenario<'a> {
         R: Send,
         F: Fn(&mut Supervised<E>, f64) -> Result<R, SweepPointError> + Sync,
     {
-        let snapshot = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _span = pllbist_telemetry::span!(telemetry, "scenario.checkpoint");
-            let mut pll = Supervised::new(E::new_locked(self.config), policy);
-            let t0 = pll.time();
-            pll.advance_to(t0 + self.lock_settle_secs);
-            pll.checkpoint()
-        }))
-        .ok();
+        let snapshot = self.supervised_snapshot::<E>(policy, telemetry);
+        let outcomes = par_try_map_points_observed(f_mod_hz, threads, telemetry, |_, &f_mod| {
+            Ok(supervised_point::<E, _, _>(
+                self,
+                snapshot.as_ref(),
+                policy,
+                f_mod,
+                telemetry,
+                |pll| capture(pll, f_mod),
+            ))
+        });
+        Self::merge_outcomes(f_mod_hz, outcomes, telemetry)
+    }
+
+    /// The pre-work-stealing supervised sweep: contiguous chunks joined
+    /// at a barrier, kept as a migration aid and as the baseline the
+    /// `abl12_work_stealing_campaign` ablation measures against.
+    ///
+    /// Semantics differ from [`sweep_points_supervised`](Self::sweep_points_supervised)
+    /// in one way only: a failure that escapes per-point containment
+    /// poisons its **whole worker chunk** (every point of the chunk is
+    /// quarantined), where the work-stealing schedule quarantines just
+    /// the offending point. Healthy results are bitwise identical
+    /// between the two at every thread count.
+    pub fn sweep_points_supervised_chunked<E, R, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        policy: &SupervisorPolicy,
+        telemetry: &Collector,
+        capture: F,
+    ) -> SupervisedPoints<R>
+    where
+        E: PllEngine,
+        R: Send,
+        F: Fn(&mut Supervised<E>, f64) -> Result<R, SweepPointError> + Sync,
+    {
+        let snapshot = self.supervised_snapshot::<E>(policy, telemetry);
         let outcomes = par_try_map_chunks_observed(f_mod_hz, threads, telemetry, |_, chunk| {
             chunk
                 .iter()
@@ -211,6 +262,108 @@ impl<'a> Scenario<'a> {
                 })
                 .collect()
         });
+        Self::merge_outcomes(f_mod_hz, outcomes, telemetry)
+    }
+
+    /// Resumable variant of
+    /// [`sweep_points_supervised`](Self::sweep_points_supervised): points
+    /// already present in `log` (loaded from its results file) are
+    /// **skipped** — their outcomes are returned as-is — and every newly
+    /// computed point is streamed to the file as it completes, so a
+    /// killed campaign restarts where it left off and the resumed file
+    /// is byte-identical to an uninterrupted run's.
+    ///
+    /// The incident log covers newly computed points only (incidents of
+    /// previously completed points lived in the killed run). Skipped
+    /// points are counted in the `campaign.points_skipped` telemetry
+    /// counter.
+    pub fn sweep_points_supervised_resumed<E, C, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        policy: &SupervisorPolicy,
+        telemetry: &Collector,
+        log: &CampaignLog<C>,
+        capture: F,
+    ) -> SupervisedPoints<C::Point>
+    where
+        E: PllEngine,
+        C: PointCodec,
+        C::Point: Clone + Sync,
+        F: Fn(&mut Supervised<E>, f64) -> Result<C::Point, SweepPointError> + Sync,
+    {
+        let missing: Vec<usize> = (0..f_mod_hz.len())
+            .filter(|&i| !log.is_completed(i))
+            .collect();
+        if telemetry.is_enabled() {
+            telemetry.add(
+                "campaign.points_skipped",
+                (f_mod_hz.len() - missing.len()) as u64,
+            );
+        }
+        let snapshot = if missing.is_empty() {
+            None
+        } else {
+            self.supervised_snapshot::<E>(policy, telemetry)
+        };
+        let computed = par_try_map_points_observed(&missing, threads, telemetry, |_, &index| {
+            let f_mod = f_mod_hz[index];
+            let outcome = supervised_point::<E, _, _>(
+                self,
+                snapshot.as_ref(),
+                policy,
+                f_mod,
+                telemetry,
+                |pll| capture(pll, f_mod),
+            );
+            log.record(index, &outcome.result);
+            Ok(outcome)
+        });
+        let mut fresh: std::collections::BTreeMap<
+            usize,
+            Result<PointOutcome<C::Point>, SweepPointError>,
+        > = missing.iter().copied().zip(computed).collect();
+        let mut points = Vec::with_capacity(f_mod_hz.len());
+        let mut incidents = Vec::new();
+        for (index, &f_mod) in f_mod_hz.iter().enumerate() {
+            if let Some(loaded) = log.loaded(index) {
+                points.push(loaded.clone());
+                continue;
+            }
+            match fresh.remove(&index) {
+                Some(Ok(point)) => {
+                    incidents.extend(point.incidents);
+                    points.push(point.result);
+                }
+                // A failure that escaped per-point containment: the
+                // point never reached `log.record`, so write its
+                // quarantined outcome here to keep the file's in-order
+                // flusher moving.
+                Some(Err(error)) => {
+                    let incident = Incident {
+                        f_mod_hz: f_mod,
+                        attempt: 0,
+                        action: IncidentAction::Quarantined,
+                        error: error.clone(),
+                    };
+                    emit_incident(telemetry, &incident);
+                    incidents.push(incident);
+                    log.record(index, &Err(error.clone()));
+                    points.push(Err(error));
+                }
+                None => unreachable!("index {index} neither loaded nor computed"),
+            }
+        }
+        SupervisedPoints { points, incidents }
+    }
+
+    /// Folds per-point executor outcomes into a [`SupervisedPoints`],
+    /// quarantining any failure that escaped per-point containment.
+    fn merge_outcomes<R>(
+        f_mod_hz: &[f64],
+        outcomes: Vec<Result<PointOutcome<R>, SweepPointError>>,
+        telemetry: &Collector,
+    ) -> SupervisedPoints<R> {
         let mut points = Vec::with_capacity(f_mod_hz.len());
         let mut incidents = Vec::new();
         for (outcome, &f_mod) in outcomes.into_iter().zip(f_mod_hz) {
@@ -219,8 +372,6 @@ impl<'a> Scenario<'a> {
                     incidents.extend(point.incidents);
                     points.push(point.result);
                 }
-                // A failure that escaped per-point containment (it
-                // poisoned the whole worker chunk): quarantine outright.
                 Err(error) => {
                     let incident = Incident {
                         f_mod_hz: f_mod,
@@ -237,6 +388,13 @@ impl<'a> Scenario<'a> {
         SupervisedPoints { points, incidents }
     }
 
+    /// Fans `walk` out over contiguous chunks of `f_mod_hz` with one
+    /// fresh-or-restored engine **per worker** (the serial-walk shape:
+    /// a worker walks its chunk of tones on one simulated loop).
+    ///
+    /// `walk` receives the worker's engine, its chunk index, and its
+    /// chunk of modulation frequencies, and returns that chunk's
+    /// results.
     pub fn sweep_chunks<E, R, F>(
         &self,
         f_mod_hz: &[f64],

@@ -100,6 +100,34 @@ impl SupervisorPolicy {
             _ => None,
         })
     }
+
+    /// The step budget for retry `attempt` (zero-based).
+    ///
+    /// Attempt `k` settles for `retry_settle_scale^k` times the nominal
+    /// wait *at* a `retry_step_scale^k` micro-step, so even a healthy
+    /// retry needs roughly `(retry_settle_scale / retry_step_scale)^k`
+    /// times the steps of attempt 0. A constant budget therefore killed
+    /// exactly the deep retries the policy exists to rescue, reporting
+    /// spurious [`SweepPointError::StepBudgetExhausted`]; the budget now
+    /// scales with the work the attempt is *expected* to do (never
+    /// shrinking below the nominal budget, saturating on overflow; `0`
+    /// stays unlimited).
+    pub fn step_budget_for_attempt(&self, attempt: u32) -> u64 {
+        if self.step_budget == 0 || attempt == 0 {
+            return self.step_budget;
+        }
+        let settle_growth = self.retry_settle_scale.max(1.0);
+        let step_refinement = self.retry_step_scale.clamp(f64::MIN_POSITIVE, 1.0);
+        let factor = (settle_growth / step_refinement)
+            .max(1.0)
+            .powi(attempt as i32);
+        let scaled = (self.step_budget as f64 * factor).ceil();
+        if scaled >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            scaled as u64
+        }
+    }
 }
 
 /// What the supervisor did about one failed attempt.
@@ -205,6 +233,17 @@ impl<E: PllEngine> Supervised<E> {
             rail_streak: 0,
             baseline_steps,
         }
+    }
+
+    /// Wraps `inner` for retry `attempt` of one point: the guardrails of
+    /// `policy` with the step budget rescaled per
+    /// [`SupervisorPolicy::step_budget_for_attempt`], so a deep retry's
+    /// deliberately finer micro-step and longer settle are not
+    /// misdiagnosed as a runaway point.
+    pub fn for_attempt(inner: E, policy: &SupervisorPolicy, attempt: u32) -> Self {
+        let mut supervised = Self::new(inner, policy);
+        supervised.step_budget = policy.step_budget_for_attempt(attempt);
+        supervised
     }
 
     /// Wraps `inner` with every guardrail disabled (finiteness checks
@@ -391,7 +430,7 @@ pub fn engine_for_attempt<E: PllEngine>(
     policy: &SupervisorPolicy,
     attempt: u32,
 ) -> Supervised<E> {
-    let mut pll = Supervised::new(E::new_locked(scenario.config()), policy);
+    let mut pll = Supervised::for_attempt(E::new_locked(scenario.config()), policy, attempt);
     if attempt == 0 {
         if let Some(snap) = snapshot {
             pll.restore(snap);
@@ -585,6 +624,95 @@ mod tests {
             r,
             Record::Counter { name, value: 1 } if name == "supervisor.quarantined"
         )));
+    }
+
+    #[test]
+    fn step_budget_scales_with_retry_attempt() {
+        let policy = SupervisorPolicy::default();
+        // Defaults: settle ×1.5 and step ×0.5 per attempt → expected
+        // work grows 3× per attempt, and so must the budget.
+        assert_eq!(policy.step_budget_for_attempt(0), 10_000_000);
+        assert_eq!(policy.step_budget_for_attempt(1), 30_000_000);
+        assert_eq!(policy.step_budget_for_attempt(2), 90_000_000);
+        // Unlimited stays unlimited; pathological scales saturate
+        // instead of wrapping.
+        let unlimited = SupervisorPolicy {
+            step_budget: 0,
+            ..SupervisorPolicy::default()
+        };
+        assert_eq!(unlimited.step_budget_for_attempt(3), 0);
+        assert_eq!(policy.step_budget_for_attempt(200), u64::MAX);
+        let degenerate = SupervisorPolicy {
+            retry_step_scale: 0.0,
+            ..SupervisorPolicy::default()
+        };
+        assert_eq!(degenerate.step_budget_for_attempt(1), u64::MAX);
+        // A policy that never scales keeps the nominal budget.
+        let flat = SupervisorPolicy {
+            retry_step_scale: 1.0,
+            retry_settle_scale: 1.0,
+            ..SupervisorPolicy::default()
+        };
+        assert_eq!(flat.step_budget_for_attempt(2), 10_000_000);
+    }
+
+    #[test]
+    fn deep_retries_are_not_spuriously_step_budget_killed() {
+        // Regression: the retry deadline is `settle × 1.5^k` at a
+        // `0.5^k` micro-step, so attempt 1 needs ~3× the steps of
+        // attempt 0. With the budget held constant, a budget that
+        // comfortably covers attempt 0 killed the retry during its own
+        // settle, quarantining recoverable points as
+        // StepBudgetExhausted.
+        let cfg = PllConfig::paper_table3();
+        let lock_settle = 0.01;
+        let scenario = Scenario::with_lock_settle(&cfg, lock_settle);
+        // Steps an attempt-0 settle costs on this engine.
+        let steps0 = {
+            let mut pll = CpPll::new_locked(&cfg);
+            let t0 = PllEngine::time(&pll);
+            PllEngine::advance_to(&mut pll, t0 + lock_settle);
+            PllEngine::work_stats(&pll).steps
+        };
+        let policy = SupervisorPolicy {
+            max_retries: 2,
+            step_budget: steps0 * 2,
+            ..SupervisorPolicy::default()
+        };
+        // The scenario is real: attempt 1's settle alone overruns the
+        // nominal budget (this is what made the old constant-budget
+        // check trip).
+        let steps1 = {
+            let mut pll = CpPll::new_locked(&cfg);
+            PllEngine::set_step_scale(&mut pll, policy.retry_step_scale);
+            let t0 = PllEngine::time(&pll);
+            PllEngine::advance_to(&mut pll, t0 + lock_settle * policy.retry_settle_scale);
+            PllEngine::work_stats(&pll).steps
+        };
+        assert!(
+            steps1 > policy.step_budget,
+            "retry settle ({steps1} steps) must exceed the nominal budget \
+             ({}) for this regression test to bite",
+            policy.step_budget
+        );
+        let failures = std::sync::atomic::AtomicU32::new(1);
+        let out =
+            supervised_point::<CpPll, u64, _>(&scenario, None, &policy, 2.0, &quiet(), |pll| {
+                if failures.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) > 0 {
+                    return Err(SweepPointError::DegenerateFit { f_mod_hz: 2.0 });
+                }
+                let t = pll.time();
+                pll.advance_to(t + 0.001);
+                Ok(pll.vco_phase_cycles().to_bits())
+            });
+        assert_eq!(out.incidents.len(), 1, "{:?}", out.incidents);
+        assert_eq!(out.incidents[0].action, IncidentAction::Retried);
+        assert_eq!(out.incidents[0].error.kind(), "degenerate_fit");
+        assert!(
+            out.result.is_ok(),
+            "attempt 1 was spuriously killed: {:?}",
+            out.result
+        );
     }
 
     #[test]

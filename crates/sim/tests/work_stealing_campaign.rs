@@ -1,0 +1,233 @@
+//! Contract tests for the work-stealing campaign stack: bitwise
+//! identity of supervised sweeps at every thread count (telemetry on),
+//! agreement between the work-stealing and legacy chunked schedulers,
+//! and byte-identical resume of a killed campaign results file —
+//! including quarantined points — across thread counts.
+
+use pllbist_sim::bench_measure::{
+    measure_sweep_resumable, measure_sweep_supervised, BenchSettings,
+};
+use pllbist_sim::campaign::{bits_hex, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::scenario::{Scenario, SupervisedPoints};
+use pllbist_sim::{ClosedFormPll, PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_telemetry::{Collector, Fields, TelemetryConfig, Value};
+use std::path::PathBuf;
+
+fn quick(threads: usize) -> BenchSettings {
+    BenchSettings {
+        settle_periods: 1.0,
+        measure_periods: 2.0,
+        samples_per_period: 32,
+        threads,
+        telemetry: TelemetryConfig::enabled(),
+        ..BenchSettings::default()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pllbist_campaign_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn supervised_campaign_is_bitwise_identical_at_threads_1_4_16() {
+    // The standing invariant, now under the work-stealing scheduler:
+    // telemetry + supervision enabled, any thread count, same bits.
+    let cfg = PllConfig::paper_table3();
+    let tones = [2.0, 5.0, 11.0, 24.0];
+    let policy = SupervisorPolicy::default();
+    let baseline = measure_sweep_supervised(&cfg, &tones, &quick(1), &policy);
+    assert_eq!(baseline.quarantined_count(), 0);
+    for threads in [4usize, 16] {
+        let run = measure_sweep_supervised(&cfg, &tones, &quick(threads), &policy);
+        assert!(run.incidents.is_empty(), "threads {threads}");
+        assert!(!run.telemetry.is_empty(), "threads {threads}");
+        for (i, (a, b)) in baseline.points.iter().zip(&run.points).enumerate() {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(
+                a.gain.to_bits(),
+                b.gain.to_bits(),
+                "threads {threads}: gain at point {i}"
+            );
+            assert_eq!(
+                a.phase.to_bits(),
+                b.phase.to_bits(),
+                "threads {threads}: phase at point {i}"
+            );
+        }
+    }
+}
+
+/// Two supervised sweeps must agree outcome-for-outcome: healthy values
+/// bit-for-bit, quarantined errors variant-for-variant.
+fn assert_same_outcomes(a: &SupervisedPoints<f64>, b: &SupervisedPoints<f64>, label: &str) {
+    assert_eq!(a.points.len(), b.points.len(), "{label}");
+    for (i, (x, y)) in a.points.iter().zip(&b.points).enumerate() {
+        match (x, y) {
+            (Ok(vx), Ok(vy)) => assert_eq!(vx.to_bits(), vy.to_bits(), "{label}: point {i}"),
+            (Err(ex), Err(ey)) => assert_eq!(ex, ey, "{label}: point {i}"),
+            _ => panic!("{label}: point {i} ok/err disagreement"),
+        }
+    }
+}
+
+#[test]
+fn stealing_scheduler_matches_chunked_scheduler_with_contained_failures() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    let policy = SupervisorPolicy::default();
+    let scenario = Scenario::with_lock_settle(&cfg, 0.1);
+    let capture = |pll: &mut pllbist_sim::Supervised<ClosedFormPll>,
+                   fm: f64|
+     -> Result<f64, SweepPointError> {
+        let t = pll.time();
+        pll.advance_to(t + 0.02);
+        if fm == 8.0 {
+            // Typed, retryable: both schedulers walk the same
+            // deterministic retry ladder before quarantining.
+            return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+        }
+        Ok(pll.control_voltage())
+    };
+    for threads in [1usize, 4, 16] {
+        let tel = Collector::disabled();
+        let stealing = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
+            &tones, threads, &policy, &tel, capture,
+        );
+        let chunked = scenario.sweep_points_supervised_chunked::<ClosedFormPll, _, _>(
+            &tones, threads, &policy, &tel, capture,
+        );
+        assert_same_outcomes(&stealing, &chunked, &format!("threads {threads}"));
+        assert_eq!(stealing.quarantined_count(), 1, "threads {threads}");
+        assert_eq!(
+            stealing.incidents.len(),
+            policy.max_retries as usize + 1,
+            "threads {threads}"
+        );
+        assert_eq!(stealing.incidents.len(), chunked.incidents.len());
+    }
+}
+
+#[test]
+fn killed_bench_campaign_resumes_byte_identically_at_every_thread_count() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [2.0, 6.0, 14.0, 28.0];
+    let policy = SupervisorPolicy::default();
+    let path = tmp("bench_kill_resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    // Uninterrupted reference run.
+    let reference_run =
+        measure_sweep_resumable(&cfg, &tones, &quick(1), &policy, &path).expect("reference run");
+    assert_eq!(reference_run.quarantined_count(), 0);
+    let reference = std::fs::read(&path).expect("results file");
+    let lines: Vec<String> = std::str::from_utf8(&reference)
+        .expect("utf8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(lines.len(), 2 + tones.len());
+
+    for (kill_after, resume_threads) in [(1usize, 4usize), (2, 16), (3, 1)] {
+        // A kill mid-write leaves a clean prefix plus one torn line.
+        let mut killed = lines[..2 + kill_after].join("\n");
+        killed.push('\n');
+        killed.push_str("{\"type\":\"result\",\"name\":\"campaign.po");
+        std::fs::write(&path, &killed).expect("write killed file");
+
+        let resumed = measure_sweep_resumable(&cfg, &tones, &quick(resume_threads), &policy, &path)
+            .expect("resumed run");
+        for (a, b) in reference_run.points.iter().zip(&resumed.points) {
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+            assert_eq!(a.phase.to_bits(), b.phase.to_bits());
+        }
+        assert_eq!(
+            std::fs::read(&path).expect("resumed file"),
+            reference,
+            "killed after {kill_after}, resumed on {resume_threads} threads"
+        );
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}
+
+/// Campaign codec over a plain `f64` point (control voltage).
+struct VoltageCodec;
+
+impl PointCodec for VoltageCodec {
+    type Point = f64;
+
+    fn encode(&self, point: &f64) -> Fields {
+        vec![("v_bits".to_string(), Value::Str(bits_hex(*point)))]
+    }
+
+    fn decode(&self, line: &str) -> Option<f64> {
+        f64_from_bits_hex(&json_str_field(line, "v_bits")?)
+    }
+}
+
+#[test]
+fn resumed_campaign_with_quarantined_points_stays_byte_identical() {
+    // Quarantined outcomes are part of the results file; a resume must
+    // reproduce their lines exactly too.
+    let cfg = PllConfig::paper_table3();
+    let tones = [1.0, 3.0, 9.0, 27.0, 81.0];
+    let policy = SupervisorPolicy::default();
+    let scenario = Scenario::with_lock_settle(&cfg, 0.1);
+    let digest = "abl12test00000001".chars().take(16).collect::<String>();
+    let path = tmp("sick_kill_resume.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let capture = |pll: &mut pllbist_sim::Supervised<ClosedFormPll>,
+                   fm: f64|
+     -> Result<f64, SweepPointError> {
+        let t = pll.time();
+        pll.advance_to(t + 0.02);
+        if fm == 9.0 {
+            return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+        }
+        Ok(pll.control_voltage())
+    };
+    let run = |threads: usize| {
+        let log =
+            CampaignLog::open(&path, VoltageCodec, digest.clone(), tones.len()).expect("open log");
+        let tel = Collector::disabled();
+        let swept = scenario.sweep_points_supervised_resumed::<ClosedFormPll, VoltageCodec, _>(
+            &tones, threads, &policy, &tel, &log, capture,
+        );
+        log.finish(true).expect("complete");
+        swept
+    };
+
+    let reference_run = run(1);
+    assert_eq!(reference_run.quarantined_count(), 1);
+    let reference = std::fs::read(&path).expect("results file");
+    let lines: Vec<String> = std::str::from_utf8(&reference)
+        .expect("utf8")
+        .lines()
+        .map(str::to_string)
+        .collect();
+
+    // Kill right after the quarantined point's line landed, so the
+    // resume must both skip a quarantined record and recompute healthy
+    // ones — then again before it, so it must recompute the failure.
+    for (kill_after, resume_threads) in [(3usize, 4usize), (2, 16), (1, 1)] {
+        let mut killed = lines[..2 + kill_after].join("\n");
+        killed.push('\n');
+        killed.push_str("{\"type\":\"result\",\"na");
+        std::fs::write(&path, &killed).expect("write killed file");
+        let resumed = run(resume_threads);
+        assert_same_outcomes(
+            &reference_run,
+            &resumed,
+            &format!("kill {kill_after}, threads {resume_threads}"),
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("resumed file"),
+            reference,
+            "killed after {kill_after}, resumed on {resume_threads} threads"
+        );
+    }
+    std::fs::remove_file(&path).expect("cleanup");
+}

@@ -177,6 +177,16 @@ pub enum Record {
         /// The result's values.
         fields: Fields,
     },
+    /// Resumable-campaign header: binds a results file to the
+    /// configuration that produced it, so a resumed run can refuse a
+    /// stale or foreign file.
+    Campaign {
+        /// Digest of the producing configuration (16 lowercase hex
+        /// characters, FNV-1a 64 of the config + grid + settings).
+        digest: String,
+        /// Total points in the campaign grid.
+        points: u64,
+    },
 }
 
 /// The current JSONL schema version emitted in `run` headers.
@@ -294,6 +304,11 @@ impl Record {
                 write_fields(&mut out, fields);
                 out.push('}');
             }
+            Record::Campaign { digest, points } => {
+                out.push_str("{\"type\":\"campaign\",\"digest\":");
+                write_json_str(&mut out, digest);
+                let _ = write!(out, ",\"points\":{points}}}");
+            }
         }
         out
     }
@@ -386,6 +401,9 @@ pub fn render_table(records: &[Record]) -> String {
                     render_fields(fields)
                 );
             }
+            Record::Campaign { digest, points } => {
+                let _ = writeln!(metrics, " campaign     digest={digest} points={points}");
+            }
         }
     }
     let mut out = String::new();
@@ -450,6 +468,10 @@ mod tests {
                 name: "speedup".into(),
                 fields: fields![threads = 4u64, ratio = 2.5],
             },
+            Record::Campaign {
+                digest: "00f1e2d3c4b5a697".into(),
+                points: 1000,
+            },
         ];
         let expected = concat!(
             "{\"type\":\"run\",\"bin\":\"abl09_telemetry_overhead\",\"schema\":1}\n",
@@ -461,6 +483,7 @@ mod tests {
             "{\"type\":\"hist\",\"name\":\"monitor.tone_wall_secs\",\"count\":5,",
             "\"min\":0.001,\"max\":0.25,\"p50\":0.01,\"p90\":0.2,\"p99\":0.25}\n",
             "{\"type\":\"result\",\"name\":\"speedup\",\"fields\":{\"threads\":4,\"ratio\":2.5}}\n",
+            "{\"type\":\"campaign\",\"digest\":\"00f1e2d3c4b5a697\",\"points\":1000}\n",
         );
         assert_eq!(to_jsonl(&records), expected);
     }
@@ -533,10 +556,21 @@ mod tests {
                 name: "r".into(),
                 fields: fields![ok = true],
             },
+            Record::Campaign {
+                digest: "deadbeefdeadbeef".into(),
+                points: 12,
+            },
         ];
         let table = render_table(&records);
         for needle in [
-            "spans:", "metrics:", "results:", "a.b", "2.500 ms", "k=1", "ok=true",
+            "spans:",
+            "metrics:",
+            "results:",
+            "a.b",
+            "2.500 ms",
+            "k=1",
+            "ok=true",
+            "digest=deadbeefdeadbeef points=12",
         ] {
             assert!(table.contains(needle), "missing {needle:?} in:\n{table}");
         }

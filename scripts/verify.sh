@@ -53,6 +53,16 @@ cargo run --release --offline -p pllbist-bench \
 head -1 "$abl11_out" | grep -q '"type":"run"' \
   || { echo "abl11 smoke: missing JSONL run header"; exit 1; }
 
+echo "==> abl12 work-stealing-campaign smoke (offline, JSONL sink)"
+# Small grid, one rep: the bin itself asserts scheduler agreement and
+# the forced-kill + resume byte-equality round trips (the ≥1.3× speedup
+# assertion downgrades to a report on single-core hosts).
+abl12_out="target/abl12-smoke.jsonl"
+PLLBIST_ABL12_POINTS=8 PLLBIST_ABL12_REPS=1 cargo run --release --offline -p pllbist-bench \
+  --bin abl12_work_stealing_campaign -- --jsonl "$abl12_out"
+head -1 "$abl12_out" | grep -q '"type":"run"' \
+  || { echo "abl12 smoke: missing JSONL run header"; exit 1; }
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
 

@@ -156,7 +156,12 @@ fn nan_device_is_fully_quarantined_without_aborting() {
         .points
         .iter()
         .all(|p| matches!(p, Err(SweepPointError::NumericalDivergence { .. }))));
-    assert!(run.to_bode().is_none());
+    // An all-quarantined sweep is a typed DegenerateFit, not an empty
+    // plot a downstream fitter would silently accept.
+    assert!(matches!(
+        run.to_bode(),
+        Err(SweepPointError::DegenerateFit { .. })
+    ));
     // Every point exhausted its deterministic retry budget.
     assert_eq!(
         run.incidents.len(),
