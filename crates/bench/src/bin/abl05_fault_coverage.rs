@@ -11,13 +11,18 @@
 //! `SweepPointError::FaultWiring` next to any runtime divergence or
 //! lock-timeout the faulty silicon provokes, and a sick device
 //! quarantines its points instead of aborting the campaign.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line as fault measurements complete.
 
 use pllbist::estimate::{LimitComparator, ParameterEstimate};
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::{SupervisorPolicy, SweepPointError};
-use pllbist_telemetry::{fields, Record, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, Record, RunReport};
+use std::sync::Arc;
 
 fn main() {
     let mut report = RunReport::from_args("abl05_fault_coverage");
@@ -47,10 +52,19 @@ fn main() {
     // wiring failures convert into the same typed error space as
     // runtime failures.
     let campaign = Fault::standard_campaign();
+    // Coarse `--progress` feed: one board tick per faulty device (the
+    // sweep inside stays unobserved — observation must not perturb it).
+    let board = Arc::new(ProgressBoard::new(campaign.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl05 fault campaign",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
     type FaultOutcome =
         Result<(Option<ParameterEstimate>, usize, usize, Vec<Record>), SweepPointError>;
     let results: Vec<(Fault, FaultOutcome)> =
         pllbist_sim::parallel::par_map(&campaign, 0, |&fault| {
+            let started = std::time::Instant::now();
             let est = golden_cfg
                 .with_fault(fault)
                 .map_err(SweepPointError::from)
@@ -66,8 +80,10 @@ fn main() {
                         result.telemetry,
                     )
                 });
+            board.point_done(0, est.is_ok(), started.elapsed().as_secs_f64());
             (fault, est)
         });
+    drop(progress);
 
     println!(" fault                            | fn (Hz) |   ζ    | ±10 % | ±25 % | quar");
     println!(" ---------------------------------+---------+--------+-------+-------+-----");

@@ -11,16 +11,19 @@
 //! run never aborts.
 //!
 //! `--jsonl <path>` records per-device quarantine counts and the full
-//! incident tally alongside the usual run report.
+//! incident tally alongside the usual run report; `--progress` renders
+//! an in-place status line as each device's sweep lands.
 
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::lock::{wait_for_lock, LockDetector};
 use pllbist_sim::scenario::Scenario;
 use pllbist_sim::stimulus::FmStimulus;
 use pllbist_sim::{PllEngine, SupervisorPolicy, SweepPointError};
-use pllbist_telemetry::{fields, Collector, RunReport};
+use pllbist_telemetry::{fields, Collector, ProgressBoard, RunReport};
+use std::sync::Arc;
 
 fn main() {
     // The injected faults below panic by design (that is what the
@@ -84,7 +87,17 @@ fn main() {
         );
         (points, quarantined, incidents.len())
     };
+    // Coarse `--progress` feed: the board ticks once per device's worth
+    // of points as each supervised sweep lands.
+    let board = Arc::new(ProgressBoard::new(4 * tones.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl11 fault-tolerant campaign",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+    let tick_board = Arc::clone(&board);
     let mut tally = |r: (usize, usize, usize), failed: bool| {
+        tick_board.points_done_bulk(0, (r.0 - r.1) as u64, r.1 as u64);
         total_points += r.0;
         total_quarantined += r.1;
         total_incidents += r.2;
@@ -217,6 +230,7 @@ fn main() {
             || panicky.incidents.len() != seeded,
     );
 
+    drop(progress);
     let completed = total_points == 4 * tones.len();
     println!(
         "\ncompletion: {total_points}/{} points returned ({} quarantined, {} incidents)",

@@ -21,8 +21,10 @@
 //!
 //! Knobs: `PLLBIST_ABL12_MIN_SPEEDUP` (default 1.3),
 //! `PLLBIST_ABL12_REPS` (default 3), `PLLBIST_ABL12_POINTS`
-//! (default 16). `--jsonl <path>` writes the run report.
+//! (default 16). `--jsonl <path>` writes the run report; `--progress`
+//! renders an in-place status line over the timed runs.
 
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::campaign::{
     bits_hex, config_digest, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec,
@@ -32,7 +34,8 @@ use pllbist_sim::parallel::available_parallelism;
 use pllbist_sim::scenario::{Scenario, SupervisedPoints};
 use pllbist_sim::supervisor::Supervised;
 use pllbist_sim::{PllEngine, SupervisorPolicy, SweepPointError};
-use pllbist_telemetry::{fields, Collector, Fields, RunReport, Value};
+use pllbist_telemetry::{fields, Collector, Fields, ProgressBoard, RunReport, Value};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Lock-settle for the campaign scenario: long enough that a retry's
@@ -144,6 +147,15 @@ fn main() {
         })
     };
 
+    // Coarse `--progress` feed: one board tick per timed sweep / resume
+    // round trip (the timed regions themselves stay unobserved).
+    let board = Arc::new(ProgressBoard::new(2 * reps + 4, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl12 work-stealing campaign",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
     // Warm-up so neither timed run pays first-touch costs.
     let reference = run_stealing(&Collector::disabled());
     assert_eq!(reference.points.len(), points);
@@ -155,10 +167,12 @@ fn main() {
         let t0 = Instant::now();
         let chunked = run_chunked(&Collector::disabled());
         chunked_secs.push(t0.elapsed().as_secs_f64());
+        board.point_done(0, true, chunked_secs[rep]);
 
         let t1 = Instant::now();
         let stealing = run_stealing(&Collector::disabled());
         stealing_secs.push(t1.elapsed().as_secs_f64());
+        board.point_done(0, true, stealing_secs[rep]);
 
         assert_same_outcomes(&reference, &chunked, "chunked");
         assert_same_outcomes(&reference, &stealing, "stealing");
@@ -225,6 +239,7 @@ fn main() {
     };
 
     let (uninterrupted, _) = run_resumable(0);
+    board.point_done(0, true, 0.0);
     assert_same_outcomes(&reference, &uninterrupted, "resumable");
     let reference_bytes = std::fs::read(&path).expect("read results file");
     let reference_lines: Vec<&str> = std::str::from_utf8(&reference_bytes)
@@ -243,6 +258,7 @@ fn main() {
         std::fs::write(&path, &killed).expect("write killed file");
 
         let (resumed, skipped) = run_resumable(resume_threads);
+        board.point_done(0, true, 0.0);
         assert_eq!(
             skipped, kill_after,
             "resume must skip exactly the surviving prefix"
@@ -261,6 +277,7 @@ fn main() {
         round_trips += 1;
     }
     let _ = std::fs::remove_file(&path);
+    drop(progress);
     report.result(
         "resume",
         fields![

@@ -1,0 +1,390 @@
+//! **Ablation abl13** — the campaign observatory: progress board, flight
+//! recorder and HTTP status server over a supervised resumable campaign.
+//!
+//! Part A (no steering): the same retry-heavy campaign runs unobserved
+//! and then fully observed — flight recorder on, status server bound and
+//! answering — at 1, 4 and 16 threads. Every observed results file must
+//! be **byte-identical** to the unobserved reference, and the observer's
+//! wall-clock tax is measured (reported as an ungated trajectory
+//! metric).
+//!
+//! Part B (live service): the campaign runs on a background thread while
+//! the foreground polls the status server's `/progress` endpoint with
+//! the workspace's own `std::net` client. Completion counts must be
+//! **monotone non-decreasing** poll over poll, and `/workers` +
+//! `/incidents` must answer throughout. This doubles as the offline
+//! smoke for the service front door (`--progress` additionally mirrors
+//! the same snapshots to a terminal status line).
+//!
+//! Part C (post-mortem): a run is killed after a prefix of points — the
+//! observer drops without `finish()`, as in a real abort — and must
+//! leave a parseable flight-recorder dump ending in an `abort` note. A
+//! stalled run (worker claims a point and goes silent) must trip the
+//! stall detector and dump too. The resumed campaign must reproduce the
+//! uninterrupted results file byte-for-byte.
+//!
+//! Knobs: `PLLBIST_ABL13_POINTS` (default 12, minimum 8).
+//! `--jsonl <path>` writes the run report; `--progress` shows the live
+//! status line during Part B.
+
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::campaign::{
+    bits_hex, config_digest, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec,
+};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
+use pllbist_sim::parallel::available_parallelism;
+use pllbist_sim::scenario::Scenario;
+use pllbist_sim::server::{http_get, StatusServer};
+use pllbist_sim::supervisor::Supervised;
+use pllbist_sim::{PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_telemetry::recorder::{parse_dump, FlightEventKind};
+use pllbist_telemetry::{fields, json_u64_field, Collector, Fields, RunReport, Value};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+const LOCK_SETTLE: f64 = 0.1;
+
+/// Bin-local campaign codec: the point is the settled control voltage.
+struct VoltageCodec;
+
+impl PointCodec for VoltageCodec {
+    type Point = f64;
+
+    fn encode(&self, point: &f64) -> Fields {
+        vec![("v_bits".to_string(), Value::Str(bits_hex(*point)))]
+    }
+
+    fn decode(&self, line: &str) -> Option<f64> {
+        f64_from_bits_hex(&json_str_field(line, "v_bits")?)
+    }
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn capture(
+    pll: &mut Supervised<CpPll>,
+    f_mod: f64,
+    sick_cutoff: f64,
+) -> Result<f64, SweepPointError> {
+    let t = pll.time();
+    pll.advance_to(t + 0.01);
+    if f_mod <= sick_cutoff {
+        return Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod });
+    }
+    Ok(pll.control_voltage())
+}
+
+struct Campaign<'a> {
+    scenario: Scenario<'a>,
+    policy: SupervisorPolicy,
+    tones: Vec<f64>,
+    sick_cutoff: f64,
+    digest: String,
+}
+
+impl Campaign<'_> {
+    fn run(
+        &self,
+        path: &Path,
+        threads: usize,
+        observer: Option<&CampaignObserver>,
+        finish: bool,
+        tones: &[f64],
+    ) -> usize {
+        let log = CampaignLog::open(path, VoltageCodec, self.digest.clone(), self.tones.len())
+            .expect("open campaign log");
+        let tel = Collector::disabled();
+        let swept = self
+            .scenario
+            .sweep_points_supervised_resumed_observed::<CpPll, VoltageCodec, _>(
+                tones,
+                threads,
+                &self.policy,
+                &tel,
+                &log,
+                observer,
+                |pll, fm| capture(pll, fm, self.sick_cutoff),
+            );
+        if finish {
+            log.finish(true).expect("campaign completes");
+        }
+        swept.quarantined_count()
+    }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("pllbist_abl13_{}_{name}", std::process::id()))
+}
+
+fn main() {
+    let mut report = RunReport::from_args("abl13_campaign_observatory");
+    let points = env_usize("PLLBIST_ABL13_POINTS", 12).max(8);
+    let cores = available_parallelism();
+    let cfg = PllConfig::paper_table3();
+    let tones: Vec<f64> = (0..points).map(|i| 1.0 + i as f64).collect();
+    let n_sick = (points / 4).max(1);
+    let sick_cutoff = tones[n_sick - 1];
+    let policy = SupervisorPolicy::default();
+    let digest = config_digest(
+        &cfg,
+        &tones,
+        &format!("abl13-observatory|settle:{LOCK_SETTLE}|sick:{sick_cutoff}|{policy:?}"),
+    );
+    let campaign = Campaign {
+        scenario: Scenario::with_lock_settle(&cfg, LOCK_SETTLE),
+        policy,
+        tones: tones.clone(),
+        sick_cutoff,
+        digest,
+    };
+    println!(
+        "abl13 — campaign observatory ({points} points, {n_sick} retry-heavy, {cores} core(s))\n"
+    );
+
+    // ---- Part A: observation must not steer --------------------------
+    let reference_path = tmp("plain.jsonl");
+    let _ = std::fs::remove_file(&reference_path);
+    let t0 = Instant::now();
+    let quarantined = campaign.run(&reference_path, 0, None, true, &tones);
+    let plain_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        quarantined, n_sick,
+        "retry-heavy grid quarantines the sick prefix"
+    );
+    let reference = std::fs::read(&reference_path).expect("reference results file");
+
+    let mut observed_secs = plain_secs;
+    for threads in [1usize, 4, 16] {
+        let path = tmp(&format!("observed_t{threads}.jsonl"));
+        let flight = path.with_extension("flight.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&flight);
+        let observer = Arc::new(CampaignObserver::new(
+            points,
+            threads,
+            ObservatoryConfig::for_results_file(&path),
+        ));
+        let server =
+            StatusServer::start(Arc::clone(&observer), "127.0.0.1:0").expect("bind status server");
+        let t1 = Instant::now();
+        campaign.run(&path, threads, Some(&observer), true, &tones);
+        if threads == 1 {
+            observed_secs = t1.elapsed().as_secs_f64();
+        }
+        observer.finish().expect("flight dump");
+        server.shutdown();
+        assert_eq!(
+            std::fs::read(&path).expect("observed results file"),
+            reference,
+            "threads {threads}: observer + server changed the results file"
+        );
+        let dump = std::fs::read_to_string(&flight).expect("flight dump exists");
+        let events = parse_dump(&dump);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == FlightEventKind::Done)
+                .count(),
+            points,
+            "threads {threads}: one done event per point"
+        );
+        println!(
+            " threads {threads:>2}: byte-identical under observation \
+             ({} flight events)",
+            events.len()
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&flight);
+    }
+    // The tax is informational (ungated suffix): wall clocks on a busy
+    // host are too noisy to gate, the byte-identity assertions above are
+    // the real contract.
+    let observer_tax_pct = (observed_secs - plain_secs) / plain_secs * 100.0;
+    println!(
+        "\n serial wall: plain {plain_secs:.3}s, observed {observed_secs:.3}s \
+         → observer tax {observer_tax_pct:+.2} %"
+    );
+    report.result(
+        "identity",
+        fields![
+            points = points,
+            sick_points = n_sick,
+            cores = cores,
+            threads_checked = 3u64,
+            byte_identical = true,
+            observer_tax_trajectory_pct = observer_tax_pct
+        ],
+    );
+
+    // ---- Part B: live status server over a running campaign ----------
+    let live_path = tmp("live.jsonl");
+    let _ = std::fs::remove_file(&live_path);
+    let observer = Arc::new(CampaignObserver::new(
+        points,
+        cores.max(2),
+        ObservatoryConfig::default(),
+    ));
+    let server =
+        StatusServer::start(Arc::clone(&observer), "127.0.0.1:0").expect("bind status server");
+    let addr = server.addr();
+    let progress_observer = Arc::clone(&observer);
+    let progress_line = ProgressLine::if_requested(
+        "abl13 live campaign",
+        Arc::new(move || progress_observer.snapshot()) as ProgressSource,
+    );
+
+    let polls = std::thread::scope(|scope| {
+        let worker = scope.spawn(|| campaign.run(&live_path, 0, Some(&observer), true, &tones));
+        let mut polls = 0u64;
+        let mut last_done = 0u64;
+        loop {
+            let body = http_get(addr, "/progress").expect("poll /progress");
+            let done = json_u64_field(&body, "done").expect("done field in /progress");
+            assert!(
+                done >= last_done,
+                "completion count went backwards: {last_done} -> {done}"
+            );
+            last_done = done;
+            polls += 1;
+            assert!(http_get(addr, "/workers")
+                .expect("poll /workers")
+                .contains("\"type\":\"workers\""));
+            assert!(http_get(addr, "/incidents")
+                .expect("poll /incidents")
+                .contains("\"type\":\"incidents\""));
+            if done >= points as u64 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(
+            worker.join().expect("campaign thread"),
+            n_sick,
+            "live campaign quarantines the sick prefix"
+        );
+        polls
+    });
+    observer.finish().expect("finish");
+    drop(progress_line);
+    let snap = observer.snapshot();
+    server.shutdown();
+    assert_eq!(
+        std::fs::read(&live_path).expect("live results file"),
+        reference,
+        "the served campaign's results file is still byte-identical"
+    );
+    println!(
+        " live poll: {polls} monotone /progress polls, final \
+         {}/{} done, {} retries",
+        snap.done, snap.total, snap.retries
+    );
+    report.result(
+        "server",
+        fields![
+            polls = polls,
+            monotone = true,
+            done = snap.done,
+            retries = snap.retries
+        ],
+    );
+
+    // ---- Part C: kill, stall, resume ---------------------------------
+    let killed_path = tmp("killed.jsonl");
+    let flight = killed_path.with_extension("flight.jsonl");
+    let _ = std::fs::remove_file(&killed_path);
+    let _ = std::fs::remove_file(&flight);
+    let prefix = points / 2;
+    {
+        // The "kill": only a prefix of the campaign executes and the
+        // observer drops without finish(), exactly what an aborted
+        // process's unwind does.
+        let observer =
+            CampaignObserver::new(points, 2, ObservatoryConfig::for_results_file(&killed_path));
+        campaign.run(&killed_path, 2, Some(&observer), false, &tones[..prefix]);
+    }
+    let dump = std::fs::read_to_string(&flight).expect("abort flight dump");
+    assert!(
+        dump.contains("\"reason\":\"abort\""),
+        "killed run records why it dumped"
+    );
+    let abort_events = parse_dump(&dump).len();
+    assert!(abort_events > 0, "abort dump is parseable and non-empty");
+
+    // The stall detector: a worker claims a point and goes silent.
+    let stall_flight = tmp("stall.flight.jsonl");
+    let _ = std::fs::remove_file(&stall_flight);
+    let stalled = CampaignObserver::new(
+        points,
+        1,
+        ObservatoryConfig {
+            stall_floor_secs: 0.005,
+            stall_multiple: 0.0,
+            dump_path: Some(stall_flight.clone()),
+            ..ObservatoryConfig::default()
+        },
+    );
+    stalled.on_claim(0, 0);
+    std::thread::sleep(std::time::Duration::from_millis(20));
+    assert!(stalled.check_stall(), "silent worker trips the detector");
+    let stall_dump = std::fs::read_to_string(&stall_flight).expect("stall dump");
+    assert!(stall_dump.contains("\"reason\":\"stall\""));
+    assert!(parse_dump(&stall_dump)
+        .iter()
+        .any(|e| e.kind == FlightEventKind::Stall));
+
+    // Resume the killed campaign: the file must converge to the
+    // uninterrupted reference, and the resume's own dump must record the
+    // skip.
+    let resume_observer =
+        CampaignObserver::new(points, 4, ObservatoryConfig::for_results_file(&killed_path));
+    campaign.run(&killed_path, 4, Some(&resume_observer), true, &tones);
+    resume_observer.finish().expect("resume dump");
+    assert_eq!(
+        std::fs::read(&killed_path).expect("resumed results file"),
+        reference,
+        "killed-and-resumed file is byte-identical to the uninterrupted run"
+    );
+    let resume_dump = std::fs::read_to_string(&flight).expect("resume dump");
+    assert!(
+        parse_dump(&resume_dump)
+            .iter()
+            .any(|e| e.kind == FlightEventKind::Note && e.detail.contains("loaded from log")),
+        "resume records the points it loaded instead of recomputing"
+    );
+    println!(
+        " post-mortem: abort dump {abort_events} events, stall detector \
+         tripped, resume byte-identical (skipped {prefix})"
+    );
+    report.result(
+        "postmortem",
+        fields![
+            abort_events = abort_events,
+            killed_after = prefix,
+            stall_detected = true,
+            resume_byte_identical = true
+        ],
+    );
+
+    for path in [
+        &reference_path,
+        &live_path,
+        &killed_path,
+        &flight,
+        &stall_flight,
+    ] {
+        let _ = std::fs::remove_file(path);
+    }
+    report.finish().expect("write --jsonl output");
+    println!(
+        "\nabl13: PASS — observation never steers, the status server reports \
+         monotone progress, and killed runs leave parseable timelines"
+    );
+}

@@ -7,6 +7,8 @@
 //! plots so the regenerated figures are readable straight from a
 //! terminal or a CI log.
 
+pub mod progress;
+
 use pllbist_numeric::bode::BodePlot;
 
 /// Renders a magnitude/phase table of a Bode plot.

@@ -105,66 +105,13 @@ pub fn f64_from_bits_hex(s: &str) -> Option<f64> {
     u64::from_str_radix(s, 16).ok().map(f64::from_bits)
 }
 
-/// Extracts `"key":<u64>` from a record line.
-///
-/// The campaign line format keeps numeric/tag keys ahead of free-text
-/// payloads (panic messages), so first-occurrence matching is exact for
-/// the keys this module reads.
-pub fn json_u64_field(line: &str, key: &str) -> Option<u64> {
-    let pat = format!("\"{key}\":");
-    let at = line.find(&pat)? + pat.len();
-    let rest = &line[at..];
-    let end = rest
-        .find(|c: char| !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    if end == 0 {
-        return None;
-    }
-    rest[..end].parse().ok()
-}
-
-/// Extracts `"key":true|false` from a record line (same first-occurrence
-/// caveat as [`json_u64_field`]).
-pub fn json_bool_field(line: &str, key: &str) -> Option<bool> {
-    let pat = format!("\"{key}\":");
-    let at = line.find(&pat)? + pat.len();
-    let rest = &line[at..];
-    if rest.starts_with("true") {
-        Some(true)
-    } else if rest.starts_with("false") {
-        Some(false)
-    } else {
-        None
-    }
-}
-
-/// Extracts and unescapes `"key":"…"` from a record line (same
-/// first-occurrence caveat as [`json_u64_field`]).
-pub fn json_str_field(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\":\"");
-    let at = line.find(&pat)? + pat.len();
-    let mut out = String::new();
-    let mut chars = line[at..].chars();
-    loop {
-        match chars.next()? {
-            '"' => return Some(out),
-            '\\' => match chars.next()? {
-                '"' => out.push('"'),
-                '\\' => out.push('\\'),
-                'n' => out.push('\n'),
-                'r' => out.push('\r'),
-                't' => out.push('\t'),
-                'u' => {
-                    let code: String = (&mut chars).take(4).collect();
-                    let v = u32::from_str_radix(&code, 16).ok()?;
-                    out.push(char::from_u32(v)?);
-                }
-                _ => return None,
-            },
-            c => out.push(c),
-        }
-    }
-}
+// The hand-rolled line parsers now live in `pllbist_telemetry::json`
+// (the flight recorder and bench ledger parse the same line shapes);
+// re-exported here because the campaign file format is their original
+// home and external callers import them from this module. Their
+// adversarial surface (torn lines, escaped quotes, duplicate keys) is
+// pinned by property tests in `tests/campaign_json_props.rs`.
+pub use pllbist_telemetry::json::{json_bool_field, json_str_field, json_u64_field};
 
 /// Maps a decoded string back to a `&'static str`, preferring the known
 /// interning table (the strings this workspace actually emits) and

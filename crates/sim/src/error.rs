@@ -66,6 +66,22 @@ pub enum SweepPointError {
     },
 }
 
+/// Every stable [`SweepPointError::kind`] tag, in declaration order.
+///
+/// Observability consumers (the campaign progress board's incident
+/// tallies, dashboards parsing `/incidents`) register these up front so
+/// per-incident accounting stays allocation-free. Adding an error
+/// variant requires extending this list — a test pins the
+/// correspondence.
+pub const ERROR_KINDS: &[&str] = &[
+    "lock_timeout",
+    "numerical_divergence",
+    "step_budget_exhausted",
+    "fault_wiring",
+    "worker_panic",
+    "degenerate_fit",
+];
+
 impl SweepPointError {
     /// Stable machine-readable tag for telemetry records.
     pub fn kind(&self) -> &'static str {
@@ -264,7 +280,14 @@ mod tests {
         );
         for e in &errs {
             assert!(!e.to_string().is_empty());
+            assert!(
+                ERROR_KINDS.contains(&e.kind()),
+                "{} not registered",
+                e.kind()
+            );
         }
+        assert!(ERROR_KINDS.contains(&"fault_wiring"));
+        assert_eq!(ERROR_KINDS.len(), 6);
     }
 
     #[test]

@@ -55,8 +55,10 @@ pub mod error;
 pub mod linear;
 pub mod lock;
 pub mod noise;
+pub mod observe;
 pub mod parallel;
 pub mod scenario;
+pub mod server;
 pub mod stimulus;
 pub mod supervisor;
 pub mod transient;
@@ -65,6 +67,8 @@ pub use behavioral::CpPll;
 pub use campaign::{CampaignLog, PointCodec};
 pub use config::PllConfig;
 pub use engine::{AnalogAccess, ClosedFormPll, PllEngine, WorkStats};
-pub use error::{CampaignError, SweepPointError};
+pub use error::{CampaignError, SweepPointError, ERROR_KINDS};
 pub use linear::LoopAnalysis;
+pub use observe::{CampaignObserver, ObservatoryConfig};
+pub use server::{http_get, StatusServer};
 pub use supervisor::{Incident, IncidentAction, Supervised, SupervisorPolicy};

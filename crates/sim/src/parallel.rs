@@ -273,6 +273,30 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_points_worker_observed(items, threads, telemetry, |_, i, item| f(i, item))
+}
+
+/// Worker-aware variant of [`par_map_points_observed`]: `f` additionally
+/// receives the index of the worker executing the point, so observers
+/// (e.g. the campaign progress board's per-worker utilization and
+/// heartbeat cells) can attribute work without thread-locals.
+///
+/// The worker index is **observational only** — a pure `f` must not let
+/// it influence the result, or the bitwise-determinism contract across
+/// thread counts breaks (the same point lands on different workers on
+/// different runs). All other semantics match
+/// [`par_map_points_observed`], which delegates here.
+pub fn par_map_points_worker_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> R + Sync,
+{
     let workers = resolve_threads(threads).max(1).min(items.len().max(1));
     if workers <= 1 {
         let _scope = pllbist_telemetry::span!(telemetry, "parallel.scope", workers = 1u64);
@@ -282,7 +306,7 @@ where
             items
                 .iter()
                 .enumerate()
-                .map(|(i, item)| f(i, item))
+                .map(|(i, item)| f(0, i, item))
                 .collect()
         };
         if telemetry.is_enabled() {
@@ -314,7 +338,7 @@ where
                             if i >= items.len() {
                                 break;
                             }
-                            let result = f(i, &items[i]);
+                            let result = f(worker, i, &items[i]);
                             claimed.push((i, result));
                         }
                     }
@@ -389,15 +413,30 @@ where
     R: Send,
     F: Fn(usize, &T) -> Result<R, crate::error::SweepPointError> + Sync,
 {
-    par_map_points_observed(
-        items,
-        threads,
-        telemetry,
-        |i, item| match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+    par_try_map_points_worker_observed(items, threads, telemetry, |_, i, item| f(i, item))
+}
+
+/// Worker-aware variant of [`par_try_map_points_observed`] (see
+/// [`par_map_points_worker_observed`] for the worker-index contract):
+/// per-point `catch_unwind` containment plus the executing worker's
+/// index for observers.
+pub fn par_try_map_points_worker_observed<T, R, F>(
+    items: &[T],
+    threads: usize,
+    telemetry: &pllbist_telemetry::Collector,
+    f: F,
+) -> Vec<Result<R, crate::error::SweepPointError>>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, usize, &T) -> Result<R, crate::error::SweepPointError> + Sync,
+{
+    par_map_points_worker_observed(items, threads, telemetry, |worker, i, item| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(worker, i, item))) {
             Ok(result) => result,
             Err(payload) => Err(crate::error::SweepPointError::from_panic(payload)),
-        },
-    )
+        }
+    })
 }
 
 #[cfg(test)]
@@ -715,6 +754,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn worker_observed_map_reports_valid_workers_and_identical_results() {
+        let items: Vec<f64> = (1..=33).map(|k| k as f64 * 0.11).collect();
+        let tel = pllbist_telemetry::Collector::disabled();
+        let work = |i: usize, x: &f64| (x.cos() + i as f64).to_bits();
+        let plain = par_map_points_observed(&items, 1, &tel, work);
+        for threads in [1, 2, 4, 16] {
+            let seen = std::sync::Mutex::new(std::collections::BTreeSet::new());
+            let got = par_map_points_worker_observed(&items, threads, &tel, |worker, i, x| {
+                assert!(worker < threads, "worker {worker} out of range");
+                if let Ok(mut set) = seen.lock() {
+                    set.insert(worker);
+                }
+                work(i, x)
+            });
+            assert_eq!(got, plain, "threads = {threads}");
+            let seen = seen.into_inner().unwrap_or_default();
+            assert!(!seen.is_empty());
+        }
+        // Typed variant matches too when nothing fails.
+        let tried = par_try_map_points_worker_observed(&items, 4, &tel, |_, i, x| Ok(work(i, x)));
+        let unwrapped: Vec<u64> = tried.into_iter().map(|r| r.unwrap_or(0)).collect();
+        assert_eq!(unwrapped, plain);
     }
 
     #[test]

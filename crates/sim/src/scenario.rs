@@ -18,9 +18,10 @@ use crate::campaign::{CampaignLog, PointCodec};
 use crate::config::PllConfig;
 use crate::engine::PllEngine;
 use crate::error::SweepPointError;
+use crate::observe::CampaignObserver;
 use crate::parallel::{
     par_map_chunks_observed, par_map_points_observed, par_try_map_chunks_observed,
-    par_try_map_points_observed,
+    par_try_map_points_observed, par_try_map_points_worker_observed,
 };
 use crate::stimulus::FmStimulus;
 use crate::supervisor::{
@@ -292,6 +293,41 @@ impl<'a> Scenario<'a> {
         C::Point: Clone + Sync,
         F: Fn(&mut Supervised<E>, f64) -> Result<C::Point, SweepPointError> + Sync,
     {
+        self.sweep_points_supervised_resumed_observed(
+            f_mod_hz, threads, policy, telemetry, log, None, capture,
+        )
+    }
+
+    /// [`sweep_points_supervised_resumed`](Self::sweep_points_supervised_resumed)
+    /// with an optional [`CampaignObserver`] attached: the sweep reports
+    /// claims, outcomes (with wall times and incident trails), log
+    /// flushes and skipped points into the observer as they happen, so a
+    /// status server or `--progress` line can watch the run live.
+    ///
+    /// The observer is **read-only** — its hooks are relaxed atomic
+    /// increments and flight-ring pushes plus wall-clock reads, none of
+    /// which feed back into scheduling, retries or physics. A healthy
+    /// run's results file is therefore byte-identical with and without
+    /// an observer, at every thread count (pinned by
+    /// `tests/campaign_observatory.rs`). Passing `None` is exactly the
+    /// unobserved sweep.
+    #[allow(clippy::too_many_arguments)]
+    pub fn sweep_points_supervised_resumed_observed<E, C, F>(
+        &self,
+        f_mod_hz: &[f64],
+        threads: usize,
+        policy: &SupervisorPolicy,
+        telemetry: &Collector,
+        log: &CampaignLog<C>,
+        observer: Option<&CampaignObserver>,
+        capture: F,
+    ) -> SupervisedPoints<C::Point>
+    where
+        E: PllEngine,
+        C: PointCodec,
+        C::Point: Clone + Sync,
+        F: Fn(&mut Supervised<E>, f64) -> Result<C::Point, SweepPointError> + Sync,
+    {
         let missing: Vec<usize> = (0..f_mod_hz.len())
             .filter(|&i| !log.is_completed(i))
             .collect();
@@ -301,24 +337,40 @@ impl<'a> Scenario<'a> {
                 (f_mod_hz.len() - missing.len()) as u64,
             );
         }
+        if let Some(obs) = observer {
+            obs.on_skipped(f_mod_hz.len() - missing.len());
+        }
         let snapshot = if missing.is_empty() {
             None
         } else {
             self.supervised_snapshot::<E>(policy, telemetry)
         };
-        let computed = par_try_map_points_observed(&missing, threads, telemetry, |_, &index| {
-            let f_mod = f_mod_hz[index];
-            let outcome = supervised_point::<E, _, _>(
-                self,
-                snapshot.as_ref(),
-                policy,
-                f_mod,
-                telemetry,
-                |pll| capture(pll, f_mod),
-            );
-            log.record(index, &outcome.result);
-            Ok(outcome)
-        });
+        let computed = par_try_map_points_worker_observed(
+            &missing,
+            threads,
+            telemetry,
+            |worker, _, &index| {
+                let f_mod = f_mod_hz[index];
+                if let Some(obs) = observer {
+                    obs.on_claim(worker, index);
+                }
+                let point_start = std::time::Instant::now();
+                let outcome = supervised_point::<E, _, _>(
+                    self,
+                    snapshot.as_ref(),
+                    policy,
+                    f_mod,
+                    telemetry,
+                    |pll| capture(pll, f_mod),
+                );
+                log.record(index, &outcome.result);
+                if let Some(obs) = observer {
+                    obs.on_outcome(worker, index, &outcome, point_start.elapsed().as_secs_f64());
+                    obs.on_flush(worker, index);
+                }
+                Ok(outcome)
+            },
+        );
         let mut fresh: std::collections::BTreeMap<
             usize,
             Result<PointOutcome<C::Point>, SweepPointError>,
@@ -349,6 +401,10 @@ impl<'a> Scenario<'a> {
                     emit_incident(telemetry, &incident);
                     incidents.push(incident);
                     log.record(index, &Err(error.clone()));
+                    if let Some(obs) = observer {
+                        obs.on_escaped_quarantine(index, &error);
+                        obs.on_flush(0, index);
+                    }
                     points.push(Err(error));
                 }
                 None => unreachable!("index {index} neither loaded nor computed"),

@@ -1,0 +1,267 @@
+//! Zero-dependency HTTP status server over a running campaign — the
+//! first brick of the ROADMAP item-2 campaign service front door.
+//!
+//! A [`StatusServer`] binds a `std::net::TcpListener` (typically on
+//! `127.0.0.1:0` for an ephemeral port), spawns one accept-loop thread
+//! and serves read-only JSON snapshots of a [`CampaignObserver`]:
+//!
+//! | endpoint     | body                                              |
+//! |--------------|---------------------------------------------------|
+//! | `/`          | endpoint index                                    |
+//! | `/progress`  | [`CampaignProgress::to_json`] + stall status      |
+//! | `/workers`   | [`CampaignProgress::workers_json`]                |
+//! | `/incidents` | [`CampaignProgress::incidents_json`]              |
+//!
+//! Serving a snapshot takes relaxed atomic loads only — the campaign's
+//! workers are never blocked, and the server cannot steer the run (the
+//! same no-steering contract as the observer itself). Requests are
+//! handled one at a time on the accept thread; responses close the
+//! connection (`Connection: close`), which is all a poller or a `curl`
+//! loop needs.
+//!
+//! [`CampaignProgress::to_json`]: pllbist_telemetry::CampaignProgress::to_json
+//! [`CampaignProgress::workers_json`]: pllbist_telemetry::CampaignProgress::workers_json
+//! [`CampaignProgress::incidents_json`]: pllbist_telemetry::CampaignProgress::incidents_json
+
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::observe::CampaignObserver;
+
+/// A running status server; shuts down on [`Self::shutdown`] or drop.
+pub struct StatusServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Binds `bind` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts serving `observer` snapshots.
+    pub fn start(observer: Arc<CampaignObserver>, bind: &str) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(bind)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("pllbist-status".to_string())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    if let Ok(mut stream) = conn {
+                        let _ = serve_connection(&mut stream, &observer);
+                    }
+                }
+            })?;
+        Ok(Self {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (use `addr().port()` after an ephemeral bind).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop blocks in accept(); a self-connection wakes it
+        // so it can observe the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn serve_connection(stream: &mut TcpStream, observer: &CampaignObserver) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+    let path = match read_request_path(stream) {
+        Some(path) => path,
+        None => return Ok(()), // torn request or shutdown self-connect
+    };
+    let (status, body) = route(&path, observer);
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads the request head (up to a small cap) and extracts the path of
+/// the request line. `None` for anything that is not a parseable `GET`.
+fn read_request_path(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = [0u8; 2048];
+    let mut filled = 0;
+    loop {
+        let n = stream.read(&mut buf[filled..]).ok()?;
+        if n == 0 {
+            break;
+        }
+        filled += n;
+        if buf[..filled].windows(4).any(|w| w == b"\r\n\r\n") || filled == buf.len() {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&buf[..filled]).ok()?;
+    let request_line = head.lines().next()?;
+    let mut parts = request_line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    // Strip any query string; endpoints take no parameters.
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+fn route(path: &str, observer: &CampaignObserver) -> (&'static str, String) {
+    let snap = observer.snapshot();
+    match path {
+        "/" => (
+            "200 OK",
+            "{\"endpoints\":[\"/progress\",\"/workers\",\"/incidents\"]}".to_string(),
+        ),
+        "/progress" => {
+            // Splice the stall status into the snapshot object so one
+            // poll answers "how far along" and "is it healthy".
+            let mut body = snap.to_json();
+            body.pop(); // trailing '}'
+            body.push_str(&format!(
+                ",\"stall_timeout_secs\":{:.6},\"heartbeat_age_secs\":{:.6}}}",
+                observer.stall_timeout_secs(),
+                observer.board().last_heartbeat_age_secs(),
+            ));
+            ("200 OK", body)
+        }
+        "/workers" => ("200 OK", snap.workers_json()),
+        "/incidents" => ("200 OK", snap.incidents_json()),
+        _ => (
+            "404 Not Found",
+            format!(
+                "{{\"error\":\"unknown endpoint\",\"path\":{:?}}}",
+                path.replace(['"', '\\'], "_")
+            ),
+        ),
+    }
+}
+
+/// Minimal blocking HTTP GET against a [`StatusServer`] (or anything
+/// speaking `Connection: close` HTTP/1.1): returns the response body.
+/// This is the client half used by the offline verify smoke and the
+/// `abl13_campaign_observatory` poller.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_string()),
+        None => Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "no header/body separator in HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observe::ObservatoryConfig;
+    use pllbist_telemetry::json::{json_str_field, json_u64_field};
+
+    #[test]
+    fn serves_all_endpoints_and_404() {
+        let observer = Arc::new(CampaignObserver::new(5, 2, ObservatoryConfig::default()));
+        observer.on_claim(0, 0);
+        observer.on_outcome(
+            0,
+            0,
+            &crate::supervisor::PointOutcome::<u64> {
+                result: Ok(1),
+                incidents: vec![],
+            },
+            0.001,
+        );
+        let server = StatusServer::start(Arc::clone(&observer), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+
+        let index = http_get(addr, "/").unwrap();
+        assert!(index.contains("/progress"));
+
+        let progress = http_get(addr, "/progress").unwrap();
+        assert_eq!(json_u64_field(&progress, "total"), Some(5));
+        assert_eq!(json_u64_field(&progress, "done"), Some(1));
+        assert!(progress.contains("\"stall_timeout_secs\""));
+        assert!(progress.contains("\"heartbeat_age_secs\""));
+
+        let workers = http_get(addr, "/workers").unwrap();
+        assert_eq!(json_str_field(&workers, "type").as_deref(), Some("workers"));
+        assert_eq!(json_u64_field(&workers, "done"), Some(1));
+
+        let incidents = http_get(addr, "/incidents").unwrap();
+        assert_eq!(
+            json_str_field(&incidents, "type").as_deref(),
+            Some("incidents")
+        );
+        assert!(incidents.contains("\"lock_timeout\":0"));
+
+        let missing = http_get(addr, "/nope").unwrap();
+        assert!(missing.contains("unknown endpoint"));
+
+        // Query strings are tolerated.
+        let q = http_get(addr, "/progress?pretty=1").unwrap();
+        assert_eq!(json_u64_field(&q, "total"), Some(5));
+
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_under_drop() {
+        let observer = Arc::new(CampaignObserver::new(1, 1, ObservatoryConfig::default()));
+        let server = StatusServer::start(observer, "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        drop(server);
+        // The port is released: connecting either fails or yields no
+        // HTTP response.
+        assert!(http_get(addr, "/progress").is_err() || TcpStream::connect(addr).is_err());
+    }
+
+    #[test]
+    fn non_get_requests_are_dropped() {
+        let observer = Arc::new(CampaignObserver::new(1, 1, ObservatoryConfig::default()));
+        let server = StatusServer::start(observer, "127.0.0.1:0").unwrap();
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /progress HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        let _ = stream.read_to_string(&mut out);
+        assert!(out.is_empty(), "non-GET must not be served: {out}");
+        // The server stays healthy for subsequent GETs.
+        assert!(http_get(server.addr(), "/progress").is_ok());
+        server.shutdown();
+    }
+}

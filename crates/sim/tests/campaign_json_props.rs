@@ -1,0 +1,158 @@
+//! Adversarial property tests for the hand-rolled JSONL field parsers
+//! the campaign stack reads its artifacts with
+//! (`pllbist_sim::campaign::{json_u64_field, json_bool_field,
+//! json_str_field}`, re-exported from `pllbist_telemetry::json`).
+//!
+//! Three hostile regimes are pinned:
+//!
+//! * **Torn lines** — a kill mid-write truncates a record at an
+//!   arbitrary char boundary; every parser must return cleanly (no
+//!   panic), and a string field must never fabricate a full value from
+//!   a torn tail.
+//! * **Escaped payloads** — quotes, backslashes, control characters and
+//!   non-ASCII text inside string values must round-trip through the
+//!   writer-side escaper and back.
+//! * **Duplicate keys** — first occurrence wins, which is the contract
+//!   that lets writers keep fixed tag keys ahead of free-text payloads.
+
+use pllbist_sim::campaign::{json_bool_field, json_str_field, json_u64_field};
+use pllbist_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
+
+/// Writer-side escaper matching the workspace JSONL encoders
+/// (`Record::to_json` and friends): `\" \\ \n \r \t`, and `\uXXXX` for
+/// the remaining control characters.
+fn encode_str(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A payload string biased towards the characters that break naive
+/// parsers: quotes, backslashes, braces, colons, control chars, and a
+/// sprinkle of non-ASCII.
+fn hostile_string(g: &mut pllbist_testkit::prop::Gen) -> String {
+    let len = g.usize_range(0, 24);
+    let alphabet = [
+        '"',
+        '\\',
+        '\n',
+        '\r',
+        '\t',
+        '\u{1}',
+        '{',
+        '}',
+        ':',
+        ',',
+        'a',
+        'Z',
+        '0',
+        ' ',
+        'µ',
+        '→',
+        '\u{1F600}',
+    ];
+    (0..len).map(|_| g.pick(&alphabet)).collect()
+}
+
+#[test]
+fn str_field_round_trips_hostile_payloads() {
+    prop_check!(cases: 512, |g| {
+        let value = hostile_string(g);
+        let trailer = hostile_string(g);
+        let line = format!(
+            "{{\"type\":\"note\",\"msg\":{},\"tail\":{}}}",
+            encode_str(&value),
+            encode_str(&trailer)
+        );
+        prop_assert_eq!(
+            json_str_field(&line, "msg"),
+            Some(value.clone()),
+            "line: {line}"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn parsers_survive_torn_lines_without_panicking() {
+    prop_check!(cases: 512, |g| {
+        let value = hostile_string(g);
+        let n = g.u64_range(0, u64::MAX / 2);
+        let b = g.bool();
+        let line = format!(
+            "{{\"type\":\"result\",\"index\":{n},\"ok\":{b},\"msg\":{}}}",
+            encode_str(&value)
+        );
+        // Truncate at a random char boundary — the kill-mid-write shape
+        // the campaign log's torn-tail tolerance is built around.
+        let boundaries: Vec<usize> = line.char_indices().map(|(i, _)| i).collect();
+        let cut = g.pick(&boundaries[..]);
+        let torn = &line[..cut];
+        // No panics; whatever comes back must be an honest prefix view.
+        let _ = json_u64_field(torn, "index");
+        let _ = json_bool_field(torn, "ok");
+        let msg = json_str_field(torn, "msg");
+        if let Some(parsed) = msg {
+            // A string field only parses when its closing quote made it
+            // into the torn prefix, so the value must be intact.
+            prop_assert_eq!(parsed, value.clone(), "cut at {cut} of: {line}");
+        }
+        // The untorn line always parses exactly.
+        prop_assert_eq!(json_u64_field(&line, "index"), Some(n));
+        prop_assert_eq!(json_bool_field(&line, "ok"), Some(b));
+        Ok(())
+    });
+}
+
+#[test]
+fn duplicate_keys_resolve_to_first_occurrence() {
+    prop_check!(cases: 512, |g| {
+        let first = g.u64_range(0, 1_000_000);
+        let second = g.u64_range(0, 1_000_000);
+        prop_assume!(first != second);
+        let first_b = g.bool();
+        let first_s = hostile_string(g);
+        let second_s = hostile_string(g);
+        let line = format!(
+            "{{\"n\":{first},\"flag\":{first_b},\"s\":{},\"n\":{second},\"flag\":{},\"s\":{}}}",
+            encode_str(&first_s),
+            !first_b,
+            encode_str(&second_s)
+        );
+        prop_assert_eq!(json_u64_field(&line, "n"), Some(first));
+        prop_assert_eq!(json_bool_field(&line, "flag"), Some(first_b));
+        prop_assert_eq!(json_str_field(&line, "s"), Some(first_s.clone()));
+        Ok(())
+    });
+}
+
+#[test]
+fn u64_field_rejects_non_numeric_and_missing_keys() {
+    prop_check!(cases: 256, |g| {
+        let key: String = {
+            let len = g.usize_range(1, 8);
+            (0..len)
+                .map(|_| g.pick(&['a', 'b', 'k', 'x', '_']))
+                .collect()
+        };
+        let value = hostile_string(g);
+        let line = format!("{{\"{key}\":{}}}", encode_str(&value));
+        // A string value is never a number, and an absent key is None.
+        prop_assert_eq!(json_u64_field(&line, &key), None, "line: {line}");
+        prop_assert!(json_u64_field(&line, "absent_key").is_none());
+        prop_assert!(json_bool_field(&line, "absent_key").is_none());
+        prop_assert!(json_str_field(&line, "absent_key").is_none());
+        Ok(())
+    });
+}

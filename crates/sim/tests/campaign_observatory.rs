@@ -1,0 +1,266 @@
+//! Contract tests for the campaign observatory: attaching the progress
+//! board, flight recorder and HTTP status server to a supervised
+//! resumable campaign must never change the physics — results files
+//! stay byte-identical with observability on or off, at every thread
+//! count — while a killed run leaves a parseable flight dump and the
+//! live endpoints report monotone progress.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use pllbist_sim::campaign::{bits_hex, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec};
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
+use pllbist_sim::scenario::Scenario;
+use pllbist_sim::server::{http_get, StatusServer};
+use pllbist_sim::{ClosedFormPll, PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_telemetry::recorder::{parse_dump, FlightEventKind};
+use pllbist_telemetry::{json_u64_field, Collector, Fields, Value};
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pllbist_observatory_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// Campaign codec over a plain `f64` point (control voltage).
+struct VoltageCodec;
+
+impl PointCodec for VoltageCodec {
+    type Point = f64;
+
+    fn encode(&self, point: &f64) -> Fields {
+        vec![("v_bits".to_string(), Value::Str(bits_hex(*point)))]
+    }
+
+    fn decode(&self, line: &str) -> Option<f64> {
+        f64_from_bits_hex(&json_str_field(line, "v_bits")?)
+    }
+}
+
+const TONES: [f64; 6] = [1.0, 3.0, 7.0, 9.0, 21.0, 55.0];
+const SICK_TONE: f64 = 9.0;
+
+fn capture(
+    pll: &mut pllbist_sim::Supervised<ClosedFormPll>,
+    fm: f64,
+) -> Result<f64, SweepPointError> {
+    let t = pll.time();
+    pll.advance_to(t + 0.02);
+    if fm == SICK_TONE {
+        // One typed, deterministic failure so the observer sees real
+        // retry and quarantine traffic on every run.
+        return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+    }
+    Ok(pll.control_voltage())
+}
+
+/// Runs the supervised resumable campaign over `tones`, optionally
+/// observed, and returns the quarantined count.
+fn run_campaign(
+    path: &PathBuf,
+    tones: &[f64],
+    threads: usize,
+    observer: Option<&CampaignObserver>,
+    finish: bool,
+) -> usize {
+    let cfg = PllConfig::paper_table3();
+    let scenario = Scenario::with_lock_settle(&cfg, 0.1);
+    let policy = SupervisorPolicy::default();
+    let tel = Collector::disabled();
+    let log = CampaignLog::open(path, VoltageCodec, "obsit0000000001".into(), TONES.len())
+        .expect("open log");
+    let swept = scenario
+        .sweep_points_supervised_resumed_observed::<ClosedFormPll, VoltageCodec, _>(
+            tones, threads, &policy, &tel, &log, observer, capture,
+        );
+    if finish {
+        log.finish(true).expect("complete");
+    }
+    swept.quarantined_count()
+}
+
+#[test]
+fn observed_campaign_with_server_is_byte_identical_to_unobserved() {
+    // Unobserved reference.
+    let reference_path = tmp("plain.jsonl");
+    let _ = std::fs::remove_file(&reference_path);
+    assert_eq!(run_campaign(&reference_path, &TONES, 1, None, true), 1);
+    let reference = std::fs::read(&reference_path).expect("reference bytes");
+
+    for threads in [1usize, 4, 16] {
+        let path = tmp(&format!("observed_t{threads}.jsonl"));
+        let flight = path.with_extension("flight.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&flight);
+
+        let observer = Arc::new(CampaignObserver::new(
+            TONES.len(),
+            threads,
+            ObservatoryConfig::for_results_file(&path),
+        ));
+        let server = StatusServer::start(Arc::clone(&observer), "127.0.0.1:0").expect("server");
+        let quarantined = run_campaign(&path, &TONES, threads, Some(&observer), true);
+        observer.finish().expect("flight dump");
+
+        // The no-steering contract: same physics, same bytes.
+        assert_eq!(quarantined, 1, "threads {threads}");
+        assert_eq!(
+            std::fs::read(&path).expect("observed bytes"),
+            reference,
+            "threads {threads}: observer + server changed the results file"
+        );
+
+        // The server answers from the completed board.
+        let progress = http_get(server.addr(), "/progress").expect("poll");
+        assert_eq!(json_u64_field(&progress, "total"), Some(TONES.len() as u64));
+        assert_eq!(json_u64_field(&progress, "done"), Some(TONES.len() as u64));
+        assert_eq!(json_u64_field(&progress, "quarantined"), Some(1));
+        let incidents = http_get(server.addr(), "/incidents").expect("poll incidents");
+        assert!(
+            json_u64_field(&incidents, "degenerate_fit").unwrap_or(0) >= 1,
+            "threads {threads}: {incidents}"
+        );
+        server.shutdown();
+
+        // The finish dump is a parseable timeline ending in a clean
+        // finish note, with claim/done coverage for every point.
+        let dump = std::fs::read_to_string(&flight).expect("flight dump");
+        assert!(dump.contains("\"reason\":\"finish\""));
+        let events = parse_dump(&dump);
+        let claims = events
+            .iter()
+            .filter(|e| e.kind == FlightEventKind::Claim)
+            .count();
+        let dones = events
+            .iter()
+            .filter(|e| e.kind == FlightEventKind::Done)
+            .count();
+        assert_eq!(claims, TONES.len(), "threads {threads}");
+        assert_eq!(dones, TONES.len(), "threads {threads}");
+        assert!(events.iter().any(|e| e.kind == FlightEventKind::Retry));
+        assert!(events.iter().any(|e| e.kind == FlightEventKind::Quarantine));
+
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&flight).unwrap();
+    }
+    std::fs::remove_file(&reference_path).unwrap();
+}
+
+#[test]
+fn killed_observed_campaign_dumps_flight_and_resumes_byte_identically() {
+    let reference_path = tmp("kill_reference.jsonl");
+    let _ = std::fs::remove_file(&reference_path);
+    assert_eq!(run_campaign(&reference_path, &TONES, 1, None, true), 1);
+    let reference = std::fs::read(&reference_path).expect("reference bytes");
+
+    let path = tmp("kill_observed.jsonl");
+    let flight = path.with_extension("flight.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&flight);
+
+    // "Kill" the campaign after three points: the sweep only covers a
+    // prefix of the tone list, and the observer dies without finish()
+    // (the Drop path a panicking or aborted process takes).
+    {
+        let observer =
+            CampaignObserver::new(TONES.len(), 2, ObservatoryConfig::for_results_file(&path));
+        run_campaign(&path, &TONES[..3], 2, Some(&observer), false);
+    }
+    let dump = std::fs::read_to_string(&flight).expect("abort dump exists");
+    assert!(
+        dump.contains("\"reason\":\"abort\""),
+        "a killed run records why it dumped: {dump}"
+    );
+    let events = parse_dump(&dump);
+    assert!(
+        events.iter().any(|e| e.kind == FlightEventKind::Claim),
+        "the timeline reaches back into the killed run"
+    );
+
+    // Resume across thread counts: skipped points load from the log, the
+    // rest recompute, and the final file matches the never-killed run.
+    for threads in [4usize, 1, 16] {
+        let observer = CampaignObserver::new(
+            TONES.len(),
+            threads,
+            ObservatoryConfig::for_results_file(&path),
+        );
+        assert_eq!(
+            run_campaign(&path, &TONES, threads, Some(&observer), true),
+            1
+        );
+        observer.finish().expect("finish dump");
+        assert_eq!(
+            std::fs::read(&path).expect("resumed bytes"),
+            reference,
+            "resume on {threads} threads"
+        );
+        let resumed = parse_dump(&std::fs::read_to_string(&flight).expect("resume dump"));
+        assert!(
+            resumed
+                .iter()
+                .any(|e| e.kind == FlightEventKind::Note && e.detail.contains("loaded from log")),
+            "resume on {threads} threads records the skip"
+        );
+        // Rewind for the next resume round: keep only the first three
+        // points again.
+        let full = std::fs::read_to_string(&path).expect("utf8");
+        let lines: Vec<&str> = full.lines().collect();
+        let mut killed = lines[..2 + 3].join("\n");
+        killed.push('\n');
+        killed.push_str("{\"type\":\"result\",\"na");
+        std::fs::write(&path, &killed).expect("re-kill");
+    }
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&flight).unwrap();
+    std::fs::remove_file(&reference_path).unwrap();
+}
+
+#[test]
+fn status_server_reports_monotone_progress_over_a_live_campaign() {
+    let path = tmp("live.jsonl");
+    let _ = std::fs::remove_file(&path);
+    let observer = Arc::new(CampaignObserver::new(
+        TONES.len(),
+        2,
+        ObservatoryConfig::default(),
+    ));
+    let server = StatusServer::start(Arc::clone(&observer), "127.0.0.1:0").expect("server");
+    let addr = server.addr();
+
+    let campaign_path = path.clone();
+    let campaign_observer = Arc::clone(&observer);
+    let campaign = std::thread::spawn(move || {
+        run_campaign(&campaign_path, &TONES, 2, Some(&campaign_observer), true)
+    });
+
+    // Poll while the campaign runs: completion counts must never move
+    // backwards, and every response must parse.
+    let mut last_done = 0u64;
+    loop {
+        let body = http_get(addr, "/progress").expect("poll");
+        let done = json_u64_field(&body, "done").expect("done field");
+        assert!(
+            done >= last_done,
+            "done went backwards: {last_done} -> {done}"
+        );
+        last_done = done;
+        if done >= TONES.len() as u64 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    assert_eq!(campaign.join().expect("campaign thread"), 1);
+    observer.finish().expect("finish");
+
+    let workers = http_get(addr, "/workers").expect("workers");
+    assert_eq!(
+        workers.matches("\"index\":").count(),
+        2,
+        "one entry per worker: {workers}"
+    );
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,131 @@
+//! Minimal hand-rolled JSONL field extraction.
+//!
+//! The workspace's machine-readable artifacts (telemetry streams,
+//! campaign results files, flight-recorder dumps, the bench ledger) are
+//! all flat JSON lines written by [`crate::Record::to_json`]-style
+//! writers. These helpers read single fields back out without a JSON
+//! dependency. They match the **first occurrence** of a key, so writers
+//! must keep fixed tag keys ahead of free-text payloads (panic
+//! messages) — the convention every encoder in this workspace follows.
+//!
+//! The adversarial surface (torn lines from a kill mid-write, escaped
+//! quotes inside payloads, duplicate keys) is pinned by property tests
+//! in `crates/sim/tests/campaign_json_props.rs`.
+
+/// Extracts `"key":<u64>` from a record line.
+///
+/// First-occurrence matching: keep numeric/tag keys ahead of free-text
+/// payloads on the writer side.
+pub fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":<f64>` from a record line (plain JSON number —
+/// digits, sign, decimal point, exponent; `null` yields `None`).
+pub fn json_f64_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    rest[..end].parse().ok()
+}
+
+/// Extracts `"key":true|false` from a record line (same first-occurrence
+/// caveat as [`json_u64_field`]).
+pub fn json_bool_field(line: &str, key: &str) -> Option<bool> {
+    let pat = format!("\"{key}\":");
+    let at = line.find(&pat)? + pat.len();
+    let rest = &line[at..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts and unescapes `"key":"…"` from a record line (same
+/// first-occurrence caveat as [`json_u64_field`]).
+pub fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let at = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut chars = line[at..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => match chars.next()? {
+                '"' => out.push('"'),
+                '\\' => out.push('\\'),
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                'u' => {
+                    let code: String = (&mut chars).take(4).collect();
+                    let v = u32::from_str_radix(&code, 16).ok()?;
+                    out.push(char::from_u32(v)?);
+                }
+                _ => return None,
+            },
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_field_reads_first_occurrence() {
+        let line = "{\"type\":\"x\",\"index\":42,\"index\":7}";
+        assert_eq!(json_u64_field(line, "index"), Some(42));
+        assert_eq!(json_u64_field(line, "missing"), None);
+        assert_eq!(json_u64_field("{\"index\":}", "index"), None);
+        assert_eq!(json_u64_field("{\"index\":\"text\"}", "index"), None);
+    }
+
+    #[test]
+    fn f64_field_reads_json_numbers() {
+        let line = "{\"a\":-1.5e-3,\"b\":2,\"c\":null}";
+        assert_eq!(json_f64_field(line, "a"), Some(-1.5e-3));
+        assert_eq!(json_f64_field(line, "b"), Some(2.0));
+        assert_eq!(json_f64_field(line, "c"), None);
+        assert_eq!(json_f64_field(line, "d"), None);
+    }
+
+    #[test]
+    fn bool_field_requires_literal() {
+        let line = "{\"ok\":true,\"bad\":maybe}";
+        assert_eq!(json_bool_field(line, "ok"), Some(true));
+        assert_eq!(json_bool_field(line, "bad"), None);
+        assert_eq!(json_bool_field("{\"ok\":false}", "ok"), Some(false));
+    }
+
+    #[test]
+    fn str_field_unescapes() {
+        let line = "{\"msg\":\"a \\\"quoted\\\" \\\\ line\\n\\u0041\"}";
+        assert_eq!(
+            json_str_field(line, "msg").as_deref(),
+            Some("a \"quoted\" \\ line\nA")
+        );
+        // Torn line (no closing quote) is a clean None, not a panic.
+        assert_eq!(json_str_field("{\"msg\":\"trunc", "msg"), None);
+        assert_eq!(json_str_field("{\"msg\":\"bad\\q\"}", "msg"), None);
+    }
+}

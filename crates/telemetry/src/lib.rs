@@ -49,12 +49,20 @@
 
 pub mod collector;
 pub mod hist;
+pub mod json;
+pub mod ledger;
+pub mod progress;
 pub mod record;
+pub mod recorder;
 pub mod report;
 
 pub use collector::{Collector, SpanBuilder, SpanGuard};
 pub use hist::Histogram;
+pub use json::{json_bool_field, json_f64_field, json_str_field, json_u64_field};
+pub use ledger::{LedgerRecord, LEDGER_SCHEMA};
+pub use progress::{CampaignProgress, ProgressBoard, WorkerProgress};
 pub use record::{render_table, to_jsonl, Fields, Record, Value, SCHEMA_VERSION};
+pub use recorder::{parse_dump, FlightEvent, FlightEventKind, FlightRecorder};
 pub use report::RunReport;
 
 /// Where drained telemetry records should go when a run finishes.

@@ -192,7 +192,7 @@ pub enum Record {
 /// The current JSONL schema version emitted in `run` headers.
 pub const SCHEMA_VERSION: u32 = 1;
 
-fn write_json_str(out: &mut String, s: &str) {
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -210,7 +210,7 @@ fn write_json_str(out: &mut String, s: &str) {
     out.push('"');
 }
 
-fn write_json_f64(out: &mut String, v: f64) {
+pub(crate) fn write_json_f64(out: &mut String, v: f64) {
     if v.is_finite() {
         let _ = write!(out, "{v}");
     } else {

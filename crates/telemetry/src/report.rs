@@ -16,26 +16,41 @@ use crate::{Collector, SinkConfig, TelemetryConfig};
 pub struct RunReport {
     bin: &'static str,
     jsonl_path: Option<String>,
+    ledger_path: Option<std::path::PathBuf>,
     records: Vec<Record>,
 }
 
 impl RunReport {
     /// Creates a report for `bin`, reading `--jsonl <path>` from the
     /// process arguments (all other arguments are ignored, so binaries
-    /// with their own flags keep working).
+    /// with their own flags keep working). A `--jsonl` run also appends
+    /// a compact row to the bench regression ledger (see
+    /// [`crate::ledger`]) when a ledger path resolves.
     pub fn from_args(bin: &'static str) -> Self {
-        Self::new(bin, jsonl_path_from(std::env::args().skip(1)))
+        let mut report = Self::new(bin, jsonl_path_from(std::env::args().skip(1)));
+        if report.wants_jsonl() {
+            report.ledger_path = crate::ledger::default_ledger_path();
+        }
+        report
     }
 
     /// Creates a report with an explicit JSONL destination (`None` =
     /// records are gathered but only written if a path is set later
-    /// logic-free; useful in tests).
+    /// logic-free; useful in tests). No ledger append unless
+    /// [`set_ledger`](Self::set_ledger) is called.
     pub fn new(bin: &'static str, jsonl_path: Option<String>) -> Self {
         Self {
             bin,
             jsonl_path,
+            ledger_path: None,
             records: Vec::new(),
         }
+    }
+
+    /// Points this report's ledger append at an explicit path (tests,
+    /// custom harnesses). `None` disables the append.
+    pub fn set_ledger(&mut self, path: Option<std::path::PathBuf>) {
+        self.ledger_path = path;
     }
 
     /// Telemetry knob for settings structs: enabled iff the run wants
@@ -75,7 +90,9 @@ impl RunReport {
     }
 
     /// Writes the `run` header plus all records to the JSONL path (if
-    /// any) and returns. Without `--jsonl` this is a no-op success.
+    /// any), then appends this run's flattened result metrics to the
+    /// bench ledger (if a ledger path is set and any metrics exist).
+    /// Without `--jsonl` this is a no-op success.
     pub fn finish(self) -> std::io::Result<()> {
         let Some(path) = &self.jsonl_path else {
             return Ok(());
@@ -93,7 +110,21 @@ impl RunReport {
         }
         let mut file = std::fs::File::create(path)?;
         file.write_all(&out)?;
-        file.flush()
+        file.flush()?;
+        if let Some(ledger) = &self.ledger_path {
+            let metrics = crate::ledger::metrics_from_records(&self.records);
+            if !metrics.is_empty() {
+                crate::ledger::append_record(
+                    ledger,
+                    &crate::ledger::LedgerRecord {
+                        bin: self.bin.to_string(),
+                        baseline: false,
+                        metrics,
+                    },
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 

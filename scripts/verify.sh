@@ -32,6 +32,14 @@ cargo clippy --offline -p pllbist-sim -p pllbist --lib -- -D warnings
 echo "==> examples/quickstart (offline)"
 cargo run --release --offline --example quickstart
 
+# Bench regression ledger: every --jsonl smoke below appends a fresh
+# row to a scratch copy of the committed baseline ledger; the gate at
+# the end compares fresh vs baseline under the suffix-convention policy
+# (see crates/telemetry/src/ledger.rs).
+ledger="target/verify-ledger.jsonl"
+cp results/bench_ledger.jsonl "$ledger"
+export PLLBIST_LEDGER="$ledger"
+
 echo "==> abl09 telemetry-overhead smoke (offline, JSONL sink)"
 abl09_out="target/abl09-smoke.jsonl"
 PLLBIST_ABL09_SAMPLES=5 cargo run --release --offline -p pllbist-bench \
@@ -62,6 +70,21 @@ PLLBIST_ABL12_POINTS=8 PLLBIST_ABL12_REPS=1 cargo run --release --offline -p pll
   --bin abl12_work_stealing_campaign -- --jsonl "$abl12_out"
 head -1 "$abl12_out" | grep -q '"type":"run"' \
   || { echo "abl12 smoke: missing JSONL run header"; exit 1; }
+
+echo "==> abl13 campaign-observatory smoke (offline, status server + flight recorder)"
+# The bin itself serves /progress over 127.0.0.1 from the campaign's
+# own status server, polls it with the workspace std::net client and
+# asserts monotone completion counts, byte-identity under observation
+# at 1/4/16 threads, and parseable flight dumps on abort/stall.
+abl13_out="target/abl13-smoke.jsonl"
+PLLBIST_ABL13_POINTS=8 cargo run --release --offline -p pllbist-bench \
+  --bin abl13_campaign_observatory -- --jsonl "$abl13_out"
+head -1 "$abl13_out" | grep -q '"type":"run"' \
+  || { echo "abl13 smoke: missing JSONL run header"; exit 1; }
+
+echo "==> bench ledger regression gate"
+cargo run --release --offline -p pllbist-bench \
+  --bin bench_ledger_gate -- --ledger "$ledger"
 
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps --workspace
