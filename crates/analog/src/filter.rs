@@ -72,6 +72,27 @@ pub trait LoopFilter: Send {
     /// This is what the hold-and-count BIST reads, and it differs from
     /// [`LoopFilter::transfer_function`] precisely by the zero factor.
     fn hold_transfer_function(&self) -> TransferFunction;
+
+    /// The filter reduced to a scalar [`AffineSegment`] under the given
+    /// constant drive, when it has exactly one electrical state.
+    ///
+    /// Event-driven engines use this to propagate the loop between PFD
+    /// switching events in closed form. Filters with more than one state
+    /// (e.g. a ripple capacitor fitted) return `None` and must be run
+    /// through [`LoopFilter::step`] instead.
+    ///
+    /// The reduction must be consistent with the vector path: for a
+    /// one-state filter, `seg.state_after(state[0], dt)` equals
+    /// [`step`](LoopFilter::step) and `seg.output(state[0])` equals
+    /// [`output`](LoopFilter::output) under the same drive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the drive kind does not match
+    /// [`LoopFilter::input_kind`].
+    fn affine_segment(&self, _input: PumpOutput) -> Option<AffineSegment> {
+        None
+    }
 }
 
 fn assert_dt(dt: f64) {
@@ -86,6 +107,74 @@ fn affine_step(x: f64, a: f64, b: f64, u: f64, dt: f64) -> f64 {
     }
     let xinf = -b * u / a;
     xinf + (x - xinf) * (a * dt).exp()
+}
+
+/// One constant-drive interval of a first-order filter, reduced to the
+/// scalar affine ODE `x′ = a·x + b` with output `v = c·x + d` (the drive
+/// value is already folded into `b` and `d`).
+///
+/// This is the closed-form kernel event-driven engines integrate over: no
+/// state vector, no trait dispatch — just the exponential. All three
+/// evaluators are **exact** (to rounding) for any segment length, which is
+/// what makes per-event advancement possible: between two PFD switching
+/// events nothing about the drive changes, so one [`state_after`] call
+/// replaces an arbitrary number of micro-steps.
+///
+/// [`state_after`]: AffineSegment::state_after
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AffineSegment {
+    /// State feedback coefficient in 1/s (`0` for a pure integrator).
+    pub a: f64,
+    /// Constant state forcing in state-units/s, drive included.
+    pub b: f64,
+    /// Output weight on the state.
+    pub c: f64,
+    /// Constant output offset, drive included.
+    pub d: f64,
+}
+
+impl AffineSegment {
+    /// The filter output for state `x` under this segment's drive.
+    pub fn output(&self, x: f64) -> f64 {
+        self.c * x + self.d
+    }
+
+    /// The state after `dt` seconds: `x∞ + (x − x∞)·e^{a·dt}` with
+    /// `x∞ = −b/a`, or `x + b·dt` in the integrator limit. Exact for any
+    /// `dt`.
+    pub fn state_after(&self, x: f64, dt: f64) -> f64 {
+        if self.a == 0.0 {
+            return x + self.b * dt;
+        }
+        let xinf = -self.b / self.a;
+        xinf + (x - xinf) * (self.a * dt).exp()
+    }
+
+    /// The exact time integral `∫₀^dt x(s) ds` of the state trajectory
+    /// starting from `x` — what an event engine needs to accumulate VCO
+    /// phase in closed form.
+    pub fn state_integral(&self, x: f64, dt: f64) -> f64 {
+        if self.a == 0.0 {
+            return x * dt + 0.5 * self.b * dt * dt;
+        }
+        let xinf = -self.b / self.a;
+        xinf * dt + (x - xinf) * ((self.a * dt).exp() - 1.0) / self.a
+    }
+
+    /// `(state_after, state_integral)` from one shared exponential — the
+    /// edge-crossing solver of an event engine evaluates both per Newton
+    /// candidate, and the exponential is the entire per-iteration cost.
+    pub fn state_and_integral(&self, x: f64, dt: f64) -> (f64, f64) {
+        if self.a == 0.0 {
+            return (x + self.b * dt, x * dt + 0.5 * self.b * dt * dt);
+        }
+        let xinf = -self.b / self.a;
+        let growth = (self.a * dt).exp();
+        (
+            xinf + (x - xinf) * growth,
+            xinf * dt + (x - xinf) * (growth - 1.0) / self.a,
+        )
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -229,6 +318,16 @@ impl LoopFilter for PassiveLag {
         let a = self.drive.a;
         let cv_hold = self.high_z.cv;
         TransferFunction::new([cv_hold * b], [-a, 1.0])
+    }
+
+    fn affine_segment(&self, input: PumpOutput) -> Option<AffineSegment> {
+        let (k, u) = self.coeffs(input);
+        Some(AffineSegment {
+            a: k.a,
+            b: k.b * u,
+            c: k.cv,
+            d: k.dv * u,
+        })
     }
 }
 
@@ -410,6 +509,21 @@ impl LoopFilter for SeriesRc {
             (None, Some(_)) => TransferFunction::new([self.cv * self.b], [-self.a, 1.0]),
         }
     }
+
+    fn affine_segment(&self, input: PumpOutput) -> Option<AffineSegment> {
+        if self.zoh.is_some() {
+            // The ripple capacitor makes the filter second-order: no
+            // scalar reduction exists.
+            return None;
+        }
+        let i = Self::current(input);
+        Some(AffineSegment {
+            a: self.a,
+            b: self.b * i,
+            c: self.cv,
+            d: self.dv * i,
+        })
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -491,6 +605,16 @@ impl LoopFilter for ActivePi {
         // The op-amp integrator holds its state; the proportional branch
         // (feed-through) vanishes with the drive.
         TransferFunction::new([1.0], [0.0, self.tau1])
+    }
+
+    fn affine_segment(&self, input: PumpOutput) -> Option<AffineSegment> {
+        let u = Self::voltage(input);
+        Some(AffineSegment {
+            a: 0.0,
+            b: u / self.tau1,
+            c: 1.0,
+            d: u * self.tau2 / self.tau1,
+        })
     }
 }
 
@@ -669,6 +793,94 @@ mod tests {
         assert_eq!(f.input_kind(), InputKind::Voltage);
         let tf = f.transfer_function();
         assert!((tf.eval_jw(1e4).abs() - ((1.0f64 + 1.0).sqrt() / 10.0)).abs() < 1e-9);
+    }
+
+    /// Drives a one-state filter through both integration paths — the
+    /// vector `step`/`output` path and the scalar [`AffineSegment`]
+    /// reduction — and asserts they agree bit for bit.
+    fn assert_segment_consistent(f: &mut dyn LoopFilter, drives: &[PumpOutput], dt: f64) {
+        let mut state = f.initial_state();
+        assert_eq!(state.len(), 1, "consistency check needs a scalar state");
+        f.preset_output(&mut state, 1.7);
+        let mut x = state[0];
+        for &u in drives {
+            let seg = f.affine_segment(u).expect("one-state filter reduces");
+            assert_eq!(seg.output(x).to_bits(), f.output(&state, u).to_bits());
+            f.step(&mut state, u, dt);
+            x = seg.state_after(x, dt);
+            assert_eq!(x.to_bits(), state[0].to_bits(), "state diverged");
+        }
+    }
+
+    #[test]
+    fn affine_segment_matches_vector_path_bit_for_bit() {
+        let mut lag = PassiveLag::with_leakage(R1, R2, C, Some(10e6));
+        assert_segment_consistent(
+            &mut lag,
+            &[
+                PumpOutput::Voltage(5.0),
+                PumpOutput::HighZ,
+                PumpOutput::Voltage(0.0),
+                PumpOutput::HighZ,
+            ],
+            3e-4,
+        );
+        let mut rc = SeriesRc::new(35.2e3, 33e-9);
+        assert_segment_consistent(
+            &mut rc,
+            &[
+                PumpOutput::Current(100e-6),
+                PumpOutput::Current(0.0),
+                PumpOutput::Current(-100e-6),
+                PumpOutput::HighZ,
+            ],
+            5e-5,
+        );
+        let mut pi = ActivePi::new(1e-3, 1e-4);
+        assert_segment_consistent(
+            &mut pi,
+            &[
+                PumpOutput::Voltage(2.0),
+                PumpOutput::HighZ,
+                PumpOutput::Voltage(-2.0),
+            ],
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn affine_segment_state_integral_matches_quadrature() {
+        let lag = PassiveLag::new(R1, R2, C);
+        let seg = lag
+            .affine_segment(PumpOutput::Voltage(5.0))
+            .expect("one-state filter");
+        let pi = ActivePi::new(1e-3, 1e-4);
+        let seg_int = pi
+            .affine_segment(PumpOutput::Voltage(1.5))
+            .expect("one-state filter");
+        for (seg, x0, dt) in [(seg, 0.3, 0.02), (seg_int, -0.2, 5e-3)] {
+            // Dense midpoint quadrature of the closed-form trajectory.
+            let n = 200_000;
+            let h = dt / n as f64;
+            let mut sum = 0.0;
+            for j in 0..n {
+                sum += seg.state_after(x0, (j as f64 + 0.5) * h) * h;
+            }
+            let exact = seg.state_integral(x0, dt);
+            assert!(
+                (exact - sum).abs() < 1e-9 * sum.abs().max(1e-9),
+                "{exact} vs {sum}"
+            );
+        }
+    }
+
+    #[test]
+    fn ripple_cap_filter_declines_scalar_reduction() {
+        let f = SeriesRc::with_options(10e3, 100e-9, Some(1e-9), None);
+        assert!(f.affine_segment(PumpOutput::Current(1e-6)).is_none());
+        // The one-state variant accepts.
+        let f1 = SeriesRc::new(10e3, 100e-9);
+        assert!(f1.affine_segment(PumpOutput::Current(1e-6)).is_some());
     }
 
     #[test]

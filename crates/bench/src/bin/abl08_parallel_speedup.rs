@@ -8,14 +8,17 @@
 //!
 //! On a single-core host the two runs are the same code path and the
 //! ratio prints near 1.0×; the >1.5× figure in the PR notes requires a
-//! multi-core machine.
+//! multi-core machine. `--progress` renders an in-place status line
+//! over the two timed runs.
 
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::bench_measure::{
     log_spaced, measure_sweep_points, measure_sweep_run, BenchSettings,
 };
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::parallel::available_parallelism;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -34,16 +37,28 @@ fn main() {
         cores
     );
 
+    // Coarse `--progress` feed: one board tick per timed run (the timed
+    // regions themselves stay unobserved).
+    let board = Arc::new(ProgressBoard::new(2, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl08 parallel speedup",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
     // Warm-up pass so neither timed run pays first-touch costs.
     let _ = measure_sweep_points(&cfg, &tones[..2], &settings(1));
 
     let t0 = Instant::now();
     let serial = measure_sweep_run(&cfg, &tones, &settings(1));
     let dt_serial = t0.elapsed();
+    board.point_done(0, true, dt_serial.as_secs_f64());
 
     let t1 = Instant::now();
     let parallel = measure_sweep_run(&cfg, &tones, &settings(0));
     let dt_parallel = t1.elapsed();
+    board.point_done(0, true, dt_parallel.as_secs_f64());
+    drop(progress);
 
     assert_eq!(
         serial.points, parallel.points,

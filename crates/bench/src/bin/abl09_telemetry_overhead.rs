@@ -19,14 +19,17 @@
 //! included.
 //!
 //! Environment: `PLLBIST_ABL09_SAMPLES` (samples per variant, default
-//! 15, minimum 5).
+//! 15, minimum 5). `--progress` renders an in-place status line over
+//! the interleaved sample rounds.
 
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
 use pllbist_sim::supervisor::PointOutcome;
-use pllbist_telemetry::{fields, RunReport, TelemetryConfig};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport, TelemetryConfig};
 use pllbist_testkit::bench::{format_secs, median_mad};
+use std::sync::Arc;
 use std::time::Instant;
 
 const TONES: [f64; 3] = [2.0, 8.0, 25.0];
@@ -83,6 +86,15 @@ fn main() {
          ({samples} samples/variant)\n"
     );
 
+    // Coarse `--progress` feed: one board tick per timed sample (the
+    // timed regions themselves stay unobserved).
+    let board = Arc::new(ProgressBoard::new(samples * variants.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl09 telemetry overhead",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
     // Warm-up: one run per variant so no variant pays first-touch costs.
     for (_, monitor, _) in &variants {
         std::hint::black_box(monitor.measure(&cfg));
@@ -101,8 +113,10 @@ fn main() {
                 }
             }
             times[i].push(started.elapsed().as_secs_f64());
+            board.point_done(0, true, times[i][times[i].len() - 1]);
         }
     }
+    drop(progress);
 
     println!(" variant          | median      | MAD         | vs baseline");
     println!(" -----------------+-------------+-------------+------------");

@@ -14,11 +14,14 @@
 //! (≈ `8/(ζ·ωn)` ≈ 0.37 s of simulated time on the paper's loop)
 //! dominates the from-scratch cost — the regime checkpointing exists
 //! for. The `PLLBIST_ABL10_MIN_SPEEDUP` environment variable overrides
-//! the pass threshold (default 1.5) for constrained hosts.
+//! the pass threshold (default 1.5) for constrained hosts. `--progress`
+//! renders an in-place status line over the timed runs.
 
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::bench_measure::{log_spaced, measure_sweep_run, BenchSettings};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
+use std::sync::Arc;
 use std::time::Instant;
 
 fn main() {
@@ -46,6 +49,15 @@ fn main() {
         reps
     );
 
+    // Coarse `--progress` feed: one board tick per timed sweep (the
+    // timed regions themselves stay unobserved).
+    let board = Arc::new(ProgressBoard::new(2 * reps, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl10 checkpoint speedup",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
     // Warm-up pass so neither timed run pays first-touch costs.
     let _ = measure_sweep_run(&cfg, &tones[..2], &settings(true));
 
@@ -56,10 +68,12 @@ fn main() {
         let t0 = Instant::now();
         let scratch = measure_sweep_run(&cfg, &tones, &settings(false));
         let dt_scratch = t0.elapsed();
+        board.point_done(0, true, dt_scratch.as_secs_f64());
 
         let t1 = Instant::now();
         let ckpt = measure_sweep_run(&cfg, &tones, &settings(true));
         let dt_ckpt = t1.elapsed();
+        board.point_done(0, true, dt_ckpt.as_secs_f64());
 
         assert_eq!(
             scratch.points, ckpt.points,
@@ -80,6 +94,7 @@ fn main() {
     println!(
         "\nmedian speedup: {median:.2}× (threshold {min_speedup:.2}×); results bitwise identical"
     );
+    drop(progress);
     report.result(
         "checkpoint_speedup",
         fields![

@@ -767,6 +767,10 @@ impl PllEngine for CpPll {
         self.micro_dt = scale * (0.25 / self.config.f_ref_hz);
     }
 
+    fn backend_name() -> &'static str {
+        "cp_pll"
+    }
+
     fn work_stats(&self) -> WorkStats {
         let s = self.solver_stats();
         WorkStats {

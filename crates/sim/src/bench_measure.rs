@@ -120,8 +120,24 @@ pub fn measure_point_with_stats(
     f_mod_hz: f64,
     settings: &BenchSettings,
 ) -> Result<(BenchPoint, WorkStats), SweepPointError> {
+    measure_point_on::<CpPll>(config, f_mod_hz, settings)
+}
+
+/// [`measure_point_with_stats`] on an explicit engine backend `E`
+/// (any [`AnalogAccess`] implementor — the behavioural
+/// [`CpPll`] or the event-driven
+/// [`crate::event_driven::EventDrivenCpPll`]).
+///
+/// # Errors
+///
+/// Same as [`measure_point`].
+pub fn measure_point_on<E: AnalogAccess>(
+    config: &PllConfig,
+    f_mod_hz: f64,
+    settings: &BenchSettings,
+) -> Result<(BenchPoint, WorkStats), SweepPointError> {
     let scenario = Scenario::new(config);
-    let mut pll: CpPll = scenario.settle_fresh();
+    let mut pll: E = scenario.settle_fresh();
     capture_point(&mut pll, f_mod_hz, settings)
 }
 
@@ -232,6 +248,15 @@ pub fn measure_sweep_points(
     measure_sweep_run(config, f_mod_hz, settings).points
 }
 
+/// [`measure_sweep_points`] on an explicit engine backend `E`.
+pub fn measure_sweep_points_on<E: AnalogAccess>(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> Vec<BenchPoint> {
+    measure_sweep_run_on::<E>(config, f_mod_hz, settings).points
+}
+
 /// A completed bench sweep: the measured points plus every telemetry
 /// record the run produced (empty when `settings.telemetry` is off).
 #[derive(Clone, Debug)]
@@ -252,9 +277,21 @@ pub fn measure_sweep_run(
     f_mod_hz: &[f64],
     settings: &BenchSettings,
 ) -> SweepRun {
+    measure_sweep_run_on::<CpPll>(config, f_mod_hz, settings)
+}
+
+/// [`measure_sweep_run`] on an explicit engine backend `E`. Everything
+/// the CpPll path guarantees carries over per engine: the points are a
+/// pure function of `(E, config, f_mod_hz, settings)`, bitwise identical
+/// for every thread count, telemetry state and `checkpoint` setting.
+pub fn measure_sweep_run_on<E: AnalogAccess>(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> SweepRun {
     let tel = Collector::from_config(&settings.telemetry);
     let scenario = Scenario::new(config);
-    let points = scenario.sweep_points::<CpPll, _, _>(
+    let points = scenario.sweep_points::<E, _, _>(
         f_mod_hz,
         settings.threads,
         settings.checkpoint,
@@ -347,9 +384,23 @@ pub fn measure_sweep_supervised(
     settings: &BenchSettings,
     policy: &SupervisorPolicy,
 ) -> SupervisedSweepRun {
+    measure_sweep_supervised_on::<CpPll>(config, f_mod_hz, settings, policy)
+}
+
+/// [`measure_sweep_supervised`] on an explicit engine backend `E`. The
+/// supervisor's guardrails are engine-agnostic — step budgets count the
+/// engine's own work unit (micro-steps or committed event segments, see
+/// [`PllEngine::work_stats`]) and the retry ladder tightens whatever
+/// granularity the engine exposes via [`PllEngine::set_step_scale`].
+pub fn measure_sweep_supervised_on<E: AnalogAccess>(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+) -> SupervisedSweepRun {
     let tel = Collector::from_config(&settings.telemetry);
     let scenario = Scenario::new(config);
-    let swept = scenario.sweep_points_supervised::<CpPll, _, _>(
+    let swept = scenario.sweep_points_supervised::<E, _, _>(
         f_mod_hz,
         settings.threads,
         policy,
@@ -403,19 +454,33 @@ impl PointCodec for BenchPointCodec {
 }
 
 /// The campaign config digest of a bench sweep: hashes everything that
-/// determines the measured numbers — config, grid, the measurement
-/// settings and the supervisor policy — but **not** `threads`,
-/// `checkpoint` or `telemetry`, which never change results. A campaign
-/// killed on 16 threads may therefore resume on 1 and still produce the
-/// byte-identical file.
+/// determines the measured numbers — the engine backend, config, grid,
+/// the measurement settings and the supervisor policy — but **not**
+/// `threads`, `checkpoint` or `telemetry`, which never change results. A
+/// campaign killed on 16 threads may therefore resume on 1 and still
+/// produce the byte-identical file.
 pub fn bench_campaign_digest(
     config: &PllConfig,
     f_mod_hz: &[f64],
     settings: &BenchSettings,
     policy: &SupervisorPolicy,
 ) -> String {
+    bench_campaign_digest_on::<CpPll>(config, f_mod_hz, settings, policy)
+}
+
+/// [`bench_campaign_digest`] on an explicit engine backend `E`. The
+/// backend tag ([`PllEngine::backend_name`]) is part of the digest:
+/// engines agree physically but not bit for bit, so a results file
+/// produced by one backend must never be silently resumed by another.
+pub fn bench_campaign_digest_on<E: PllEngine>(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+) -> String {
     let salt = format!(
-        "bench|dev:{}|settle:{}|measure:{}|spp:{}|policy:{policy:?}",
+        "bench|engine:{}|dev:{}|settle:{}|measure:{}|spp:{}|policy:{policy:?}",
+        E::backend_name(),
         bits_hex(settings.deviation_hz),
         bits_hex(settings.settle_periods),
         bits_hex(settings.measure_periods),
@@ -445,11 +510,30 @@ pub fn measure_sweep_resumable(
     policy: &SupervisorPolicy,
     path: impl AsRef<std::path::Path>,
 ) -> Result<SupervisedSweepRun, CampaignError> {
-    let digest = bench_campaign_digest(config, f_mod_hz, settings, policy);
+    measure_sweep_resumable_on::<CpPll>(config, f_mod_hz, settings, policy, path)
+}
+
+/// [`measure_sweep_resumable`] on an explicit engine backend `E`. The
+/// campaign header carries the backend tag via
+/// [`bench_campaign_digest_on`], so a file written by one backend
+/// refuses to resume under another ([`CampaignError::HeaderMismatch`])
+/// instead of mixing engines' rounding in one output.
+///
+/// # Errors
+///
+/// Same as [`measure_sweep_resumable`].
+pub fn measure_sweep_resumable_on<E: AnalogAccess>(
+    config: &PllConfig,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+    policy: &SupervisorPolicy,
+    path: impl AsRef<std::path::Path>,
+) -> Result<SupervisedSweepRun, CampaignError> {
+    let digest = bench_campaign_digest_on::<E>(config, f_mod_hz, settings, policy);
     let log = CampaignLog::open(path, BenchPointCodec, digest, f_mod_hz.len())?;
     let tel = Collector::from_config(&settings.telemetry);
     let scenario = Scenario::new(config);
-    let swept = scenario.sweep_points_supervised_resumed::<CpPll, BenchPointCodec, _>(
+    let swept = scenario.sweep_points_supervised_resumed::<E, BenchPointCodec, _>(
         f_mod_hz,
         settings.threads,
         policy,
@@ -696,6 +780,54 @@ mod tests {
             measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path).expect("resume");
         assert_eq!(again.points, run.points);
         assert_eq!(std::fs::read_to_string(&path).expect("results file"), first);
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn event_driven_backend_measures_the_same_response() {
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0, 20.0];
+        let beh = measure_sweep_points(&cfg, &freqs, &quick());
+        let ev = measure_sweep_points_on::<crate::event_driven::EventDrivenCpPll>(
+            &cfg,
+            &freqs,
+            &quick(),
+        );
+        for (a, b) in ev.iter().zip(&beh) {
+            assert!(
+                (a.gain - b.gain).abs() / b.gain < 0.02,
+                "gain at {} Hz: {} vs {}",
+                a.f_mod_hz,
+                a.gain,
+                b.gain
+            );
+            assert!(
+                (a.phase - b.phase).abs() < 0.05,
+                "phase at {} Hz: {} vs {}",
+                a.f_mod_hz,
+                a.phase,
+                b.phase
+            );
+        }
+    }
+
+    #[test]
+    fn resumable_file_refuses_a_different_backend() {
+        use crate::event_driven::EventDrivenCpPll;
+        let cfg = PllConfig::paper_table3();
+        let freqs = [2.0, 8.0];
+        let settings = quick();
+        let policy = SupervisorPolicy::default();
+        let path = std::env::temp_dir().join("pllbist_bench_cross_engine.jsonl");
+        let _ = std::fs::remove_file(&path);
+        measure_sweep_resumable_on::<EventDrivenCpPll>(&cfg, &freqs, &settings, &policy, &path)
+            .expect("event-driven campaign");
+        // The same grid on the behavioural backend must refuse the file:
+        // the engines agree physically but not bit for bit, and a resume
+        // that mixed their rounding would break byte-identity.
+        let err = measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path)
+            .expect_err("cross-engine resume must be refused");
+        assert!(matches!(err, CampaignError::HeaderMismatch { .. }), "{err}");
         std::fs::remove_file(&path).expect("cleanup");
     }
 

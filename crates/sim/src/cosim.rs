@@ -687,6 +687,10 @@ impl PllEngine for MixedSignalPll {
         MixedSignalPll::restore(self, snapshot);
     }
 
+    fn backend_name() -> &'static str {
+        "mixed_signal"
+    }
+
     fn work_stats(&self) -> WorkStats {
         WorkStats {
             steps: self.steps,

@@ -5,13 +5,19 @@
 //! realised*. [`PllEngine`] is that claim as a trait: everything the
 //! Table 2 sequencer, the counters and the sweep pipeline need from a
 //! loop — time, stimulus programming, the hold mechanism, edge events,
-//! counter-style phase readout — with three implementations:
+//! counter-style phase readout — with four implementations:
 //!
-//! * [`crate::behavioral::CpPll`] — the event-driven behavioural engine;
+//! * [`crate::behavioral::CpPll`] — the micro-stepped behavioural engine,
+//!   the general path (ripple capacitors, VCO curvature/clamping, cold
+//!   start);
+//! * [`crate::event_driven::EventDrivenCpPll`] — the per-event
+//!   closed-form engine: exact scalar propagation between PFD switching
+//!   events, an order of magnitude faster on the first-order/linear
+//!   configuration class the campaigns sweep;
 //! * [`crate::cosim::MixedSignalPll`] — the gate-level co-simulation;
 //! * [`ClosedFormPll`] (here) — a thin adapter over
 //!   [`crate::linear::LoopAnalysis`] producing the closed-form
-//!   steady-state response, the analytic reference curve the other two
+//!   steady-state response, the analytic reference curve the others
 //!   are judged against.
 //!
 //! Each engine also exposes **lock-state checkpointing**
@@ -160,15 +166,37 @@ pub trait PllEngine {
     /// exactness contract).
     fn restore(&mut self, snapshot: &Self::Checkpoint);
 
-    /// Rescales the engine's internal integration micro-step (where one
-    /// exists) to `scale ×` its configuration default. The supervisor's
-    /// retry policy shrinks the step on re-attempts; engines without a
-    /// free-running step (closed form, event-exact paths) ignore it.
+    /// Rescales the engine's internal work granularity to `scale ×` its
+    /// configuration default, so the supervisor's retry ladder always
+    /// tightens *something real*:
+    ///
+    /// * micro-stepped engines shrink their free-running integration
+    ///   step;
+    /// * event-exact engines shrink their **event-subdivision guard**
+    ///   (the longest segment they will commit between events) —
+    ///   physics is unchanged, but re-attempts commit more, shorter
+    ///   segments;
+    /// * the closed-form adapter has no work granularity at all and
+    ///   ignores it (the default).
     ///
     /// A `scale` of exactly `1.0` must be a no-op bit for bit.
     fn set_step_scale(&mut self, _scale: f64) {}
 
+    /// Stable, human-readable backend tag (`"cp_pll"`,
+    /// `"event_driven"`, …). Campaign digests fold it in so a resumable
+    /// results file produced by one backend is never silently resumed by
+    /// another (backends agree physically but not bit for bit).
+    fn backend_name() -> &'static str
+    where
+        Self: Sized;
+
     /// Cumulative work counters since construction.
+    ///
+    /// `steps` counts the engine's own unit of committed work — ODE
+    /// micro-steps on [`crate::behavioral::CpPll`], closed-form segments
+    /// (effectively *events*) on
+    /// [`crate::event_driven::EventDrivenCpPll`] — so a supervisor step
+    /// budget is an engine-appropriate work budget on every backend.
     fn work_stats(&self) -> WorkStats;
 }
 
@@ -556,6 +584,10 @@ impl PllEngine for ClosedFormPll {
 
     fn restore(&mut self, snapshot: &ClosedFormPll) {
         *self = snapshot.clone();
+    }
+
+    fn backend_name() -> &'static str {
+        "closed_form"
     }
 
     fn work_stats(&self) -> WorkStats {

@@ -291,6 +291,61 @@ mod tests {
     }
 
     #[test]
+    fn error_kinds_stays_in_sync_with_the_variant_set() {
+        // One representative per variant, tagged through a
+        // **wildcard-free** match: adding a `SweepPointError` variant
+        // fails to compile this test until a representative (and its
+        // tag) is added here — and the assertions below then force the
+        // same extension onto `ERROR_KINDS`, in declaration order.
+        let wiring = crate::config::PllConfig::paper_table3()
+            .with_fault(Fault::PumpMismatch(1.2))
+            .map(|_| ())
+            .unwrap_err();
+        let representatives = [
+            SweepPointError::LockTimeout {
+                timeout_secs: 0.1,
+                consecutive_cycles: 3,
+                required_cycles: 16,
+            },
+            SweepPointError::NumericalDivergence {
+                t: 1.0,
+                quantity: "control_voltage",
+                value: f64::NAN,
+            },
+            SweepPointError::StepBudgetExhausted {
+                t: 1.0,
+                steps: 10,
+                budget: 5,
+            },
+            SweepPointError::FaultWiring(wiring),
+            SweepPointError::WorkerPanic {
+                message: "boom".into(),
+            },
+            SweepPointError::DegenerateFit { f_mod_hz: 8.0 },
+        ];
+        let tags: Vec<&'static str> = representatives
+            .iter()
+            .map(|e| match e {
+                SweepPointError::LockTimeout { .. } => "lock_timeout",
+                SweepPointError::NumericalDivergence { .. } => "numerical_divergence",
+                SweepPointError::StepBudgetExhausted { .. } => "step_budget_exhausted",
+                SweepPointError::FaultWiring(_) => "fault_wiring",
+                SweepPointError::WorkerPanic { .. } => "worker_panic",
+                SweepPointError::DegenerateFit { .. } => "degenerate_fit",
+            })
+            .collect();
+        // Every variant is represented exactly once, and the registry
+        // lists exactly these tags in declaration order.
+        assert_eq!(tags, ERROR_KINDS, "ERROR_KINDS out of sync");
+        for (e, tag) in representatives.iter().zip(&tags) {
+            assert_eq!(e.kind(), *tag, "kind() disagrees with the registry");
+        }
+        let mut deduped = tags.clone();
+        deduped.dedup();
+        assert_eq!(deduped.len(), representatives.len(), "duplicate tag");
+    }
+
+    #[test]
     fn retry_policy_splits_transient_from_structural() {
         assert!(SweepPointError::LockTimeout {
             timeout_secs: 0.1,

@@ -1,20 +1,27 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 //! Mixed-signal closed-loop CP-PLL simulation.
 //!
-//! Two engines share one component catalogue (`pllbist-analog`,
+//! Three engines share one component catalogue (`pllbist-analog`,
 //! `pllbist-digital`):
 //!
-//! * [`behavioral`] — an event-driven fast path: the PFD is an edge state
+//! * [`behavioral`] — the general fast path: the PFD is an edge state
 //!   machine, the loop filter is stepped **exactly** over constant-drive
 //!   segments, and reference/feedback edges are located by root finding.
-//!   This is the engine the BIST sweeps run on.
+//!   Handles every configuration (ripple capacitors, VCO curvature and
+//!   clamping, cold-start acquisition).
+//! * [`event_driven`] — the per-event closed-form path
+//!   (Kuznetsov–Yuldashev style): between PFD switching events the loop
+//!   collapses to a scalar affine ODE with closed-form state, output and
+//!   phase integral, so one evaluation replaces a run of micro-steps.
+//!   Order-of-magnitude faster on the first-order/linear configuration
+//!   class the BIST campaigns actually sweep.
 //! * [`cosim`] — gate-level co-simulation: the digital side (DCO, dividers,
 //!   PFDs, counters, the paper's fig. 7 peak detector) runs in the
 //!   `pllbist-digital` event kernel with real propagation delays while the
 //!   analogue loop integrates between events. Used to validate the fast
 //!   path and to regenerate the waveform-level figures.
 //!
-//! Both engines (plus the closed-form reference adapter) implement the
+//! All of them (plus the closed-form reference adapter) implement the
 //! [`engine::PllEngine`] trait, so the BIST monitor and every sweep
 //! drive them interchangeably; [`scenario`] owns the shared
 //! settle→stimulate→capture pipeline with lock-state checkpointing.
@@ -52,6 +59,7 @@ pub mod config;
 pub mod cosim;
 pub mod engine;
 pub mod error;
+pub mod event_driven;
 pub mod linear;
 pub mod lock;
 pub mod noise;
@@ -68,6 +76,7 @@ pub use campaign::{CampaignLog, PointCodec};
 pub use config::PllConfig;
 pub use engine::{AnalogAccess, ClosedFormPll, PllEngine, WorkStats};
 pub use error::{CampaignError, SweepPointError, ERROR_KINDS};
+pub use event_driven::EventDrivenCpPll;
 pub use linear::LoopAnalysis;
 pub use observe::{CampaignObserver, ObservatoryConfig};
 pub use server::{http_get, StatusServer};

@@ -237,8 +237,8 @@ impl FmStimulus {
     /// The time of the next rising reference edge strictly after `t`
     /// (edge `k` occurs at `phase_cycles = k`).
     ///
-    /// Solved with bisection on the monotone phase function; accurate to
-    /// ~1 fs relative to the edge period.
+    /// Solved by safeguarded Newton on the monotone phase function;
+    /// accurate to ~1 fs.
     pub fn next_edge_after(&self, t: f64) -> f64 {
         self.time_at_phase(self.phase_cycles(t).floor() + 1.0, t)
     }
@@ -268,19 +268,53 @@ impl FmStimulus {
         while self.phase_cycles(hi) < target {
             hi += 0.1 / self.f_nominal_hz;
         }
+        // Newton on the monotone phase — the derivative is the
+        // instantaneous frequency, bounded away from zero — safeguarded
+        // by the bracket, with bisection only when a candidate escapes
+        // it. Every engine backend schedules each reference edge through
+        // here, so the handful-of-iterations convergence (vs ~50 pure
+        // bisections to femtosecond width) is on the per-edge hot path.
+        let tol = 1e-15 * hi.max(1.0);
+        let mut cand = lo;
         for _ in 0..200 {
-            if hi - lo < 1e-15 * hi.max(1.0) {
+            if hi - lo < tol {
                 break;
             }
-            let mid = 0.5 * (lo + hi);
-            if mid == lo || mid == hi {
-                break;
+            if cand <= lo || cand >= hi {
+                cand = 0.5 * (lo + hi);
+                if cand <= lo || cand >= hi {
+                    break;
+                }
             }
-            if self.phase_cycles(mid) < target {
-                lo = mid;
+            let phi = self.phase_cycles(cand);
+            if phi < target {
+                lo = cand;
             } else {
-                hi = mid;
+                hi = cand;
             }
+            let f = self.frequency_at(cand);
+            if f <= 0.0 {
+                cand = 0.5 * (lo + hi);
+                continue;
+            }
+            let delta = (target - phi) / f;
+            if delta.abs() <= tol {
+                // Converged. Honour the at-or-past-target return
+                // contract (a subsequent call starting from the returned
+                // time must not rediscover the same edge, which would
+                // double-arm the PFD): the candidate itself when it
+                // already crossed, else one nudged evaluation past the
+                // root, else the tightened upper bracket.
+                if phi >= target {
+                    return cand;
+                }
+                let past = (cand + delta + tol).min(hi);
+                if self.phase_cycles(past) >= target {
+                    return past;
+                }
+                return hi;
+            }
+            cand += delta;
         }
         // Return the upper bracket: its phase is ≥ the integer target, so a
         // subsequent call starting from the returned time cannot rediscover

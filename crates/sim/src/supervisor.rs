@@ -7,16 +7,30 @@
 //!
 //! * [`Supervised`] wraps any [`PllEngine`] and checks guardrails after
 //!   every `advance_to` call — NaN/Inf on the control voltage, VCO
-//!   frequency and phase; control-voltage range/rail-pinning; a solver
-//!   step budget. All checks are **read-only**, so a supervised healthy
+//!   frequency and phase; control-voltage range/rail-pinning; a work
+//!   budget. All checks are **read-only**, so a supervised healthy
 //!   run is bitwise identical to an unsupervised one.
 //! * [`supervised_point`] executes one sweep point under
 //!   [`std::panic::catch_unwind`], retrying per [`SupervisorPolicy`]
-//!   (fresh engine, halved integration micro-step, extended settle) and
+//!   (fresh engine, halved work granularity, extended settle) and
 //!   quarantining the point as a typed [`SweepPointError`] when retries
 //!   are exhausted. Every decision is recorded as an [`Incident`] and —
 //!   when telemetry is enabled — as a `supervisor.incident` JSONL
 //!   record.
+//!
+//! The guardrail sampling contract is **engine-agnostic**: guardrails
+//! observe only the [`PllEngine`] surface (control voltage, frequency,
+//! phase, [`PllEngine::work_stats`]), never an engine's integration
+//! internals. The "step" budget counts whatever `work_stats().steps`
+//! means on the backend at hand — ODE micro-steps on the micro-stepped
+//! [`crate::behavioral::CpPll`], committed closed-form segments (an
+//! *event budget*) on the per-event
+//! [`crate::event_driven::EventDrivenCpPll`] — and the retry ladder's
+//! [`PllEngine::set_step_scale`] tightens the engine's own work
+//! granularity (micro-step or event-subdivision guard). Because the
+//! event engine commits *fewer* units per simulated second than the
+//! micro-stepped engine, a budget tuned for `CpPll` is conservative, not
+//! tight, on `EventDrivenCpPll`.
 //!
 //! A tripped guardrail aborts the in-flight point via
 //! [`std::panic::panic_any`] with the typed error as payload; the
@@ -50,14 +64,17 @@ pub struct SupervisorPolicy {
     /// `max_retries + 1`). Only [`SweepPointError::is_retryable`]
     /// failures are retried.
     pub max_retries: u32,
-    /// Integration micro-step multiplier per retry attempt: attempt `k`
-    /// runs at `retry_step_scale^k` (default 0.5 — halved step each
-    /// retry).
+    /// Work-granularity multiplier per retry attempt: attempt `k` runs
+    /// at `retry_step_scale^k` (default 0.5 — halved each retry).
+    /// Applied via [`PllEngine::set_step_scale`]: the integration
+    /// micro-step on micro-stepped engines, the event-subdivision guard
+    /// on event-exact engines.
     pub retry_step_scale: f64,
     /// Lock-settle multiplier per retry attempt: attempt `k` settles
     /// for `retry_settle_scale^k` times the scenario's wait.
     pub retry_settle_scale: f64,
-    /// Solver steps one point may spend before
+    /// Work units (`work_stats().steps` — micro-steps or committed
+    /// event segments, per backend) one point may spend before
     /// [`SweepPointError::StepBudgetExhausted`] trips (`0` = unlimited).
     pub step_budget: u64,
     /// Control-voltage rails `(lo, hi)`; `None` derives them from the
@@ -400,6 +417,10 @@ impl<E: PllEngine> PllEngine for Supervised<E> {
 
     fn set_step_scale(&mut self, scale: f64) {
         self.inner.set_step_scale(scale);
+    }
+
+    fn backend_name() -> &'static str {
+        E::backend_name()
     }
 
     fn work_stats(&self) -> WorkStats {

@@ -82,6 +82,16 @@ PLLBIST_ABL13_POINTS=8 cargo run --release --offline -p pllbist-bench \
 head -1 "$abl13_out" | grep -q '"type":"run"' \
   || { echo "abl13 smoke: missing JSONL run header"; exit 1; }
 
+echo "==> abl14 event-driven-speedup smoke (offline, JSONL sink)"
+# One rep through both engine backends: the bin itself asserts the two
+# land on the same Bode points and that the event-driven engine clears
+# its ≥5× median-speedup floor over the micro-stepped engine.
+abl14_out="target/abl14-smoke.jsonl"
+PLLBIST_ABL14_REPS=1 cargo run --release --offline -p pllbist-bench \
+  --bin abl14_event_driven_speedup -- --jsonl "$abl14_out"
+head -1 "$abl14_out" | grep -q '"type":"run"' \
+  || { echo "abl14 smoke: missing JSONL run header"; exit 1; }
+
 echo "==> bench ledger regression gate"
 cargo run --release --offline -p pllbist-bench \
   --bin bench_ledger_gate -- --ledger "$ledger"
