@@ -6,6 +6,7 @@ use pllbist::counter::{FrequencyCounter, PhaseCounter};
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_sim::bench_measure::{measure_point, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, CpPll, Scheduler};
 use pllbist_testkit::Bench;
 
 fn bench_single_tone(c: &mut Bench) {
@@ -24,8 +25,9 @@ fn bench_single_tone(c: &mut Bench) {
             ..MonitorSettings::fast()
         };
         let monitor = TransferFunctionMonitor::new(settings);
+        let plan = CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial);
         group.bench_function(name, |b| {
-            b.iter(|| monitor.measure(&cfg).points[0].delta_f_hz)
+            b.iter(|| monitor.measure(&plan).expect_healthy().points[0].delta_f_hz)
         });
     }
     group.finish();
@@ -42,7 +44,7 @@ fn bench_baseline_point(c: &mut Bench) {
     group.sample_size(10);
     group.bench_function("point_8hz", |b| {
         b.iter(|| {
-            measure_point(&cfg, 8.0, &settings)
+            measure_point::<CpPll>(&cfg, 8.0, &settings)
                 .expect("bench point")
                 .gain
         })

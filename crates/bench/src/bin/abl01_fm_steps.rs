@@ -2,22 +2,39 @@
 //! FSK steps does the DCO need before the discrete modulation measures
 //! like true sinusoidal FM? Quantifies the paper's "ten-step FS closely
 //! corresponds to the ideal sinusoidal FM" claim and locates the knee.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the sweeps.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::CampaignPlan;
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 
-fn sweep(kind: StimulusKind, freqs: &[f64], report: &mut RunReport) -> Vec<f64> {
+fn sweep(
+    kind: StimulusKind,
+    freqs: &[f64],
+    report: &mut RunReport,
+    board: &ProgressBoard,
+) -> Vec<f64> {
     let cfg = PllConfig::paper_table3();
     let settings = MonitorSettings {
         stimulus: kind,
         mod_frequencies_hz: freqs.to_vec(),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
-    let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+    let plan = CampaignPlan::new(cfg).telemetry(report.telemetry_config());
+    let t0 = Instant::now();
+    let result = TransferFunctionMonitor::new(settings)
+        .measure(&plan)
+        .expect_healthy();
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
     report.extend(result.telemetry);
     let r = result.points[0].delta_f_hz.abs();
     result
@@ -30,13 +47,28 @@ fn sweep(kind: StimulusKind, freqs: &[f64], report: &mut RunReport) -> Vec<f64> 
 fn main() {
     let mut report = RunReport::from_args("abl01_fm_steps");
     let freqs = [1.0, 4.0, 6.3, 8.0, 12.0, 25.0];
+    let step_counts = [2usize, 3, 4, 6, 10, 20];
     println!("abl01 — FSK step count vs sine-equivalence (paper fig. 11 claim)\n");
-    let sine = sweep(StimulusKind::PureSine, &freqs, &mut report);
+
+    // Coarse `--progress` feed: one board tick per full sweep.
+    let board = Arc::new(ProgressBoard::new(1 + step_counts.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl01",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let sine = sweep(StimulusKind::PureSine, &freqs, &mut report, &board);
 
     println!(" steps | RMS dev from sine (dB) | max dev (dB)");
     println!(" ------+------------------------+-------------");
-    for steps in [2usize, 3, 4, 6, 10, 20] {
-        let fsk = sweep(StimulusKind::MultiTone { steps }, &freqs, &mut report);
+    for steps in step_counts {
+        let fsk = sweep(
+            StimulusKind::MultiTone { steps },
+            &freqs,
+            &mut report,
+            &board,
+        );
         let devs: Vec<f64> = sine.iter().zip(&fsk).map(|(a, b)| (a - b).abs()).collect();
         let rms = (devs.iter().map(|d| d * d).sum::<f64>() / devs.len() as f64).sqrt();
         let max = devs.iter().copied().fold(0.0, f64::max);
@@ -46,6 +78,7 @@ fn main() {
             fields![steps = steps, rms_db = rms, max_db = max],
         );
     }
+    drop(progress);
     println!(
         "\nshape check: the error collapses by ~4 steps and is negligible at 10 —\n\
          the paper's choice of ten steps sits comfortably past the knee, exactly\n\

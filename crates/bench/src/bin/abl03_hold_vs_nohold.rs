@@ -8,10 +8,18 @@
 //! resolution collapses at fast tones. The price: the hold freezes the
 //! *capacitor* state, so the readout follows the hold-referred (no-zero)
 //! response rather than the full one — both theoretical curves are shown.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the two sweeps.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{CaptureMode, MonitorSettings, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::CampaignPlan;
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -22,23 +30,35 @@ fn main() {
         mod_frequencies_hz: freqs.clone(),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     println!("abl03 — hold-and-count vs short gated count\n");
 
-    let hold = TransferFunctionMonitor::new(MonitorSettings {
-        capture: CaptureMode::HoldAndCount,
-        ..base.clone()
-    })
-    .measure(&cfg);
-    let gated = TransferFunctionMonitor::new(MonitorSettings {
-        capture: CaptureMode::GatedCount {
-            gate_fraction: 0.05,
-        },
-        ..base
-    })
-    .measure(&cfg);
+    // Coarse `--progress` feed: one tick per capture-mode sweep.
+    let board = Arc::new(ProgressBoard::new(2, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl03",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let plan = CampaignPlan::new(cfg.clone()).telemetry(report.telemetry_config());
+    let sweep = |capture: CaptureMode| {
+        let t0 = Instant::now();
+        let result = TransferFunctionMonitor::new(MonitorSettings {
+            capture,
+            ..base.clone()
+        })
+        .measure(&plan)
+        .expect_healthy();
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
+        result
+    };
+    let hold = sweep(CaptureMode::HoldAndCount);
+    let gated = sweep(CaptureMode::GatedCount {
+        gate_fraction: 0.05,
+    });
+    drop(progress);
     report.extend(hold.telemetry.clone());
     report.extend(gated.telemetry.clone());
     for (i, &f) in freqs.iter().enumerate() {

@@ -6,11 +6,18 @@
 //! strobes); too large and genuine lead pulses near the flip are
 //! swallowed (late strobes). This ablation sweeps the delay and counts
 //! strobes per modulation period.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the delay points.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::testbench::{run_fig8, TestbenchOptions};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_digital::time::SimTime;
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 
 fn main() {
     let mut report = RunReport::from_args("abl04_glitch_widening");
@@ -21,14 +28,25 @@ fn main() {
     // 4.2 ns sits barely above the ~4 ns glitches (marginal filtering);
     // 120 µs exceeds the typical monitoring-pulse width (~63 µs), so real
     // pulses get swallowed.
-    for judge_ps in [
+    let delays = [
         4_200u64,
         10_000,
         100_000,
         1_000_000,
         20_000_000,
         120_000_000,
-    ] {
+    ];
+
+    // Coarse `--progress` feed: one tick per judge-delay point.
+    let board = Arc::new(ProgressBoard::new(delays.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl04",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    for judge_ps in delays {
+        let t0 = Instant::now();
         let opts = TestbenchOptions {
             judge_delay: SimTime::from_ps(judge_ps),
             settle_secs: 0.6,
@@ -37,6 +55,7 @@ fn main() {
             ..TestbenchOptions::default()
         };
         let capture = run_fig8(&cfg, &opts);
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
         let n_max = capture.mfreq_times.len();
         let n_min = capture.minfreq_times.len();
         // Timing quality: offset of each MFREQ strobe from the nearest
@@ -84,6 +103,7 @@ fn main() {
             ],
         );
     }
+    drop(progress);
     println!(
         "\nshape check: a wide plateau of clean detection between the glitch width\n\
          (~4 ns) and the minimum real pulse width near the flip — the design margin\n\

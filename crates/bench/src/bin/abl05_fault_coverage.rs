@@ -20,7 +20,7 @@ use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
 use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_sim::{SupervisorPolicy, SweepPointError};
+use pllbist_sim::{CampaignPlan, Scheduler, SupervisorPolicy, SweepPointError};
 use pllbist_telemetry::{fields, ProgressBoard, Record, RunReport};
 use std::sync::Arc;
 
@@ -32,10 +32,18 @@ fn main() {
         mod_frequencies_hz: pllbist_sim::bench_measure::log_spaced(1.0, 30.0, 8),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     });
-    let golden_result = monitor.measure_supervised(&golden_cfg, &policy);
+    // Each device runs a *serial* supervised plan — the campaign itself
+    // fans out across cores below, one device per worker.
+    let telemetry_cfg = report.telemetry_config();
+    let device_plan = |cfg: &PllConfig| {
+        CampaignPlan::new(cfg.clone())
+            .supervised(policy.clone())
+            .scheduler(Scheduler::Serial)
+            .telemetry(telemetry_cfg.clone())
+    };
+    let golden_result = monitor.measure(&device_plan(&golden_cfg));
     report.extend(golden_result.telemetry.clone());
     let golden = golden_result
         .estimate()
@@ -69,7 +77,7 @@ fn main() {
                 .with_fault(fault)
                 .map_err(SweepPointError::from)
                 .map(|cfg| {
-                    let result = monitor.measure_supervised(&cfg, &policy);
+                    let result = monitor.measure(&device_plan(&cfg));
                     (
                         // A fully quarantined device is a typed
                         // DegenerateFit; it fails the BIST outright

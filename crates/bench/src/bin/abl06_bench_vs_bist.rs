@@ -6,11 +6,20 @@
 //! response; the hold-and-count BIST reads the *hold-referred* one. Each
 //! is compared against its own theory — the residuals quantify how little
 //! accuracy the analogue probe actually buys.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the two sweeps.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
+use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::bench_measure::{measure_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::CampaignPlan;
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -19,8 +28,18 @@ fn main() {
     let freqs = vec![1.0, 3.0, 6.0, 8.0, 12.0, 20.0, 35.0];
     println!("abl06 — bench (analogue access) vs BIST (digital only)\n");
 
-    let bench = measure_sweep(
-        &cfg,
+    // Coarse `--progress` feed: one tick per sweep (bench, then BIST).
+    let board = Arc::new(ProgressBoard::new(2, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl06",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let plan = CampaignPlan::new(cfg.clone()).telemetry(report.telemetry_config());
+    let t0 = Instant::now();
+    let bench = measure_sweep::<CpPll>(
+        &plan,
         &freqs,
         &BenchSettings {
             settle_periods: 3.0,
@@ -28,15 +47,19 @@ fn main() {
             ..BenchSettings::default()
         },
     );
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
+    let t0 = Instant::now();
     let bist = TransferFunctionMonitor::new(MonitorSettings {
         stimulus: StimulusKind::PureSine,
         mod_frequencies_hz: freqs.clone(),
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     })
-    .measure(&cfg);
+    .measure(&plan)
+    .expect_healthy();
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
+    drop(progress);
     report.extend(bist.telemetry.clone());
 
     let a = cfg.analysis();

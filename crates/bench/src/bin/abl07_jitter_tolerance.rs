@@ -3,12 +3,20 @@
 //! measurement stops being trustworthy? Sweeps the injected RMS edge
 //! jitter and reports the error of the in-band and resonance points
 //! against the noiseless run.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the jitter points.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::noise::NoiseConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::{CampaignPlan, Scheduler};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 
 fn main() {
     let mut report = RunReport::from_args("abl07_jitter_tolerance");
@@ -17,13 +25,30 @@ fn main() {
         mod_frequencies_hz: vec![1.0, 6.3, 25.0],
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     let monitor = TransferFunctionMonitor::new(settings);
     println!("abl07 — BIST accuracy vs RMS edge jitter (1 ms reference period)\n");
 
-    let clean = monitor.measure(&cfg);
+    let jitters = [0.0, 1e-6, 5e-6, 20e-6, 50e-6, 100e-6];
+    // Coarse `--progress` feed: the clean sweep plus one tick per jitter
+    // level.
+    let board = Arc::new(ProgressBoard::new(1 + jitters.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "abl07",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let telemetry_cfg = report.telemetry_config();
+    // Serial: the clean baseline must stay bitwise comparable to the
+    // serial device walks below (zero-jitter row reads exactly 0 dB).
+    let plan = CampaignPlan::new(cfg.clone())
+        .scheduler(Scheduler::Serial)
+        .telemetry(telemetry_cfg.clone());
+    let t0 = Instant::now();
+    let clean = monitor.measure(&plan).expect_healthy();
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
     report.extend(clean.telemetry.clone());
     let clean_rel: Vec<f64> = clean
         .points
@@ -33,12 +58,17 @@ fn main() {
 
     println!(" jitter RMS | peak A_F err (dB) | rolloff A_F err (dB) | phase@peak err (°)");
     println!(" -----------+-------------------+----------------------+-------------------");
-    for rms in [0.0, 1e-6, 5e-6, 20e-6, 50e-6, 100e-6] {
+    for rms in jitters {
+        // A noisy device cannot be re-settled from config (the noise
+        // state lives on the engine), so it walks the monitor's serial
+        // device path on a caller-prepared engine.
         let mut pll = CpPll::new_locked(&cfg);
         if rms > 0.0 {
             pll.set_noise(Some(NoiseConfig::symmetric(rms, 2_026)));
         }
-        let noisy = monitor.measure_on(&mut pll);
+        let t0 = Instant::now();
+        let noisy = monitor.measure_device(&mut pll, &telemetry_cfg);
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
         report.extend(noisy.telemetry.clone());
         let rel: Vec<f64> = noisy
             .points
@@ -64,6 +94,7 @@ fn main() {
             ],
         );
     }
+    drop(progress);
     println!(
         "\nshape check: negligible error at 1 µs RMS (0.1 % period jitter), a few dB\n\
          through 5-50 µs as the peak-capture instant wanders, and collapse of the\n\

@@ -1,9 +1,9 @@
 //! **Ablation abl08** — wall-clock scaling of the parallel sweep engine.
 //!
-//! Runs the same 12-tone bench-style transfer-function sweep serially
-//! (`threads = 1`) and with one worker per available core (`threads = 0`),
-//! checks the two result vectors are bitwise identical (each modulation
-//! point is measured on its own freshly built loop — see
+//! Runs the same 12-tone bench-style transfer-function sweep with a
+//! serial plan and with a work-stealing plan (one worker per available
+//! core), checks the two result vectors are bitwise identical (each
+//! modulation point is measured on its own freshly built loop — see
 //! `pllbist_sim::parallel`), and reports the measured speedup.
 //!
 //! On a single-core host the two runs are the same code path and the
@@ -12,11 +12,11 @@
 //! over the two timed runs.
 
 use pllbist_bench::progress::{ProgressLine, ProgressSource};
-use pllbist_sim::bench_measure::{
-    log_spaced, measure_sweep_points, measure_sweep_run, BenchSettings,
-};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, run_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::parallel::available_parallelism;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::sync::Arc;
 use std::time::Instant;
@@ -25,10 +25,14 @@ fn main() {
     let mut report = RunReport::from_args("abl08_parallel_speedup");
     let cfg = PllConfig::paper_table3();
     let tones = log_spaced(1.0, 40.0, 12);
-    let settings = |threads| BenchSettings {
-        threads,
-        telemetry: report.telemetry_config(),
-        ..BenchSettings::default()
+    let settings = BenchSettings::default();
+    let plan = |threads| {
+        CampaignPlan::new(cfg.clone())
+            .scheduler(match threads {
+                1 => Scheduler::Serial,
+                threads => Scheduler::WorkStealing { threads },
+            })
+            .telemetry(report.telemetry_config())
     };
     let cores = available_parallelism();
     println!(
@@ -47,21 +51,24 @@ fn main() {
     );
 
     // Warm-up pass so neither timed run pays first-touch costs.
-    let _ = measure_sweep_points(&cfg, &tones[..2], &settings(1));
+    let _ = measure_sweep_points::<CpPll>(&plan(1), &tones[..2], &settings);
 
     let t0 = Instant::now();
-    let serial = measure_sweep_run(&cfg, &tones, &settings(1));
+    let serial = run_sweep::<CpPll>(&plan(1), &tones, &settings).expect("serial sweep");
     let dt_serial = t0.elapsed();
     board.point_done(0, true, dt_serial.as_secs_f64());
 
     let t1 = Instant::now();
-    let parallel = measure_sweep_run(&cfg, &tones, &settings(0));
+    let parallel = run_sweep::<CpPll>(&plan(0), &tones, &settings).expect("parallel sweep");
     let dt_parallel = t1.elapsed();
     board.point_done(0, true, dt_parallel.as_secs_f64());
     drop(progress);
 
+    assert_eq!(serial.quarantined_count(), 0, "healthy grid");
+    assert_eq!(parallel.quarantined_count(), 0, "healthy grid");
     assert_eq!(
-        serial.points, parallel.points,
+        serial.ok_points(),
+        parallel.ok_points(),
         "parallel sweep must be bitwise identical to serial"
     );
     report.extend(serial.telemetry);

@@ -27,6 +27,7 @@ use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
 use pllbist_sim::supervisor::PointOutcome;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::{fields, ProgressBoard, RunReport, TelemetryConfig};
 use pllbist_testkit::bench::{format_secs, median_mad};
 use std::sync::Arc;
@@ -34,15 +35,21 @@ use std::time::Instant;
 
 const TONES: [f64; 3] = [2.0, 8.0, 25.0];
 
-fn workload(telemetry: TelemetryConfig) -> TransferFunctionMonitor {
+fn workload() -> TransferFunctionMonitor {
     TransferFunctionMonitor::new(MonitorSettings {
         mod_frequencies_hz: TONES.to_vec(),
         settle_periods: 1.5,
         loop_settle_secs: 0.2,
-        threads: 1,
-        telemetry,
         ..MonitorSettings::fast()
     })
+}
+
+/// A serial plan carrying the variant's telemetry config — the only
+/// knob that differs between variants, and it lives on the plan.
+fn plan(cfg: &PllConfig, telemetry: TelemetryConfig) -> CampaignPlan {
+    CampaignPlan::new(cfg.clone())
+        .scheduler(Scheduler::Serial)
+        .telemetry(telemetry)
 }
 
 /// The observatory bookkeeping a fully observed campaign performs for
@@ -70,13 +77,14 @@ fn main() {
         .unwrap_or(15)
         .max(5);
     let cfg = PllConfig::paper_table3();
+    let monitor = workload();
     let variants = [
-        ("baseline", workload(TelemetryConfig::default()), false),
-        ("disabled", workload(TelemetryConfig::disabled()), false),
-        ("enabled", workload(TelemetryConfig::enabled()), false),
+        ("baseline", plan(&cfg, TelemetryConfig::default()), false),
+        ("disabled", plan(&cfg, TelemetryConfig::disabled()), false),
+        ("enabled", plan(&cfg, TelemetryConfig::enabled()), false),
         (
             "enabled+recorder",
-            workload(TelemetryConfig::enabled()),
+            plan(&cfg, TelemetryConfig::enabled()),
             true,
         ),
     ];
@@ -96,16 +104,16 @@ fn main() {
     );
 
     // Warm-up: one run per variant so no variant pays first-touch costs.
-    for (_, monitor, _) in &variants {
-        std::hint::black_box(monitor.measure(&cfg));
+    for (_, variant_plan, _) in &variants {
+        std::hint::black_box(monitor.measure(variant_plan));
     }
 
     // Interleaved sampling: each round times every variant once.
     let mut times: Vec<Vec<f64>> = vec![Vec::with_capacity(samples); variants.len()];
     for _ in 0..samples {
-        for (i, (_, monitor, with_recorder)) in variants.iter().enumerate() {
+        for (i, (_, variant_plan, with_recorder)) in variants.iter().enumerate() {
             let started = Instant::now();
-            std::hint::black_box(monitor.measure(&cfg));
+            std::hint::black_box(monitor.measure(variant_plan));
             if *with_recorder {
                 let wall = started.elapsed().as_secs_f64() / TONES.len() as f64;
                 for index in 0..TONES.len() {

@@ -18,8 +18,10 @@
 //! renders an in-place status line over the timed runs.
 
 use pllbist_bench::progress::{ProgressLine, ProgressSource};
-use pllbist_sim::bench_measure::{log_spaced, measure_sweep_run, BenchSettings};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::bench_measure::{log_spaced, run_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::sync::Arc;
 use std::time::Instant;
@@ -37,11 +39,14 @@ fn main() {
         .and_then(|v| v.parse().ok())
         .unwrap_or(1.5);
     let telemetry = report.telemetry_config();
-    let settings = move |checkpoint| BenchSettings {
-        threads: 1,
-        checkpoint,
-        telemetry: telemetry.clone(),
-        ..BenchSettings::default()
+    let settings = BenchSettings::default();
+    // Serial either way: the ratio isolates checkpointing from
+    // core-count scaling.
+    let plan = move |checkpoint| {
+        CampaignPlan::new(cfg.clone())
+            .scheduler(Scheduler::Serial)
+            .checkpoint(checkpoint)
+            .telemetry(telemetry.clone())
     };
     println!(
         "abl10 — lock-checkpoint speedup ({} tones at 25–50 Hz, {} rep(s), serial)\n",
@@ -59,24 +64,27 @@ fn main() {
     );
 
     // Warm-up pass so neither timed run pays first-touch costs.
-    let _ = measure_sweep_run(&cfg, &tones[..2], &settings(true));
+    let _ = run_sweep::<CpPll>(&plan(true), &tones[..2], &settings);
 
     let mut ratios = Vec::with_capacity(reps);
     let mut scratch_secs = 0.0;
     let mut ckpt_secs = 0.0;
     for rep in 0..reps {
         let t0 = Instant::now();
-        let scratch = measure_sweep_run(&cfg, &tones, &settings(false));
+        let scratch = run_sweep::<CpPll>(&plan(false), &tones, &settings).expect("scratch sweep");
         let dt_scratch = t0.elapsed();
         board.point_done(0, true, dt_scratch.as_secs_f64());
 
         let t1 = Instant::now();
-        let ckpt = measure_sweep_run(&cfg, &tones, &settings(true));
+        let ckpt = run_sweep::<CpPll>(&plan(true), &tones, &settings).expect("checkpoint sweep");
         let dt_ckpt = t1.elapsed();
         board.point_done(0, true, dt_ckpt.as_secs_f64());
 
+        assert_eq!(scratch.quarantined_count(), 0, "healthy grid");
+        assert_eq!(ckpt.quarantined_count(), 0, "healthy grid");
         assert_eq!(
-            scratch.points, ckpt.points,
+            scratch.ok_points(),
+            ckpt.ok_points(),
             "checkpointed sweep must be bitwise identical to from-scratch"
         );
         report.extend(scratch.telemetry);

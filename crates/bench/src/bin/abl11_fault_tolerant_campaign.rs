@@ -21,7 +21,9 @@ use pllbist_sim::config::PllConfig;
 use pllbist_sim::lock::{wait_for_lock, LockDetector};
 use pllbist_sim::scenario::Scenario;
 use pllbist_sim::stimulus::FmStimulus;
-use pllbist_sim::{PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_sim::{
+    CampaignPlan, NullCodec, PllEngine, Scheduler, SupervisorPolicy, SweepPointError,
+};
 use pllbist_telemetry::{fields, Collector, ProgressBoard, RunReport};
 use std::sync::Arc;
 
@@ -112,12 +114,20 @@ fn main() {
         mod_frequencies_hz: tones.to_vec(),
         settle_periods: 2.5,
         loop_settle_secs: 0.25,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
     let monitor = TransferFunctionMonitor::new(settings);
-    let baseline = monitor.measure(&cfg);
-    let healthy = monitor.measure_supervised(&cfg, &policy);
+    let telemetry_cfg = report.telemetry_config();
+    let serial_plan = move |device_cfg: &PllConfig| {
+        CampaignPlan::new(device_cfg.clone())
+            .scheduler(Scheduler::Serial)
+            .telemetry(telemetry_cfg.clone())
+    };
+    let ok_count = |points: &[Result<pllbist::monitor::MonitorPoint, SweepPointError>]| {
+        points.iter().filter(|p| p.is_ok()).count()
+    };
+    let baseline = monitor.measure(&serial_plan(&cfg)).expect_healthy();
+    let healthy = monitor.measure(&serial_plan(&cfg).supervised(policy.clone()));
     report.extend(healthy.telemetry.clone());
     let bitwise_ok = healthy.points.len() == baseline.points.len()
         && healthy
@@ -128,13 +138,13 @@ fn main() {
     let r = row(
         "healthy",
         healthy.points.len(),
-        healthy.ok_count(),
+        ok_count(&healthy.points),
         &healthy.incidents,
         &mut report,
     );
     tally(
         r,
-        !bitwise_ok || healthy.ok_count() != tones.len() || !healthy.incidents.is_empty(),
+        !bitwise_ok || ok_count(&healthy.points) != tones.len() || !healthy.incidents.is_empty(),
     );
 
     // Device 2: NaN VCO curvature — the control path diverges on the
@@ -142,7 +152,7 @@ fn main() {
     // numerical_divergence and the sweep still finishes.
     let mut sick_cfg = cfg.clone();
     sick_cfg.vco_curvature = (f64::NAN, 0.0);
-    let sick = monitor.measure_supervised(&sick_cfg, &policy);
+    let sick = monitor.measure(&serial_plan(&sick_cfg).supervised(policy.clone()));
     report.extend(sick.telemetry.clone());
     let sick_typed = sick
         .points
@@ -151,11 +161,11 @@ fn main() {
     let r = row(
         "nan_vco",
         sick.points.len(),
-        sick.ok_count(),
+        ok_count(&sick.points),
         &sick.incidents,
         &mut report,
     );
-    tally(r, sick.ok_count() != 0 || !sick_typed);
+    tally(r, ok_count(&sick.points) != 0 || !sick_typed);
 
     // Device 3: lock watchdog — every point demands a re-lock onto a
     // detuning far outside the capture range, under a timeout that can
@@ -163,12 +173,20 @@ fn main() {
     // deterministically, then the point quarantines as lock_timeout.
     let tel = Collector::from_config(&report.telemetry_config());
     let scenario = Scenario::with_lock_settle(&cfg, 0.1);
-    let detuned =
-        scenario.sweep_points_supervised::<CpPll, _, _>(&tones, 0, &policy, &tel, |pll, _fm| {
+    let detuned = scenario.run_points::<CpPll, NullCodec<()>, _>(
+        &tones,
+        0,
+        true,
+        Some(&policy),
+        &tel,
+        None,
+        None,
+        |pll, _fm| {
             pll.set_stimulus(FmStimulus::constant(1_000.0, 150.0));
             let mut detector = LockDetector::new(20e-6, 64);
             wait_for_lock(pll, &mut detector, 0.02).map(|_| ())
-        });
+        },
+    );
     report.extend(tel.drain());
     let detuned_typed = detuned
         .points
@@ -198,15 +216,23 @@ fn main() {
     // (non-deterministic by definition), and the low tones still
     // measure.
     let tel = Collector::from_config(&report.telemetry_config());
-    let panicky =
-        scenario.sweep_points_supervised::<CpPll, _, _>(&tones, 0, &policy, &tel, |pll, fm| {
+    let panicky = scenario.run_points::<CpPll, NullCodec<f64>, _>(
+        &tones,
+        0,
+        true,
+        Some(&policy),
+        &tel,
+        None,
+        None,
+        |pll, fm| {
             if fm >= 20.0 {
                 panic!("seeded fault in point task at {fm} Hz");
             }
             let t = pll.time();
             pll.advance_to(t + 0.05);
             Ok(pll.control_voltage())
-        });
+        },
+    );
     report.extend(tel.drain());
     let seeded = tones.iter().filter(|&&fm| fm >= 20.0).count();
     let panics_typed = panicky.points.iter().zip(&tones).all(|(p, &fm)| match p {

@@ -1,19 +1,17 @@
-//! **Ablation abl12** — the work-stealing campaign scheduler vs the
-//! chunked executor, plus the resumable results file.
+//! **Ablation abl12** — the work-stealing campaign scheduler vs a serial
+//! schedule, plus the resumable results file.
 //!
 //! Part A (scheduling): a retry-heavy grid — every expensive point
-//! clustered at the front, the chunk scheduler's worst case, because one
-//! contiguous chunk inherits all of them while the other workers idle at
-//! the join barrier. The same supervised sweep runs under
-//! `sweep_points_supervised_chunked` (the pre-work-stealing executor)
-//! and `sweep_points_supervised` (per-point work stealing); outcomes
-//! must be identical and the stealing schedule must be ≥1.3× faster
-//! (median over reps) on a multi-core host. On a single-core host both
-//! take the serial path and the ratio is reported without the
-//! assertion.
+//! clustered at the front, where a naive contiguous split would strand
+//! the retry ladder on one worker. The same supervised sweep runs under
+//! a serial plan (`threads = 1`) and the per-point work-stealing
+//! scheduler (`threads = 0`, one worker per core); outcomes must be
+//! identical and the stealing schedule must be ≥1.3× faster (median
+//! over reps) on a multi-core host. On a single-core host both take the
+//! serial path and the ratio is reported without the assertion.
 //!
-//! Part B (resume): the same campaign streams to a results file via
-//! `sweep_points_supervised_resumed`. The run is "killed" at several
+//! Part B (resume): the same campaign streams to a results file via the
+//! campaign-log path of the plan runner. The run is "killed" at several
 //! depths (file truncated to a prefix plus a torn trailing line — what
 //! a real kill mid-write leaves) and resumed at *different* thread
 //! counts. The resumed file must be **byte-identical** to the
@@ -80,7 +78,7 @@ fn median(samples: &mut [f64]) -> f64 {
 /// control voltage; tones at or below `sick_cutoff` burn their attempt
 /// and fail typed-retryable, so the supervisor re-locks and re-settles
 /// them through the full deterministic retry ladder — the expensive,
-/// front-clustered work Part A's schedulers fight over.
+/// front-clustered work Part A's schedules fight over.
 fn capture(
     pll: &mut Supervised<CpPll>,
     f_mod: f64,
@@ -121,7 +119,7 @@ fn main() {
     let cores = available_parallelism();
 
     // Retry-heavy grid: the first quarter of the tones is sick, i.e.
-    // clustered exactly where contiguous chunking hurts most.
+    // clustered exactly where a contiguous schedule hurts most.
     let tones: Vec<f64> = (0..points).map(|i| 1.0 + i as f64).collect();
     let n_sick = (points / 4).max(1);
     let sick_cutoff = tones[n_sick - 1];
@@ -131,20 +129,18 @@ fn main() {
          {cores} core(s), {reps} rep(s))\n"
     );
 
-    // ---- Part A: chunked vs work-stealing wall clock -------------------
-    let run_chunked = |tel: &Collector| {
-        scenario.sweep_points_supervised_chunked::<CpPll, _, _>(
+    // ---- Part A: serial vs work-stealing wall clock --------------------
+    let run_at = |threads: usize, tel: &Collector| {
+        scenario.run_points::<CpPll, pllbist_sim::NullCodec<f64>, _>(
             &tones,
-            0,
-            &policy,
+            threads,
+            true,
+            Some(&policy),
             tel,
+            None,
+            None,
             |pll, fm| capture(pll, fm, sick_cutoff),
         )
-    };
-    let run_stealing = |tel: &Collector| {
-        scenario.sweep_points_supervised::<CpPll, _, _>(&tones, 0, &policy, tel, |pll, fm| {
-            capture(pll, fm, sick_cutoff)
-        })
     };
 
     // Coarse `--progress` feed: one board tick per timed sweep / resume
@@ -157,54 +153,54 @@ fn main() {
     );
 
     // Warm-up so neither timed run pays first-touch costs.
-    let reference = run_stealing(&Collector::disabled());
+    let reference = run_at(0, &Collector::disabled());
     assert_eq!(reference.points.len(), points);
     assert_eq!(reference.quarantined_count(), n_sick);
 
-    let mut chunked_secs = Vec::with_capacity(reps);
+    let mut serial_secs = Vec::with_capacity(reps);
     let mut stealing_secs = Vec::with_capacity(reps);
     for rep in 0..reps {
         let t0 = Instant::now();
-        let chunked = run_chunked(&Collector::disabled());
-        chunked_secs.push(t0.elapsed().as_secs_f64());
-        board.point_done(0, true, chunked_secs[rep]);
+        let serial = run_at(1, &Collector::disabled());
+        serial_secs.push(t0.elapsed().as_secs_f64());
+        board.point_done(0, true, serial_secs[rep]);
 
         let t1 = Instant::now();
-        let stealing = run_stealing(&Collector::disabled());
+        let stealing = run_at(0, &Collector::disabled());
         stealing_secs.push(t1.elapsed().as_secs_f64());
         board.point_done(0, true, stealing_secs[rep]);
 
-        assert_same_outcomes(&reference, &chunked, "chunked");
+        assert_same_outcomes(&reference, &serial, "serial");
         assert_same_outcomes(&reference, &stealing, "stealing");
         println!(
-            " rep {rep}: chunked {:>7.3}s | stealing {:>7.3}s",
-            chunked_secs[rep], stealing_secs[rep]
+            " rep {rep}: serial {:>7.3}s | stealing {:>7.3}s",
+            serial_secs[rep], stealing_secs[rep]
         );
     }
-    let chunked_median = median(&mut chunked_secs);
+    let serial_median = median(&mut serial_secs);
     let stealing_median = median(&mut stealing_secs);
-    let speedup = chunked_median / stealing_median;
+    let speedup = serial_median / stealing_median;
     println!(
-        "\nmedian: chunked {chunked_median:.3}s, stealing {stealing_median:.3}s \
+        "\nmedian: serial {serial_median:.3}s, stealing {stealing_median:.3}s \
          → {speedup:.2}× on {cores} core(s)"
     );
     if cores == 1 {
-        println!("(single-core host: both schedulers take the serial path, ~1.0× expected)");
+        println!("(single-core host: both schedules take the serial path, ~1.0× expected)");
     } else {
         assert!(
             speedup >= min_speedup,
-            "work stealing must be ≥{min_speedup}× over chunked on a retry-heavy \
+            "work stealing must be ≥{min_speedup}× over serial on a retry-heavy \
              grid ({cores} cores): got {speedup:.2}×"
         );
     }
     report.result(
-        "speedup",
+        "schedule",
         fields![
             cores = cores,
             points = points,
             sick_points = n_sick,
             reps = reps,
-            chunked_secs = chunked_median,
+            serial_secs = serial_median,
             stealing_secs = stealing_median,
             speedup = speedup
         ],
@@ -226,12 +222,14 @@ fn main() {
             .expect("open campaign log");
         let skipped = log.completed_count();
         let tel = Collector::disabled();
-        let swept = scenario.sweep_points_supervised_resumed::<CpPll, VoltageCodec, _>(
+        let swept = scenario.run_points::<CpPll, VoltageCodec, _>(
             &tones,
             threads,
-            &policy,
+            true,
+            Some(&policy),
             &tel,
-            &log,
+            Some(&log),
+            None,
             |pll, fm| capture(pll, fm, sick_cutoff),
         );
         log.finish(true).expect("campaign completes");

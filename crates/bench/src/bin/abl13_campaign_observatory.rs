@@ -102,17 +102,16 @@ impl Campaign<'_> {
         let log = CampaignLog::open(path, VoltageCodec, self.digest.clone(), self.tones.len())
             .expect("open campaign log");
         let tel = Collector::disabled();
-        let swept = self
-            .scenario
-            .sweep_points_supervised_resumed_observed::<CpPll, VoltageCodec, _>(
-                tones,
-                threads,
-                &self.policy,
-                &tel,
-                &log,
-                observer,
-                |pll, fm| capture(pll, fm, self.sick_cutoff),
-            );
+        let swept = self.scenario.run_points::<CpPll, VoltageCodec, _>(
+            tones,
+            threads,
+            true,
+            Some(&self.policy),
+            &tel,
+            Some(&log),
+            observer,
+            |pll, fm| capture(pll, fm, self.sick_cutoff),
+        );
         if finish {
             log.finish(true).expect("campaign completes");
         }

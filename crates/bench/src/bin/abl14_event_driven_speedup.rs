@@ -20,10 +20,12 @@
 //! line over the timed runs.
 
 use pllbist_bench::progress::{ProgressLine, ProgressSource};
-use pllbist_sim::bench_measure::{log_spaced, measure_sweep_run, measure_sweep_run_on};
+use pllbist_sim::behavioral::CpPll;
+use pllbist_sim::bench_measure::{log_spaced, run_sweep};
 use pllbist_sim::bench_measure::{BenchPoint, BenchSettings};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::event_driven::EventDrivenCpPll;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::sync::Arc;
 use std::time::Instant;
@@ -77,12 +79,14 @@ fn main() {
     let tones = log_spaced(1.0, 40.0, 12);
     let reps = env_usize("PLLBIST_ABL14_REPS", 3).max(1);
     let min_speedup = env_f64("PLLBIST_ABL14_MIN_SPEEDUP", 5.0);
-    let telemetry = report.telemetry_config();
-    let settings = BenchSettings {
-        threads: 1,
-        telemetry,
-        ..BenchSettings::default()
-    };
+    let settings = BenchSettings::default();
+    // Serial plans either way: the ratio isolates the advancement
+    // strategy from core-count scaling. The engine is the only knob
+    // that differs, and it lives on the plan.
+    let behavioral_plan = CampaignPlan::new(cfg.clone())
+        .scheduler(Scheduler::Serial)
+        .telemetry(report.telemetry_config());
+    let event_plan = behavioral_plan.clone().engine::<EventDrivenCpPll>();
     println!(
         "abl14 — event-driven engine speedup ({} tones at 1–40 Hz, {reps} rep(s), serial)\n",
         tones.len()
@@ -98,8 +102,8 @@ fn main() {
     );
 
     // Warm-up pass so neither timed run pays first-touch costs.
-    let _ = measure_sweep_run(&cfg, &tones[..2], &settings);
-    let _ = measure_sweep_run_on::<EventDrivenCpPll>(&cfg, &tones[..2], &settings);
+    let _ = run_sweep::<CpPll>(&behavioral_plan, &tones[..2], &settings);
+    let _ = run_sweep::<EventDrivenCpPll>(&event_plan, &tones[..2], &settings);
 
     let mut behavioral_secs = Vec::with_capacity(reps);
     let mut event_secs = Vec::with_capacity(reps);
@@ -107,16 +111,18 @@ fn main() {
     let mut event_steps = 0u64;
     for rep in 0..reps {
         let t0 = Instant::now();
-        let behavioral = measure_sweep_run(&cfg, &tones, &settings);
+        let behavioral =
+            run_sweep::<CpPll>(&behavioral_plan, &tones, &settings).expect("behavioral sweep");
         behavioral_secs.push(t0.elapsed().as_secs_f64());
         board.point_done(0, true, behavioral_secs[rep]);
 
         let t1 = Instant::now();
-        let event = measure_sweep_run_on::<EventDrivenCpPll>(&cfg, &tones, &settings);
+        let event =
+            run_sweep::<EventDrivenCpPll>(&event_plan, &tones, &settings).expect("event sweep");
         event_secs.push(t1.elapsed().as_secs_f64());
         board.point_done(0, true, event_secs[rep]);
 
-        assert_same_physics(&behavioral.points, &event.points, &tones);
+        assert_same_physics(&behavioral.ok_points(), &event.ok_points(), &tones);
         if rep == 0 {
             behavioral_steps = sum_steps(&behavioral.telemetry);
             event_steps = sum_steps(&event.telemetry);

@@ -2,11 +2,18 @@
 //! and phase plots with the paper's annotated features — the 0 dB
 //! asymptote, the resonance ωp and the one-sided 3 dB bandwidth ω3dB —
 //! for a family of damping factors around the paper's ζ = 0.43.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the damping-factor sweeps.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_bench::{ascii_plot, magnitude_series, phase_series};
 use pllbist_numeric::bode::BodePlot;
 use pllbist_numeric::tf::TransferFunction;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -18,11 +25,21 @@ fn main() {
     let mut mag_series = Vec::new();
     let mut ph_series = Vec::new();
     let glyphs = ['*', 'o', '+', 'x'];
+    // Coarse `--progress` feed: one tick per damping-factor sweep.
+    let board = Arc::new(ProgressBoard::new(zetas.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig01",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
     let mut plots = Vec::new();
     for &z in &zetas {
+        let t0 = Instant::now();
         let h = TransferFunction::second_order_pll(wn, z);
         plots.push(BodePlot::sweep_log(&h, wn / 30.0, wn * 30.0, 240));
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
     }
+    drop(progress);
     let labels: Vec<String> = zetas.iter().map(|z| format!("ζ={z}")).collect();
     for ((plot, label), glyph) in plots.iter().zip(&labels).zip(glyphs) {
         mag_series.push((label.as_str(), glyph, magnitude_series(plot)));

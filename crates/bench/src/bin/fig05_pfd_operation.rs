@@ -1,14 +1,22 @@
 //! Regenerates **fig. 5**: the tri-state PFD's three regimes on the
 //! gate-level model — θi leads (wide UP pulses, DN glitches), θi lags
 //! (mirror image) and coincident edges (dead-zone glitch pairs only).
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the skew cases.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_digital::kernel::Circuit;
 use pllbist_digital::logic::Logic;
 use pllbist_digital::time::SimTime;
 use pllbist_sim::cosim::build_gate_pfd;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 
-fn run_case(skew_ns: i64, label: &str, report: &mut RunReport) {
+fn run_case(skew_ns: i64, label: &str, report: &mut RunReport, board: &ProgressBoard) {
+    let t_start = Instant::now();
     let mut c = Circuit::new();
     let r = c.input("ref", Logic::Low);
     let f = c.input("fb", Logic::Low);
@@ -41,6 +49,7 @@ fn run_case(skew_ns: i64, label: &str, report: &mut RunReport) {
     };
     let (nu, wu) = stats(up);
     let (nd, wd) = stats(dn);
+    board.point_done(0, true, t_start.elapsed().as_secs_f64());
     println!(" {label:<26} | {nu:>4} × {wu:>9.1} ns | {nd:>4} × {wd:>9.1} ns");
     report.result(
         "pfd_case",
@@ -60,11 +69,19 @@ fn main() {
     println!("fig. 5 — CP-PFD operation (gate-level, 2 ns gate delay)\n");
     println!(" case                       | UP pulses (width)   | DN pulses (width)");
     println!(" ---------------------------+---------------------+-------------------");
-    run_case(20_000, "θi leads by 20 µs", &mut report);
-    run_case(2_000, "θi leads by 2 µs", &mut report);
-    run_case(0, "coincident (dead zone)", &mut report);
-    run_case(-2_000, "θi lags by 2 µs", &mut report);
-    run_case(-20_000, "θi lags by 20 µs", &mut report);
+    // Coarse `--progress` feed: one tick per skew case.
+    let board = Arc::new(ProgressBoard::new(5, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig05",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+    run_case(20_000, "θi leads by 20 µs", &mut report, &board);
+    run_case(2_000, "θi leads by 2 µs", &mut report, &board);
+    run_case(0, "coincident (dead zone)", &mut report, &board);
+    run_case(-2_000, "θi lags by 2 µs", &mut report, &board);
+    run_case(-20_000, "θi lags by 20 µs", &mut report, &board);
+    drop(progress);
     println!(
         "\nshape checks: the leading input's pulse width equals the skew\n\
          (+ reset path), the other side shows only ~4 ns dead-zone glitches;\n\

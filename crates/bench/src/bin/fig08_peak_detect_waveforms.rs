@@ -2,11 +2,18 @@
 //! loop-filter node swinging under multi-tone FM, the monitoring PFD's
 //! UP/DN pulse statistics, and the `MFREQ` strobes landing at the
 //! output-frequency extrema.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the gate-level capture.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::testbench::{run_fig8, TestbenchOptions};
 use pllbist_bench::ascii_plot;
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 
 fn main() {
     let mut report = RunReport::from_args("fig08_peak_detect_waveforms");
@@ -21,7 +28,17 @@ fn main() {
         "fig. 8 — gate-level peak-detect transient (fm = {} Hz, {} steps, Δf = ±{} Hz)\n",
         opts.f_mod_hz, opts.steps, opts.deviation_hz
     );
+    // Coarse `--progress` feed: the single gate-level capture.
+    let board = Arc::new(ProgressBoard::new(1, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig08",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+    let t0 = Instant::now();
     let capture = run_fig8(&cfg, &opts);
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
+    drop(progress);
 
     // Control-voltage waveform with MFREQ strobes overlaid.
     let v: Vec<(f64, f64)> = capture.control_samples.clone();

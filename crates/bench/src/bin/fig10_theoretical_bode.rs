@@ -2,11 +2,18 @@
 //! the paper's eq. 4 with the (reconstructed) Table 3 parameters — plus
 //! the hold-referred response the BIST actually reads, so figs. 11/12 can
 //! be compared against the right curve.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the theory sweeps.
 
+use std::sync::Arc;
+use std::time::Instant;
+
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_bench::{ascii_plot, bode_table, magnitude_series, phase_series};
 use pllbist_numeric::bode::BodePlot;
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -20,8 +27,20 @@ fn main() {
         p.damping
     );
 
+    // Coarse `--progress` feed: one tick per theory sweep.
+    let board = Arc::new(ProgressBoard::new(2, 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig10",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+    let t0 = Instant::now();
     let full = a.bode(0.5, 100.0, 120);
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
+    let t0 = Instant::now();
     let hold = BodePlot::sweep_log(&a.hold_referred_transfer(), 0.5 * TAU, 100.0 * TAU, 120);
+    board.point_done(0, true, t0.elapsed().as_secs_f64());
+    drop(progress);
 
     println!(
         "{}",

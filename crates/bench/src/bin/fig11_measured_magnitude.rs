@@ -9,11 +9,19 @@
 //! paper attributes to pump/filter non-linearity. In this reproduction
 //! the correct theory curve for the hold-and-count readout is the
 //! hold-referred response (see DESIGN.md §5 / EXPERIMENTS.md fig11).
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the three stimulus sweeps.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_bench::ascii_plot;
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::CampaignPlan;
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -26,15 +34,27 @@ fn main() {
     ];
     println!("fig. 11 — measured magnitude response (hold-and-count BIST)\n");
 
+    // Coarse `--progress` feed: one tick per stimulus-class sweep.
+    let board = Arc::new(ProgressBoard::new(kinds.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig11",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let plan = CampaignPlan::new(cfg.clone()).telemetry(report.telemetry_config());
     let mut series = Vec::new();
     let mut tables: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for (label, glyph, kind) in kinds {
         let settings = MonitorSettings {
             stimulus: kind,
-            telemetry: report.telemetry_config(),
             ..MonitorSettings::paper()
         };
-        let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        let t0 = Instant::now();
+        let result = TransferFunctionMonitor::new(settings)
+            .measure(&plan)
+            .expect_healthy();
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
         report.extend(result.telemetry.clone());
         let reference = result.points[0].delta_f_hz.abs();
         let pts: Vec<(f64, f64)> = result
@@ -57,6 +77,7 @@ fn main() {
         ));
         series.push((label, glyph, pts));
     }
+    drop(progress);
     // Theory overlay: hold-referred response.
     let h = cfg.analysis().hold_referred_transfer();
     let href = h.magnitude(TAU * tables[0].1[0].0);

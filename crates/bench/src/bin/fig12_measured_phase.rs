@@ -7,11 +7,19 @@
 //! on its *measured, full-readout* plot, while the hold readout's phase
 //! at fn is −90° exactly (the no-zero response) — both values are
 //! reported below.
+//!
+//! `--jsonl <path>` writes the run report; `--progress` renders an
+//! in-place status line over the three stimulus sweeps.
+
+use std::sync::Arc;
+use std::time::Instant;
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_bench::ascii_plot;
+use pllbist_bench::progress::{ProgressLine, ProgressSource};
 use pllbist_sim::config::PllConfig;
-use pllbist_telemetry::{fields, RunReport};
+use pllbist_sim::CampaignPlan;
+use pllbist_telemetry::{fields, ProgressBoard, RunReport};
 use std::f64::consts::TAU;
 
 fn main() {
@@ -24,15 +32,27 @@ fn main() {
     ];
     println!("fig. 12 — measured phase response (eq. 8, phase counter)\n");
 
+    // Coarse `--progress` feed: one tick per stimulus-class sweep.
+    let board = Arc::new(ProgressBoard::new(kinds.len(), 1, &[]));
+    let progress_board = Arc::clone(&board);
+    let progress = ProgressLine::if_requested(
+        "fig12",
+        Arc::new(move || progress_board.snapshot()) as ProgressSource,
+    );
+
+    let plan = CampaignPlan::new(cfg.clone()).telemetry(report.telemetry_config());
     let mut series = Vec::new();
     let mut tables: Vec<(String, Vec<(f64, f64)>)> = Vec::new();
     for (label, glyph, kind) in kinds {
         let settings = MonitorSettings {
             stimulus: kind,
-            telemetry: report.telemetry_config(),
             ..MonitorSettings::paper()
         };
-        let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        let t0 = Instant::now();
+        let result = TransferFunctionMonitor::new(settings)
+            .measure(&plan)
+            .expect_healthy();
+        board.point_done(0, true, t0.elapsed().as_secs_f64());
         report.extend(result.telemetry.clone());
         let pts: Vec<(f64, f64)> = result
             .points
@@ -49,6 +69,7 @@ fn main() {
         ));
         series.push((label, glyph, pts));
     }
+    drop(progress);
     let h = cfg.analysis().hold_referred_transfer();
     let theory: Vec<(f64, f64)> = pllbist_sim::bench_measure::log_spaced(0.5, 60.0, 60)
         .into_iter()

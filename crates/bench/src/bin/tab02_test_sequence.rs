@@ -6,6 +6,7 @@
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist::sequencer::Stage;
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::{fields, RunReport};
 
 fn main() {
@@ -38,10 +39,16 @@ fn main() {
         // This bin's whole point is the transcript — keep recording on
         // even though fast() now defaults it off.
         capture_transcript: true,
-        telemetry: report.telemetry_config(),
         ..MonitorSettings::fast()
     };
-    let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+    // Serial plan: the transcript is the deliverable and serial order
+    // keeps it in tone order.
+    let plan = CampaignPlan::new(cfg)
+        .scheduler(Scheduler::Serial)
+        .telemetry(report.telemetry_config());
+    let result = TransferFunctionMonitor::new(settings)
+        .measure(&plan)
+        .expect_healthy();
     report.extend(result.telemetry.clone());
 
     println!("\nexecuted transcript (2-tone sweep):\n");

@@ -37,12 +37,13 @@
 //! ```
 //! use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 //! use pllbist_sim::config::PllConfig;
+//! use pllbist_sim::CampaignPlan;
 //!
 //! let config = PllConfig::paper_table3();
 //! let mut settings = MonitorSettings::fast();
 //! settings.mod_frequencies_hz = vec![1.0, 6.0, 8.0, 10.0, 30.0];
 //! let monitor = TransferFunctionMonitor::new(settings);
-//! let result = monitor.measure(&config);
+//! let result = monitor.measure(&CampaignPlan::new(config)).expect_healthy();
 //! let est = result.estimate();
 //! let fn_hz = est.natural_frequency_hz.expect("resonance found");
 //! assert!((fn_hz - 8.0).abs() < 2.5, "fn = {fn_hz}");

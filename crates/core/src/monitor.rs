@@ -24,9 +24,9 @@ use crate::estimate::ParameterEstimate;
 use crate::peak_detect::{PeakDetector, PeakKind};
 use crate::sequencer::{TestSequencer, Transition};
 use pllbist_numeric::bode::{BodePlot, BodePoint};
-use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::error::SweepPointError;
+use pllbist_sim::plan::CampaignPlan;
 use pllbist_sim::scenario::Scenario;
 use pllbist_sim::stimulus::FmStimulus;
 use pllbist_sim::supervisor::{
@@ -111,34 +111,18 @@ pub struct MonitorSettings {
     /// output peak is still accepted (protects the in-band, near-zero-lag
     /// points against edge jitter).
     pub peak_guard_fraction: f64,
-    /// Worker threads for the sweep: `0` = one per available core, `1` =
-    /// the historical serial sweep (bit-for-bit: one simulated loop walks
-    /// every tone in order). With more than one worker each tone is
-    /// claimed dynamically by the work-stealing executor
-    /// ([`pllbist_sim::parallel::par_map_points_observed`]) and measured
-    /// on its own **freshly settled** loop built from the device
-    /// configuration, so the measured values can differ from the serial
-    /// ones in low-order bits (different settle history), never in
-    /// physics — and are bitwise identical for every parallel worker
-    /// count, since no tone sees another tone's state.
-    pub threads: usize,
-    /// On the parallel path, settle the lock transient once and hand
-    /// every tone a restored snapshot instead of re-locking per tone
-    /// (default `true`). [`PllEngine::restore`] is bit-exact, so this
-    /// changes wall-clock time only, never the measured values. Ignored
-    /// by the serial path, which walks the caller's loop as-is.
-    pub checkpoint: bool,
     /// Whether to record the Table 2 sequencer transcript into
     /// [`MonitorResult::transcript`]. On in [`paper`](Self::paper) (the
     /// transcript *is* the paper's Table 2 artefact), off in
     /// [`fast`](Self::fast): a transcript grows by five [`Transition`]s
     /// per tone forever, which long sweeps cannot afford.
+    ///
+    /// Execution policy — engine backend, scheduling, checkpointing,
+    /// supervision, telemetry — is **not** a monitor setting: it lives
+    /// on the [`CampaignPlan`] passed to
+    /// [`TransferFunctionMonitor::measure`]. `MonitorSettings` holds only
+    /// what changes the measured values.
     pub capture_transcript: bool,
-    /// Observability knob (disabled by default): stage spans, MFREQ
-    /// strobe / gate / hold counters, solver statistics and transcript
-    /// memory are drained into [`MonitorResult::telemetry`]. Never
-    /// changes the measured values.
-    pub telemetry: TelemetryConfig,
 }
 
 impl MonitorSettings {
@@ -156,10 +140,7 @@ impl MonitorSettings {
             gate_cycles: 200,
             count_divided_output: false,
             peak_guard_fraction: 0.05,
-            threads: 0,
-            checkpoint: true,
             capture_transcript: true,
-            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -176,10 +157,7 @@ impl MonitorSettings {
             gate_cycles: 100,
             count_divided_output: false,
             peak_guard_fraction: 0.05,
-            threads: 1,
-            checkpoint: true,
             capture_transcript: false,
-            telemetry: TelemetryConfig::disabled(),
         }
     }
 
@@ -275,9 +253,9 @@ impl MonitorResult {
 /// tones stay in place as typed errors), the device-qualification
 /// outcome, the incident log, and everything [`MonitorResult`] carries.
 ///
-/// Produced by [`TransferFunctionMonitor::measure_supervised`]; on a
-/// healthy device the surviving points are bitwise identical to
-/// [`TransferFunctionMonitor::measure`] at the same thread count.
+/// Produced by [`TransferFunctionMonitor::measure`]; on a healthy
+/// device the surviving points are bitwise identical across every plan
+/// combination (supervised or not, at any thread count).
 #[derive(Clone, Debug)]
 pub struct SupervisedMonitorResult {
     /// Nominal (unmodulated) frequency reading, or the error that
@@ -356,6 +334,38 @@ impl SupervisedMonitorResult {
         self.to_bode()
             .map(|plot| ParameterEstimate::from_plot_with_model(&plot, model))
     }
+
+    /// Unwraps a run the caller asserts was healthy into a plain
+    /// [`MonitorResult`] — the ergonomic tail for golden-device call
+    /// sites (`monitor.measure(&plan).expect_healthy()`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device was quarantined wholesale or any tone came
+    /// back as a typed error. Keep the [`SupervisedMonitorResult`] and
+    /// inspect `points`/`incidents` instead when quarantine is an
+    /// expected outcome.
+    pub fn expect_healthy(self) -> MonitorResult {
+        let nominal = match self.nominal {
+            Ok(nominal) => nominal,
+            Err(e) => panic!("monitor device quarantined: {e}"),
+        };
+        let points = self
+            .points
+            .into_iter()
+            .map(|p| match p {
+                Ok(point) => point,
+                Err(e) => panic!("monitor tone quarantined: {e}"),
+            })
+            .collect();
+        MonitorResult {
+            nominal,
+            points,
+            transcript: self.transcript,
+            capture: self.capture,
+            telemetry: self.telemetry,
+        }
+    }
 }
 
 /// One tone's outcome inside a supervised walk (internal carrier for
@@ -401,36 +411,22 @@ impl TransferFunctionMonitor {
         &self.settings
     }
 
-    /// Runs the full sweep against a PLL configuration on the default
-    /// (behavioral, [`CpPll`]) backend.
-    pub fn measure(&self, config: &PllConfig) -> MonitorResult {
-        self.measure_with::<CpPll>(config)
-    }
-
-    /// Runs the full sweep against a PLL configuration on any
-    /// [`PllEngine`] backend — the behavioral fast path, the gate-level
-    /// co-simulation, or the closed-form reference adapter. The Table 2
-    /// sequence, counters and peak detector are identical in every case;
-    /// only the device model underneath changes.
-    pub fn measure_with<E: PllEngine>(&self, config: &PllConfig) -> MonitorResult {
-        let mut pll = E::new_locked(config);
-        self.measure_on(&mut pll)
-    }
-
-    /// Runs the full sweep on an existing (already constructed) loop —
-    /// lets callers pre-stress or pre-fault the device.
+    /// Runs the serial sweep on an existing (already constructed) loop —
+    /// lets callers pre-stress or pre-fault the device *state*, which a
+    /// [`CampaignPlan`] (a pure description built from a configuration)
+    /// cannot express. The caller's loop takes the nominal reading and
+    /// then walks every tone in order — bitwise identical to a serial
+    /// unsupervised plan over the same configuration.
     ///
-    /// With `threads` ≤ 1 (after resolving `0` = auto on a single-core
-    /// host) the given loop walks every tone in order — the historical
-    /// serial path. With more workers each tone is claimed dynamically by
-    /// the work-stealing executor and measured on a settled loop built
-    /// from the device configuration (one shared checkpoint when
-    /// `settings.checkpoint` is on, a fresh lock per tone otherwise);
-    /// pre-stressed *state* (as opposed to configuration) therefore only
-    /// influences the nominal reading and the serial path.
-    pub fn measure_on<E: PllEngine>(&self, pll: &mut E) -> MonitorResult {
+    /// For everything else — scheduling, checkpointing, supervision,
+    /// engine choice — use [`measure`](Self::measure) with a plan.
+    pub fn measure_device<E: PllEngine>(
+        &self,
+        pll: &mut E,
+        telemetry: &TelemetryConfig,
+    ) -> MonitorResult {
         let s = &self.settings;
-        let tel = Collector::from_config(&s.telemetry);
+        let tel = Collector::from_config(telemetry);
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
         let config = pll.config().clone();
         let loop_settle = s.resolved_loop_settle(&config).max(0.1);
@@ -445,49 +441,7 @@ impl TransferFunctionMonitor {
             pll.set_hold(false);
             nominal
         };
-
-        let workers = pllbist_sim::parallel::resolve_threads(s.threads)
-            .min(s.mod_frequencies_hz.len().max(1));
-        let (points, transcript) = if workers <= 1 {
-            self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal, &tel)
-        } else {
-            // Parallel path: tones claimed dynamically by the
-            // work-stealing executor, one settled loop per tone — a slow
-            // tone never idles the other workers behind a chunk barrier.
-            // Results come back in sweep order regardless of which
-            // worker ran what. With checkpointing the lock transient is
-            // simulated once and every tone restores the snapshot.
-            let scenario = Scenario::with_lock_settle(&config, loop_settle);
-            let snapshot = s.checkpoint.then(|| scenario.lock_checkpoint::<E>(&tel));
-            let per_tone = pllbist_sim::parallel::par_map_points_observed(
-                &s.mod_frequencies_hz,
-                workers,
-                &tel,
-                |tone_index, &f_mod| {
-                    let mut tone_pll = scenario.point_engine::<E>(snapshot.as_ref());
-                    let (points, mut transcript) = self.sweep_chunk(
-                        &mut tone_pll,
-                        std::slice::from_ref(&f_mod),
-                        &nominal,
-                        &tel,
-                    );
-                    // Per-tone sequencers are schedule-agnostic: stamp
-                    // the tone's global sweep position so the merged
-                    // transcript reads as one Table 2 run.
-                    for transition in &mut transcript {
-                        transition.tone_index = tone_index;
-                    }
-                    (points, transcript)
-                },
-            );
-            let mut points = Vec::with_capacity(s.mod_frequencies_hz.len());
-            let mut transcript = Vec::new();
-            for (tone_points, tone_transcript) in per_tone {
-                points.extend(tone_points);
-                transcript.extend(tone_transcript);
-            }
-            (points, transcript)
-        };
+        let (points, transcript) = self.sweep_chunk(pll, &s.mod_frequencies_hz, &nominal, &tel);
         if tel.is_enabled() {
             tel.gauge(
                 "monitor.transcript_bytes",
@@ -503,58 +457,79 @@ impl TransferFunctionMonitor {
         }
     }
 
-    /// Runs the full sweep under the sweep supervisor on the default
-    /// (behavioral, [`CpPll`]) backend: guardrails on every advance,
-    /// panic isolation per tone, deterministic quarantine-and-retry per
-    /// `policy`. The sweep always completes; sick tones come back as
-    /// typed per-point errors instead of aborting the campaign.
-    pub fn measure_supervised(
-        &self,
-        config: &PllConfig,
-        policy: &SupervisorPolicy,
-    ) -> SupervisedMonitorResult {
-        self.measure_supervised_with::<CpPll>(config, policy)
-    }
-
-    /// [`measure_supervised`](Self::measure_supervised) on any
-    /// [`PllEngine`] backend.
+    /// **The** monitor entry point: runs the full Table 2 sweep as
+    /// described by `plan`. Engine backend, scheduling, checkpointing,
+    /// supervision and telemetry are plan options lowered onto this one
+    /// execution path — never separate functions.
     ///
-    /// On a healthy device the measured points are bitwise identical to
-    /// [`measure_with`](Self::measure_with) at the same thread count:
-    /// the guardrail checks are read-only and the per-tone walk drives
-    /// the engine through exactly the same call sequence. Retries are a
-    /// pure function of `(config, tone, policy)` — a retried tone
-    /// re-locks a fresh engine with the policy's scaled micro-step and
-    /// extended settle, so failing campaigns replay incident for
-    /// incident.
-    pub fn measure_supervised_with<E: PllEngine>(
-        &self,
-        config: &PllConfig,
-        policy: &SupervisorPolicy,
-    ) -> SupervisedMonitorResult {
+    /// Per plan option:
+    ///
+    /// * **supervision** — `Some(policy)`: guardrails on every advance,
+    ///   panic isolation per tone, deterministic quarantine-and-retry;
+    ///   a device that cannot even produce a nominal reading
+    ///   quarantines wholesale (incidents tagged
+    ///   [`DEVICE_INCIDENT_F_MOD`]). `None`: one contained attempt per
+    ///   tone on an unguarded engine — no retries, no `supervisor.*`
+    ///   telemetry, but a panicking tone still quarantines in place
+    ///   instead of unwinding the sweep.
+    /// * **scheduler** — serial: one qualified loop walks every tone in
+    ///   order, the historical bit-for-bit walk. Work-stealing: each
+    ///   tone is claimed dynamically and measured on its own settled
+    ///   loop, so values can differ from the serial walk in low-order
+    ///   bits (different settle history), never in physics — and are
+    ///   bitwise identical for every worker count ≥ 2.
+    /// * **checkpoint** — on the parallel path, settle once and hand
+    ///   every tone a restored snapshot ([`PllEngine::restore`] is
+    ///   bit-exact) instead of re-locking per tone.
+    ///
+    /// `resume_from`/`observed` are sweep-campaign options the monitor
+    /// ignores (its per-tone payload has no campaign-file codec), and
+    /// `lock_settle` is owned by [`MonitorSettings::loop_settle_secs`]
+    /// here.
+    ///
+    /// On a healthy device the surviving points are bitwise identical
+    /// across every supervision/checkpoint/telemetry combination at the
+    /// same schedule: guardrails are read-only and the supervised walk
+    /// drives the engine through exactly the same call sequence.
+    /// Retries are a pure function of `(config, tone, policy)` — a
+    /// retried tone re-locks a fresh engine with the policy's scaled
+    /// micro-step and extended settle, so failing campaigns replay
+    /// incident for incident.
+    pub fn measure<E: PllEngine>(&self, plan: &CampaignPlan<E>) -> SupervisedMonitorResult {
         let s = &self.settings;
-        let tel = Collector::from_config(&s.telemetry);
+        let config = plan.config();
+        let policy = plan.supervision();
+        let tel = Collector::from_config(plan.telemetry_config());
         let fc = FrequencyCounter::new(s.test_clock_hz, s.gate_cycles);
         let loop_settle = s.resolved_loop_settle(config).max(0.1);
         let mut incidents = Vec::new();
 
         // Device qualification: build the loop and take the nominal
-        // reading under guardrails, retrying per policy. A device that
-        // cannot even produce a nominal reading quarantines wholesale.
+        // reading (guarded when supervised), retrying per policy. A
+        // device that cannot even produce a nominal reading quarantines
+        // wholesale.
+        let max_retries = policy.map_or(0, |p| p.max_retries);
         let mut device = None;
         let mut device_error = None;
-        for attempt in 0..=policy.max_retries {
+        for attempt in 0..=max_retries {
             let outcome = catch_unwind(AssertUnwindSafe(|| {
                 // `for_attempt` rescales the step budget alongside the
                 // finer micro-step/longer settle below, so a deep
                 // qualification retry is not spuriously budget-killed.
-                let mut pll = Supervised::for_attempt(E::new_locked(config), policy, attempt);
+                let mut pll = match policy {
+                    Some(policy) => Supervised::for_attempt(E::new_locked(config), policy, attempt),
+                    None => Supervised::unsupervised(E::new_locked(config)),
+                };
+                let mut settle = loop_settle;
                 if attempt > 0 {
+                    let Some(policy) = policy else {
+                        unreachable!("retry attempts require a supervision policy")
+                    };
                     pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
+                    settle *= policy.retry_settle_scale.powi(attempt as i32);
                 }
                 pll.arm_point();
                 let _settle = span!(tel, "monitor.nominal");
-                let settle = loop_settle * policy.retry_settle_scale.powi(attempt as i32);
                 let t = pll.time();
                 pll.advance_to(t + settle);
                 pll.set_hold(true);
@@ -569,7 +544,7 @@ impl TransferFunctionMonitor {
                 }
                 Err(payload) => {
                     let error = SweepPointError::from_panic(payload);
-                    let retry = attempt < policy.max_retries && error.is_retryable();
+                    let retry = attempt < max_retries && error.is_retryable();
                     let incident = Incident {
                         f_mod_hz: DEVICE_INCIDENT_F_MOD,
                         attempt,
@@ -580,7 +555,9 @@ impl TransferFunctionMonitor {
                         },
                         error: error.clone(),
                     };
-                    emit_incident(&tel, &incident);
+                    if policy.is_some() {
+                        emit_incident(&tel, &incident);
+                    }
                     incidents.push(incident);
                     if !retry {
                         device_error = Some(error);
@@ -611,11 +588,11 @@ impl TransferFunctionMonitor {
             }
         };
 
-        let workers = pllbist_sim::parallel::resolve_threads(s.threads)
+        let workers = pllbist_sim::parallel::resolve_threads(plan.schedule().threads())
             .min(s.mod_frequencies_hz.len().max(1));
         let outcomes = if workers <= 1 {
             // Serial path: the qualified device walks every tone in
-            // order, exactly like `measure_on`'s serial walk.
+            // order — the historical bit-for-bit walk.
             self.supervised_chunk(
                 &mut pll,
                 &s.mod_frequencies_hz,
@@ -625,25 +602,35 @@ impl TransferFunctionMonitor {
                 &tel,
             )
         } else {
-            // Parallel path: same work-stealing schedule as
-            // `measure_on` — tones claimed dynamically, one settled loop
-            // per tone, restored from one shared guarded snapshot when
-            // possible. A failure that escapes per-tone containment
+            // Parallel path: tones claimed dynamically by the
+            // work-stealing executor, one settled loop per tone,
+            // restored from one shared guarded snapshot when the plan
+            // checkpoints. A failure that escapes per-tone containment
             // quarantines only its own tone, never a whole chunk.
-            let snapshot = catch_unwind(AssertUnwindSafe(|| {
-                let _span = span!(tel, "scenario.checkpoint");
-                let mut settled = Supervised::new(E::new_locked(config), policy);
-                let t0 = settled.time();
-                settled.advance_to(t0 + loop_settle);
-                settled.checkpoint()
-            }))
-            .ok();
-            let per_tone = pllbist_sim::parallel::par_try_map_points_observed(
+            let snapshot = if plan.checkpoint_enabled() {
+                catch_unwind(AssertUnwindSafe(|| {
+                    let _span = span!(tel, "scenario.checkpoint");
+                    let mut settled = match policy {
+                        Some(policy) => Supervised::new(E::new_locked(config), policy),
+                        None => Supervised::unsupervised(E::new_locked(config)),
+                    };
+                    let t0 = settled.time();
+                    settled.advance_to(t0 + loop_settle);
+                    settled.checkpoint()
+                }))
+                .ok()
+            } else {
+                None
+            };
+            let per_tone = pllbist_sim::parallel::par_try_map_points(
                 &s.mod_frequencies_hz,
                 workers,
                 &tel,
                 |tone_index, &f_mod| {
-                    let mut worker_pll = Supervised::new(E::new_locked(config), policy);
+                    let mut worker_pll = match policy {
+                        Some(policy) => Supervised::new(E::new_locked(config), policy),
+                        None => Supervised::unsupervised(E::new_locked(config)),
+                    };
                     match snapshot.as_ref() {
                         Some(snap) => worker_pll.restore(snap),
                         None => {
@@ -688,7 +675,9 @@ impl TransferFunctionMonitor {
                             action: IncidentAction::Quarantined,
                             error: error.clone(),
                         };
-                        emit_incident(&tel, &incident);
+                        if policy.is_some() {
+                            emit_incident(&tel, &incident);
+                        }
                         outcomes.push(ToneOutcome {
                             point: Err(error),
                             transcript: Vec::new(),
@@ -723,20 +712,23 @@ impl TransferFunctionMonitor {
         }
     }
 
-    /// Walks `chunk` tone by tone under per-tone supervision: attempt 0
+    /// Walks `chunk` tone by tone under per-tone containment: attempt 0
     /// runs on the walking engine (pre-tone checkpoint, rewound on
-    /// failure so later tones are unaffected); retries re-lock a fresh
-    /// engine with the policy's scaled micro-step and extended settle.
+    /// failure so later tones are unaffected); with a supervision
+    /// policy, retries re-lock a fresh engine with the policy's scaled
+    /// micro-step and extended settle. Without one each tone gets
+    /// exactly one attempt and no `supervisor.*` telemetry.
     fn supervised_chunk<E: PllEngine>(
         &self,
         pll: &mut Supervised<E>,
         chunk: &[f64],
         nominal: &FrequencyReading,
-        policy: &SupervisorPolicy,
+        policy: Option<&SupervisorPolicy>,
         loop_settle: f64,
         tel: &Collector,
     ) -> Vec<ToneOutcome> {
         let config = pll.config().clone();
+        let max_retries = policy.map_or(0, |p| p.max_retries);
         let mut outcomes = Vec::with_capacity(chunk.len());
         for (j, &f_mod) in chunk.iter().enumerate() {
             let tone = std::slice::from_ref(&f_mod);
@@ -744,13 +736,16 @@ impl TransferFunctionMonitor {
             let mut outcome = None;
             let snap = pll.checkpoint();
             let tone_start_t = pll.time();
-            for attempt in 0..=policy.max_retries {
+            for attempt in 0..=max_retries {
                 let result = if attempt == 0 {
                     catch_unwind(AssertUnwindSafe(|| {
                         pll.arm_point();
                         self.sweep_chunk(pll, tone, nominal, tel)
                     }))
                 } else {
+                    let Some(policy) = policy else {
+                        unreachable!("retry attempts require a supervision policy")
+                    };
                     catch_unwind(AssertUnwindSafe(|| {
                         // Budget rescaled with the attempt: the finer
                         // micro-step and longer settle below cost
@@ -769,7 +764,7 @@ impl TransferFunctionMonitor {
                 };
                 match result {
                     Ok((points, mut transcript)) => {
-                        if tel.is_enabled() {
+                        if tel.is_enabled() && policy.is_some() {
                             tel.add("supervisor.points_ok", 1);
                             if attempt > 0 {
                                 tel.add("supervisor.points_recovered", 1);
@@ -809,7 +804,7 @@ impl TransferFunctionMonitor {
                             // pre-tone state.
                             pll.restore(&snap);
                         }
-                        let retry = attempt < policy.max_retries && error.is_retryable();
+                        let retry = attempt < max_retries && error.is_retryable();
                         let incident = Incident {
                             f_mod_hz: f_mod,
                             attempt,
@@ -820,7 +815,9 @@ impl TransferFunctionMonitor {
                             },
                             error: error.clone(),
                         };
-                        emit_incident(tel, &incident);
+                        if policy.is_some() {
+                            emit_incident(tel, &incident);
+                        }
                         incidents.push(incident);
                         if !retry {
                             outcome = Some(ToneOutcome {
@@ -1008,6 +1005,8 @@ impl TransferFunctionMonitor {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pllbist_sim::behavioral::CpPll;
+    use pllbist_sim::plan::Scheduler;
 
     fn tiny_settings() -> MonitorSettings {
         MonitorSettings {
@@ -1019,11 +1018,24 @@ mod tests {
         }
     }
 
+    fn serial_plan(cfg: &PllConfig) -> CampaignPlan {
+        CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial)
+    }
+
+    fn plan_at(cfg: &PllConfig, threads: usize) -> CampaignPlan {
+        let scheduler = if threads <= 1 {
+            Scheduler::Serial
+        } else {
+            Scheduler::WorkStealing { threads }
+        };
+        CampaignPlan::new(cfg.clone()).scheduler(scheduler)
+    }
+
     #[test]
     fn monitor_measures_in_band_unity_gain() {
         let cfg = PllConfig::paper_table3();
         let monitor = TransferFunctionMonitor::new(tiny_settings());
-        let result = monitor.measure(&cfg);
+        let result = monitor.measure(&serial_plan(&cfg)).expect_healthy();
         assert_eq!(result.points.len(), 3);
         // Nominal reading near 5 kHz (VCO tap).
         assert!((result.nominal.frequency_hz - 5_000.0).abs() < 2.0);
@@ -1039,7 +1051,7 @@ mod tests {
     fn monitor_sees_the_resonant_peak() {
         let cfg = PllConfig::paper_table3();
         let monitor = TransferFunctionMonitor::new(tiny_settings());
-        let result = monitor.measure(&cfg);
+        let result = monitor.measure(&serial_plan(&cfg)).expect_healthy();
         let bode = result.to_bode();
         let pts = bode.points();
         // 8 Hz (resonance) above the 1 Hz reference; 25 Hz attenuated.
@@ -1057,7 +1069,7 @@ mod tests {
         // LoopAnalysis::hold_referred_transfer.
         let cfg = PllConfig::paper_table3();
         let monitor = TransferFunctionMonitor::new(tiny_settings());
-        let result = monitor.measure(&cfg);
+        let result = monitor.measure(&serial_plan(&cfg)).expect_healthy();
         let h = cfg.analysis().hold_referred_transfer();
         let h_ref = h.magnitude(TAU * 1.0);
         for p in &result.points {
@@ -1075,7 +1087,7 @@ mod tests {
     fn transcript_covers_every_stage() {
         let cfg = PllConfig::paper_table3();
         let monitor = TransferFunctionMonitor::new(tiny_settings());
-        let result = monitor.measure(&cfg);
+        let result = monitor.measure(&serial_plan(&cfg)).expect_healthy();
         assert_eq!(result.transcript.len(), 3 * 5);
         // Times non-decreasing.
         assert!(result.transcript.windows(2).all(|w| w[0].t <= w[1].t));
@@ -1103,12 +1115,27 @@ mod tests {
     }
 
     #[test]
+    fn device_walk_matches_serial_plan_bitwise() {
+        // measure_device (the pre-faultable continuous walk) and a
+        // serial unsupervised plan drive the engine through the same
+        // call sequence — the refactor's correctness oracle at the
+        // monitor layer.
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let planned = monitor.measure(&serial_plan(&cfg)).expect_healthy();
+        let mut pll = CpPll::new_locked(&cfg);
+        let device = monitor.measure_device(&mut pll, &TelemetryConfig::disabled());
+        assert_eq!(device.nominal, planned.nominal);
+        assert_eq!(device.points, planned.points);
+        assert_eq!(device.transcript, planned.transcript);
+    }
+
+    #[test]
     fn parallel_sweep_matches_serial_physics() {
         let cfg = PllConfig::paper_table3();
-        let serial = TransferFunctionMonitor::new(tiny_settings()).measure(&cfg);
-        let mut settings = tiny_settings();
-        settings.threads = 2;
-        let parallel = TransferFunctionMonitor::new(settings).measure(&cfg);
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let serial = monitor.measure(&serial_plan(&cfg)).expect_healthy();
+        let parallel = monitor.measure(&plan_at(&cfg, 2)).expect_healthy();
         // Same tones, same order, full Table 2 transcript, and the same
         // physics (worker loops settle independently, so only low-order
         // bits may differ from the serial walk).
@@ -1130,12 +1157,24 @@ mod tests {
     #[test]
     fn parallel_sweep_is_deterministic_per_worker_count() {
         let cfg = PllConfig::paper_table3();
-        let mut settings = tiny_settings();
-        settings.threads = 2;
-        let monitor = TransferFunctionMonitor::new(settings);
-        let a = monitor.measure(&cfg);
-        let b = monitor.measure(&cfg);
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let a = monitor.measure(&plan_at(&cfg, 2)).expect_healthy();
+        let b = monitor.measure(&plan_at(&cfg, 2)).expect_healthy();
         assert_eq!(a.points, b.points);
+    }
+
+    #[test]
+    fn checkpoint_off_parallel_sweep_is_identical() {
+        // The parallel path's per-tone snapshot restore is bit-exact, so
+        // turning checkpointing off (every tone re-locks from scratch)
+        // changes wall-clock time only.
+        let cfg = PllConfig::paper_table3();
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let ckpt = monitor.measure(&plan_at(&cfg, 2)).expect_healthy();
+        let fresh = monitor
+            .measure(&plan_at(&cfg, 2).checkpoint(false))
+            .expect_healthy();
+        assert_eq!(ckpt.points, fresh.points);
     }
 
     #[test]
@@ -1143,7 +1182,9 @@ mod tests {
         let cfg = PllConfig::paper_table3();
         let mut settings = tiny_settings();
         settings.capture_transcript = false;
-        let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+        let result = TransferFunctionMonitor::new(settings)
+            .measure(&serial_plan(&cfg))
+            .expect_healthy();
         assert!(result.transcript.is_empty());
         assert_eq!(result.points.len(), 3);
         // Telemetry disabled by default: no records either.
@@ -1154,10 +1195,11 @@ mod tests {
     fn telemetry_records_monitor_stages_without_steering() {
         use pllbist_telemetry::{Record, TelemetryConfig};
         let cfg = PllConfig::paper_table3();
-        let baseline = TransferFunctionMonitor::new(tiny_settings()).measure(&cfg);
-        let mut settings = tiny_settings();
-        settings.telemetry = TelemetryConfig::enabled();
-        let observed = TransferFunctionMonitor::new(settings).measure(&cfg);
+        let monitor = TransferFunctionMonitor::new(tiny_settings());
+        let baseline = monitor.measure(&serial_plan(&cfg)).expect_healthy();
+        let observed = monitor
+            .measure(&serial_plan(&cfg).telemetry(TelemetryConfig::enabled()))
+            .expect_healthy();
         // Observation never steers the physics.
         assert_eq!(baseline.points, observed.points);
         // One tone span per modulation frequency, plus stage spans.
@@ -1192,6 +1234,11 @@ mod tests {
         assert!(counter("sim.steps").unwrap() > 100);
         assert!(counter("sim.ref_edges").unwrap() > 10);
         assert!(counter("monitor.hold_engagements").unwrap() >= 3);
+        // Unsupervised plans emit no supervisor.* records.
+        assert!(!observed
+            .telemetry
+            .iter()
+            .any(|r| matches!(r, Record::Counter { name, .. } if name.starts_with("supervisor."))));
         // Transcript memory gauge reported.
         assert!(observed.telemetry.iter().any(|r| matches!(
             r,
@@ -1211,11 +1258,10 @@ mod tests {
     fn supervised_measure_is_bitwise_identical_on_healthy_device() {
         let cfg = PllConfig::paper_table3();
         for threads in [1usize, 2] {
-            let mut settings = tiny_settings();
-            settings.threads = threads;
-            let monitor = TransferFunctionMonitor::new(settings);
-            let baseline = monitor.measure(&cfg);
-            let supervised = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
+            let monitor = TransferFunctionMonitor::new(tiny_settings());
+            let baseline = monitor.measure(&plan_at(&cfg, threads)).expect_healthy();
+            let supervised =
+                monitor.measure(&plan_at(&cfg, threads).supervised(SupervisorPolicy::default()));
             assert!(supervised.incidents.is_empty(), "threads {threads}");
             assert_eq!(supervised.quarantined_count(), 0);
             assert_eq!(
@@ -1247,7 +1293,7 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let result = TransferFunctionMonitor::new(tiny_settings())
-            .measure_supervised(&cfg, &SupervisorPolicy::default());
+            .measure(&serial_plan(&cfg).supervised(SupervisorPolicy::default()));
         std::panic::set_hook(prev);
         assert!(result.nominal.is_err(), "NaN device has no nominal");
         assert_eq!(result.ok_count(), 0);
@@ -1286,8 +1332,9 @@ mod tests {
         let prev = std::panic::take_hook();
         std::panic::set_hook(Box::new(|_| {}));
         let monitor = TransferFunctionMonitor::new(tiny_settings());
-        let a = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
-        let b = monitor.measure_supervised(&cfg, &SupervisorPolicy::default());
+        let plan = serial_plan(&cfg).supervised(SupervisorPolicy::default());
+        let a = monitor.measure(&plan);
+        let b = monitor.measure(&plan);
         std::panic::set_hook(prev);
         assert_eq!(a.incidents.len(), b.incidents.len());
         for (x, y) in a.incidents.iter().zip(&b.incidents) {

@@ -8,24 +8,29 @@
 //! not have — which is why it serves as the accuracy baseline the on-chip
 //! monitor is compared against (ablation abl06).
 //!
-//! Measurement runs on the shared [`crate::scenario`] pipeline: the loop
-//! locks and settles once per configuration (checkpointed by default),
-//! then each modulation point restores the snapshot, programs its tone,
-//! waits out the modulation transient and captures.
+//! The sweep executes a [`CampaignPlan`] on the single
+//! [`crate::scenario::run_plan`] runner: the loop locks and settles once
+//! per configuration (checkpointed by default), then each modulation
+//! point restores the snapshot, programs its tone, waits out the
+//! modulation transient and captures. Engine choice, supervision,
+//! scheduling, campaign-file resume and observation are all plan options
+//! — this module only contributes the capture physics
+//! ([`BenchSettings`]) and the [`BenchPointCodec`] that makes campaign
+//! files round-trip measurements bit-for-bit.
+//!
+//! [`crate::scenario::run_plan`]: crate::scenario::run_plan
 
-use crate::behavioral::CpPll;
-use crate::campaign::{
-    bits_hex, config_digest, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec,
-};
+use crate::campaign::{bits_hex, f64_from_bits_hex, json_str_field, PointCodec};
 use crate::config::PllConfig;
 use crate::engine::{AnalogAccess, PllEngine, WorkStats};
 use crate::error::{CampaignError, SweepPointError};
-use crate::scenario::Scenario;
+use crate::plan::CampaignPlan;
+use crate::scenario::{run_plan, Scenario};
 use crate::stimulus::FmStimulus;
-use crate::supervisor::{Incident, SupervisorPolicy};
+use crate::supervisor::Incident;
 use pllbist_numeric::bode::{BodePlot, BodePoint};
 use pllbist_numeric::fit::sine_fit;
-use pllbist_telemetry::{span, Collector, Record, TelemetryConfig};
+use pllbist_telemetry::{span, Record};
 use pllbist_telemetry::{Fields, Value};
 use std::f64::consts::{FRAC_PI_2, TAU};
 
@@ -40,7 +45,10 @@ pub struct BenchPoint {
     pub phase: f64,
 }
 
-/// Settings for the bench sweep.
+/// The physics of one bench capture — what to stimulate and how long to
+/// sample. Execution policy (engine, threads, checkpointing, supervision,
+/// resume, telemetry) lives on the [`CampaignPlan`], not here: these
+/// fields all change the measured numbers, plan options never do.
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchSettings {
     /// Peak reference deviation in Hz.
@@ -52,21 +60,6 @@ pub struct BenchSettings {
     pub measure_periods: f64,
     /// Samples per modulation period.
     pub samples_per_period: usize,
-    /// Worker threads for the sweep: `0` = one per available core
-    /// (the default), `1` = serial. Every modulation point starts from the
-    /// same settled lock state, so the results are **bitwise identical**
-    /// for every thread count — see [`crate::parallel`].
-    pub threads: usize,
-    /// Reuse one settled lock state across the sweep (default `true`):
-    /// the lock transient is simulated once and every point restores the
-    /// snapshot instead of re-locking. [`PllEngine::restore`] is bit-exact,
-    /// so this changes wall-clock time only, never the measured numbers.
-    pub checkpoint: bool,
-    /// Observability knob: disabled by default (near-zero overhead).
-    /// When enabled, [`measure_sweep_run`] returns per-point spans,
-    /// solver counters and per-worker utilization alongside the points.
-    /// Telemetry never changes the measured numbers.
-    pub telemetry: TelemetryConfig,
 }
 
 impl Default for BenchSettings {
@@ -76,15 +69,14 @@ impl Default for BenchSettings {
             settle_periods: 3.0,
             measure_periods: 4.0,
             samples_per_period: 64,
-            threads: 0,
-            checkpoint: true,
-            telemetry: TelemetryConfig::disabled(),
         }
     }
 }
 
 /// Measures one point of the closed-loop response with full analogue
-/// access.
+/// access on engine backend `E` (any [`AnalogAccess`] implementor — the
+/// behavioural [`crate::behavioral::CpPll`] or the event-driven
+/// [`crate::event_driven::EventDrivenCpPll`]).
 ///
 /// The loop is settled at lock (the [`crate::scenario::settle_time`]
 /// heuristic), driven with pure sinusoidal FM at `f_mod_hz`, allowed
@@ -101,12 +93,12 @@ impl Default for BenchSettings {
 /// # Panics
 ///
 /// Panics if `f_mod_hz` is not positive or the settings are degenerate.
-pub fn measure_point(
+pub fn measure_point<E: AnalogAccess>(
     config: &PllConfig,
     f_mod_hz: f64,
     settings: &BenchSettings,
 ) -> Result<BenchPoint, SweepPointError> {
-    Ok(measure_point_with_stats(config, f_mod_hz, settings)?.0)
+    Ok(measure_point_with_stats::<E>(config, f_mod_hz, settings)?.0)
 }
 
 /// [`measure_point`] plus the solver work it cost ([`WorkStats`]),
@@ -115,23 +107,7 @@ pub fn measure_point(
 /// # Errors
 ///
 /// Same as [`measure_point`].
-pub fn measure_point_with_stats(
-    config: &PllConfig,
-    f_mod_hz: f64,
-    settings: &BenchSettings,
-) -> Result<(BenchPoint, WorkStats), SweepPointError> {
-    measure_point_on::<CpPll>(config, f_mod_hz, settings)
-}
-
-/// [`measure_point_with_stats`] on an explicit engine backend `E`
-/// (any [`AnalogAccess`] implementor — the behavioural
-/// [`CpPll`] or the event-driven
-/// [`crate::event_driven::EventDrivenCpPll`]).
-///
-/// # Errors
-///
-/// Same as [`measure_point`].
-pub fn measure_point_on<E: AnalogAccess>(
+pub fn measure_point_with_stats<E: AnalogAccess>(
     config: &PllConfig,
     f_mod_hz: f64,
     settings: &BenchSettings,
@@ -232,104 +208,17 @@ fn capture_point<E: AnalogAccess>(
     ))
 }
 
-/// Sweeps the bench measurement over the given modulation frequencies,
-/// returning one [`BenchPoint`] per frequency in input order.
-///
-/// Points are distributed over `settings.threads` workers (`0` = one per
-/// core, `1` = serial). Each point starts from the same settled lock
-/// state, so the result is a pure function of
-/// `(config, f_mod_hz, settings)` — bitwise identical for every thread
-/// count and for `checkpoint` on or off.
-pub fn measure_sweep_points(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-) -> Vec<BenchPoint> {
-    measure_sweep_run(config, f_mod_hz, settings).points
-}
-
-/// [`measure_sweep_points`] on an explicit engine backend `E`.
-pub fn measure_sweep_points_on<E: AnalogAccess>(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-) -> Vec<BenchPoint> {
-    measure_sweep_run_on::<E>(config, f_mod_hz, settings).points
-}
-
-/// A completed bench sweep: the measured points plus every telemetry
-/// record the run produced (empty when `settings.telemetry` is off).
-#[derive(Clone, Debug)]
-pub struct SweepRun {
-    /// One [`BenchPoint`] per requested frequency, in input order.
-    pub points: Vec<BenchPoint>,
-    /// Drained telemetry: per-point spans, solver counters, per-worker
-    /// chunk spans and utilization.
-    pub telemetry: Vec<Record>,
-}
-
-/// Sweeps the bench measurement with telemetry per
-/// `settings.telemetry`. The points are bitwise identical to
-/// [`measure_sweep_points`] for every thread count and telemetry state —
-/// instrumentation observes, never steers.
-pub fn measure_sweep_run(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-) -> SweepRun {
-    measure_sweep_run_on::<CpPll>(config, f_mod_hz, settings)
-}
-
-/// [`measure_sweep_run`] on an explicit engine backend `E`. Everything
-/// the CpPll path guarantees carries over per engine: the points are a
-/// pure function of `(E, config, f_mod_hz, settings)`, bitwise identical
-/// for every thread count, telemetry state and `checkpoint` setting.
-pub fn measure_sweep_run_on<E: AnalogAccess>(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-) -> SweepRun {
-    let tel = Collector::from_config(&settings.telemetry);
-    let scenario = Scenario::new(config);
-    let points = scenario.sweep_points::<E, _, _>(
-        f_mod_hz,
-        settings.threads,
-        settings.checkpoint,
-        &tel,
-        |pll, fm| {
-            let _point = span!(tel, "bench.point", f_mod_hz = fm);
-            // The unsupervised sweep keeps its historical fail-fast
-            // contract; route through `measure_sweep_supervised` to get
-            // per-point quarantine instead.
-            let (point, stats) = match capture_point(pll, fm, settings) {
-                Ok(captured) => captured,
-                Err(e) => panic!("bench point at {fm} Hz failed: {e}"),
-            };
-            if tel.is_enabled() {
-                tel.add("sim.steps", stats.steps);
-                tel.add("sim.step_rejections", stats.step_rejections);
-                tel.add("sim.ref_edges", stats.ref_edges);
-                tel.add("sim.fb_edges", stats.fb_edges);
-            }
-            point
-        },
-    );
-    SweepRun {
-        points,
-        telemetry: tel.drain(),
-    }
-}
-
-/// A supervised bench sweep: per-point `Result`s (quarantined points
-/// stay in place as typed errors), the incident log, and the drained
-/// telemetry.
+/// A completed bench sweep: per-point outcomes (quarantined points stay
+/// in place as typed errors), the incident log, and the drained
+/// telemetry (empty when the plan's telemetry is off).
 #[derive(Clone, Debug)]
 pub struct SupervisedSweepRun {
     /// One outcome per requested frequency, in input order.
     pub points: Vec<Result<BenchPoint, SweepPointError>>,
     /// Every retry/quarantine incident the supervisor logged.
     pub incidents: Vec<Incident>,
-    /// Drained telemetry (includes `supervisor.*` records).
+    /// Drained telemetry (includes `supervisor.*` records when the plan
+    /// is supervised).
     pub telemetry: Vec<Record>,
 }
 
@@ -371,41 +260,64 @@ impl SupervisedSweepRun {
     }
 }
 
-/// [`measure_sweep_run`] under the sweep supervisor: guardrails, panic
-/// isolation, deterministic quarantine-and-retry per `policy`.
-///
-/// On a healthy device the surviving points are bitwise identical to
-/// [`measure_sweep_points`] for every thread count and telemetry state;
-/// on a sick one the sweep completes with the failures quarantined in
-/// place instead of aborting.
-pub fn measure_sweep_supervised(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-) -> SupervisedSweepRun {
-    measure_sweep_supervised_on::<CpPll>(config, f_mod_hz, settings, policy)
+/// The bench workload's digest salt: the capture physics that determine
+/// the measured numbers. The plan folds in the backend tag, lock-settle
+/// override and supervision policy ([`CampaignPlan::digest`]); scheduling
+/// knobs never enter.
+fn bench_salt(settings: &BenchSettings) -> String {
+    format!(
+        "bench|dev:{}|settle:{}|measure:{}|spp:{}",
+        bits_hex(settings.deviation_hz),
+        bits_hex(settings.settle_periods),
+        bits_hex(settings.measure_periods),
+        settings.samples_per_period,
+    )
 }
 
-/// [`measure_sweep_supervised`] on an explicit engine backend `E`. The
-/// supervisor's guardrails are engine-agnostic — step budgets count the
-/// engine's own work unit (micro-steps or committed event segments, see
-/// [`PllEngine::work_stats`]) and the retry ladder tightens whatever
-/// granularity the engine exposes via [`PllEngine::set_step_scale`].
-pub fn measure_sweep_supervised_on<E: AnalogAccess>(
-    config: &PllConfig,
+/// The campaign digest a bench sweep stamps into its results file:
+/// everything that determines the measured numbers — backend, config,
+/// grid, capture settings, supervision policy — but **not** threads,
+/// checkpointing, observation or telemetry, which never change results.
+/// A campaign killed on 16 threads may therefore resume on 1 and still
+/// produce the byte-identical file.
+pub fn campaign_digest<E: PllEngine>(
+    plan: &CampaignPlan<E>,
     f_mod_hz: &[f64],
     settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-) -> SupervisedSweepRun {
-    let tel = Collector::from_config(&settings.telemetry);
-    let scenario = Scenario::new(config);
-    let swept = scenario.sweep_points_supervised::<E, _, _>(
+) -> String {
+    plan.digest(f_mod_hz, &bench_salt(settings))
+}
+
+/// **The** bench sweep: executes `plan` over the modulation grid with the
+/// capture physics in `settings`, composing every plan option — engine,
+/// checkpointing, supervision, scheduling, campaign-file resume,
+/// observation, telemetry — on the single [`run_plan`] pipeline.
+///
+/// On a healthy device the measured points are bitwise identical for
+/// every thread count, checkpoint setting, telemetry state and
+/// supervision policy; options change wall-clock time and fault
+/// containment, never results. With supervision, a sick point
+/// quarantines in place (typed error in `points`) instead of aborting
+/// the sweep; without it, each point still gets exactly one contained
+/// attempt.
+///
+/// # Errors
+///
+/// [`CampaignError`] when the plan's results file belongs to a different
+/// campaign ([`CampaignError::HeaderMismatch`]), is corrupted before its
+/// final line, or the filesystem fails. Plans without
+/// [`CampaignPlan::resume_from`] cannot fail this way.
+pub fn run_sweep<E: AnalogAccess>(
+    plan: &CampaignPlan<E>,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> Result<SupervisedSweepRun, CampaignError> {
+    let outcome = run_plan(
+        plan,
         f_mod_hz,
-        settings.threads,
-        policy,
-        &tel,
-        |pll, fm| {
+        BenchPointCodec,
+        &bench_salt(settings),
+        |pll, fm, tel| {
             let _point = span!(tel, "bench.point", f_mod_hz = fm);
             let (point, stats) = capture_point(pll, fm, settings)?;
             if tel.is_enabled() {
@@ -416,12 +328,63 @@ pub fn measure_sweep_supervised_on<E: AnalogAccess>(
             }
             Ok(point)
         },
-    );
-    SupervisedSweepRun {
-        points: swept.points,
-        incidents: swept.incidents,
-        telemetry: tel.drain(),
-    }
+    )?;
+    Ok(SupervisedSweepRun {
+        points: outcome.points,
+        incidents: outcome.incidents,
+        telemetry: outcome.telemetry,
+    })
+}
+
+/// Fail-fast sweep: [`run_sweep`] unwrapped to plain [`BenchPoint`]s in
+/// input order — the historical bench contract where any failed point
+/// aborts the sweep.
+///
+/// # Panics
+///
+/// Panics on the first quarantined point (`"bench point at … Hz
+/// failed"`) or on a campaign-file error. Route through [`run_sweep`]
+/// with a supervised plan to get per-point quarantine instead.
+pub fn measure_sweep_points<E: AnalogAccess>(
+    plan: &CampaignPlan<E>,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> Vec<BenchPoint> {
+    let run = match run_sweep(plan, f_mod_hz, settings) {
+        Ok(run) => run,
+        Err(e) => panic!("bench campaign failed: {e}"),
+    };
+    run.points
+        .into_iter()
+        .zip(f_mod_hz)
+        .map(|(p, fm)| match p {
+            Ok(point) => point,
+            Err(e) => panic!("bench point at {fm} Hz failed: {e}"),
+        })
+        .collect()
+}
+
+/// Fail-fast sweep assembled into a Bode plot (phases unwrapped across
+/// the sweep).
+///
+/// # Panics
+///
+/// Same as [`measure_sweep_points`].
+pub fn measure_sweep<E: AnalogAccess>(
+    plan: &CampaignPlan<E>,
+    f_mod_hz: &[f64],
+    settings: &BenchSettings,
+) -> BodePlot {
+    let mut plot: BodePlot = measure_sweep_points(plan, f_mod_hz, settings)
+        .into_iter()
+        .map(|p| BodePoint {
+            omega: TAU * p.f_mod_hz,
+            magnitude: p.gain,
+            phase: p.phase,
+        })
+        .collect();
+    plot.unwrap_phase();
+    plot
 }
 
 /// The [`PointCodec`] for bench sweep results: every `f64` of a
@@ -453,127 +416,6 @@ impl PointCodec for BenchPointCodec {
     }
 }
 
-/// The campaign config digest of a bench sweep: hashes everything that
-/// determines the measured numbers — the engine backend, config, grid,
-/// the measurement settings and the supervisor policy — but **not**
-/// `threads`, `checkpoint` or `telemetry`, which never change results. A
-/// campaign killed on 16 threads may therefore resume on 1 and still
-/// produce the byte-identical file.
-pub fn bench_campaign_digest(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-) -> String {
-    bench_campaign_digest_on::<CpPll>(config, f_mod_hz, settings, policy)
-}
-
-/// [`bench_campaign_digest`] on an explicit engine backend `E`. The
-/// backend tag ([`PllEngine::backend_name`]) is part of the digest:
-/// engines agree physically but not bit for bit, so a results file
-/// produced by one backend must never be silently resumed by another.
-pub fn bench_campaign_digest_on<E: PllEngine>(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-) -> String {
-    let salt = format!(
-        "bench|engine:{}|dev:{}|settle:{}|measure:{}|spp:{}|policy:{policy:?}",
-        E::backend_name(),
-        bits_hex(settings.deviation_hz),
-        bits_hex(settings.settle_periods),
-        bits_hex(settings.measure_periods),
-        settings.samples_per_period,
-    );
-    config_digest(config, f_mod_hz, &salt)
-}
-
-/// [`measure_sweep_supervised`] with a resumable results file at `path`.
-///
-/// Each completed point — healthy or quarantined — streams to the file
-/// as it lands; if the process is killed mid-campaign, re-running with
-/// the same arguments loads the file, skips every completed point and
-/// recomputes only the rest. The finished file is **byte-identical** to
-/// an uninterrupted run's, for every thread count on either side of the
-/// kill.
-///
-/// # Errors
-///
-/// [`CampaignError`] when the results file belongs to a different
-/// campaign ([`CampaignError::HeaderMismatch`]), is corrupted before its
-/// final line, or the filesystem fails.
-pub fn measure_sweep_resumable(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-    path: impl AsRef<std::path::Path>,
-) -> Result<SupervisedSweepRun, CampaignError> {
-    measure_sweep_resumable_on::<CpPll>(config, f_mod_hz, settings, policy, path)
-}
-
-/// [`measure_sweep_resumable`] on an explicit engine backend `E`. The
-/// campaign header carries the backend tag via
-/// [`bench_campaign_digest_on`], so a file written by one backend
-/// refuses to resume under another ([`CampaignError::HeaderMismatch`])
-/// instead of mixing engines' rounding in one output.
-///
-/// # Errors
-///
-/// Same as [`measure_sweep_resumable`].
-pub fn measure_sweep_resumable_on<E: AnalogAccess>(
-    config: &PllConfig,
-    f_mod_hz: &[f64],
-    settings: &BenchSettings,
-    policy: &SupervisorPolicy,
-    path: impl AsRef<std::path::Path>,
-) -> Result<SupervisedSweepRun, CampaignError> {
-    let digest = bench_campaign_digest_on::<E>(config, f_mod_hz, settings, policy);
-    let log = CampaignLog::open(path, BenchPointCodec, digest, f_mod_hz.len())?;
-    let tel = Collector::from_config(&settings.telemetry);
-    let scenario = Scenario::new(config);
-    let swept = scenario.sweep_points_supervised_resumed::<E, BenchPointCodec, _>(
-        f_mod_hz,
-        settings.threads,
-        policy,
-        &tel,
-        &log,
-        |pll, fm| {
-            let _point = span!(tel, "bench.point", f_mod_hz = fm);
-            let (point, stats) = capture_point(pll, fm, settings)?;
-            if tel.is_enabled() {
-                tel.add("sim.steps", stats.steps);
-                tel.add("sim.step_rejections", stats.step_rejections);
-                tel.add("sim.ref_edges", stats.ref_edges);
-                tel.add("sim.fb_edges", stats.fb_edges);
-            }
-            Ok(point)
-        },
-    );
-    log.finish(true)?;
-    Ok(SupervisedSweepRun {
-        points: swept.points,
-        incidents: swept.incidents,
-        telemetry: tel.drain(),
-    })
-}
-
-/// Sweeps the bench measurement over the given modulation frequencies and
-/// assembles a Bode plot (phases unwrapped across the sweep).
-pub fn measure_sweep(config: &PllConfig, f_mod_hz: &[f64], settings: &BenchSettings) -> BodePlot {
-    let mut plot: BodePlot = measure_sweep_points(config, f_mod_hz, settings)
-        .into_iter()
-        .map(|p| BodePoint {
-            omega: TAU * p.f_mod_hz,
-            magnitude: p.gain,
-            phase: p.phase,
-        })
-        .collect();
-    plot.unwrap_phase();
-    plot
-}
-
 /// Log-spaced modulation frequencies for a sweep (helper shared with the
 /// BIST monitor so baseline and monitor measure the same points).
 ///
@@ -591,6 +433,11 @@ pub fn log_spaced(lo_hz: f64, hi_hz: f64, n: usize) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::behavioral::CpPll;
+    use crate::event_driven::EventDrivenCpPll;
+    use crate::plan::Scheduler;
+    use crate::supervisor::SupervisorPolicy;
+    use pllbist_telemetry::TelemetryConfig;
 
     fn quick() -> BenchSettings {
         BenchSettings {
@@ -598,22 +445,21 @@ mod tests {
             settle_periods: 3.0,
             measure_periods: 3.0,
             samples_per_period: 32,
-            threads: 1,
-            ..BenchSettings::default()
         }
+    }
+
+    fn serial_plan(cfg: &PllConfig) -> CampaignPlan {
+        CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial)
     }
 
     #[test]
     fn sweep_run_telemetry_observes_without_steering() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0, 20.0];
-        let quiet = measure_sweep_points(&cfg, &freqs, &quick());
-        let loud_settings = BenchSettings {
-            telemetry: TelemetryConfig::enabled(),
-            ..quick()
-        };
-        let run = measure_sweep_run(&cfg, &freqs, &loud_settings);
-        assert_eq!(run.points, quiet, "telemetry must not change results");
+        let quiet = measure_sweep_points(&serial_plan(&cfg), &freqs, &quick());
+        let loud = serial_plan(&cfg).telemetry(TelemetryConfig::enabled());
+        let run = run_sweep(&loud, &freqs, &quick()).expect("in-memory sweep");
+        assert_eq!(run.ok_points(), quiet, "telemetry must not change results");
         let point_spans = run
             .telemetry
             .iter()
@@ -624,31 +470,24 @@ mod tests {
             |r| matches!(r, Record::Counter { name, value } if name == "sim.steps" && *value > 0)
         ));
         // Disabled telemetry yields no records at all.
-        let silent = measure_sweep_run(&cfg, &freqs, &quick());
+        let silent = run_sweep(&serial_plan(&cfg), &freqs, &quick()).expect("in-memory sweep");
         assert!(silent.telemetry.is_empty());
-        assert_eq!(silent.points, quiet);
+        assert_eq!(silent.ok_points(), quiet);
     }
 
     #[test]
     fn checkpointed_sweep_is_bitwise_identical_to_fresh() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0, 20.0];
-        let fresh = measure_sweep_points(
-            &cfg,
-            &freqs,
-            &BenchSettings {
-                checkpoint: false,
-                ..quick()
-            },
-        );
-        let ckpt = measure_sweep_points(&cfg, &freqs, &quick());
+        let fresh = measure_sweep_points(&serial_plan(&cfg).checkpoint(false), &freqs, &quick());
+        let ckpt = measure_sweep_points(&serial_plan(&cfg), &freqs, &quick());
         assert_eq!(ckpt, fresh, "checkpointing must not change results");
     }
 
     #[test]
     fn in_band_point_has_unity_gain_and_small_lag() {
         let cfg = PllConfig::paper_table3();
-        let p = measure_point(&cfg, 1.0, &quick()).expect("bench point");
+        let p = measure_point::<CpPll>(&cfg, 1.0, &quick()).expect("bench point");
         assert!((p.gain - 1.0).abs() < 0.05, "gain {}", p.gain);
         assert!(p.phase.abs() < 0.25, "phase {}", p.phase);
     }
@@ -658,7 +497,7 @@ mod tests {
         let cfg = PllConfig::paper_table3();
         let a = cfg.analysis();
         let h = a.feedback_transfer();
-        let p = measure_point(&cfg, 8.0, &quick()).expect("bench point");
+        let p = measure_point::<CpPll>(&cfg, 8.0, &quick()).expect("bench point");
         let want = h.eval_jw(TAU * 8.0);
         assert!(
             (p.gain - want.abs()).abs() / want.abs() < 0.05,
@@ -677,7 +516,7 @@ mod tests {
     #[test]
     fn out_of_band_point_rolls_off() {
         let cfg = PllConfig::paper_table3();
-        let p = measure_point(&cfg, 60.0, &quick()).expect("bench point");
+        let p = measure_point::<CpPll>(&cfg, 60.0, &quick()).expect("bench point");
         let want = cfg.analysis().feedback_transfer().eval_jw(TAU * 60.0);
         assert!(p.gain < 0.5, "rolled off: {}", p.gain);
         assert!((p.gain - want.abs()).abs() / want.abs() < 0.15);
@@ -687,7 +526,7 @@ mod tests {
     fn sweep_produces_unwrapped_monotone_plot() {
         let cfg = PllConfig::paper_table3();
         let freqs = log_spaced(1.0, 40.0, 6);
-        let plot = measure_sweep(&cfg, &freqs, &quick());
+        let plot = measure_sweep(&serial_plan(&cfg), &freqs, &quick());
         assert_eq!(plot.len(), 6);
         for w in plot.points().windows(2) {
             assert!(w[1].phase <= w[0].phase + 0.2, "phase roughly decreasing");
@@ -698,15 +537,13 @@ mod tests {
     fn supervised_sweep_matches_legacy_on_healthy_device() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0, 20.0];
-        let legacy = measure_sweep_points(&cfg, &freqs, &quick());
+        let legacy = measure_sweep_points(&serial_plan(&cfg), &freqs, &quick());
         for threads in [1usize, 4] {
-            let settings = BenchSettings {
-                threads,
-                telemetry: TelemetryConfig::enabled(),
-                ..quick()
-            };
-            let run =
-                measure_sweep_supervised(&cfg, &freqs, &settings, &SupervisorPolicy::default());
+            let plan = CampaignPlan::new(cfg.clone())
+                .supervised(SupervisorPolicy::default())
+                .scheduler(Scheduler::WorkStealing { threads })
+                .telemetry(TelemetryConfig::enabled());
+            let run = run_sweep(&plan, &freqs, &quick()).expect("in-memory sweep");
             assert_eq!(run.quarantined_count(), 0, "threads = {threads}");
             assert!(run.incidents.is_empty());
             assert_eq!(run.ok_points(), legacy, "threads = {threads}");
@@ -733,51 +570,58 @@ mod tests {
     }
 
     #[test]
-    fn bench_digest_ignores_threads_but_not_settings() {
+    fn bench_digest_ignores_scheduling_but_not_settings() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0];
-        let policy = SupervisorPolicy::default();
-        let base = quick();
-        let a = bench_campaign_digest(&cfg, &freqs, &base, &policy);
+        let base = CampaignPlan::new(cfg.clone()).supervised(SupervisorPolicy::default());
+        let a = campaign_digest(&base, &freqs, &quick());
         // Thread count, checkpointing and telemetry never change results,
         // so they must not change the digest (resume across thread counts).
-        let rethreaded = BenchSettings {
-            threads: 16,
-            checkpoint: false,
-            telemetry: TelemetryConfig::enabled(),
-            ..quick()
-        };
-        assert_eq!(a, bench_campaign_digest(&cfg, &freqs, &rethreaded, &policy));
+        let rescheduled = CampaignPlan::new(cfg.clone())
+            .supervised(SupervisorPolicy::default())
+            .scheduler(Scheduler::WorkStealing { threads: 16 })
+            .checkpoint(false)
+            .telemetry(TelemetryConfig::enabled());
+        assert_eq!(a, campaign_digest(&rescheduled, &freqs, &quick()));
         // Anything result-affecting must.
         let detuned = BenchSettings {
             deviation_hz: 11.0,
             ..quick()
         };
-        assert_ne!(a, bench_campaign_digest(&cfg, &freqs, &detuned, &policy));
-        let lax = SupervisorPolicy {
-            max_retries: policy.max_retries + 1,
+        assert_ne!(a, campaign_digest(&base, &freqs, &detuned));
+        let lax = CampaignPlan::new(cfg.clone()).supervised(SupervisorPolicy {
+            max_retries: SupervisorPolicy::default().max_retries + 1,
             ..SupervisorPolicy::default()
-        };
-        assert_ne!(a, bench_campaign_digest(&cfg, &freqs, &base, &lax));
+        });
+        assert_ne!(a, campaign_digest(&lax, &freqs, &quick()));
+        // Dropping supervision entirely is also a different campaign.
+        assert_ne!(
+            a,
+            campaign_digest(&CampaignPlan::new(cfg.clone()), &freqs, &quick())
+        );
     }
 
     #[test]
-    fn resumable_sweep_matches_supervised_and_reloads_from_file() {
+    fn resumable_sweep_matches_in_memory_and_reloads_from_file() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0, 20.0];
-        let settings = quick();
-        let policy = SupervisorPolicy::default();
         let path = std::env::temp_dir().join("pllbist_bench_resumable_inline.jsonl");
         let _ = std::fs::remove_file(&path);
-        let run =
-            measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path).expect("resumable");
-        let plain = measure_sweep_supervised(&cfg, &freqs, &settings, &policy);
+        let resumable = serial_plan(&cfg)
+            .supervised(SupervisorPolicy::default())
+            .resume_from(&path);
+        let run = run_sweep(&resumable, &freqs, &quick()).expect("resumable");
+        let plain = run_sweep(
+            &serial_plan(&cfg).supervised(SupervisorPolicy::default()),
+            &freqs,
+            &quick(),
+        )
+        .expect("in-memory sweep");
         assert_eq!(run.points, plain.points);
         let first = std::fs::read_to_string(&path).expect("results file");
         // A second run over the completed file recomputes nothing: every
         // outcome loads from disk and the file is untouched.
-        let again =
-            measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path).expect("resume");
+        let again = run_sweep(&resumable, &freqs, &quick()).expect("resume");
         assert_eq!(again.points, run.points);
         assert_eq!(std::fs::read_to_string(&path).expect("results file"), first);
         std::fs::remove_file(&path).expect("cleanup");
@@ -787,9 +631,9 @@ mod tests {
     fn event_driven_backend_measures_the_same_response() {
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0, 20.0];
-        let beh = measure_sweep_points(&cfg, &freqs, &quick());
-        let ev = measure_sweep_points_on::<crate::event_driven::EventDrivenCpPll>(
-            &cfg,
+        let beh = measure_sweep_points(&serial_plan(&cfg), &freqs, &quick());
+        let ev = measure_sweep_points(
+            &serial_plan(&cfg).engine::<EventDrivenCpPll>(),
             &freqs,
             &quick(),
         );
@@ -813,19 +657,22 @@ mod tests {
 
     #[test]
     fn resumable_file_refuses_a_different_backend() {
-        use crate::event_driven::EventDrivenCpPll;
         let cfg = PllConfig::paper_table3();
         let freqs = [2.0, 8.0];
-        let settings = quick();
-        let policy = SupervisorPolicy::default();
         let path = std::env::temp_dir().join("pllbist_bench_cross_engine.jsonl");
         let _ = std::fs::remove_file(&path);
-        measure_sweep_resumable_on::<EventDrivenCpPll>(&cfg, &freqs, &settings, &policy, &path)
-            .expect("event-driven campaign");
+        let ev_plan = serial_plan(&cfg)
+            .engine::<EventDrivenCpPll>()
+            .supervised(SupervisorPolicy::default())
+            .resume_from(&path);
+        run_sweep(&ev_plan, &freqs, &quick()).expect("event-driven campaign");
         // The same grid on the behavioural backend must refuse the file:
         // the engines agree physically but not bit for bit, and a resume
         // that mixed their rounding would break byte-identity.
-        let err = measure_sweep_resumable(&cfg, &freqs, &settings, &policy, &path)
+        let beh_plan = serial_plan(&cfg)
+            .supervised(SupervisorPolicy::default())
+            .resume_from(&path);
+        let err = run_sweep(&beh_plan, &freqs, &quick())
             .expect_err("cross-engine resume must be refused");
         assert!(matches!(err, CampaignError::HeaderMismatch { .. }), "{err}");
         std::fs::remove_file(&path).expect("cleanup");

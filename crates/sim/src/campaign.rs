@@ -244,6 +244,34 @@ pub trait PointCodec: Sync {
     fn decode(&self, line: &str) -> Option<Self::Point>;
 }
 
+/// The codec for plans that never touch a results file: encodes
+/// nothing, decodes nothing. [`crate::scenario::run_points`] is generic
+/// over a [`PointCodec`] even when no [`CampaignLog`] is attached, so
+/// in-memory sweeps pass `NullCodec<P>` to name their point type.
+///
+/// [`crate::scenario::run_points`]: crate::scenario::Scenario::run_points
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullCodec<P>(std::marker::PhantomData<fn() -> P>);
+
+impl<P> NullCodec<P> {
+    /// A fresh null codec.
+    pub fn new() -> Self {
+        Self(std::marker::PhantomData)
+    }
+}
+
+impl<P: Send> PointCodec for NullCodec<P> {
+    type Point = P;
+
+    fn encode(&self, _point: &P) -> Fields {
+        Vec::new()
+    }
+
+    fn decode(&self, _line: &str) -> Option<P> {
+        None
+    }
+}
+
 /// Serialises one point outcome — `Ok` payload or quarantining error —
 /// as its JSONL line (no trailing newline).
 pub fn encode_point_line<C: PointCodec>(

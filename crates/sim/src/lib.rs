@@ -65,6 +65,7 @@ pub mod lock;
 pub mod noise;
 pub mod observe;
 pub mod parallel;
+pub mod plan;
 pub mod scenario;
 pub mod server;
 pub mod stimulus;
@@ -72,12 +73,14 @@ pub mod supervisor;
 pub mod transient;
 
 pub use behavioral::CpPll;
-pub use campaign::{CampaignLog, PointCodec};
+pub use campaign::{CampaignLog, NullCodec, PointCodec};
 pub use config::PllConfig;
 pub use engine::{AnalogAccess, ClosedFormPll, PllEngine, WorkStats};
 pub use error::{CampaignError, SweepPointError, ERROR_KINDS};
 pub use event_driven::EventDrivenCpPll;
 pub use linear::LoopAnalysis;
 pub use observe::{CampaignObserver, ObservatoryConfig};
+pub use plan::{CampaignPlan, Scheduler};
+pub use scenario::{run_plan, PlanOutcome, Scenario, SupervisedPoints};
 pub use server::{http_get, StatusServer};
 pub use supervisor::{Incident, IncidentAction, Supervised, SupervisorPolicy};

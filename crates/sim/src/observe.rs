@@ -4,7 +4,8 @@
 //! A [`CampaignObserver`] bundles the lock-free progress board
 //! ([`pllbist_telemetry::ProgressBoard`]), the flight-recorder ring
 //! ([`pllbist_telemetry::FlightRecorder`]) and a stall detector. The
-//! sweep path ([`crate::scenario::Scenario::sweep_points_supervised_resumed_observed`])
+//! sweep path ([`crate::scenario::Scenario::run_points`], reached by
+//! attaching the observer via [`crate::plan::CampaignPlan::observed`])
 //! calls its hooks as points are claimed, finished and flushed; the
 //! status server ([`crate::server::StatusServer`]) and the `--progress`
 //! terminal line read snapshots back out.

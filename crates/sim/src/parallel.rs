@@ -12,7 +12,7 @@
 //!   but the barrier waits on the slowest chunk — quarantine-and-retry
 //!   skew (retried points cost many times a healthy point) idles every
 //!   other worker.
-//! - **Work-stealing** ([`par_map_points_observed`] family): a shared
+//! - **Work-stealing** ([`par_map_points`] family): a shared
 //!   atomic work index over the point list; each worker repeatedly
 //!   claims the next unclaimed point and writes its result into that
 //!   point's pre-sized slot, so a straggler point delays only the worker
@@ -85,26 +85,11 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    par_map_chunks(items, threads, |chunk| chunk.iter().map(&f).collect())
-}
-
-/// Chunk-granular variant of [`par_map`]: `f` receives each worker's
-/// whole contiguous chunk and returns that chunk's results (any length).
-///
-/// Use this when per-item work shares mutable state within a worker —
-/// e.g. the BIST monitor, which walks one simulated loop through a chunk
-/// of modulation frequencies in sweep order.
-pub fn par_map_chunks<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&[T]) -> Vec<R> + Sync,
-{
-    par_map_chunks_observed(
+    par_map_chunks(
         items,
         threads,
         &pllbist_telemetry::Collector::disabled(),
-        |_, c| f(c),
+        |_, chunk| chunk.iter().map(&f).collect(),
     )
 }
 
@@ -118,7 +103,7 @@ where
 /// `f` additionally receives the worker's chunk index. Telemetry never
 /// influences the work: the returned vector is bitwise identical to
 /// [`par_map_chunks`] for every thread count and collector state.
-pub fn par_map_chunks_observed<T, R, F>(
+pub fn par_map_chunks<T, R, F>(
     items: &[T],
     threads: usize,
     telemetry: &pllbist_telemetry::Collector,
@@ -204,41 +189,6 @@ where
     out
 }
 
-/// Panic-isolating variant of [`par_map_chunks_observed`] for per-point
-/// `Result` pipelines: `f` returns one `Result` per item, and a *panic*
-/// anywhere inside a chunk is caught at the chunk boundary and rendered
-/// as [`SweepPointError::from_panic`](crate::error::SweepPointError::from_panic)
-/// for **every item of that chunk**
-/// (the shared worker state is unrecoverable once poisoned) instead of
-/// unwinding the sweep.
-///
-/// The supervisor retries point-by-point *before* work reaches this
-/// layer, so a chunk-level `Err` here means a failure escaped per-point
-/// containment — it is reported, never re-raised. Output order and the
-/// bitwise-determinism contract match [`par_map_chunks_observed`]: on
-/// panic-free runs the two are call-for-call identical.
-pub fn par_try_map_chunks_observed<T, R, F>(
-    items: &[T],
-    threads: usize,
-    telemetry: &pllbist_telemetry::Collector,
-    f: F,
-) -> Vec<Result<R, crate::error::SweepPointError>>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &[T]) -> Vec<Result<R, crate::error::SweepPointError>> + Sync,
-{
-    par_map_chunks_observed(items, threads, telemetry, |worker, chunk| {
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(worker, chunk))) {
-            Ok(results) => results,
-            Err(payload) => {
-                let err = crate::error::SweepPointError::from_panic(payload);
-                chunk.iter().map(|_| Err(err.clone())).collect()
-            }
-        }
-    })
-}
-
 /// Work-stealing per-point map: `f` is applied to every `(index, item)`
 /// pair by up to `threads` workers pulling from a **shared atomic work
 /// index**, and results are written into a pre-sized slot vector so the
@@ -261,8 +211,8 @@ where
 /// # Panics
 ///
 /// Re-raises a panic from `f` (the scope joins all workers first). For
-/// typed per-point containment use [`par_try_map_points_observed`].
-pub fn par_map_points_observed<T, R, F>(
+/// typed per-point containment use [`par_try_map_points`].
+pub fn par_map_points<T, R, F>(
     items: &[T],
     threads: usize,
     telemetry: &pllbist_telemetry::Collector,
@@ -273,10 +223,10 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    par_map_points_worker_observed(items, threads, telemetry, |_, i, item| f(i, item))
+    par_map_points_worker(items, threads, telemetry, |_, i, item| f(i, item))
 }
 
-/// Worker-aware variant of [`par_map_points_observed`]: `f` additionally
+/// Worker-aware variant of [`par_map_points`]: `f` additionally
 /// receives the index of the worker executing the point, so observers
 /// (e.g. the campaign progress board's per-worker utilization and
 /// heartbeat cells) can attribute work without thread-locals.
@@ -285,8 +235,8 @@ where
 /// it influence the result, or the bitwise-determinism contract across
 /// thread counts breaks (the same point lands on different workers on
 /// different runs). All other semantics match
-/// [`par_map_points_observed`], which delegates here.
-pub fn par_map_points_worker_observed<T, R, F>(
+/// [`par_map_points`], which delegates here.
+pub fn par_map_points_worker<T, R, F>(
     items: &[T],
     threads: usize,
     telemetry: &pllbist_telemetry::Collector,
@@ -392,7 +342,7 @@ where
         .collect()
 }
 
-/// Panic-isolating variant of [`par_map_points_observed`] for per-point
+/// Panic-isolating variant of [`par_map_points`] for per-point
 /// `Result` pipelines: each point runs inside its own `catch_unwind`, so
 /// a panic is rendered as
 /// [`SweepPointError::from_panic`](crate::error::SweepPointError::from_panic)
@@ -400,9 +350,9 @@ where
 /// which had to poison a panicking worker's whole chunk.
 ///
 /// Output order and the bitwise-determinism contract match
-/// [`par_map_points_observed`]: on panic-free runs the two are
+/// [`par_map_points`]: on panic-free runs the two are
 /// call-for-call identical.
-pub fn par_try_map_points_observed<T, R, F>(
+pub fn par_try_map_points<T, R, F>(
     items: &[T],
     threads: usize,
     telemetry: &pllbist_telemetry::Collector,
@@ -413,14 +363,14 @@ where
     R: Send,
     F: Fn(usize, &T) -> Result<R, crate::error::SweepPointError> + Sync,
 {
-    par_try_map_points_worker_observed(items, threads, telemetry, |_, i, item| f(i, item))
+    par_try_map_points_worker(items, threads, telemetry, |_, i, item| f(i, item))
 }
 
-/// Worker-aware variant of [`par_try_map_points_observed`] (see
-/// [`par_map_points_worker_observed`] for the worker-index contract):
+/// Worker-aware variant of [`par_try_map_points`] (see
+/// [`par_map_points_worker`] for the worker-index contract):
 /// per-point `catch_unwind` containment plus the executing worker's
 /// index for observers.
-pub fn par_try_map_points_worker_observed<T, R, F>(
+pub fn par_try_map_points_worker<T, R, F>(
     items: &[T],
     threads: usize,
     telemetry: &pllbist_telemetry::Collector,
@@ -431,7 +381,7 @@ where
     R: Send,
     F: Fn(usize, usize, &T) -> Result<R, crate::error::SweepPointError> + Sync,
 {
-    par_map_points_worker_observed(items, threads, telemetry, |worker, i, item| {
+    par_map_points_worker(items, threads, telemetry, |worker, i, item| {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(worker, i, item))) {
             Ok(result) => result,
             Err(payload) => Err(crate::error::SweepPointError::from_panic(payload)),
@@ -443,6 +393,7 @@ where
 mod tests {
     use super::*;
     use crate::error::SweepPointError;
+    use pllbist_telemetry::Collector;
 
     #[test]
     fn resolve_zero_is_auto() {
@@ -472,7 +423,7 @@ mod tests {
     #[test]
     fn chunks_are_contiguous_and_cover_everything() {
         let items: Vec<usize> = (0..10).collect();
-        let flat = par_map_chunks(&items, 3, |chunk| {
+        let flat = par_map_chunks(&items, 3, &Collector::disabled(), |_, chunk| {
             // Each worker sees a contiguous ascending run.
             assert!(chunk.windows(2).all(|w| w[1] == w[0] + 1));
             chunk.to_vec()
@@ -483,7 +434,7 @@ mod tests {
     #[test]
     fn chunk_results_may_differ_in_length() {
         let items: Vec<u32> = (0..9).collect();
-        let flat = par_map_chunks(&items, 2, |chunk| {
+        let flat = par_map_chunks(&items, 2, &Collector::disabled(), |_, chunk| {
             chunk.iter().filter(|&&x| x % 2 == 0).copied().collect()
         });
         assert_eq!(flat, vec![0, 2, 4, 6, 8]);
@@ -511,7 +462,7 @@ mod tests {
         // unchanged.
         let items: Vec<u32> = (0..3).collect();
         let tel = pllbist_telemetry::Collector::enabled();
-        let got = par_map_chunks_observed(&items, 64, &tel, |_, chunk| {
+        let got = par_map_chunks(&items, 64, &tel, |_, chunk| {
             assert!(!chunk.is_empty(), "empty-chunk worker spawned");
             chunk.iter().map(|&x| x * 2).collect()
         });
@@ -543,11 +494,10 @@ mod tests {
                 .map(|x| (x.sin() * x.exp()).sqrt().to_bits())
                 .collect()
         };
-        let quiet =
-            par_map_chunks_observed(&items, 1, &pllbist_telemetry::Collector::disabled(), work);
+        let quiet = par_map_chunks(&items, 1, &pllbist_telemetry::Collector::disabled(), work);
         for threads in [1, 2, 4, 16] {
             let tel = pllbist_telemetry::Collector::enabled();
-            let got = par_map_chunks_observed(&items, threads, &tel, work);
+            let got = par_map_chunks(&items, threads, &tel, work);
             assert_eq!(got, quiet, "threads = {threads}");
             assert!(!tel.drain().is_empty());
         }
@@ -561,51 +511,6 @@ mod tests {
             assert!(x < 6, "boom");
             x
         });
-    }
-
-    #[test]
-    fn try_map_contains_chunk_panics_as_typed_errors() {
-        let items: Vec<u32> = (0..8).collect();
-        let prev = std::panic::take_hook();
-        std::panic::set_hook(Box::new(|_| {}));
-        let tel = pllbist_telemetry::Collector::disabled();
-        let results: Vec<Vec<_>> = [1usize, 2, 4]
-            .iter()
-            .map(|&threads| {
-                par_try_map_chunks_observed(&items, threads, &tel, |_, chunk| {
-                    chunk
-                        .iter()
-                        .map(|&x| {
-                            assert!(x != 6, "poisoned point {x}");
-                            Ok(x * 10)
-                        })
-                        .collect()
-                })
-            })
-            .collect();
-        std::panic::set_hook(prev);
-        for (result, &threads) in results.iter().zip(&[1usize, 2, 4]) {
-            assert_eq!(result.len(), items.len(), "threads = {threads}");
-            // The panic happened at item 6: its whole chunk reports the
-            // typed panic error, every other chunk is intact.
-            assert!(
-                result.iter().any(|r| matches!(
-                    r,
-                    Err(SweepPointError::WorkerPanic { message }) if message.contains("poisoned point 6")
-                )),
-                "threads = {threads}"
-            );
-            // With more than one worker the poisoned chunk shrinks and
-            // the other chunks' points survive.
-            if threads > 1 {
-                assert!(
-                    result.iter().any(|r| matches!(r, Ok(v) if *v % 10 == 0)),
-                    "threads = {threads}"
-                );
-            }
-        }
-        // Serial containment too: the caller's stack is never unwound.
-        assert!(results[0][6].is_err());
     }
 
     #[test]
@@ -649,7 +554,7 @@ mod tests {
         // items on 4 threads all four chunk spans must appear.
         let items: Vec<u32> = (0..9).collect();
         let tel = pllbist_telemetry::Collector::enabled();
-        let got = par_map_chunks_observed(&items, 4, &tel, |_, chunk| {
+        let got = par_map_chunks(&items, 4, &tel, |_, chunk| {
             chunk.iter().map(|&x| x + 1).collect()
         });
         assert_eq!(got, (1..=9).collect::<Vec<u32>>());
@@ -681,11 +586,11 @@ mod tests {
         let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
         let tel = pllbist_telemetry::Collector::disabled();
         for threads in [1, 2, 3, 4, 8, 16, 64] {
-            let got = par_map_points_observed(&items, threads, &tel, |_, &x| x * x);
+            let got = par_map_points(&items, threads, &tel, |_, &x| x * x);
             assert_eq!(got, expect, "threads = {threads}");
         }
         let empty: Vec<u64> = Vec::new();
-        assert!(par_map_points_observed(&empty, 4, &tel, |_, &x| x).is_empty());
+        assert!(par_map_points(&empty, 4, &tel, |_, &x| x).is_empty());
     }
 
     #[test]
@@ -693,10 +598,10 @@ mod tests {
         let items: Vec<f64> = (1..=41).map(|k| k as f64 * 0.07).collect();
         let work = |i: usize, x: &f64| (x.sin() * (x + i as f64).exp()).sqrt().to_bits();
         let tel = pllbist_telemetry::Collector::disabled();
-        let serial = par_map_points_observed(&items, 1, &tel, work);
+        let serial = par_map_points(&items, 1, &tel, work);
         for threads in [2, 4, 16] {
             let tel_on = pllbist_telemetry::Collector::enabled();
-            let got = par_map_points_observed(&items, threads, &tel_on, work);
+            let got = par_map_points(&items, threads, &tel_on, work);
             assert_eq!(got, serial, "threads = {threads}");
             let records = tel_on.drain();
             // Per-worker telemetry: claimed points sum to the item count.
@@ -724,7 +629,7 @@ mod tests {
         let results: Vec<Vec<_>> = [1usize, 2, 4]
             .iter()
             .map(|&threads| {
-                par_try_map_points_observed(&items, threads, &tel, |_, &x| {
+                par_try_map_points(&items, threads, &tel, |_, &x| {
                     assert!(x != 6, "poisoned point {x}");
                     Ok(x * 10)
                 })
@@ -757,14 +662,14 @@ mod tests {
     }
 
     #[test]
-    fn worker_observed_map_reports_valid_workers_and_identical_results() {
+    fn worker_aware_map_reports_valid_workers_and_identical_results() {
         let items: Vec<f64> = (1..=33).map(|k| k as f64 * 0.11).collect();
         let tel = pllbist_telemetry::Collector::disabled();
         let work = |i: usize, x: &f64| (x.cos() + i as f64).to_bits();
-        let plain = par_map_points_observed(&items, 1, &tel, work);
+        let plain = par_map_points(&items, 1, &tel, work);
         for threads in [1, 2, 4, 16] {
             let seen = std::sync::Mutex::new(std::collections::BTreeSet::new());
-            let got = par_map_points_worker_observed(&items, threads, &tel, |worker, i, x| {
+            let got = par_map_points_worker(&items, threads, &tel, |worker, i, x| {
                 assert!(worker < threads, "worker {worker} out of range");
                 if let Ok(mut set) = seen.lock() {
                     set.insert(worker);
@@ -776,7 +681,7 @@ mod tests {
             assert!(!seen.is_empty());
         }
         // Typed variant matches too when nothing fails.
-        let tried = par_try_map_points_worker_observed(&items, 4, &tel, |_, i, x| Ok(work(i, x)));
+        let tried = par_try_map_points_worker(&items, 4, &tel, |_, i, x| Ok(work(i, x)));
         let unwrapped: Vec<u64> = tried.into_iter().map(|r| r.unwrap_or(0)).collect();
         assert_eq!(unwrapped, plain);
     }
@@ -786,26 +691,9 @@ mod tests {
     fn stealing_map_propagates_uncontained_panics() {
         let items: Vec<u32> = (0..8).collect();
         let tel = pllbist_telemetry::Collector::disabled();
-        let _ = par_map_points_observed(&items, 2, &tel, |_, &x| {
+        let _ = par_map_points(&items, 2, &tel, |_, &x| {
             assert!(x < 6, "stealing boom");
             x
         });
-    }
-
-    #[test]
-    fn try_map_is_identical_to_map_when_nothing_fails() {
-        let items: Vec<f64> = (1..=20).map(|k| k as f64 * 0.3).collect();
-        let tel = pllbist_telemetry::Collector::disabled();
-        let plain = par_map_chunks_observed(&items, 4, &tel, |_, chunk| {
-            chunk.iter().map(|x| x.sin().to_bits()).collect::<Vec<_>>()
-        });
-        let tried = par_try_map_chunks_observed(&items, 4, &tel, |_, chunk| {
-            chunk.iter().map(|x| Ok(x.sin().to_bits())).collect()
-        });
-        let unwrapped: Vec<u64> = tried
-            .into_iter()
-            .map(|r| r.expect("no failures injected"))
-            .collect();
-        assert_eq!(unwrapped, plain);
     }
 }

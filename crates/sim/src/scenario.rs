@@ -1,4 +1,5 @@
-//! The shared settle→stimulate→capture sweep pipeline.
+//! The shared settle→stimulate→capture sweep pipeline and the **single**
+//! campaign runner every plan combination lowers onto.
 //!
 //! Every transfer-function measurement in this workspace — the Table 2
 //! BIST monitor, the bench-style baseline, the fault campaigns — walks
@@ -9,26 +10,34 @@
 //! phase runs once per configuration and each sweep point restores the
 //! snapshot instead of re-locking from scratch.
 //!
-//! Checkpointing never changes results: [`PllEngine::restore`] is
-//! bit-exact, so a checkpointed sweep is bitwise identical to a
-//! from-scratch sweep at any thread count (the workspace's
-//! `checkpoint_determinism` integration test pins this).
+//! Since the [`crate::plan`] refactor there is exactly **one** execution
+//! path: [`Scenario::run_points`] composes checkpointing, supervision,
+//! work-stealing scheduling, campaign-log resume and observer wiring
+//! from its arguments, and [`run_plan`] lowers a
+//! [`CampaignPlan`] onto it. Feature combinations are options, not
+//! separate functions, so they cannot diverge.
+//!
+//! None of the options change results on a healthy grid:
+//! [`PllEngine::restore`] is bit-exact, supervision guardrails are
+//! read-only, observers and telemetry only watch, and scheduling only
+//! picks *which worker* computes a point. A run with every option
+//! enabled is bitwise identical to the serial unsupervised baseline at
+//! any thread count (pinned by `crates/sim/tests/plan_matrix.rs` and the
+//! workspace's `checkpoint_determinism` test).
 
 use crate::campaign::{CampaignLog, PointCodec};
 use crate::config::PllConfig;
 use crate::engine::PllEngine;
-use crate::error::SweepPointError;
+use crate::error::{CampaignError, SweepPointError};
 use crate::observe::CampaignObserver;
-use crate::parallel::{
-    par_map_chunks_observed, par_map_points_observed, par_try_map_chunks_observed,
-    par_try_map_points_observed, par_try_map_points_worker_observed,
-};
+use crate::parallel::par_try_map_points_worker;
+use crate::plan::CampaignPlan;
 use crate::stimulus::FmStimulus;
 use crate::supervisor::{
     emit_incident, supervised_point, Incident, IncidentAction, PointOutcome, Supervised,
     SupervisorPolicy,
 };
-use pllbist_telemetry::Collector;
+use pllbist_telemetry::{Collector, Record};
 
 /// The loop-settle-time heuristic, in seconds — the **single** workspace
 /// definition (bench, monitor and transient-horizon logic all derive
@@ -132,46 +141,23 @@ impl<'a> Scenario<'a> {
         pll.advance_to(t + settle_secs);
     }
 
-    /// Fans `capture` out over `f_mod_hz` with one fresh-or-restored
-    /// engine **per point** (the bench shape: every point independent),
-    /// scheduled by the work-stealing executor
-    /// ([`par_map_points_observed`]) so a slow point never idles the
-    /// other workers behind a chunk barrier.
-    ///
-    /// With `use_checkpoint` the settle runs once and each point restores
-    /// the snapshot; without it each point settles from scratch. Results
-    /// are bitwise identical either way, for any `threads` value.
-    pub fn sweep_points<E, R, F>(
+    /// Settles one engine and snapshots it, containing a divergent
+    /// settle: on failure the snapshot is dropped and each point settles
+    /// (and fails, and is quarantined) individually. The wrapper carries
+    /// `policy`'s guardrails when supervision is on and is a plain
+    /// pass-through otherwise — bit-identical state either way on a
+    /// healthy configuration.
+    fn guarded_snapshot<E: PllEngine>(
         &self,
-        f_mod_hz: &[f64],
-        threads: usize,
-        use_checkpoint: bool,
-        telemetry: &Collector,
-        capture: F,
-    ) -> Vec<R>
-    where
-        E: PllEngine,
-        R: Send,
-        F: Fn(&mut E, f64) -> R + Sync,
-    {
-        let snapshot = use_checkpoint.then(|| self.lock_checkpoint::<E>(telemetry));
-        par_map_points_observed(f_mod_hz, threads, telemetry, |_, &f_mod| {
-            let mut pll = self.point_engine::<E>(snapshot.as_ref());
-            capture(&mut pll, f_mod)
-        })
-    }
-
-    /// Settles one supervised engine and snapshots it, containing a
-    /// divergent settle: on failure the snapshot is dropped and each
-    /// point settles (and fails, and is quarantined) individually.
-    fn supervised_snapshot<E: PllEngine>(
-        &self,
-        policy: &SupervisorPolicy,
+        policy: Option<&SupervisorPolicy>,
         telemetry: &Collector,
     ) -> Option<E::Checkpoint> {
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _span = pllbist_telemetry::span!(telemetry, "scenario.checkpoint");
-            let mut pll = Supervised::new(E::new_locked(self.config), policy);
+            let mut pll = match policy {
+                Some(policy) => Supervised::new(E::new_locked(self.config), policy),
+                None => Supervised::unsupervised(E::new_locked(self.config)),
+            };
             let t0 = pll.time();
             pll.advance_to(t0 + self.lock_settle_secs);
             pll.checkpoint()
@@ -179,146 +165,43 @@ impl<'a> Scenario<'a> {
         .ok()
     }
 
-    /// Supervised variant of [`sweep_points`](Self::sweep_points): every
-    /// point runs under [`supervised_point`] — guardrails, panic
-    /// isolation, the deterministic quarantine-and-retry policy — and
-    /// the sweep returns per-point `Result`s plus the incident log
-    /// instead of aborting on the first sick point.
+    /// **The** campaign runner: every sweep in the workspace — bench,
+    /// monitor grid, fault campaigns, every ablation — executes here,
+    /// with each orthogonal feature composed from an argument instead of
+    /// a dedicated entry point:
     ///
-    /// Points are scheduled by the work-stealing executor
-    /// ([`par_try_map_points_observed`]), so a retry cascade on one sick
-    /// point keeps every other worker busy instead of idling them at a
-    /// chunk barrier — the schedule that makes retry-heavy campaigns
-    /// scale (see `abl12_work_stealing_campaign`).
+    /// * `threads` — work-stealing point schedule
+    ///   ([`par_try_map_points_worker`]): a shared atomic work index, so
+    ///   a straggler (e.g. a retry cascade) delays only the worker that
+    ///   claimed it. `1` is the serial baseline schedule.
+    /// * `checkpoint` — settle once and restore per point ([`restore`]
+    ///   is bit-exact) vs settle every point from scratch.
+    /// * `policy` — `Some`: guardrails, panic isolation and the
+    ///   deterministic quarantine-and-retry ladder per point
+    ///   ([`supervised_point`]); `None`: one attempt per point on an
+    ///   unguarded engine (panic isolation still applies, so a sick
+    ///   point quarantines instead of unwinding the sweep).
+    /// * `log` — campaign-file resume: completed points load from the
+    ///   file (counted in `campaign.points_skipped`), new points stream
+    ///   to it in index order as they land.
+    /// * `observer` — live claims/outcomes/flushes for a status server
+    ///   or progress line; read-only by construction.
     ///
-    /// On a healthy device the capture sequence (and therefore every
-    /// result bit) is identical to [`sweep_points`](Self::sweep_points)
-    /// with `use_checkpoint` at any thread count; the wrapper's checks
-    /// are read-only. The shared settle itself runs under guardrails
-    /// too: if it diverges, the snapshot is dropped and each point
-    /// settles (and fails, and is quarantined) individually.
-    pub fn sweep_points_supervised<E, R, F>(
-        &self,
-        f_mod_hz: &[f64],
-        threads: usize,
-        policy: &SupervisorPolicy,
-        telemetry: &Collector,
-        capture: F,
-    ) -> SupervisedPoints<R>
-    where
-        E: PllEngine,
-        R: Send,
-        F: Fn(&mut Supervised<E>, f64) -> Result<R, SweepPointError> + Sync,
-    {
-        let snapshot = self.supervised_snapshot::<E>(policy, telemetry);
-        let outcomes = par_try_map_points_observed(f_mod_hz, threads, telemetry, |_, &f_mod| {
-            Ok(supervised_point::<E, _, _>(
-                self,
-                snapshot.as_ref(),
-                policy,
-                f_mod,
-                telemetry,
-                |pll| capture(pll, f_mod),
-            ))
-        });
-        Self::merge_outcomes(f_mod_hz, outcomes, telemetry)
-    }
-
-    /// The pre-work-stealing supervised sweep: contiguous chunks joined
-    /// at a barrier, kept as a migration aid and as the baseline the
-    /// `abl12_work_stealing_campaign` ablation measures against.
+    /// On a healthy grid the capture sequence — and therefore every
+    /// result bit — is identical across **all** combinations at every
+    /// thread count; the options differ only in scheduling, fault
+    /// containment and what gets recorded on the side.
     ///
-    /// Semantics differ from [`sweep_points_supervised`](Self::sweep_points_supervised)
-    /// in one way only: a failure that escapes per-point containment
-    /// poisons its **whole worker chunk** (every point of the chunk is
-    /// quarantined), where the work-stealing schedule quarantines just
-    /// the offending point. Healthy results are bitwise identical
-    /// between the two at every thread count.
-    pub fn sweep_points_supervised_chunked<E, R, F>(
-        &self,
-        f_mod_hz: &[f64],
-        threads: usize,
-        policy: &SupervisorPolicy,
-        telemetry: &Collector,
-        capture: F,
-    ) -> SupervisedPoints<R>
-    where
-        E: PllEngine,
-        R: Send,
-        F: Fn(&mut Supervised<E>, f64) -> Result<R, SweepPointError> + Sync,
-    {
-        let snapshot = self.supervised_snapshot::<E>(policy, telemetry);
-        let outcomes = par_try_map_chunks_observed(f_mod_hz, threads, telemetry, |_, chunk| {
-            chunk
-                .iter()
-                .map(|&f_mod| {
-                    Ok(supervised_point::<E, _, _>(
-                        self,
-                        snapshot.as_ref(),
-                        policy,
-                        f_mod,
-                        telemetry,
-                        |pll| capture(pll, f_mod),
-                    ))
-                })
-                .collect()
-        });
-        Self::merge_outcomes(f_mod_hz, outcomes, telemetry)
-    }
-
-    /// Resumable variant of
-    /// [`sweep_points_supervised`](Self::sweep_points_supervised): points
-    /// already present in `log` (loaded from its results file) are
-    /// **skipped** — their outcomes are returned as-is — and every newly
-    /// computed point is streamed to the file as it completes, so a
-    /// killed campaign restarts where it left off and the resumed file
-    /// is byte-identical to an uninterrupted run's.
-    ///
-    /// The incident log covers newly computed points only (incidents of
-    /// previously completed points lived in the killed run). Skipped
-    /// points are counted in the `campaign.points_skipped` telemetry
-    /// counter.
-    pub fn sweep_points_supervised_resumed<E, C, F>(
-        &self,
-        f_mod_hz: &[f64],
-        threads: usize,
-        policy: &SupervisorPolicy,
-        telemetry: &Collector,
-        log: &CampaignLog<C>,
-        capture: F,
-    ) -> SupervisedPoints<C::Point>
-    where
-        E: PllEngine,
-        C: PointCodec,
-        C::Point: Clone + Sync,
-        F: Fn(&mut Supervised<E>, f64) -> Result<C::Point, SweepPointError> + Sync,
-    {
-        self.sweep_points_supervised_resumed_observed(
-            f_mod_hz, threads, policy, telemetry, log, None, capture,
-        )
-    }
-
-    /// [`sweep_points_supervised_resumed`](Self::sweep_points_supervised_resumed)
-    /// with an optional [`CampaignObserver`] attached: the sweep reports
-    /// claims, outcomes (with wall times and incident trails), log
-    /// flushes and skipped points into the observer as they happen, so a
-    /// status server or `--progress` line can watch the run live.
-    ///
-    /// The observer is **read-only** — its hooks are relaxed atomic
-    /// increments and flight-ring pushes plus wall-clock reads, none of
-    /// which feed back into scheduling, retries or physics. A healthy
-    /// run's results file is therefore byte-identical with and without
-    /// an observer, at every thread count (pinned by
-    /// `tests/campaign_observatory.rs`). Passing `None` is exactly the
-    /// unobserved sweep.
+    /// [`restore`]: PllEngine::restore
     #[allow(clippy::too_many_arguments)]
-    pub fn sweep_points_supervised_resumed_observed<E, C, F>(
+    pub fn run_points<E, C, F>(
         &self,
         f_mod_hz: &[f64],
         threads: usize,
-        policy: &SupervisorPolicy,
+        checkpoint: bool,
+        policy: Option<&SupervisorPolicy>,
         telemetry: &Collector,
-        log: &CampaignLog<C>,
+        log: Option<&CampaignLog<C>>,
         observer: Option<&CampaignObserver>,
         capture: F,
     ) -> SupervisedPoints<C::Point>
@@ -328,28 +211,26 @@ impl<'a> Scenario<'a> {
         C::Point: Clone + Sync,
         F: Fn(&mut Supervised<E>, f64) -> Result<C::Point, SweepPointError> + Sync,
     {
-        let missing: Vec<usize> = (0..f_mod_hz.len())
-            .filter(|&i| !log.is_completed(i))
-            .collect();
-        if telemetry.is_enabled() {
-            telemetry.add(
-                "campaign.points_skipped",
-                (f_mod_hz.len() - missing.len()) as u64,
-            );
+        let missing: Vec<usize> = match log {
+            Some(log) => (0..f_mod_hz.len())
+                .filter(|&i| !log.is_completed(i))
+                .collect(),
+            None => (0..f_mod_hz.len()).collect(),
+        };
+        let skipped = f_mod_hz.len() - missing.len();
+        if log.is_some() && telemetry.is_enabled() {
+            telemetry.add("campaign.points_skipped", skipped as u64);
         }
         if let Some(obs) = observer {
-            obs.on_skipped(f_mod_hz.len() - missing.len());
+            obs.on_skipped(skipped);
         }
-        let snapshot = if missing.is_empty() {
+        let snapshot = if missing.is_empty() || !checkpoint {
             None
         } else {
-            self.supervised_snapshot::<E>(policy, telemetry)
+            self.guarded_snapshot::<E>(policy, telemetry)
         };
-        let computed = par_try_map_points_worker_observed(
-            &missing,
-            threads,
-            telemetry,
-            |worker, _, &index| {
+        let computed =
+            par_try_map_points_worker(&missing, threads, telemetry, |worker, _, &index| {
                 let f_mod = f_mod_hz[index];
                 if let Some(obs) = observer {
                     obs.on_claim(worker, index);
@@ -363,14 +244,17 @@ impl<'a> Scenario<'a> {
                     telemetry,
                     |pll| capture(pll, f_mod),
                 );
-                log.record(index, &outcome.result);
+                if let Some(log) = log {
+                    log.record(index, &outcome.result);
+                }
                 if let Some(obs) = observer {
                     obs.on_outcome(worker, index, &outcome, point_start.elapsed().as_secs_f64());
-                    obs.on_flush(worker, index);
+                    if log.is_some() {
+                        obs.on_flush(worker, index);
+                    }
                 }
                 Ok(outcome)
-            },
-        );
+            });
         let mut fresh: std::collections::BTreeMap<
             usize,
             Result<PointOutcome<C::Point>, SweepPointError>,
@@ -378,7 +262,7 @@ impl<'a> Scenario<'a> {
         let mut points = Vec::with_capacity(f_mod_hz.len());
         let mut incidents = Vec::new();
         for (index, &f_mod) in f_mod_hz.iter().enumerate() {
-            if let Some(loaded) = log.loaded(index) {
+            if let Some(loaded) = log.and_then(|log| log.loaded(index)) {
                 points.push(loaded.clone());
                 continue;
             }
@@ -398,12 +282,18 @@ impl<'a> Scenario<'a> {
                         action: IncidentAction::Quarantined,
                         error: error.clone(),
                     };
-                    emit_incident(telemetry, &incident);
+                    if policy.is_some() {
+                        emit_incident(telemetry, &incident);
+                    }
                     incidents.push(incident);
-                    log.record(index, &Err(error.clone()));
+                    if let Some(log) = log {
+                        log.record(index, &Err(error.clone()));
+                    }
                     if let Some(obs) = observer {
                         obs.on_escaped_quarantine(index, &error);
-                        obs.on_flush(0, index);
+                        if log.is_some() {
+                            obs.on_flush(0, index);
+                        }
                     }
                     points.push(Err(error));
                 }
@@ -412,63 +302,77 @@ impl<'a> Scenario<'a> {
         }
         SupervisedPoints { points, incidents }
     }
+}
 
-    /// Folds per-point executor outcomes into a [`SupervisedPoints`],
-    /// quarantining any failure that escaped per-point containment.
-    fn merge_outcomes<R>(
-        f_mod_hz: &[f64],
-        outcomes: Vec<Result<PointOutcome<R>, SweepPointError>>,
-        telemetry: &Collector,
-    ) -> SupervisedPoints<R> {
-        let mut points = Vec::with_capacity(f_mod_hz.len());
-        let mut incidents = Vec::new();
-        for (outcome, &f_mod) in outcomes.into_iter().zip(f_mod_hz) {
-            match outcome {
-                Ok(point) => {
-                    incidents.extend(point.incidents);
-                    points.push(point.result);
-                }
-                Err(error) => {
-                    let incident = Incident {
-                        f_mod_hz: f_mod,
-                        attempt: 0,
-                        action: IncidentAction::Quarantined,
-                        error: error.clone(),
-                    };
-                    emit_incident(telemetry, &incident);
-                    incidents.push(incident);
-                    points.push(Err(error));
-                }
-            }
-        }
-        SupervisedPoints { points, incidents }
-    }
+/// A completed plan run: per-point outcomes in input order, the incident
+/// log, and the drained telemetry.
+#[derive(Clone, Debug)]
+pub struct PlanOutcome<R> {
+    /// Per-point outcomes, aligned with the requested `f_mod_hz`.
+    pub points: Vec<Result<R, SweepPointError>>,
+    /// Every retry/quarantine incident, in occurrence order per point.
+    pub incidents: Vec<Incident>,
+    /// Drained telemetry (empty when the plan's telemetry is off).
+    pub telemetry: Vec<Record>,
+}
 
-    /// Fans `walk` out over contiguous chunks of `f_mod_hz` with one
-    /// fresh-or-restored engine **per worker** (the serial-walk shape:
-    /// a worker walks its chunk of tones on one simulated loop).
-    ///
-    /// `walk` receives the worker's engine, its chunk index, and its
-    /// chunk of modulation frequencies, and returns that chunk's
-    /// results.
-    pub fn sweep_chunks<E, R, F>(
-        &self,
-        f_mod_hz: &[f64],
-        threads: usize,
-        snapshot: Option<&E::Checkpoint>,
-        telemetry: &Collector,
-        walk: F,
-    ) -> Vec<R>
-    where
-        E: PllEngine,
-        R: Send,
-        F: Fn(&mut E, usize, &[f64]) -> Vec<R> + Sync,
-    {
-        par_map_chunks_observed(f_mod_hz, threads, telemetry, |worker, chunk| {
-            let mut pll = self.point_engine::<E>(snapshot);
-            walk(&mut pll, worker, chunk)
-        })
+/// Lowers a [`CampaignPlan`] onto [`Scenario::run_points`]: builds the
+/// telemetry collector, opens the resumable campaign log when the plan
+/// names one (digest = [`CampaignPlan::digest`] over `workload_salt`),
+/// runs the sweep with every plan option composed in, and closes the log.
+///
+/// `capture` receives the per-point engine, the point's modulation
+/// frequency and the run's collector (for measurement-layer spans and
+/// counters — e.g. `bench.point`).
+///
+/// # Errors
+///
+/// [`CampaignError`] when the plan's results file belongs to a different
+/// campaign ([`CampaignError::HeaderMismatch`]), is corrupted before its
+/// final line, or the filesystem fails. Plans without a resume file
+/// cannot fail this way.
+pub fn run_plan<E, C, F>(
+    plan: &CampaignPlan<E>,
+    f_mod_hz: &[f64],
+    codec: C,
+    workload_salt: &str,
+    capture: F,
+) -> Result<PlanOutcome<C::Point>, CampaignError>
+where
+    E: PllEngine,
+    C: PointCodec,
+    C::Point: Clone + Sync,
+    F: Fn(&mut Supervised<E>, f64, &Collector) -> Result<C::Point, SweepPointError> + Sync,
+{
+    let telemetry = Collector::from_config(plan.telemetry_config());
+    let log = match plan.resume_path() {
+        Some(path) => Some(CampaignLog::open(
+            path,
+            codec,
+            plan.digest(f_mod_hz, workload_salt),
+            f_mod_hz.len(),
+        )?),
+        None => None,
+    };
+    let scenario = plan.scenario();
+    let swept = scenario.run_points::<E, C, _>(
+        f_mod_hz,
+        plan.schedule().threads(),
+        plan.checkpoint_enabled(),
+        plan.supervision(),
+        &telemetry,
+        log.as_ref(),
+        plan.observer(),
+        |pll, f_mod| capture(pll, f_mod, &telemetry),
+    );
+    if let Some(log) = &log {
+        log.finish(true)?;
     }
+    Ok(PlanOutcome {
+        points: swept.points,
+        incidents: swept.incidents,
+        telemetry: telemetry.drain(),
+    })
 }
 
 /// A supervised sweep's output: one `Result` per requested point (input
@@ -497,6 +401,7 @@ impl<R> SupervisedPoints<R> {
 mod tests {
     use super::*;
     use crate::behavioral::CpPll;
+    use crate::campaign::NullCodec;
     use crate::engine::ClosedFormPll;
 
     #[test]
@@ -537,67 +442,89 @@ mod tests {
         );
     }
 
+    fn capture_bits(
+        pll: &mut Supervised<ClosedFormPll>,
+        f_mod: f64,
+    ) -> Result<u64, SweepPointError> {
+        Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
+        let t = pll.time();
+        pll.advance_to(t + 1.0 / f_mod);
+        Ok(pll.vco_phase_cycles().to_bits())
+    }
+
     #[test]
-    fn sweep_points_checkpoint_and_threads_invariant() {
+    fn runner_checkpoint_and_threads_invariant() {
         let cfg = PllConfig::paper_table3();
         let scenario = Scenario::with_lock_settle(&cfg, 0.05);
         let tones = [1.0, 4.0, 8.0, 12.0, 20.0];
         let tel = Collector::disabled();
-        let capture = |pll: &mut ClosedFormPll, f_mod: f64| -> u64 {
-            Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
-            let t = pll.time();
-            pll.advance_to(t + 1.0 / f_mod);
-            pll.vco_phase_cycles().to_bits()
-        };
-        let baseline =
-            scenario.sweep_points::<ClosedFormPll, _, _>(&tones, 1, false, &tel, capture);
+        let baseline = scenario
+            .run_points::<ClosedFormPll, NullCodec<u64>, _>(
+                &tones,
+                1,
+                false,
+                None,
+                &tel,
+                None,
+                None,
+                capture_bits,
+            )
+            .points;
         for (threads, use_ckpt) in [(1, true), (4, false), (4, true)] {
             let got = scenario
-                .sweep_points::<ClosedFormPll, _, _>(&tones, threads, use_ckpt, &tel, capture);
+                .run_points::<ClosedFormPll, NullCodec<u64>, _>(
+                    &tones,
+                    threads,
+                    use_ckpt,
+                    None,
+                    &tel,
+                    None,
+                    None,
+                    capture_bits,
+                )
+                .points;
             assert_eq!(got, baseline, "threads {threads}, checkpoint {use_ckpt}");
         }
     }
 
     #[test]
-    fn supervised_sweep_matches_unsupervised_on_healthy_points() {
+    fn supervised_runner_matches_unsupervised_on_healthy_points() {
         let cfg = PllConfig::paper_table3();
         let scenario = Scenario::with_lock_settle(&cfg, 0.05);
         let tones = [1.0, 4.0, 8.0, 12.0, 20.0];
         let tel = Collector::disabled();
-        let capture = |pll: &mut ClosedFormPll, f_mod: f64| -> u64 {
-            Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
-            let t = pll.time();
-            pll.advance_to(t + 1.0 / f_mod);
-            pll.vco_phase_cycles().to_bits()
-        };
-        let baseline = scenario.sweep_points::<ClosedFormPll, _, _>(&tones, 1, true, &tel, capture);
+        let baseline = scenario
+            .run_points::<ClosedFormPll, NullCodec<u64>, _>(
+                &tones,
+                1,
+                true,
+                None,
+                &tel,
+                None,
+                None,
+                capture_bits,
+            )
+            .points;
         let policy = SupervisorPolicy::default();
         for threads in [1usize, 4] {
-            let supervised = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
+            let supervised = scenario.run_points::<ClosedFormPll, NullCodec<u64>, _>(
                 &tones,
                 threads,
-                &policy,
+                true,
+                Some(&policy),
                 &tel,
-                |pll, f_mod| {
-                    Scenario::stimulate(pll, FmStimulus::pure_sine(1_000.0, 10.0, f_mod), 0.1);
-                    let t = pll.time();
-                    pll.advance_to(t + 1.0 / f_mod);
-                    Ok(pll.vco_phase_cycles().to_bits())
-                },
+                None,
+                None,
+                capture_bits,
             );
             assert!(supervised.incidents.is_empty(), "threads = {threads}");
             assert_eq!(supervised.quarantined_count(), 0);
-            let got: Vec<u64> = supervised
-                .points
-                .into_iter()
-                .map(|p| p.expect("healthy point"))
-                .collect();
-            assert_eq!(got, baseline, "threads = {threads}");
+            assert_eq!(supervised.points, baseline, "threads = {threads}");
         }
     }
 
     #[test]
-    fn supervised_sweep_quarantines_sick_points_only() {
+    fn supervised_runner_quarantines_sick_points_only() {
         let cfg = PllConfig::paper_table3();
         let scenario = Scenario::with_lock_settle(&cfg, 0.01);
         let tones = [1.0, 4.0, 8.0];
@@ -606,11 +533,14 @@ mod tests {
             max_retries: 1,
             ..SupervisorPolicy::default()
         };
-        let out = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
+        let out = scenario.run_points::<ClosedFormPll, NullCodec<f64>, _>(
             &tones,
             2,
-            &policy,
+            true,
+            Some(&policy),
             &tel,
+            None,
+            None,
             |pll, f_mod| {
                 if f_mod == 4.0 {
                     return Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod });
@@ -637,19 +567,41 @@ mod tests {
     }
 
     #[test]
-    fn sweep_chunks_covers_all_points_in_order() {
+    fn unsupervised_runner_contains_failures_without_supervisor_noise() {
+        // policy: None still gets panic isolation and typed quarantine,
+        // but exactly one attempt and no supervisor.* telemetry.
         let cfg = PllConfig::paper_table3();
-        let scenario = Scenario::with_lock_settle(&cfg, 0.0);
-        let tones = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
-        let tel = Collector::disabled();
-        let snap = scenario.lock_checkpoint::<ClosedFormPll>(&tel);
-        let got = scenario.sweep_chunks::<ClosedFormPll, _, _>(
+        let scenario = Scenario::with_lock_settle(&cfg, 0.01);
+        let tones = [1.0, 4.0];
+        let tel = Collector::enabled();
+        let out = scenario.run_points::<ClosedFormPll, NullCodec<f64>, _>(
             &tones,
-            3,
-            Some(&snap),
+            1,
+            true,
+            None,
             &tel,
-            |_pll, _worker, chunk| chunk.to_vec(),
+            None,
+            None,
+            |pll, f_mod| {
+                if f_mod == 4.0 {
+                    return Err(SweepPointError::DegenerateFit { f_mod_hz: f_mod });
+                }
+                let t = pll.time();
+                pll.advance_to(t + 0.01);
+                Ok(f_mod)
+            },
         );
-        assert_eq!(got, tones.to_vec());
+        assert_eq!(out.ok_count(), 1);
+        assert_eq!(out.quarantined_count(), 1);
+        // The failure is reported in the incident log…
+        assert_eq!(out.incidents.len(), 1);
+        assert_eq!(out.incidents[0].action, IncidentAction::Quarantined);
+        // …but no retries happen and no supervisor telemetry is emitted
+        // (the unsupervised baseline stays clean).
+        let records = tel.drain();
+        assert!(!records.iter().any(|r| matches!(
+            r,
+            pllbist_telemetry::Record::Counter { name, .. } if name.starts_with("supervisor.")
+        )));
     }
 }

@@ -36,10 +36,10 @@
 //! [`std::panic::panic_any`] with the typed error as payload; the
 //! supervisor's `catch_unwind` recovers it *typed* (see
 //! [`SweepPointError::from_panic`]). Drive a [`Supervised`] engine
-//! through the supervisor entry points ([`supervised_point`],
-//! [`crate::scenario::Scenario::sweep_points_supervised`],
-//! [`crate::bench_measure::measure_sweep_supervised`]) rather than
-//! bare, so trips are contained instead of unwinding the caller.
+//! through the supervisor entry points ([`supervised_point`], or any
+//! supervised [`crate::plan::CampaignPlan`] handed to the unified
+//! runner [`crate::scenario::run_plan`]) rather than bare, so trips are
+//! contained instead of unwinding the caller.
 //!
 //! Determinism: retries are a pure function of `(config, point,
 //! policy)` — attempt `k` always uses step scale
@@ -448,10 +448,13 @@ impl<E: AnalogAccess> AnalogAccess for Supervised<E> {
 pub fn engine_for_attempt<E: PllEngine>(
     scenario: &Scenario<'_>,
     snapshot: Option<&E::Checkpoint>,
-    policy: &SupervisorPolicy,
+    policy: Option<&SupervisorPolicy>,
     attempt: u32,
 ) -> Supervised<E> {
-    let mut pll = Supervised::for_attempt(E::new_locked(scenario.config()), policy, attempt);
+    let mut pll = match policy {
+        Some(policy) => Supervised::for_attempt(E::new_locked(scenario.config()), policy, attempt),
+        None => Supervised::unsupervised(E::new_locked(scenario.config())),
+    };
     if attempt == 0 {
         if let Some(snap) = snapshot {
             pll.restore(snap);
@@ -461,6 +464,9 @@ pub fn engine_for_attempt<E: PllEngine>(
         pll.advance_to(t0 + scenario.lock_settle_secs());
         return pll;
     }
+    let Some(policy) = policy else {
+        unreachable!("retry attempts require a supervision policy")
+    };
     pll.set_step_scale(policy.retry_step_scale.powi(attempt as i32));
     let t0 = pll.time();
     pll.advance_to(
@@ -476,10 +482,15 @@ pub fn engine_for_attempt<E: PllEngine>(
 /// value (or a typed error — e.g. a failed lock qualification). Any
 /// panic inside the attempt, including guardrail trips, is caught at
 /// this boundary and converted via [`SweepPointError::from_panic`].
+///
+/// With `policy: None` the point still gets panic isolation and a typed
+/// outcome, but runs exactly one attempt on an unguarded engine and
+/// emits no `supervisor.*` telemetry — the unsupervised baseline every
+/// supervised healthy run must match bit for bit.
 pub fn supervised_point<E, R, F>(
     scenario: &Scenario<'_>,
     snapshot: Option<&E::Checkpoint>,
-    policy: &SupervisorPolicy,
+    policy: Option<&SupervisorPolicy>,
     f_mod_hz: f64,
     telemetry: &Collector,
     capture: F,
@@ -488,8 +499,9 @@ where
     E: PllEngine,
     F: Fn(&mut Supervised<E>) -> Result<R, SweepPointError>,
 {
+    let max_retries = policy.map_or(0, |p| p.max_retries);
     let mut incidents = Vec::new();
-    for attempt in 0..=policy.max_retries {
+    for attempt in 0..=max_retries {
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let mut pll = engine_for_attempt::<E>(scenario, snapshot, policy, attempt);
             pll.arm_point();
@@ -498,7 +510,7 @@ where
         .unwrap_or_else(|payload| Err(SweepPointError::from_panic(payload)));
         match outcome {
             Ok(value) => {
-                if telemetry.is_enabled() {
+                if telemetry.is_enabled() && policy.is_some() {
                     telemetry.add("supervisor.points_ok", 1);
                     if attempt > 0 {
                         telemetry.add("supervisor.points_recovered", 1);
@@ -510,7 +522,7 @@ where
                 };
             }
             Err(error) => {
-                let retry = attempt < policy.max_retries && error.is_retryable();
+                let retry = attempt < max_retries && error.is_retryable();
                 let incident = Incident {
                     f_mod_hz,
                     attempt,
@@ -521,7 +533,9 @@ where
                     },
                     error: error.clone(),
                 };
-                emit_incident(telemetry, &incident);
+                if policy.is_some() {
+                    emit_incident(telemetry, &incident);
+                }
                 incidents.push(incident);
                 if !retry {
                     return PointOutcome {
@@ -600,7 +614,7 @@ mod tests {
             supervised_point::<ClosedFormPll, f64, _>(
                 &scenario,
                 None,
-                &policy,
+                Some(&policy),
                 8.0,
                 &quiet(),
                 |_pll| Err(SweepPointError::DegenerateFit { f_mod_hz: 8.0 }),
@@ -624,7 +638,7 @@ mod tests {
         let out = supervised_point::<ClosedFormPll, f64, _>(
             &scenario,
             None,
-            &SupervisorPolicy::default(),
+            Some(&SupervisorPolicy::default()),
             4.0,
             &tel,
             |_pll| panic!("injected point panic"),
@@ -717,15 +731,21 @@ mod tests {
             policy.step_budget
         );
         let failures = std::sync::atomic::AtomicU32::new(1);
-        let out =
-            supervised_point::<CpPll, u64, _>(&scenario, None, &policy, 2.0, &quiet(), |pll| {
+        let out = supervised_point::<CpPll, u64, _>(
+            &scenario,
+            None,
+            Some(&policy),
+            2.0,
+            &quiet(),
+            |pll| {
                 if failures.fetch_sub(1, std::sync::atomic::Ordering::SeqCst) > 0 {
                     return Err(SweepPointError::DegenerateFit { f_mod_hz: 2.0 });
                 }
                 let t = pll.time();
                 pll.advance_to(t + 0.001);
                 Ok(pll.vco_phase_cycles().to_bits())
-            });
+            },
+        );
         assert_eq!(out.incidents.len(), 1, "{:?}", out.incidents);
         assert_eq!(out.incidents[0].action, IncidentAction::Retried);
         assert_eq!(out.incidents[0].error.kind(), "degenerate_fit");
@@ -745,7 +765,7 @@ mod tests {
         let out = supervised_point::<ClosedFormPll, u64, _>(
             &scenario,
             None,
-            &SupervisorPolicy::default(),
+            Some(&SupervisorPolicy::default()),
             2.0,
             &tel,
             |pll| {

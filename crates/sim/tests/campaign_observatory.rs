@@ -70,10 +70,16 @@ fn run_campaign(
     let tel = Collector::disabled();
     let log = CampaignLog::open(path, VoltageCodec, "obsit0000000001".into(), TONES.len())
         .expect("open log");
-    let swept = scenario
-        .sweep_points_supervised_resumed_observed::<ClosedFormPll, VoltageCodec, _>(
-            tones, threads, &policy, &tel, &log, observer, capture,
-        );
+    let swept = scenario.run_points::<ClosedFormPll, VoltageCodec, _>(
+        tones,
+        threads,
+        true,
+        Some(&policy),
+        &tel,
+        Some(&log),
+        observer,
+        capture,
+    );
     if finish {
         log.finish(true).expect("complete");
     }

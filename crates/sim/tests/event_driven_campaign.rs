@@ -7,26 +7,35 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use pllbist_sim::bench_measure::{
-    measure_sweep_points_on, measure_sweep_resumable_on, measure_sweep_supervised_on, BenchSettings,
-};
+use pllbist_sim::bench_measure::{measure_sweep_points, run_sweep, BenchSettings};
 use pllbist_sim::campaign::{bits_hex, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec};
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::event_driven::EventDrivenCpPll;
 use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
 use pllbist_sim::scenario::Scenario;
-use pllbist_sim::{PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_sim::{CampaignPlan, PllEngine, Scheduler, SupervisorPolicy, SweepPointError};
 use pllbist_telemetry::{Collector, Fields, TelemetryConfig, Value};
 
-fn quick(threads: usize) -> BenchSettings {
+fn quick_settings() -> BenchSettings {
     BenchSettings {
         settle_periods: 1.0,
         measure_periods: 2.0,
         samples_per_period: 32,
-        threads,
-        telemetry: TelemetryConfig::enabled(),
         ..BenchSettings::default()
     }
+}
+
+fn event_plan(cfg: &PllConfig, threads: usize) -> CampaignPlan<EventDrivenCpPll> {
+    let scheduler = if threads == 1 {
+        Scheduler::Serial
+    } else {
+        Scheduler::WorkStealing { threads }
+    };
+    CampaignPlan::new(cfg.clone())
+        .engine::<EventDrivenCpPll>()
+        .scheduler(scheduler)
+        .supervised(SupervisorPolicy::default())
+        .telemetry(TelemetryConfig::enabled())
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -41,21 +50,19 @@ fn supervised_event_campaign_is_bitwise_identical_at_threads_1_4_16() {
     // + lock checkpointing enabled, any thread count, same bits.
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 5.0, 11.0, 24.0];
-    let policy = SupervisorPolicy::default();
-    let baseline =
-        measure_sweep_supervised_on::<EventDrivenCpPll>(&cfg, &tones, &quick(1), &policy);
+    let baseline = run_sweep(&event_plan(&cfg, 1), &tones, &quick_settings()).unwrap();
     assert_eq!(baseline.quarantined_count(), 0);
     // Supervision itself observes without steering: the bare sweep
     // produces the same bits.
-    let bare = measure_sweep_points_on::<EventDrivenCpPll>(&cfg, &tones, &quick(1));
+    let bare_plan = event_plan(&cfg, 1).unsupervised();
+    let bare = measure_sweep_points(&bare_plan, &tones, &quick_settings());
     for (a, b) in baseline.points.iter().zip(&bare) {
         let a = a.as_ref().unwrap();
         assert_eq!(a.gain.to_bits(), b.gain.to_bits());
         assert_eq!(a.phase.to_bits(), b.phase.to_bits());
     }
     for threads in [4usize, 16] {
-        let run =
-            measure_sweep_supervised_on::<EventDrivenCpPll>(&cfg, &tones, &quick(threads), &policy);
+        let run = run_sweep(&event_plan(&cfg, threads), &tones, &quick_settings()).unwrap();
         assert!(run.incidents.is_empty(), "threads {threads}");
         assert!(!run.telemetry.is_empty(), "threads {threads}");
         for (i, (a, b)) in baseline.points.iter().zip(&run.points).enumerate() {
@@ -78,13 +85,15 @@ fn supervised_event_campaign_is_bitwise_identical_at_threads_1_4_16() {
 fn killed_event_campaign_resumes_byte_identically_at_every_thread_count() {
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 6.0, 14.0, 28.0];
-    let policy = SupervisorPolicy::default();
     let path = tmp("event_kill_resume.jsonl");
     let _ = std::fs::remove_file(&path);
 
-    let reference_run =
-        measure_sweep_resumable_on::<EventDrivenCpPll>(&cfg, &tones, &quick(1), &policy, &path)
-            .expect("reference run");
+    let reference_run = run_sweep(
+        &event_plan(&cfg, 1).resume_from(&path),
+        &tones,
+        &quick_settings(),
+    )
+    .expect("reference run");
     assert_eq!(reference_run.quarantined_count(), 0);
     let reference = std::fs::read(&path).expect("results file");
     let lines: Vec<String> = std::str::from_utf8(&reference)
@@ -100,12 +109,10 @@ fn killed_event_campaign_resumes_byte_identically_at_every_thread_count() {
         killed.push_str("{\"type\":\"result\",\"name\":\"campaign.po");
         std::fs::write(&path, &killed).expect("write killed file");
 
-        let resumed = measure_sweep_resumable_on::<EventDrivenCpPll>(
-            &cfg,
+        let resumed = run_sweep(
+            &event_plan(&cfg, resume_threads).resume_from(&path),
             &tones,
-            &quick(resume_threads),
-            &policy,
-            &path,
+            &quick_settings(),
         )
         .expect("resumed run");
         for (a, b) in reference_run.points.iter().zip(&resumed.points) {
@@ -161,10 +168,16 @@ fn run_observed(path: &PathBuf, threads: usize, observer: Option<&CampaignObserv
     let tel = Collector::disabled();
     let log = CampaignLog::open(path, VoltageCodec, "evobs00000000001".into(), TONES.len())
         .expect("open log");
-    let swept = scenario
-        .sweep_points_supervised_resumed_observed::<EventDrivenCpPll, VoltageCodec, _>(
-            &TONES, threads, &policy, &tel, &log, observer, capture,
-        );
+    let swept = scenario.run_points::<EventDrivenCpPll, VoltageCodec, _>(
+        &TONES,
+        threads,
+        true,
+        Some(&policy),
+        &tel,
+        Some(&log),
+        observer,
+        capture,
+    );
     log.finish(true).expect("complete");
     swept.quarantined_count()
 }

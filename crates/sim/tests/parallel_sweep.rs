@@ -3,20 +3,27 @@
 //! loop, so for ANY thread count the result vector is identical — same
 //! order, bitwise-equal floats.
 
-use pllbist_sim::bench_measure::{
-    log_spaced, measure_sweep_points, measure_sweep_run, BenchSettings,
-};
+use pllbist_sim::bench_measure::{log_spaced, measure_sweep_points, run_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use pllbist_telemetry::TelemetryConfig;
 
-fn quick_settings(threads: usize) -> BenchSettings {
+fn quick_settings() -> BenchSettings {
     BenchSettings {
         settle_periods: 1.0,
         measure_periods: 2.0,
         samples_per_period: 32,
-        threads,
         ..BenchSettings::default()
     }
+}
+
+fn plan_at(cfg: &PllConfig, threads: usize) -> CampaignPlan {
+    let scheduler = if threads == 1 {
+        Scheduler::Serial
+    } else {
+        Scheduler::WorkStealing { threads }
+    };
+    CampaignPlan::new(cfg.clone()).scheduler(scheduler)
 }
 
 #[test]
@@ -24,8 +31,8 @@ fn sweep_is_bitwise_identical_across_thread_counts() {
     let cfg = PllConfig::paper_table3();
     let tones = log_spaced(2.0, 30.0, 6);
 
-    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
-    let parallel = measure_sweep_points(&cfg, &tones, &quick_settings(4));
+    let serial = measure_sweep_points(&plan_at(&cfg, 1), &tones, &quick_settings());
+    let parallel = measure_sweep_points(&plan_at(&cfg, 4), &tones, &quick_settings());
 
     assert_eq!(serial.len(), parallel.len());
     for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
@@ -55,8 +62,8 @@ fn sweep_is_bitwise_identical_across_thread_counts() {
 fn auto_thread_count_matches_serial_too() {
     let cfg = PllConfig::paper_table3();
     let tones = [3.0, 8.0, 21.0];
-    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
-    let auto = measure_sweep_points(&cfg, &tones, &quick_settings(0));
+    let serial = measure_sweep_points(&plan_at(&cfg, 1), &tones, &quick_settings());
+    let auto = measure_sweep_points(&plan_at(&cfg, 0), &tones, &quick_settings());
     for (s, a) in serial.iter().zip(&auto) {
         assert_eq!(s.gain.to_bits(), a.gain.to_bits());
         assert_eq!(s.phase.to_bits(), a.phase.to_bits());
@@ -70,15 +77,12 @@ fn telemetry_enabled_sweep_is_bitwise_identical_for_any_thread_count() {
     // parallelism.
     let cfg = PllConfig::paper_table3();
     let tones = log_spaced(2.0, 30.0, 5);
-    let baseline = measure_sweep_points(&cfg, &tones, &quick_settings(1));
+    let baseline = measure_sweep_points(&plan_at(&cfg, 1), &tones, &quick_settings());
     for threads in [1, 2, 3, 8] {
-        let settings = BenchSettings {
-            telemetry: TelemetryConfig::enabled(),
-            ..quick_settings(threads)
-        };
-        let run = measure_sweep_run(&cfg, &tones, &settings);
+        let plan = plan_at(&cfg, threads).telemetry(TelemetryConfig::enabled());
+        let run = run_sweep(&plan, &tones, &quick_settings()).expect("healthy sweep");
         assert!(!run.telemetry.is_empty(), "threads = {threads}");
-        for (i, (b, p)) in baseline.iter().zip(&run.points).enumerate() {
+        for (i, (b, p)) in baseline.iter().zip(&run.ok_points()).enumerate() {
             assert_eq!(
                 b.gain.to_bits(),
                 p.gain.to_bits(),
@@ -97,7 +101,7 @@ fn telemetry_enabled_sweep_is_bitwise_identical_for_any_thread_count() {
 fn more_threads_than_points_is_fine() {
     let cfg = PllConfig::paper_table3();
     let tones = [5.0, 12.0];
-    let serial = measure_sweep_points(&cfg, &tones, &quick_settings(1));
-    let wide = measure_sweep_points(&cfg, &tones, &quick_settings(16));
+    let serial = measure_sweep_points(&plan_at(&cfg, 1), &tones, &quick_settings());
+    let wide = measure_sweep_points(&plan_at(&cfg, 16), &tones, &quick_settings());
     assert_eq!(serial, wide);
 }

@@ -1,0 +1,147 @@
+//! The correctness oracle for the `CampaignPlan` pipeline, as a seeded
+//! property: EVERY combination of plan options — engine, checkpointing,
+//! supervision, scheduler, observation — lowered onto the single
+//! campaign runner must reproduce the serial unsupervised baseline for
+//! its engine bit for bit on a healthy grid. Plus the digest/header
+//! round trip, including rejection of a backend mismatch.
+
+use std::sync::Arc;
+
+use pllbist_sim::config::PllConfig;
+use pllbist_sim::observe::{CampaignObserver, ObservatoryConfig};
+use pllbist_sim::{
+    run_plan, CampaignError, CampaignPlan, ClosedFormPll, EventDrivenCpPll, NullCodec, PllEngine,
+    Scheduler, SupervisorPolicy,
+};
+use pllbist_testkit::{prop_assert_eq, prop_check};
+
+const TONES: [f64; 5] = [1.0, 3.0, 8.0, 17.0, 40.0];
+
+/// Runs the plan over [`TONES`] with a control-voltage capture and
+/// returns the exact bit patterns, panicking on any quarantine (the
+/// grid is healthy by construction).
+fn sweep_bits<E: PllEngine>(plan: &CampaignPlan<E>) -> Vec<u64> {
+    let out = run_plan(
+        plan,
+        &TONES,
+        NullCodec::<f64>::new(),
+        "plan-matrix",
+        |pll, _fm, _tel| {
+            let t = pll.time();
+            pll.advance_to(t + 0.02);
+            Ok(pll.control_voltage())
+        },
+    )
+    .expect("no campaign log in play");
+    assert!(out.incidents.is_empty(), "healthy grid saw incidents");
+    out.points
+        .into_iter()
+        .map(|p| p.expect("healthy point").to_bits())
+        .collect()
+}
+
+#[test]
+fn every_plan_combination_matches_the_serial_unsupervised_baseline() {
+    let cfg = PllConfig::paper_table3();
+    let serial = |plan: CampaignPlan| plan.lock_settle(0.1).scheduler(Scheduler::Serial);
+    let closed_baseline =
+        sweep_bits(&serial(CampaignPlan::new(cfg.clone())).engine::<ClosedFormPll>());
+    let event_baseline =
+        sweep_bits(&serial(CampaignPlan::new(cfg.clone())).engine::<EventDrivenCpPll>());
+
+    prop_check!(cases: 24, |g| {
+        let event_engine = g.bool();
+        let checkpoint = g.bool();
+        let supervised = g.bool();
+        let observed = g.bool();
+        let threads = g.pick(&[1usize, 2, 4, 8]);
+        let scheduler = if threads == 1 {
+            Scheduler::Serial
+        } else {
+            Scheduler::WorkStealing { threads }
+        };
+        let mut plan = CampaignPlan::new(cfg.clone())
+            .lock_settle(0.1)
+            .checkpoint(checkpoint)
+            .scheduler(scheduler);
+        if supervised {
+            plan = plan.supervised(SupervisorPolicy::default());
+        }
+        if observed {
+            plan = plan.observed(Arc::new(CampaignObserver::new(
+                TONES.len(),
+                threads,
+                ObservatoryConfig::default(),
+            )));
+        }
+        let label = format!(
+            "engine {} checkpoint {checkpoint} supervised {supervised} \
+             observed {observed} threads {threads}",
+            if event_engine { "event" } else { "closed_form" },
+        );
+        let (bits, want) = if event_engine {
+            (sweep_bits(&plan.engine::<EventDrivenCpPll>()), &event_baseline)
+        } else {
+            (sweep_bits(&plan.engine::<ClosedFormPll>()), &closed_baseline)
+        };
+        prop_assert_eq!(&bits, want, "{}", label);
+        Ok(())
+    });
+}
+
+#[test]
+fn plan_header_round_trips_and_rejects_backend_mismatch() {
+    let cfg = PllConfig::paper_table3();
+    let tones = [1.0, 4.0, 16.0];
+    let plan = CampaignPlan::new(cfg.clone())
+        .engine::<EventDrivenCpPll>()
+        .lock_settle(0.25)
+        .checkpoint(false)
+        .supervised(SupervisorPolicy::default());
+    let line = plan.header_line(&tones, "matrix");
+
+    // Round trip: same digest, byte-identical re-serialisation.
+    let back = CampaignPlan::<EventDrivenCpPll>::from_header(&line, cfg.clone(), &tones, "matrix")
+        .expect("own backend round-trips");
+    assert_eq!(back.digest(&tones, "matrix"), plan.digest(&tones, "matrix"));
+    assert_eq!(back.header_line(&tones, "matrix"), line);
+
+    // A header written by a different backend must be refused: loading
+    // event-driven results into a closed-form campaign would silently
+    // mix physics.
+    let err = CampaignPlan::<ClosedFormPll>::from_header(&line, cfg, &tones, "matrix")
+        .expect_err("backend mismatch must be rejected");
+    assert!(
+        matches!(err, CampaignError::HeaderMismatch { .. }),
+        "wrong error: {err}"
+    );
+}
+
+#[test]
+fn scheduling_knobs_never_touch_the_digest() {
+    // The digest names the *work*, not the execution policy: the same
+    // campaign resumed on a different machine (thread count, observer,
+    // telemetry) must hash identically — while any result-affecting
+    // option must not.
+    let cfg = PllConfig::paper_table3();
+    let tones = [2.0, 9.0, 30.0];
+    let base = CampaignPlan::new(cfg.clone()).supervised(SupervisorPolicy::default());
+    let digest = base.digest(&tones, "matrix");
+    let rescheduled = base
+        .clone()
+        .scheduler(Scheduler::WorkStealing { threads: 16 })
+        .observed(Arc::new(CampaignObserver::new(
+            tones.len(),
+            16,
+            ObservatoryConfig::default(),
+        )));
+    assert_eq!(rescheduled.digest(&tones, "matrix"), digest);
+    // Checkpointing is proven result-neutral (the standing bitwise
+    // invariant), so it is digest-neutral too.
+    assert_eq!(
+        base.clone().checkpoint(false).digest(&tones, "matrix"),
+        digest
+    );
+    assert_ne!(base.clone().unsupervised().digest(&tones, "matrix"), digest);
+    assert_ne!(base.digest(&tones, "other-salt"), digest);
+}

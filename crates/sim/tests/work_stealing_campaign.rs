@@ -1,28 +1,38 @@
 //! Contract tests for the work-stealing campaign stack: bitwise
 //! identity of supervised sweeps at every thread count (telemetry on),
-//! agreement between the work-stealing and legacy chunked schedulers,
-//! and byte-identical resume of a killed campaign results file —
-//! including quarantined points — across thread counts.
+//! agreement between the work-stealing and serial schedulers with
+//! contained failures, and byte-identical resume of a killed campaign
+//! results file — including quarantined points — across thread counts.
 
-use pllbist_sim::bench_measure::{
-    measure_sweep_resumable, measure_sweep_supervised, BenchSettings,
-};
+use pllbist_sim::bench_measure::{run_sweep, BenchSettings};
 use pllbist_sim::campaign::{bits_hex, f64_from_bits_hex, json_str_field, CampaignLog, PointCodec};
 use pllbist_sim::config::PllConfig;
-use pllbist_sim::scenario::{Scenario, SupervisedPoints};
-use pllbist_sim::{ClosedFormPll, PllEngine, SupervisorPolicy, SweepPointError};
+use pllbist_sim::scenario::Scenario;
+use pllbist_sim::{
+    CampaignPlan, ClosedFormPll, PllEngine, Scheduler, SupervisorPolicy, SweepPointError,
+};
 use pllbist_telemetry::{Collector, Fields, TelemetryConfig, Value};
 use std::path::PathBuf;
 
-fn quick(threads: usize) -> BenchSettings {
+fn quick_settings() -> BenchSettings {
     BenchSettings {
         settle_periods: 1.0,
         measure_periods: 2.0,
         samples_per_period: 32,
-        threads,
-        telemetry: TelemetryConfig::enabled(),
         ..BenchSettings::default()
     }
+}
+
+fn quick_plan(cfg: &PllConfig, threads: usize) -> CampaignPlan {
+    let scheduler = if threads == 1 {
+        Scheduler::Serial
+    } else {
+        Scheduler::WorkStealing { threads }
+    };
+    CampaignPlan::new(cfg.clone())
+        .scheduler(scheduler)
+        .supervised(SupervisorPolicy::default())
+        .telemetry(TelemetryConfig::enabled())
 }
 
 fn tmp(name: &str) -> PathBuf {
@@ -37,11 +47,10 @@ fn supervised_campaign_is_bitwise_identical_at_threads_1_4_16() {
     // telemetry + supervision enabled, any thread count, same bits.
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 5.0, 11.0, 24.0];
-    let policy = SupervisorPolicy::default();
-    let baseline = measure_sweep_supervised(&cfg, &tones, &quick(1), &policy);
+    let baseline = run_sweep(&quick_plan(&cfg, 1), &tones, &quick_settings()).unwrap();
     assert_eq!(baseline.quarantined_count(), 0);
     for threads in [4usize, 16] {
-        let run = measure_sweep_supervised(&cfg, &tones, &quick(threads), &policy);
+        let run = run_sweep(&quick_plan(&cfg, threads), &tones, &quick_settings()).unwrap();
         assert!(run.incidents.is_empty(), "threads {threads}");
         assert!(!run.telemetry.is_empty(), "threads {threads}");
         for (i, (a, b)) in baseline.points.iter().zip(&run.points).enumerate() {
@@ -62,9 +71,13 @@ fn supervised_campaign_is_bitwise_identical_at_threads_1_4_16() {
 
 /// Two supervised sweeps must agree outcome-for-outcome: healthy values
 /// bit-for-bit, quarantined errors variant-for-variant.
-fn assert_same_outcomes(a: &SupervisedPoints<f64>, b: &SupervisedPoints<f64>, label: &str) {
-    assert_eq!(a.points.len(), b.points.len(), "{label}");
-    for (i, (x, y)) in a.points.iter().zip(&b.points).enumerate() {
+fn assert_same_outcomes(
+    a: &[Result<f64, SweepPointError>],
+    b: &[Result<f64, SweepPointError>],
+    label: &str,
+) {
+    assert_eq!(a.len(), b.len(), "{label}");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
         match (x, y) {
             (Ok(vx), Ok(vy)) => assert_eq!(vx.to_bits(), vy.to_bits(), "{label}: point {i}"),
             (Err(ex), Err(ey)) => assert_eq!(ex, ey, "{label}: point {i}"),
@@ -74,7 +87,7 @@ fn assert_same_outcomes(a: &SupervisedPoints<f64>, b: &SupervisedPoints<f64>, la
 }
 
 #[test]
-fn stealing_scheduler_matches_chunked_scheduler_with_contained_failures() {
+fn stealing_scheduler_matches_serial_with_contained_failures() {
     let cfg = PllConfig::paper_table3();
     let tones = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
     let policy = SupervisorPolicy::default();
@@ -85,28 +98,36 @@ fn stealing_scheduler_matches_chunked_scheduler_with_contained_failures() {
         let t = pll.time();
         pll.advance_to(t + 0.02);
         if fm == 8.0 {
-            // Typed, retryable: both schedulers walk the same
+            // Typed, retryable: every thread count walks the same
             // deterministic retry ladder before quarantining.
             return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
         }
         Ok(pll.control_voltage())
     };
-    for threads in [1usize, 4, 16] {
-        let tel = Collector::disabled();
-        let stealing = scenario.sweep_points_supervised::<ClosedFormPll, _, _>(
-            &tones, threads, &policy, &tel, capture,
+    let tel = Collector::disabled();
+    let run = |threads: usize| {
+        scenario.run_points::<ClosedFormPll, pllbist_sim::NullCodec<f64>, _>(
+            &tones,
+            threads,
+            true,
+            Some(&policy),
+            &tel,
+            None,
+            None,
+            capture,
+        )
+    };
+    let serial = run(1);
+    assert_eq!(serial.quarantined_count(), 1);
+    assert_eq!(serial.incidents.len(), policy.max_retries as usize + 1);
+    for threads in [4usize, 16] {
+        let stealing = run(threads);
+        assert_same_outcomes(
+            &serial.points,
+            &stealing.points,
+            &format!("threads {threads}"),
         );
-        let chunked = scenario.sweep_points_supervised_chunked::<ClosedFormPll, _, _>(
-            &tones, threads, &policy, &tel, capture,
-        );
-        assert_same_outcomes(&stealing, &chunked, &format!("threads {threads}"));
-        assert_eq!(stealing.quarantined_count(), 1, "threads {threads}");
-        assert_eq!(
-            stealing.incidents.len(),
-            policy.max_retries as usize + 1,
-            "threads {threads}"
-        );
-        assert_eq!(stealing.incidents.len(), chunked.incidents.len());
+        assert_eq!(stealing.incidents.len(), serial.incidents.len());
     }
 }
 
@@ -114,13 +135,16 @@ fn stealing_scheduler_matches_chunked_scheduler_with_contained_failures() {
 fn killed_bench_campaign_resumes_byte_identically_at_every_thread_count() {
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 6.0, 14.0, 28.0];
-    let policy = SupervisorPolicy::default();
     let path = tmp("bench_kill_resume.jsonl");
     let _ = std::fs::remove_file(&path);
 
     // Uninterrupted reference run.
-    let reference_run =
-        measure_sweep_resumable(&cfg, &tones, &quick(1), &policy, &path).expect("reference run");
+    let reference_run = run_sweep(
+        &quick_plan(&cfg, 1).resume_from(&path),
+        &tones,
+        &quick_settings(),
+    )
+    .expect("reference run");
     assert_eq!(reference_run.quarantined_count(), 0);
     let reference = std::fs::read(&path).expect("results file");
     let lines: Vec<String> = std::str::from_utf8(&reference)
@@ -137,8 +161,12 @@ fn killed_bench_campaign_resumes_byte_identically_at_every_thread_count() {
         killed.push_str("{\"type\":\"result\",\"name\":\"campaign.po");
         std::fs::write(&path, &killed).expect("write killed file");
 
-        let resumed = measure_sweep_resumable(&cfg, &tones, &quick(resume_threads), &policy, &path)
-            .expect("resumed run");
+        let resumed = run_sweep(
+            &quick_plan(&cfg, resume_threads).resume_from(&path),
+            &tones,
+            &quick_settings(),
+        )
+        .expect("resumed run");
         for (a, b) in reference_run.points.iter().zip(&resumed.points) {
             let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(a.gain.to_bits(), b.gain.to_bits());
@@ -193,8 +221,15 @@ fn resumed_campaign_with_quarantined_points_stays_byte_identical() {
         let log =
             CampaignLog::open(&path, VoltageCodec, digest.clone(), tones.len()).expect("open log");
         let tel = Collector::disabled();
-        let swept = scenario.sweep_points_supervised_resumed::<ClosedFormPll, VoltageCodec, _>(
-            &tones, threads, &policy, &tel, &log, capture,
+        let swept = scenario.run_points::<ClosedFormPll, VoltageCodec, _>(
+            &tones,
+            threads,
+            true,
+            Some(&policy),
+            &tel,
+            Some(&log),
+            None,
+            capture,
         );
         log.finish(true).expect("complete");
         swept
@@ -219,8 +254,8 @@ fn resumed_campaign_with_quarantined_points_stays_byte_identical() {
         std::fs::write(&path, &killed).expect("write killed file");
         let resumed = run(resume_threads);
         assert_same_outcomes(
-            &reference_run,
-            &resumed,
+            &reference_run.points,
+            &resumed.points,
             &format!("kill {kill_after}, threads {resume_threads}"),
         );
         assert_eq!(

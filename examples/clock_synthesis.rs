@@ -12,6 +12,7 @@
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::CampaignPlan;
 
 fn main() {
     let base = PllConfig::integer_n_charge_pump();
@@ -39,7 +40,9 @@ fn main() {
         settings.loop_settle_secs = 12.0 / (design.damping * design.omega_n);
         let monitor = TransferFunctionMonitor::new(settings);
 
-        let result = monitor.measure(&cfg);
+        let result = monitor
+            .measure(&CampaignPlan::new(cfg.clone()))
+            .expect_healthy();
         let est = result.estimate();
         println!(
             " {:>3} | {:>11.1} | {:>14.2} | {:>8.3} | {:>12.2} | {:>6.3}",

@@ -13,6 +13,7 @@ use pllbist::estimate::LimitComparator;
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, SupervisorPolicy};
 
 fn main() {
     let golden = PllConfig::paper_table3();
@@ -22,7 +23,10 @@ fn main() {
 
     // Calibrate limits on the golden device's *measured* parameters
     // (production practice: limits absorb the method's own bias).
-    let golden_est = monitor.measure(&golden).estimate();
+    let golden_est = monitor
+        .measure(&CampaignPlan::new(golden.clone()))
+        .expect_healthy()
+        .estimate();
     let fn_golden = golden_est.natural_frequency_hz.expect("golden fn");
     let zeta_golden = golden_est.damping.expect("golden ζ");
     let limits = LimitComparator::around(fn_golden, zeta_golden, 0.20);
@@ -44,9 +48,19 @@ fn main() {
             // e.g. pump faults on the voltage-driven paper loop
             Err(_) => continue,
         };
-        let est = monitor.measure(&cfg).estimate();
-        let verdict = limits.judge(&est);
+        // Faulty devices run supervised: a numerically sick part is
+        // quarantined (and screened out), never a crashed campaign.
+        let plan = CampaignPlan::new(cfg).supervised(SupervisorPolicy::default());
         total += 1;
+        let est = match monitor.measure(&plan).estimate() {
+            Ok(est) => est,
+            Err(e) => {
+                detected += 1;
+                println!(" {:<37} | quarantined ({e}) -> FAIL", fault.to_string());
+                continue;
+            }
+        };
+        let verdict = limits.judge(&est);
         if !verdict.pass {
             detected += 1;
         }

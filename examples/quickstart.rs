@@ -10,6 +10,7 @@
 use pllbist::estimate::LimitComparator;
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::CampaignPlan;
 
 fn main() {
     // 1. The device under test: the paper's Table 3 PLL — 1 kHz reference,
@@ -30,13 +31,16 @@ fn main() {
     settings.mod_frequencies_hz = pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 9);
     let monitor = TransferFunctionMonitor::new(settings);
 
-    // 3. Run the sweep. No analogue node is touched: edges, counters and
-    //    the loop-break mux only.
+    // 3. Run the sweep as a campaign plan — the execution policy
+    //    (engine, scheduling, checkpointing, supervision) composes on the
+    //    plan, not the monitor. No analogue node is touched: edges,
+    //    counters and the loop-break mux only.
     println!(
         "\nrunning BIST sweep ({} tones)...",
         monitor.settings().mod_frequencies_hz.len()
     );
-    let result = monitor.measure(&config);
+    let plan = CampaignPlan::new(config.clone());
+    let result = monitor.measure(&plan).expect_healthy();
 
     println!("\n f_mod (Hz) | ΔF (Hz)  | A_F (dB) | phase (deg)");
     println!(" -----------+----------+----------+------------");

@@ -15,6 +15,7 @@ use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_sim::CampaignPlan;
 
 /// Drives the loop with sinusoidal timing wander at `f_wander` and
 /// returns how much of it reaches the recovered clock (tracking ratio,
@@ -67,7 +68,9 @@ fn main() {
     // The BIST measurement certifies the bandwidth digitally.
     let mut settings = MonitorSettings::fast();
     settings.mod_frequencies_hz = pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 8);
-    let result = TransferFunctionMonitor::new(settings).measure(&config);
+    let result = TransferFunctionMonitor::new(settings)
+        .measure(&CampaignPlan::new(config.clone()))
+        .expect_healthy();
     let est = result.estimate();
     println!(
         "\nBIST-certified: fn = {:.2} Hz, -3 dB bandwidth = {:.2} Hz",

@@ -29,6 +29,18 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> clippy unwrap/expect gate (sim + core lib crate attrs)"
 cargo clippy --offline -p pllbist-sim -p pllbist --lib -- -D warnings
 
+# The CampaignPlan refactor collapsed the suffix-combinatorial sweep
+# API (`_supervised`/`_resumed`/`_observed`/`_on` variants) onto one
+# plan-driven runner. This gate keeps it collapsed: a new public entry
+# point with one of those suffixes means an option grew a name instead
+# of a `CampaignPlan` builder field.
+echo "==> entry-point suffix gate (no new pub fn *_supervised|_resumed|_observed|_on)"
+if grep -rnE 'pub fn [a-z0-9_]*(_supervised|_resumed|_observed|_on)[[:space:]]*[<(]' crates/*/src; then
+  echo "suffix gate: combinatorial sweep entry point reintroduced —"
+  echo "express the option as a CampaignPlan builder field instead"
+  exit 1
+fi
+
 echo "==> examples/quickstart (offline)"
 cargo run --release --offline --example quickstart
 

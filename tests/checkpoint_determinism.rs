@@ -1,24 +1,34 @@
 //! The checkpointing contract, pinned bitwise: a sweep that restores a
 //! settled lock snapshot per point (or per worker) must produce results
 //! **bit-for-bit identical** to one that re-locks from scratch, at every
-//! thread count. `PllEngine::restore` is specified bit-exact, and
-//! `pllbist_sim::parallel` splits work into contiguous chunks of pure
-//! per-item functions — so checkpointing and threading may only ever
-//! change wall-clock time, never a single mantissa bit.
+//! thread count. `PllEngine::restore` is specified bit-exact, and the
+//! campaign runner hands each worker pure per-point functions — so the
+//! plan's `checkpoint`/`scheduler` knobs may only ever change wall-clock
+//! time, never a single mantissa bit.
 
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::bench_measure::{measure_sweep_points, BenchPoint, BenchSettings};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
 
-fn bench_settings(threads: usize, checkpoint: bool) -> BenchSettings {
+fn bench_settings() -> BenchSettings {
     BenchSettings {
         settle_periods: 2.0,
         measure_periods: 2.0,
         samples_per_period: 16,
-        threads,
-        checkpoint,
         ..BenchSettings::default()
     }
+}
+
+fn plan(cfg: &PllConfig, threads: usize, checkpoint: bool) -> CampaignPlan {
+    let scheduler = if threads <= 1 {
+        Scheduler::Serial
+    } else {
+        Scheduler::WorkStealing { threads }
+    };
+    CampaignPlan::new(cfg.clone())
+        .scheduler(scheduler)
+        .checkpoint(checkpoint)
 }
 
 /// Raw IEEE-754 bits — `PartialEq` on `f64` would let `-0.0 == 0.0`
@@ -34,17 +44,18 @@ fn bench_bits(points: &[BenchPoint]) -> Vec<[u64; 3]> {
 fn bench_sweep_is_bitwise_invariant_to_checkpoint_and_threads() {
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 5.0, 8.0, 14.0, 20.0, 30.0];
+    let settings = bench_settings();
     let baseline = bench_bits(&measure_sweep_points(
-        &cfg,
+        &plan(&cfg, 1, false),
         &tones,
-        &bench_settings(1, false),
+        &settings,
     ));
     for threads in [1, 4] {
         for checkpoint in [false, true] {
             let got = bench_bits(&measure_sweep_points(
-                &cfg,
+                &plan(&cfg, threads, checkpoint),
                 &tones,
-                &bench_settings(threads, checkpoint),
+                &settings,
             ));
             assert_eq!(
                 got, baseline,
@@ -55,13 +66,11 @@ fn bench_sweep_is_bitwise_invariant_to_checkpoint_and_threads() {
     }
 }
 
-fn monitor_settings(threads: usize, checkpoint: bool) -> MonitorSettings {
+fn monitor_settings() -> MonitorSettings {
     MonitorSettings {
         mod_frequencies_hz: vec![2.0, 6.0, 10.0, 25.0],
         settle_periods: 2.5,
         loop_settle_secs: 0.25,
-        threads,
-        checkpoint,
         capture_transcript: false,
         ..MonitorSettings::fast()
     }
@@ -72,7 +81,9 @@ fn monitor_sweep_is_bitwise_invariant_to_checkpointing() {
     let cfg = PllConfig::paper_table3();
     for threads in [1usize, 4] {
         let run = |checkpoint: bool| {
-            TransferFunctionMonitor::new(monitor_settings(threads, checkpoint)).measure(&cfg)
+            TransferFunctionMonitor::new(monitor_settings())
+                .measure(&plan(&cfg, threads, checkpoint))
+                .expect_healthy()
         };
         let fresh = run(false);
         let ckpt = run(true);

@@ -4,7 +4,12 @@
 
 use pllbist::monitor::{MonitorSettings, StimulusKind, TransferFunctionMonitor};
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use std::f64::consts::TAU;
+
+fn serial_plan(cfg: &PllConfig) -> CampaignPlan {
+    CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial)
+}
 
 fn settings_with(stimulus: StimulusKind) -> MonitorSettings {
     MonitorSettings {
@@ -18,7 +23,9 @@ fn settings_with(stimulus: StimulusKind) -> MonitorSettings {
 
 fn measured_magnitudes(stimulus: StimulusKind) -> Vec<(f64, f64)> {
     let cfg = PllConfig::paper_table3();
-    let result = TransferFunctionMonitor::new(settings_with(stimulus)).measure(&cfg);
+    let result = TransferFunctionMonitor::new(settings_with(stimulus))
+        .measure(&serial_plan(&cfg))
+        .expect_healthy();
     let reference = result.points[0].delta_f_hz.abs();
     result
         .points
@@ -101,7 +108,8 @@ fn measured_phase_response_is_monotone_lag() {
     // fn towards −180°.
     let cfg = PllConfig::paper_table3();
     let result = TransferFunctionMonitor::new(settings_with(StimulusKind::MultiTone { steps: 10 }))
-        .measure(&cfg);
+        .measure(&serial_plan(&cfg))
+        .expect_healthy();
     let phases: Vec<f64> = result
         .points
         .iter()
@@ -132,7 +140,9 @@ fn estimates_recover_design_parameters() {
     let cfg = PllConfig::paper_table3();
     let mut settings = settings_with(StimulusKind::MultiTone { steps: 10 });
     settings.mod_frequencies_hz = pllbist_sim::bench_measure::log_spaced(1.0, 40.0, 11);
-    let result = TransferFunctionMonitor::new(settings).measure(&cfg);
+    let result = TransferFunctionMonitor::new(settings)
+        .measure(&serial_plan(&cfg))
+        .expect_healthy();
     let est = result.estimate();
     let fn_hz = est.natural_frequency_hz.expect("resonance found");
     let zeta = est.damping.expect("damping extracted");

@@ -9,6 +9,7 @@ use pllbist_sim::config::PllConfig;
 use pllbist_sim::cosim::MixedSignalPll;
 use pllbist_sim::engine::ClosedFormPll;
 use pllbist_sim::event_driven::EventDrivenCpPll;
+use pllbist_sim::{CampaignPlan, Scheduler};
 use std::f64::consts::TAU;
 
 #[test]
@@ -40,13 +41,15 @@ fn bist_monitor_agrees_across_backends() {
         mod_frequencies_hz: vec![2.0, 8.0, 20.0],
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        threads: 1,
         capture_transcript: false,
         ..MonitorSettings::fast()
     };
     let monitor = TransferFunctionMonitor::new(settings);
-    let beh = monitor.measure_with::<CpPll>(&cfg);
-    let gate = monitor.measure_with::<MixedSignalPll>(&cfg);
+    let serial = CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial);
+    let beh = monitor.measure(&serial).expect_healthy();
+    let gate = monitor
+        .measure(&serial.clone().engine::<MixedSignalPll>())
+        .expect_healthy();
 
     assert!(
         (beh.nominal.frequency_hz - gate.nominal.frequency_hz).abs() < 5.0,
@@ -88,14 +91,18 @@ fn bist_monitor_agrees_on_the_event_driven_backend() {
         mod_frequencies_hz: vec![2.0, 8.0, 20.0],
         settle_periods: 3.0,
         loop_settle_secs: 0.3,
-        threads: 1,
         capture_transcript: false,
         ..MonitorSettings::fast()
     };
     let monitor = TransferFunctionMonitor::new(settings);
-    let ev = monitor.measure_with::<EventDrivenCpPll>(&cfg);
-    let beh = monitor.measure_with::<CpPll>(&cfg);
-    let closed = monitor.measure_with::<ClosedFormPll>(&cfg);
+    let serial = CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial);
+    let ev = monitor
+        .measure(&serial.clone().engine::<EventDrivenCpPll>())
+        .expect_healthy();
+    let beh = monitor.measure(&serial).expect_healthy();
+    let closed = monitor
+        .measure(&serial.clone().engine::<ClosedFormPll>())
+        .expect_healthy();
 
     assert!(
         (ev.nominal.frequency_hz - beh.nominal.frequency_hz).abs() < 5.0,
@@ -139,7 +146,7 @@ fn event_driven_bench_matches_the_closed_form_model() {
     // adapter plays back analytically. The event-driven backend must fit
     // that model as tightly as the behavioural engine does in
     // `bench_baseline_matches_full_linear_model`.
-    use pllbist_sim::bench_measure::measure_point_on;
+    use pllbist_sim::bench_measure::measure_point_with_stats;
     use pllbist_sim::event_driven::EventDrivenCpPll;
     let cfg = PllConfig::paper_table3();
     let h = cfg.analysis().feedback_transfer();
@@ -150,7 +157,7 @@ fn event_driven_bench_matches_the_closed_form_model() {
     };
     for fm in [2.0, 8.0, 20.0] {
         let (p, _stats) =
-            measure_point_on::<EventDrivenCpPll>(&cfg, fm, &settings).expect("bench point");
+            measure_point_with_stats::<EventDrivenCpPll>(&cfg, fm, &settings).expect("bench point");
         let want = h.eval_jw(TAU * fm);
         assert!(
             (p.gain - want.abs()).abs() / want.abs() < 0.1,
@@ -179,7 +186,7 @@ fn bench_baseline_matches_full_linear_model() {
         ..BenchSettings::default()
     };
     for fm in [2.0, 8.0, 20.0] {
-        let p = measure_point(&cfg, fm, &settings).expect("bench point");
+        let p = measure_point::<CpPll>(&cfg, fm, &settings).expect("bench point");
         let want = h.eval_jw(TAU * fm);
         assert!(
             (p.gain - want.abs()).abs() / want.abs() < 0.1,
@@ -209,7 +216,7 @@ fn bench_and_bist_differ_exactly_by_the_hold_readout() {
     let hold = a.hold_referred_transfer().magnitude(w);
     assert!(full / hold > 2.0, "zero factor visible: {full} vs {hold}");
 
-    let bench = measure_point(
+    let bench = measure_point::<CpPll>(
         &cfg,
         fm,
         &BenchSettings {

@@ -6,6 +6,11 @@ use pllbist::estimate::LimitComparator;
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
 use pllbist_analog::fault::Fault;
 use pllbist_sim::config::PllConfig;
+use pllbist_sim::{CampaignPlan, Scheduler};
+
+fn serial_plan(cfg: &PllConfig) -> CampaignPlan {
+    CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial)
+}
 
 fn monitor() -> TransferFunctionMonitor {
     TransferFunctionMonitor::new(MonitorSettings {
@@ -19,7 +24,10 @@ fn monitor() -> TransferFunctionMonitor {
 fn golden_limits() -> LimitComparator {
     // Calibrated on the golden device's measured values so the method's
     // own bias does not consume the guard band.
-    let est = monitor().measure(&PllConfig::paper_table3()).estimate();
+    let est = monitor()
+        .measure(&serial_plan(&PllConfig::paper_table3()))
+        .expect_healthy()
+        .estimate();
     LimitComparator::around(
         est.natural_frequency_hz.expect("golden fn"),
         est.damping.expect("golden ζ"),
@@ -30,7 +38,10 @@ fn golden_limits() -> LimitComparator {
 #[test]
 fn golden_device_passes() {
     let limits = golden_limits();
-    let est = monitor().measure(&PllConfig::paper_table3()).estimate();
+    let est = monitor()
+        .measure(&serial_plan(&PllConfig::paper_table3()))
+        .expect_healthy()
+        .estimate();
     let verdict = limits.judge(&est);
     assert!(verdict.pass, "{verdict}");
 }
@@ -41,7 +52,10 @@ fn gross_vco_gain_fault_fails() {
     let cfg = PllConfig::paper_table3()
         .with_fault(Fault::VcoGainScale(0.5))
         .unwrap();
-    let est = monitor().measure(&cfg).estimate();
+    let est = monitor()
+        .measure(&serial_plan(&cfg))
+        .expect_healthy()
+        .estimate();
     let verdict = golden_limits().judge(&est);
     assert!(!verdict.pass, "fault escaped: {est:?}");
 }
@@ -51,7 +65,10 @@ fn filter_capacitor_fault_fails() {
     let cfg = PllConfig::paper_table3()
         .with_fault(Fault::FilterCapScale(3.0))
         .unwrap();
-    let est = monitor().measure(&cfg).estimate();
+    let est = monitor()
+        .measure(&serial_plan(&cfg))
+        .expect_healthy()
+        .estimate();
     let verdict = golden_limits().judge(&est);
     assert!(!verdict.pass, "fault escaped: {est:?}");
 }
@@ -62,8 +79,14 @@ fn weakened_zero_fault_shifts_damping() {
     let cfg = PllConfig::paper_table3()
         .with_fault(Fault::FilterR2Scale(0.1))
         .unwrap();
-    let golden = monitor().measure(&PllConfig::paper_table3()).estimate();
-    let faulty = monitor().measure(&cfg).estimate();
+    let golden = monitor()
+        .measure(&serial_plan(&PllConfig::paper_table3()))
+        .expect_healthy()
+        .estimate();
+    let faulty = monitor()
+        .measure(&serial_plan(&cfg))
+        .expect_healthy()
+        .estimate();
     let (zg, zf) = (golden.damping.unwrap(), faulty.damping.unwrap());
     assert!(zf < 0.6 * zg, "golden ζ {zg}, faulty ζ {zf}");
 }
@@ -76,8 +99,14 @@ fn leakage_fault_detected_through_hold_droop() {
     let cfg = PllConfig::paper_table3()
         .with_fault(Fault::FilterLeakage(1e6))
         .unwrap();
-    let golden = monitor().measure(&PllConfig::paper_table3()).estimate();
-    let faulty = monitor().measure(&cfg).estimate();
+    let golden = monitor()
+        .measure(&serial_plan(&PllConfig::paper_table3()))
+        .expect_healthy()
+        .estimate();
+    let faulty = monitor()
+        .measure(&serial_plan(&cfg))
+        .expect_healthy()
+        .estimate();
     let fg = golden.natural_frequency_hz.unwrap();
     // Either the estimate moves or vanishes — both flag the part.
     match faulty.natural_frequency_hz {
@@ -101,7 +130,7 @@ fn campaign_detection_rate_is_high() {
         let Ok(cfg) = PllConfig::paper_table3().with_fault(fault) else {
             continue;
         };
-        let est = mon.measure(&cfg).estimate();
+        let est = mon.measure(&serial_plan(&cfg)).expect_healthy().estimate();
         total += 1;
         if !limits.judge(&est).pass {
             detected += 1;

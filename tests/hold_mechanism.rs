@@ -6,6 +6,11 @@ use pllbist::monitor::{CaptureMode, MonitorSettings, TransferFunctionMonitor};
 use pllbist_sim::behavioral::CpPll;
 use pllbist_sim::config::PllConfig;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_sim::{CampaignPlan, Scheduler};
+
+fn serial_plan(cfg: &PllConfig) -> CampaignPlan {
+    CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial)
+}
 
 #[test]
 fn hold_keeps_frequency_constant_for_arbitrarily_long_gates() {
@@ -72,14 +77,16 @@ fn hold_mode_beats_gated_mode_on_resolution() {
         capture: CaptureMode::HoldAndCount,
         ..base.clone()
     })
-    .measure(&cfg);
+    .measure(&serial_plan(&cfg))
+    .expect_healthy();
     let gated = TransferFunctionMonitor::new(MonitorSettings {
         capture: CaptureMode::GatedCount {
             gate_fraction: 0.05,
         },
         ..base
     })
-    .measure(&cfg);
+    .measure(&serial_plan(&cfg))
+    .expect_healthy();
     // The gated counter's window shrinks with the modulation period, so
     // its resolution degrades towards fast tones; the held counter's gate
     // is unconstrained and its resolution stays flat.

@@ -7,6 +7,8 @@ use pllbist_sim::config::PllConfig;
 use pllbist_sim::lock::{wait_for_lock, LockDetector};
 use pllbist_sim::noise::NoiseConfig;
 use pllbist_sim::stimulus::FmStimulus;
+use pllbist_sim::{CampaignPlan, Scheduler};
+use pllbist_telemetry::TelemetryConfig;
 
 #[test]
 fn loop_stays_locked_under_moderate_jitter() {
@@ -51,10 +53,11 @@ fn monitor_survives_reference_jitter() {
     };
     let monitor = TransferFunctionMonitor::new(settings);
 
-    let clean = monitor.measure(&cfg);
+    let plan = CampaignPlan::new(cfg.clone()).scheduler(Scheduler::Serial);
+    let clean = monitor.measure(&plan).expect_healthy();
     let mut noisy_pll = CpPll::new_locked(&cfg);
     noisy_pll.set_noise(Some(NoiseConfig::symmetric(1e-6, 42)));
-    let noisy = monitor.measure_on(&mut noisy_pll);
+    let noisy = monitor.measure_device(&mut noisy_pll, &TelemetryConfig::disabled());
 
     for (c, n) in clean.points.iter().zip(&noisy.points) {
         let rc = c.delta_f_hz.abs() / clean.points[0].delta_f_hz.abs();
@@ -82,7 +85,7 @@ fn heavy_jitter_degrades_the_phase_reading_gracefully() {
     let monitor = TransferFunctionMonitor::new(settings);
     let mut pll = CpPll::new_locked(&cfg);
     pll.set_noise(Some(NoiseConfig::symmetric(100e-6, 9)));
-    let result = monitor.measure_on(&mut pll);
+    let result = monitor.measure_device(&mut pll, &TelemetryConfig::disabled());
     assert_eq!(result.points.len(), 2);
     let in_band = &result.points[0];
     assert!(

@@ -1,15 +1,18 @@
-//! Cross-crate contract tests for the sweep supervisor: panic
-//! containment at every thread count, bitwise identity of healthy runs
-//! (bench sweep and BIST monitor, telemetry on), full quarantine of a
-//! numerically sick device, and a seeded property over random fault
-//! placements.
+//! Cross-crate contract tests for the supervised campaign pipeline:
+//! panic containment at every thread count, bitwise identity of healthy
+//! runs (bench sweep and BIST monitor, telemetry on), full quarantine of
+//! a numerically sick device, and a seeded property over random fault
+//! placements — all phrased as [`CampaignPlan`]s lowered onto the single
+//! `run_plan` executor.
 
 use pllbist::monitor::{MonitorSettings, TransferFunctionMonitor};
-use pllbist_sim::bench_measure::{measure_sweep_run, measure_sweep_supervised, BenchSettings};
+use pllbist_sim::bench_measure::{run_sweep, BenchSettings};
 use pllbist_sim::config::PllConfig;
-use pllbist_sim::scenario::Scenario;
-use pllbist_sim::{ClosedFormPll, PllEngine, SupervisorPolicy, SweepPointError};
-use pllbist_telemetry::{Collector, TelemetryConfig};
+use pllbist_sim::{
+    run_plan, CampaignPlan, ClosedFormPll, NullCodec, PllEngine, Scheduler, SupervisorPolicy,
+    SweepPointError,
+};
+use pllbist_telemetry::TelemetryConfig;
 use pllbist_testkit::{prop_assert, prop_assert_eq, prop_check};
 
 /// Runs `f` with panic messages silenced (the supervisor contains the
@@ -23,30 +26,37 @@ fn quietly<R>(f: impl FnOnce() -> R) -> R {
     out
 }
 
+fn sched(threads: usize) -> Scheduler {
+    if threads <= 1 {
+        Scheduler::Serial
+    } else {
+        Scheduler::WorkStealing { threads }
+    }
+}
+
 #[test]
 fn injected_panic_is_contained_at_every_thread_count() {
     let cfg = PllConfig::paper_table3();
     let tones = [1.0, 4.0, 8.0, 16.0, 32.0];
-    let policy = SupervisorPolicy::default();
     let mut runs = Vec::new();
     quietly(|| {
         for threads in [1usize, 4] {
-            let tel = Collector::disabled();
-            let swept = Scenario::with_lock_settle(&cfg, 0.1)
-                .sweep_points_supervised::<ClosedFormPll, _, _>(
-                    &tones,
-                    threads,
-                    &policy,
-                    &tel,
-                    |pll, fm| {
-                        if fm == 8.0 {
-                            panic!("seeded panic at {fm} Hz");
-                        }
-                        let t = pll.time();
-                        pll.advance_to(t + 0.05);
-                        Ok(pll.control_voltage())
-                    },
-                );
+            let plan = CampaignPlan::new(cfg.clone())
+                .engine::<ClosedFormPll>()
+                .lock_settle(0.1)
+                .supervised(SupervisorPolicy::default())
+                .scheduler(sched(threads));
+            let swept = run_plan(&plan, &tones, NullCodec::<f64>::new(), "panic-test", {
+                |pll, fm, _tel| {
+                    if fm == 8.0 {
+                        panic!("seeded panic at {fm} Hz");
+                    }
+                    let t = pll.time();
+                    pll.advance_to(t + 0.05);
+                    Ok(pll.control_voltage())
+                }
+            })
+            .expect("no campaign log in play");
             assert_eq!(swept.points.len(), tones.len(), "threads {threads}");
             for (point, &fm) in swept.points.iter().zip(&tones) {
                 match point {
@@ -77,20 +87,25 @@ fn injected_panic_is_contained_at_every_thread_count() {
 fn supervised_bench_sweep_is_bitwise_identical_with_telemetry_on() {
     let cfg = PllConfig::paper_table3();
     let tones = [2.0, 8.0, 20.0];
-    let policy = SupervisorPolicy::default();
+    let settings = BenchSettings {
+        settle_periods: 2.0,
+        measure_periods: 2.0,
+        ..BenchSettings::default()
+    };
     for threads in [1usize, 4] {
-        let settings = BenchSettings {
-            settle_periods: 2.0,
-            measure_periods: 2.0,
-            threads,
-            telemetry: TelemetryConfig::enabled(),
-            ..BenchSettings::default()
-        };
-        let legacy = measure_sweep_run(&cfg, &tones, &settings);
-        let supervised = measure_sweep_supervised(&cfg, &tones, &settings, &policy);
+        let plan = CampaignPlan::new(cfg.clone())
+            .scheduler(sched(threads))
+            .telemetry(TelemetryConfig::enabled());
+        let legacy = run_sweep(&plan, &tones, &settings).expect("healthy sweep");
+        let supervised = run_sweep(
+            &plan.clone().supervised(SupervisorPolicy::default()),
+            &tones,
+            &settings,
+        )
+        .expect("healthy sweep");
         assert!(supervised.incidents.is_empty(), "threads {threads}");
         assert_eq!(supervised.points.len(), legacy.points.len());
-        for (got, want) in supervised.ok_points().iter().zip(&legacy.points) {
+        for (got, want) in supervised.ok_points().iter().zip(&legacy.ok_points()) {
             assert_eq!(got.f_mod_hz, want.f_mod_hz);
             assert_eq!(
                 got.gain.to_bits(),
@@ -111,20 +126,20 @@ fn supervised_bench_sweep_is_bitwise_identical_with_telemetry_on() {
 #[test]
 fn supervised_monitor_is_bitwise_identical_with_telemetry_on() {
     let cfg = PllConfig::paper_table3();
-    let policy = SupervisorPolicy::default();
     for threads in [1usize, 4] {
         let settings = MonitorSettings {
             mod_frequencies_hz: vec![1.0, 8.0, 25.0],
             settle_periods: 2.5,
             loop_settle_secs: 0.25,
             capture_transcript: true,
-            threads,
-            telemetry: TelemetryConfig::enabled(),
             ..MonitorSettings::fast()
         };
+        let plan = CampaignPlan::new(cfg.clone())
+            .scheduler(sched(threads))
+            .telemetry(TelemetryConfig::enabled());
         let monitor = TransferFunctionMonitor::new(settings);
-        let baseline = monitor.measure(&cfg);
-        let supervised = monitor.measure_supervised(&cfg, &policy);
+        let baseline = monitor.measure(&plan).expect_healthy();
+        let supervised = monitor.measure(&plan.clone().supervised(SupervisorPolicy::default()));
         assert!(supervised.incidents.is_empty(), "threads {threads}");
         assert_eq!(supervised.nominal, Ok(baseline.nominal));
         for (got, want) in supervised.points.iter().zip(&baseline.points) {
@@ -145,11 +160,12 @@ fn nan_device_is_fully_quarantined_without_aborting() {
     let settings = BenchSettings {
         settle_periods: 2.0,
         measure_periods: 2.0,
-        threads: 2,
         ..BenchSettings::default()
     };
-    let run =
-        quietly(|| measure_sweep_supervised(&cfg, &tones, &settings, &SupervisorPolicy::default()));
+    let plan = CampaignPlan::new(cfg)
+        .scheduler(Scheduler::WorkStealing { threads: 2 })
+        .supervised(SupervisorPolicy::default());
+    let run = quietly(|| run_sweep(&plan, &tones, &settings).expect("quarantine, not abort"));
     assert_eq!(run.points.len(), tones.len());
     assert_eq!(run.quarantined_count(), tones.len());
     assert!(run
@@ -183,21 +199,22 @@ fn supervised_sweep_always_completes_with_random_fault_placement() {
                 nan_cfg.vco_curvature = (f64::NAN, 0.0);
                 let threads = g.pick(&[1usize, 2, 4]);
                 let policy = SupervisorPolicy::default();
-                let tel = Collector::disabled();
-                let swept = Scenario::with_lock_settle(&nan_cfg, 0.1)
-                    .sweep_points_supervised::<pllbist_sim::behavioral::CpPll, _, _>(
-                        &tones,
-                        threads,
-                        &policy,
-                        &tel,
-                        |pll, _fm| {
-                            let t = pll.time();
-                            pll.advance_to(t + 0.02);
-                            Ok(pll.control_voltage())
-                        },
-                    );
+                let plan = CampaignPlan::new(nan_cfg)
+                    .lock_settle(0.1)
+                    .supervised(policy.clone())
+                    .scheduler(sched(threads));
+                let swept =
+                    run_plan(&plan, &tones, NullCodec::<f64>::new(), "prop-nan", |pll, _fm, _| {
+                        let t = pll.time();
+                        pll.advance_to(t + 0.02);
+                        Ok(pll.control_voltage())
+                    })
+                    .expect("no campaign log in play");
                 prop_assert_eq!(swept.points.len(), tones.len());
-                prop_assert_eq!(swept.quarantined_count(), tones.len());
+                prop_assert_eq!(
+                    swept.points.iter().filter(|p| p.is_err()).count(),
+                    tones.len()
+                );
                 for point in &swept.points {
                     let kind = point.as_ref().err().map(|e| e.kind());
                     prop_assert_eq!(kind, Some("numerical_divergence"));
@@ -212,27 +229,26 @@ fn supervised_sweep_always_completes_with_random_fault_placement() {
             let threads = g.pick(&[1usize, 2, 4]);
             let as_panic = g.bool();
             let policy = SupervisorPolicy::default();
-            let tel = Collector::disabled();
-            let swept = Scenario::with_lock_settle(&cfg, 0.1)
-                .sweep_points_supervised::<ClosedFormPll, _, _>(
-                    &tones,
-                    threads,
-                    &policy,
-                    &tel,
-                    |pll, fm| {
-                        if fm == tones[sick] {
-                            if as_panic {
-                                panic!("seeded panic");
-                            }
-                            return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+            let plan = CampaignPlan::new(cfg.clone())
+                .engine::<ClosedFormPll>()
+                .lock_settle(0.1)
+                .supervised(policy.clone())
+                .scheduler(sched(threads));
+            let swept =
+                run_plan(&plan, &tones, NullCodec::<f64>::new(), "prop-fault", |pll, fm, _| {
+                    if fm == tones[sick] {
+                        if as_panic {
+                            panic!("seeded panic");
                         }
-                        let t = pll.time();
-                        pll.advance_to(t + 0.02);
-                        Ok(pll.control_voltage())
-                    },
-                );
+                        return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+                    }
+                    let t = pll.time();
+                    pll.advance_to(t + 0.02);
+                    Ok(pll.control_voltage())
+                })
+                .expect("no campaign log in play");
             prop_assert_eq!(swept.points.len(), tones.len());
-            prop_assert_eq!(swept.quarantined_count(), 1);
+            prop_assert_eq!(swept.points.iter().filter(|p| p.is_err()).count(), 1);
             for (point, &fm) in swept.points.iter().zip(&tones) {
                 if fm == tones[sick] {
                     prop_assert!(point.is_err());
