@@ -172,6 +172,93 @@ impl BehavioralPfd {
         self.state = 0;
         self.last_pulse = None;
     }
+
+    /// Serialises the complete detector state as a compact token
+    /// (semicolon-separated, floats as 16-digit lowercase bit hex) for
+    /// the campaign lock-state checkpoint sidecar. Contains no quotes,
+    /// braces or backslashes, so it embeds verbatim in a JSONL string
+    /// field. [`from_state_code`](Self::from_state_code) is the exact
+    /// inverse.
+    pub fn state_code(&self) -> String {
+        let pulse = match &self.last_pulse {
+            None => "-".to_string(),
+            Some(p) => {
+                let dir = match p.direction {
+                    PfdOutput::Up => 'u',
+                    PfdOutput::Down => 'd',
+                    PfdOutput::Off => 'o',
+                };
+                format!(
+                    "{dir},{:016x},{:016x},{}",
+                    p.start.to_bits(),
+                    p.end.to_bits(),
+                    u8::from(p.effective)
+                )
+            }
+        };
+        format!(
+            "{};{:016x};{:016x};{};{pulse}",
+            self.state,
+            self.armed_at.to_bits(),
+            self.dead_zone.to_bits(),
+            self.glitches
+        )
+    }
+
+    /// Rebuilds a detector from [`state_code`](Self::state_code) output.
+    /// Returns `None` on any malformed token (the sidecar loader treats
+    /// that as a torn checkpoint and falls back to re-settling).
+    pub fn from_state_code(code: &str) -> Option<Self> {
+        fn f64_bits(s: &str) -> Option<f64> {
+            (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))?
+        }
+        let mut parts = code.split(';');
+        let state: i8 = parts.next()?.parse().ok()?;
+        if !(-1..=1).contains(&state) {
+            return None;
+        }
+        let armed_at = f64_bits(parts.next()?)?;
+        let dead_zone = f64_bits(parts.next()?)?;
+        let glitches: u64 = parts.next()?.parse().ok()?;
+        let pulse_token = parts.next()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        let last_pulse = if pulse_token == "-" {
+            None
+        } else {
+            let mut fields = pulse_token.split(',');
+            let direction = match fields.next()? {
+                "u" => PfdOutput::Up,
+                "d" => PfdOutput::Down,
+                "o" => PfdOutput::Off,
+                _ => return None,
+            };
+            let start = f64_bits(fields.next()?)?;
+            let end = f64_bits(fields.next()?)?;
+            let effective = match fields.next()? {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            };
+            if fields.next().is_some() {
+                return None;
+            }
+            Some(CompletedPulse {
+                direction,
+                start,
+                end,
+                effective,
+            })
+        };
+        Some(Self {
+            state,
+            armed_at,
+            dead_zone,
+            last_pulse,
+            glitches,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -252,5 +339,40 @@ mod tests {
     #[should_panic(expected = "dead zone")]
     fn negative_dead_zone_rejected() {
         let _ = BehavioralPfd::with_dead_zone(-1.0);
+    }
+
+    #[test]
+    fn state_code_round_trips_bit_exactly() {
+        let mut p = BehavioralPfd::with_dead_zone(5e-9);
+        p.on_reference_edge(1.25e-3);
+        p.on_feedback_edge(1.25e-3 + 2e-9); // swallowed → glitch recorded
+        p.on_reference_edge(2.5e-3); // leaves the detector armed UP
+        let code = p.state_code();
+        let back = BehavioralPfd::from_state_code(&code).unwrap();
+        assert_eq!(back, p);
+        assert_eq!(back.glitch_count(), 1);
+        assert_eq!(back.state_code(), code);
+        // Idle detector (no pulse yet) also round-trips.
+        let idle = BehavioralPfd::new();
+        assert_eq!(
+            BehavioralPfd::from_state_code(&idle.state_code()).unwrap(),
+            idle
+        );
+    }
+
+    #[test]
+    fn torn_or_malformed_state_codes_are_rejected() {
+        let mut p = BehavioralPfd::new();
+        p.on_reference_edge(0.0);
+        p.on_feedback_edge(1e-6);
+        let code = p.state_code();
+        for cut in 0..code.len() {
+            assert!(
+                BehavioralPfd::from_state_code(&code[..cut]).is_none(),
+                "prefix of length {cut} must not parse"
+            );
+        }
+        assert!(BehavioralPfd::from_state_code(&format!("{code};x")).is_none());
+        assert!(BehavioralPfd::from_state_code("7;0;0;0;-").is_none());
     }
 }

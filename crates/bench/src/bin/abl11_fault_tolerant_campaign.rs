@@ -181,6 +181,7 @@ fn main() {
         &tel,
         None,
         None,
+        None,
         |pll, _fm| {
             pll.set_stimulus(FmStimulus::constant(1_000.0, 150.0));
             let mut detector = LockDetector::new(20e-6, 64);
@@ -222,6 +223,7 @@ fn main() {
         true,
         Some(&policy),
         &tel,
+        None,
         None,
         None,
         |pll, fm| {

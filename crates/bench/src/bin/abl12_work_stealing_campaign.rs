@@ -139,6 +139,7 @@ fn main() {
             tel,
             None,
             None,
+            None,
             |pll, fm| capture(pll, fm, sick_cutoff),
         )
     };
@@ -229,6 +230,7 @@ fn main() {
             Some(&policy),
             &tel,
             Some(&log),
+            None,
             None,
             |pll, fm| capture(pll, fm, sick_cutoff),
         );

@@ -109,6 +109,7 @@ impl Campaign<'_> {
             Some(&self.policy),
             &tel,
             Some(&log),
+            None,
             observer,
             |pll, fm| capture(pll, fm, self.sick_cutoff),
         );

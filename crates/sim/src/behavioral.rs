@@ -771,6 +771,88 @@ impl PllEngine for CpPll {
         "cp_pll"
     }
 
+    fn encode_checkpoint(snapshot: &CpPllCheckpoint) -> Option<String> {
+        if snapshot.noise.is_some() {
+            // The jitter source carries private RNG state; declining
+            // keeps the sidecar honest — noisy campaigns re-settle.
+            return None;
+        }
+        let hx = |v: f64| format!("{:016x}", v.to_bits());
+        let fs: Vec<String> = snapshot.filter_state.iter().map(|v| hx(*v)).collect();
+        let fs = if fs.is_empty() {
+            "-".to_string()
+        } else {
+            fs.join(",")
+        };
+        let s = &snapshot.stats;
+        Some(format!(
+            "cp:{}|{fs}|{}|{}|{}|{}|{}|{}|{}|{}|{}|{},{},{},{},{}",
+            hx(snapshot.t),
+            snapshot.pfd.state_code(),
+            snapshot.stimulus.encode_state(),
+            hx(snapshot.vco_phase_cycles),
+            snapshot.fb_edge_count,
+            hx(snapshot.next_fb_target),
+            hx(snapshot.next_ref_edge),
+            hx(snapshot.next_ref_edge_ideal),
+            hx(snapshot.stim_phase_base),
+            u8::from(snapshot.hold),
+            s.steps,
+            s.step_rejections,
+            s.ref_edges,
+            s.fb_edges,
+            s.hold_engagements,
+        ))
+    }
+
+    fn decode_checkpoint(token: &str) -> Option<CpPllCheckpoint> {
+        fn f64_bits(s: &str) -> Option<f64> {
+            (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))?
+        }
+        let rest = token.strip_prefix("cp:")?;
+        let parts: Vec<&str> = rest.split('|').collect();
+        if parts.len() != 12 {
+            return None;
+        }
+        let filter_state = if parts[1] == "-" {
+            Vec::new()
+        } else {
+            parts[1].split(',').map(f64_bits).collect::<Option<_>>()?
+        };
+        let stats: Vec<u64> = parts[11]
+            .split(',')
+            .map(|s| s.parse().ok())
+            .collect::<Option<_>>()?;
+        if stats.len() != 5 {
+            return None;
+        }
+        Some(CpPllCheckpoint {
+            t: f64_bits(parts[0])?,
+            filter_state,
+            pfd: BehavioralPfd::from_state_code(parts[2])?,
+            stimulus: FmStimulus::decode_state(parts[3])?,
+            vco_phase_cycles: f64_bits(parts[4])?,
+            fb_edge_count: parts[5].parse().ok()?,
+            next_fb_target: f64_bits(parts[6])?,
+            next_ref_edge: f64_bits(parts[7])?,
+            next_ref_edge_ideal: f64_bits(parts[8])?,
+            stim_phase_base: f64_bits(parts[9])?,
+            hold: match parts[10] {
+                "0" => false,
+                "1" => true,
+                _ => return None,
+            },
+            noise: None,
+            stats: SolverStats {
+                steps: stats[0],
+                step_rejections: stats[1],
+                ref_edges: stats[2],
+                fb_edges: stats[3],
+                hold_engagements: stats[4],
+            },
+        })
+    }
+
     fn work_stats(&self) -> WorkStats {
         let s = self.solver_stats();
         WorkStats {

@@ -314,6 +314,23 @@ pub fn decode_point_line<C: PointCodec>(
     Some((index, outcome))
 }
 
+/// A deterministic I/O fault injected into one [`CampaignLog::record`]
+/// flush — the campaign service's torn-write / disk-full fault layer.
+pub struct InjectedWriteFault {
+    /// How many bytes of the encoded line (trailing newline included)
+    /// land on disk before the failure: `0` models disk-full rejecting
+    /// the write outright, a partial count models a torn write followed
+    /// by a crash.
+    pub torn_bytes: usize,
+    /// The error latched in the log exactly as a real failure would be
+    /// (surfaced by [`CampaignLog::finish`]).
+    pub error: std::io::Error,
+}
+
+/// Hook consulted once per flushed line, keyed by the point index about
+/// to be written. Returning `Some` makes that flush fail.
+pub type WriteFaultHook = Box<dyn Fn(usize) -> Option<InjectedWriteFault> + Send + Sync>;
+
 struct Writer {
     file: std::fs::File,
     /// First index not yet flushed to disk.
@@ -323,6 +340,9 @@ struct Writer {
     /// First I/O error, surfaced at [`CampaignLog::finish`] so a disk
     /// hiccup doesn't unwind sweep workers mid-point.
     io_error: Option<std::io::Error>,
+    /// Deterministic fault injection for crash-only testing; `None` in
+    /// production.
+    fault: Option<WriteFaultHook>,
 }
 
 /// An open campaign results file: the loaded completed-point prefix plus
@@ -383,29 +403,64 @@ impl<C: PointCodec> CampaignLog<C> {
                     });
                 }
                 let body_ends_clean = existing.ends_with('\n');
-                for (offset, line) in lines[2..].iter().enumerate() {
-                    let expected_index = offset;
-                    let is_last = offset == lines.len() - 3;
+                let body = &lines[2..];
+                // Accept the longest prefix of in-order records, then
+                // treat everything after it as a (possibly multi-line)
+                // torn tail: a crash mid-flush — or a filesystem
+                // journal replay zeroing trailing blocks — can damage
+                // more than one trailing line, and all of it is safely
+                // recomputable. The final line additionally only counts
+                // when the file ends with its newline; otherwise the
+                // kill interrupted the write and even a
+                // parseable-looking line is suspect.
+                let mut torn_at: Option<usize> = None;
+                for (offset, line) in body.iter().enumerate() {
+                    let expected_index = prefix_lines.len();
+                    let is_last = offset == body.len() - 1;
+                    // Only a line that round-trips exactly (decode →
+                    // re-encode reproduces the bytes) counts as a
+                    // record: a tear can leave a lexically parseable
+                    // prefix (e.g. only the closing brace lost) that
+                    // would otherwise poison byte-identical resume.
                     let decoded = decode_point_line(&codec, line)
-                        .filter(|(index, _)| *index == expected_index);
+                        .filter(|(index, _)| *index == expected_index && *index < points)
+                        .filter(|(index, outcome)| {
+                            encode_point_line(&codec, *index, outcome) == *line
+                        });
                     match decoded {
-                        Some((index, outcome)) if index < points => {
-                            // The final line only counts when the file
-                            // ends with its newline — otherwise the kill
-                            // interrupted the write and even a
-                            // parseable-looking line is suspect.
-                            if is_last && !body_ends_clean {
-                                break;
-                            }
+                        Some((index, outcome)) if !is_last || body_ends_clean => {
                             loaded[index] = Some(outcome);
                             prefix_lines.push((*line).to_string());
                         }
-                        _ if is_last => break,
                         _ => {
-                            return Err(CampaignError::Malformed {
-                                line: offset + 3,
-                                reason: format!("expected campaign.point index {expected_index}"),
-                            });
+                            torn_at = Some(offset);
+                            break;
+                        }
+                    }
+                }
+                // The torn tail may only contain *incomplete* lines. A
+                // record that still round-trips exactly (decode →
+                // re-encode reproduces the line) is provably finished
+                // work sitting after a hole — structural corruption a
+                // recompute would silently discard, so refuse instead.
+                if let Some(start) = torn_at {
+                    for (offset, line) in body.iter().enumerate().skip(start) {
+                        let is_last = offset == body.len() - 1;
+                        if is_last && !body_ends_clean {
+                            continue;
+                        }
+                        if let Some((index, outcome)) = decode_point_line(&codec, line) {
+                            if index < points && encode_point_line(&codec, index, &outcome) == *line
+                            {
+                                return Err(CampaignError::Malformed {
+                                    line: offset + 3,
+                                    reason: format!(
+                                        "complete record (index {index}) after a torn tail \
+                                         starting at line {}",
+                                        start + 3
+                                    ),
+                                });
+                            }
                         }
                     }
                 }
@@ -438,6 +493,7 @@ impl<C: PointCodec> CampaignLog<C> {
                 next_flush: prefix_lines.len(),
                 pending: BTreeMap::new(),
                 io_error: None,
+                fault: None,
             }),
         })
     }
@@ -487,6 +543,7 @@ impl<C: PointCodec> CampaignLog<C> {
             Err(poisoned) => poisoned.into_inner(),
         };
         writer.pending.insert(index, line);
+        let writer = &mut *writer;
         loop {
             let flush_index = writer.next_flush;
             let Some(line) = writer.pending.remove(&flush_index) else {
@@ -494,10 +551,22 @@ impl<C: PointCodec> CampaignLog<C> {
             };
             let mut buf = line.into_bytes();
             buf.push(b'\n');
-            let wrote = writer
-                .file
-                .write_all(&buf)
-                .and_then(|()| writer.file.flush());
+            let wrote = match writer.fault.as_ref().and_then(|hook| hook(flush_index)) {
+                Some(injected) => {
+                    // Leave exactly the torn prefix on disk, then fail
+                    // the flush the way a real short write would.
+                    let torn = injected.torn_bytes.min(buf.len());
+                    let _ = writer
+                        .file
+                        .write_all(&buf[..torn])
+                        .and_then(|()| writer.file.flush());
+                    Err(injected.error)
+                }
+                None => writer
+                    .file
+                    .write_all(&buf)
+                    .and_then(|()| writer.file.flush()),
+            };
             if let Err(e) = wrote {
                 if writer.io_error.is_none() {
                     writer.io_error = Some(e);
@@ -506,6 +575,18 @@ impl<C: PointCodec> CampaignLog<C> {
             }
             writer.next_flush += 1;
         }
+    }
+
+    /// Installs (or clears) the deterministic write-fault hook. Test
+    /// and fault-injection infrastructure only; a live fault latches an
+    /// I/O error exactly like a real disk failure, so the campaign must
+    /// be reopened (crash-only restart) to make further progress.
+    pub fn set_write_fault(&self, hook: Option<WriteFaultHook>) {
+        let mut writer = match self.writer.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        writer.fault = hook;
     }
 
     /// Surfaces any latched I/O error and verifies every point landed
@@ -747,13 +828,83 @@ mod tests {
         let corrupted = text.replacen("\"ok\":true", "\"ok\":maybe", 1);
         assert_ne!(corrupted, text);
         std::fs::write(&path, corrupted).unwrap();
+        // Record 0 is damaged but record 1 after it still round-trips:
+        // that's structural corruption (finished work after a hole),
+        // not a torn tail, and must be refused — the complete record is
+        // what the error points at.
         let err = CampaignLog::open(&path, F64Codec, "cccccccccccccccc".to_string(), 3)
             .err()
             .expect("mid-file corruption must be refused");
         assert!(
-            matches!(err, CampaignError::Malformed { line: 3, .. }),
+            matches!(err, CampaignError::Malformed { line: 4, .. }),
             "{err}"
         );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn multi_record_torn_tail_is_dropped_and_recomputed() {
+        let path = tmp("torn_tail.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = CampaignLog::open(&path, F64Codec, "abababababababab".into(), 4).unwrap();
+        for (i, v) in [1.0, 2.0, 3.0].iter().enumerate() {
+            log.record(i, &Ok(*v));
+        }
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Damage the last TWO records (journal-replay style): truncate
+        // record 2 mid-line and chop record 1 down to a fragment that
+        // no longer parses. Only the clean record 0 should survive.
+        let lines: Vec<&str> = text.lines().collect();
+        let torn = format!(
+            "{}\n{}\n{}\n{}\n{}",
+            lines[0],
+            lines[1],
+            lines[2],
+            &lines[3][..lines[3].len() / 3],
+            &lines[4][..lines[4].len() - 5],
+        );
+        std::fs::write(&path, torn).unwrap();
+        let log = CampaignLog::open(&path, F64Codec, "abababababababab".into(), 4).unwrap();
+        assert_eq!(log.completed_count(), 1);
+        assert!(log.is_completed(0));
+        assert!(!log.is_completed(1));
+        // The rewrite leaves a clean file: header + the surviving prefix.
+        drop(log);
+        let rewritten = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(rewritten.lines().count(), 3);
+        assert!(rewritten.ends_with('\n'));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_write_fault_tears_the_line_and_latches_the_error() {
+        let path = tmp("write_fault.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let log = CampaignLog::open(&path, F64Codec, "efefefefefefefef".into(), 3).unwrap();
+        log.set_write_fault(Some(Box::new(|index| {
+            (index == 1).then(|| InjectedWriteFault {
+                torn_bytes: 7,
+                error: std::io::Error::other("injected disk full"),
+            })
+        })));
+        log.record(0, &Ok(10.0));
+        log.record(1, &Ok(20.0));
+        // The log is dead after the fault: later records buffer but
+        // never land, and finish() surfaces the latched error.
+        log.record(2, &Ok(30.0));
+        let err = log.finish(true).expect_err("latched fault must surface");
+        assert!(matches!(err, CampaignError::Io(_)), "{err}");
+        drop(log);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // On disk: both headers, record 0, then exactly 7 torn bytes.
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[3].len(), 7);
+        // Crash-only restart recovers record 0 and recomputes the rest.
+        let log = CampaignLog::open(&path, F64Codec, "efefefefefefefef".into(), 3).unwrap();
+        assert_eq!(log.completed_count(), 1);
+        assert!(log.is_completed(0));
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -190,6 +190,31 @@ pub trait PllEngine {
     where
         Self: Sized;
 
+    /// Serialises a checkpoint as a compact single-line token (floats
+    /// as bit hex; no quotes, braces or backslashes) for the on-disk
+    /// lock-state sidecar, or `None` when this backend's state cannot
+    /// be persisted bit-exactly (the default — sweeps then re-settle as
+    /// before). [`decode_checkpoint`](Self::decode_checkpoint) must be
+    /// the exact inverse of every `Some` this returns.
+    fn encode_checkpoint(_snapshot: &Self::Checkpoint) -> Option<String>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
+    /// Rebuilds a checkpoint from
+    /// [`encode_checkpoint`](Self::encode_checkpoint) output.
+    /// `None` on malformed/torn input
+    /// *or* when the backend does not support persistence — callers
+    /// fall back to re-settling, never error.
+    fn decode_checkpoint(_token: &str) -> Option<Self::Checkpoint>
+    where
+        Self: Sized,
+    {
+        None
+    }
+
     /// Cumulative work counters since construction.
     ///
     /// `steps` counts the engine's own unit of committed work — ODE

@@ -82,6 +82,39 @@ pub const ERROR_KINDS: &[&str] = &[
     "degenerate_fit",
 ];
 
+/// Panic payload modelling a **SIGKILL-equivalent process death** for
+/// the crash-only campaign service's deterministic fault injection
+/// ([`crate::service::FaultPlan`]).
+///
+/// Ordinary panics are *contained* per point (caught at the point
+/// boundary and rendered as [`SweepPointError::WorkerPanic`], so one
+/// sick point quarantines instead of unwinding the sweep). An injected
+/// kill must do the opposite: a real `SIGKILL` takes the whole process
+/// with it, completed prefix on disk, in-flight point lost. Every
+/// containment site therefore checks the payload with
+/// [`rethrow_if_kill`] and **re-raises** this marker instead of
+/// recording it — the unwind propagates through the worker scope to the
+/// job boundary, where the service catches it, marks the job
+/// interrupted and resumes from the on-disk prefix. The killed point is
+/// never written, so the resumed file stays byte-identical to an
+/// uninterrupted run's.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedKill {
+    /// Which scheduled kill fired (index into the fault plan), for
+    /// journals and post-mortems.
+    pub sequence: u32,
+}
+
+/// Re-raises `payload` when it is an [`InjectedKill`]; otherwise hands
+/// it back for normal per-point containment. Call this first inside
+/// every `catch_unwind` recovery path on the sweep execution path.
+pub fn rethrow_if_kill(payload: Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    if payload.downcast_ref::<InjectedKill>().is_some() {
+        std::panic::resume_unwind(payload);
+    }
+    payload
+}
+
 impl SweepPointError {
     /// Stable machine-readable tag for telemetry records.
     pub fn kind(&self) -> &'static str {

@@ -68,6 +68,8 @@ pub mod parallel;
 pub mod plan;
 pub mod scenario;
 pub mod server;
+pub mod service;
+pub mod sidecar;
 pub mod stimulus;
 pub mod supervisor;
 pub mod transient;
@@ -82,5 +84,9 @@ pub use linear::LoopAnalysis;
 pub use observe::{CampaignObserver, ObservatoryConfig};
 pub use plan::{CampaignPlan, Scheduler};
 pub use scenario::{run_plan, PlanOutcome, Scenario, SupervisedPoints};
-pub use server::{http_get, StatusServer};
+pub use server::{http_get, http_get_with_retries, http_post, HttpError, StatusServer};
+pub use service::{
+    submission_body, CampaignService, CrashFault, FaultPlan, JobSpec, ServiceConfig, VoltsCodec,
+};
+pub use sidecar::{LockSidecar, SidecarOutcome};
 pub use supervisor::{Incident, IncidentAction, Supervised, SupervisorPolicy};

@@ -202,6 +202,13 @@ impl CampaignObserver {
             .record(worker, index as u64, FlightEventKind::Flush, "");
     }
 
+    /// Records a free-form lifecycle note on the flight timeline
+    /// (sidecar hits/rejects, restart and drain markers, …).
+    pub fn note(&self, detail: &str) {
+        self.recorder
+            .record(0, NO_POINT, FlightEventKind::Note, detail);
+    }
+
     /// The stall threshold currently in force:
     /// `max(stall_floor_secs, stall_multiple × median point time)`.
     pub fn stall_timeout_secs(&self) -> f64 {

@@ -384,7 +384,12 @@ where
     par_map_points_worker(items, threads, telemetry, |worker, i, item| {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(worker, i, item))) {
             Ok(result) => result,
-            Err(payload) => Err(crate::error::SweepPointError::from_panic(payload)),
+            // An injected SIGKILL-equivalent must *not* be contained as a
+            // per-point failure: it re-raises here and unwinds the whole
+            // sweep, exactly as a real process kill would end it.
+            Err(payload) => Err(crate::error::SweepPointError::from_panic(
+                crate::error::rethrow_if_kill(payload),
+            )),
         }
     })
 }

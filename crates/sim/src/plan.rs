@@ -103,6 +103,7 @@ pub struct CampaignPlan<E: PllEngine = CpPll> {
     config: PllConfig,
     lock_settle_secs: Option<f64>,
     checkpoint: bool,
+    sidecar: bool,
     supervision: Option<SupervisorPolicy>,
     scheduler: Scheduler,
     resume_path: Option<PathBuf>,
@@ -117,6 +118,7 @@ impl<E: PllEngine> Clone for CampaignPlan<E> {
             config: self.config.clone(),
             lock_settle_secs: self.lock_settle_secs,
             checkpoint: self.checkpoint,
+            sidecar: self.sidecar,
             supervision: self.supervision.clone(),
             scheduler: self.scheduler,
             resume_path: self.resume_path.clone(),
@@ -133,6 +135,7 @@ impl<E: PllEngine> std::fmt::Debug for CampaignPlan<E> {
             .field("backend", &E::backend_name())
             .field("lock_settle_secs", &self.lock_settle_secs)
             .field("checkpoint", &self.checkpoint)
+            .field("sidecar", &self.sidecar)
             .field("supervision", &self.supervision)
             .field("scheduler", &self.scheduler)
             .field("resume_path", &self.resume_path)
@@ -153,6 +156,7 @@ impl CampaignPlan<CpPll> {
             config,
             lock_settle_secs: None,
             checkpoint: true,
+            sidecar: false,
             supervision: None,
             scheduler: Scheduler::default(),
             resume_path: None,
@@ -174,6 +178,7 @@ impl<E: PllEngine> CampaignPlan<E> {
             config: self.config,
             lock_settle_secs: self.lock_settle_secs,
             checkpoint: self.checkpoint,
+            sidecar: self.sidecar,
             supervision: self.supervision,
             scheduler: self.scheduler,
             resume_path: self.resume_path,
@@ -204,6 +209,19 @@ impl<E: PllEngine> CampaignPlan<E> {
     /// time only, never results — and is therefore *not* in the digest.
     pub fn checkpoint(mut self, on: bool) -> Self {
         self.checkpoint = on;
+        self
+    }
+
+    /// Persist the settled lock snapshot to a checkpoint sidecar next to
+    /// the resume file (`campaign.jsonl` → `campaign.ckpt`), so a
+    /// resumed run skips the settle transient entirely (default
+    /// `false`). Requires both [`checkpoint`](Self::checkpoint) and
+    /// [`resume_from`](Self::resume_from); a missing, foreign or torn
+    /// sidecar silently falls back to re-settling. Restores are
+    /// bit-exact, so this changes wall-clock time only, never results —
+    /// and is therefore *not* in the digest.
+    pub fn sidecar(mut self, on: bool) -> Self {
+        self.sidecar = on;
         self
     }
 
@@ -272,6 +290,12 @@ impl<E: PllEngine> CampaignPlan<E> {
     /// Whether the sweep reuses one settled lock snapshot.
     pub fn checkpoint_enabled(&self) -> bool {
         self.checkpoint
+    }
+
+    /// Whether the settled lock snapshot is persisted to (and resumed
+    /// from) a checkpoint sidecar.
+    pub fn sidecar_enabled(&self) -> bool {
+        self.sidecar
     }
 
     /// The supervision policy, if supervision is on.
@@ -465,6 +489,7 @@ impl<E: PllEngine> CampaignPlan<E> {
             config,
             lock_settle_secs,
             checkpoint,
+            sidecar: false,
             supervision,
             scheduler: Scheduler::default(),
             resume_path: None,
@@ -498,6 +523,7 @@ mod tests {
         let plan = CampaignPlan::new(PllConfig::paper_table3())
             .engine::<EventDrivenCpPll>()
             .checkpoint(false)
+            .sidecar(true)
             .supervised(policy.clone())
             .scheduler(Scheduler::WorkStealing { threads: 8 })
             .resume_from("campaign.jsonl")
@@ -505,6 +531,7 @@ mod tests {
             .telemetry(TelemetryConfig::enabled());
         assert_eq!(plan.backend(), "event_driven");
         assert!(!plan.checkpoint_enabled());
+        assert!(plan.sidecar_enabled());
         assert_eq!(plan.supervision(), Some(&policy));
         assert_eq!(plan.schedule().threads(), 8);
         assert_eq!(
@@ -518,6 +545,7 @@ mod tests {
         let plain = CampaignPlan::new(PllConfig::paper_table3());
         assert_eq!(plain.backend(), "cp_pll");
         assert!(plain.checkpoint_enabled());
+        assert!(!plain.sidecar_enabled());
         assert!(plain.supervision().is_none());
         assert_eq!(plain.schedule(), Scheduler::WorkStealing { threads: 0 });
         assert_eq!(Scheduler::Serial.threads(), 1);
@@ -531,6 +559,7 @@ mod tests {
         // Scheduling knobs never change results → never change the digest.
         let rescheduled = CampaignPlan::new(cfg.clone())
             .checkpoint(false)
+            .sidecar(true)
             .scheduler(Scheduler::Serial)
             .telemetry(TelemetryConfig::enabled())
             .resume_from("x.jsonl")

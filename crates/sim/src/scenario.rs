@@ -32,6 +32,7 @@ use crate::error::{CampaignError, SweepPointError};
 use crate::observe::CampaignObserver;
 use crate::parallel::par_try_map_points_worker;
 use crate::plan::CampaignPlan;
+use crate::sidecar::{LockSidecar, SidecarOutcome};
 use crate::stimulus::FmStimulus;
 use crate::supervisor::{
     emit_incident, supervised_point, Incident, IncidentAction, PointOutcome, Supervised,
@@ -162,6 +163,7 @@ impl<'a> Scenario<'a> {
             pll.advance_to(t0 + self.lock_settle_secs);
             pll.checkpoint()
         }))
+        .map_err(crate::error::rethrow_if_kill)
         .ok()
     }
 
@@ -184,6 +186,12 @@ impl<'a> Scenario<'a> {
     /// * `log` — campaign-file resume: completed points load from the
     ///   file (counted in `campaign.points_skipped`), new points stream
     ///   to it in index order as they land.
+    /// * `sidecar` — persisted lock-state cache: when checkpointing, a
+    ///   valid sidecar replaces the settle transient entirely
+    ///   (`campaign.sidecar_hits`), a missing or rejected one
+    ///   (`campaign.sidecar_rejects`) falls back to settling — and the
+    ///   fresh snapshot is stored for the next restart. Restores are
+    ///   bit-exact, so the sidecar never changes results.
     /// * `observer` — live claims/outcomes/flushes for a status server
     ///   or progress line; read-only by construction.
     ///
@@ -202,6 +210,7 @@ impl<'a> Scenario<'a> {
         policy: Option<&SupervisorPolicy>,
         telemetry: &Collector,
         log: Option<&CampaignLog<C>>,
+        sidecar: Option<&LockSidecar>,
         observer: Option<&CampaignObserver>,
         capture: F,
     ) -> SupervisedPoints<C::Point>
@@ -227,7 +236,39 @@ impl<'a> Scenario<'a> {
         let snapshot = if missing.is_empty() || !checkpoint {
             None
         } else {
-            self.guarded_snapshot::<E>(policy, telemetry)
+            let cached = sidecar.and_then(|sc| match sc.load::<E>() {
+                SidecarOutcome::Hit(snap) => {
+                    if telemetry.is_enabled() {
+                        telemetry.add("campaign.sidecar_hits", 1);
+                    }
+                    if let Some(obs) = observer {
+                        obs.note("sidecar hit: settle skipped");
+                    }
+                    Some(snap)
+                }
+                SidecarOutcome::Rejected(reason) => {
+                    if telemetry.is_enabled() {
+                        telemetry.add("campaign.sidecar_rejects", 1);
+                    }
+                    if let Some(obs) = observer {
+                        obs.note(&format!("sidecar rejected: {reason}"));
+                    }
+                    None
+                }
+                SidecarOutcome::Absent => None,
+            });
+            match cached {
+                Some(snap) => Some(snap),
+                None => {
+                    let snap = self.guarded_snapshot::<E>(policy, telemetry);
+                    if let (Some(sc), Some(snap)) = (sidecar, snap.as_ref()) {
+                        // Best-effort cache write: an IO failure here
+                        // costs the next restart a settle, nothing more.
+                        let _ = sc.store::<E>(snap);
+                    }
+                    snap
+                }
+            }
         };
         let computed =
             par_try_map_points_worker(&missing, threads, telemetry, |worker, _, &index| {
@@ -345,14 +386,19 @@ where
     F: Fn(&mut Supervised<E>, f64, &Collector) -> Result<C::Point, SweepPointError> + Sync,
 {
     let telemetry = Collector::from_config(plan.telemetry_config());
+    let digest = plan.digest(f_mod_hz, workload_salt);
     let log = match plan.resume_path() {
         Some(path) => Some(CampaignLog::open(
             path,
             codec,
-            plan.digest(f_mod_hz, workload_salt),
+            digest.clone(),
             f_mod_hz.len(),
         )?),
         None => None,
+    };
+    let sidecar = match plan.resume_path() {
+        Some(path) if plan.sidecar_enabled() => Some(LockSidecar::for_results_file(path, digest)),
+        _ => None,
     };
     let scenario = plan.scenario();
     let swept = scenario.run_points::<E, C, _>(
@@ -362,6 +408,7 @@ where
         plan.supervision(),
         &telemetry,
         log.as_ref(),
+        sidecar.as_ref(),
         plan.observer(),
         |pll, f_mod| capture(pll, f_mod, &telemetry),
     );
@@ -467,6 +514,7 @@ mod tests {
                 &tel,
                 None,
                 None,
+                None,
                 capture_bits,
             )
             .points;
@@ -478,6 +526,7 @@ mod tests {
                     use_ckpt,
                     None,
                     &tel,
+                    None,
                     None,
                     None,
                     capture_bits,
@@ -502,6 +551,7 @@ mod tests {
                 &tel,
                 None,
                 None,
+                None,
                 capture_bits,
             )
             .points;
@@ -513,6 +563,7 @@ mod tests {
                 true,
                 Some(&policy),
                 &tel,
+                None,
                 None,
                 None,
                 capture_bits,
@@ -539,6 +590,7 @@ mod tests {
             true,
             Some(&policy),
             &tel,
+            None,
             None,
             None,
             |pll, f_mod| {
@@ -580,6 +632,7 @@ mod tests {
             true,
             None,
             &tel,
+            None,
             None,
             None,
             |pll, f_mod| {

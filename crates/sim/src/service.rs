@@ -1,0 +1,1562 @@
+//! Crash-only campaign service: the durable front door for sweep jobs.
+//!
+//! A [`CampaignService`] accepts campaign submissions over plain HTTP
+//! (`std::net`, no dependencies), runs them through the existing
+//! work-stealing resumable pipeline
+//! ([`crate::scenario::Scenario::run_points`]) and streams results and
+//! progress back out. The design is **crash-only**: there is no
+//! distinction between a crash and a normal stop. Every state
+//! transition lands in an append-only fsynced journal *before* the work
+//! it describes, the campaign results file is the same
+//! torn-write-tolerant [`CampaignLog`] JSONL the batch runner uses, and
+//! on start the service rescans its root directory and resumes every
+//! job whose journal does not end in `done`/`failed`. Killing the
+//! process with SIGKILL at any instant therefore loses at most the
+//! in-flight point — never completed work, and never byte-identity of
+//! the final results file.
+//!
+//! # Job directory layout
+//!
+//! Each job lives in `<root>/job-<digest>/`:
+//!
+//! | file                    | contents                                    |
+//! |-------------------------|---------------------------------------------|
+//! | `submit.jsonl`          | the submission, persisted temp+rename       |
+//! | `job.jsonl`             | append-only lifecycle journal (fsynced)     |
+//! | `campaign.jsonl`        | the [`CampaignLog`] results file            |
+//! | `campaign.flight.jsonl` | flight-recorder dump sidecar                |
+//! | `campaign.ckpt`         | [`LockSidecar`] settled-lock checkpoint     |
+//!
+//! # Deterministic fault injection
+//!
+//! Robustness claims are enforced, not hoped for: a submission carries
+//! a [`FaultPlan`] (derived from the seeded testkit PRNG) that injects
+//! worker panics, retryable point failures, torn and rejected writes on
+//! the results file, torn journal appends and mid-sweep process kills
+//! ([`crate::error::InjectedKill`]) at exact, reproducible places. The
+//! `abl15_crash_only_service` ablation drives the service through those
+//! faults plus real process kills and asserts every campaign completes
+//! with a results file byte-identical to an uninterrupted serial
+//! reference.
+
+use std::collections::BTreeSet;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::behavioral::CpPll;
+use crate::campaign::{bits_hex, f64_from_bits_hex, CampaignLog, InjectedWriteFault, PointCodec};
+use crate::config::{DriveConfig, FilterConfig, PllConfig};
+use crate::engine::{ClosedFormPll, PllEngine};
+use crate::error::{CampaignError, InjectedKill, SweepPointError};
+use crate::event_driven::EventDrivenCpPll;
+use crate::observe::{CampaignObserver, ObservatoryConfig};
+use crate::plan::CampaignPlan;
+use crate::scenario::Scenario;
+use crate::server::{read_http_request, write_http_response, HttpRequest};
+use crate::sidecar::LockSidecar;
+use crate::stimulus::FmStimulus;
+use crate::supervisor::Supervised;
+use pllbist_telemetry::json::{json_str_field, json_u64_field};
+use pllbist_telemetry::recorder::{FlightEventKind, NO_POINT};
+use pllbist_telemetry::{Collector, Fields, Record, Value, SCHEMA_VERSION};
+use pllbist_testkit::rng::TestRng;
+
+/// Journal/submission record bin tag.
+const SERVE_BIN: &str = "serve";
+/// Journal event record name.
+const EVENT_RECORD: &str = "job.event";
+/// Submission spec record name.
+const SPEC_RECORD: &str = "job.spec";
+/// Backends the service can instantiate.
+const SERVABLE_BACKENDS: [&str; 3] = ["cp_pll", "event_driven", "closed_form"];
+
+// ---------------------------------------------------------------------------
+// Point codec
+// ---------------------------------------------------------------------------
+
+/// The service's result codec: one control voltage per modulation
+/// point, serialised losslessly as IEEE-754 bits.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VoltsCodec;
+
+impl PointCodec for VoltsCodec {
+    type Point = f64;
+
+    fn encode(&self, point: &f64) -> Fields {
+        vec![("v_bits".to_string(), Value::Str(bits_hex(*point)))]
+    }
+
+    fn decode(&self, line: &str) -> Option<f64> {
+        f64_from_bits_hex(&json_str_field(line, "v_bits")?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config wire codec
+// ---------------------------------------------------------------------------
+
+fn opt_hex(v: Option<f64>) -> String {
+    match v {
+        Some(v) => bits_hex(v),
+        None => "-".to_string(),
+    }
+}
+
+fn opt_from_hex(s: &str) -> Option<Option<f64>> {
+    if s == "-" {
+        Some(None)
+    } else {
+        Some(Some(f64_from_bits_hex(s)?))
+    }
+}
+
+/// Serialises a [`PllConfig`] for transport inside a submission. Every
+/// `f64` travels as its exact bit pattern, so
+/// `config_from_wire(&config_to_wire(c)) == Some(c)` holds bit-for-bit
+/// — which is what keeps the plan digest stable across the wire.
+pub fn config_to_wire(config: &PllConfig) -> String {
+    let drive = match config.drive {
+        DriveConfig::Voltage { vdd } => format!("v:{}", bits_hex(vdd)),
+        DriveConfig::Charge { i_pump, mismatch } => {
+            format!("c:{},{}", bits_hex(i_pump), bits_hex(mismatch))
+        }
+    };
+    let filter = match config.filter {
+        FilterConfig::PassiveLag { r1, r2, c, r_leak } => format!(
+            "lag:{},{},{},{}",
+            bits_hex(r1),
+            bits_hex(r2),
+            bits_hex(c),
+            opt_hex(r_leak)
+        ),
+        FilterConfig::SeriesRc { r, c1, c2, r_leak } => format!(
+            "rc:{},{},{},{}",
+            bits_hex(r),
+            bits_hex(c1),
+            opt_hex(c2),
+            opt_hex(r_leak)
+        ),
+        FilterConfig::ActivePi { tau1, tau2 } => {
+            format!("pi:{},{}", bits_hex(tau1), bits_hex(tau2))
+        }
+    };
+    let range = match config.vco_range_hz {
+        Some((lo, hi)) => format!("{},{}", bits_hex(lo), bits_hex(hi)),
+        None => "-".to_string(),
+    };
+    format!(
+        "v1;{};{};{};{};{};{};{},{};{};{}",
+        bits_hex(config.f_ref_hz),
+        config.divider_n,
+        drive,
+        filter,
+        bits_hex(config.vco_k0),
+        bits_hex(config.vco_gain_scale),
+        bits_hex(config.vco_curvature.0),
+        bits_hex(config.vco_curvature.1),
+        range,
+        bits_hex(config.pfd_dead_zone),
+    )
+}
+
+/// Inverse of [`config_to_wire`]. `None` on any malformed field — a
+/// hostile submission degrades to a 400, never a panic.
+pub fn config_from_wire(wire: &str) -> Option<PllConfig> {
+    let mut parts = wire.split(';');
+    if parts.next()? != "v1" {
+        return None;
+    }
+    let f_ref_hz = f64_from_bits_hex(parts.next()?)?;
+    let divider_n: u32 = parts.next()?.parse().ok()?;
+    let (drive_tag, drive_rest) = parts.next()?.split_once(':')?;
+    let drive = match drive_tag {
+        "v" => DriveConfig::Voltage {
+            vdd: f64_from_bits_hex(drive_rest)?,
+        },
+        "c" => {
+            let (i, m) = drive_rest.split_once(',')?;
+            DriveConfig::Charge {
+                i_pump: f64_from_bits_hex(i)?,
+                mismatch: f64_from_bits_hex(m)?,
+            }
+        }
+        _ => return None,
+    };
+    let (filter_tag, filter_rest) = parts.next()?.split_once(':')?;
+    let fs: Vec<&str> = filter_rest.split(',').collect();
+    let filter = match (filter_tag, fs.len()) {
+        ("lag", 4) => FilterConfig::PassiveLag {
+            r1: f64_from_bits_hex(fs[0])?,
+            r2: f64_from_bits_hex(fs[1])?,
+            c: f64_from_bits_hex(fs[2])?,
+            r_leak: opt_from_hex(fs[3])?,
+        },
+        ("rc", 4) => FilterConfig::SeriesRc {
+            r: f64_from_bits_hex(fs[0])?,
+            c1: f64_from_bits_hex(fs[1])?,
+            c2: opt_from_hex(fs[2])?,
+            r_leak: opt_from_hex(fs[3])?,
+        },
+        ("pi", 2) => FilterConfig::ActivePi {
+            tau1: f64_from_bits_hex(fs[0])?,
+            tau2: f64_from_bits_hex(fs[1])?,
+        },
+        _ => return None,
+    };
+    let vco_k0 = f64_from_bits_hex(parts.next()?)?;
+    let vco_gain_scale = f64_from_bits_hex(parts.next()?)?;
+    let (c0, c1) = parts.next()?.split_once(',')?;
+    let vco_curvature = (f64_from_bits_hex(c0)?, f64_from_bits_hex(c1)?);
+    let range = parts.next()?;
+    let vco_range_hz = if range == "-" {
+        None
+    } else {
+        let (lo, hi) = range.split_once(',')?;
+        Some((f64_from_bits_hex(lo)?, f64_from_bits_hex(hi)?))
+    };
+    let pfd_dead_zone = f64_from_bits_hex(parts.next()?)?;
+    if parts.next().is_some() {
+        return None;
+    }
+    Some(PllConfig {
+        f_ref_hz,
+        divider_n,
+        drive,
+        filter,
+        vco_k0,
+        vco_gain_scale,
+        vco_curvature,
+        vco_range_hz,
+        pfd_dead_zone,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fault plan
+// ---------------------------------------------------------------------------
+
+/// One process-level fault in a [`FaultPlan`], consumed one per attempt
+/// (attempt `n` draws `crash[n]`; attempts past the end run fault-free,
+/// which is what guarantees eventual completion).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CrashFault {
+    /// Panic the sweep with an [`InjectedKill`] after this many point
+    /// captures — the in-process stand-in for SIGKILL mid-sweep.
+    Kill {
+        /// Captures before the kill fires.
+        after_points: usize,
+    },
+    /// [`CrashFault::Kill`], and additionally tear the journal append
+    /// that records the interruption (a crash racing its own journal).
+    KillTearingJournal {
+        /// Captures before the kill fires.
+        after_points: usize,
+    },
+    /// Tear the nth results-file flush after `keep_bytes` bytes and
+    /// latch the write error (kill mid-`write(2)`).
+    TornResultWrite {
+        /// Zero-based flush ordinal the fault fires on.
+        at_flush: usize,
+        /// Bytes of the encoded line that land on disk.
+        keep_bytes: usize,
+    },
+    /// Reject the nth results-file flush outright (disk full).
+    ResultDiskFull {
+        /// Zero-based flush ordinal the fault fires on.
+        at_flush: usize,
+    },
+}
+
+/// A deterministic fault schedule carried inside a submission.
+///
+/// Point-level faults (`flaky_retry`, `flaky_quarantine`) fire in
+/// *every* run — including the uninterrupted reference — so the final
+/// results file is identical with or without the process-level `crash`
+/// faults layered on top. That is the byte-identity contract the
+/// `abl15` ablation gates.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Grid indices whose first capture per process attempt fails with
+    /// a retryable [`SweepPointError::DegenerateFit`].
+    pub flaky_retry: Vec<usize>,
+    /// Grid indices whose capture panics — quarantined deterministically
+    /// by the supervisor as a worker panic.
+    pub flaky_quarantine: Vec<usize>,
+    /// Process-level faults, one consumed per attempt.
+    pub crash: Vec<CrashFault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a healthy production submission.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A reproducible fault schedule from the seeded testkit PRNG:
+    /// roughly a quarter of points flaky-retryable, a further sliver
+    /// quarantined, plus `kills` process-level faults of mixed kinds.
+    pub fn from_seed(seed: u64, points: usize, kills: usize) -> Self {
+        let mut rng = TestRng::seed_from_u64(seed);
+        let mut plan = Self::none();
+        for i in 0..points {
+            let r = rng.next_f64();
+            if r < 0.25 {
+                plan.flaky_retry.push(i);
+            } else if r < 0.32 {
+                plan.flaky_quarantine.push(i);
+            }
+        }
+        for _ in 0..kills {
+            let crash = match rng.u64_range(0, 4) {
+                0 => CrashFault::Kill {
+                    after_points: rng.usize_range(1, points.max(2)),
+                },
+                1 => CrashFault::KillTearingJournal {
+                    after_points: rng.usize_range(1, points.max(2)),
+                },
+                2 => CrashFault::TornResultWrite {
+                    at_flush: rng.usize_range(0, points.max(1)),
+                    keep_bytes: rng.usize_range(0, 24),
+                },
+                _ => CrashFault::ResultDiskFull {
+                    at_flush: rng.usize_range(0, points.max(1)),
+                },
+            };
+            plan.crash.push(crash);
+        }
+        plan
+    }
+
+    /// The same plan with every process-level fault removed — what an
+    /// uninterrupted reference run of the same job executes.
+    pub fn reference(&self) -> Self {
+        Self {
+            flaky_retry: self.flaky_retry.clone(),
+            flaky_quarantine: self.flaky_quarantine.clone(),
+            crash: Vec::new(),
+        }
+    }
+
+    /// Serialises the plan for transport inside a submission.
+    pub fn to_wire(&self) -> String {
+        let csv = |v: &[usize]| -> String {
+            if v.is_empty() {
+                "-".to_string()
+            } else {
+                v.iter()
+                    .map(|i| i.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            }
+        };
+        let crash = if self.crash.is_empty() {
+            "-".to_string()
+        } else {
+            self.crash
+                .iter()
+                .map(|c| match c {
+                    CrashFault::Kill { after_points } => format!("k{after_points}"),
+                    CrashFault::KillTearingJournal { after_points } => format!("K{after_points}"),
+                    CrashFault::TornResultWrite {
+                        at_flush,
+                        keep_bytes,
+                    } => format!("t{at_flush}.{keep_bytes}"),
+                    CrashFault::ResultDiskFull { at_flush } => format!("f{at_flush}"),
+                })
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        format!(
+            "fp1|retry:{}|panic:{}|crash:{crash}",
+            csv(&self.flaky_retry),
+            csv(&self.flaky_quarantine),
+        )
+    }
+
+    /// Inverse of [`to_wire`](Self::to_wire); `None` on malformed input.
+    pub fn from_wire(wire: &str) -> Option<Self> {
+        let mut parts = wire.split('|');
+        if parts.next()? != "fp1" {
+            return None;
+        }
+        let csv = |s: &str| -> Option<Vec<usize>> {
+            if s == "-" {
+                Some(Vec::new())
+            } else {
+                s.split(',').map(|t| t.parse().ok()).collect()
+            }
+        };
+        let retry = parts.next()?.strip_prefix("retry:")?.to_string();
+        let panic = parts.next()?.strip_prefix("panic:")?.to_string();
+        let crash_s = parts.next()?.strip_prefix("crash:")?.to_string();
+        if parts.next().is_some() {
+            return None;
+        }
+        let crash = if crash_s == "-" {
+            Vec::new()
+        } else {
+            crash_s
+                .split(';')
+                .map(|tok| -> Option<CrashFault> {
+                    let rest = tok.get(1..)?;
+                    match tok.chars().next()? {
+                        'k' => Some(CrashFault::Kill {
+                            after_points: rest.parse().ok()?,
+                        }),
+                        'K' => Some(CrashFault::KillTearingJournal {
+                            after_points: rest.parse().ok()?,
+                        }),
+                        't' => {
+                            let (at, keep) = rest.split_once('.')?;
+                            Some(CrashFault::TornResultWrite {
+                                at_flush: at.parse().ok()?,
+                                keep_bytes: keep.parse().ok()?,
+                            })
+                        }
+                        'f' => Some(CrashFault::ResultDiskFull {
+                            at_flush: rest.parse().ok()?,
+                        }),
+                        _ => None,
+                    }
+                })
+                .collect::<Option<Vec<_>>>()?
+        };
+        Some(Self {
+            flaky_retry: csv(&retry)?,
+            flaky_quarantine: csv(&panic)?,
+            crash,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Submission
+// ---------------------------------------------------------------------------
+
+/// Builds the `POST /jobs` body for a plan: the plan's
+/// [`header_line`](CampaignPlan::header_line) followed by a `job.spec`
+/// record carrying the config, grid, salt, thread count and fault plan
+/// — everything the service needs to rebuild the plan via
+/// [`CampaignPlan::from_header`] and verify the digest round trip.
+pub fn submission_body<E: PllEngine>(
+    plan: &CampaignPlan<E>,
+    f_mod_hz: &[f64],
+    workload_salt: &str,
+    faults: &FaultPlan,
+) -> String {
+    let header = plan.header_line(f_mod_hz, workload_salt);
+    let grid = f_mod_hz
+        .iter()
+        .map(|f| bits_hex(*f))
+        .collect::<Vec<_>>()
+        .join(",");
+    let fields: Fields = vec![
+        (
+            "config".to_string(),
+            Value::Str(config_to_wire(plan.config())),
+        ),
+        ("grid".to_string(), Value::Str(grid)),
+        ("salt".to_string(), Value::Str(workload_salt.to_string())),
+        (
+            "threads".to_string(),
+            Value::U64(plan.schedule().threads().max(1) as u64),
+        ),
+        ("faults".to_string(), Value::Str(faults.to_wire())),
+    ];
+    let spec = Record::Result {
+        name: SPEC_RECORD.to_string(),
+        fields,
+    }
+    .to_json();
+    format!("{header}\n{spec}\n")
+}
+
+/// A parsed, validated submission — everything `run_job` needs, plus
+/// the verbatim header line the digest check replays against.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    /// The verbatim campaign header line from the submission.
+    pub header: String,
+    /// The PLL under test.
+    pub config: PllConfig,
+    /// Modulation grid (Hz), bit-exact from the wire.
+    pub grid: Vec<f64>,
+    /// Workload salt the digest was computed with.
+    pub salt: String,
+    /// Worker threads for the sweep.
+    pub threads: usize,
+    /// Backend tag from the header (`cp_pll` / `event_driven` /
+    /// `closed_form`).
+    pub backend: String,
+    /// The plan digest — doubles as the job id and directory name.
+    pub digest: String,
+    /// Deterministic fault schedule (empty in production).
+    pub faults: FaultPlan,
+}
+
+impl JobSpec {
+    /// Parses and validates a `POST /jobs` body.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason (surfaced as the 400 body) when the
+    /// header or spec line is missing or malformed, the digest is not
+    /// 16 lowercase hex characters (it names a directory — this is the
+    /// path-traversal guard), the backend is not servable, the grid is
+    /// empty / non-finite / non-positive / has duplicate bit patterns,
+    /// or the point count disagrees with the grid.
+    pub fn parse(body: &str) -> Result<Self, String> {
+        let header = body
+            .lines()
+            .find(|l| l.contains("\"type\":\"campaign\""))
+            .ok_or_else(|| "missing campaign header line".to_string())?
+            .to_string();
+        let spec_line = body
+            .lines()
+            .find(|l| l.contains("\"job.spec\""))
+            .ok_or_else(|| "missing job.spec line".to_string())?;
+        let digest = json_str_field(&header, "digest").ok_or("header missing digest")?;
+        if digest.len() != 16
+            || !digest
+                .chars()
+                .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
+        {
+            return Err("digest must be 16 lowercase hex characters".to_string());
+        }
+        let backend = json_str_field(&header, "backend").ok_or("header missing backend")?;
+        if !SERVABLE_BACKENDS.contains(&backend.as_str()) {
+            return Err(format!("backend \"{backend}\" is not servable"));
+        }
+        let points = json_u64_field(&header, "points").ok_or("header missing points")?;
+        let config_wire = json_str_field(spec_line, "config").ok_or("spec missing config")?;
+        let config = config_from_wire(&config_wire).ok_or("malformed config")?;
+        let grid_wire = json_str_field(spec_line, "grid").ok_or("spec missing grid")?;
+        let grid: Vec<f64> = grid_wire
+            .split(',')
+            .map(f64_from_bits_hex)
+            .collect::<Option<_>>()
+            .ok_or("malformed grid")?;
+        if grid.is_empty() {
+            return Err("empty grid".to_string());
+        }
+        if grid.iter().any(|f| !f.is_finite() || *f <= 0.0) {
+            return Err("grid frequencies must be finite and positive".to_string());
+        }
+        let distinct: BTreeSet<u64> = grid.iter().map(|f| f.to_bits()).collect();
+        if distinct.len() != grid.len() {
+            return Err("grid frequencies must be distinct".to_string());
+        }
+        if points != grid.len() as u64 {
+            return Err(format!(
+                "header points {points} disagrees with grid length {}",
+                grid.len()
+            ));
+        }
+        let salt = json_str_field(spec_line, "salt").ok_or("spec missing salt")?;
+        if salt.contains('"') || salt.contains('\\') {
+            return Err("salt must not contain quotes or backslashes".to_string());
+        }
+        let threads = json_u64_field(spec_line, "threads").ok_or("spec missing threads")?;
+        let threads = usize::try_from(threads)
+            .ok()
+            .filter(|t| (1..=256).contains(t))
+            .ok_or("threads must be in 1..=256")?;
+        let faults_wire = json_str_field(spec_line, "faults").ok_or("spec missing faults")?;
+        let faults = FaultPlan::from_wire(&faults_wire).ok_or("malformed fault plan")?;
+        Ok(Self {
+            header,
+            config,
+            grid,
+            salt,
+            threads,
+            backend,
+            digest,
+            faults,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Journal
+// ---------------------------------------------------------------------------
+
+fn journal_event_line(state: &str, attempt: u32, detail: &str) -> String {
+    Record::Result {
+        name: EVENT_RECORD.to_string(),
+        fields: vec![
+            ("state".to_string(), Value::Str(state.to_string())),
+            ("attempt".to_string(), Value::U64(u64::from(attempt))),
+            ("detail".to_string(), Value::Str(detail.to_string())),
+        ],
+    }
+    .to_json()
+}
+
+/// Appends one event to an append-only journal, durably.
+///
+/// Self-healing by construction: if the existing file does not end in a
+/// newline (a previous append was torn mid-crash), a newline is written
+/// first so the torn fragment can never concatenate with — and destroy
+/// — this record. The write is fsynced before returning; crash-only
+/// recovery reads the journal as ground truth.
+fn journal_append(path: &Path, state: &str, attempt: u32, detail: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let existing = std::fs::read(path).unwrap_or_default();
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    let mut out = String::new();
+    if existing.is_empty() {
+        out.push_str(
+            &Record::Run {
+                bin: SERVE_BIN.to_string(),
+                schema: SCHEMA_VERSION,
+            }
+            .to_json(),
+        );
+        out.push('\n');
+    } else if existing.last() != Some(&b'\n') {
+        out.push('\n');
+    }
+    out.push_str(&journal_event_line(state, attempt, detail));
+    out.push('\n');
+    file.write_all(out.as_bytes())?;
+    file.sync_all()
+}
+
+/// A deliberately torn [`journal_append`]: only the first `keep` bytes
+/// of the record land, with no trailing newline and no fsync — what a
+/// crash racing its own journal write leaves behind.
+fn journal_append_torn(path: &Path, state: &str, attempt: u32, detail: &str, keep: usize) {
+    use std::io::Write;
+    let line = journal_event_line(state, attempt, detail);
+    let keep = keep.min(line.len());
+    if let Ok(mut file) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = file.write_all(&line.as_bytes()[..keep]);
+    }
+}
+
+/// Replays a journal: `(last parseable state, attempts started)`.
+/// Unparsable lines — torn appends — are skipped, never fatal. A
+/// missing or empty journal reads as `("queued", 0)`.
+fn journal_summary(path: &Path) -> (String, u32) {
+    let mut state = "queued".to_string();
+    let mut attempts: u32 = 0;
+    if let Ok(text) = std::fs::read_to_string(path) {
+        for line in text.lines() {
+            if !line.contains(EVENT_RECORD) {
+                continue;
+            }
+            if let Some(s) = json_str_field(line, "state") {
+                if s == "running" {
+                    attempts = attempts.saturating_add(1);
+                }
+                state = s;
+            }
+        }
+    }
+    (state, attempts)
+}
+
+// ---------------------------------------------------------------------------
+// Service
+// ---------------------------------------------------------------------------
+
+/// Knobs for one [`CampaignService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Root directory for job state (created if absent).
+    pub root: PathBuf,
+    /// Bind address; port 0 picks an ephemeral port.
+    pub bind: String,
+    /// Bounded job queue depth — submissions past it get `429`.
+    pub queue_capacity: usize,
+    /// Attempt-budget floor per job (raised automatically to cover the
+    /// job's injected crash schedule).
+    pub max_attempts: u32,
+}
+
+impl ServiceConfig {
+    /// Defaults rooted at `root`: ephemeral port, queue of 16, 16
+    /// attempts.
+    pub fn rooted(root: impl Into<PathBuf>) -> Self {
+        Self {
+            root: root.into(),
+            bind: "127.0.0.1:0".to_string(),
+            queue_capacity: 16,
+            max_attempts: 16,
+        }
+    }
+}
+
+struct ServiceState {
+    root: PathBuf,
+    max_attempts: u32,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    tx: Mutex<Option<mpsc::SyncSender<String>>>,
+    /// Jobs accepted but not yet finished (queued or running).
+    inflight: Mutex<BTreeSet<String>>,
+    running: Mutex<Option<String>>,
+    current_observer: Mutex<Option<Arc<CampaignObserver>>>,
+    done: AtomicUsize,
+    failed: AtomicUsize,
+}
+
+/// Poison-tolerant lock: a panicking holder must not wedge recovery.
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl ServiceState {
+    fn job_dir(&self, job_id: &str) -> PathBuf {
+        self.root.join(format!("job-{job_id}"))
+    }
+
+    fn journal_path(&self, job_id: &str) -> PathBuf {
+        self.job_dir(job_id).join("job.jsonl")
+    }
+
+    fn service_journal(&self) -> PathBuf {
+        self.root.join("service.jsonl")
+    }
+}
+
+/// The crash-only campaign server. See the module docs for the
+/// durability contract.
+pub struct CampaignService {
+    addr: SocketAddr,
+    state: Arc<ServiceState>,
+    accept: Option<JoinHandle<()>>,
+    runner: Option<JoinHandle<()>>,
+}
+
+impl CampaignService {
+    /// Binds, rescans the root for interrupted jobs (resuming them
+    /// before any new submission runs) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem or bind failure.
+    pub fn start(config: ServiceConfig) -> std::io::Result<Self> {
+        std::fs::create_dir_all(&config.root)?;
+        let listener = TcpListener::bind(&config.bind)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServiceState {
+            root: config.root,
+            max_attempts: config.max_attempts.max(1),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            tx: Mutex::new(None),
+            inflight: Mutex::new(BTreeSet::new()),
+            running: Mutex::new(None),
+            current_observer: Mutex::new(None),
+            done: AtomicUsize::new(0),
+            failed: AtomicUsize::new(0),
+        });
+        let backlog = rescan_backlog(&state);
+        let _ = journal_append(
+            &state.service_journal(),
+            "start",
+            0,
+            &format!("rescan found {} interrupted job(s)", backlog.len()),
+        );
+        let (tx, rx) = mpsc::sync_channel::<String>(config.queue_capacity.max(1));
+        *lock(&state.tx) = Some(tx);
+
+        let runner_state = Arc::clone(&state);
+        let runner = std::thread::spawn(move || {
+            for job_id in backlog.into_iter().chain(rx.iter()) {
+                run_job(&runner_state, &job_id);
+            }
+        });
+
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || {
+            for stream in listener.incoming() {
+                if accept_state.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                if let Ok(mut stream) = stream {
+                    serve_client(&accept_state, &mut stream);
+                }
+            }
+        });
+
+        Ok(Self {
+            addr,
+            state,
+            accept: Some(accept),
+            runner: Some(runner),
+        })
+    }
+
+    /// The bound address (the ephemeral port when `bind` asked for 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Starts a graceful drain: new submissions get `503`, queued jobs
+    /// still run to completion. Idempotent.
+    pub fn drain(&self) {
+        drain_state(&self.state);
+    }
+
+    /// Drains, waits for queued jobs to finish, stops the listener and
+    /// journals the clean stop. (Crash-only: killing the process
+    /// instead loses nothing — restart resumes from the journals.)
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        drain_state(&self.state);
+        if let Some(runner) = self.runner.take() {
+            let _ = runner.join();
+        }
+        self.state.stop.store(true, Ordering::SeqCst);
+        // Self-connect so the accept loop observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let _ = journal_append(&self.state.service_journal(), "stop", 0, "clean shutdown");
+    }
+}
+
+impl Drop for CampaignService {
+    fn drop(&mut self) {
+        if self.runner.is_some() || self.accept.is_some() {
+            self.stop_threads();
+        }
+    }
+}
+
+fn drain_state(state: &ServiceState) {
+    if !state.draining.swap(true, Ordering::SeqCst) {
+        let _ = journal_append(&state.service_journal(), "drain", 0, "drain requested");
+        if let Some(observer) = lock(&state.current_observer).as_ref() {
+            observer
+                .recorder()
+                .record(0, NO_POINT, FlightEventKind::Drain, "service draining");
+        }
+    }
+    // Dropping the only sender ends the runner's queue iteration once
+    // the already-queued jobs are consumed — the graceful half of
+    // crash-only.
+    lock(&state.tx).take();
+}
+
+/// Scans the root for job directories whose journal is not terminal and
+/// marks them queued-for-resume. Deterministic order (sorted ids).
+fn rescan_backlog(state: &Arc<ServiceState>) -> Vec<String> {
+    let mut backlog = Vec::new();
+    let entries = match std::fs::read_dir(&state.root) {
+        Ok(entries) => entries,
+        Err(_) => return backlog,
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(job_id) = name.to_str().and_then(|n| n.strip_prefix("job-")) else {
+            continue;
+        };
+        if !entry.path().join("submit.jsonl").is_file() {
+            continue;
+        }
+        let (last, _) = journal_summary(&state.journal_path(job_id));
+        if last == "done" || last == "failed" {
+            continue;
+        }
+        backlog.push(job_id.to_string());
+    }
+    backlog.sort();
+    let mut inflight = lock(&state.inflight);
+    for job_id in &backlog {
+        inflight.insert(job_id.clone());
+        let _ = journal_append(
+            &state.journal_path(job_id),
+            "queued",
+            0,
+            "requeued by restart rescan",
+        );
+    }
+    backlog
+}
+
+// ---------------------------------------------------------------------------
+// HTTP front end
+// ---------------------------------------------------------------------------
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) {
+    // Client disconnects mid-response are the client's problem — the
+    // durable state is already on disk.
+    let _ = write_http_response(stream, status, body);
+}
+
+fn serve_client(state: &Arc<ServiceState>, stream: &mut TcpStream) {
+    let Some(request) = read_http_request(stream, std::time::Duration::from_secs(2)) else {
+        respond(stream, "400 Bad Request", "{\"error\":\"bad request\"}");
+        return;
+    };
+    route(state, stream, &request);
+}
+
+fn route(state: &Arc<ServiceState>, stream: &mut TcpStream, request: &HttpRequest) {
+    let path = request.path.as_str();
+    match (request.method.as_str(), path) {
+        ("POST", "/jobs") => submit_job(state, stream, &request.body),
+        ("POST", "/drain") => {
+            drain_state(state);
+            respond(stream, "200 OK", "{\"draining\":true}");
+        }
+        ("GET", "/progress") => {
+            let running = lock(&state.running).clone();
+            let queued = {
+                let inflight = lock(&state.inflight);
+                inflight
+                    .len()
+                    .saturating_sub(usize::from(running.is_some()))
+            };
+            let running_json = match running {
+                Some(id) => format!("\"{id}\""),
+                None => "null".to_string(),
+            };
+            let body = format!(
+                "{{\"draining\":{},\"running\":{},\"queued\":{},\"done\":{},\"failed\":{}}}",
+                state.draining.load(Ordering::SeqCst),
+                running_json,
+                queued,
+                state.done.load(Ordering::SeqCst),
+                state.failed.load(Ordering::SeqCst),
+            );
+            respond(stream, "200 OK", &body);
+        }
+        ("GET", "/jobs") => {
+            let mut rows = Vec::new();
+            if let Ok(entries) = std::fs::read_dir(&state.root) {
+                let mut ids: Vec<String> = entries
+                    .flatten()
+                    .filter_map(|e| {
+                        e.file_name()
+                            .to_str()
+                            .and_then(|n| n.strip_prefix("job-"))
+                            .map(str::to_string)
+                    })
+                    .collect();
+                ids.sort();
+                for id in ids {
+                    let (job_state, attempts) = journal_summary(&state.journal_path(&id));
+                    rows.push(format!(
+                        "{{\"job\":\"{id}\",\"state\":\"{job_state}\",\"attempts\":{attempts}}}"
+                    ));
+                }
+            }
+            respond(stream, "200 OK", &format!("[{}]", rows.join(",")));
+        }
+        ("GET", _) if path.starts_with("/jobs/") => job_detail(state, stream, path),
+        _ => respond(stream, "404 Not Found", "{\"error\":\"no such endpoint\"}"),
+    }
+}
+
+fn valid_job_id(id: &str) -> bool {
+    id.len() == 16
+        && id
+            .chars()
+            .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
+}
+
+fn job_detail(state: &Arc<ServiceState>, stream: &mut TcpStream, path: &str) {
+    let rest = path.trim_start_matches("/jobs/");
+    let (job_id, want_results) = match rest.strip_suffix("/results") {
+        Some(id) => (id, true),
+        None => (rest, false),
+    };
+    if !valid_job_id(job_id) {
+        respond(stream, "404 Not Found", "{\"error\":\"no such job\"}");
+        return;
+    }
+    let dir = state.job_dir(job_id);
+    if !dir.join("submit.jsonl").is_file() {
+        respond(stream, "404 Not Found", "{\"error\":\"no such job\"}");
+        return;
+    }
+    if want_results {
+        match std::fs::read_to_string(dir.join("campaign.jsonl")) {
+            Ok(text) => respond(stream, "200 OK", &text),
+            Err(_) => respond(stream, "404 Not Found", "{\"error\":\"no results yet\"}"),
+        }
+        return;
+    }
+    let (job_state, attempts) = journal_summary(&state.journal_path(job_id));
+    let results_lines = std::fs::read_to_string(dir.join("campaign.jsonl"))
+        .map(|text| {
+            text.lines()
+                .filter(|l| l.contains("\"campaign.point\""))
+                .count()
+        })
+        .unwrap_or(0);
+    let body = format!(
+        "{{\"job\":\"{job_id}\",\"state\":\"{job_state}\",\"attempts\":{attempts},\"results_lines\":{results_lines}}}"
+    );
+    respond(stream, "200 OK", &body);
+}
+
+fn submit_job(state: &Arc<ServiceState>, stream: &mut TcpStream, body: &[u8]) {
+    if state.draining.load(Ordering::SeqCst) {
+        respond(
+            stream,
+            "503 Service Unavailable",
+            "{\"error\":\"draining\"}",
+        );
+        return;
+    }
+    let Ok(text) = std::str::from_utf8(body) else {
+        respond(stream, "400 Bad Request", "{\"error\":\"body not UTF-8\"}");
+        return;
+    };
+    let spec = match JobSpec::parse(text) {
+        Ok(spec) => spec,
+        Err(reason) => {
+            respond(
+                stream,
+                "400 Bad Request",
+                &format!("{{\"error\":\"{reason}\"}}"),
+            );
+            return;
+        }
+    };
+    let job_id = spec.digest.clone();
+    // The inflight lock brackets persist + enqueue so a duplicate
+    // submission cannot race the runner reading a half-renamed dir.
+    let mut inflight = lock(&state.inflight);
+    let journal = state.journal_path(&job_id);
+    let (job_state, _) = journal_summary(&journal);
+    if job_state == "done" && state.job_dir(&job_id).join("submit.jsonl").is_file() {
+        respond(
+            stream,
+            "200 OK",
+            &format!("{{\"job\":\"{job_id}\",\"state\":\"done\"}}"),
+        );
+        return;
+    }
+    if inflight.contains(&job_id) {
+        respond(
+            stream,
+            "200 OK",
+            &format!("{{\"job\":\"{job_id}\",\"state\":\"{job_state}\"}}"),
+        );
+        return;
+    }
+    if let Err(error) = persist_submission(&state.job_dir(&job_id), text) {
+        respond(
+            stream,
+            "500 Internal Server Error",
+            &format!("{{\"error\":\"persist failed: {error}\"}}"),
+        );
+        return;
+    }
+    let _ = journal_append(&journal, "queued", 0, "submitted");
+    let sent = lock(&state.tx)
+        .as_ref()
+        .map(|tx| tx.try_send(job_id.clone()));
+    match sent {
+        Some(Ok(())) => {
+            inflight.insert(job_id.clone());
+            respond(
+                stream,
+                "200 OK",
+                &format!("{{\"job\":\"{job_id}\",\"state\":\"queued\"}}"),
+            );
+        }
+        Some(Err(mpsc::TrySendError::Full(_))) => {
+            // Rejected submissions must not resurrect on restart:
+            // remove the durable trace before answering 429.
+            let _ = std::fs::remove_dir_all(state.job_dir(&job_id));
+            respond(
+                stream,
+                "429 Too Many Requests",
+                "{\"error\":\"job queue full\"}",
+            );
+        }
+        Some(Err(mpsc::TrySendError::Disconnected(_))) | None => {
+            let _ = std::fs::remove_dir_all(state.job_dir(&job_id));
+            respond(
+                stream,
+                "503 Service Unavailable",
+                "{\"error\":\"draining\"}",
+            );
+        }
+    }
+}
+
+/// Persists a submission durably: temp file, fsync, atomic rename.
+fn persist_submission(dir: &Path, body: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    std::fs::create_dir_all(dir)?;
+    let final_path = dir.join("submit.jsonl");
+    let tmp_path = dir.join("submit.jsonl.tmp");
+    let mut out = Record::Run {
+        bin: SERVE_BIN.to_string(),
+        schema: SCHEMA_VERSION,
+    }
+    .to_json();
+    out.push('\n');
+    out.push_str(body);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    let mut file = std::fs::File::create(&tmp_path)?;
+    file.write_all(out.as_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)
+}
+
+// ---------------------------------------------------------------------------
+// Job execution
+// ---------------------------------------------------------------------------
+
+enum AttemptError {
+    /// The job can never succeed (bad header, foreign results file).
+    Fatal(String),
+    /// This attempt died but a retry can finish the job.
+    Interrupted(String),
+}
+
+struct AttemptStats {
+    ok: usize,
+    quarantined: usize,
+    skipped: usize,
+    sidecar_hits: u64,
+    sidecar_rejects: u64,
+    wall_ms: u128,
+}
+
+fn run_job(state: &Arc<ServiceState>, job_id: &str) {
+    *lock(&state.running) = Some(job_id.to_string());
+    let journal = state.journal_path(job_id);
+    let dir = state.job_dir(job_id);
+    let spec = std::fs::read_to_string(dir.join("submit.jsonl"))
+        .map_err(|e| format!("submission unreadable: {e}"))
+        .and_then(|text| JobSpec::parse(&text));
+    match spec {
+        Err(reason) => {
+            let _ = journal_append(&journal, "failed", 0, &reason);
+            state.failed.fetch_add(1, Ordering::SeqCst);
+        }
+        Ok(spec) => loop {
+            let (last, attempts) = journal_summary(&journal);
+            if last == "done" {
+                state.done.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            let budget = state.max_attempts.max(spec.faults.crash.len() as u32 + 2);
+            if attempts >= budget {
+                let _ = journal_append(
+                    &journal,
+                    "failed",
+                    attempts,
+                    &format!("attempt budget {budget} exhausted"),
+                );
+                state.failed.fetch_add(1, Ordering::SeqCst);
+                break;
+            }
+            let _ = journal_append(
+                &journal,
+                "running",
+                attempts,
+                &format!("attempt {attempts} started"),
+            );
+            let crash = spec.faults.crash.get(attempts as usize);
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                dispatch_attempt(state, &dir, &spec, attempts, crash)
+            }));
+            *lock(&state.current_observer) = None;
+            match outcome {
+                Ok(Ok(stats)) => {
+                    let _ = journal_append(
+                        &journal,
+                        "done",
+                        attempts,
+                        &format!(
+                            "ok={} quarantined={} skipped={} sidecar_hits={} sidecar_rejects={} wall_ms={}",
+                            stats.ok,
+                            stats.quarantined,
+                            stats.skipped,
+                            stats.sidecar_hits,
+                            stats.sidecar_rejects,
+                            stats.wall_ms,
+                        ),
+                    );
+                    state.done.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+                Ok(Err(AttemptError::Fatal(reason))) => {
+                    let _ = journal_append(&journal, "failed", attempts, &reason);
+                    state.failed.fetch_add(1, Ordering::SeqCst);
+                    break;
+                }
+                Ok(Err(AttemptError::Interrupted(reason))) => {
+                    let _ = journal_append(&journal, "interrupted", attempts, &reason);
+                }
+                Err(payload) => {
+                    if payload.downcast_ref::<InjectedKill>().is_some() {
+                        if matches!(crash, Some(CrashFault::KillTearingJournal { .. })) {
+                            journal_append_torn(
+                                &journal,
+                                "interrupted",
+                                attempts,
+                                "killed mid-journal-write",
+                                12,
+                            );
+                        } else {
+                            let _ =
+                                journal_append(&journal, "interrupted", attempts, "injected kill");
+                        }
+                    } else {
+                        let reason = payload
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| payload.downcast_ref::<&str>().copied())
+                            .unwrap_or("worker panic escaped the sweep");
+                        let _ = journal_append(&journal, "failed", attempts, reason);
+                        state.failed.fetch_add(1, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+        },
+    }
+    lock(&state.inflight).remove(job_id);
+    *lock(&state.running) = None;
+}
+
+fn dispatch_attempt(
+    state: &ServiceState,
+    dir: &Path,
+    spec: &JobSpec,
+    attempt: u32,
+    crash: Option<&CrashFault>,
+) -> Result<AttemptStats, AttemptError> {
+    match spec.backend.as_str() {
+        "cp_pll" => execute_attempt::<CpPll>(state, dir, spec, attempt, crash),
+        "event_driven" => execute_attempt::<EventDrivenCpPll>(state, dir, spec, attempt, crash),
+        "closed_form" => execute_attempt::<ClosedFormPll>(state, dir, spec, attempt, crash),
+        other => Err(AttemptError::Fatal(format!("unknown backend \"{other}\""))),
+    }
+}
+
+fn execute_attempt<E: PllEngine>(
+    state: &ServiceState,
+    dir: &Path,
+    spec: &JobSpec,
+    attempt: u32,
+    crash: Option<&CrashFault>,
+) -> Result<AttemptStats, AttemptError> {
+    let started = Instant::now();
+    let plan =
+        CampaignPlan::<E>::from_header(&spec.header, spec.config.clone(), &spec.grid, &spec.salt)
+            .map_err(|e| AttemptError::Fatal(format!("header rejected: {e}")))?;
+    let results = dir.join("campaign.jsonl");
+    let log = CampaignLog::open(&results, VoltsCodec, spec.digest.clone(), spec.grid.len())
+        .map_err(|e| match e {
+            CampaignError::Io(_) => AttemptError::Interrupted(format!("results open: {e}")),
+            other => AttemptError::Fatal(format!("results rejected: {other}")),
+        })?;
+    let skipped = log.completed_count();
+
+    match crash {
+        Some(CrashFault::TornResultWrite {
+            at_flush,
+            keep_bytes,
+        }) => {
+            let (at, keep) = (*at_flush, *keep_bytes);
+            let flushes = AtomicUsize::new(0);
+            log.set_write_fault(Some(Box::new(move |_index| {
+                if flushes.fetch_add(1, Ordering::SeqCst) == at {
+                    Some(InjectedWriteFault {
+                        torn_bytes: keep,
+                        error: std::io::Error::other("injected torn write"),
+                    })
+                } else {
+                    None
+                }
+            })));
+        }
+        Some(CrashFault::ResultDiskFull { at_flush }) => {
+            let at = *at_flush;
+            let flushes = AtomicUsize::new(0);
+            log.set_write_fault(Some(Box::new(move |_index| {
+                if flushes.fetch_add(1, Ordering::SeqCst) == at {
+                    Some(InjectedWriteFault {
+                        torn_bytes: 0,
+                        error: std::io::Error::other("injected disk full"),
+                    })
+                } else {
+                    None
+                }
+            })));
+        }
+        _ => {}
+    }
+
+    let sidecar = LockSidecar::for_results_file(&results, spec.digest.clone());
+    let observer = Arc::new(CampaignObserver::new(
+        spec.grid.len(),
+        spec.threads,
+        ObservatoryConfig::for_results_file(&results),
+    ));
+    if attempt > 0 {
+        observer.recorder().record(
+            0,
+            NO_POINT,
+            FlightEventKind::Restart,
+            &format!("attempt {attempt} resumes after interruption"),
+        );
+    }
+    *lock(&state.current_observer) = Some(Arc::clone(&observer));
+
+    let kill_after = match crash {
+        Some(CrashFault::Kill { after_points })
+        | Some(CrashFault::KillTearingJournal { after_points }) => Some(*after_points),
+        _ => None,
+    };
+    let captures = AtomicUsize::new(0);
+    let retry_fired: Vec<AtomicBool> = spec.grid.iter().map(|_| AtomicBool::new(false)).collect();
+    let f_ref = spec.config.f_ref_hz;
+
+    let capture = |pll: &mut Supervised<E>, fm: f64| -> Result<f64, SweepPointError> {
+        if let Some(limit) = kill_after {
+            if captures.fetch_add(1, Ordering::SeqCst) + 1 >= limit {
+                std::panic::panic_any(InjectedKill { sequence: attempt });
+            }
+        }
+        let index = spec
+            .grid
+            .iter()
+            .position(|g| g.to_bits() == fm.to_bits())
+            .unwrap_or(usize::MAX);
+        if spec.faults.flaky_quarantine.contains(&index) {
+            panic!("injected worker panic at point {index}");
+        }
+        if spec.faults.flaky_retry.contains(&index)
+            && !retry_fired[index].fetch_or(true, Ordering::SeqCst)
+        {
+            return Err(SweepPointError::DegenerateFit { f_mod_hz: fm });
+        }
+        Scenario::stimulate(
+            pll,
+            FmStimulus::pure_sine(f_ref, 0.02 * f_ref, fm),
+            2.0 / fm,
+        );
+        Ok(pll.control_voltage())
+    };
+
+    let telemetry = Collector::enabled();
+    let outcome = plan.scenario().run_points::<E, VoltsCodec, _>(
+        &spec.grid,
+        spec.threads,
+        plan.checkpoint_enabled(),
+        plan.supervision(),
+        &telemetry,
+        Some(&log),
+        Some(&sidecar),
+        Some(observer.as_ref()),
+        capture,
+    );
+
+    log.finish(true)
+        .map_err(|e| AttemptError::Interrupted(format!("results finish: {e}")))?;
+    let _ = observer.finish();
+
+    let mut sidecar_hits = 0;
+    let mut sidecar_rejects = 0;
+    for record in telemetry.drain() {
+        if let Record::Counter { name, value } = record {
+            match name.as_str() {
+                "campaign.sidecar_hits" => sidecar_hits = value,
+                "campaign.sidecar_rejects" => sidecar_rejects = value,
+                _ => {}
+            }
+        }
+    }
+    Ok(AttemptStats {
+        ok: outcome.points.iter().filter(|p| p.is_ok()).count(),
+        quarantined: outcome.points.iter().filter(|p| p.is_err()).count(),
+        skipped,
+        sidecar_hits,
+        sidecar_rejects,
+        wall_ms: started.elapsed().as_millis(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exotic_config() -> PllConfig {
+        PllConfig {
+            f_ref_hz: 2_000.0,
+            divider_n: 8,
+            drive: DriveConfig::Charge {
+                i_pump: 1.2e-3,
+                mismatch: 0.03,
+            },
+            filter: FilterConfig::SeriesRc {
+                r: 3.3e3,
+                c1: 100e-9,
+                c2: Some(10e-9),
+                r_leak: None,
+            },
+            vco_k0: 1_234.5,
+            vco_gain_scale: 0.97,
+            vco_curvature: (0.01, -0.002),
+            vco_range_hz: Some((5_000.0, 25_000.0)),
+            pfd_dead_zone: 1e-9,
+        }
+    }
+
+    #[test]
+    fn config_wire_round_trips_every_variant() {
+        let mut configs = vec![
+            PllConfig::paper_table3(),
+            PllConfig::integer_n_charge_pump(),
+            exotic_config(),
+        ];
+        let mut pi = PllConfig::paper_table3();
+        pi.filter = FilterConfig::ActivePi {
+            tau1: 1e-3,
+            tau2: 2e-4,
+        };
+        configs.push(pi);
+        let mut leaky = PllConfig::paper_table3();
+        leaky.filter = FilterConfig::PassiveLag {
+            r1: 1.0e6,
+            r2: 1.0e4,
+            c: 1e-7,
+            r_leak: Some(1.0e9),
+        };
+        configs.push(leaky);
+        for config in configs {
+            let wire = config_to_wire(&config);
+            let back = config_from_wire(&wire).expect("round trip");
+            assert_eq!(back, config, "wire: {wire}");
+        }
+    }
+
+    #[test]
+    fn config_wire_rejects_truncations() {
+        let wire = config_to_wire(&PllConfig::paper_table3());
+        for cut in 0..wire.len() {
+            // Every strict prefix must be rejected, not mis-parsed.
+            assert!(
+                config_from_wire(&wire[..cut]).is_none(),
+                "prefix of {cut} bytes accepted"
+            );
+        }
+        assert!(config_from_wire(&format!("{wire};extra")).is_none());
+        assert!(config_from_wire(&wire.replace("v1", "v2")).is_none());
+    }
+
+    #[test]
+    fn fault_plan_wire_round_trips_and_is_seed_deterministic() {
+        let plan = FaultPlan::from_seed(42, 24, 4);
+        assert_eq!(plan, FaultPlan::from_seed(42, 24, 4));
+        assert_ne!(plan, FaultPlan::from_seed(43, 24, 4));
+        let back = FaultPlan::from_wire(&plan.to_wire()).expect("round trip");
+        assert_eq!(back, plan);
+        assert_eq!(
+            FaultPlan::from_wire(&FaultPlan::none().to_wire()),
+            Some(FaultPlan::none())
+        );
+        let reference = plan.reference();
+        assert!(reference.crash.is_empty());
+        assert_eq!(reference.flaky_retry, plan.flaky_retry);
+        assert!(FaultPlan::from_wire("fp1|retry:-|panic:-").is_none());
+        assert!(FaultPlan::from_wire("fp2|retry:-|panic:-|crash:-").is_none());
+        assert!(FaultPlan::from_wire("fp1|retry:x|panic:-|crash:-").is_none());
+        assert!(FaultPlan::from_wire("fp1|retry:-|panic:-|crash:z9").is_none());
+    }
+
+    #[test]
+    fn torn_journal_append_heals_on_the_next_write() {
+        let dir = std::env::temp_dir().join(format!("pllbist_journal_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("job.jsonl");
+        journal_append(&path, "queued", 0, "submitted").expect("append");
+        journal_append(&path, "running", 0, "attempt 0 started").expect("append");
+        journal_append_torn(&path, "interrupted", 0, "killed mid-journal-write", 12);
+        let (state, attempts) = journal_summary(&path);
+        // The torn record is invisible; the last durable state stands.
+        assert_eq!(state, "running");
+        assert_eq!(attempts, 1);
+        journal_append(&path, "running", 1, "attempt 1 started").expect("append");
+        let (state, attempts) = journal_summary(&path);
+        assert_eq!(state, "running");
+        assert_eq!(attempts, 2);
+        let text = std::fs::read_to_string(&path).expect("read");
+        // The healed file: torn fragment isolated on its own line.
+        assert!(text.ends_with('\n'));
+        assert_eq!(text.lines().filter(|l| l.contains("running")).count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn submission_round_trips_through_job_spec() {
+        let config = PllConfig::paper_table3();
+        let plan = CampaignPlan::new(config.clone())
+            .engine::<ClosedFormPll>()
+            .checkpoint(true);
+        let grid = [3.0, 9.0, 27.0];
+        let faults = FaultPlan::from_seed(7, grid.len(), 2);
+        let body = submission_body(&plan, &grid, "svc-test", &faults);
+        let spec = JobSpec::parse(&body).expect("parse");
+        assert_eq!(spec.backend, "closed_form");
+        assert_eq!(spec.digest, plan.digest(&grid, "svc-test"));
+        assert_eq!(spec.config, config);
+        assert_eq!(spec.grid, grid);
+        assert_eq!(spec.salt, "svc-test");
+        assert_eq!(spec.faults, faults);
+        // The header survives verbatim, so the digest check replays.
+        CampaignPlan::<ClosedFormPll>::from_header(
+            &spec.header,
+            spec.config,
+            &spec.grid,
+            "svc-test",
+        )
+        .expect("header round trip");
+    }
+
+    #[test]
+    fn job_spec_rejects_hostile_submissions() {
+        let plan = CampaignPlan::new(PllConfig::paper_table3()).engine::<ClosedFormPll>();
+        let grid = [3.0, 9.0];
+        let body = submission_body(&plan, &grid, "s", &FaultPlan::none());
+        assert!(JobSpec::parse("").is_err());
+        assert!(JobSpec::parse("{\"type\":\"campaign\"}").is_err());
+        // Path traversal via the digest-as-directory is rejected.
+        let traversal = body.replace(&plan.digest(&grid, "s"), "../../../../etc/x");
+        assert!(JobSpec::parse(&traversal).is_err());
+        let upper = body.replacen(&plan.digest(&grid, "s"), "ABCDEFABCDEFABCD", 1);
+        assert!(JobSpec::parse(&upper).is_err());
+        // Duplicate grid entries, negative frequencies, zero threads.
+        let dup = submission_body(&plan, &[3.0, 3.0], "s", &FaultPlan::none());
+        assert!(JobSpec::parse(&dup).is_err());
+        let neg = submission_body(&plan, &[3.0, -9.0], "s", &FaultPlan::none());
+        assert!(JobSpec::parse(&neg).is_err());
+        let zero_threads = body.replace("\"threads\":1", "\"threads\":0");
+        assert!(JobSpec::parse(&zero_threads).is_err());
+        let bad_backend = body.replace("closed_form", "mixed_signal");
+        assert!(JobSpec::parse(&bad_backend).is_err());
+    }
+}

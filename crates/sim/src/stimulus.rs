@@ -322,6 +322,60 @@ impl FmStimulus {
         hi
     }
 
+    /// Serialises the stimulus as a compact token (floats as 16-digit
+    /// lowercase bit hex, staircase levels comma-joined) for the
+    /// lock-state checkpoint sidecar. No quotes/braces/backslashes, so
+    /// it embeds verbatim in a JSONL string field;
+    /// [`decode_state`](Self::decode_state) is the exact inverse.
+    pub(crate) fn encode_state(&self) -> String {
+        let hx = |v: f64| format!("{:016x}", v.to_bits());
+        let kind = match &self.kind {
+            Kind::Sine { deviation_hz } => format!("sine:{}", hx(*deviation_hz)),
+            Kind::SinePm { amplitude_cycles } => format!("pm:{}", hx(*amplitude_cycles)),
+            Kind::Constant { deviation_hz } => format!("const:{}", hx(*deviation_hz)),
+            Kind::Staircase { levels } => {
+                let joined: Vec<String> = levels.iter().map(|l| hx(*l)).collect();
+                format!("stair:{}", joined.join(","))
+            }
+        };
+        format!("{};{};{kind}", hx(self.f_nominal_hz), hx(self.f_mod_hz))
+    }
+
+    /// Rebuilds a stimulus from [`encode_state`](Self::encode_state)
+    /// output; `None` on any malformed token (torn checkpoint → the
+    /// loader falls back to re-settling).
+    pub(crate) fn decode_state(code: &str) -> Option<Self> {
+        fn f64_bits(s: &str) -> Option<f64> {
+            (s.len() == 16).then(|| u64::from_str_radix(s, 16).ok().map(f64::from_bits))?
+        }
+        let mut parts = code.splitn(3, ';');
+        let f_nominal_hz = f64_bits(parts.next()?)?;
+        let f_mod_hz = f64_bits(parts.next()?)?;
+        let kind_token = parts.next()?;
+        let (tag, payload) = kind_token.split_once(':')?;
+        let kind = match tag {
+            "sine" => Kind::Sine {
+                deviation_hz: f64_bits(payload)?,
+            },
+            "pm" => Kind::SinePm {
+                amplitude_cycles: f64_bits(payload)?,
+            },
+            "const" => Kind::Constant {
+                deviation_hz: f64_bits(payload)?,
+            },
+            "stair" => {
+                let levels: Option<Vec<f64>> = payload.split(',').map(f64_bits).collect();
+                Kind::Staircase { levels: levels? }
+            }
+            _ => return None,
+        };
+        Some(Self {
+            f_nominal_hz,
+            f_mod_hz,
+            kind,
+        })
+    }
+
     /// Times within `[0, 1/f_mod)` where the *deviation* waveform peaks
     /// (maximum positive deviation) — the paper's "peak of the input
     /// modulation", the phase-counter start reference.
@@ -525,5 +579,42 @@ mod tests {
     #[should_panic(expected = "at least two steps")]
     fn single_step_rejected() {
         let _ = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 1);
+    }
+
+    #[test]
+    fn state_codec_round_trips_every_kind_bit_exactly() {
+        for s in [
+            FmStimulus::pure_sine(1000.0, 10.0, 8.0),
+            FmStimulus::phase_modulated(1_000.0, 0.3, 8.0),
+            FmStimulus::two_tone(1000.0, 10.0, 4.0),
+            FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10),
+            FmStimulus::staircase(1000.0, vec![3.5, -1.25, 7.0], 2.0),
+            FmStimulus::constant(1000.0, 5.0),
+        ] {
+            let code = s.encode_state();
+            assert!(
+                !code.contains('"') && !code.contains('\\') && !code.contains('{'),
+                "token must embed in a JSONL string field: {code}"
+            );
+            let back = FmStimulus::decode_state(&code).unwrap();
+            assert_eq!(back, s, "{code}");
+            assert_eq!(back.encode_state(), code);
+        }
+    }
+
+    #[test]
+    fn torn_state_codes_are_rejected() {
+        let code = FmStimulus::multi_tone(1000.0, 10.0, 8.0, 10).encode_state();
+        for cut in 0..code.len() {
+            let torn = &code[..cut];
+            if let Some(parsed) = FmStimulus::decode_state(torn) {
+                // A prefix may only parse when it is itself a complete
+                // token (e.g. a staircase cut at a level boundary) — it
+                // must re-encode to exactly the prefix, never fabricate
+                // the full stimulus.
+                assert_eq!(parsed.encode_state(), torn, "cut at {cut}");
+            }
+        }
+        assert!(FmStimulus::decode_state("junk").is_none());
     }
 }

@@ -507,7 +507,13 @@ where
             pll.arm_point();
             capture(&mut pll)
         }))
-        .unwrap_or_else(|payload| Err(SweepPointError::from_panic(payload)));
+        .unwrap_or_else(|payload| {
+            // Injected SIGKILL-equivalents bypass containment entirely:
+            // re-raise so the kill unwinds the sweep like a real one.
+            Err(SweepPointError::from_panic(crate::error::rethrow_if_kill(
+                payload,
+            )))
+        });
         match outcome {
             Ok(value) => {
                 if telemetry.is_enabled() && policy.is_some() {

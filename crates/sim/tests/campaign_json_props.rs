@@ -15,7 +15,12 @@
 //! * **Duplicate keys** — first occurrence wins, which is the contract
 //!   that lets writers keep fixed tag keys ahead of free-text payloads.
 
-use pllbist_sim::campaign::{json_bool_field, json_str_field, json_u64_field};
+use pllbist_sim::campaign::{
+    bits_hex, f64_from_bits_hex, json_bool_field, json_str_field, json_u64_field, CampaignLog,
+    PointCodec,
+};
+use pllbist_sim::CampaignError;
+use pllbist_telemetry::{Fields, Value};
 use pllbist_testkit::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
 /// Writer-side escaper matching the workspace JSONL encoders
@@ -133,6 +138,127 @@ fn duplicate_keys_resolve_to_first_occurrence() {
         prop_assert_eq!(json_u64_field(&line, "n"), Some(first));
         prop_assert_eq!(json_bool_field(&line, "flag"), Some(first_b));
         prop_assert_eq!(json_str_field(&line, "s"), Some(first_s.clone()));
+        Ok(())
+    });
+}
+
+/// Minimal codec for the recovery property tests: one `f64` per point.
+struct BitsCodec;
+
+impl PointCodec for BitsCodec {
+    type Point = f64;
+
+    fn encode(&self, point: &f64) -> Fields {
+        vec![("value_bits".to_string(), Value::Str(bits_hex(*point)))]
+    }
+
+    fn decode(&self, line: &str) -> Option<f64> {
+        f64_from_bits_hex(&json_str_field(line, "value_bits")?)
+    }
+}
+
+fn scratch(name: &str, case: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pllbist_campaign_props");
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(format!("{name}_{case}.jsonl"))
+}
+
+#[test]
+fn campaign_log_recovers_the_maximal_prefix_under_multi_line_tears() {
+    let case = std::sync::atomic::AtomicU64::new(0);
+    prop_check!(cases: 64, |g| {
+        let path = scratch(
+            "multi_tear",
+            case.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let _ = std::fs::remove_file(&path);
+        let points = g.usize_range(1, 8);
+        let digest = "0123456789abcdef".to_string();
+        let log = CampaignLog::open(&path, BitsCodec, digest.clone(), points)
+            .map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("fresh open: {e}")))?;
+        for i in 0..points {
+            log.record(i, &Ok(i as f64 * 1.5 - 2.0));
+        }
+        log.finish(true).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("finish: {e}")))?;
+        drop(log);
+
+        // Tear an arbitrary-length tail: keep `intact` full records,
+        // then truncate every following line to a strict prefix (no
+        // tail line survives as a complete record).
+        let text = std::fs::read_to_string(&path).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("read: {e}")))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let intact = g.usize_range(0, points);
+        let mut torn = lines[..2 + intact].join("\n");
+        torn.push('\n');
+        for (dropped, line) in lines[2 + intact..].iter().enumerate() {
+            if g.bool() && dropped > 0 {
+                break; // the crash may also lose whole trailing lines
+            }
+            let boundaries: Vec<usize> = line.char_indices().map(|(i, _)| i).collect();
+            let cut = g.pick(&boundaries[..]);
+            torn.push_str(&line[..cut]);
+            if g.bool() {
+                torn.push('\n');
+            } else {
+                break; // unterminated final fragment
+            }
+        }
+        std::fs::write(&path, &torn).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("write: {e}")))?;
+
+        let log = CampaignLog::open(&path, BitsCodec, digest.clone(), points)
+            .map_err(|e| {
+                pllbist_testkit::prop::CaseError::Fail(format!(
+                    "reopen of torn file must succeed: {e} file: {torn:?}"
+                ))
+            })?;
+        prop_assert_eq!(log.completed_count(), intact, "file: {torn:?}");
+        for i in 0..intact {
+            prop_assert!(log.is_completed(i));
+        }
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+        Ok(())
+    });
+}
+
+#[test]
+fn campaign_log_refuses_complete_records_after_a_hole() {
+    let case = std::sync::atomic::AtomicU64::new(0);
+    prop_check!(cases: 64, |g| {
+        let path = scratch(
+            "hole",
+            case.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        );
+        let _ = std::fs::remove_file(&path);
+        let points = g.usize_range(2, 8);
+        let digest = "fedcba9876543210".to_string();
+        let log = CampaignLog::open(&path, BitsCodec, digest.clone(), points)
+            .map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("fresh open: {e}")))?;
+        for i in 0..points {
+            log.record(i, &Ok(i as f64 + 0.25));
+        }
+        log.finish(true).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("finish: {e}")))?;
+        drop(log);
+
+        // Corrupt one record that is NOT the last: a later record still
+        // round-trips exactly, so the file has provably finished work
+        // after a hole — recovery must refuse, not silently drop it.
+        let text = std::fs::read_to_string(&path).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("read: {e}")))?;
+        let lines: Vec<&str> = text.lines().collect();
+        let victim = 2 + g.usize_range(0, points - 1);
+        let mut mangled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        let keep = g.usize_range(0, lines[victim].len().saturating_sub(1));
+        mangled[victim] = lines[victim][..keep].to_string();
+        let mut body = mangled.join("\n");
+        body.push('\n');
+        std::fs::write(&path, &body).map_err(|e| pllbist_testkit::prop::CaseError::Fail(format!("write: {e}")))?;
+
+        match CampaignLog::open(&path, BitsCodec, digest.clone(), points) {
+            Err(CampaignError::Malformed { .. }) => {}
+            Err(other) => prop_assert!(false, "wrong error {other} for file: {body:?}"),
+            Ok(_) => prop_assert!(false, "hole must be refused, file: {body:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
         Ok(())
     });
 }

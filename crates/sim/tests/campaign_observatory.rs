@@ -77,6 +77,7 @@ fn run_campaign(
         Some(&policy),
         &tel,
         Some(&log),
+        None,
         observer,
         capture,
     );

@@ -175,6 +175,7 @@ fn run_observed(path: &PathBuf, threads: usize, observer: Option<&CampaignObserv
         Some(&policy),
         &tel,
         Some(&log),
+        None,
         observer,
         capture,
     );

@@ -114,6 +114,7 @@ fn stealing_scheduler_matches_serial_with_contained_failures() {
             &tel,
             None,
             None,
+            None,
             capture,
         )
     };
@@ -228,6 +229,7 @@ fn resumed_campaign_with_quarantined_points_stays_byte_identical() {
             Some(&policy),
             &tel,
             Some(&log),
+            None,
             None,
             capture,
         );

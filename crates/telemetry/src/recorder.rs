@@ -39,6 +39,11 @@ pub enum FlightEventKind {
     Stall,
     /// Lifecycle note (campaign start/finish/abort markers).
     Note,
+    /// A crash-only service restarted an interrupted job.
+    Restart,
+    /// Graceful drain: the service stopped accepting work and is
+    /// finishing what it holds.
+    Drain,
 }
 
 impl FlightEventKind {
@@ -52,6 +57,8 @@ impl FlightEventKind {
             FlightEventKind::Flush => "flush",
             FlightEventKind::Stall => "stall",
             FlightEventKind::Note => "note",
+            FlightEventKind::Restart => "restart",
+            FlightEventKind::Drain => "drain",
         }
     }
 
@@ -65,6 +72,8 @@ impl FlightEventKind {
             "flush" => FlightEventKind::Flush,
             "stall" => FlightEventKind::Stall,
             "note" => FlightEventKind::Note,
+            "restart" => FlightEventKind::Restart,
+            "drain" => FlightEventKind::Drain,
             _ => return None,
         })
     }

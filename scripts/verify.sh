@@ -104,6 +104,18 @@ PLLBIST_ABL14_REPS=1 cargo run --release --offline -p pllbist-bench \
 head -1 "$abl14_out" | grep -q '"type":"run"' \
   || { echo "abl14 smoke: missing JSONL run header"; exit 1; }
 
+echo "==> abl15 crash-only-service smoke (offline, JSONL sink)"
+# The campaign service under deterministic fire: kills mid-sweep, torn
+# journal/result writes, disk-full, client disconnects and a SIGKILL
+# restart. The bin asserts every recovered campaign file is
+# byte-identical to the uninterrupted serial reference and that the
+# resumed attempt restores lock from the checkpoint sidecar.
+abl15_out="target/abl15-smoke.jsonl"
+PLLBIST_ABL15_POINTS=6 cargo run --release --offline -p pllbist-bench \
+  --bin abl15_crash_only_service -- --jsonl "$abl15_out"
+head -1 "$abl15_out" | grep -q '"type":"run"' \
+  || { echo "abl15 smoke: missing JSONL run header"; exit 1; }
+
 echo "==> bench ledger regression gate"
 cargo run --release --offline -p pllbist-bench \
   --bin bench_ledger_gate -- --ledger "$ledger"
